@@ -1,0 +1,84 @@
+// Figure 2 reproduction: non-monotonic variation of test time with the
+// number of wrapper chains at fixed codeword width w = 10 (m in [128, 255])
+// for core ckt-7.
+//
+// Paper shape: test time generally falls as m grows, but NOT monotonically;
+// the minimum sits below the maximum m (253 in the paper), and
+// (tau_max - tau_min) / tau_max ~= 31%.
+#include <algorithm>
+#include <cstdio>
+
+#include "explore/core_explorer.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "socgen/industrial.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::printf("=== Figure 2: tau vs wrapper chains at TAM width 10 (ckt-7) ===\n\n");
+  const CoreUnderTest core = make_industrial_core("ckt-7");
+  ExploreOptions opts;
+  opts.max_width = 16;
+  opts.max_chains = 255;
+  const CoreTable table = explore_core(core, opts);
+
+  const std::vector<SweepPoint> band = table.sweep_at_width(10);
+  if (band.empty()) {
+    std::printf("no geometries at width 10\n");
+    return 1;
+  }
+
+  ChartSeries series;
+  const SweepPoint* best = &band.front();
+  const SweepPoint* worst = &band.front();
+  int direction_changes = 0;
+  for (std::size_t i = 0; i < band.size(); ++i) {
+    series.x.push_back(band[i].m);
+    series.y.push_back(static_cast<double>(band[i].test_time));
+    if (band[i].test_time < best->test_time) best = &band[i];
+    if (band[i].test_time > worst->test_time) worst = &band[i];
+    if (i >= 2) {
+      const auto d1 = band[i - 1].test_time - band[i - 2].test_time;
+      const auto d2 = band[i].test_time - band[i - 1].test_time;
+      if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) ++direction_changes;
+    }
+  }
+
+  ChartOptions copts;
+  copts.title = "ckt-7, w = 10: test time vs number of wrapper chains m";
+  copts.x_label = "wrapper chains m";
+  copts.y_label = "test time (cycles)";
+  std::printf("%s\n", render_chart(series, copts).c_str());
+
+  Table t({"m", "codewords", "test time", "volume (bits)"});
+  for (const SweepPoint& pt : band) {
+    if (pt.m % 16 == 0 || &pt == best || &pt == worst)
+      t.add_row({Table::num(pt.m), Table::num(pt.codewords),
+                 Table::num(pt.test_time), Table::num(pt.data_volume_bits)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const double spread =
+      100.0 * static_cast<double>(worst->test_time - best->test_time) /
+      static_cast<double>(worst->test_time);
+  std::printf("tau_min = %lld at m = %d (band max m = %d)\n",
+              static_cast<long long>(best->test_time), best->m,
+              band.back().m);
+  std::printf("tau_max = %lld at m = %d\n",
+              static_cast<long long>(worst->test_time), worst->m);
+  std::printf("(tau_max - tau_min)/tau_max = %.1f%%   [paper: 31%%]\n", spread);
+  std::printf("direction changes across the band: %d (paper: non-monotonic)\n",
+              direction_changes);
+  std::printf("minimum at the largest m? %s   [paper: no, m = 253 of 255]\n",
+              best->m == band.back().m ? "yes" : "no");
+
+  Csv csv({"m", "w", "codewords", "test_time", "volume_bits"});
+  for (const SweepPoint& pt : band)
+    csv.add_row({Table::num(pt.m), Table::num(pt.w), Table::num(pt.codewords),
+                 Table::num(pt.test_time), Table::num(pt.data_volume_bits)});
+  csv.write_file("fig2_ckt7_w10.csv");
+  std::printf("\nwrote fig2_ckt7_w10.csv\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// EXTENSION (not a table in the DATE 2008 paper): power-constrained test
+// scheduling, following the authors' companion work. Sweeps the peak-power
+// budget for one industrial system and reports how the co-optimized test
+// time degrades as concurrency is throttled — and how compression helps
+// twice (shorter tests AND lower per-core scan power via constant-fill).
+#include <cstdio>
+
+#include "opt/soc_optimizer.hpp"
+#include "power/power_model.hpp"
+#include "report/table.hpp"
+#include "socgen/systems.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::printf("=== Extension: power-constrained scheduling (System1, W_TAM=32) ===\n\n");
+  const SocSpec soc = make_system(1);
+  ExploreOptions e;
+  e.max_width = 32;
+  e.max_chains = 511;
+  const SocOptimizer opt(soc, e);
+
+  // Feasibility floor: the hungriest core must fit alone.
+  double floor_mw = 0.0;
+  for (const auto& c : soc.cores)
+    floor_mw = std::max(floor_mw, core_peak_power(c.spec));
+
+  OptimizerOptions o;
+  o.width = 32;
+  o.mode = ArchMode::PerCore;
+  const OptimizationResult unconstrained = opt.optimize(o);
+  std::printf("unconstrained: tau = %lld, peak power = %.1f mW "
+              "(single-core floor %.1f mW)\n\n",
+              static_cast<long long>(unconstrained.test_time),
+              unconstrained.peak_power_mw, floor_mw);
+
+  Table t({"budget (mW)", "mode", "test time", "vs unconstrained",
+           "peak power"});
+  for (double frac : {1.2, 1.0, 0.85, 0.7, 0.6, 0.5}) {
+    const double budget = unconstrained.peak_power_mw * frac;
+    for (ArchMode mode : {ArchMode::PerCore, ArchMode::NoTdc}) {
+      OptimizerOptions po = o;
+      po.mode = mode;
+      po.power_budget_mw = budget;
+      try {
+        const OptimizationResult r = opt.optimize(po);
+        t.add_row({Table::fixed(budget, 1), to_string(mode),
+                   Table::num(r.test_time),
+                   Table::fixed(
+                       static_cast<double>(r.test_time) /
+                           static_cast<double>(unconstrained.test_time),
+                       2) +
+                       "x",
+                   Table::fixed(r.peak_power_mw, 1)});
+      } catch (const std::exception&) {
+        // One core alone exceeds this budget in this mode (direct access
+        // draws random-fill scan power) — the planner reports infeasible.
+        t.add_row({Table::fixed(budget, 1), to_string(mode), "infeasible",
+                   "-", "-"});
+      }
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("compressed access draws less scan power (constant-fill X "
+              "runs), so the\nper-core TDC architecture sustains more "
+              "concurrency at tight budgets.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 1 reproduction: test time under an ATE-channel constraint for the
+// benchmark SOCs d695 and d2758.
+//
+// The paper compares against [18] (virtual TAMs / SOC-level decompression)
+// and [11] (compression with fixed w = 4). Those tools and their exact
+// numbers are not available; we run behavioural stand-ins implemented in
+// this repository (DESIGN.md Section 3): per-TAM expansion for [18] and
+// fixed-4-wire serialized delivery for [11]. The paper's observation to
+// check: under an *ATE-channel* constraint the SOC-level decompressor is
+// competitive (it spends cheap on-chip wires instead of tester channels),
+// so the proposed method's advantage is smaller here than in Table 2.
+#include <cstdio>
+
+#include "opt/baselines.hpp"
+#include "report/table.hpp"
+#include "socgen/d2758.hpp"
+#include "socgen/d695.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::printf("=== Table 1: test time at ATE-channel constraint ===\n\n");
+  Table t({"design", "W_ATE", "tau[18]-like", "tau[11]-like", "tau proposed",
+           "prop/[18]", "prop/[11]"});
+
+  for (const SocSpec& soc : {make_d695(), make_d2758()}) {
+    ExploreOptions e;
+    e.max_width = 64;
+    e.max_chains = 511;
+    const SocOptimizer opt(soc, e);
+    for (int w_ate : {8, 16, 24, 32}) {
+      const MethodComparison cmp =
+          compare_methods(opt, w_ate, ConstraintMode::AteChannels);
+      t.add_row({soc.name, Table::num(w_ate),
+                 Table::num(cmp.per_tam.test_time),
+                 Table::num(cmp.fixed_w4.test_time),
+                 Table::num(cmp.proposed.test_time),
+                 Table::fixed(static_cast<double>(cmp.proposed.test_time) /
+                                  static_cast<double>(cmp.per_tam.test_time),
+                              2),
+                 Table::fixed(static_cast<double>(cmp.proposed.test_time) /
+                                  static_cast<double>(cmp.fixed_w4.test_time),
+                              2)});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "note: ratios < 1 mean the proposed method is faster. The paper "
+      "reports\nsmaller gains here than under the TAM-width constraint "
+      "(Table 2), because a\nSOC-level decompressor spends on-chip wires "
+      "rather than ATE channels.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2 reproduction: test time under a TAM-width (on-chip wire)
+// constraint for d695, vs the [18]-like SOC-level-decompression stand-in
+// and the [11]-like fixed-w4 stand-in.
+//
+// Paper shape to check: under a TAM-wire constraint the proposed per-core
+// expansion beats SOC-level expansion clearly (the expanded per-TAM buses
+// now eat the constrained resource).
+#include <cstdio>
+
+#include "opt/baselines.hpp"
+#include "report/table.hpp"
+#include "socgen/d695.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::printf("=== Table 2: test time at TAM-width constraint (d695) ===\n\n");
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 64;
+  e.max_chains = 511;
+  const SocOptimizer opt(soc, e);
+
+  Table t({"W_TAM", "tau[18]-like", "tau[11]-like", "tau proposed",
+           "prop/[18]", "prop/[11]"});
+  int proposed_wins_vs_pertam = 0, rows = 0;
+  for (int w : {16, 24, 32, 40, 48, 56, 64}) {
+    const MethodComparison cmp =
+        compare_methods(opt, w, ConstraintMode::TamWidth);
+    t.add_row({Table::num(w), Table::num(cmp.per_tam.test_time),
+               Table::num(cmp.fixed_w4.test_time),
+               Table::num(cmp.proposed.test_time),
+               Table::fixed(static_cast<double>(cmp.proposed.test_time) /
+                                static_cast<double>(cmp.per_tam.test_time),
+                            2),
+               Table::fixed(static_cast<double>(cmp.proposed.test_time) /
+                                static_cast<double>(cmp.fixed_w4.test_time),
+                            2)});
+    proposed_wins_vs_pertam += cmp.proposed.test_time <= cmp.per_tam.test_time;
+    ++rows;
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("proposed <= [18]-like on %d/%d widths "
+              "[paper: proposed better under TAM constraint]\n",
+              proposed_wins_vs_pertam, rows);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table 3 reproduction — the paper's headline experiment: test time, test
+// data volume and planning CPU time with vs without test-data compression,
+// at several TAM-width constraints, on d695 and four systems composed of
+// industrial cores.
+//
+// Paper result to reproduce in shape: with TDC co-optimization the test
+// time drops ~12.6x on average (~15.4x for the industrial-core systems)
+// and the data volume ~12.8x (~15.8x), with planning CPU under a minute.
+#include <cstdio>
+
+#include "opt/baselines.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "socgen/systems.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::printf("=== Table 3: test time & volume at TAM-width constraint, "
+              "with vs without TDC ===\n\n");
+
+  Table t({"design", "gates", "V_i (Mb)", "W_TAM", "tau_nc (k)", "V_nc (Mb)",
+           "CPU_nc (s)", "tau_c (k)", "V_c (Mb)", "CPU_c (s)", "tau_nc/tau_c",
+           "V_i/V_c", "V_nc/V_c"});
+  Csv csv({"design", "w", "tau_nc", "v_nc_bits", "tau_c", "v_c_bits",
+           "time_factor", "vi_over_vc", "vnc_over_vc"});
+
+  double sum_tf = 0, sum_vi = 0, sum_vnc = 0;
+  double ind_tf = 0, ind_vi = 0, ind_vnc = 0;
+  int rows = 0, ind_rows = 0;
+
+  const auto mb = [](std::int64_t bits) {
+    return Table::fixed(static_cast<double>(bits) / 1e6, 2);
+  };
+  const auto kc = [](std::int64_t cycles) {
+    return Table::fixed(static_cast<double>(cycles) / 1e3, 1);
+  };
+
+  for (const SocSpec& soc : make_table3_designs()) {
+    ExploreOptions e;
+    e.max_width = 64;
+    e.max_chains = 511;
+    const SocOptimizer opt(soc, e);
+    const bool industrial = soc.name != "d695";
+    for (int w : {16, 32, 48, 64}) {
+      const TdcComparison cmp = compare_with_without_tdc(opt, w);
+      t.add_row({soc.name,
+                 soc.approx_gate_count
+                     ? Table::fixed(soc.approx_gate_count / 1e6, 2) + "M"
+                     : "n.r.",
+                 mb(cmp.initial_volume_bits), Table::num(w),
+                 kc(cmp.without_tdc.test_time),
+                 mb(cmp.without_tdc.data_volume_bits),
+                 Table::fixed(cmp.without_tdc.cpu_seconds, 3),
+                 kc(cmp.with_tdc.test_time),
+                 mb(cmp.with_tdc.data_volume_bits),
+                 Table::fixed(cmp.with_tdc.cpu_seconds, 3),
+                 Table::fixed(cmp.time_reduction_factor(), 2),
+                 Table::fixed(cmp.volume_vs_initial(), 2),
+                 Table::fixed(cmp.volume_vs_uncompressed(), 2)});
+      csv.add_row({soc.name, Table::num(w),
+                   Table::num(cmp.without_tdc.test_time),
+                   Table::num(cmp.without_tdc.data_volume_bits),
+                   Table::num(cmp.with_tdc.test_time),
+                   Table::num(cmp.with_tdc.data_volume_bits),
+                   Table::fixed(cmp.time_reduction_factor(), 3),
+                   Table::fixed(cmp.volume_vs_initial(), 3),
+                   Table::fixed(cmp.volume_vs_uncompressed(), 3)});
+
+      sum_tf += cmp.time_reduction_factor();
+      sum_vi += cmp.volume_vs_initial();
+      sum_vnc += cmp.volume_vs_uncompressed();
+      ++rows;
+      if (industrial) {
+        ind_tf += cmp.time_reduction_factor();
+        ind_vi += cmp.volume_vs_initial();
+        ind_vnc += cmp.volume_vs_uncompressed();
+        ++ind_rows;
+      }
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("average, all designs:        time %.2fx, V_i/V_c %.2fx, "
+              "V_nc/V_c %.2fx   [paper: 12.59x / 12.78x]\n",
+              sum_tf / rows, sum_vi / rows, sum_vnc / rows);
+  std::printf("average, industrial designs: time %.2fx, V_i/V_c %.2fx, "
+              "V_nc/V_c %.2fx   [paper: 15.39x / 15.80x]\n",
+              ind_tf / ind_rows, ind_vi / ind_rows, ind_vnc / ind_rows);
+
+  csv.write_file("table3_tdc_gain.csv");
+  std::printf("\nwrote table3_tdc_gain.csv\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks for the library's hot kernels: slice
+// encoding, sparse cost evaluation, wrapper design, exploration and
+// scheduling. Not part of the paper; used for performance regression
+// tracking of the reproduction itself.
+#include <benchmark/benchmark.h>
+
+#include "codec/sparse_cost.hpp"
+#include "codec/stream_encoder.hpp"
+#include "explore/core_explorer.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "socgen/cube_synth.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace {
+
+using namespace soctest;
+
+CoreUnderTest bench_core(std::int64_t cells, int patterns, double density) {
+  CoreUnderTest c;
+  c.spec.name = "bench";
+  c.spec.num_inputs = 32;
+  c.spec.num_outputs = 24;
+  c.spec.flexible_scan = true;
+  c.spec.flexible_scan_cells = cells;
+  c.spec.num_patterns = patterns;
+  CubeSynthParams p;
+  p.num_cells = c.spec.stimulus_bits_per_pattern();
+  p.num_patterns = patterns;
+  p.care_density = density;
+  c.cubes = synthesize_cubes(p, 1);
+  return c;
+}
+
+void BM_SliceEncode(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const CodecParams p = CodecParams::for_chains(m);
+  const SliceEncoder enc(p);
+  TernaryVector slice(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; i += 7) slice.set(static_cast<std::size_t>(i), Trit::One);
+  for (int i = 3; i < m; i += 11) slice.set(static_cast<std::size_t>(i), Trit::Zero);
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(slice).words.size());
+}
+BENCHMARK(BM_SliceEncode)->Arg(16)->Arg(64)->Arg(255);
+
+void BM_SparseCost(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const CoreUnderTest core = bench_core(20'000, 16, 0.02);
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sparse_stream_cost(map, core.cubes).total_codewords);
+  state.SetItemsProcessed(state.iterations() * core.cubes.total_care_bits());
+}
+BENCHMARK(BM_SparseCost)->Arg(32)->Arg(255);
+
+void BM_StreamEncode(benchmark::State& state) {
+  const CoreUnderTest core = bench_core(4'000, 4, 0.05);
+  const WrapperDesign d = design_wrapper(core.spec, 64);
+  const SliceMap map(d, core.cubes.num_cells());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(encode_stream(map, core.cubes).words.size());
+}
+BENCHMARK(BM_StreamEncode);
+
+void BM_WrapperDesign(benchmark::State& state) {
+  const CoreUnderTest core = bench_core(50'000, 1, 0.02);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(design_wrapper(core.spec, 128).scan_in_length);
+}
+BENCHMARK(BM_WrapperDesign);
+
+void BM_ExploreCore(benchmark::State& state) {
+  const CoreUnderTest core = bench_core(10'000, 8, 0.02);
+  ExploreOptions o;
+  o.max_width = 32;
+  o.max_chains = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore_core(core, o).max_width());
+}
+BENCHMARK(BM_ExploreCore)->Arg(64)->Arg(255)->Unit(benchmark::kMillisecond);
+
+void BM_GreedySchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::int64_t> times(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    times[static_cast<std::size_t>(i)] = 1000 + 37 * i % 977;
+  const CostFn cost = [&](int core, int bus) {
+    BusAccessCost c;
+    c.time = times[static_cast<std::size_t>(core)] / (bus + 1);
+    return c;
+  };
+  for (auto _ : state)
+    benchmark::DoNotOptimize(greedy_schedule(n, 4, cost, times).makespan());
+}
+BENCHMARK(BM_GreedySchedule)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

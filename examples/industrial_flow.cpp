@@ -1,0 +1,108 @@
+// Industrial flow: the full Table-3-style co-optimization run on one of
+// the industrial example systems, narrated step by step — the workflow a
+// DFT engineer would run for a new SOC:
+//
+//   1. describe the SOC (here: System2, built from the ckt-* catalogue);
+//   2. explore every core's wrapper/decompressor design space;
+//   3. optimize the test architecture with and without compression;
+//   4. inspect the schedule, the per-core configurations, the hardware
+//      cost, and export the lookup data as CSV.
+//
+// Run: ./industrial_flow [W_TAM]     (default 32)
+#include <cstdio>
+#include <cstdlib>
+
+#include "decomp/area_model.hpp"
+#include "explore/core_explorer.hpp"
+#include "opt/baselines.hpp"
+#include "opt/result.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "socgen/systems.hpp"
+
+using namespace soctest;
+
+int main(int argc, char** argv) {
+  const int w_tam = argc > 1 ? std::atoi(argv[1]) : 32;
+  if (w_tam < 1 || w_tam > 64) {
+    std::fprintf(stderr, "usage: %s [W_TAM in 1..64]\n", argv[0]);
+    return 1;
+  }
+
+  // Step 1: the design.
+  const SocSpec soc = make_system(2);
+  std::printf("design %s: %d cores, %.1fM gates, V_i = %.2f Mbit\n\n",
+              soc.name.c_str(), soc.num_cores(),
+              soc.approx_gate_count / 1e6,
+              soc.initial_data_volume_bits() / 1e6);
+
+  Table cores({"core", "scan cells", "chains", "patterns", "care bits",
+               "density"});
+  for (const CoreUnderTest& c : soc.cores) {
+    cores.add_row({c.spec.name, Table::num(c.spec.total_scan_cells()),
+                   Table::num(static_cast<std::int64_t>(
+                       c.spec.scan_chain_lengths.size())),
+                   Table::num(c.spec.num_patterns),
+                   Table::num(c.cubes.total_care_bits()),
+                   Table::fixed(100.0 * c.cubes.care_bit_density(), 2) + "%"});
+  }
+  std::printf("%s\n", cores.to_string().c_str());
+
+  // Step 2: exploration (steps 1-2 of the paper's heuristic).
+  std::printf("exploring decompressor design spaces...\n");
+  ExploreOptions eopts;
+  eopts.max_width = 64;
+  eopts.max_chains = 511;
+  const SocOptimizer opt(soc, eopts);
+
+  Table sweet({"core", "best w", "best m", "tau_c", "tau_direct(10)",
+               "core gain"});
+  for (const CoreTable& t : opt.tables()) {
+    const CoreChoice& b = t.best(16);
+    sweet.add_row(
+        {t.core_name(), Table::num(b.wires_used), Table::num(b.m),
+         Table::num(b.test_time), Table::num(t.direct(10).test_time),
+         Table::fixed(static_cast<double>(t.direct(10).test_time) /
+                          static_cast<double>(b.test_time),
+                      1) +
+             "x"});
+  }
+  std::printf("%s\n", sweet.to_string().c_str());
+
+  // Step 3: SOC-level optimization, with vs without TDC.
+  const TdcComparison cmp = compare_with_without_tdc(opt, w_tam);
+  std::printf("--- without TDC ---\n%s\n",
+              summarize(cmp.without_tdc, soc).c_str());
+  std::printf("--- with TDC (proposed) ---\n%s\n",
+              summarize(cmp.with_tdc, soc).c_str());
+  std::printf("test time reduction: %.2fx, volume reduction: %.2fx (vs "
+              "initial: %.2fx)\n",
+              cmp.time_reduction_factor(), cmp.volume_vs_uncompressed(),
+              cmp.volume_vs_initial());
+
+  // Step 4: hardware cost of the chosen decompressors.
+  double overhead = area_overhead_fraction(
+      DecompressorArea{cmp.with_tdc.wiring.total_flip_flops,
+                       cmp.with_tdc.wiring.total_gates},
+      1, soc.approx_gate_count);
+  std::printf("decompressor hardware: %d instances, %d FFs, %d gates "
+              "(%.2f%% of the design)\n",
+              cmp.with_tdc.wiring.decompressors,
+              cmp.with_tdc.wiring.total_flip_flops,
+              cmp.with_tdc.wiring.total_gates, 100.0 * overhead);
+
+  // Export the per-core lookup tables for offline analysis.
+  Csv csv({"core", "w", "mode", "m", "test_time", "volume_bits"});
+  for (const CoreTable& t : opt.tables()) {
+    for (int w = 1; w <= 24; ++w) {
+      const CoreChoice& c = t.best(w);
+      csv.add_row({t.core_name(), Table::num(w),
+                   c.mode == AccessMode::Compressed ? "compressed" : "direct",
+                   Table::num(c.m), Table::num(c.test_time),
+                   Table::num(c.data_volume_bits)});
+    }
+  }
+  csv.write_file("industrial_flow_tables.csv");
+  std::printf("wrote industrial_flow_tables.csv\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Builds one industrial core, explores its decompressor design space,
+// verifies the compression round-trip on real hardware-model cycles, then
+// optimizes a small SOC and prints the schedule.
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "codec/stream_encoder.hpp"
+#include "decomp/decompressor_model.hpp"
+#include "explore/core_explorer.hpp"
+#include "opt/result.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "socgen/industrial.hpp"
+#include "socgen/systems.hpp"
+
+using namespace soctest;
+
+int main() {
+  // 1. One core: ckt-7, the paper's running example.
+  const CoreUnderTest core = make_industrial_core("ckt-7");
+  std::printf("core %s: %lld scan cells, %d patterns, %.2f%% care bits\n",
+              core.spec.name.c_str(),
+              static_cast<long long>(core.spec.total_scan_cells()),
+              core.spec.num_patterns, 100.0 * core.cubes.care_bit_density());
+
+  // 2. Explore every decompressor geometry (the (w, m) design space).
+  ExploreOptions eopts;
+  const CoreTable table = explore_core(core, eopts);
+  for (int w : {6, 8, 10, 12, 16}) {
+    const CoreChoice& best = table.best(w);
+    const CoreChoice& direct = table.direct(w);
+    std::printf(
+        "  width %2d: direct tau=%-10lld best tau=%-10lld (m=%d, %s, %.1fx)\n",
+        w, static_cast<long long>(direct.test_time),
+        static_cast<long long>(best.test_time), best.m,
+        best.mode == AccessMode::Compressed ? "compressed" : "direct",
+        static_cast<double>(direct.test_time) /
+            static_cast<double>(best.test_time));
+  }
+
+  // 3. Sanity: expand one geometry through the cycle-accurate decompressor.
+  {
+    const WrapperDesign d = design_wrapper(core.spec, 64);
+    const SliceMap map(d, core.cubes.num_cells());
+    // Encode just the first pattern to keep the demo quick.
+    TestCubeSet first(core.cubes.num_cells());
+    first.add_pattern(core.cubes.pattern(0));
+    const EncodedStream stream = encode_stream(map, first);
+    DecompressorModel hw(stream.params);
+    const auto slices = hw.run(stream.words);
+    std::printf(
+        "  decompressor: %lld codewords -> %lld slices in %lld cycles\n",
+        static_cast<long long>(stream.codeword_count()),
+        static_cast<long long>(hw.slices_emitted()),
+        static_cast<long long>(hw.cycles()));
+  }
+
+  // 4. SOC-level co-optimization on the Figure-4 example design.
+  const SocSpec soc = make_fig4_soc();
+  const SocOptimizer opt(soc);
+  OptimizerOptions oopts;
+  oopts.width = 31;
+  oopts.mode = ArchMode::PerCore;
+  const OptimizationResult result = opt.optimize(oopts);
+  std::printf("\n%s\n", summarize(result, soc).c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "ate/ate_memory.hpp"
+
+#include <algorithm>
+
+#include "bitvec/bit_util.hpp"
+
+namespace soctest {
+
+AteMemoryReport ate_memory(const OptimizationResult& result) {
+  AteMemoryReport report;
+  report.bus_depth.assign(result.buses.size(), 0);
+
+  for (const ScheduleEntry& e : result.schedule.entries) {
+    const BusRealization& bus =
+        result.buses[static_cast<std::size_t>(e.bus)];
+    const int width = std::max(1, bus.ate_width);
+    report.bus_depth[static_cast<std::size_t>(e.bus)] +=
+        ceil_div(e.choice.data_volume_bits, width);
+  }
+
+  std::int64_t sum = 0;
+  for (std::size_t b = 0; b < report.bus_depth.size(); ++b) {
+    report.max_channel_depth =
+        std::max(report.max_channel_depth, report.bus_depth[b]);
+    report.total_bits +=
+        report.bus_depth[b] *
+        std::max(1, result.buses[b].ate_width);
+    sum += report.bus_depth[b];
+  }
+  if (!report.bus_depth.empty() && sum > 0) {
+    const double mean =
+        static_cast<double>(sum) / static_cast<double>(report.bus_depth.size());
+    report.imbalance = static_cast<double>(report.max_channel_depth) / mean;
+  }
+  return report;
+}
+
+}  // namespace soctest

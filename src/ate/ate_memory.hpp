@@ -1,0 +1,32 @@
+// ATE vector-memory model. The paper's opening motivation is that test
+// data volume exhausts tester memory: every ATE channel stores one bit per
+// cycle in which its bus drives data, and the scarce resource is the
+// per-channel memory *depth*. This module computes, for an optimization
+// result, how deep each bus's channels must be and the total stored bits —
+// the quantity the paper's V columns track, broken down per channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/soc_optimizer.hpp"
+
+namespace soctest {
+
+struct AteMemoryReport {
+  /// Vector depth required by each bus's channels.
+  std::vector<std::int64_t> bus_depth;
+  /// Deepest channel anywhere — the tester's required memory depth.
+  std::int64_t max_channel_depth = 0;
+  /// Total stored bits: sum over buses of ate_width * depth.
+  std::int64_t total_bits = 0;
+  /// Channel-depth imbalance: max depth / mean depth (1.0 = balanced).
+  double imbalance = 1.0;
+};
+
+/// Computes the report from a result's schedule and bus realizations:
+/// the data for a core occupies ceil(volume / ate_width) vectors on its
+/// bus, and a bus's depth is the sum over its cores.
+AteMemoryReport ate_memory(const OptimizationResult& result);
+
+}  // namespace soctest

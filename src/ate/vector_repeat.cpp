@@ -1,0 +1,21 @@
+#include "ate/vector_repeat.hpp"
+
+namespace soctest {
+
+RepeatStats vector_repeat_stats(const std::vector<std::uint32_t>& vectors) {
+  RepeatStats stats;
+  stats.raw_vectors = static_cast<std::int64_t>(vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i)
+    if (i == 0 || vectors[i] != vectors[i - 1]) ++stats.stored_vectors;
+  return stats;
+}
+
+RepeatStats vector_repeat_stats(const EncodedStream& stream) {
+  std::vector<std::uint32_t> vectors;
+  vectors.reserve(stream.words.size());
+  for (const Codeword& cw : stream.words)
+    vectors.push_back(pack(cw, stream.params));
+  return vector_repeat_stats(vectors);
+}
+
+}  // namespace soctest

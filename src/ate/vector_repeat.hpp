@@ -1,0 +1,34 @@
+// ATE vector-repeat modeling (after "Efficiently Utilizing ATE Vector
+// Repeat", in the reproduced paper's related work): testers store a repeat
+// count instead of consecutive identical vectors. Compressed codeword
+// streams repeat heavily — every empty scan slice is the same Head word —
+// so vector repeat shrinks the *stored* footprint below the shipped
+// data volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/stream_encoder.hpp"
+
+namespace soctest {
+
+struct RepeatStats {
+  std::int64_t raw_vectors = 0;     // cycles shipped to the DUT
+  std::int64_t stored_vectors = 0;  // distinct-run entries in ATE memory
+  double reduction_factor() const {
+    return stored_vectors == 0
+               ? 0.0
+               : static_cast<double>(raw_vectors) /
+                     static_cast<double>(stored_vectors);
+  }
+};
+
+/// Run-length statistics of an arbitrary per-cycle vector sequence.
+RepeatStats vector_repeat_stats(const std::vector<std::uint32_t>& vectors);
+
+/// Packs a selective-encoding stream into per-cycle TAM words and measures
+/// its repeat compressibility.
+RepeatStats vector_repeat_stats(const EncodedStream& stream);
+
+}  // namespace soctest

@@ -1,0 +1,16 @@
+#include "bitvec/bit_util.hpp"
+
+// Header-only helpers; this TU exists so the target has a concrete object
+// file and the header is compiled standalone at least once.
+namespace soctest {
+static_assert(ceil_log2(1) == 0);
+static_assert(ceil_log2(2) == 1);
+static_assert(ceil_log2(255) == 8);
+static_assert(ceil_log2(256) == 8);
+static_assert(ceil_log2(257) == 9);
+static_assert(codeword_width_for_chains(255) == 10);
+static_assert(codeword_width_for_chains(128) == 10);
+static_assert(codeword_width_for_chains(127) == 9);
+static_assert(max_chains_for_width(10) == 255);
+static_assert(min_chains_for_width(10) == 128);
+}  // namespace soctest

@@ -1,0 +1,51 @@
+// Small integer/bit helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace soctest {
+
+/// Ceiling of a/b for non-negative integers, b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  assert(b > 0 && a >= 0);
+  return (a + b - 1) / b;
+}
+
+/// Smallest k such that 2^k >= n (n >= 1). ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t n) {
+  assert(n >= 1);
+  return n <= 1 ? 0 : 64 - std::countl_zero(n - 1);
+}
+
+/// Codeword width of the selective-encoding scheme for m wrapper chains:
+/// w = ceil(log2(m + 1)) + 2  (the paper's formula; the +1 makes room for
+/// the END-of-slice index m, the +2 for the opcode bits).
+constexpr int codeword_width_for_chains(int m) {
+  assert(m >= 1);
+  return ceil_log2(static_cast<std::uint64_t>(m) + 1) + 2;
+}
+
+/// Operand width k = w - 2 = ceil(log2(m + 1)).
+constexpr int operand_width_for_chains(int m) {
+  return codeword_width_for_chains(m) - 2;
+}
+
+/// Largest m whose codewords fit in width w, i.e. max m with
+/// ceil(log2(m+1)) <= w - 2. Returns 0 if w < 3 (no m fits).
+constexpr int max_chains_for_width(int w) {
+  if (w < 3) return 0;
+  const int k = w - 2;
+  if (k >= 31) return (1 << 30);  // practical cap; callers clamp further
+  return (1 << k) - 1;
+}
+
+/// Smallest m that *requires* width w (i.e. 2^(w-3) when w > 3, else 1).
+constexpr int min_chains_for_width(int w) {
+  if (w < 3) return 0;
+  const int k = w - 2;
+  return k == 1 ? 1 : (1 << (k - 1));
+}
+
+}  // namespace soctest

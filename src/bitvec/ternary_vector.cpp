@@ -1,0 +1,159 @@
+#include "bitvec/ternary_vector.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "bitvec/bit_util.hpp"
+
+namespace soctest {
+
+char to_char(Trit t) {
+  switch (t) {
+    case Trit::Zero: return '0';
+    case Trit::One: return '1';
+    case Trit::X: return 'X';
+  }
+  return '?';
+}
+
+Trit trit_from_char(char c) {
+  switch (c) {
+    case '0': return Trit::Zero;
+    case '1': return Trit::One;
+    case 'X':
+    case 'x':
+    case '-': return Trit::X;
+    default: throw std::invalid_argument("trit_from_char: bad symbol");
+  }
+}
+
+TernaryVector::TernaryVector(std::size_t size)
+    : size_(size),
+      care_(ceil_div(static_cast<std::int64_t>(size), kWordBits), 0),
+      value_(care_.size(), 0) {}
+
+TernaryVector TernaryVector::from_string(const std::string& s) {
+  TernaryVector v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) v.set(i, trit_from_char(s[i]));
+  return v;
+}
+
+Trit TernaryVector::get(std::size_t i) const {
+  assert(i < size_);
+  const std::size_t word = i / kWordBits;
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (!(care_[word] & mask)) return Trit::X;
+  return (value_[word] & mask) ? Trit::One : Trit::Zero;
+}
+
+void TernaryVector::set(std::size_t i, Trit t) {
+  assert(i < size_);
+  const std::size_t word = i / kWordBits;
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (t == Trit::X) {
+    care_[word] &= ~mask;
+    value_[word] &= ~mask;
+  } else {
+    care_[word] |= mask;
+    if (t == Trit::One)
+      value_[word] |= mask;
+    else
+      value_[word] &= ~mask;
+  }
+}
+
+bool TernaryVector::is_care(std::size_t i) const {
+  assert(i < size_);
+  return (care_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+std::size_t TernaryVector::count_care() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : care_) n += std::popcount(w);
+  return n;
+}
+
+std::size_t TernaryVector::count(Trit t) const {
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    switch (t) {
+      case Trit::One: n += std::popcount(care_[w] & value_[w]); break;
+      case Trit::Zero: n += std::popcount(care_[w] & ~value_[w]); break;
+      case Trit::X: n += std::popcount(~care_[w]); break;
+    }
+  }
+  if (t == Trit::X) {
+    // ~care_ counts the unused tail bits of the last word too; subtract.
+    const std::size_t capacity = care_.size() * kWordBits;
+    n -= capacity - size_;
+  }
+  return n;
+}
+
+void TernaryVector::fill_x_with(bool value) {
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    if (value)
+      value_[w] |= ~care_[w];
+    else
+      value_[w] &= care_[w];
+    care_[w] = ~std::uint64_t{0};
+  }
+  // Re-clear the tail beyond size_ so equality/compat stay well-defined.
+  const std::size_t tail = size_ % kWordBits;
+  if (!care_.empty() && tail != 0) {
+    const std::uint64_t keep = (std::uint64_t{1} << tail) - 1;
+    care_.back() &= keep;
+    value_.back() &= keep;
+  }
+}
+
+void TernaryVector::push_back(Trit t) {
+  if (size_ % kWordBits == 0) {
+    care_.push_back(0);
+    value_.push_back(0);
+  }
+  ++size_;
+  set(size_ - 1, t);
+}
+
+std::string TernaryVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(to_char(get(i)));
+  return s;
+}
+
+bool operator==(const TernaryVector& a, const TernaryVector& b) {
+  return a.size_ == b.size_ && a.care_ == b.care_ && a.value_ == b.value_;
+}
+
+bool TernaryVector::compatible_with(const TernaryVector& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    const std::uint64_t both = care_[w] & other.care_[w];
+    if ((value_[w] ^ other.value_[w]) & both) return false;
+  }
+  return true;
+}
+
+bool TernaryVector::covered_by(const TernaryVector& other) const {
+  if (size_ != other.size_) return false;
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    if (care_[w] & ~other.care_[w]) return false;  // unspecified in other
+    if ((value_[w] ^ other.value_[w]) & care_[w]) return false;
+  }
+  return true;
+}
+
+void TernaryVector::merge_with(const TernaryVector& other) {
+  assert(compatible_with(other));
+  for (std::size_t w = 0; w < care_.size(); ++w) {
+    // Take other's value wherever only it specifies the position.
+    const std::uint64_t only_other = other.care_[w] & ~care_[w];
+    value_[w] = (value_[w] & ~only_other) | (other.value_[w] & only_other);
+    care_[w] |= other.care_[w];
+  }
+}
+
+}  // namespace soctest

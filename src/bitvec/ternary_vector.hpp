@@ -1,0 +1,70 @@
+// TernaryVector: a fixed-length vector of three-valued test-data symbols
+// {0, 1, X}. Stored as two packed bit planes (care, value) so that slice
+// analysis (count care bits, count 1s among care bits) is word-parallel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+/// One test-data symbol: logic 0, logic 1, or don't-care.
+enum class Trit : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+char to_char(Trit t);
+Trit trit_from_char(char c);
+
+class TernaryVector {
+ public:
+  TernaryVector() = default;
+  /// Constructs a vector of `size` symbols, all X.
+  explicit TernaryVector(std::size_t size);
+  /// Parses a string of '0', '1', 'X'/'x'/'-' characters.
+  static TernaryVector from_string(const std::string& s);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Trit get(std::size_t i) const;
+  void set(std::size_t i, Trit t);
+
+  /// True if position i holds 0 or 1 (not X).
+  bool is_care(std::size_t i) const;
+
+  /// Number of positions holding 0 or 1.
+  std::size_t count_care() const;
+  /// Number of positions holding exactly `t` (X counts X positions).
+  std::size_t count(Trit t) const;
+
+  /// Sets every X position to the given binary value (the codec's "fill").
+  void fill_x_with(bool value);
+
+  /// Appends one symbol.
+  void push_back(Trit t);
+
+  std::string to_string() const;
+
+  friend bool operator==(const TernaryVector& a, const TernaryVector& b);
+
+  /// Two vectors are *compatible* if they agree on every position where both
+  /// are care bits. (Used by merging/validation utilities.)
+  bool compatible_with(const TernaryVector& other) const;
+
+  /// Absorbs `other`'s care bits into this vector. Precondition: compatible
+  /// (asserted); positions keep their value where both specify.
+  void merge_with(const TernaryVector& other);
+
+  /// True if every care bit of this vector is specified with the same value
+  /// in `other` (i.e. `other` refines/covers this vector).
+  bool covered_by(const TernaryVector& other) const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> care_;   // bit set => position is 0/1
+  std::vector<std::uint64_t> value_;  // meaningful only where care bit set
+};
+
+}  // namespace soctest

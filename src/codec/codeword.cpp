@@ -1,0 +1,48 @@
+#include "codec/codeword.hpp"
+
+#include <stdexcept>
+
+#include "bitvec/bit_util.hpp"
+
+namespace soctest {
+
+CodecParams CodecParams::for_chains(int m) {
+  if (m < 2) throw std::invalid_argument("CodecParams: m must be >= 2");
+  CodecParams p;
+  p.m = m;
+  p.k = operand_width_for_chains(m);
+  p.w = p.k + 2;
+  return p;
+}
+
+int CodecParams::num_groups() const {
+  return static_cast<int>(ceil_div(m, k));
+}
+
+int CodecParams::group_size(int g) const {
+  const int start = group_start(g);
+  return std::min(k, m - start);
+}
+
+std::uint32_t pack(const Codeword& cw, const CodecParams& p) {
+  if (cw.operand >= (std::uint32_t{1} << p.k))
+    throw std::invalid_argument("pack: operand exceeds k bits");
+  return (static_cast<std::uint32_t>(cw.opcode) << p.k) | cw.operand;
+}
+
+Codeword unpack(std::uint32_t bits, const CodecParams& p) {
+  if (bits >= (std::uint32_t{1} << p.w))
+    throw std::invalid_argument("unpack: word exceeds w bits");
+  Codeword cw;
+  cw.opcode = static_cast<Opcode>(bits >> p.k);
+  cw.operand = bits & ((std::uint32_t{1} << p.k) - 1);
+  return cw;
+}
+
+std::string to_string(const Codeword& cw) {
+  static const char* names[] = {"HEAD", "SINGLE", "GROUP", "DATA"};
+  return std::string(names[static_cast<int>(cw.opcode)]) + "(" +
+         std::to_string(cw.operand) + ")";
+}
+
+}  // namespace soctest

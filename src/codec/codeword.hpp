@@ -1,0 +1,64 @@
+// Codeword: one w-bit word of the selective-encoding bitstream
+// (Wang & Chakrabarty's scheme, the paper's reference [14]; bit-level
+// protocol fully specified in DESIGN.md Section 5).
+//
+// w = k + 2, k = ceil(log2(m + 1)). Layout: [2-bit opcode][k-bit operand].
+//
+//   Head   (00)  first codeword of every slice; operand = (count << 1) | t
+//                where t is the target symbol and count the number of body
+//                codewords that follow. count == 0 -> empty slice (all
+//                fill). count == escape_count() -> the body is terminated
+//                by an END marker instead (pathologically dense slices).
+//   Single (01)  operand = position of one target bit (0..m-1);
+//                operand == m is the END marker (escape mode only)
+//   Group  (10)  operand = first bit index (g*k) of a k-bit group whose
+//                literal content follows in the next codeword
+//   Data   (11)  operand = literal group content (bit j -> slice[g*k + j])
+//
+// The codec requires m >= 2 (so k >= 2 and the Head fields fit); m = 1
+// never compresses anyway since w = 3 > m.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+enum class Opcode : std::uint8_t { Head = 0, Single = 1, Group = 2, Data = 3 };
+
+struct Codeword {
+  Opcode opcode = Opcode::Head;
+  std::uint32_t operand = 0;
+
+  friend bool operator==(const Codeword&, const Codeword&) = default;
+};
+
+/// Codec geometry for m wrapper chains.
+struct CodecParams {
+  int m = 0;  // slice width = wrapper chains
+  int k = 0;  // operand bits
+  int w = 0;  // codeword width = k + 2
+
+  static CodecParams for_chains(int m);
+
+  int num_groups() const;           // ceil(m / k)
+  int group_start(int g) const { return g * k; }
+  int group_size(int g) const;      // k, except a short final group
+
+  /// Head count-field value signalling END-terminated (escape) mode.
+  int escape_count() const { return (1 << (k - 1)) - 1; }
+  /// Builds a Head operand from target symbol and body count.
+  std::uint32_t head_operand(bool target, int count) const {
+    return (static_cast<std::uint32_t>(count) << 1) | (target ? 1u : 0u);
+  }
+};
+
+/// Packs a codeword into the low w bits of a uint32 (opcode in the top two
+/// of the w bits, operand below), as the on-chip decompressor receives it.
+std::uint32_t pack(const Codeword& cw, const CodecParams& p);
+Codeword unpack(std::uint32_t bits, const CodecParams& p);
+
+std::string to_string(const Codeword& cw);
+
+}  // namespace soctest

@@ -1,0 +1,106 @@
+#include "codec/slice_encoder.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+namespace {
+
+struct SliceStats {
+  bool target = false;  // t
+  std::vector<int> target_positions;
+};
+
+// Chooses the target symbol (minority care value; tie -> 1) and lists the
+// positions that must be explicitly encoded. If one care value never occurs
+// the other becomes the fill and the slice encodes as empty.
+SliceStats analyze(const TernaryVector& slice) {
+  int c0 = 0, c1 = 0;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    switch (slice.get(i)) {
+      case Trit::Zero: ++c0; break;
+      case Trit::One: ++c1; break;
+      case Trit::X: break;
+    }
+  }
+  SliceStats st;
+  st.target = c1 <= c0;  // tie -> target 1, as in the paper's example
+  const Trit t = st.target ? Trit::One : Trit::Zero;
+  for (std::size_t i = 0; i < slice.size(); ++i)
+    if (slice.get(i) == t) st.target_positions.push_back(static_cast<int>(i));
+  return st;
+}
+
+}  // namespace
+
+EncodedSlice SliceEncoder::encode(const TernaryVector& slice) const {
+  if (static_cast<int>(slice.size()) != p_.m)
+    throw std::invalid_argument("SliceEncoder: slice width mismatch");
+
+  const SliceStats st = analyze(slice);
+  EncodedSlice out;
+  out.target_symbol = st.target;
+  out.fill_symbol = !st.target;
+
+  // Body codewords first; the Head carries their count (or the escape
+  // marker plus a trailing END for oversized bodies).
+  std::vector<Codeword> body;
+  std::size_t i = 0;
+  while (i < st.target_positions.size()) {
+    const int g = st.target_positions[i] / p_.k;
+    std::size_t j = i;
+    while (j < st.target_positions.size() &&
+           st.target_positions[j] / p_.k == g)
+      ++j;
+    const std::size_t n_g = j - i;
+    if (opts_.enable_group_copy && n_g >= 3) {
+      std::uint32_t literal = 0;
+      const int start = p_.group_start(g);
+      for (int b = 0; b < p_.group_size(g); ++b) {
+        const Trit v = slice.get(static_cast<std::size_t>(start + b));
+        const bool bit = (v == Trit::X) ? out.fill_symbol : (v == Trit::One);
+        if (bit) literal |= std::uint32_t{1} << b;
+      }
+      body.push_back({Opcode::Group, static_cast<std::uint32_t>(start)});
+      body.push_back({Opcode::Data, literal});
+    } else {
+      for (std::size_t s = i; s < j; ++s)
+        body.push_back({Opcode::Single,
+                        static_cast<std::uint32_t>(st.target_positions[s])});
+    }
+    i = j;
+  }
+
+  const int esc = p_.escape_count();
+  const int count = static_cast<int>(body.size());
+  if (count < esc) {
+    out.words.push_back({Opcode::Head, p_.head_operand(st.target, count)});
+    out.words.insert(out.words.end(), body.begin(), body.end());
+  } else {
+    out.words.push_back({Opcode::Head, p_.head_operand(st.target, esc)});
+    out.words.insert(out.words.end(), body.begin(), body.end());
+    out.words.push_back({Opcode::Single, static_cast<std::uint32_t>(p_.m)});
+  }
+  return out;
+}
+
+int SliceEncoder::cost(const TernaryVector& slice) const {
+  if (static_cast<int>(slice.size()) != p_.m)
+    throw std::invalid_argument("SliceEncoder: slice width mismatch");
+  const SliceStats st = analyze(slice);
+  int body = 0;
+  std::size_t i = 0;
+  while (i < st.target_positions.size()) {
+    const int g = st.target_positions[i] / p_.k;
+    std::size_t j = i;
+    while (j < st.target_positions.size() &&
+           st.target_positions[j] / p_.k == g)
+      ++j;
+    body += opts_.enable_group_copy
+                ? static_cast<int>(std::min<std::size_t>(j - i, 2))
+                : static_cast<int>(j - i);
+    i = j;
+  }
+  return 1 + body + (body >= p_.escape_count() ? 1 : 0);
+}
+
+}  // namespace soctest

@@ -1,0 +1,54 @@
+// SliceEncoder: encodes one m-bit ternary scan slice into codewords.
+//
+// Per slice (DESIGN.md Section 5):
+//   1. the target symbol t is the minority value among the slice's care
+//      bits (ties -> 1, matching the paper's example where the rarer 1 is
+//      targeted); X bits -- including wrapper idle bits -- take the fill
+//      value, the complement of t;
+//   2. a slice with no target bits costs a single Head codeword with the
+//      empty flag set;
+//   3. otherwise each k-bit group is emitted either as one Single per target
+//      bit (single-bit-mode) or as a Group/Data pair (group-copy-mode),
+//      whichever is fewer codewords (copy wins at >= 3 targets);
+//   4. an END marker (Single with operand m) closes the slice.
+#pragma once
+
+#include <vector>
+
+#include "bitvec/ternary_vector.hpp"
+#include "codec/codeword.hpp"
+
+namespace soctest {
+
+struct EncodedSlice {
+  std::vector<Codeword> words;
+  bool target_symbol = false;  // t
+  bool fill_symbol = false;    // !t; what X positions will hold after expand
+};
+
+struct SliceEncoderOptions {
+  /// Disable group-copy-mode (ablation: single-bit-mode only, as if the
+  /// scheme lacked its second coding mode).
+  bool enable_group_copy = true;
+};
+
+class SliceEncoder {
+ public:
+  explicit SliceEncoder(const CodecParams& params,
+                        const SliceEncoderOptions& options = {})
+      : p_(params), opts_(options) {}
+
+  /// Encodes `slice` (size must equal m).
+  EncodedSlice encode(const TernaryVector& slice) const;
+
+  /// Number of codewords encode() would emit, without building them.
+  int cost(const TernaryVector& slice) const;
+
+  const CodecParams& params() const { return p_; }
+
+ private:
+  CodecParams p_;
+  SliceEncoderOptions opts_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,92 @@
+#include "codec/sparse_cost.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "bitvec/bit_util.hpp"
+
+namespace soctest {
+
+SparseCostResult sparse_stream_cost(const SliceMap& map,
+                                    const TestCubeSet& cubes,
+                                    const SliceEncoderOptions& options) {
+  const int k = operand_width_for_chains(map.num_chains());
+  const std::int64_t escape = (std::int64_t{1} << (k - 1)) - 1;
+  SparseCostResult r;
+
+  // One entry per care bit: (slice, chain, value) packed for a single sort.
+  // Chains fit in 20 bits (max_wrapper_chains caps at 2^16).
+  std::vector<std::uint64_t> keys;
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    const std::vector<CareBit>& bits = cubes.pattern(p);
+    keys.clear();
+    keys.reserve(bits.size());
+    for (const CareBit& b : bits) {
+      const std::uint64_t slice = map.slice_of_cell(b.cell);
+      const std::uint64_t chain = map.chain_of_cell(b.cell);
+      keys.push_back((slice << 21) | (chain << 1) | (b.value ? 1u : 0u));
+    }
+    std::sort(keys.begin(), keys.end());
+
+    std::int64_t pattern_touched = 0;
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      const std::uint64_t slice = keys[i] >> 21;
+      std::size_t j = i;
+      int c1 = 0;
+      while (j < keys.size() && (keys[j] >> 21) == slice) {
+        c1 += static_cast<int>(keys[j] & 1u);
+        ++j;
+      }
+      const int care = static_cast<int>(j - i);
+      const int c0 = care - c1;
+      const bool target = c1 <= c0;  // minority; tie -> 1 (SliceEncoder rule)
+      const int n_targets = target ? c1 : c0;
+
+      ++pattern_touched;
+      if (n_targets == 0) {
+        r.total_codewords += 1;  // Head with body count 0
+      } else {
+        std::int64_t body = 0;
+        // Targets within the slice, grouped by chain / k. Keys are sorted by
+        // chain within the slice, so groups appear as runs.
+        std::int64_t run_group = -1;
+        int run_count = 0;
+        const auto flush_run = [&] {
+          if (run_count == 0) return;
+          if (options.enable_group_copy && run_count >= 3) {
+            body += 2;
+            ++r.group_copy_pairs;
+          } else {
+            body += run_count;
+            r.single_codewords += run_count;
+          }
+        };
+        for (std::size_t s = i; s < j; ++s) {
+          const bool value = keys[s] & 1u;
+          if (value != target) continue;
+          const std::int64_t chain =
+              static_cast<std::int64_t>((keys[s] >> 1) & 0xFFFFF);
+          const std::int64_t g = chain / k;
+          if (g != run_group) {
+            flush_run();
+            run_group = g;
+            run_count = 0;
+          }
+          ++run_count;
+        }
+        flush_run();
+        // Head + body, plus an END marker when the body count escapes.
+        r.total_codewords += 1 + body + (body >= escape ? 1 : 0);
+      }
+      i = j;
+    }
+    r.touched_slices += pattern_touched;
+    const std::int64_t empty = map.depth() - pattern_touched;
+    r.empty_slices += empty;
+    r.total_codewords += empty;  // one empty-Head each
+  }
+  return r;
+}
+
+}  // namespace soctest

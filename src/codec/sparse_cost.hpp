@@ -1,0 +1,32 @@
+// SparseCostModel: computes the exact selective-encoding codeword count for
+// a whole cube set in O(care-bits log care-bits) time, without materializing
+// any slice. This is what makes exhaustive (w, m) design-space exploration
+// tractable: slices containing no care bit (the vast majority at industrial
+// 1-5% densities, including all idle-bit positions) cost exactly one Head
+// codeword and are only counted, never visited.
+//
+// Guaranteed to agree codeword-for-codeword-count with encode_stream();
+// tests/codec_consistency_test.cpp enforces this.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/slice_encoder.hpp"
+#include "dft/test_cube_set.hpp"
+#include "wrapper/slice_map.hpp"
+
+namespace soctest {
+
+struct SparseCostResult {
+  std::int64_t total_codewords = 0;
+  std::int64_t touched_slices = 0;  // slices with at least one care bit
+  std::int64_t empty_slices = 0;    // all-X slices (1 codeword each)
+  std::int64_t single_codewords = 0;
+  std::int64_t group_copy_pairs = 0;
+};
+
+SparseCostResult sparse_stream_cost(const SliceMap& map,
+                                    const TestCubeSet& cubes,
+                                    const SliceEncoderOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,64 @@
+#include "codec/stream_decoder.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+std::vector<DecodedSlice> StreamDecoder::decode(
+    const std::vector<Codeword>& words) const {
+  std::vector<DecodedSlice> slices;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const Codeword head = words[i++];
+    if (head.opcode != Opcode::Head)
+      throw std::invalid_argument("decode: expected HEAD at slice start");
+    const bool target = head.operand & 1u;
+    const int count = static_cast<int>(head.operand >> 1);
+    const bool escape = count == p_.escape_count();
+    DecodedSlice slice(static_cast<std::size_t>(p_.m), !target);  // fill
+    int remaining = escape ? -1 : count;  // -1: run until END marker
+    while (remaining != 0) {
+      if (i >= words.size())
+        throw std::invalid_argument("decode: truncated slice");
+      const Codeword cw = words[i++];
+      switch (cw.opcode) {
+        case Opcode::Single:
+          if (cw.operand == static_cast<std::uint32_t>(p_.m)) {
+            if (!escape)
+              throw std::invalid_argument(
+                  "decode: END marker outside escape mode");
+            remaining = 0;
+            continue;
+          }
+          if (cw.operand >= static_cast<std::uint32_t>(p_.m))
+            throw std::invalid_argument("decode: SINGLE index out of range");
+          slice[cw.operand] = target;
+          if (remaining > 0) --remaining;
+          break;
+        case Opcode::Group: {
+          const int start = static_cast<int>(cw.operand);
+          if (start % p_.k != 0 || start >= p_.m)
+            throw std::invalid_argument("decode: bad GROUP start");
+          if (remaining == 1)
+            throw std::invalid_argument("decode: GROUP truncated by count");
+          if (i >= words.size() || words[i].opcode != Opcode::Data)
+            throw std::invalid_argument("decode: GROUP without DATA");
+          const std::uint32_t literal = words[i++].operand;
+          const int g = start / p_.k;
+          for (int b = 0; b < p_.group_size(g); ++b)
+            slice[static_cast<std::size_t>(start + b)] = (literal >> b) & 1u;
+          if (remaining > 0) remaining -= 2;  // GROUP + DATA
+          break;
+        }
+        case Opcode::Head:
+          throw std::invalid_argument("decode: HEAD inside slice body");
+        case Opcode::Data:
+          throw std::invalid_argument("decode: DATA without GROUP");
+      }
+    }
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+}  // namespace soctest

@@ -1,0 +1,29 @@
+// StreamDecoder: the software reference for on-chip expansion. Consumes a
+// codeword stream and reproduces the fully specified (binary) slice
+// sequence the decompressor feeds to the m wrapper chains. The
+// cycle-accurate hardware model in src/decomp must agree with this decoder
+// word for word.
+#pragma once
+
+#include <vector>
+
+#include "codec/codeword.hpp"
+
+namespace soctest {
+
+/// One fully expanded slice: m bits, bit i = value driven into chain i.
+using DecodedSlice = std::vector<bool>;
+
+class StreamDecoder {
+ public:
+  explicit StreamDecoder(const CodecParams& params) : p_(params) {}
+
+  /// Decodes the whole stream. Throws std::invalid_argument on protocol
+  /// violations (Data without Group, truncated slice, bad index).
+  std::vector<DecodedSlice> decode(const std::vector<Codeword>& words) const;
+
+ private:
+  CodecParams p_;
+};
+
+}  // namespace soctest

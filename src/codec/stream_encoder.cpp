@@ -1,0 +1,22 @@
+#include "codec/stream_encoder.hpp"
+
+namespace soctest {
+
+EncodedStream encode_stream(const SliceMap& map, const TestCubeSet& cubes) {
+  EncodedStream out;
+  out.params = CodecParams::for_chains(map.num_chains());
+  out.patterns = cubes.num_patterns();
+  out.slices_per_pattern = map.depth();
+
+  const SliceEncoder enc(out.params);
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    const std::vector<TernaryVector> slices = map.slices_of_pattern(cubes, p);
+    for (const TernaryVector& slice : slices) {
+      const EncodedSlice es = enc.encode(slice);
+      out.words.insert(out.words.end(), es.words.begin(), es.words.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace soctest

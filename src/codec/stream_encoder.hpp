@@ -1,0 +1,33 @@
+// StreamEncoder: encodes a core's full test-cube set, pattern by pattern and
+// slice by slice, into one selective-encoding codeword stream ready for ATE
+// storage. Materializes every slice; use SparseCostModel when only the
+// codeword count is needed (design-space exploration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codeword.hpp"
+#include "codec/slice_encoder.hpp"
+#include "dft/test_cube_set.hpp"
+#include "wrapper/slice_map.hpp"
+
+namespace soctest {
+
+struct EncodedStream {
+  CodecParams params;
+  std::vector<Codeword> words;
+  int patterns = 0;
+  int slices_per_pattern = 0;
+
+  std::int64_t codeword_count() const {
+    return static_cast<std::int64_t>(words.size());
+  }
+  /// Compressed data volume in bits (codewords * w).
+  std::int64_t compressed_bits() const { return codeword_count() * params.w; }
+};
+
+/// Encodes all patterns of `cubes` through the wrapper geometry of `map`.
+EncodedStream encode_stream(const SliceMap& map, const TestCubeSet& cubes);
+
+}  // namespace soctest

@@ -1,0 +1,27 @@
+#include "decomp/area_model.hpp"
+
+namespace soctest {
+
+DecompressorArea decompressor_area(const CodecParams& params) {
+  DecompressorArea a;
+  // Controller: 5 FFs + 23 gates (paper's synthesis result).
+  // Datapath FFs: m-bit slice register, w-bit input register, k-bit group
+  // base latch, 1 target-symbol latch.
+  a.flip_flops = 5 + params.m + params.w + params.k + 1;
+  // Datapath gates: operand decoder (~k per decoded control), group steering
+  // (one mux-enable per group), set/fill logic amortized over the slice
+  // register (~m/8 gate-equivalents of fan-out buffering).
+  a.gates = 23 + 4 * params.k + params.num_groups() + params.m / 8;
+  return a;
+}
+
+double area_overhead_fraction(const DecompressorArea& per_instance,
+                              int num_decompressors,
+                              std::int64_t design_gates) {
+  if (design_gates <= 0) return 0.0;
+  const double ge =
+      static_cast<double>(per_instance.gates) + 4.0 * per_instance.flip_flops;
+  return ge * num_decompressors / static_cast<double>(design_gates);
+}
+
+}  // namespace soctest

@@ -1,0 +1,32 @@
+// Decompressor hardware-cost model.
+//
+// The paper (Section 3, step 2) reports for the selective-encoding
+// decompressor: a synthesized controller of 5 flip-flops and 23
+// combinational gates, plus w/m-dependent datapath logic; one synthesized
+// instance contained 69 gates and 1035 flip-flops, amounting to ~1% area on
+// million-gate designs. This parametric model is calibrated to those
+// anchors: the flip-flop count is dominated by the m-bit slice register and
+// the gate count by the operand decoder and group-copy steering.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/codeword.hpp"
+
+namespace soctest {
+
+struct DecompressorArea {
+  int flip_flops = 0;
+  int gates = 0;
+};
+
+/// Area of one decompressor with the given geometry.
+DecompressorArea decompressor_area(const CodecParams& params);
+
+/// Area overhead of `num_decompressors` instances relative to a design of
+/// `design_gates` gates (flip-flops weighted as gate-equivalents of 4).
+double area_overhead_fraction(const DecompressorArea& per_instance,
+                              int num_decompressors,
+                              std::int64_t design_gates);
+
+}  // namespace soctest

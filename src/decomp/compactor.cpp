@@ -1,0 +1,45 @@
+#include "decomp/compactor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bitvec/bit_util.hpp"
+
+namespace soctest {
+
+int CompactorSpec::fan_in() const {
+  return static_cast<int>(ceil_div(inputs, outputs));
+}
+
+int CompactorSpec::xor_gates() const {
+  // Each output's XOR tree over f inputs needs f-1 XOR2 gates; totals to
+  // m - q over the forest.
+  return inputs - outputs;
+}
+
+int CompactorSpec::mask_cells() const { return inputs; }
+
+void CompactorSpec::validate() const {
+  if (inputs < 1 || outputs < 1)
+    throw std::invalid_argument("CompactorSpec: non-positive sizes");
+  if (outputs >= inputs)
+    throw std::invalid_argument("CompactorSpec: needs q < m");
+}
+
+double x_block_probability(const CompactorSpec& spec, double x_density) {
+  spec.validate();
+  if (x_density < 0.0 || x_density > 1.0)
+    throw std::invalid_argument("x_block_probability: bad density");
+  return 1.0 - std::pow(1.0 - x_density, spec.fan_in());
+}
+
+double observed_fraction(const CompactorSpec& spec, double x_density,
+                         bool with_masking, double mask_efficiency) {
+  const double blocked = x_block_probability(spec, x_density);
+  if (!with_masking) return 1.0 - blocked;
+  if (mask_efficiency < 0.0 || mask_efficiency > 1.0)
+    throw std::invalid_argument("observed_fraction: bad mask efficiency");
+  return 1.0 - blocked * (1.0 - mask_efficiency);
+}
+
+}  // namespace soctest

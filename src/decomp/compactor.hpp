@@ -1,0 +1,39 @@
+// Space-compactor model for the response side (the "Compactor (optional)"
+// box of the paper's Figure 1). Responses themselves are outside the
+// planning problem (paper, Section 1), so this models the *structure*: an
+// XOR tree compacting m wrapper-chain outputs into q pins, its hardware
+// cost, and the classic X-blocking analysis — an unknown (X) response bit
+// corrupts its XOR output, which X-masking cells mitigate.
+#pragma once
+
+#include <cstdint>
+
+namespace soctest {
+
+struct CompactorSpec {
+  int inputs = 0;   // m wrapper-chain outputs
+  int outputs = 0;  // q compacted pins (q < m)
+
+  /// Chains feeding one output (ceil(m/q)).
+  int fan_in() const;
+  /// XOR2 gates of the forest.
+  int xor_gates() const;
+  /// Mask flip-flops when per-chain X-masking is added.
+  int mask_cells() const;
+
+  void validate() const;  // throws on q >= m or non-positive sizes
+};
+
+/// Probability that a given compactor output is corrupted in one cycle,
+/// when each chain bit is X independently with probability x_density:
+///   1 - (1 - x)^fan_in.
+double x_block_probability(const CompactorSpec& spec, double x_density);
+
+/// Expected fraction of response bits observed (not X-blocked) over a
+/// test, with and without masking. With per-chain masking an output is
+/// observed unless *all* its unmasked inputs are X... modeled as: masking
+/// recovers a fraction `mask_efficiency` of otherwise-blocked cycles.
+double observed_fraction(const CompactorSpec& spec, double x_density,
+                         bool with_masking, double mask_efficiency = 0.9);
+
+}  // namespace soctest

@@ -1,0 +1,90 @@
+#include "decomp/decompressor_model.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+DecompressorModel::DecompressorModel(const CodecParams& params)
+    : p_(params), slice_reg_(static_cast<std::size_t>(params.m), false) {}
+
+void DecompressorModel::emit() {
+  emitted_.push_back(slice_reg_);
+  state_ = State::ExpectHead;
+}
+
+void DecompressorModel::clock(std::uint32_t tam_word) {
+  ++cycles_;
+  const Codeword cw = unpack(tam_word, p_);
+  switch (state_) {
+    case State::ExpectHead: {
+      if (cw.opcode != Opcode::Head)
+        throw std::invalid_argument("decompressor: expected HEAD");
+      target_ = cw.operand & 1u;
+      const int count = static_cast<int>(cw.operand >> 1);
+      escape_ = count == p_.escape_count();
+      remaining_ = escape_ ? -1 : count;
+      slice_reg_.assign(static_cast<std::size_t>(p_.m), !target_);
+      if (remaining_ == 0)
+        emit();
+      else
+        state_ = State::InSlice;
+      break;
+    }
+    case State::InSlice:
+      switch (cw.opcode) {
+        case Opcode::Single:
+          if (cw.operand == static_cast<std::uint32_t>(p_.m)) {
+            if (!escape_)
+              throw std::invalid_argument(
+                  "decompressor: END outside escape mode");
+            emit();
+          } else if (cw.operand < static_cast<std::uint32_t>(p_.m)) {
+            slice_reg_[cw.operand] = target_;
+            if (remaining_ > 0 && --remaining_ == 0) emit();
+          } else {
+            throw std::invalid_argument("decompressor: bad SINGLE index");
+          }
+          break;
+        case Opcode::Group:
+          if (cw.operand % static_cast<std::uint32_t>(p_.k) != 0 ||
+              cw.operand >= static_cast<std::uint32_t>(p_.m))
+            throw std::invalid_argument("decompressor: bad GROUP base");
+          if (remaining_ == 1)
+            throw std::invalid_argument(
+                "decompressor: GROUP truncated by HEAD count");
+          group_base_ = static_cast<int>(cw.operand);
+          state_ = State::ExpectData;
+          break;
+        default:
+          throw std::invalid_argument("decompressor: bad opcode in slice");
+      }
+      break;
+    case State::ExpectData: {
+      if (cw.opcode != Opcode::Data)
+        throw std::invalid_argument("decompressor: expected DATA");
+      const int g = group_base_ / p_.k;
+      for (int b = 0; b < p_.group_size(g); ++b)
+        slice_reg_[static_cast<std::size_t>(group_base_ + b)] =
+            (cw.operand >> b) & 1u;
+      state_ = State::InSlice;
+      if (remaining_ > 0) {
+        remaining_ -= 2;
+        if (remaining_ == 0) emit();
+      }
+      break;
+    }
+  }
+}
+
+std::vector<std::vector<bool>> DecompressorModel::run(
+    const std::vector<Codeword>& words) {
+  state_ = State::ExpectHead;
+  emitted_.clear();
+  cycles_ = 0;
+  for (const Codeword& cw : words) clock(pack(cw, p_));
+  if (!idle())
+    throw std::invalid_argument("decompressor: stream ended mid-slice");
+  return emitted_;
+}
+
+}  // namespace soctest

@@ -1,0 +1,69 @@
+// DecompressorModel: a cycle-accurate behavioural model of the on-chip
+// selective-encoding decompressor that sits between the TAM and a core's
+// wrapper (paper Figure 1).
+//
+// Per ATE clock cycle the model consumes one packed w-bit word from the TAM
+// and updates a small FSM:
+//
+//   ExpectHead -> (Head)   latch target symbol and body count, clear the
+//                          slice register to fill; count 0 -> emit slice,
+//                          stay in ExpectHead; else -> InSlice. The escape
+//                          count selects END-terminated mode instead.
+//   InSlice    -> (Single idx<m)  set slice bit, decrement count
+//              -> (Single idx==m) END (escape mode): emit -> ExpectHead
+//              -> (Group)         latch group base -> ExpectData
+//   ExpectData -> (Data)          copy literal into group, decrement count
+//                                 by two -> InSlice
+//   count reaching zero emits the slice and returns to ExpectHead.
+//
+// Emitted slices are shifted into the m wrapper chains (one shift per
+// emission). The model asserts stream well-formedness exactly like
+// StreamDecoder, and its cycle count equals the number of codewords -- the
+// identity the compressed-time model relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codeword.hpp"
+
+namespace soctest {
+
+class DecompressorModel {
+ public:
+  explicit DecompressorModel(const CodecParams& params);
+
+  /// Feeds one packed w-bit TAM word; advances one clock cycle.
+  void clock(std::uint32_t tam_word);
+
+  /// True when the FSM is between slices (safe to stop the stream).
+  bool idle() const { return state_ == State::ExpectHead; }
+
+  std::int64_t cycles() const { return cycles_; }
+  std::int64_t slices_emitted() const {
+    return static_cast<std::int64_t>(emitted_.size());
+  }
+  const std::vector<std::vector<bool>>& emitted_slices() const {
+    return emitted_;
+  }
+
+  /// Runs a whole stream from reset; returns the emitted slice sequence.
+  std::vector<std::vector<bool>> run(const std::vector<Codeword>& words);
+
+ private:
+  enum class State { ExpectHead, InSlice, ExpectData };
+
+  void emit();
+
+  CodecParams p_;
+  State state_ = State::ExpectHead;
+  bool target_ = false;
+  bool escape_ = false;
+  int remaining_ = 0;  // body codewords left; -1 in escape mode
+  int group_base_ = 0;
+  std::vector<bool> slice_reg_;
+  std::vector<std::vector<bool>> emitted_;
+  std::int64_t cycles_ = 0;
+};
+
+}  // namespace soctest

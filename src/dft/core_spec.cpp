@@ -1,0 +1,52 @@
+#include "dft/core_spec.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+
+std::int64_t CoreSpec::total_scan_cells() const {
+  if (flexible_scan) return flexible_scan_cells;
+  return std::accumulate(scan_chain_lengths.begin(), scan_chain_lengths.end(),
+                         std::int64_t{0});
+}
+
+std::int64_t CoreSpec::stimulus_bits_per_pattern() const {
+  return num_inputs + total_scan_cells();
+}
+
+std::int64_t CoreSpec::initial_data_volume_bits() const {
+  return stimulus_bits_per_pattern() * num_patterns;
+}
+
+int CoreSpec::max_wrapper_chains() const {
+  std::int64_t bound;
+  if (flexible_scan) {
+    bound = flexible_scan_cells + num_inputs;
+  } else {
+    bound = static_cast<std::int64_t>(scan_chain_lengths.size()) + num_inputs;
+  }
+  if (bound < 1) bound = 1;  // combinational core: one chain of input cells
+  return static_cast<int>(std::min<std::int64_t>(bound, 1 << 16));
+}
+
+void CoreSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("CoreSpec: empty name");
+  if (num_inputs < 0 || num_outputs < 0 || num_patterns < 0)
+    throw std::invalid_argument("CoreSpec: negative count");
+  if (flexible_scan) {
+    if (flexible_scan_cells < 0)
+      throw std::invalid_argument("CoreSpec: negative flexible cell count");
+    if (!scan_chain_lengths.empty())
+      throw std::invalid_argument(
+          "CoreSpec: flexible core must not list fixed chains");
+  } else {
+    for (int len : scan_chain_lengths)
+      if (len <= 0)
+        throw std::invalid_argument("CoreSpec: non-positive chain length");
+  }
+  if (stimulus_bits_per_pattern() == 0 && num_patterns > 0)
+    throw std::invalid_argument("CoreSpec: patterns but no stimulus cells");
+}
+
+}  // namespace soctest

@@ -1,0 +1,51 @@
+// CoreSpec: the structural description of one wrapped core, as consumed by
+// wrapper design, compression and test planning. Mirrors the information the
+// ITC'02 SOC benchmark format provides per module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+struct CoreSpec {
+  std::string name;
+
+  /// Functional terminals; each becomes one wrapper input/output cell.
+  int num_inputs = 0;
+  int num_outputs = 0;
+
+  /// Internal scan-chain lengths (fixed-scan cores, e.g. ISCAS).
+  std::vector<int> scan_chain_lengths;
+
+  /// Industrial cores whose scan cells can be re-stitched into any number of
+  /// balanced chains (the usual assumption for cores with embedded
+  /// compression). When true, `flexible_scan_cells` holds the cell count and
+  /// `scan_chain_lengths` is ignored.
+  bool flexible_scan = false;
+  std::int64_t flexible_scan_cells = 0;
+
+  int num_patterns = 0;
+
+  std::int64_t total_scan_cells() const;
+
+  /// Stimulus bits per pattern = wrapper input cells + scan cells. Test
+  /// responses are compacted on-chip and are outside the planning problem
+  /// (paper, Section 1).
+  std::int64_t stimulus_bits_per_pattern() const;
+
+  /// Uncompressed stimulus volume for the whole pattern set, in bits.
+  std::int64_t initial_data_volume_bits() const;
+
+  /// Upper bound on useful wrapper-chain count: one chain per scannable
+  /// element group. Fixed-scan cores cannot split a scan chain, so the bound
+  /// is #chains + #input cells; flexible cores are bounded by cell count.
+  int max_wrapper_chains() const;
+
+  /// Validates invariants (non-negative sizes, flexible/fixed consistency).
+  /// Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+}  // namespace soctest

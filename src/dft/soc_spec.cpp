@@ -1,0 +1,29 @@
+#include "dft/soc_spec.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+void CoreUnderTest::validate() const {
+  spec.validate();
+  if (cubes.num_cells() != spec.stimulus_bits_per_pattern())
+    throw std::invalid_argument("CoreUnderTest: cube cell count mismatch for " +
+                                spec.name);
+  if (cubes.num_patterns() != spec.num_patterns)
+    throw std::invalid_argument("CoreUnderTest: pattern count mismatch for " +
+                                spec.name);
+}
+
+std::int64_t SocSpec::initial_data_volume_bits() const {
+  std::int64_t v = 0;
+  for (const auto& c : cores) v += c.spec.initial_data_volume_bits();
+  return v;
+}
+
+void SocSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("SocSpec: empty name");
+  if (cores.empty()) throw std::invalid_argument("SocSpec: no cores");
+  for (const auto& c : cores) c.validate();
+}
+
+}  // namespace soctest

@@ -1,0 +1,39 @@
+// SocSpec: a system-on-chip as seen by the test planner — a named set of
+// wrapped cores, each with its structural description and its test cubes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dft/core_spec.hpp"
+#include "dft/test_cube_set.hpp"
+
+namespace soctest {
+
+struct CoreUnderTest {
+  CoreSpec spec;
+  TestCubeSet cubes;
+
+  /// Consistency between spec and cubes (cell count, pattern count).
+  void validate() const;
+};
+
+struct SocSpec {
+  std::string name;
+  std::vector<CoreUnderTest> cores;
+
+  int num_cores() const { return static_cast<int>(cores.size()); }
+
+  /// Sum of the cores' uncompressed stimulus volumes, in bits. This is the
+  /// "initial given test data volume V_i" of the paper's Table 3.
+  std::int64_t initial_data_volume_bits() const;
+
+  /// Approximate logic size, used only for reporting (Table 3 column 2).
+  std::int64_t approx_gate_count = 0;
+  std::int64_t approx_latch_count = 0;
+
+  void validate() const;
+};
+
+}  // namespace soctest

@@ -1,0 +1,61 @@
+#include "dft/test_cube_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soctest {
+
+void TestCubeSet::add_pattern(std::vector<CareBit> care_bits) {
+  std::sort(care_bits.begin(), care_bits.end(),
+            [](const CareBit& a, const CareBit& b) { return a.cell < b.cell; });
+  for (std::size_t i = 0; i < care_bits.size(); ++i) {
+    if (care_bits[i].cell >= static_cast<std::uint64_t>(num_cells_))
+      throw std::invalid_argument("TestCubeSet: care bit out of range");
+    if (i > 0 && care_bits[i].cell == care_bits[i - 1].cell)
+      throw std::invalid_argument("TestCubeSet: duplicate care bit");
+  }
+  patterns_.push_back(std::move(care_bits));
+}
+
+void TestCubeSet::add_pattern(const TernaryVector& cube) {
+  if (static_cast<std::int64_t>(cube.size()) != num_cells_)
+    throw std::invalid_argument("TestCubeSet: cube size mismatch");
+  std::vector<CareBit> bits;
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    const Trit t = cube.get(i);
+    if (t != Trit::X)
+      bits.push_back({static_cast<std::uint32_t>(i), t == Trit::One});
+  }
+  patterns_.push_back(std::move(bits));
+}
+
+TernaryVector TestCubeSet::expand(int p) const {
+  TernaryVector v(static_cast<std::size_t>(num_cells_));
+  for (const CareBit& b : patterns_.at(p))
+    v.set(b.cell, b.value ? Trit::One : Trit::Zero);
+  return v;
+}
+
+std::int64_t TestCubeSet::total_care_bits() const {
+  std::int64_t n = 0;
+  for (const auto& p : patterns_) n += static_cast<std::int64_t>(p.size());
+  return n;
+}
+
+double TestCubeSet::care_bit_density() const {
+  const std::int64_t denom = num_cells_ * num_patterns();
+  if (denom == 0) return 0.0;
+  return static_cast<double>(total_care_bits()) / static_cast<double>(denom);
+}
+
+double TestCubeSet::one_fraction() const {
+  std::int64_t care = 0, ones = 0;
+  for (const auto& p : patterns_)
+    for (const CareBit& b : p) {
+      ++care;
+      ones += b.value ? 1 : 0;
+    }
+  return care == 0 ? 0.0 : static_cast<double>(ones) / static_cast<double>(care);
+}
+
+}  // namespace soctest

@@ -1,0 +1,61 @@
+// TestCubeSet: the (typically very sparse) set of test cubes for one core.
+//
+// A test cube assigns 0/1 to a small fraction of the core's stimulus cells
+// (care bits) and leaves the rest as X. Industrial cores have care-bit
+// densities of 1-5% (paper, Section 4), so cubes are stored sparsely: per
+// pattern, a sorted vector of (cell, value) pairs. Cell indices follow the
+// canonical stimulus order:
+//
+//   [0, num_inputs)                      wrapper input cells
+//   [num_inputs, num_inputs + S)         scan cells, chain by chain, in scan
+//                                        order (cell shifted in first = the
+//                                        deepest cell = lowest index within
+//                                        its chain)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/ternary_vector.hpp"
+
+namespace soctest {
+
+struct CareBit {
+  std::uint32_t cell = 0;
+  bool value = false;
+
+  friend bool operator==(const CareBit&, const CareBit&) = default;
+};
+
+class TestCubeSet {
+ public:
+  TestCubeSet() = default;
+  explicit TestCubeSet(std::int64_t num_cells) : num_cells_(num_cells) {}
+
+  std::int64_t num_cells() const { return num_cells_; }
+  int num_patterns() const { return static_cast<int>(patterns_.size()); }
+
+  /// Appends a pattern; care bits need not be sorted (they will be).
+  /// Throws std::invalid_argument on out-of-range cells or duplicates.
+  void add_pattern(std::vector<CareBit> care_bits);
+
+  /// Appends a pattern given as a full ternary vector of length num_cells().
+  void add_pattern(const TernaryVector& cube);
+
+  const std::vector<CareBit>& pattern(int p) const { return patterns_.at(p); }
+
+  /// Expands pattern p to a full ternary vector (X where unspecified).
+  TernaryVector expand(int p) const;
+
+  std::int64_t total_care_bits() const;
+  /// Care bits / (cells * patterns); 0 for empty sets.
+  double care_bit_density() const;
+  /// Fraction of care bits that are 1.
+  double one_fraction() const;
+
+ private:
+  std::int64_t num_cells_ = 0;
+  std::vector<std::vector<CareBit>> patterns_;
+};
+
+}  // namespace soctest

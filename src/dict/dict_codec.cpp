@@ -1,0 +1,177 @@
+#include "dict/dict_codec.hpp"
+
+#include <stdexcept>
+
+#include "bitvec/bit_util.hpp"
+
+namespace soctest {
+
+DictParams DictParams::make(int m, int entries) {
+  if (m < 1) throw std::invalid_argument("DictParams: m < 1");
+  if (entries < 2 || (entries & (entries - 1)) != 0)
+    throw std::invalid_argument("DictParams: entries must be a power of two");
+  DictParams p;
+  p.m = m;
+  p.entries = entries;
+  return p;
+}
+
+int DictParams::index_bits() const { return ceil_log2(entries); }
+int DictParams::codeword_width() const { return 1 + index_bits(); }
+int DictParams::literal_cycles() const {
+  return static_cast<int>(ceil_div(1 + m, codeword_width()));
+}
+
+std::vector<bool> Dictionary::ram_entry(int e) const {
+  const TernaryVector& proto = prototypes.at(static_cast<std::size_t>(e));
+  std::vector<bool> bits(proto.size(), false);
+  for (std::size_t i = 0; i < proto.size(); ++i)
+    bits[i] = proto.get(i) == Trit::One;
+  return bits;
+}
+
+namespace {
+
+/// Finds a compatible prototype (first fit) or -1. Used while building:
+/// compatible slices can still be merged in.
+int find_compatible(const Dictionary& dict, const TernaryVector& slice) {
+  for (std::size_t e = 0; e < dict.prototypes.size(); ++e)
+    if (dict.prototypes[e].compatible_with(slice)) return static_cast<int>(e);
+  return -1;
+}
+
+/// Finds a prototype that COVERS the slice (every care bit specified with
+/// the same value) or -1. Required at encode time: the RAM ships the
+/// prototype's bits, so mere compatibility is not enough — an uncovered
+/// care bit would be driven by the prototype's 0-fill.
+int find_covering(const Dictionary& dict, const TernaryVector& slice) {
+  for (std::size_t e = 0; e < dict.prototypes.size(); ++e)
+    if (slice.covered_by(dict.prototypes[e])) return static_cast<int>(e);
+  return -1;
+}
+
+}  // namespace
+
+Dictionary build_dictionary(const SliceMap& map, const TestCubeSet& cubes,
+                            int entries) {
+  Dictionary dict;
+  dict.params = DictParams::make(map.num_chains(), entries);
+  // Entry 0 is all-X so idle/empty slices always match.
+  dict.prototypes.push_back(
+      TernaryVector(static_cast<std::size_t>(map.num_chains())));
+
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    for (const TernaryVector& slice : map.slices_of_pattern(cubes, p)) {
+      if (slice.count_care() == 0) continue;  // matches entry 0 already
+      const int e = find_compatible(dict, slice);
+      if (e >= 0) {
+        dict.prototypes[static_cast<std::size_t>(e)].merge_with(slice);
+      } else if (static_cast<int>(dict.prototypes.size()) <
+                 dict.params.entries) {
+        dict.prototypes.push_back(slice);
+      }
+    }
+  }
+  return dict;
+}
+
+DictCost dict_cost(const SliceMap& map, const TestCubeSet& cubes,
+                   const Dictionary& dict) {
+  DictCost cost;
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    for (const TernaryVector& slice : map.slices_of_pattern(cubes, p)) {
+      if (find_covering(dict, slice) >= 0) {
+        ++cost.matched_slices;
+        cost.total_cycles += 1;
+      } else {
+        ++cost.literal_slices;
+        cost.total_cycles += dict.params.literal_cycles();
+      }
+    }
+  }
+  cost.total_bits = cost.total_cycles * dict.params.codeword_width();
+  return cost;
+}
+
+DictStream dict_encode(const SliceMap& map, const TestCubeSet& cubes,
+                       const Dictionary& dict) {
+  DictStream s;
+  s.params = dict.params;
+  s.patterns = cubes.num_patterns();
+  s.slices_per_pattern = map.depth();
+  const int wd = dict.params.codeword_width();
+
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    for (const TernaryVector& slice : map.slices_of_pattern(cubes, p)) {
+      const int e = find_covering(dict, slice);
+      if (e >= 0) {
+        // Flag 1 in the serial-first bit 0, index above it.
+        s.words.push_back((static_cast<std::uint32_t>(e) << 1) | 1u);
+      } else {
+        // Flag 0 word, then the raw slice bits packed wd per cycle
+        // (X positions ship as 0).
+        std::vector<bool> raw;
+        raw.reserve(slice.size() + 1);
+        for (std::size_t i = 0; i < slice.size(); ++i)
+          raw.push_back(slice.get(i) == Trit::One);
+        std::uint32_t word = 0;  // flag 0 occupies the first serial bit
+        int filled = 1;
+        for (bool bit : raw) {
+          if (bit) word |= std::uint32_t{1} << filled;
+          if (++filled == wd) {
+            s.words.push_back(word);
+            word = 0;
+            filled = 0;
+          }
+        }
+        if (filled != 0) s.words.push_back(word);
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<std::vector<bool>> dict_decode(const DictStream& stream,
+                                           const Dictionary& dict) {
+  const int wd = stream.params.codeword_width();
+  const int m = stream.params.m;
+  std::vector<std::vector<bool>> slices;
+  std::size_t i = 0;
+  while (i < stream.words.size()) {
+    const std::uint32_t first = stream.words[i++];
+    if (first & 1u) {
+      const std::uint32_t index = first >> 1;
+      if (index >= dict.prototypes.size())
+        throw std::invalid_argument("dict_decode: index beyond dictionary");
+      slices.push_back(dict.ram_entry(static_cast<int>(index)));
+    } else {
+      std::vector<bool> slice;
+      slice.reserve(static_cast<std::size_t>(m));
+      std::uint32_t word = first;
+      int consumed = 1;  // the flag bit
+      while (static_cast<int>(slice.size()) < m) {
+        if (consumed == wd) {
+          if (i >= stream.words.size())
+            throw std::invalid_argument("dict_decode: truncated literal");
+          word = stream.words[i++];
+          consumed = 0;
+        }
+        slice.push_back((word >> consumed) & 1u);
+        ++consumed;
+      }
+      slices.push_back(std::move(slice));
+    }
+  }
+  return slices;
+}
+
+DictArea dict_area(const DictParams& params) {
+  DictArea a;
+  // Output register + index latch + serial-assembly counter + control.
+  a.flip_flops = params.m + params.index_bits() + 6 + params.codeword_width();
+  a.gates = 30 + params.m / 4 + 4 * params.index_bits();
+  a.ram_bits = static_cast<std::int64_t>(params.entries) * params.m;
+  return a;
+}
+
+}  // namespace soctest

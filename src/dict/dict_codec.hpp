@@ -1,0 +1,86 @@
+// Dictionary-based scan-slice compression, after Li & Chakrabarty ("Test
+// Data Compression Using Dictionaries with Fixed-Length Indices"; listed in
+// the paper's related work). This is the second core-level compression
+// technique of the library: combined with selective encoding it enables
+// the per-core *compression technique selection* of the authors' follow-up
+// work (Larsson/Zhang/Larsson/Chakrabarty, ATS 2008).
+//
+// Scheme: an on-chip RAM holds D fully-specified m-bit slices. Each test
+// slice is transmitted either as a dictionary index (1 cycle: flag bit 1 +
+// ceil(log2 D) index bits) or as a literal (flag bit 0 followed by the raw
+// m bits, serialized over the same w_d = 1 + ceil(log2 D) wires). The
+// dictionary is chosen greedily by merging ternary-compatible slices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/ternary_vector.hpp"
+#include "dft/test_cube_set.hpp"
+#include "wrapper/slice_map.hpp"
+
+namespace soctest {
+
+struct DictParams {
+  int m = 0;             // slice width = wrapper chains
+  int entries = 0;       // dictionary size D (power of two)
+
+  static DictParams make(int m, int entries);
+
+  int index_bits() const;
+  /// TAM wires: one flag bit plus the index.
+  int codeword_width() const;
+  /// ATE cycles to ship one literal slice (flag + m raw bits).
+  int literal_cycles() const;
+};
+
+struct Dictionary {
+  DictParams params;
+  /// Merged ternary prototypes; hardware programs X positions to 0.
+  std::vector<TernaryVector> prototypes;
+
+  /// Fully specified RAM content for entry e (X -> 0).
+  std::vector<bool> ram_entry(int e) const;
+};
+
+/// Greedy dictionary construction over all slices of the cube set:
+/// first-fit merge into a compatible prototype, new entry while room.
+Dictionary build_dictionary(const SliceMap& map, const TestCubeSet& cubes,
+                            int entries);
+
+struct DictCost {
+  std::int64_t matched_slices = 0;
+  std::int64_t literal_slices = 0;
+  std::int64_t total_cycles = 0;
+  std::int64_t total_bits = 0;  // cycles * codeword_width
+};
+
+/// Exact cost of encoding `cubes` against `dict`.
+DictCost dict_cost(const SliceMap& map, const TestCubeSet& cubes,
+                   const Dictionary& dict);
+
+/// Bit-accurate stream: one w_d-bit word per ATE cycle.
+struct DictStream {
+  DictParams params;
+  std::vector<std::uint32_t> words;
+  int patterns = 0;
+  int slices_per_pattern = 0;
+};
+
+DictStream dict_encode(const SliceMap& map, const TestCubeSet& cubes,
+                       const Dictionary& dict);
+
+/// Decodes a stream back into fully specified slices (the decompressor
+/// reference). Throws std::invalid_argument on truncated input.
+std::vector<std::vector<bool>> dict_decode(const DictStream& stream,
+                                           const Dictionary& dict);
+
+struct DictArea {
+  int flip_flops = 0;
+  int gates = 0;
+  std::int64_t ram_bits = 0;
+};
+
+DictArea dict_area(const DictParams& params);
+
+}  // namespace soctest

@@ -1,0 +1,65 @@
+#include "explore/core_explorer.hpp"
+
+#include <algorithm>
+
+#include "bitvec/bit_util.hpp"
+#include "codec/sparse_cost.hpp"
+#include "wrapper/slice_map.hpp"
+#include "wrapper/time_model.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+
+CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts) {
+  core.validate();
+  CoreTable table(core.spec.name, opts.max_width);
+
+  // Step 1: uncompressed wrapper design for every candidate TAM width.
+  // A core with fewer scannable elements than w simply leaves wires unused.
+  for (int w = 1; w <= opts.max_width; ++w) {
+    const int m = std::min(w, core.spec.max_wrapper_chains());
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    CoreChoice c;
+    c.mode = AccessMode::Direct;
+    c.tam_width = w;
+    c.wires_used = m;
+    c.m = m;
+    c.test_time = uncompressed_test_time(d, core.spec.num_patterns);
+    c.data_volume_bits = uncompressed_data_volume(d, core.spec.num_patterns);
+    table.set_direct(w, c);
+  }
+
+  // Step 2: every decompressor geometry m in [2, cap]. The codeword width
+  // w(m) = ceil(log2(m+1)) + 2 follows from m; geometries whose w exceeds
+  // max_width are still recorded for the sweep plots but never selected.
+  const int m_cap = std::min(opts.max_chains, core.spec.max_wrapper_chains());
+  for (int m = 2; m <= m_cap; ++m) {
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const SliceMap map(d, core.cubes.num_cells());
+    const SparseCostResult cost = sparse_stream_cost(map, core.cubes);
+    SweepPoint pt;
+    pt.m = m;
+    pt.w = codeword_width_for_chains(m);
+    pt.codewords = cost.total_codewords;
+    pt.scan_out = d.scan_out_length;
+    pt.test_time = compressed_test_time(cost.total_codewords,
+                                        d.scan_out_length,
+                                        core.spec.num_patterns);
+    pt.data_volume_bits = cost.total_codewords * pt.w;
+    table.add_sweep_point(pt);
+  }
+
+  table.finalize();
+  return table;
+}
+
+std::vector<CoreTable> explore_soc(const SocSpec& soc,
+                                   const ExploreOptions& opts) {
+  std::vector<CoreTable> tables;
+  tables.reserve(soc.cores.size());
+  for (const CoreUnderTest& c : soc.cores)
+    tables.push_back(explore_core(c, opts));
+  return tables;
+}
+
+}  // namespace soctest

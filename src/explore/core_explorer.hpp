@@ -1,0 +1,25 @@
+// CoreExplorer: runs the per-core design-space exploration — wrapper design
+// for every chain count (step 1) and compression cost for every decompressor
+// geometry (step 2) — producing the CoreTable lookup structure.
+#pragma once
+
+#include "dft/soc_spec.hpp"
+#include "explore/core_table.hpp"
+
+namespace soctest {
+
+struct ExploreOptions {
+  /// Largest TAM/bus width the SOC-level optimizer will ever consider.
+  int max_width = 64;
+  /// Cap on wrapper-chain count m (the paper explores up to 255).
+  int max_chains = 255;
+};
+
+/// Explores one core. Deterministic; cost is O(max_chains * care-bits).
+CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts);
+
+/// Explores every core of a SOC.
+std::vector<CoreTable> explore_soc(const SocSpec& soc,
+                                   const ExploreOptions& opts);
+
+}  // namespace soctest

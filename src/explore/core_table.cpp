@@ -1,0 +1,122 @@
+#include "explore/core_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soctest {
+
+CoreTable::CoreTable(std::string core_name, int max_width)
+    : name_(std::move(core_name)), max_width_(max_width) {
+  if (max_width < 1) throw std::invalid_argument("CoreTable: max_width < 1");
+  direct_.resize(static_cast<std::size_t>(max_width) + 1);
+  exact_compressed_.resize(static_cast<std::size_t>(max_width) + 1);
+  best_.resize(static_cast<std::size_t>(max_width) + 1);
+}
+
+const CoreChoice& CoreTable::best(int w) const {
+  if (w < 1 || w > max_width_)
+    throw std::out_of_range("CoreTable::best: width out of range");
+  return best_[static_cast<std::size_t>(w)];
+}
+
+const CoreChoice& CoreTable::best_compressed_exact(int w) const {
+  if (w < 1 || w > max_width_)
+    throw std::out_of_range("CoreTable::best_compressed_exact: width");
+  return exact_compressed_[static_cast<std::size_t>(w)];
+}
+
+const CoreChoice& CoreTable::direct(int w) const {
+  if (w < 1 || w > max_width_)
+    throw std::out_of_range("CoreTable::direct: width out of range");
+  return direct_[static_cast<std::size_t>(w)];
+}
+
+std::vector<SweepPoint> CoreTable::sweep_at_width(int w) const {
+  std::vector<SweepPoint> out;
+  for (const SweepPoint& pt : sweep_)
+    if (pt.w == w) out.push_back(pt);
+  return out;
+}
+
+const SweepPoint* CoreTable::at_chains(int m) const {
+  // sweep_ is ordered by m; binary search.
+  auto it = std::lower_bound(
+      sweep_.begin(), sweep_.end(), m,
+      [](const SweepPoint& pt, int key) { return pt.m < key; });
+  if (it == sweep_.end() || it->m != m) return nullptr;
+  return &*it;
+}
+
+void CoreTable::add_sweep_point(SweepPoint pt) {
+  if (!sweep_.empty() && pt.m <= sweep_.back().m)
+    throw std::invalid_argument("CoreTable: sweep points must be m-ordered");
+  sweep_.push_back(pt);
+}
+
+void CoreTable::set_direct(int w, CoreChoice c) {
+  direct_.at(static_cast<std::size_t>(w)) = c;
+}
+
+void CoreTable::offer_compressed(int w, CoreChoice c) {
+  if (w < 1 || w > max_width_)
+    throw std::out_of_range("CoreTable::offer_compressed: width");
+  if (c.mode != AccessMode::Compressed || c.m < 1)
+    throw std::invalid_argument("CoreTable::offer_compressed: bad choice");
+  offers_.emplace_back(w, c);
+}
+
+void CoreTable::finalize() {
+  // Exact compressed choice per codeword width.
+  std::fill(exact_compressed_.begin(), exact_compressed_.end(), CoreChoice{});
+  for (const SweepPoint& pt : sweep_) {
+    if (pt.w > max_width_) continue;
+    CoreChoice& slot = exact_compressed_[static_cast<std::size_t>(pt.w)];
+    if (slot.m == 0 || pt.test_time < slot.test_time ||
+        (pt.test_time == slot.test_time &&
+         pt.data_volume_bits < slot.data_volume_bits)) {
+      CoreChoice c;
+      c.mode = AccessMode::Compressed;
+      c.technique = Technique::SelectiveEncoding;
+      c.tam_width = pt.w;
+      c.wires_used = pt.w;
+      c.m = pt.m;
+      c.test_time = pt.test_time;
+      c.data_volume_bits = pt.data_volume_bits;
+      slot = c;
+    }
+  }
+  for (const auto& [w, offer] : offers_) {
+    CoreChoice& slot = exact_compressed_[static_cast<std::size_t>(w)];
+    if (slot.m == 0 || offer.test_time < slot.test_time ||
+        (offer.test_time == slot.test_time &&
+         offer.data_volume_bits < slot.data_volume_bits)) {
+      slot = offer;
+      slot.tam_width = w;
+    }
+  }
+  // Best choice with at most w wires: min(direct(w), compressed(w' <= w)),
+  // then prefix-minimize so best(w) never worsens as w grows.
+  for (int w = 1; w <= max_width_; ++w) {
+    CoreChoice b = direct_[static_cast<std::size_t>(w)];
+    b.tam_width = w;
+    const CoreChoice& c = exact_compressed_[static_cast<std::size_t>(w)];
+    if (c.m != 0 && (c.test_time < b.test_time ||
+                     (c.test_time == b.test_time &&
+                      c.data_volume_bits < b.data_volume_bits))) {
+      b = c;
+      b.tam_width = w;
+    }
+    if (w > 1) {
+      const CoreChoice& prev = best_[static_cast<std::size_t>(w - 1)];
+      if (prev.test_time < b.test_time ||
+          (prev.test_time == b.test_time &&
+           prev.data_volume_bits < b.data_volume_bits)) {
+        b = prev;
+        b.tam_width = w;
+      }
+    }
+    best_[static_cast<std::size_t>(w)] = b;
+  }
+}
+
+}  // namespace soctest

@@ -1,0 +1,88 @@
+// CoreTable: the per-core lookup table the SOC-level optimizer consumes
+// (paper Section 3, steps 1-2). For every decompressor geometry m we record
+// the exact compressed test time and volume; for every TAM width w we record
+// the best achievable choice (compressed with codeword width <= w, or the
+// plain uncompressed wrapper) using at most w wires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+/// How a core is accessed for one candidate width.
+enum class AccessMode { Direct, Compressed };
+
+/// Which compression technique realizes a compressed choice (the paper
+/// uses selective encoding throughout; the Dictionary alternative enables
+/// the follow-up work's per-core technique selection).
+enum class Technique { None, SelectiveEncoding, Dictionary };
+
+struct CoreChoice {
+  AccessMode mode = AccessMode::Direct;
+  Technique technique = Technique::None;
+  int tam_width = 0;    // wires allocated on the bus
+  int wires_used = 0;   // wires actually driven (codec w, or chain count)
+  int m = 0;            // wrapper chains
+  int aux = 0;          // technique-specific (dictionary entry count)
+  std::int64_t test_time = 0;
+  std::int64_t data_volume_bits = 0;
+};
+
+/// One evaluated decompressor geometry (exact, not prefix-minimized) —
+/// the raw material of the paper's Figures 2 and 3.
+struct SweepPoint {
+  int m = 0;
+  int w = 0;  // codeword width for this m
+  std::int64_t codewords = 0;
+  std::int64_t test_time = 0;
+  std::int64_t data_volume_bits = 0;
+  int scan_out = 0;
+};
+
+class CoreTable {
+ public:
+  CoreTable() = default;
+  CoreTable(std::string core_name, int max_width);
+
+  const std::string& core_name() const { return name_; }
+  int max_width() const { return max_width_; }
+
+  /// Best choice using at most `w` wires (prefix-minimized over widths).
+  const CoreChoice& best(int w) const;
+  /// Best *compressed* choice whose codeword width is exactly `w`
+  /// (Figure 3's series); has m == 0 if no geometry exists for that width.
+  const CoreChoice& best_compressed_exact(int w) const;
+  /// Uncompressed wrapper choice at exactly `w` wires.
+  const CoreChoice& direct(int w) const;
+
+  const std::vector<SweepPoint>& sweep() const { return sweep_; }
+  /// Sweep points whose codeword width equals `w` (Figure 2's series).
+  std::vector<SweepPoint> sweep_at_width(int w) const;
+
+  /// Compressed time/volume at exactly m wrapper chains (PerTam baseline);
+  /// returns nullptr if m was not evaluated.
+  const SweepPoint* at_chains(int m) const;
+
+  // Builder interface (used by CoreExplorer).
+  void add_sweep_point(SweepPoint pt);
+  void set_direct(int w, CoreChoice c);
+  /// Offers an additional compressed configuration at exact width `w`
+  /// (e.g. a dictionary codec evaluated by explore_core_with_selection);
+  /// folded into the exact/best tables by finalize(). May be called after
+  /// an earlier finalize(); call finalize() again afterwards.
+  void offer_compressed(int w, CoreChoice c);
+  void finalize();  // computes best/exact tables from sweep + direct + offers
+
+ private:
+  std::string name_;
+  int max_width_ = 0;
+  std::vector<SweepPoint> sweep_;           // ordered by m
+  std::vector<std::pair<int, CoreChoice>> offers_;  // (w, external choice)
+  std::vector<CoreChoice> direct_;          // [w]
+  std::vector<CoreChoice> exact_compressed_;  // [w]
+  std::vector<CoreChoice> best_;            // [w], prefix-minimized
+};
+
+}  // namespace soctest

@@ -1,0 +1,51 @@
+#include "explore/technique_select.hpp"
+
+#include <algorithm>
+
+#include "dict/dict_codec.hpp"
+#include "wrapper/time_model.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+
+CoreTable explore_core_with_selection(const CoreUnderTest& core,
+                                      const ExploreOptions& opts,
+                                      const DictSelectOptions& dict_opts) {
+  CoreTable table = explore_core(core, opts);
+
+  for (int m : dict_opts.chain_counts) {
+    if (m < 2 || m > std::min(opts.max_chains, core.spec.max_wrapper_chains()))
+      continue;
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const SliceMap map(d, core.cubes.num_cells());
+    for (int entries : dict_opts.entry_counts) {
+      const Dictionary dict = build_dictionary(map, core.cubes, entries);
+      const DictCost cost = dict_cost(map, core.cubes, dict);
+      CoreChoice c;
+      c.mode = AccessMode::Compressed;
+      c.technique = Technique::Dictionary;
+      c.wires_used = dict.params.codeword_width();
+      c.m = m;
+      c.aux = entries;
+      c.test_time = compressed_test_time(cost.total_cycles, d.scan_out_length,
+                                         core.spec.num_patterns);
+      c.data_volume_bits = cost.total_bits;
+      if (c.wires_used >= 1 && c.wires_used <= table.max_width())
+        table.offer_compressed(c.wires_used, c);
+    }
+  }
+  table.finalize();
+  return table;
+}
+
+std::vector<CoreTable> explore_soc_with_selection(
+    const SocSpec& soc, const ExploreOptions& opts,
+    const DictSelectOptions& dict_opts) {
+  std::vector<CoreTable> tables;
+  tables.reserve(soc.cores.size());
+  for (const CoreUnderTest& c : soc.cores)
+    tables.push_back(explore_core_with_selection(c, opts, dict_opts));
+  return tables;
+}
+
+}  // namespace soctest

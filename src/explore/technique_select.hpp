@@ -1,0 +1,33 @@
+// Core-level compression technique selection (the authors' ATS 2008
+// follow-up to the reproduced paper): for every core, evaluate *both*
+// available compression techniques — selective encoding (src/codec) and
+// dictionary-based slice compression (src/dict) — and let the SOC-level
+// optimizer pick per core and per TAM width whichever is best, or no
+// compression at all.
+#pragma once
+
+#include "dft/soc_spec.hpp"
+#include "explore/core_explorer.hpp"
+
+namespace soctest {
+
+struct DictSelectOptions {
+  /// Wrapper-chain counts to try (intersected with the core's feasible
+  /// range). Coarser than the selective-encoding sweep because dictionary
+  /// evaluation touches every slice.
+  std::vector<int> chain_counts = {16, 32, 64, 128, 256};
+  /// Dictionary sizes (powers of two).
+  std::vector<int> entry_counts = {16, 64, 256};
+};
+
+/// explore_core() plus dictionary-codec offers folded into the table.
+CoreTable explore_core_with_selection(const CoreUnderTest& core,
+                                      const ExploreOptions& opts,
+                                      const DictSelectOptions& dict_opts = {});
+
+/// Per-SOC convenience.
+std::vector<CoreTable> explore_soc_with_selection(
+    const SocSpec& soc, const ExploreOptions& opts,
+    const DictSelectOptions& dict_opts = {});
+
+}  // namespace soctest

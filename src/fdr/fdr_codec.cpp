@@ -1,0 +1,103 @@
+#include "fdr/fdr_codec.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+namespace {
+
+/// Group index for run length L: smallest k >= 1 with L <= 2^(k+1) - 3.
+int group_of(std::int64_t run_length) {
+  int k = 1;
+  while (run_length > (std::int64_t{1} << (k + 1)) - 3) ++k;
+  return k;
+}
+
+void emit_codeword(std::int64_t run_length, std::vector<bool>& out) {
+  const int k = group_of(run_length);
+  const std::int64_t lo = (std::int64_t{1} << k) - 2;
+  // Prefix: (k-1) ones, then a zero.
+  for (int i = 0; i < k - 1; ++i) out.push_back(true);
+  out.push_back(false);
+  // Tail: k bits, MSB first.
+  const std::int64_t offset = run_length - lo;
+  for (int b = k - 1; b >= 0; --b) out.push_back((offset >> b) & 1);
+}
+
+}  // namespace
+
+std::vector<bool> fdr_encode(const std::vector<bool>& input, FdrStats* stats) {
+  std::vector<bool> out;
+  std::int64_t run = 0, runs = 0;
+  for (bool bit : input) {
+    if (bit) {
+      emit_codeword(run, out);
+      ++runs;
+      run = 0;
+    } else {
+      ++run;
+    }
+  }
+  if (run > 0) {
+    // Trailing zeros without a terminating 1: encode the full run; the
+    // decoder stops at the announced output length before emitting the
+    // (nonexistent) terminator.
+    emit_codeword(run, out);
+    ++runs;
+  }
+  if (stats) {
+    stats->input_bits = static_cast<std::int64_t>(input.size());
+    stats->output_bits = static_cast<std::int64_t>(out.size());
+    stats->runs = runs;
+  }
+  return out;
+}
+
+std::vector<bool> fdr_decode(const std::vector<bool>& encoded,
+                             std::int64_t output_bits) {
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(output_bits));
+  std::size_t i = 0;
+  while (static_cast<std::int64_t>(out.size()) < output_bits) {
+    // Prefix: count ones until the zero.
+    int k = 1;
+    while (true) {
+      if (i >= encoded.size())
+        throw std::invalid_argument("fdr_decode: truncated prefix");
+      const bool bit = encoded[i++];
+      if (!bit) break;
+      ++k;
+    }
+    // Tail: k bits MSB first.
+    std::int64_t offset = 0;
+    for (int b = 0; b < k; ++b) {
+      if (i >= encoded.size())
+        throw std::invalid_argument("fdr_decode: truncated tail");
+      offset = (offset << 1) | (encoded[i++] ? 1 : 0);
+    }
+    const std::int64_t run = ((std::int64_t{1} << k) - 2) + offset;
+    for (std::int64_t z = 0;
+         z < run && static_cast<std::int64_t>(out.size()) < output_bits; ++z)
+      out.push_back(false);
+    if (static_cast<std::int64_t>(out.size()) < output_bits)
+      out.push_back(true);
+  }
+  // The final codeword may encode a trailing all-zero run whose synthetic
+  // terminator falls exactly at output_bits; out is already sized right.
+  return out;
+}
+
+FdrStats fdr_compress_cubes(const TestCubeSet& cubes) {
+  std::vector<bool> serial;
+  serial.reserve(static_cast<std::size_t>(cubes.num_cells()) *
+                 static_cast<std::size_t>(cubes.num_patterns()));
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    const TernaryVector cube = cubes.expand(p);
+    for (std::size_t i = 0; i < cube.size(); ++i)
+      serial.push_back(cube.get(i) == Trit::One);
+  }
+  FdrStats stats;
+  fdr_encode(serial, &stats);
+  return stats;
+}
+
+}  // namespace soctest

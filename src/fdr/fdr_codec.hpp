@@ -1,0 +1,48 @@
+// FDR (Frequency-Directed Run-length) coding, after Chandra & Chakrabarty —
+// the classic serial test-data compression comparator (see "How Effective
+// are Compression Codes for Reducing Test Data Volume?", cited in the
+// related work this repository reproduces around). Included as a third
+// compression technique for volume comparisons: FDR ships test data over a
+// single ATE channel and excels at data-volume reduction on long 0-runs,
+// but cannot reduce scan time the way slice-parallel expansion does.
+//
+// Encoding: the (X -> 0 filled) serial stimulus stream is split into runs
+// of 0s, each terminated by a 1. A run of length L belongs to group
+// k >= 1 with L in [2^k - 2, 2^(k+1) - 3]; its codeword is a (k-bit,
+// unary-terminated) prefix of (k-1) ones and a zero, followed by a k-bit
+// binary tail L - (2^k - 2). A trailing run without a terminating 1 is
+// encoded the same way; the decoder trims to the announced length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dft/test_cube_set.hpp"
+
+namespace soctest {
+
+struct FdrStats {
+  std::int64_t input_bits = 0;
+  std::int64_t output_bits = 0;
+  std::int64_t runs = 0;
+  double compression_ratio() const {
+    return output_bits == 0
+               ? 0.0
+               : static_cast<double>(input_bits) /
+                     static_cast<double>(output_bits);
+  }
+};
+
+/// Encodes a binary stream; `stats` (optional) receives counters.
+std::vector<bool> fdr_encode(const std::vector<bool>& input,
+                             FdrStats* stats = nullptr);
+
+/// Decodes to exactly `output_bits` bits. Throws std::invalid_argument on
+/// malformed/truncated input.
+std::vector<bool> fdr_decode(const std::vector<bool>& encoded,
+                             std::int64_t output_bits);
+
+/// Serializes a core's cubes (canonical cell order, X -> 0) and encodes.
+FdrStats fdr_compress_cubes(const TestCubeSet& cubes);
+
+}  // namespace soctest

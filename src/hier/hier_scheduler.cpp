@@ -1,0 +1,125 @@
+#include "hier/hier_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+namespace {
+
+struct Interval {
+  std::int64_t start;
+  std::int64_t end;
+};
+
+/// Earliest t >= lower_bound such that [t, t + dur) avoids every interval.
+std::int64_t earliest_fit(std::int64_t lower_bound, std::int64_t dur,
+                          std::vector<Interval> blocked) {
+  std::sort(blocked.begin(), blocked.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::int64_t t = lower_bound;
+  for (const Interval& iv : blocked) {
+    if (iv.end <= t) continue;       // already past
+    if (iv.start >= t + dur) break;  // gap before this interval fits
+    t = iv.end;                      // collide: jump past it
+  }
+  return t;
+}
+
+}  // namespace
+
+Schedule hierarchical_schedule(int num_cores, int num_buses,
+                               const CostFn& cost,
+                               const std::vector<std::int64_t>& ref_time,
+                               const HierarchySpec& hierarchy) {
+  if (num_cores < 0 || num_buses < 1)
+    throw std::invalid_argument("hierarchical_schedule: bad sizes");
+  if (static_cast<int>(ref_time.size()) != num_cores ||
+      hierarchy.num_cores() != num_cores)
+    throw std::invalid_argument("hierarchical_schedule: size mismatch");
+  hierarchy.validate();
+
+  std::vector<int> order(static_cast<std::size_t>(num_cores));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return ref_time[static_cast<std::size_t>(a)] >
+           ref_time[static_cast<std::size_t>(b)];
+  });
+
+  Schedule s;
+  s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
+  std::vector<Interval> placed(static_cast<std::size_t>(num_cores),
+                               {0, -1});  // end < start = not placed
+
+  for (int core : order) {
+    std::int64_t makespan = 0;
+    for (std::int64_t f : s.bus_finish) makespan = std::max(makespan, f);
+
+    // Intervals this core must avoid: every placed conflicting core.
+    std::vector<Interval> blocked;
+    for (int other = 0; other < num_cores; ++other) {
+      if (placed[static_cast<std::size_t>(other)].end <
+          placed[static_cast<std::size_t>(other)].start)
+        continue;
+      if (hierarchy.conflicts(core, other))
+        blocked.push_back(placed[static_cast<std::size_t>(other)]);
+    }
+
+    int best_bus = -1;
+    std::int64_t best_start = 0, best_makespan = 0, best_finish = 0;
+    BusAccessCost best_cost;
+    for (int b = 0; b < num_buses; ++b) {
+      const BusAccessCost c = cost(core, b);
+      const std::int64_t start = earliest_fit(
+          s.bus_finish[static_cast<std::size_t>(b)], c.time, blocked);
+      const std::int64_t finish = start + c.time;
+      const std::int64_t new_makespan = std::max(makespan, finish);
+      const bool better = best_bus < 0 || new_makespan < best_makespan ||
+                          (new_makespan == best_makespan &&
+                           finish < best_finish);
+      if (better) {
+        best_bus = b;
+        best_start = start;
+        best_makespan = new_makespan;
+        best_finish = finish;
+        best_cost = c;
+      }
+    }
+
+    ScheduleEntry e;
+    e.core = core;
+    e.bus = best_bus;
+    e.start = best_start;
+    e.end = best_finish;
+    e.choice = best_cost.choice;
+    s.entries.push_back(e);
+    s.bus_finish[static_cast<std::size_t>(best_bus)] = best_finish;
+    s.total_volume_bits += best_cost.volume_bits;
+    placed[static_cast<std::size_t>(core)] = {best_start, best_finish};
+  }
+
+  // Entries were appended in placement order, which is also per-bus start
+  // order (each bus only ever appends at or after its cursor).
+  return s;
+}
+
+void validate_hierarchy_exclusion(const Schedule& schedule,
+                                  const HierarchySpec& hierarchy) {
+  for (std::size_t i = 0; i < schedule.entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < schedule.entries.size(); ++j) {
+      const ScheduleEntry& a = schedule.entries[i];
+      const ScheduleEntry& b = schedule.entries[j];
+      if (!hierarchy.conflicts(a.core, b.core)) continue;
+      const bool overlap = a.start < b.end && b.start < a.end;
+      if (overlap)
+        throw std::logic_error(
+            "hierarchy violation: cores " + std::to_string(a.core) + " and " +
+            std::to_string(b.core) + " overlap");
+    }
+  }
+}
+
+}  // namespace soctest

@@ -1,0 +1,27 @@
+// Hierarchy-aware test scheduling: the greedy step-4 scheduler extended
+// with ancestor/descendant mutual exclusion. A core's test interval may
+// not overlap any conflicting core's interval even across buses, so buses
+// may idle (gaps) while waiting for a lineage to clear.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+#include "sched/schedule.hpp"
+
+namespace soctest {
+
+/// Greedy longest-first scheduling under hierarchy conflicts. The returned
+/// schedule validates with allow_gaps = true; conflicting cores never
+/// overlap in time.
+Schedule hierarchical_schedule(int num_cores, int num_buses,
+                               const CostFn& cost,
+                               const std::vector<std::int64_t>& ref_time,
+                               const HierarchySpec& hierarchy);
+
+/// Checks the mutual-exclusion property; throws std::logic_error.
+void validate_hierarchy_exclusion(const Schedule& schedule,
+                                  const HierarchySpec& hierarchy);
+
+}  // namespace soctest

@@ -1,0 +1,56 @@
+#include "hier/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+void HierarchySpec::validate() const {
+  const int n = num_cores();
+  for (int i = 0; i < n; ++i) {
+    const int p = parent[static_cast<std::size_t>(i)];
+    if (p < -1 || p >= n)
+      throw std::invalid_argument("HierarchySpec: parent index out of range");
+    if (p == i) throw std::invalid_argument("HierarchySpec: self-parenting");
+  }
+  // Cycle check: walk each chain at most n steps.
+  for (int i = 0; i < n; ++i) {
+    int at = i;
+    for (int steps = 0; steps <= n; ++steps) {
+      at = parent[static_cast<std::size_t>(at)];
+      if (at < 0) break;
+      if (at == i)
+        throw std::invalid_argument("HierarchySpec: hierarchy cycle");
+    }
+  }
+}
+
+std::vector<int> HierarchySpec::ancestors(int core) const {
+  std::vector<int> out;
+  int at = parent.at(static_cast<std::size_t>(core));
+  while (at >= 0) {
+    out.push_back(at);
+    at = parent[static_cast<std::size_t>(at)];
+  }
+  return out;
+}
+
+bool HierarchySpec::conflicts(int a, int b) const {
+  if (a == b) return false;
+  for (int anc : ancestors(a))
+    if (anc == b) return true;
+  for (int anc : ancestors(b))
+    if (anc == a) return true;
+  return false;
+}
+
+int HierarchySpec::depth(int core) const {
+  return static_cast<int>(ancestors(core).size());
+}
+
+HierarchySpec HierarchySpec::flat(int num_cores) {
+  HierarchySpec h;
+  h.parent.assign(static_cast<std::size_t>(num_cores), -1);
+  return h;
+}
+
+}  // namespace soctest

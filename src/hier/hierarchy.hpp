@@ -1,0 +1,36 @@
+// Hierarchical SOCs (after Chakrabarty et al., "Test Planning for Modular
+// Testing of Hierarchical SOCs", in the reproduced paper's surroundings):
+// a child core is embedded inside a parent core and is tested through the
+// parent's wrapper in transparent mode. Planning consequence: a core and
+// any of its ancestors can never be tested concurrently — the parent's
+// wrapper is either testing the parent or routing the child, not both.
+#pragma once
+
+#include <vector>
+
+namespace soctest {
+
+struct HierarchySpec {
+  /// parent[i] = index of core i's enclosing core, or -1 for top level.
+  std::vector<int> parent;
+
+  int num_cores() const { return static_cast<int>(parent.size()); }
+
+  /// Throws std::invalid_argument on bad indices, self-parenting or cycles.
+  void validate() const;
+
+  /// Chain of enclosing cores, nearest first.
+  std::vector<int> ancestors(int core) const;
+
+  /// True when one core is an ancestor of the other (tests must not
+  /// overlap in time).
+  bool conflicts(int a, int b) const;
+
+  /// Nesting depth of a core (0 = top level).
+  int depth(int core) const;
+
+  /// A flat hierarchy (all top-level) for n cores.
+  static HierarchySpec flat(int num_cores);
+};
+
+}  // namespace soctest

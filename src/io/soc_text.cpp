@@ -1,0 +1,225 @@
+#include "io/soc_text.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "socgen/cube_synth.hpp"
+
+namespace soctest {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("soc_text:" + std::to_string(line) + ": " + msg);
+}
+
+struct Tokenizer {
+  std::istringstream ss;
+  int line;
+  explicit Tokenizer(const std::string& s, int ln) : ss(s), line(ln) {}
+
+  bool next(std::string& tok) { return static_cast<bool>(ss >> tok); }
+  std::string require(const std::string& what) {
+    std::string tok;
+    if (!next(tok)) fail(line, "expected " + what);
+    return tok;
+  }
+  std::int64_t require_int(const std::string& what) {
+    const std::string tok = require(what);
+    try {
+      std::size_t pos = 0;
+      const std::int64_t v = std::stoll(tok, &pos);
+      if (pos != tok.size()) throw std::invalid_argument("");
+      return v;
+    } catch (...) {
+      fail(line, "bad integer for " + what + ": '" + tok + "'");
+    }
+  }
+  double require_double(const std::string& what) {
+    const std::string tok = require(what);
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(tok, &pos);
+      if (pos != tok.size()) throw std::invalid_argument("");
+      return v;
+    } catch (...) {
+      fail(line, "bad number for " + what + ": '" + tok + "'");
+    }
+  }
+};
+
+}  // namespace
+
+SocSpec read_soc_text(std::istream& in) {
+  SocSpec soc;
+  bool in_core = false;
+  CoreUnderTest core;
+  std::vector<std::vector<CareBit>> pending_cubes;
+  bool synthetic = false;
+  CubeSynthParams synth_params;
+  std::uint64_t synth_seed = 0;
+
+  const auto finish_core = [&](int line) {
+    try {
+    core.spec.validate();
+    if (synthetic) {
+      synth_params.num_cells = core.spec.stimulus_bits_per_pattern();
+      synth_params.num_patterns = core.spec.num_patterns;
+      core.cubes = synthesize_cubes(synth_params, synth_seed);
+    } else {
+      if (static_cast<int>(pending_cubes.size()) != core.spec.num_patterns)
+        fail(line, "core " + core.spec.name + ": expected " +
+                       std::to_string(core.spec.num_patterns) +
+                       " cubes, got " + std::to_string(pending_cubes.size()));
+      core.cubes = TestCubeSet(core.spec.stimulus_bits_per_pattern());
+      for (auto& bits : pending_cubes) core.cubes.add_pattern(std::move(bits));
+    }
+    core.validate();
+    soc.cores.push_back(std::move(core));
+    core = CoreUnderTest{};
+    pending_cubes.clear();
+    synthetic = false;
+    } catch (const std::runtime_error&) {
+      throw;  // already carries a soc_text line message
+    } catch (const std::exception& e) {
+      fail(line, std::string("invalid core: ") + e.what());
+    }
+  };
+
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    Tokenizer tok(raw, line);
+    std::string kw;
+    if (!tok.next(kw)) continue;
+
+    if (kw == "soc") {
+      soc.name = tok.require("soc name");
+    } else if (kw == "gates") {
+      soc.approx_gate_count = tok.require_int("gate count");
+    } else if (kw == "latches") {
+      soc.approx_latch_count = tok.require_int("latch count");
+    } else if (kw == "core") {
+      if (in_core) fail(line, "nested core (missing 'end'?)");
+      in_core = true;
+      core.spec.name = tok.require("core name");
+    } else if (kw == "end") {
+      if (!in_core) fail(line, "'end' outside core");
+      finish_core(line);
+      in_core = false;
+    } else if (!in_core) {
+      fail(line, "unknown top-level keyword '" + kw + "'");
+    } else if (kw == "inputs") {
+      core.spec.num_inputs = static_cast<int>(tok.require_int("inputs"));
+    } else if (kw == "outputs") {
+      core.spec.num_outputs = static_cast<int>(tok.require_int("outputs"));
+    } else if (kw == "scanchains") {
+      std::string t;
+      while (tok.next(t)) {
+        try {
+          core.spec.scan_chain_lengths.push_back(std::stoi(t));
+        } catch (...) {
+          fail(line, "bad chain length '" + t + "'");
+        }
+      }
+      if (core.spec.scan_chain_lengths.empty())
+        fail(line, "scanchains needs at least one length");
+    } else if (kw == "flexible") {
+      core.spec.flexible_scan = true;
+      core.spec.flexible_scan_cells = tok.require_int("cell count");
+    } else if (kw == "patterns") {
+      core.spec.num_patterns = static_cast<int>(tok.require_int("patterns"));
+    } else if (kw == "cube") {
+      const std::string s = tok.require("ternary string");
+      std::vector<CareBit> bits;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        Trit t;
+        try {
+          t = trit_from_char(s[i]);
+        } catch (...) {
+          fail(line, std::string("bad cube symbol '") + s[i] + "'");
+        }
+        if (t != Trit::X)
+          bits.push_back({static_cast<std::uint32_t>(i), t == Trit::One});
+      }
+      if (static_cast<std::int64_t>(s.size()) !=
+          core.spec.stimulus_bits_per_pattern())
+        fail(line, "cube length " + std::to_string(s.size()) +
+                       " != stimulus cells " +
+                       std::to_string(core.spec.stimulus_bits_per_pattern()));
+      pending_cubes.push_back(std::move(bits));
+    } else if (kw == "sparse") {
+      std::vector<CareBit> bits;
+      std::string t;
+      while (tok.next(t)) {
+        const std::size_t colon = t.find(':');
+        if (colon == std::string::npos || colon + 2 != t.size() ||
+            (t[colon + 1] != '0' && t[colon + 1] != '1'))
+          fail(line, "bad sparse bit '" + t + "' (want cell:0 or cell:1)");
+        try {
+          bits.push_back({static_cast<std::uint32_t>(
+                              std::stoul(t.substr(0, colon))),
+                          t[colon + 1] == '1'});
+        } catch (...) {
+          fail(line, "bad cell index in '" + t + "'");
+        }
+      }
+      pending_cubes.push_back(std::move(bits));
+    } else if (kw == "synthetic") {
+      synthetic = true;
+      synth_params.care_density = tok.require_double("density");
+      synth_params.one_fraction = tok.require_double("one fraction");
+      synth_seed = static_cast<std::uint64_t>(tok.require_int("seed"));
+    } else {
+      fail(line, "unknown core keyword '" + kw + "'");
+    }
+  }
+  if (in_core) fail(line, "missing 'end' for core " + core.spec.name);
+  soc.validate();
+  return soc;
+}
+
+SocSpec read_soc_text_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("soc_text: cannot open " + path);
+  return read_soc_text(f);
+}
+
+void write_soc_text(std::ostream& out, const SocSpec& soc) {
+  out << "soc " << soc.name << "\n";
+  if (soc.approx_gate_count) out << "gates " << soc.approx_gate_count << "\n";
+  if (soc.approx_latch_count)
+    out << "latches " << soc.approx_latch_count << "\n";
+  for (const CoreUnderTest& c : soc.cores) {
+    out << "core " << c.spec.name << "\n";
+    out << "  inputs " << c.spec.num_inputs << "\n";
+    out << "  outputs " << c.spec.num_outputs << "\n";
+    if (c.spec.flexible_scan) {
+      out << "  flexible " << c.spec.flexible_scan_cells << "\n";
+    } else if (!c.spec.scan_chain_lengths.empty()) {
+      out << "  scanchains";
+      for (int len : c.spec.scan_chain_lengths) out << " " << len;
+      out << "\n";
+    }
+    out << "  patterns " << c.spec.num_patterns << "\n";
+    for (int p = 0; p < c.cubes.num_patterns(); ++p) {
+      out << "  sparse";
+      for (const CareBit& b : c.cubes.pattern(p))
+        out << " " << b.cell << ":" << (b.value ? 1 : 0);
+      out << "\n";
+    }
+    out << "end\n";
+  }
+}
+
+void write_soc_text_file(const std::string& path, const SocSpec& soc) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("soc_text: cannot open " + path);
+  write_soc_text(f, soc);
+  if (!f) throw std::runtime_error("soc_text: write failed for " + path);
+}
+
+}  // namespace soctest

@@ -1,0 +1,43 @@
+// Text-format reader/writer for SOC descriptions, inspired by the ITC'02
+// SOC Test Benchmarks format the paper's d695 experiments use. Lets users
+// define their own designs in files instead of C++.
+//
+// Format (line oriented, '#' comments):
+//
+//   soc <name>
+//   gates <count>            # optional
+//   latches <count>          # optional
+//   core <name>
+//     inputs <n>
+//     outputs <n>
+//     scanchains <len> <len> ...        # fixed-scan core
+//     flexible <cells>                  # or: re-stitchable scan
+//     patterns <n>
+//     cube <ternary string>             # one full pattern, 0/1/X
+//     sparse <cell>:<0|1> <cell>:<0|1>  # one pattern, care bits only
+//     synthetic <density> <one_fraction> <seed>
+//                                       # generate all patterns instead
+//   end
+//
+// Each core supplies exactly `patterns` cubes via `cube`/`sparse` lines, or
+// a single `synthetic` directive.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dft/soc_spec.hpp"
+
+namespace soctest {
+
+/// Parses a SOC description. Throws std::runtime_error with a line number
+/// on malformed input; the returned SOC is validate()d.
+SocSpec read_soc_text(std::istream& in);
+SocSpec read_soc_text_file(const std::string& path);
+
+/// Writes `soc` in the same format (sparse cube lines). Round-trips through
+/// read_soc_text() exactly.
+void write_soc_text(std::ostream& out, const SocSpec& soc);
+void write_soc_text_file(const std::string& path, const SocSpec& soc);
+
+}  // namespace soctest

@@ -1,0 +1,92 @@
+#include "opt/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "socgen/rng.hpp"
+#include "tam/partition.hpp"
+
+namespace soctest {
+namespace {
+
+// Neighbour move on a partition: wire transfer, bus split, or bus merge.
+TamArchitecture random_neighbour(const TamArchitecture& arch, int max_buses,
+                                 Rng& rng) {
+  TamArchitecture n = arch;
+  const int k = n.num_buses();
+  const int move = static_cast<int>(rng.next_below(3));
+  if (move == 0 && k >= 2) {
+    // Move one wire between two distinct buses.
+    const int from = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    int to = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k - 1)));
+    if (to >= from) ++to;
+    if (n.widths[static_cast<std::size_t>(from)] > 1) {
+      n.widths[static_cast<std::size_t>(from)] -= 1;
+      n.widths[static_cast<std::size_t>(to)] += 1;
+    }
+  } else if (move == 1 && k < max_buses) {
+    // Split a bus with width >= 2.
+    const int b = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    const int w = n.widths[static_cast<std::size_t>(b)];
+    if (w >= 2) {
+      const int left = 1 + static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(w - 1)));
+      n.widths[static_cast<std::size_t>(b)] = left;
+      n.widths.push_back(w - left);
+    }
+  } else if (k >= 2) {
+    // Merge two buses.
+    const int a = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    int b = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k - 1)));
+    if (b >= a) ++b;
+    n.widths[static_cast<std::size_t>(std::min(a, b))] +=
+        n.widths[static_cast<std::size_t>(std::max(a, b))];
+    n.widths.erase(n.widths.begin() + std::max(a, b));
+  }
+  return n;
+}
+
+}  // namespace
+
+OptimizationResult optimize_annealing(const SocOptimizer& optimizer,
+                                      const OptimizerOptions& opts,
+                                      const AnnealingOptions& anneal) {
+  Rng rng(anneal.seed);
+  const int kmax = std::min({opts.max_buses, optimizer.soc().num_cores(),
+                             opts.width});
+  TamArchitecture current =
+      balanced_partition(opts.width, std::max(1, kmax / 2));
+  OptimizationResult cur_r = optimizer.evaluate(current, opts);
+  OptimizationResult best = cur_r;
+
+  double temperature =
+      anneal.initial_temperature * static_cast<double>(cur_r.test_time);
+  for (int it = 0; it < anneal.iterations; ++it) {
+    const TamArchitecture cand =
+        random_neighbour(current, kmax, rng);
+    if (cand.num_buses() < 1 || cand.total_width() != opts.width) continue;
+    const OptimizationResult r = optimizer.evaluate(cand, opts);
+    const double delta =
+        static_cast<double>(r.test_time - cur_r.test_time);
+    if (delta <= 0.0 ||
+        (temperature > 1e-9 &&
+         rng.next_double() < std::exp(-delta / temperature))) {
+      current = cand;
+      cur_r = r;
+      if (cur_r.test_time < best.test_time ||
+          (cur_r.test_time == best.test_time &&
+           cur_r.data_volume_bits < best.data_volume_bits)) {
+        best = cur_r;
+      }
+    }
+    temperature *= anneal.cooling;
+  }
+  return best;
+}
+
+}  // namespace soctest

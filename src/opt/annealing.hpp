@@ -1,0 +1,28 @@
+// Simulated-annealing architecture search — an alternative to the default
+// multi-start hill climbing for step 3, exploring bus-count changes
+// (merge/split) as well as single-wire moves. Used by the search ablation
+// bench and available to users who want to trade CPU time for solution
+// quality on hard instances.
+#pragma once
+
+#include <cstdint>
+
+#include "opt/soc_optimizer.hpp"
+
+namespace soctest {
+
+struct AnnealingOptions {
+  int iterations = 2'000;
+  double initial_temperature = 0.10;  // relative to the starting makespan
+  double cooling = 0.997;             // per-iteration multiplier
+  std::uint64_t seed = 1;
+};
+
+/// Runs SA over TAM partitions for the given optimizer options (the mode,
+/// constraint and width are taken from `opts`; `opts.max_buses` bounds the
+/// bus count). Deterministic for a fixed seed.
+OptimizationResult optimize_annealing(const SocOptimizer& optimizer,
+                                      const OptimizerOptions& opts,
+                                      const AnnealingOptions& anneal = {});
+
+}  // namespace soctest

@@ -1,0 +1,72 @@
+#include "opt/baselines.hpp"
+
+namespace soctest {
+
+namespace {
+double ratio(std::int64_t num, std::int64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double TdcComparison::time_reduction_factor() const {
+  return ratio(without_tdc.test_time, with_tdc.test_time);
+}
+double TdcComparison::volume_vs_initial() const {
+  return ratio(initial_volume_bits, with_tdc.data_volume_bits);
+}
+double TdcComparison::volume_vs_uncompressed() const {
+  return ratio(without_tdc.data_volume_bits, with_tdc.data_volume_bits);
+}
+
+TdcComparison compare_with_without_tdc(const SocOptimizer& opt, int tam_width,
+                                       int max_buses) {
+  TdcComparison cmp;
+  cmp.width = tam_width;
+  cmp.initial_volume_bits = opt.soc().initial_data_volume_bits();
+
+  OptimizerOptions o;
+  o.width = tam_width;
+  o.constraint = ConstraintMode::TamWidth;
+  o.max_buses = max_buses;
+
+  o.mode = ArchMode::NoTdc;
+  cmp.without_tdc = opt.optimize(o);
+  o.mode = ArchMode::PerCore;
+  cmp.with_tdc = opt.optimize(o);
+  return cmp;
+}
+
+MethodComparison compare_methods(const SocOptimizer& opt, int width,
+                                 ConstraintMode constraint, int max_buses) {
+  MethodComparison cmp;
+  cmp.width = width;
+  cmp.constraint = constraint;
+
+  OptimizerOptions o;
+  o.width = width;
+  o.constraint = constraint;
+  o.max_buses = max_buses;
+
+  o.mode = ArchMode::PerCore;
+  cmp.proposed = opt.optimize(o);
+  o.mode = ArchMode::PerTam;
+  cmp.per_tam = opt.optimize(o);
+  o.mode = ArchMode::FixedWidth4;
+  cmp.fixed_w4 = opt.optimize(o);
+
+  // The per-core access options are a superset of the per-TAM options at
+  // every bus width, so any architecture the per-TAM search discovered is
+  // also a valid (at-least-as-good) per-core candidate. Cross-seeding
+  // removes hill-climbing artifacts from the comparison.
+  o.mode = ArchMode::PerCore;
+  OptimizationResult seeded = opt.evaluate(cmp.per_tam.arch, o);
+  if (seeded.test_time < cmp.proposed.test_time ||
+      (seeded.test_time == cmp.proposed.test_time &&
+       seeded.data_volume_bits < cmp.proposed.data_volume_bits)) {
+    seeded.cpu_seconds = cmp.proposed.cpu_seconds;
+    cmp.proposed = std::move(seeded);
+  }
+  return cmp;
+}
+
+}  // namespace soctest

@@ -1,0 +1,40 @@
+// Convenience entry points for the paper's experiment matrix: run the
+// proposed method and each baseline on the same SOC/budget and package the
+// comparison rows of Tables 1-3.
+#pragma once
+
+#include "opt/soc_optimizer.hpp"
+
+namespace soctest {
+
+/// One Table-3-style row: the proposed per-core approach vs the no-TDC
+/// architecture at the same TAM width.
+struct TdcComparison {
+  int width = 0;
+  OptimizationResult without_tdc;  // tau_nc, V_nc
+  OptimizationResult with_tdc;     // tau_c, V_c
+  std::int64_t initial_volume_bits = 0;  // V_i
+
+  double time_reduction_factor() const;    // tau_nc / tau_c
+  double volume_vs_initial() const;        // V_i / V_c
+  double volume_vs_uncompressed() const;   // V_nc / V_c
+};
+
+TdcComparison compare_with_without_tdc(const SocOptimizer& opt, int tam_width,
+                                       int max_buses = 8);
+
+/// One Table-1/2-style row: proposed vs per-TAM ([18]-like) vs fixed-w4
+/// ([11]-like) under the given constraint.
+struct MethodComparison {
+  int width = 0;
+  ConstraintMode constraint = ConstraintMode::TamWidth;
+  OptimizationResult proposed;   // per-core expansion
+  OptimizationResult per_tam;    // SOC-level expansion
+  OptimizationResult fixed_w4;   // fixed 4-wire interfaces
+};
+
+MethodComparison compare_methods(const SocOptimizer& opt, int width,
+                                 ConstraintMode constraint,
+                                 int max_buses = 8);
+
+}  // namespace soctest

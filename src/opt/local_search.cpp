@@ -1,0 +1,113 @@
+// SocOptimizer::optimize — the step-3 architecture search. For each bus
+// count k the search starts from the balanced partition and hill-climbs over
+// single-wire moves, re-running the step-4 scheduler for every candidate
+// (the schedule is the objective; there is no surrogate). FixedWidth4 uses
+// its prescribed architecture directly.
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "opt/soc_optimizer.hpp"
+#include "tam/partition.hpp"
+
+namespace soctest {
+namespace {
+
+bool better(const OptimizationResult& a, const OptimizationResult& b) {
+  if (a.test_time != b.test_time) return a.test_time < b.test_time;
+  return a.data_volume_bits < b.data_volume_bits;
+}
+
+TamArchitecture fixed_w4_architecture(int total_width) {
+  TamArchitecture arch;
+  int left = total_width;
+  while (left >= 4) {
+    arch.widths.push_back(4);
+    left -= 4;
+  }
+  if (left > 0) arch.widths.push_back(left);
+  return arch;
+}
+
+}  // namespace
+
+OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
+  if (opts.width < 1)
+    throw std::invalid_argument("SocOptimizer: width must be >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  OptimizationResult best;
+  bool have_best = false;
+  const auto consider = [&](const TamArchitecture& arch) {
+    OptimizationResult r = evaluate(arch, opts);
+    if (!have_best || better(r, best)) {
+      best = std::move(r);
+      have_best = true;
+      return true;
+    }
+    return false;
+  };
+
+  if (opts.mode == ArchMode::FixedWidth4) {
+    consider(fixed_w4_architecture(opts.width));
+  } else {
+    const int kmax =
+        std::min({opts.max_buses, soc_->num_cores(), opts.width});
+    for (int k = 1; k <= kmax; ++k) {
+      // Multi-start hill climbing: the makespan landscape over partitions
+      // has plateaus (many cores are width-insensitive past their sweet
+      // spot), so a single start can stall in a poor basin.
+      std::vector<TamArchitecture> starts;
+      starts.push_back(balanced_partition(opts.width, k));
+      if (k >= 2) {
+        // One dominant bus, the rest minimal: good when one long core
+        // should monopolize most of the budget.
+        TamArchitecture skew;
+        skew.widths.assign(static_cast<std::size_t>(k), 1);
+        skew.widths[0] = opts.width - (k - 1);
+        if (skew.widths[0] >= 1) starts.push_back(skew);
+        // Geometric taper: wide, half, half of that, ...
+        TamArchitecture taper;
+        int left = opts.width;
+        for (int b = 0; b < k - 1; ++b) {
+          const int wdt = std::max(1, (left - (k - 1 - b)) / 2 + 1);
+          taper.widths.push_back(wdt);
+          left -= wdt;
+        }
+        if (left >= 1) {
+          taper.widths.push_back(left);
+          starts.push_back(taper);
+        }
+      }
+      for (TamArchitecture arch : starts) {
+        OptimizationResult cur = evaluate(arch, opts);
+        if (!have_best || better(cur, best)) {
+          best = cur;
+          have_best = true;
+        }
+        for (int step = 0; step < opts.max_search_steps; ++step) {
+          bool improved = false;
+          for (const TamArchitecture& n : wire_move_neighbours(arch)) {
+            OptimizationResult r = evaluate(n, opts);
+            if (better(r, cur)) {
+              cur = std::move(r);
+              arch = n;
+              improved = true;
+            }
+          }
+          if (!improved) break;
+          if (better(cur, best)) {
+            best = cur;
+            have_best = true;
+          }
+        }
+      }
+    }
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  best.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,45 @@
+#include "opt/result.hpp"
+
+#include <sstream>
+
+#include "sched/gantt.hpp"
+
+namespace soctest {
+
+std::string summarize(const OptimizationResult& r, const SocSpec& soc) {
+  std::ostringstream os;
+  os << "mode=" << to_string(r.mode) << " constraint=" << to_string(r.constraint)
+     << " W=" << r.arch.total_width() << " buses=" << r.arch.to_string()
+     << "\n";
+  os << "test time = " << r.test_time << " cycles, data volume = "
+     << r.data_volume_bits << " bits, planning CPU = " << r.cpu_seconds
+     << " s\n";
+  os << "wiring: on-chip=" << r.wiring.onchip_wires
+     << " ATE=" << r.wiring.ate_channels
+     << " decompressors=" << r.wiring.decompressors
+     << " (FF=" << r.wiring.total_flip_flops
+     << ", gates=" << r.wiring.total_gates << ")\n";
+  os << "per-core choices:\n";
+  for (const ScheduleEntry& e : r.schedule.entries) {
+    os << "  " << soc.cores[static_cast<std::size_t>(e.core)].spec.name
+       << ": bus " << e.bus << " "
+       << (e.choice.mode == AccessMode::Compressed ? "compressed" : "direct")
+       << " w=" << e.choice.wires_used << " m=" << e.choice.m << " time="
+       << e.choice.test_time << " [" << e.start << ", " << e.end << ")\n";
+  }
+  std::vector<std::string> names;
+  names.reserve(soc.cores.size());
+  for (const auto& c : soc.cores) names.push_back(c.spec.name);
+  os << render_gantt(r.schedule, r.arch, names);
+  return os.str();
+}
+
+std::string one_line(const OptimizationResult& r) {
+  std::ostringstream os;
+  os << to_string(r.mode) << " W=" << r.arch.total_width() << " ("
+     << r.arch.to_string() << ") tau=" << r.test_time
+     << " V=" << r.data_volume_bits;
+  return os.str();
+}
+
+}  // namespace soctest

@@ -1,0 +1,17 @@
+// Human-readable summaries of optimization results.
+#pragma once
+
+#include <string>
+
+#include "opt/soc_optimizer.hpp"
+
+namespace soctest {
+
+/// Multi-line summary: architecture, per-core choices, schedule Gantt,
+/// test time, data volume and wiring metrics.
+std::string summarize(const OptimizationResult& result, const SocSpec& soc);
+
+/// One-line summary for table rows.
+std::string one_line(const OptimizationResult& result);
+
+}  // namespace soctest

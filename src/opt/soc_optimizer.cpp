@@ -1,0 +1,269 @@
+#include "opt/soc_optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "bitvec/bit_util.hpp"
+#include "decomp/area_model.hpp"
+#include "power/power_model.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/power_scheduler.hpp"
+
+namespace soctest {
+
+std::string to_string(ArchMode m) {
+  switch (m) {
+    case ArchMode::NoTdc: return "no-TDC";
+    case ArchMode::PerTam: return "decompressor-per-TAM";
+    case ArchMode::PerCore: return "decompressor-per-core";
+    case ArchMode::FixedWidth4: return "fixed-w4";
+  }
+  return "?";
+}
+
+std::string to_string(ConstraintMode c) {
+  return c == ConstraintMode::TamWidth ? "TAM-width" : "ATE-channels";
+}
+
+SocOptimizer::SocOptimizer(const SocSpec& soc, ExploreOptions explore)
+    : soc_(&soc), explore_(explore) {
+  soc.validate();
+  tables_ = explore_soc(soc, explore_);
+}
+
+SocOptimizer::SocOptimizer(const SocSpec& soc, std::vector<CoreTable> tables,
+                           ExploreOptions explore)
+    : soc_(&soc), explore_(explore), tables_(std::move(tables)) {
+  soc.validate();
+  if (tables_.size() != soc.cores.size())
+    throw std::invalid_argument("SocOptimizer: one table per core required");
+  for (std::size_t i = 0; i < tables_.size(); ++i)
+    if (tables_[i].core_name() != soc.cores[i].spec.name)
+      throw std::invalid_argument("SocOptimizer: table order mismatch at " +
+                                  soc.cores[i].spec.name);
+}
+
+int SocOptimizer::choose_per_tam_fanout(int ate_width) const {
+  // All cores on the bus share one decompressor whose codeword width must
+  // fit in ate_width wires (it may use fewer when the cores are too small
+  // to exploit the full band). Pick the fan-out column minimizing the
+  // summed per-core compressed time.
+  const int lo = 2;
+  const int hi = std::min(explore_.max_chains, max_chains_for_width(ate_width));
+  int best_m = 0;
+  std::int64_t best_sum = std::numeric_limits<std::int64_t>::max();
+  for (int m = lo; m <= hi; ++m) {
+    std::int64_t sum = 0;
+    bool all = true;
+    for (const CoreTable& t : tables_) {
+      const SweepPoint* pt = t.at_chains(m);
+      if (!pt) {
+        // Core too small for m chains: fall back to its largest geometry.
+        const auto& sweep = t.sweep();
+        if (sweep.empty()) {
+          all = false;
+          break;
+        }
+        sum += sweep.back().test_time;
+        continue;
+      }
+      sum += pt->test_time;
+    }
+    if (all && sum < best_sum) {
+      best_sum = sum;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+std::vector<BusRealization> SocOptimizer::realize(
+    const TamArchitecture& arch, const OptimizerOptions& opts) const {
+  std::vector<BusRealization> buses;
+  buses.reserve(static_cast<std::size_t>(arch.num_buses()));
+  for (int v : arch.widths) {
+    BusRealization b;
+    b.alloc_width = v;
+    switch (opts.mode) {
+      case ArchMode::NoTdc:
+        b.ate_width = v;
+        b.onchip_width = v;
+        break;
+      case ArchMode::PerCore:
+      case ArchMode::FixedWidth4:
+        // Compressed data is routed; expansion happens at each core.
+        b.ate_width = v;
+        b.onchip_width = v;
+        break;
+      case ArchMode::PerTam:
+        if (opts.constraint == ConstraintMode::TamWidth) {
+          // The expanded bus is what occupies on-chip wires.
+          b.onchip_width = v;
+          b.m = v >= 2 ? v : 0;
+          b.ate_width = b.m >= 2 ? codeword_width_for_chains(b.m) : v;
+          b.has_decompressor = b.m >= 2;
+        } else {
+          b.ate_width = v;
+          b.m = v >= 4 ? choose_per_tam_fanout(v) : 0;
+          b.has_decompressor = b.m >= 2;
+          b.onchip_width = b.has_decompressor ? b.m : v;
+        }
+        break;
+    }
+    buses.push_back(b);
+  }
+  return buses;
+}
+
+BusAccessCost SocOptimizer::serialized_best(int core, int v) const {
+  // Deliver w(m)-bit codewords over v wires in ceil(w/v) ATE cycles each.
+  const CoreTable& t = tables_[static_cast<std::size_t>(core)];
+  const CoreUnderTest& c = soc_->cores[static_cast<std::size_t>(core)];
+  BusAccessCost best;
+  best.time = std::numeric_limits<std::int64_t>::max();
+  for (const SweepPoint& pt : t.sweep()) {
+    const std::int64_t cycles =
+        pt.codewords * ceil_div(pt.w, v) + pt.scan_out + c.spec.num_patterns;
+    if (cycles < best.time) {
+      best.time = cycles;
+      best.volume_bits = pt.data_volume_bits;
+      CoreChoice choice;
+      choice.mode = AccessMode::Compressed;
+      choice.technique = Technique::SelectiveEncoding;
+      choice.tam_width = v;
+      choice.wires_used = v;
+      choice.m = pt.m;
+      choice.test_time = cycles;
+      choice.data_volume_bits = pt.data_volume_bits;
+      best.choice = choice;
+    }
+  }
+  // Plain access over v wires is always available.
+  const CoreChoice& d = t.direct(std::min(v, t.max_width()));
+  if (d.test_time < best.time) {
+    best.time = d.test_time;
+    best.volume_bits = d.data_volume_bits;
+    best.choice = d;
+  }
+  return best;
+}
+
+BusAccessCost SocOptimizer::access_cost(int core, const BusRealization& bus,
+                                        const OptimizerOptions& opts) const {
+  const CoreTable& t = tables_[static_cast<std::size_t>(core)];
+  const auto clamp_w = [&](int w) {
+    return std::max(1, std::min(w, t.max_width()));
+  };
+  BusAccessCost out;
+  switch (opts.mode) {
+    case ArchMode::NoTdc: {
+      const CoreChoice& d = t.direct(clamp_w(bus.alloc_width));
+      out = {d.test_time, d.data_volume_bits, d};
+      break;
+    }
+    case ArchMode::PerCore: {
+      const CoreChoice& b = t.best(clamp_w(bus.alloc_width));
+      out = {b.test_time, b.data_volume_bits, b};
+      break;
+    }
+    case ArchMode::FixedWidth4:
+      out = serialized_best(core, bus.alloc_width);
+      break;
+    case ArchMode::PerTam: {
+      // Compressed access through the shared bus decompressor, or direct
+      // bypass over the ATE-side wires.
+      const CoreChoice& d = t.direct(clamp_w(
+          opts.constraint == ConstraintMode::TamWidth ? bus.onchip_width
+                                                      : bus.ate_width));
+      out = {d.test_time, d.data_volume_bits, d};
+      if (bus.has_decompressor) {
+        if (const SweepPoint* pt = t.at_chains(bus.m)) {
+          if (pt->test_time < out.time) {
+            out.time = pt->test_time;
+            out.volume_bits = pt->data_volume_bits;
+            CoreChoice choice;
+            choice.mode = AccessMode::Compressed;
+            choice.technique = Technique::SelectiveEncoding;
+            choice.tam_width = bus.alloc_width;
+            choice.wires_used = bus.ate_width;
+            choice.m = pt->m;
+            choice.test_time = pt->test_time;
+            choice.data_volume_bits = pt->data_volume_bits;
+            out.choice = choice;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+OptimizationResult SocOptimizer::evaluate(const TamArchitecture& arch,
+                                          const OptimizerOptions& opts) const {
+  arch.validate();
+  const int n = soc_->num_cores();
+  OptimizationResult r;
+  r.mode = opts.mode;
+  r.constraint = opts.constraint;
+  r.arch = arch;
+  r.buses = realize(arch, opts);
+
+  const CostFn cost = [&](int core, int bus) {
+    return access_cost(core, r.buses[static_cast<std::size_t>(bus)], opts);
+  };
+
+  // Reference ordering: test time on the widest bus (longest first).
+  int widest = 0;
+  for (int b = 1; b < arch.num_buses(); ++b)
+    if (arch.widths[static_cast<std::size_t>(b)] >
+        arch.widths[static_cast<std::size_t>(widest)])
+      widest = b;
+  std::vector<std::int64_t> ref(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    ref[static_cast<std::size_t>(i)] = cost(i, widest).time;
+
+  const PowerFn power = [&](int core, int bus) {
+    return core_test_power(
+        soc_->cores[static_cast<std::size_t>(core)].spec,
+        cost(core, bus).choice);
+  };
+  if (opts.power_budget_mw > 0.0) {
+    PowerScheduleOptions popts;
+    popts.power_budget = opts.power_budget_mw;
+    r.schedule = power_schedule(n, arch.num_buses(), cost, power, ref, popts);
+  } else {
+    r.schedule = greedy_schedule(n, arch.num_buses(), cost, ref);
+  }
+  r.test_time = r.schedule.makespan();
+  r.data_volume_bits = r.schedule.total_volume_bits;
+  r.peak_power_mw = schedule_peak_power(r.schedule, power);
+
+  // Wiring / hardware metrics.
+  for (const BusRealization& b : r.buses) {
+    r.wiring.onchip_wires += b.onchip_width;
+    r.wiring.ate_channels += b.ate_width;
+    if (b.has_decompressor) {
+      ++r.wiring.decompressors;
+      const DecompressorArea a =
+          decompressor_area(CodecParams::for_chains(std::max(2, b.m)));
+      r.wiring.total_flip_flops += a.flip_flops;
+      r.wiring.total_gates += a.gates;
+    }
+  }
+  if (opts.mode == ArchMode::PerCore || opts.mode == ArchMode::FixedWidth4) {
+    for (const ScheduleEntry& e : r.schedule.entries) {
+      if (e.choice.mode == AccessMode::Compressed && e.choice.m >= 2) {
+        ++r.wiring.decompressors;
+        const DecompressorArea a =
+            decompressor_area(CodecParams::for_chains(e.choice.m));
+        r.wiring.total_flip_flops += a.flip_flops;
+        r.wiring.total_gates += a.gates;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace soctest

@@ -1,0 +1,117 @@
+// SocOptimizer: the paper's co-optimization of test-data compression, test
+// architecture and test schedule (Section 3). Given a SOC and a width
+// budget it:
+//   1-2. builds per-core lookup tables (wrapper designs + all decompressor
+//        geometries) via src/explore;
+//   3.   partitions the budget into fixed-width test buses, improved by a
+//        single-wire-move local search over bus counts 1..max_buses;
+//   4.   schedules cores onto buses longest-test-first, assigning each core
+//        where the SOC test-time increase is least.
+//
+// Four architecture styles are supported:
+//   NoTdc       Figure 4(a): plain wrapper access, no compression.
+//   PerTam      Figure 4(b): one decompressor per bus (SOC-level expansion;
+//               behavioural stand-in for virtual-TAM methods like [18]).
+//   PerCore     Figure 4(c): one decompressor per core — the paper's method.
+//   FixedWidth4 fixed 4-wire per-core decompressor interfaces with
+//               serialized codeword delivery (stand-in for [11]).
+// and two budget interpretations:
+//   TamWidth    budget bounds the on-chip TAM wires (paper Table 2/3).
+//   AteChannels budget bounds the ATE interface width (paper Table 1).
+// For PerCore the two coincide; for PerTam they differ sharply — the
+// paper's argument for core-level expansion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dft/soc_spec.hpp"
+#include "explore/core_explorer.hpp"
+#include "sched/schedule.hpp"
+#include "tam/tam_architecture.hpp"
+#include "tam/wiring_cost.hpp"
+
+namespace soctest {
+
+enum class ArchMode { NoTdc, PerTam, PerCore, FixedWidth4 };
+enum class ConstraintMode { TamWidth, AteChannels };
+
+std::string to_string(ArchMode m);
+std::string to_string(ConstraintMode c);
+
+struct OptimizerOptions {
+  int width = 32;  // W_TAM or W_ATE depending on `constraint`
+  ArchMode mode = ArchMode::PerCore;
+  ConstraintMode constraint = ConstraintMode::TamWidth;
+  int max_buses = 8;
+  /// Cap on local-search iterations per bus count (safety valve).
+  int max_search_steps = 200;
+  /// Peak concurrent test power budget in model milliwatts; 0 disables the
+  /// constraint (extension beyond the paper — see src/power).
+  double power_budget_mw = 0.0;
+};
+
+/// How one bus of the abstract architecture is physically realized.
+struct BusRealization {
+  int alloc_width = 0;    // share of the constrained budget
+  int ate_width = 0;      // ATE channels feeding this bus
+  int onchip_width = 0;   // wires routed across the chip
+  int m = 0;              // per-TAM decompressor fan-out (PerTam only)
+  bool has_decompressor = false;  // bus-level decompressor present
+};
+
+struct OptimizationResult {
+  ArchMode mode = ArchMode::PerCore;
+  ConstraintMode constraint = ConstraintMode::TamWidth;
+  TamArchitecture arch;
+  std::vector<BusRealization> buses;
+  Schedule schedule;
+  std::int64_t test_time = 0;        // makespan, clock cycles
+  std::int64_t data_volume_bits = 0; // ATE-stored stimulus volume
+  WiringMetrics wiring;
+  double cpu_seconds = 0.0;          // planning time (tables excluded,
+                                     // like the paper's CPU column)
+  double peak_power_mw = 0.0;        // peak concurrent test power
+};
+
+class SocOptimizer {
+ public:
+  /// Builds the per-core lookup tables immediately (the expensive part;
+  /// reused across optimize() calls). `soc` must outlive the optimizer.
+  explicit SocOptimizer(const SocSpec& soc, ExploreOptions explore = {});
+
+  /// Uses caller-provided lookup tables (e.g. built with technique
+  /// selection via explore_core_with_selection). One table per core, in
+  /// core order.
+  SocOptimizer(const SocSpec& soc, std::vector<CoreTable> tables,
+               ExploreOptions explore = {});
+
+  const SocSpec& soc() const { return *soc_; }
+  const std::vector<CoreTable>& tables() const { return tables_; }
+
+  OptimizationResult optimize(const OptimizerOptions& opts) const;
+
+  /// Evaluates one concrete architecture (no search) — used by the local
+  /// search, by tests, and to reproduce Figure 4's fixed examples.
+  OptimizationResult evaluate(const TamArchitecture& arch,
+                              const OptimizerOptions& opts) const;
+
+ private:
+  struct RealizedBuses;
+  std::vector<BusRealization> realize(const TamArchitecture& arch,
+                                      const OptimizerOptions& opts) const;
+  BusAccessCost access_cost(int core, const BusRealization& bus,
+                            const OptimizerOptions& opts) const;
+  /// Best serialized-delivery compressed choice over v wires (FixedWidth4).
+  BusAccessCost serialized_best(int core, int v) const;
+  /// Chooses the PerTam fan-out m for an ATE width v (minimizes the summed
+  /// core test time over the sweep column).
+  int choose_per_tam_fanout(int ate_width) const;
+
+  const SocSpec* soc_;
+  ExploreOptions explore_;
+  std::vector<CoreTable> tables_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,25 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+
+namespace soctest {
+
+double core_test_power(const CoreSpec& core, const CoreChoice& choice,
+                       const PowerModelParams& params) {
+  const double activity = choice.mode == AccessMode::Compressed
+                              ? params.compressed_activity
+                              : params.direct_activity;
+  return params.base_mw +
+         params.kappa_mw_per_cell *
+             static_cast<double>(core.total_scan_cells()) * activity;
+}
+
+double core_peak_power(const CoreSpec& core, const PowerModelParams& params) {
+  const double act =
+      std::max(params.direct_activity, params.compressed_activity);
+  return params.base_mw + params.kappa_mw_per_cell *
+                              static_cast<double>(core.total_scan_cells()) *
+                              act;
+}
+
+}  // namespace soctest

@@ -1,0 +1,37 @@
+// Test-power model — an extension beyond the DATE 2008 paper, following
+// the authors' companion work on power-constrained SOC test scheduling
+// (test power is the classic reason concurrent core tests must be limited).
+//
+// Model: during scan, every scan cell of a core toggles with some activity
+// factor regardless of how many wrapper chains carry the data (all chains
+// shift simultaneously), so
+//
+//   P_core = P_BASE + KAPPA * scan_cells * activity
+//
+// in abstract milliwatt units. Compressed access lowers the activity: the
+// selective-encoding decompressor drives every don't-care to the slice's
+// fill value, so long X runs stop toggling (constant-fill power benefit),
+// whereas uncompressed patterns arrive with tester-side random fill.
+#pragma once
+
+#include "dft/core_spec.hpp"
+#include "explore/core_table.hpp"
+
+namespace soctest {
+
+struct PowerModelParams {
+  double base_mw = 5.0;            // clocking / control overhead per core
+  double kappa_mw_per_cell = 0.01; // per scan cell at activity 1.0
+  double direct_activity = 0.5;    // random tester fill
+  double compressed_activity = 0.3;  // constant-fill X runs toggle less
+};
+
+/// Power drawn by `core` while it is under test through `choice`.
+double core_test_power(const CoreSpec& core, const CoreChoice& choice,
+                       const PowerModelParams& params = {});
+
+/// Upper bound over both access modes (used for feasibility checks).
+double core_peak_power(const CoreSpec& core,
+                       const PowerModelParams& params = {});
+
+}  // namespace soctest

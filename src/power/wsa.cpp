@@ -1,0 +1,120 @@
+#include "power/wsa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soctest {
+namespace {
+
+void check_sizes(const SliceSequence& slices, const WrapperDesign& design) {
+  if (static_cast<int>(slices.size()) != design.scan_in_length)
+    throw std::invalid_argument("wsa: slice count != scan-in length");
+  for (const auto& s : slices)
+    if (static_cast<int>(s.size()) != design.num_chains)
+      throw std::invalid_argument("wsa: slice width != chain count");
+}
+
+}  // namespace
+
+std::int64_t weighted_transitions(const SliceSequence& slices,
+                                  const WrapperDesign& design) {
+  check_sizes(slices, design);
+  const int depth = design.scan_in_length;
+  std::int64_t wtm = 0;
+  for (int c = 0; c < design.num_chains; ++c) {
+    const int len = design.chains[static_cast<std::size_t>(c)]
+                        .stimulus_length();
+    const int pad = depth - len;
+    // The chain's real bits occupy slices [pad, depth); bit j of the vector
+    // is slices[pad + j][c].
+    for (int j = 0; j + 1 < len; ++j) {
+      const bool a = slices[static_cast<std::size_t>(pad + j)]
+                           [static_cast<std::size_t>(c)];
+      const bool b = slices[static_cast<std::size_t>(pad + j + 1)]
+                           [static_cast<std::size_t>(c)];
+      if (a != b) wtm += len - 1 - j;
+    }
+  }
+  return wtm;
+}
+
+PowerTrace shift_power_trace(const SliceSequence& slices,
+                             const WrapperDesign& design) {
+  check_sizes(slices, design);
+  PowerTrace trace;
+  const int depth = design.scan_in_length;
+  trace.toggles_per_cycle.assign(static_cast<std::size_t>(depth), 0);
+
+  // Per-chain simulation: chain contents as a vector of bools; each cycle
+  // shift in the next slice bit and count cells whose value changed.
+  for (int c = 0; c < design.num_chains; ++c) {
+    const int len = std::max(
+        1, design.chains[static_cast<std::size_t>(c)].stimulus_length());
+    std::vector<bool> cells(static_cast<std::size_t>(len), false);
+    for (int t = 0; t < depth; ++t) {
+      const bool in = slices[static_cast<std::size_t>(t)]
+                            [static_cast<std::size_t>(c)];
+      bool carry = in;
+      std::int64_t toggles = 0;
+      for (int j = 0; j < len; ++j) {
+        const bool old = cells[static_cast<std::size_t>(j)];
+        if (old != carry) {
+          cells[static_cast<std::size_t>(j)] = carry;
+          ++toggles;
+        }
+        carry = old;
+      }
+      trace.toggles_per_cycle[static_cast<std::size_t>(t)] += toggles;
+    }
+  }
+
+  std::int64_t sum = 0;
+  for (std::int64_t t : trace.toggles_per_cycle) {
+    trace.peak = std::max(trace.peak, t);
+    sum += t;
+  }
+  trace.average = depth == 0
+                      ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(depth);
+  return trace;
+}
+
+SliceSequence expand_pattern_slices(const SliceMap& map,
+                                    const TestCubeSet& cubes, int p,
+                                    bool random_fill) {
+  const std::vector<TernaryVector> ternary = map.slices_of_pattern(cubes, p);
+  SliceSequence out;
+  out.reserve(ternary.size());
+  for (std::size_t s = 0; s < ternary.size(); ++s) {
+    const TernaryVector& slice = ternary[s];
+    // Selective-encoding fill: the majority care value of the slice.
+    const std::size_t ones = slice.count(Trit::One);
+    const std::size_t zeros = slice.count(Trit::Zero);
+    const bool majority_fill = ones > zeros;
+
+    std::vector<bool> bits(slice.size(), false);
+    for (std::size_t c = 0; c < slice.size(); ++c) {
+      switch (slice.get(c)) {
+        case Trit::One: bits[c] = true; break;
+        case Trit::Zero: bits[c] = false; break;
+        case Trit::X:
+          if (random_fill) {
+            // Deterministic position hash standing in for tester fill.
+            std::uint64_t h = (static_cast<std::uint64_t>(p) << 40) ^
+                              (static_cast<std::uint64_t>(s) << 20) ^ c;
+            h ^= h >> 33;
+            h *= 0xFF51AFD7ED558CCDull;
+            h ^= h >> 33;
+            bits[c] = h & 1;
+          } else {
+            bits[c] = majority_fill;
+          }
+          break;
+      }
+    }
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+}  // namespace soctest

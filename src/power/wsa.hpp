@@ -1,0 +1,61 @@
+// Cycle-accurate scan-power analysis, after the authors' companion paper
+// on cycle-accurate test power modeling (Samii, Larsson, Chakrabarty,
+// Peng). Two granularities:
+//
+//  - WTM (weighted transitions metric, Sankaralingam et al.): for a scan
+//    vector b_0..b_{L-1} shifted into a chain of length L, each adjacent
+//    transition b_j != b_{j+1} ripples through (L-1-j) cells, so
+//        WTM = sum_j (L - 1 - j) * (b_j xor b_{j+1}).
+//    Summed over wrapper chains it ranks patterns by shift power.
+//
+//  - A per-cycle trace: the number of toggling cells in every shift cycle,
+//    from which peak and average power follow. This is what a power-aware
+//    scheduler actually needs to guarantee a peak budget.
+//
+// The analyses run on *decompressed* slice sequences, so they expose the
+// constant-fill benefit of core-level expansion: selective encoding fills
+// every X with the slice fill symbol, producing long constant runs and
+// fewer transitions than tester-side random fill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wrapper/slice_map.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+
+/// One pattern's stimulus as fully specified slices (slice s, chain c),
+/// e.g. a DecompressorModel output or a filled SliceMap expansion.
+using SliceSequence = std::vector<std::vector<bool>>;
+
+/// Weighted transitions metric of one pattern over all wrapper chains.
+/// `design` supplies per-chain stimulus lengths (pad cycles excluded from
+/// the weight of shorter chains).
+std::int64_t weighted_transitions(const SliceSequence& slices,
+                                  const WrapperDesign& design);
+
+struct PowerTrace {
+  /// Toggling-cell count per shift cycle.
+  std::vector<std::int64_t> toggles_per_cycle;
+  std::int64_t peak = 0;
+  double average = 0.0;
+};
+
+/// Cycle-accurate shift simulation of one pattern: every cycle each chain
+/// shifts by one, and a cell toggles when its new value differs from its
+/// old one. Chains start from the previous pattern's residue (all zeros
+/// for the first pattern).
+PowerTrace shift_power_trace(const SliceSequence& slices,
+                             const WrapperDesign& design);
+
+/// Convenience: expands pattern `p` with a given X-fill policy and returns
+/// its slices. `random_fill` uses a deterministic per-position hash (the
+/// tester-side fill of uncompressed delivery); otherwise the per-slice
+/// majority fill of selective encoding is used.
+SliceSequence expand_pattern_slices(const SliceMap& map,
+                                    const TestCubeSet& cubes, int p,
+                                    bool random_fill);
+
+}  // namespace soctest

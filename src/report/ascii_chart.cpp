@@ -1,0 +1,48 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+
+std::string render_chart(const ChartSeries& s, const ChartOptions& opts) {
+  if (s.x.size() != s.y.size() || s.x.empty())
+    throw std::invalid_argument("render_chart: bad series");
+  const auto [xmin_it, xmax_it] = std::minmax_element(s.x.begin(), s.x.end());
+  const auto [ymin_it, ymax_it] = std::minmax_element(s.y.begin(), s.y.end());
+  const double xmin = *xmin_it, xmax = *xmax_it;
+  const double ymin = *ymin_it, ymax = *ymax_it;
+  const double xspan = xmax > xmin ? xmax - xmin : 1.0;
+  const double yspan = ymax > ymin ? ymax - ymin : 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(opts.height),
+      std::string(static_cast<std::size_t>(opts.width), ' '));
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    const int col = static_cast<int>(
+        std::lround((s.x[i] - xmin) / xspan * (opts.width - 1)));
+    const int row = static_cast<int>(
+        std::lround((s.y[i] - ymin) / yspan * (opts.height - 1)));
+    grid[static_cast<std::size_t>(opts.height - 1 - row)]
+        [static_cast<std::size_t>(col)] = '*';
+  }
+
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << "\n";
+  char ybuf[64];
+  std::snprintf(ybuf, sizeof ybuf, "%.3g", ymax);
+  os << ybuf << " (" << opts.y_label << " max)\n";
+  for (const std::string& row : grid) os << "|" << row << "\n";
+  std::snprintf(ybuf, sizeof ybuf, "%.3g", ymin);
+  os << ybuf << " (min)\n";
+  os << "+" << std::string(static_cast<std::size_t>(opts.width), '-') << "\n";
+  char xbuf[128];
+  std::snprintf(xbuf, sizeof xbuf, " %s: %.4g .. %.4g", opts.x_label.c_str(),
+                xmin, xmax);
+  os << xbuf << "\n";
+  return os.str();
+}
+
+}  // namespace soctest

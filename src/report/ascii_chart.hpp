@@ -1,0 +1,27 @@
+// AsciiChart: terminal line charts for the reproduced figures (test time vs
+// wrapper-chain count, test time vs TAM width).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+struct ChartSeries {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 72;   // plot area columns
+  int height = 18;  // plot area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders a scatter/line chart of one series.
+std::string render_chart(const ChartSeries& series, const ChartOptions& opts);
+
+}  // namespace soctest

@@ -1,0 +1,50 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+
+Csv::Csv(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Csv: no headers");
+}
+
+Csv& Csv::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Csv: cell count mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Csv::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string Csv::to_string() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << escape(row[c]);
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Csv::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Csv: cannot open " + path);
+  f << to_string();
+  if (!f) throw std::runtime_error("Csv: write failed for " + path);
+}
+
+}  // namespace soctest

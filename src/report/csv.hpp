@@ -1,0 +1,25 @@
+// CSV emission for downstream plotting of the reproduced figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+class Csv {
+ public:
+  explicit Csv(std::vector<std::string> headers);
+
+  Csv& add_row(std::vector<std::string> cells);
+
+  std::string to_string() const;
+  /// Writes to `path`; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,84 @@
+#include "report/json.hpp"
+
+#include <sstream>
+
+namespace soctest {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::None: return "none";
+    case Technique::SelectiveEncoding: return "selective-encoding";
+    case Technique::Dictionary: return "dictionary";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string result_to_json(const OptimizationResult& r, const SocSpec& soc) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"soc\": \"" << json_escape(soc.name) << "\",\n";
+  os << "  \"mode\": \"" << json_escape(to_string(r.mode)) << "\",\n";
+  os << "  \"constraint\": \"" << json_escape(to_string(r.constraint))
+     << "\",\n";
+  os << "  \"test_time\": " << r.test_time << ",\n";
+  os << "  \"data_volume_bits\": " << r.data_volume_bits << ",\n";
+  os << "  \"peak_power_mw\": " << r.peak_power_mw << ",\n";
+  os << "  \"cpu_seconds\": " << r.cpu_seconds << ",\n";
+  os << "  \"architecture\": {\"total_width\": " << r.arch.total_width()
+     << ", \"buses\": [";
+  for (int b = 0; b < r.arch.num_buses(); ++b)
+    os << (b ? ", " : "") << r.arch.widths[static_cast<std::size_t>(b)];
+  os << "]},\n";
+  os << "  \"wiring\": {\"onchip_wires\": " << r.wiring.onchip_wires
+     << ", \"ate_channels\": " << r.wiring.ate_channels
+     << ", \"decompressors\": " << r.wiring.decompressors
+     << ", \"flip_flops\": " << r.wiring.total_flip_flops
+     << ", \"gates\": " << r.wiring.total_gates << "},\n";
+  os << "  \"schedule\": [\n";
+  for (std::size_t i = 0; i < r.schedule.entries.size(); ++i) {
+    const ScheduleEntry& e = r.schedule.entries[i];
+    const std::string name =
+        e.core < soc.num_cores()
+            ? soc.cores[static_cast<std::size_t>(e.core)].spec.name
+            : std::to_string(e.core);
+    os << "    {\"core\": \"" << json_escape(name) << "\", \"bus\": " << e.bus
+       << ", \"start\": " << e.start << ", \"end\": " << e.end
+       << ", \"mode\": \""
+       << (e.choice.mode == AccessMode::Compressed ? "compressed" : "direct")
+       << "\", \"technique\": \"" << technique_name(e.choice.technique)
+       << "\", \"w\": " << e.choice.wires_used << ", \"m\": " << e.choice.m
+       << ", \"volume_bits\": " << e.choice.data_volume_bits << "}"
+       << (i + 1 < r.schedule.entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace soctest

@@ -1,0 +1,21 @@
+// JSON export of optimization results for downstream tooling (dashboards,
+// regression diffing). Hand-rolled emitter — the schema is small and the
+// repository carries no third-party dependencies beyond test frameworks.
+#pragma once
+
+#include <string>
+
+#include "dft/soc_spec.hpp"
+#include "opt/soc_optimizer.hpp"
+
+namespace soctest {
+
+/// Serializes a result: mode, constraint, architecture, wiring, and the
+/// full schedule with per-core choices. Stable field order.
+std::string result_to_json(const OptimizationResult& result,
+                           const SocSpec& soc);
+
+/// Escapes a string for inclusion in JSON (quotes added by caller).
+std::string json_escape(const std::string& s);
+
+}  // namespace soctest

@@ -1,0 +1,167 @@
+#include "report/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+namespace {
+
+const char* kBusColors[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                            "#76b7b2", "#edc948", "#b07aa1", "#9c755f"};
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string gantt_svg(const Schedule& schedule, const TamArchitecture& arch,
+                      const std::vector<std::string>& core_names,
+                      const SvgOptions& opts) {
+  const int label_w = 110;
+  const int top = opts.title.empty() ? 10 : 40;
+  const int plot_w = opts.width - label_w - 20;
+  const int height = top + arch.num_buses() * opts.row_height + 40;
+  const double makespan =
+      std::max<double>(1.0, static_cast<double>(schedule.makespan()));
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  if (!opts.title.empty())
+    os << "  <text x=\"" << opts.width / 2
+       << "\" y=\"24\" text-anchor=\"middle\" font-size=\"16\">"
+       << escape_xml(opts.title) << "</text>\n";
+
+  for (int b = 0; b < arch.num_buses(); ++b) {
+    const int y = top + b * opts.row_height;
+    os << "  <text x=\"6\" y=\"" << y + opts.row_height / 2 + 4
+       << "\" font-size=\"12\">TAM" << b << " (w="
+       << arch.widths[static_cast<std::size_t>(b)] << ")</text>\n";
+    os << "  <line x1=\"" << label_w << "\" y1=\"" << y + opts.row_height
+       << "\" x2=\"" << label_w + plot_w << "\" y2=\"" << y + opts.row_height
+       << "\" stroke=\"#ccc\"/>\n";
+  }
+
+  for (const ScheduleEntry& e : schedule.entries) {
+    const int y = top + e.bus * opts.row_height + 4;
+    const double x0 = label_w + e.start / makespan * plot_w;
+    const double x1 = label_w + e.end / makespan * plot_w;
+    const char* color = kBusColors[static_cast<std::size_t>(e.bus) %
+                                   (sizeof kBusColors / sizeof *kBusColors)];
+    os << "  <rect x=\"" << x0 << "\" y=\"" << y << "\" width=\""
+       << std::max(1.0, x1 - x0) << "\" height=\"" << opts.row_height - 8
+       << "\" fill=\"" << color << "\" fill-opacity=\"0.8\" stroke=\"#333\"/>"
+       << "\n";
+    std::string name = e.core < static_cast<int>(core_names.size())
+                           ? core_names[static_cast<std::size_t>(e.core)]
+                           : std::to_string(e.core);
+    os << "  <text x=\"" << (x0 + x1) / 2 << "\" y=\""
+       << y + (opts.row_height - 8) / 2 + 4
+       << "\" text-anchor=\"middle\" font-size=\"11\" fill=\"#fff\">"
+       << escape_xml(name) << "</text>\n";
+  }
+
+  os << "  <text x=\"" << label_w + plot_w << "\" y=\"" << height - 12
+     << "\" text-anchor=\"end\" font-size=\"12\">makespan = "
+     << schedule.makespan() << " cycles</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string chart_svg(const ChartSeries& series, const ChartOptions& copts,
+                      const SvgOptions& opts) {
+  if (series.x.size() != series.y.size() || series.x.empty())
+    throw std::invalid_argument("chart_svg: bad series");
+  const int margin = 60;
+  const int height = 420;
+  const int plot_w = opts.width - 2 * margin;
+  const int plot_h = height - 2 * margin;
+
+  const auto [xmin_it, xmax_it] =
+      std::minmax_element(series.x.begin(), series.x.end());
+  const auto [ymin_it, ymax_it] =
+      std::minmax_element(series.y.begin(), series.y.end());
+  const double xmin = *xmin_it, xmax = *xmax_it;
+  const double ymin = *ymin_it, ymax = *ymax_it;
+  const double xspan = xmax > xmin ? xmax - xmin : 1.0;
+  const double yspan = ymax > ymin ? ymax - ymin : 1.0;
+
+  const auto px = [&](double x) {
+    return margin + (x - xmin) / xspan * plot_w;
+  };
+  const auto py = [&](double y) {
+    return height - margin - (y - ymin) / yspan * plot_h;
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\">\n";
+  const std::string title =
+      !opts.title.empty() ? opts.title : copts.title;
+  if (!title.empty())
+    os << "  <text x=\"" << opts.width / 2
+       << "\" y=\"28\" text-anchor=\"middle\" font-size=\"16\">"
+       << escape_xml(title) << "</text>\n";
+
+  // Axes.
+  os << "  <line x1=\"" << margin << "\" y1=\"" << height - margin
+     << "\" x2=\"" << margin + plot_w << "\" y2=\"" << height - margin
+     << "\" stroke=\"#333\"/>\n";
+  os << "  <line x1=\"" << margin << "\" y1=\"" << margin << "\" x2=\""
+     << margin << "\" y2=\"" << height - margin << "\" stroke=\"#333\"/>\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", xmin);
+  os << "  <text x=\"" << margin << "\" y=\"" << height - margin + 18
+     << "\" font-size=\"11\">" << buf << "</text>\n";
+  std::snprintf(buf, sizeof buf, "%.4g", xmax);
+  os << "  <text x=\"" << margin + plot_w << "\" y=\"" << height - margin + 18
+     << "\" text-anchor=\"end\" font-size=\"11\">" << buf << "</text>\n";
+  std::snprintf(buf, sizeof buf, "%.4g", ymin);
+  os << "  <text x=\"" << margin - 6 << "\" y=\"" << height - margin
+     << "\" text-anchor=\"end\" font-size=\"11\">" << buf << "</text>\n";
+  std::snprintf(buf, sizeof buf, "%.4g", ymax);
+  os << "  <text x=\"" << margin - 6 << "\" y=\"" << margin + 4
+     << "\" text-anchor=\"end\" font-size=\"11\">" << buf << "</text>\n";
+  os << "  <text x=\"" << margin + plot_w / 2 << "\" y=\"" << height - 14
+     << "\" text-anchor=\"middle\" font-size=\"12\">"
+     << escape_xml(copts.x_label) << "</text>\n";
+  os << "  <text x=\"16\" y=\"" << height / 2
+     << "\" text-anchor=\"middle\" font-size=\"12\" transform=\"rotate(-90 "
+        "16 "
+     << height / 2 << ")\">" << escape_xml(copts.y_label) << "</text>\n";
+
+  // Polyline + markers.
+  os << "  <polyline fill=\"none\" stroke=\"#4e79a7\" stroke-width=\"1.5\" "
+        "points=\"";
+  for (std::size_t i = 0; i < series.x.size(); ++i)
+    os << px(series.x[i]) << "," << py(series.y[i]) << " ";
+  os << "\"/>\n";
+  for (std::size_t i = 0; i < series.x.size(); ++i)
+    os << "  <circle cx=\"" << px(series.x[i]) << "\" cy=\""
+       << py(series.y[i]) << "\" r=\"2\" fill=\"#e15759\"/>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg_file(const std::string& path, const std::string& svg) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_svg_file: cannot open " + path);
+  f << svg;
+  if (!f) throw std::runtime_error("write_svg_file: write failed " + path);
+}
+
+}  // namespace soctest

@@ -1,0 +1,32 @@
+// SVG rendering of schedules (Gantt) and figure series — publication-ready
+// counterparts of the ASCII renderers, written as standalone .svg files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/ascii_chart.hpp"
+#include "sched/schedule.hpp"
+#include "tam/tam_architecture.hpp"
+
+namespace soctest {
+
+struct SvgOptions {
+  int width = 900;
+  int row_height = 36;
+  std::string title;
+};
+
+/// Gantt chart: one row per bus, labeled boxes per core test.
+std::string gantt_svg(const Schedule& schedule, const TamArchitecture& arch,
+                      const std::vector<std::string>& core_names,
+                      const SvgOptions& opts = {});
+
+/// Line chart of one (x, y) series with axes and tick labels.
+std::string chart_svg(const ChartSeries& series, const ChartOptions& copts,
+                      const SvgOptions& opts = {});
+
+/// Writes `svg` to `path`; throws std::runtime_error on failure.
+void write_svg_file(const std::string& path, const std::string& svg);
+
+}  // namespace soctest

@@ -1,0 +1,31 @@
+// Table: minimal column-aligned ASCII table builder for the experiment
+// binaries (each reproduces one of the paper's tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for cells.
+  static std::string num(std::int64_t v);
+  static std::string fixed(double v, int decimals);
+
+  std::string to_string() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<std::string>& row(int i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,91 @@
+#include "sched/exact_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tam/partition.hpp"
+
+namespace soctest {
+namespace {
+
+// Depth-first assignment with branch-and-bound on the running makespan.
+void assign_rec(int core, int num_cores, const std::vector<int>& widths,
+                const std::vector<std::vector<std::int64_t>>& cost,
+                std::vector<std::int64_t>& load, std::vector<int>& assign,
+                std::int64_t& best, std::vector<int>& best_assign) {
+  if (core == num_cores) {
+    std::int64_t makespan = 0;
+    for (std::int64_t l : load) makespan = std::max(makespan, l);
+    if (makespan < best) {
+      best = makespan;
+      best_assign = assign;
+    }
+    return;
+  }
+  for (std::size_t b = 0; b < widths.size(); ++b) {
+    const std::int64_t t =
+        cost[static_cast<std::size_t>(core)][b];
+    if (load[b] + t >= best) continue;  // bound
+    load[b] += t;
+    assign[static_cast<std::size_t>(core)] = static_cast<int>(b);
+    assign_rec(core + 1, num_cores, widths, cost, load, assign, best,
+               best_assign);
+    load[b] -= t;
+  }
+}
+
+double pow_ll(double base, int exp) {
+  double r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+std::optional<ExactResult> exact_optimize(
+    int num_cores, int total_width,
+    const std::function<std::int64_t(int core, int bus_width)>& cost,
+    const ExactLimits& limits) {
+  if (num_cores > limits.max_cores) return std::nullopt;
+
+  ExactResult best;
+  best.makespan = -1;
+
+  const int kmax = std::min({limits.max_buses, num_cores, total_width});
+  for (int k = 1; k <= kmax; ++k) {
+    const std::vector<TamArchitecture> parts =
+        enumerate_partitions(total_width, k);
+    const double states = parts.size() * pow_ll(k, num_cores);
+    if (states > static_cast<double>(limits.max_states)) return std::nullopt;
+
+    for (const TamArchitecture& arch : parts) {
+      // Cache cost(core, width) per distinct width of this partition.
+      std::vector<std::vector<std::int64_t>> c(
+          static_cast<std::size_t>(num_cores),
+          std::vector<std::int64_t>(arch.widths.size(), 0));
+      for (int i = 0; i < num_cores; ++i)
+        for (std::size_t b = 0; b < arch.widths.size(); ++b)
+          c[static_cast<std::size_t>(i)][b] =
+              cost(i, arch.widths[b]);
+
+      std::vector<std::int64_t> load(arch.widths.size(), 0);
+      std::vector<int> assign(static_cast<std::size_t>(num_cores), 0);
+      std::vector<int> best_assign;
+      std::int64_t best_ms =
+          best.makespan < 0 ? std::numeric_limits<std::int64_t>::max()
+                            : best.makespan;
+      assign_rec(0, num_cores, arch.widths, c, load, assign, best_ms,
+                 best_assign);
+      if (!best_assign.empty() &&
+          (best.makespan < 0 || best_ms < best.makespan)) {
+        best.makespan = best_ms;
+        best.arch = arch;
+        best.assignment = best_assign;
+      }
+    }
+  }
+  if (best.makespan < 0) return std::nullopt;
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,39 @@
+// Exact optimizer for small instances: exhaustively enumerates TAM
+// partitions and core-to-bus assignments. Exponential — used in tests to
+// bound the greedy heuristic's optimality gap, and available to users for
+// small SOCs. The problem is NP-hard (paper Section 3), so this is gated by
+// size limits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tam/tam_architecture.hpp"
+
+namespace soctest {
+
+struct ExactResult {
+  TamArchitecture arch;
+  std::vector<int> assignment;  // core -> bus
+  std::int64_t makespan = 0;
+};
+
+struct ExactLimits {
+  int max_cores = 10;
+  int max_buses = 4;
+  std::int64_t max_states = 50'000'000;  // partitions * k^n guard
+};
+
+/// Finds the minimum-makespan (architecture, assignment) for `num_cores`
+/// cores over all partitions of `total_width` into 1..max_buses buses.
+/// `cost(core, bus_width)` must be width-monotone-free (any values allowed).
+/// Returns nullopt if the instance exceeds `limits`.
+std::optional<ExactResult> exact_optimize(
+    int num_cores, int total_width,
+    const std::function<std::int64_t(int core, int bus_width)>& cost,
+    const ExactLimits& limits = {});
+
+}  // namespace soctest

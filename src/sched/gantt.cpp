@@ -1,0 +1,41 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace soctest {
+
+std::string render_gantt(const Schedule& schedule,
+                         const TamArchitecture& arch,
+                         const std::vector<std::string>& core_names,
+                         int width_chars) {
+  const std::int64_t makespan = std::max<std::int64_t>(schedule.makespan(), 1);
+  std::ostringstream os;
+  for (int b = 0; b < arch.num_buses(); ++b) {
+    os << "TAM" << b << " (w=" << arch.widths[static_cast<std::size_t>(b)]
+       << ") |";
+    std::string row(static_cast<std::size_t>(width_chars), ' ');
+    for (const ScheduleEntry& e : schedule.entries) {
+      if (e.bus != b) continue;
+      const int c0 = static_cast<int>(e.start * width_chars / makespan);
+      const int c1 = std::max(
+          c0 + 1, static_cast<int>(e.end * width_chars / makespan));
+      std::string label = "[";
+      if (e.core < static_cast<int>(core_names.size()))
+        label += core_names[static_cast<std::size_t>(e.core)];
+      label += "]";
+      for (int c = c0; c < std::min(c1, width_chars); ++c) {
+        const std::size_t li = static_cast<std::size_t>(c - c0);
+        row[static_cast<std::size_t>(c)] =
+            li < label.size() ? label[li] : '=';
+      }
+      if (c1 - 1 < width_chars && c1 - 1 >= c0)
+        row[static_cast<std::size_t>(c1 - 1)] = ']';
+    }
+    os << row << "|\n";
+  }
+  os << "makespan = " << schedule.makespan() << " cycles\n";
+  return os.str();
+}
+
+}  // namespace soctest

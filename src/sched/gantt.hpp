@@ -1,0 +1,20 @@
+// ASCII Gantt rendering of a schedule — one row per bus, proportional bars,
+// matching the style of the paper's Figure 4 schedule diagrams.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "tam/tam_architecture.hpp"
+
+namespace soctest {
+
+/// Renders `schedule` with `core_names` labels; `width_chars` is the width
+/// of the time axis in characters.
+std::string render_gantt(const Schedule& schedule,
+                         const TamArchitecture& arch,
+                         const std::vector<std::string>& core_names,
+                         int width_chars = 72);
+
+}  // namespace soctest

@@ -1,0 +1,182 @@
+#include "sched/greedy_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+namespace {
+
+std::int64_t max_load(const std::vector<std::int64_t>& loads) {
+  std::int64_t m = 0;
+  for (std::int64_t l : loads) m = std::max(m, l);
+  return m;
+}
+
+// Best-improvement local search over core-to-bus assignments: move a core
+// off a critical bus, or swap a critical core with one on another bus.
+// Classic unrelated-machines refinement; keeps the paper's greedy
+// construction as the starting point.
+void refine(int num_cores, int num_buses,
+            const std::vector<std::vector<std::int64_t>>& time,
+            std::vector<int>& assign, std::vector<std::int64_t>& loads,
+            int max_passes) {
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const std::int64_t makespan = max_load(loads);
+    std::int64_t best_new = makespan;
+    int move_core = -1, move_to = -1, swap_with = -1;
+
+    for (int i = 0; i < num_cores; ++i) {
+      const int a = assign[static_cast<std::size_t>(i)];
+      if (loads[static_cast<std::size_t>(a)] != makespan) continue;
+      const std::int64_t t_ia = time[static_cast<std::size_t>(i)]
+                                    [static_cast<std::size_t>(a)];
+      for (int b = 0; b < num_buses; ++b) {
+        if (b == a) continue;
+        const std::int64_t t_ib = time[static_cast<std::size_t>(i)]
+                                      [static_cast<std::size_t>(b)];
+        // Move i: a loses t_ia, b gains t_ib.
+        {
+          std::int64_t new_ms = 0;
+          for (int x = 0; x < num_buses; ++x) {
+            std::int64_t l = loads[static_cast<std::size_t>(x)];
+            if (x == a) l -= t_ia;
+            if (x == b) l += t_ib;
+            new_ms = std::max(new_ms, l);
+          }
+          if (new_ms < best_new) {
+            best_new = new_ms;
+            move_core = i;
+            move_to = b;
+            swap_with = -1;
+          }
+        }
+        // Swap i with each core j on bus b.
+        for (int j = 0; j < num_cores; ++j) {
+          if (assign[static_cast<std::size_t>(j)] != b) continue;
+          const std::int64_t t_jb = time[static_cast<std::size_t>(j)]
+                                        [static_cast<std::size_t>(b)];
+          const std::int64_t t_ja = time[static_cast<std::size_t>(j)]
+                                        [static_cast<std::size_t>(a)];
+          std::int64_t new_ms = 0;
+          for (int x = 0; x < num_buses; ++x) {
+            std::int64_t l = loads[static_cast<std::size_t>(x)];
+            if (x == a) l += t_ja - t_ia;
+            if (x == b) l += t_ib - t_jb;
+            new_ms = std::max(new_ms, l);
+          }
+          if (new_ms < best_new) {
+            best_new = new_ms;
+            move_core = i;
+            move_to = b;
+            swap_with = j;
+          }
+        }
+      }
+    }
+    if (move_core < 0) return;  // local optimum
+
+    const int a = assign[static_cast<std::size_t>(move_core)];
+    loads[static_cast<std::size_t>(a)] -=
+        time[static_cast<std::size_t>(move_core)][static_cast<std::size_t>(a)];
+    loads[static_cast<std::size_t>(move_to)] +=
+        time[static_cast<std::size_t>(move_core)]
+            [static_cast<std::size_t>(move_to)];
+    assign[static_cast<std::size_t>(move_core)] = move_to;
+    if (swap_with >= 0) {
+      loads[static_cast<std::size_t>(move_to)] -=
+          time[static_cast<std::size_t>(swap_with)]
+              [static_cast<std::size_t>(move_to)];
+      loads[static_cast<std::size_t>(a)] +=
+          time[static_cast<std::size_t>(swap_with)]
+              [static_cast<std::size_t>(a)];
+      assign[static_cast<std::size_t>(swap_with)] = a;
+    }
+  }
+}
+
+}  // namespace
+
+Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,
+                         const std::vector<std::int64_t>& ref_time,
+                         const GreedyOptions& opts) {
+  if (num_cores < 0 || num_buses < 1)
+    throw std::invalid_argument("greedy_schedule: bad sizes");
+  if (static_cast<int>(ref_time.size()) != num_cores)
+    throw std::invalid_argument("greedy_schedule: ref_time size mismatch");
+
+  // Cache every (core, bus) cost once; construction and refinement reuse it.
+  std::vector<std::vector<BusAccessCost>> costs(
+      static_cast<std::size_t>(num_cores));
+  std::vector<std::vector<std::int64_t>> time(
+      static_cast<std::size_t>(num_cores),
+      std::vector<std::int64_t>(static_cast<std::size_t>(num_buses), 0));
+  for (int i = 0; i < num_cores; ++i) {
+    costs[static_cast<std::size_t>(i)].reserve(
+        static_cast<std::size_t>(num_buses));
+    for (int b = 0; b < num_buses; ++b) {
+      costs[static_cast<std::size_t>(i)].push_back(cost(i, b));
+      time[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)] =
+          costs[static_cast<std::size_t>(i)].back().time;
+    }
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(num_cores));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return ref_time[static_cast<std::size_t>(a)] >
+           ref_time[static_cast<std::size_t>(b)];
+  });
+
+  // Paper step 4: longest first, least makespan increase.
+  std::vector<int> assign(static_cast<std::size_t>(num_cores), 0);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(num_buses), 0);
+  for (int core : order) {
+    const std::int64_t makespan = max_load(loads);
+    int best_bus = -1;
+    std::int64_t best_makespan = 0, best_finish = 0;
+    for (int b = 0; b < num_buses; ++b) {
+      const std::int64_t finish =
+          loads[static_cast<std::size_t>(b)] +
+          time[static_cast<std::size_t>(core)][static_cast<std::size_t>(b)];
+      const std::int64_t new_makespan = std::max(makespan, finish);
+      const bool better =
+          best_bus < 0 || new_makespan < best_makespan ||
+          (new_makespan == best_makespan &&
+           (finish < best_finish ||
+            (finish == best_finish && !opts.stable_ties)));
+      if (better) {
+        best_bus = b;
+        best_makespan = new_makespan;
+        best_finish = finish;
+      }
+    }
+    assign[static_cast<std::size_t>(core)] = best_bus;
+    loads[static_cast<std::size_t>(best_bus)] +=
+        time[static_cast<std::size_t>(core)][static_cast<std::size_t>(best_bus)];
+  }
+
+  if (opts.refine_passes > 0)
+    refine(num_cores, num_buses, time, assign, loads, opts.refine_passes);
+
+  // Materialize the schedule: cores on each bus in construction order.
+  Schedule s;
+  s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
+  for (int core : order) {
+    const int b = assign[static_cast<std::size_t>(core)];
+    const BusAccessCost& c =
+        costs[static_cast<std::size_t>(core)][static_cast<std::size_t>(b)];
+    ScheduleEntry e;
+    e.core = core;
+    e.bus = b;
+    e.start = s.bus_finish[static_cast<std::size_t>(b)];
+    e.end = e.start + c.time;
+    e.choice = c.choice;
+    s.bus_finish[static_cast<std::size_t>(b)] = e.end;
+    s.total_volume_bits += c.volume_bits;
+    s.entries.push_back(e);
+  }
+  return s;
+}
+
+}  // namespace soctest

@@ -1,0 +1,28 @@
+// Greedy scheduler (paper step 4): cores sorted by reference test time,
+// longest first, then each core is appended to the bus where the resulting
+// increase in SOC test time is smallest. With k buses and n cores the cost
+// is O(n k) lookups plus the sort, matching the paper's complexity claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace soctest {
+
+struct GreedyOptions {
+  /// Tie-break: prefer the lowest-index (reporting-stable) bus.
+  bool stable_ties = true;
+  /// Post-construction refinement: best-improvement move/swap passes on the
+  /// assignment (0 disables; the pure paper heuristic).
+  int refine_passes = 64;
+};
+
+/// `ref_time[i]` orders the cores (descending). `cost(i, b)` gives the test
+/// time/volume of core i on bus b.
+Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,
+                         const std::vector<std::int64_t>& ref_time,
+                         const GreedyOptions& opts = {});
+
+}  // namespace soctest

@@ -1,0 +1,34 @@
+// Power-constrained test scheduling: like the step-4 greedy scheduler, but
+// the total power of concurrently running core tests may never exceed a
+// budget. Buses may idle (gaps) while waiting for power headroom, so the
+// resulting Schedule is validated with allow_gaps = true.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace soctest {
+
+/// Power drawn by core i while tested on bus b (depends on the access mode
+/// the cost function chose there).
+using PowerFn = std::function<double(int core, int bus)>;
+
+struct PowerScheduleOptions {
+  double power_budget = 0.0;  // must be > 0
+};
+
+/// Event-driven list scheduling: at each completion event, idle buses pick
+/// the longest remaining core that fits the power headroom. Throws
+/// std::runtime_error if some core alone exceeds the budget (infeasible).
+Schedule power_schedule(int num_cores, int num_buses, const CostFn& cost,
+                        const PowerFn& power,
+                        const std::vector<std::int64_t>& ref_time,
+                        const PowerScheduleOptions& opts);
+
+/// Peak concurrent power of an existing schedule under `power`.
+double schedule_peak_power(const Schedule& schedule, const PowerFn& power);
+
+}  // namespace soctest

@@ -1,0 +1,194 @@
+#include "sched/preemptive_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+
+std::int64_t SegmentedSchedule::makespan() const {
+  std::int64_t m = 0;
+  for (std::int64_t f : bus_finish) m = std::max(m, f);
+  return m;
+}
+
+void SegmentedSchedule::validate(
+    int num_cores, const std::vector<std::int64_t>& required_time) const {
+  if (static_cast<int>(required_time.size()) != num_cores)
+    throw std::logic_error("SegmentedSchedule: required_time size");
+  std::vector<std::int64_t> done(static_cast<std::size_t>(num_cores), 0);
+  std::vector<int> bound_bus(static_cast<std::size_t>(num_cores), -1);
+  std::vector<std::int64_t> bus_cursor(bus_finish.size(), 0);
+  std::vector<std::int64_t> core_cursor(static_cast<std::size_t>(num_cores),
+                                        0);
+  for (const ScheduleEntry& s : segments) {
+    if (s.core < 0 || s.core >= num_cores)
+      throw std::logic_error("SegmentedSchedule: bad core");
+    if (s.bus < 0 || s.bus >= static_cast<int>(bus_finish.size()))
+      throw std::logic_error("SegmentedSchedule: bad bus");
+    if (s.end <= s.start)
+      throw std::logic_error("SegmentedSchedule: empty segment");
+    if (s.start < bus_cursor[static_cast<std::size_t>(s.bus)])
+      throw std::logic_error("SegmentedSchedule: bus overlap");
+    bus_cursor[static_cast<std::size_t>(s.bus)] = s.end;
+    if (s.start < core_cursor[static_cast<std::size_t>(s.core)])
+      throw std::logic_error("SegmentedSchedule: core overlaps itself");
+    core_cursor[static_cast<std::size_t>(s.core)] = s.end;
+    int& bound = bound_bus[static_cast<std::size_t>(s.core)];
+    if (bound < 0)
+      bound = s.bus;
+    else if (bound != s.bus)
+      throw std::logic_error("SegmentedSchedule: core changed bus");
+    done[static_cast<std::size_t>(s.core)] += s.end - s.start;
+  }
+  for (int c = 0; c < num_cores; ++c)
+    if (done[static_cast<std::size_t>(c)] !=
+        required_time[static_cast<std::size_t>(c)])
+      throw std::logic_error("SegmentedSchedule: core " + std::to_string(c) +
+                             " ran " +
+                             std::to_string(done[static_cast<std::size_t>(c)]) +
+                             " of " +
+                             std::to_string(
+                                 required_time[static_cast<std::size_t>(c)]));
+}
+
+SegmentedSchedule preemptive_power_schedule(
+    int num_cores, int num_buses, const CostFn& cost, const PowerFn& power,
+    const std::vector<std::int64_t>& ref_time,
+    const PowerScheduleOptions& opts) {
+  if (num_cores < 0 || num_buses < 1)
+    throw std::invalid_argument("preemptive_power_schedule: bad sizes");
+  if (static_cast<int>(ref_time.size()) != num_cores)
+    throw std::invalid_argument("preemptive_power_schedule: ref_time size");
+  if (opts.power_budget <= 0.0)
+    throw std::invalid_argument("preemptive_power_schedule: budget");
+
+  // Pre-bind nothing; remaining time is defined once a core is bound.
+  std::vector<int> bound(static_cast<std::size_t>(num_cores), -1);
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(num_cores),
+                                      -1);
+  std::vector<BusAccessCost> bound_cost(static_cast<std::size_t>(num_cores));
+
+  // Feasibility: every core must fit alone on its cheapest-power bus.
+  for (int i = 0; i < num_cores; ++i) {
+    double min_p = std::numeric_limits<double>::max();
+    for (int b = 0; b < num_buses; ++b) min_p = std::min(min_p, power(i, b));
+    if (min_p > opts.power_budget)
+      throw std::runtime_error("preemptive_power_schedule: core " +
+                               std::to_string(i) + " exceeds the budget");
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(num_cores));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return ref_time[static_cast<std::size_t>(a)] >
+           ref_time[static_cast<std::size_t>(b)];
+  });
+
+  SegmentedSchedule s;
+  s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
+  int unfinished = num_cores;
+  std::int64_t now = 0;
+
+  while (unfinished > 0) {
+    // Select the active set: longest remaining first (unbound cores rank
+    // by ref_time), one per bus, within the power budget.
+    std::vector<int> pick_order = order;
+    std::stable_sort(pick_order.begin(), pick_order.end(), [&](int a, int b) {
+      const std::int64_t ra = remaining[static_cast<std::size_t>(a)] >= 0
+                                  ? remaining[static_cast<std::size_t>(a)]
+                                  : ref_time[static_cast<std::size_t>(a)];
+      const std::int64_t rb = remaining[static_cast<std::size_t>(b)] >= 0
+                                  ? remaining[static_cast<std::size_t>(b)]
+                                  : ref_time[static_cast<std::size_t>(b)];
+      return ra > rb;
+    });
+
+    std::vector<bool> bus_taken(static_cast<std::size_t>(num_buses), false);
+    std::vector<int> active;
+    double used = 0.0;
+    for (int core : pick_order) {
+      if (remaining[static_cast<std::size_t>(core)] == 0) continue;
+      int b = bound[static_cast<std::size_t>(core)];
+      if (b >= 0) {
+        if (bus_taken[static_cast<std::size_t>(b)]) continue;
+        if (used + power(core, b) > opts.power_budget) continue;
+      } else {
+        // First activation: lowest free bus that fits the budget,
+        // preferring buses without a paused (bound, unfinished) core so
+        // new work does not steal a resumption slot.
+        std::vector<int> busy_bound(static_cast<std::size_t>(num_buses), 0);
+        for (int other = 0; other < num_cores; ++other)
+          if (bound[static_cast<std::size_t>(other)] >= 0 &&
+              remaining[static_cast<std::size_t>(other)] != 0)
+            ++busy_bound[static_cast<std::size_t>(
+                bound[static_cast<std::size_t>(other)])];
+        b = -1;
+        for (int pass = 0; pass < 2 && b < 0; ++pass) {
+          for (int cand = 0; cand < num_buses; ++cand) {
+            if (bus_taken[static_cast<std::size_t>(cand)]) continue;
+            if (pass == 0 && busy_bound[static_cast<std::size_t>(cand)] > 0)
+              continue;
+            if (used + power(core, cand) > opts.power_budget) continue;
+            b = cand;
+            break;
+          }
+        }
+        if (b < 0) continue;
+        bound[static_cast<std::size_t>(core)] = b;
+        bound_cost[static_cast<std::size_t>(core)] = cost(core, b);
+        remaining[static_cast<std::size_t>(core)] =
+            bound_cost[static_cast<std::size_t>(core)].time;
+        s.total_volume_bits +=
+            bound_cost[static_cast<std::size_t>(core)].volume_bits;
+        if (remaining[static_cast<std::size_t>(core)] == 0) {
+          --unfinished;
+          continue;
+        }
+      }
+      bus_taken[static_cast<std::size_t>(b)] = true;
+      used += power(core, b);
+      active.push_back(core);
+    }
+    if (active.empty())
+      throw std::logic_error("preemptive_power_schedule: deadlock");
+
+    // Run until the earliest completion among the active cores.
+    std::int64_t step = std::numeric_limits<std::int64_t>::max();
+    for (int core : active)
+      step = std::min(step, remaining[static_cast<std::size_t>(core)]);
+
+    for (int core : active) {
+      const int b = bound[static_cast<std::size_t>(core)];
+      ScheduleEntry e;
+      e.core = core;
+      e.bus = b;
+      e.start = now;
+      e.end = now + step;
+      e.choice = bound_cost[static_cast<std::size_t>(core)].choice;
+      s.segments.push_back(e);
+      s.bus_finish[static_cast<std::size_t>(b)] = e.end;
+      remaining[static_cast<std::size_t>(core)] -= step;
+      if (remaining[static_cast<std::size_t>(core)] == 0) --unfinished;
+    }
+    now += step;
+  }
+
+  // Merge back-to-back segments of the same core (cosmetic but keeps the
+  // segment list minimal).
+  std::vector<ScheduleEntry> merged;
+  for (const ScheduleEntry& e : s.segments) {
+    if (!merged.empty() && merged.back().core == e.core &&
+        merged.back().bus == e.bus && merged.back().end == e.start) {
+      merged.back().end = e.end;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  s.segments = std::move(merged);
+  return s;
+}
+
+}  // namespace soctest

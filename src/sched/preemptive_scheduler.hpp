@@ -1,0 +1,43 @@
+// Preemptive power-constrained scheduling (after the related work on SOC
+// test scheduling with preemption and power constraints): a core's test
+// may be split into segments, pausing while the power budget is needed
+// elsewhere and resuming later *on the same bus* (re-binding a wrapper to
+// a different-width bus mid-test is not physical).
+//
+// Model: at every completion event the scheduler re-selects the active
+// set — unfinished cores in longest-remaining-first order, each bound to
+// its bus (bound at first activation, lowest free bus), subject to one
+// core per bus and the power budget. Paused cores lose nothing but time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/power_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace soctest {
+
+struct SegmentedSchedule {
+  /// Segments in start order; one core may appear in several entries.
+  std::vector<ScheduleEntry> segments;
+  std::vector<std::int64_t> bus_finish;
+  std::int64_t total_volume_bits = 0;
+
+  std::int64_t makespan() const;
+
+  /// Invariants: segments on one bus do not overlap; segments of one core
+  /// do not overlap, all run on one bus, and sum to the core's full test
+  /// time. Throws std::logic_error on violation.
+  void validate(int num_cores,
+                const std::vector<std::int64_t>& required_time) const;
+};
+
+/// Event-driven preemptive list scheduling. Same feasibility rule as
+/// power_schedule (every core must fit the budget alone).
+SegmentedSchedule preemptive_power_schedule(
+    int num_cores, int num_buses, const CostFn& cost, const PowerFn& power,
+    const std::vector<std::int64_t>& ref_time,
+    const PowerScheduleOptions& opts);
+
+}  // namespace soctest

@@ -1,0 +1,41 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+
+std::int64_t Schedule::makespan() const {
+  std::int64_t m = 0;
+  for (std::int64_t f : bus_finish) m = std::max(m, f);
+  return m;
+}
+
+void Schedule::validate(int num_cores, bool allow_gaps) const {
+  std::vector<int> seen(static_cast<std::size_t>(num_cores), 0);
+  std::vector<std::int64_t> cursor(bus_finish.size(), 0);
+  for (const ScheduleEntry& e : entries) {
+    if (e.core < 0 || e.core >= num_cores)
+      throw std::logic_error("Schedule: core index out of range");
+    if (e.bus < 0 || e.bus >= static_cast<int>(bus_finish.size()))
+      throw std::logic_error("Schedule: bus index out of range");
+    if (++seen[static_cast<std::size_t>(e.core)] > 1)
+      throw std::logic_error("Schedule: core scheduled twice");
+    std::int64_t& cur = cursor[static_cast<std::size_t>(e.bus)];
+    if (allow_gaps ? e.start < cur : e.start != cur)
+      throw std::logic_error("Schedule: gap or overlap on bus " +
+                             std::to_string(e.bus));
+    if (e.end < e.start) throw std::logic_error("Schedule: negative duration");
+    cur = e.end;
+  }
+  for (int c = 0; c < num_cores; ++c)
+    if (!seen[static_cast<std::size_t>(c)])
+      throw std::logic_error("Schedule: core " + std::to_string(c) +
+                             " unscheduled");
+  for (std::size_t b = 0; b < bus_finish.size(); ++b)
+    if (cursor[b] != bus_finish[b])
+      throw std::logic_error("Schedule: bus_finish mismatch");
+}
+
+}  // namespace soctest

@@ -1,0 +1,49 @@
+// Schedule: the outcome of the paper's step 4 — a sequential ordering of
+// cores on each test bus. Buses run concurrently; the SOC test time is the
+// latest bus finish time (makespan).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "explore/core_table.hpp"
+
+namespace soctest {
+
+struct ScheduleEntry {
+  int core = 0;
+  int bus = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  /// The access configuration chosen for this core on its bus.
+  CoreChoice choice;
+};
+
+struct Schedule {
+  std::vector<ScheduleEntry> entries;
+  std::vector<std::int64_t> bus_finish;
+  std::int64_t total_volume_bits = 0;
+
+  std::int64_t makespan() const;
+
+  /// Checks structural invariants: every core in [0, num_cores) appears
+  /// exactly once, entries on one bus do not overlap and are back-to-back
+  /// (with allow_gaps, idle gaps are permitted — power-constrained
+  /// schedules stall buses), bus_finish matches entry ends. Throws
+  /// std::logic_error on violation.
+  void validate(int num_cores, bool allow_gaps = false) const;
+};
+
+/// Cost of testing one core on one bus, as seen by the scheduler.
+struct BusAccessCost {
+  std::int64_t time = 0;
+  std::int64_t volume_bits = 0;
+  CoreChoice choice;
+};
+
+/// (core index, bus index) -> cost. Provided by the optimizer, which bakes
+/// in the architecture mode and bus realization.
+using CostFn = std::function<BusAccessCost(int core, int bus)>;
+
+}  // namespace soctest

@@ -1,0 +1,92 @@
+#include "socgen/cube_synth.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace soctest {
+
+TestCubeSet synthesize_cubes(const CubeSynthParams& p, std::uint64_t seed) {
+  if (p.num_cells <= 0 || p.num_patterns < 0)
+    throw std::invalid_argument("synthesize_cubes: bad sizes");
+  if (p.care_density <= 0.0 || p.care_density > 1.0)
+    throw std::invalid_argument("synthesize_cubes: bad care density");
+  if (p.broadside_fraction < 0.0 || p.broadside_fraction > 1.0)
+    throw std::invalid_argument("synthesize_cubes: bad broadside fraction");
+
+  // Chain starts for broadside placement.
+  std::vector<std::int64_t> chain_start;
+  if (!p.chain_lengths.empty()) {
+    chain_start.reserve(p.chain_lengths.size());
+    std::int64_t at = p.scan_cell_offset;
+    for (int len : p.chain_lengths) {
+      if (len <= 0)
+        throw std::invalid_argument("synthesize_cubes: bad chain length");
+      chain_start.push_back(at);
+      at += len;
+    }
+    if (at > p.num_cells)
+      throw std::invalid_argument("synthesize_cubes: chains exceed cells");
+  }
+
+  Rng rng(seed);
+  TestCubeSet cubes(p.num_cells);
+
+  for (int pat = 0; pat < p.num_patterns; ++pat) {
+    const auto budget = static_cast<std::int64_t>(
+        static_cast<double>(p.num_cells) * p.care_density);
+    std::vector<CareBit> bits;
+    bits.reserve(static_cast<std::size_t>(budget) + 8);
+    std::vector<bool> used(static_cast<std::size_t>(p.num_cells), false);
+
+    const auto place = [&](std::int64_t cell, bool value,
+                           std::int64_t& placed) {
+      if (cell < 0 || cell >= p.num_cells) return;
+      if (used[static_cast<std::size_t>(cell)]) return;
+      used[static_cast<std::size_t>(cell)] = true;
+      bits.push_back({static_cast<std::uint32_t>(cell), value});
+      ++placed;
+    };
+
+    std::int64_t placed = 0;
+    while (placed < budget) {
+      const int len = rng.next_geometric(p.cluster_mean);
+      const bool coherent = rng.next_bool(p.cluster_coherence);
+      const bool cluster_value = rng.next_bool(p.one_fraction);
+      const bool broadside =
+          !chain_start.empty() && rng.next_bool(p.broadside_fraction);
+
+      if (broadside) {
+        // Same depth across a run of adjacent chains.
+        const std::int64_t c0 = static_cast<std::int64_t>(
+            rng.next_below(chain_start.size()));
+        const std::int64_t depth = static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(
+                p.chain_lengths[static_cast<std::size_t>(c0)])));
+        for (int j = 0; j < len && placed < budget; ++j) {
+          const std::int64_t c = c0 + j;
+          if (c >= static_cast<std::int64_t>(chain_start.size())) break;
+          if (depth >= p.chain_lengths[static_cast<std::size_t>(c)]) continue;
+          const bool value =
+              coherent ? cluster_value : rng.next_bool(p.one_fraction);
+          place(chain_start[static_cast<std::size_t>(c)] + depth, value,
+                placed);
+        }
+      } else {
+        // Run of adjacent cells (along one chain / the input cells).
+        const std::int64_t start = static_cast<std::int64_t>(
+            rng.next_below(static_cast<std::uint64_t>(p.num_cells)));
+        for (int j = 0; j < len && placed < budget; ++j) {
+          const bool value =
+              coherent ? cluster_value : rng.next_bool(p.one_fraction);
+          place(start + j, value, placed);
+        }
+      }
+    }
+    cubes.add_pattern(std::move(bits));
+  }
+  return cubes;
+}
+
+}  // namespace soctest

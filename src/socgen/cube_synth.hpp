@@ -1,0 +1,46 @@
+// Test-cube synthesis. Real ATPG test cubes are not uniform noise: care
+// bits cluster along structurally related cells, their 0/1 values are
+// heavily skewed (constraint/reset dominated), and overall density is low
+// for large industrial cores (1-5%, paper Section 4) but high for the small
+// ISCAS cores of d695 (~44-66%). The generator reproduces those three
+// distributional properties — the only cube properties the selective
+// encoding codec and the planner are sensitive to (DESIGN.md Section 3).
+#pragma once
+
+#include <cstdint>
+
+#include "dft/test_cube_set.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+
+struct CubeSynthParams {
+  std::int64_t num_cells = 0;
+  int num_patterns = 0;
+  /// Expected fraction of specified (0/1) bits per pattern.
+  double care_density = 0.02;
+  /// Fraction of care bits that are 1 (values skew towards one symbol).
+  double one_fraction = 0.85;
+  /// Mean length of a run of adjacent specified cells.
+  double cluster_mean = 6.0;
+  /// Probability that a whole cluster shares one value (vs per-bit draws).
+  double cluster_coherence = 0.7;
+
+  /// Scan-chain structure, when known (fixed-scan cores): lengths of the
+  /// chains occupying cells [scan_cell_offset, ...) in chain order. Enables
+  /// *broadside* clusters — care bits at the same depth across adjacent
+  /// chains, the cross-chain correlation real ATPG cubes show (a logic cone
+  /// touches neighbouring chains at similar depths). These land in one
+  /// scan slice and are what the codec's group-copy-mode exploits.
+  std::vector<int> chain_lengths;
+  std::int64_t scan_cell_offset = 0;
+  /// Fraction of clusters placed broadside (requires chain_lengths).
+  double broadside_fraction = 0.35;
+};
+
+/// Deterministically synthesizes a cube set; equal (params, seed) pairs
+/// yield identical sets.
+TestCubeSet synthesize_cubes(const CubeSynthParams& params,
+                             std::uint64_t seed);
+
+}  // namespace soctest

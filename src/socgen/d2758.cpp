@@ -1,0 +1,44 @@
+#include "socgen/d2758.hpp"
+
+#include "socgen/cube_synth.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+
+SocSpec make_d2758() {
+  SocSpec soc;
+  soc.name = "d2758";
+  soc.approx_gate_count = 580'000;
+  soc.approx_latch_count = 28'000;
+
+  Rng rng(0xD2758);
+  const int num_cores = 18;
+  for (int i = 0; i < num_cores; ++i) {
+    CoreUnderTest core;
+    core.spec.name = "m" + std::to_string(i + 1);
+    core.spec.num_inputs = static_cast<int>(rng.next_range(20, 160));
+    core.spec.num_outputs = static_cast<int>(rng.next_range(10, 200));
+    const int num_chains = static_cast<int>(rng.next_range(1, 12));
+    const int total_ff = static_cast<int>(rng.next_range(120, 2'400));
+    const int base = total_ff / num_chains, extra = total_ff % num_chains;
+    for (int c = 0; c < num_chains; ++c)
+      core.spec.scan_chain_lengths.push_back(base + (c < extra ? 1 : 0));
+    core.spec.num_patterns = static_cast<int>(rng.next_range(20, 220));
+
+    CubeSynthParams p;
+    p.num_cells = core.spec.stimulus_bits_per_pattern();
+    p.num_patterns = core.spec.num_patterns;
+    p.care_density = 0.30 + 0.28 * rng.next_double();  // ~44% average
+    p.one_fraction = 0.55 + 0.12 * rng.next_double();
+    p.cluster_mean = 3.0;
+    p.chain_lengths = core.spec.scan_chain_lengths;
+    p.scan_cell_offset = core.spec.num_inputs;
+    core.cubes = synthesize_cubes(p, rng.next_u64());
+    core.validate();
+    soc.cores.push_back(std::move(core));
+  }
+  soc.validate();
+  return soc;
+}
+
+}  // namespace soctest

@@ -1,0 +1,14 @@
+// d2758: the second benchmark SOC of the paper's Table 1, taken there from
+// Iyengar & Chandra (IEE CDT 2005). The design was never released publicly,
+// so this is a fully synthetic substitute in the same regime: many small
+// scan-tested cores with high care-bit density (~44% average, per the
+// paper's d695/d2758 characterization). See DESIGN.md Section 3.
+#pragma once
+
+#include "dft/soc_spec.hpp"
+
+namespace soctest {
+
+SocSpec make_d2758();
+
+}  // namespace soctest

@@ -1,0 +1,16 @@
+// d695: reconstruction of the ITC'02 SOC test benchmark used in the paper's
+// Tables 1-3. The ten ISCAS-85/89 cores follow the published module data
+// (terminal counts, scan-chain structure, pattern counts); the test cubes
+// are synthesized at the high care-bit densities reported for these small
+// cores (~44-66% on average, paper Section 4 and its reference [19]).
+// Absolute cycle counts therefore differ from the paper; all experiments
+// compare methods on identical inputs (DESIGN.md Section 3).
+#pragma once
+
+#include "dft/soc_spec.hpp"
+
+namespace soctest {
+
+SocSpec make_d695();
+
+}  // namespace soctest

@@ -1,0 +1,91 @@
+#include "socgen/industrial.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<IndustrialCoreProfile>& industrial_catalogue() {
+  // Structural ranges from the paper (Section 4): 10k-110k scan cells,
+  // care-bit density no more than 5%, large terminal counts, flexible scan.
+  static const std::vector<IndustrialCoreProfile> catalogue = {
+      {"ckt-1", 12'000, 200, 96, 80, 96, 0.030, 0.80},
+      {"ckt-2", 18'500, 230, 130, 110, 110, 0.025, 0.82},
+      {"ckt-3", 24'000, 240, 150, 140, 84, 0.020, 0.90},
+      {"ckt-4", 30'500, 250, 180, 160, 128, 0.018, 0.86},
+      {"ckt-5", 38'000, 280, 210, 170, 100, 0.022, 0.78},
+      {"ckt-6", 47'500, 320, 240, 200, 90, 0.015, 0.88},
+      {"ckt-7", 64'000, 400, 220, 190, 120, 0.015, 0.88},
+      {"ckt-8", 72'000, 380, 260, 240, 80, 0.012, 0.90},
+      {"ckt-9", 85'000, 420, 300, 280, 72, 0.010, 0.92},
+      {"ckt-10", 10'000, 200, 64, 60, 140, 0.050, 0.75},
+      {"ckt-11", 54'000, 340, 200, 180, 104, 0.020, 0.84},
+      {"ckt-12", 96'000, 450, 320, 300, 64, 0.010, 0.90},
+      {"ckt-13", 110'000, 480, 350, 320, 60, 0.010, 0.92},
+      {"ckt-14", 15'000, 210, 100, 90, 130, 0.040, 0.76},
+      {"ckt-15", 42'000, 300, 190, 170, 96, 0.018, 0.85},
+      {"ckt-16", 28'000, 250, 160, 150, 112, 0.025, 0.80},
+  };
+  return catalogue;
+}
+
+const IndustrialCoreProfile& industrial_profile(const std::string& name) {
+  for (const IndustrialCoreProfile& p : industrial_catalogue())
+    if (p.name == name) return p;
+  throw std::out_of_range("industrial_profile: unknown core " + name);
+}
+
+CoreUnderTest make_industrial_core(const IndustrialCoreProfile& profile) {
+  CoreUnderTest core;
+  core.spec.name = profile.name;
+  core.spec.num_inputs = profile.inputs;
+  core.spec.num_outputs = profile.outputs;
+  core.spec.num_patterns = profile.patterns;
+
+  // Fixed scan chains with a deterministic +-15% length wiggle (stitching
+  // follows placement, so real chain lengths are never uniform). The last
+  // chain absorbs the remainder so the cell count is exact.
+  Rng chain_rng(fnv1a(profile.name) ^ 0x5CA9);
+  const std::int64_t base = profile.scan_cells / profile.scan_chains;
+  std::int64_t remaining = profile.scan_cells;
+  for (int i = 0; i < profile.scan_chains - 1; ++i) {
+    const std::int64_t wiggle =
+        chain_rng.next_range(-(base * 15) / 100, (base * 15) / 100);
+    std::int64_t len = std::max<std::int64_t>(1, base + wiggle);
+    len = std::min(len, remaining - (profile.scan_chains - 1 - i));
+    core.spec.scan_chain_lengths.push_back(static_cast<int>(len));
+    remaining -= len;
+  }
+  core.spec.scan_chain_lengths.push_back(static_cast<int>(remaining));
+
+  CubeSynthParams params;
+  params.num_cells = core.spec.stimulus_bits_per_pattern();
+  params.num_patterns = profile.patterns;
+  params.care_density = profile.care_density;
+  params.one_fraction = profile.one_fraction;
+  params.chain_lengths = core.spec.scan_chain_lengths;
+  params.scan_cell_offset = core.spec.num_inputs;
+  core.cubes = synthesize_cubes(params, fnv1a(profile.name));
+  core.validate();
+  return core;
+}
+
+CoreUnderTest make_industrial_core(const std::string& name) {
+  return make_industrial_core(industrial_profile(name));
+}
+
+}  // namespace soctest

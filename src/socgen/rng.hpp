@@ -1,0 +1,32 @@
+// Deterministic PRNG for synthetic workload generation. All benchmark data
+// in this repository is generated from fixed seeds so every experiment is
+// bit-reproducible across runs and platforms (no std::mt19937 distribution
+// portability caveats: we implement the draws ourselves).
+#pragma once
+
+#include <cstdint>
+
+namespace soctest {
+
+/// xoshiro256** seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, n) for n >= 1 (unbiased via rejection).
+  std::uint64_t next_below(std::uint64_t n);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Bernoulli(p).
+  bool next_bool(double p);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+  /// Geometric with mean `mean` (>= 1), truncated to >= 1.
+  int next_geometric(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace soctest

@@ -1,0 +1,60 @@
+#include "socgen/systems.hpp"
+
+#include <stdexcept>
+
+#include "socgen/d695.hpp"
+#include "socgen/industrial.hpp"
+
+namespace soctest {
+namespace {
+
+SocSpec compose(const std::string& name, std::int64_t gates,
+                const std::vector<std::string>& core_names) {
+  SocSpec soc;
+  soc.name = name;
+  soc.approx_gate_count = gates;
+  for (const std::string& cn : core_names) {
+    soc.cores.push_back(make_industrial_core(cn));
+    soc.approx_latch_count += soc.cores.back().spec.total_scan_cells();
+  }
+  soc.validate();
+  return soc;
+}
+
+}  // namespace
+
+SocSpec make_system(int index) {
+  switch (index) {
+    case 1:
+      return compose("System1", 7'130'000,
+                     {"ckt-1", "ckt-2", "ckt-4", "ckt-7", "ckt-10", "ckt-14"});
+    case 2:
+      return compose("System2", 16'740'000,
+                     {"ckt-3", "ckt-5", "ckt-6", "ckt-8", "ckt-11", "ckt-15",
+                      "ckt-16"});
+    case 3:
+      return compose("System3", 21'500'000,
+                     {"ckt-2", "ckt-6", "ckt-7", "ckt-9", "ckt-11", "ckt-12",
+                      "ckt-15", "ckt-16"});
+    case 4:
+      return compose("System4", 24'580'000,
+                     {"ckt-1", "ckt-3", "ckt-4", "ckt-5", "ckt-8", "ckt-9",
+                      "ckt-10", "ckt-12", "ckt-13", "ckt-14"});
+    default:
+      throw std::invalid_argument("make_system: index must be 1..4");
+  }
+}
+
+SocSpec make_fig4_soc() {
+  return compose("fig4-design", 9'800'000,
+                 {"ckt-1", "ckt-9", "ckt-11", "ckt-16"});
+}
+
+std::vector<SocSpec> make_table3_designs() {
+  std::vector<SocSpec> designs;
+  designs.push_back(make_d695());
+  for (int i = 1; i <= 4; ++i) designs.push_back(make_system(i));
+  return designs;
+}
+
+}  // namespace soctest

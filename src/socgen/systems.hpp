@@ -1,0 +1,18 @@
+// The paper's industrial example SOCs: System1-System4 (Table 3) composed
+// of the ckt-* industrial cores, and the four-core design of Figure 4.
+#pragma once
+
+#include "dft/soc_spec.hpp"
+
+namespace soctest {
+
+/// System`index`, index in 1..4.
+SocSpec make_system(int index);
+
+/// The Figure 4 example (cores ckt-1, ckt-9, ckt-11, ckt-16).
+SocSpec make_fig4_soc();
+
+/// All five Table 3 designs: d695, System1..System4, in paper order.
+std::vector<SocSpec> make_table3_designs();
+
+}  // namespace soctest

@@ -1,0 +1,68 @@
+#include "tam/partition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace soctest {
+
+TamArchitecture balanced_partition(int total_width, int k) {
+  if (k < 1 || total_width < k)
+    throw std::invalid_argument("balanced_partition: need W >= k >= 1");
+  TamArchitecture arch;
+  const int base = total_width / k;
+  const int extra = total_width % k;
+  for (int i = 0; i < k; ++i) arch.widths.push_back(base + (i < extra ? 1 : 0));
+  return arch;
+}
+
+std::vector<TamArchitecture> wire_move_neighbours(const TamArchitecture& arch,
+                                                  int min_width) {
+  std::set<std::vector<int>> seen;
+  std::vector<TamArchitecture> out;
+  const int k = arch.num_buses();
+  for (int from = 0; from < k; ++from) {
+    if (arch.widths[static_cast<std::size_t>(from)] - 1 < min_width) continue;
+    for (int to = 0; to < k; ++to) {
+      if (to == from) continue;
+      TamArchitecture n = arch;
+      n.widths[static_cast<std::size_t>(from)] -= 1;
+      n.widths[static_cast<std::size_t>(to)] += 1;
+      std::vector<int> key = n.widths;
+      std::sort(key.begin(), key.end());
+      if (seen.insert(std::move(key)).second) out.push_back(std::move(n));
+    }
+  }
+  return out;
+}
+
+namespace {
+void enumerate_rec(int remaining, int buses_left, int max_part, int min_width,
+                   std::vector<int>& current,
+                   std::vector<TamArchitecture>& out) {
+  if (buses_left == 0) {
+    if (remaining == 0) out.push_back(TamArchitecture{current});
+    return;
+  }
+  // Widths are emitted non-increasing; the remaining buses must be able to
+  // absorb what is left.
+  const int hi = std::min(max_part, remaining - min_width * (buses_left - 1));
+  for (int w = hi; w >= min_width; --w) {
+    if (static_cast<long long>(w) * buses_left < remaining) break;
+    current.push_back(w);
+    enumerate_rec(remaining - w, buses_left - 1, w, min_width, current, out);
+    current.pop_back();
+  }
+}
+}  // namespace
+
+std::vector<TamArchitecture> enumerate_partitions(int total_width, int k,
+                                                  int min_width) {
+  if (k < 1 || total_width < k * min_width) return {};
+  std::vector<TamArchitecture> out;
+  std::vector<int> current;
+  enumerate_rec(total_width, k, total_width, min_width, current, out);
+  return out;
+}
+
+}  // namespace soctest

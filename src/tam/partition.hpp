@@ -1,0 +1,26 @@
+// Partition generators for the TAM-width search: balanced starting points,
+// single-wire-move neighbourhoods for local search, and full enumeration of
+// compositions for the exact small-case optimizer.
+#pragma once
+
+#include <vector>
+
+#include "tam/tam_architecture.hpp"
+
+namespace soctest {
+
+/// W split into k buses as evenly as possible (wider buses first).
+TamArchitecture balanced_partition(int total_width, int k);
+
+/// All architectures reachable by moving one wire between two buses
+/// (keeping every bus >= min_width). No duplicates; input not included.
+std::vector<TamArchitecture> wire_move_neighbours(const TamArchitecture& arch,
+                                                  int min_width = 1);
+
+/// All partitions (unordered, non-increasing widths) of `total_width` into
+/// exactly k buses with each width >= min_width. Used by the exact
+/// optimizer; exponential, so callers guard sizes.
+std::vector<TamArchitecture> enumerate_partitions(int total_width, int k,
+                                                  int min_width = 1);
+
+}  // namespace soctest

@@ -1,0 +1,33 @@
+#include "tam/tam_architecture.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+
+int TamArchitecture::total_width() const {
+  return std::accumulate(widths.begin(), widths.end(), 0);
+}
+
+int TamArchitecture::widest() const {
+  return widths.empty() ? 0 : *std::max_element(widths.begin(), widths.end());
+}
+
+std::string TamArchitecture::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i) s += "+";
+    s += std::to_string(widths[i]);
+  }
+  return s;
+}
+
+void TamArchitecture::validate() const {
+  if (widths.empty())
+    throw std::invalid_argument("TamArchitecture: no buses");
+  for (int w : widths)
+    if (w < 1) throw std::invalid_argument("TamArchitecture: width < 1");
+}
+
+}  // namespace soctest

@@ -1,0 +1,25 @@
+// TamArchitecture: a partition of the SOC-level test-access width into k
+// fixed-width test buses (the paper's step 3; e.g. W_TAM = 31 -> {12,10,9}).
+// Cores assigned to a bus are tested sequentially; buses run concurrently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+struct TamArchitecture {
+  /// Bus widths, each >= 1. Order is significant only for reporting.
+  std::vector<int> widths;
+
+  int num_buses() const { return static_cast<int>(widths.size()); }
+  int total_width() const;
+  int widest() const;
+
+  /// "12+10+9" style summary.
+  std::string to_string() const;
+
+  void validate() const;  // throws on empty/invalid widths
+};
+
+}  // namespace soctest

@@ -1,0 +1,6 @@
+#include "tam/wiring_cost.hpp"
+
+// WiringMetrics is an aggregate filled in by the optimizer (src/opt); this
+// TU anchors the target. Kept separate from opt so reporting code can depend
+// on the metric type without pulling in the optimizer.
+namespace soctest {}

@@ -1,0 +1,24 @@
+// On-chip wiring metrics for the three architecture styles of the paper's
+// Figure 4. The interesting contrast: with SOC-level (per-TAM) decompression
+// the on-chip buses carry *expanded* data and are m-wide (Figure 4b,
+// "extremely wide"); with core-level decompression they carry compressed
+// data and are only w-wide (Figure 4c), at identical test time.
+#pragma once
+
+#include <cstdint>
+
+namespace soctest {
+
+struct WiringMetrics {
+  /// Total on-chip TAM wires (sum of bus widths as routed on chip).
+  int onchip_wires = 0;
+  /// ATE interface width consumed (sum of bus input widths).
+  int ate_channels = 0;
+  /// Number of decompressors instantiated.
+  int decompressors = 0;
+  /// Total decompressor flip-flops / gates across instances.
+  int total_flip_flops = 0;
+  int total_gates = 0;
+};
+
+}  // namespace soctest

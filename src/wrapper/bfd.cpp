@@ -1,0 +1,122 @@
+// Best-Fit-Decreasing wrapper-chain construction (paper step 1, after
+// Iyengar/Chakrabarty/Marinissen's Design_wrapper heuristic):
+//   1. sort internal scan chains by length, longest first;
+//   2. assign each to the wrapper chain with the currently shortest
+//      stimulus side (ties -> lowest index, for determinism);
+//   3. distribute wrapper input cells one by one onto the shortest
+//      stimulus side;
+//   4. distribute wrapper output cells onto the shortest response side.
+//
+// Flexible-scan (industrial) cores are re-stitched directly into m balanced
+// chains of contiguous cell ranges, which is what core-level compression
+// tooling assumes.
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "bitvec/bit_util.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+namespace {
+
+int shortest_stimulus_chain(const std::vector<WrapperChain>& chains) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(chains.size()); ++i)
+    if (chains[i].stimulus_length() < chains[best].stimulus_length()) best = i;
+  return best;
+}
+
+int shortest_response_chain(const std::vector<WrapperChain>& chains) {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(chains.size()); ++i)
+    if (chains[i].response_length() < chains[best].response_length()) best = i;
+  return best;
+}
+
+WrapperDesign design_fixed(const CoreSpec& core, int m) {
+  WrapperDesign d;
+  d.chains.resize(static_cast<std::size_t>(m));
+
+  // Scan chains, longest first. Remember each chain's first global cell
+  // index: scan cells follow the input cells in the canonical order.
+  struct Item {
+    int length;
+    std::uint32_t first_cell;
+  };
+  std::vector<Item> items;
+  std::uint32_t next_cell = static_cast<std::uint32_t>(core.num_inputs);
+  for (int len : core.scan_chain_lengths) {
+    items.push_back({len, next_cell});
+    next_cell += static_cast<std::uint32_t>(len);
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.length > b.length; });
+
+  for (const Item& it : items) {
+    WrapperChain& wc = d.chains[static_cast<std::size_t>(
+        shortest_stimulus_chain(d.chains))];
+    for (int j = 0; j < it.length; ++j)
+      wc.stimulus_cells.push_back(it.first_cell + static_cast<std::uint32_t>(j));
+    wc.scan_cells += it.length;
+  }
+
+  // Input cells go nearest the core, i.e. last in shift-in order.
+  for (int i = 0; i < core.num_inputs; ++i) {
+    WrapperChain& wc = d.chains[static_cast<std::size_t>(
+        shortest_stimulus_chain(d.chains))];
+    wc.stimulus_cells.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  for (int i = 0; i < core.num_outputs; ++i) {
+    WrapperChain& wc = d.chains[static_cast<std::size_t>(
+        shortest_response_chain(d.chains))];
+    wc.output_cells += 1;
+  }
+
+  d.finalize();
+  return d;
+}
+
+WrapperDesign design_flexible(const CoreSpec& core, int m) {
+  WrapperDesign d;
+  d.chains.resize(static_cast<std::size_t>(m));
+
+  const std::int64_t cells = core.flexible_scan_cells;
+  const std::int64_t base = cells / m;
+  const std::int64_t extra = cells % m;  // first `extra` chains get one more
+
+  std::uint32_t next = static_cast<std::uint32_t>(core.num_inputs);
+  for (int c = 0; c < m; ++c) {
+    const std::int64_t len = base + (c < extra ? 1 : 0);
+    WrapperChain& wc = d.chains[static_cast<std::size_t>(c)];
+    wc.stimulus_cells.reserve(static_cast<std::size_t>(len) + 2);
+    for (std::int64_t j = 0; j < len; ++j) wc.stimulus_cells.push_back(next++);
+    wc.scan_cells = static_cast<int>(len);
+  }
+
+  for (int i = 0; i < core.num_inputs; ++i) {
+    WrapperChain& wc = d.chains[static_cast<std::size_t>(
+        shortest_stimulus_chain(d.chains))];
+    wc.stimulus_cells.push_back(static_cast<std::uint32_t>(i));
+  }
+  for (int i = 0; i < core.num_outputs; ++i) {
+    WrapperChain& wc = d.chains[static_cast<std::size_t>(
+        shortest_response_chain(d.chains))];
+    wc.output_cells += 1;
+  }
+
+  d.finalize();
+  return d;
+}
+
+}  // namespace
+
+WrapperDesign design_wrapper(const CoreSpec& core, int m) {
+  if (m < 1 || m > core.max_wrapper_chains())
+    throw std::invalid_argument("design_wrapper: m out of range for core " +
+                                core.name);
+  return core.flexible_scan ? design_flexible(core, m) : design_fixed(core, m);
+}
+
+}  // namespace soctest

@@ -1,0 +1,41 @@
+#include "wrapper/slice_map.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+SliceMap::SliceMap(const WrapperDesign& design, std::int64_t num_cells)
+    : num_chains_(design.num_chains),
+      depth_(design.scan_in_length),
+      slice_of_cell_(static_cast<std::size_t>(num_cells), 0),
+      chain_of_cell_(static_cast<std::size_t>(num_cells), 0) {
+  std::vector<bool> seen(static_cast<std::size_t>(num_cells), false);
+  for (int c = 0; c < design.num_chains; ++c) {
+    const WrapperChain& wc = design.chains[static_cast<std::size_t>(c)];
+    const int pad = depth_ - wc.stimulus_length();
+    for (int j = 0; j < wc.stimulus_length(); ++j) {
+      const std::uint32_t cell = wc.stimulus_cells[static_cast<std::size_t>(j)];
+      if (cell >= seen.size() || seen[cell])
+        throw std::invalid_argument("SliceMap: bad or duplicate cell");
+      seen[cell] = true;
+      slice_of_cell_[cell] = static_cast<std::uint32_t>(pad + j);
+      chain_of_cell_[cell] = static_cast<std::uint32_t>(c);
+    }
+  }
+  for (bool s : seen)
+    if (!s) throw std::invalid_argument("SliceMap: uncovered stimulus cell");
+}
+
+std::vector<TernaryVector> SliceMap::slices_of_pattern(const TestCubeSet& cubes,
+                                                       int p) const {
+  std::vector<TernaryVector> slices(
+      static_cast<std::size_t>(depth_),
+      TernaryVector(static_cast<std::size_t>(num_chains_)));
+  for (const CareBit& b : cubes.pattern(p)) {
+    slices[slice_of_cell_[b.cell]].set(chain_of_cell_[b.cell],
+                                       b.value ? Trit::One : Trit::Zero);
+  }
+  return slices;
+}
+
+}  // namespace soctest

@@ -1,0 +1,47 @@
+// SliceMap: for a given wrapper design, maps every stimulus cell to the
+// (slice, chain) coordinate at which the decompressor must produce its bit.
+//
+// Slices are indexed 0..si-1 in shift order. A chain of stimulus length L
+// carries idle (pad) bits in slices [0, si - L) and its j-th shift-in
+// element in slice (si - L + j). The chain index is the bit position within
+// the m-bit slice word.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/ternary_vector.hpp"
+#include "dft/test_cube_set.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+
+class SliceMap {
+ public:
+  /// Builds the map for `design` over a core with `num_cells` stimulus cells.
+  SliceMap(const WrapperDesign& design, std::int64_t num_cells);
+
+  int num_chains() const { return num_chains_; }
+  /// Number of slices per pattern (= scan-in length si).
+  int depth() const { return depth_; }
+
+  std::uint32_t slice_of_cell(std::uint32_t cell) const {
+    return slice_of_cell_[cell];
+  }
+  std::uint32_t chain_of_cell(std::uint32_t cell) const {
+    return chain_of_cell_[cell];
+  }
+
+  /// Expands pattern `p` of `cubes` into a sequence of `depth()` ternary
+  /// slices of `num_chains()` bits each. Idle/pad positions are X.
+  std::vector<TernaryVector> slices_of_pattern(const TestCubeSet& cubes,
+                                               int p) const;
+
+ private:
+  int num_chains_ = 0;
+  int depth_ = 0;
+  std::vector<std::uint32_t> slice_of_cell_;
+  std::vector<std::uint32_t> chain_of_cell_;
+};
+
+}  // namespace soctest

@@ -1,0 +1,26 @@
+#include "wrapper/time_model.hpp"
+
+#include <algorithm>
+
+namespace soctest {
+
+std::int64_t uncompressed_test_time(const WrapperDesign& design, int patterns) {
+  const std::int64_t si = design.scan_in_length;
+  const std::int64_t so = design.scan_out_length;
+  if (patterns == 0) return 0;
+  return (1 + std::max(si, so)) * patterns + std::min(si, so);
+}
+
+std::int64_t compressed_test_time(std::int64_t total_codewords, int scan_out,
+                                  int patterns) {
+  if (patterns == 0) return 0;
+  return total_codewords + scan_out + patterns;
+}
+
+std::int64_t uncompressed_data_volume(const WrapperDesign& design,
+                                      int patterns) {
+  return static_cast<std::int64_t>(design.scan_in_length) *
+         design.num_chains * patterns;
+}
+
+}  // namespace soctest

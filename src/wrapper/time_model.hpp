@@ -1,0 +1,36 @@
+// Test-application time models.
+//
+// Without compression (paper Fig. 4a; Iyengar et al.'s wrapper model):
+//     tau_nc = (1 + max(si, so)) * p + min(si, so)
+// where si/so are the scan-in/scan-out lengths of the wrapper design on the
+// TAM's w wires (m = w) and p is the pattern count.
+//
+// With core-level expansion (paper Fig. 1), the decompressor consumes one
+// w-bit codeword per ATE cycle and emits complete m-bit slices to the
+// wrapper chains. Scan-out of pattern i overlaps the (never shorter)
+// compressed scan-in of pattern i+1, so
+//     tau_c = total_codewords + so + p
+// (final response flush plus one capture cycle per pattern).
+#pragma once
+
+#include <cstdint>
+
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+
+/// Cycles to apply `patterns` patterns through `design` without compression.
+std::int64_t uncompressed_test_time(const WrapperDesign& design, int patterns);
+
+/// Cycles to apply a compressed test of `total_codewords` codewords through a
+/// wrapper with scan-out length `scan_out` and `patterns` patterns.
+std::int64_t compressed_test_time(std::int64_t total_codewords, int scan_out,
+                                  int patterns);
+
+/// Uncompressed stimulus volume that the ATE must store for `design`:
+/// one si-deep word of w bits per shift cycle (pad bits included, as they
+/// occupy tester memory).
+std::int64_t uncompressed_data_volume(const WrapperDesign& design,
+                                      int patterns);
+
+}  // namespace soctest

@@ -1,0 +1,20 @@
+#include "wrapper/wrapper_design.hpp"
+
+#include <algorithm>
+
+namespace soctest {
+
+void WrapperDesign::finalize() {
+  num_chains = static_cast<int>(chains.size());
+  scan_in_length = 0;
+  scan_out_length = 0;
+  for (const WrapperChain& c : chains) {
+    scan_in_length = std::max(scan_in_length, c.stimulus_length());
+    scan_out_length = std::max(scan_out_length, c.response_length());
+  }
+  idle_bits_per_pattern = 0;
+  for (const WrapperChain& c : chains)
+    idle_bits_per_pattern += scan_in_length - c.stimulus_length();
+}
+
+}  // namespace soctest

@@ -1,0 +1,60 @@
+// WrapperDesign: the result of partitioning a core's scannable elements
+// (internal scan chains + wrapper input cells, and wrapper output cells on
+// the response side) into m wrapper chains, following the wrapper/TAM
+// co-optimization model of Iyengar, Chakrabarty & Marinissen (the paper's
+// step 1, heuristic from its reference [5]).
+//
+// Conventions
+//  - A wrapper chain's stimulus side is a sequence of stimulus-cell indices
+//    in *shift-in order*: element 0 is shifted in first (it occupies the
+//    deepest position). We place internal scan cells first and wrapper input
+//    cells last, i.e. input cells sit nearest the core terminals.
+//  - Chains are left-padded with idle bits so that all chains finish shifting
+//    together: on a chain of stimulus length L, the first (si - L) shift
+//    cycles carry idle (X) bits. These idle bits participate in compression
+//    exactly like cube Xs — the paper's first reason for non-monotonicity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dft/core_spec.hpp"
+
+namespace soctest {
+
+struct WrapperChain {
+  /// Stimulus cells in shift-in order (global cell indices; see
+  /// TestCubeSet for the canonical ordering).
+  std::vector<std::uint32_t> stimulus_cells;
+  /// Scan cells on this chain (subset of stimulus_cells, for bookkeeping).
+  int scan_cells = 0;
+  /// Wrapper output cells appended on the response side.
+  int output_cells = 0;
+
+  int stimulus_length() const {
+    return static_cast<int>(stimulus_cells.size());
+  }
+  int response_length() const { return scan_cells + output_cells; }
+};
+
+struct WrapperDesign {
+  int num_chains = 0;  // m
+  std::vector<WrapperChain> chains;
+
+  /// Longest stimulus-side chain (scan-in length si).
+  int scan_in_length = 0;
+  /// Longest response-side chain (scan-out length so).
+  int scan_out_length = 0;
+
+  /// Idle pad bits per pattern, summed over chains: sum(si - L_c).
+  std::int64_t idle_bits_per_pattern = 0;
+
+  /// Recomputes the derived fields from `chains`.
+  void finalize();
+};
+
+/// Best-Fit-Decreasing wrapper design for `core` with `m` wrapper chains.
+/// Requires 1 <= m <= core.max_wrapper_chains(). Deterministic.
+WrapperDesign design_wrapper(const CoreSpec& core, int m);
+
+}  // namespace soctest

@@ -1,0 +1,101 @@
+// ATE memory model and simulated-annealing search.
+#include <gtest/gtest.h>
+
+#include "ate/ate_memory.hpp"
+#include "bitvec/bit_util.hpp"
+#include "opt/annealing.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+class AteAnnealFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc_ = new SocSpec(testutil::mixed_soc());
+    ExploreOptions e;
+    e.max_width = 20;
+    e.max_chains = 80;
+    opt_ = new SocOptimizer(*soc_, e);
+  }
+  static void TearDownTestSuite() {
+    delete opt_;
+    delete soc_;
+    opt_ = nullptr;
+    soc_ = nullptr;
+  }
+  static SocSpec* soc_;
+  static SocOptimizer* opt_;
+};
+SocSpec* AteAnnealFixture::soc_ = nullptr;
+SocOptimizer* AteAnnealFixture::opt_ = nullptr;
+
+TEST_F(AteAnnealFixture, MemoryReportIsConsistent) {
+  OptimizerOptions o;
+  o.width = 12;
+  const OptimizationResult r = opt_->optimize(o);
+  const AteMemoryReport mem = ate_memory(r);
+
+  ASSERT_EQ(mem.bus_depth.size(), r.buses.size());
+  std::int64_t expected_total = 0;
+  for (std::size_t b = 0; b < mem.bus_depth.size(); ++b) {
+    EXPECT_GE(mem.bus_depth[b], 0);
+    EXPECT_LE(mem.bus_depth[b], mem.max_channel_depth);
+    expected_total +=
+        mem.bus_depth[b] * std::max(1, r.buses[b].ate_width);
+  }
+  EXPECT_EQ(mem.total_bits, expected_total);
+  // Channel rounding can only pad: stored bits >= scheduled volume, and the
+  // padding is below one vector per core per bus.
+  EXPECT_GE(mem.total_bits, r.data_volume_bits);
+  EXPECT_LE(mem.total_bits,
+            r.data_volume_bits +
+                static_cast<std::int64_t>(r.schedule.entries.size()) * 20);
+  EXPECT_GE(mem.imbalance, 1.0);
+}
+
+TEST_F(AteAnnealFixture, MemoryDepthTracksVolumePerBus) {
+  OptimizerOptions o;
+  o.width = 10;
+  const OptimizationResult r = opt_->optimize(o);
+  const AteMemoryReport mem = ate_memory(r);
+  // Recompute one bus by hand.
+  for (std::size_t b = 0; b < r.buses.size(); ++b) {
+    std::int64_t depth = 0;
+    for (const ScheduleEntry& e : r.schedule.entries)
+      if (e.bus == static_cast<int>(b))
+        depth += ceil_div(e.choice.data_volume_bits,
+                          std::max(1, r.buses[b].ate_width));
+    EXPECT_EQ(mem.bus_depth[b], depth);
+  }
+}
+
+TEST_F(AteAnnealFixture, AnnealingIsValidDeterministicAndCompetitive) {
+  OptimizerOptions o;
+  o.width = 14;
+  AnnealingOptions a;
+  a.iterations = 600;
+  a.seed = 5;
+
+  const OptimizationResult sa1 = optimize_annealing(*opt_, o, a);
+  const OptimizationResult sa2 = optimize_annealing(*opt_, o, a);
+  EXPECT_EQ(sa1.test_time, sa2.test_time);  // deterministic
+  sa1.schedule.validate(soc_->num_cores());
+  EXPECT_EQ(sa1.arch.total_width(), 14);
+
+  // Competitive with hill climbing (within 10% on this easy instance).
+  const OptimizationResult hill = opt_->optimize(o);
+  EXPECT_LE(sa1.test_time, hill.test_time * 11 / 10);
+}
+
+TEST_F(AteAnnealFixture, AnnealingRespectsModeSemantics) {
+  OptimizerOptions o;
+  o.width = 12;
+  o.mode = ArchMode::NoTdc;
+  const OptimizationResult r = optimize_annealing(*opt_, o, {300, 0.1, 0.99, 2});
+  for (const ScheduleEntry& e : r.schedule.entries)
+    EXPECT_EQ(e.choice.mode, AccessMode::Direct);
+}
+
+}  // namespace
+}  // namespace soctest

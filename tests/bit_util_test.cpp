@@ -1,0 +1,62 @@
+#include "bitvec/bit_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+TEST(BitUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+  EXPECT_EQ(ceil_div(10'000'000'000, 3), 3'333'333'334);
+}
+
+TEST(BitUtil, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_EQ(ceil_log2(std::uint64_t{1} << 63), 63);
+}
+
+// The paper's formula: w = ceil(log2(m+1)) + 2. Figure 2 uses w = 10 with
+// m in [128, 255].
+TEST(BitUtil, CodewordWidthMatchesPaper) {
+  EXPECT_EQ(codeword_width_for_chains(128), 10);
+  EXPECT_EQ(codeword_width_for_chains(255), 10);
+  EXPECT_EQ(codeword_width_for_chains(127), 9);
+  EXPECT_EQ(codeword_width_for_chains(256), 11);
+  // The paper's single-bit-mode example: slice XXX1000 (m = 7) uses 3+2 bits.
+  EXPECT_EQ(codeword_width_for_chains(7), 5);
+}
+
+TEST(BitUtil, WidthChainRangesAreConsistent) {
+  for (int w = 4; w <= 18; ++w) {
+    const int lo = min_chains_for_width(w);
+    const int hi = max_chains_for_width(w);
+    ASSERT_LE(lo, hi);
+    EXPECT_EQ(codeword_width_for_chains(lo), w);
+    EXPECT_EQ(codeword_width_for_chains(hi), w);
+    if (lo > 1) {
+      EXPECT_LT(codeword_width_for_chains(lo - 1), w);
+    }
+    EXPECT_GT(codeword_width_for_chains(hi + 1), w);
+  }
+  EXPECT_EQ(max_chains_for_width(2), 0);
+}
+
+TEST(BitUtil, EveryChainCountHasAWidth) {
+  for (int m = 1; m <= 4096; ++m) {
+    const int w = codeword_width_for_chains(m);
+    EXPECT_GE(m, min_chains_for_width(w));
+    EXPECT_LE(m, max_chains_for_width(w));
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,52 @@
+#include "codec/codeword.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soctest {
+namespace {
+
+TEST(CodecParams, GeometryFollowsPaperFormula) {
+  const CodecParams p = CodecParams::for_chains(255);
+  EXPECT_EQ(p.k, 8);
+  EXPECT_EQ(p.w, 10);
+  EXPECT_EQ(p.num_groups(), 32);
+  EXPECT_EQ(p.group_start(3), 24);
+  EXPECT_EQ(p.group_size(31), 7);  // 255 = 31*8 + 7
+
+  const CodecParams q = CodecParams::for_chains(7);
+  EXPECT_EQ(q.k, 3);
+  EXPECT_EQ(q.w, 5);
+  EXPECT_EQ(q.num_groups(), 3);
+  EXPECT_EQ(q.group_size(2), 1);
+
+  EXPECT_THROW(CodecParams::for_chains(1), std::invalid_argument);
+  EXPECT_THROW(CodecParams::for_chains(0), std::invalid_argument);
+}
+
+TEST(Codeword, PackUnpackRoundTrip) {
+  const CodecParams p = CodecParams::for_chains(100);  // k=7, w=9
+  for (int op = 0; op < 4; ++op) {
+    for (std::uint32_t operand : {0u, 1u, 63u, 100u, 127u}) {
+      const Codeword cw{static_cast<Opcode>(op), operand};
+      const std::uint32_t bits = pack(cw, p);
+      EXPECT_LT(bits, 1u << p.w);
+      EXPECT_EQ(unpack(bits, p), cw);
+    }
+  }
+}
+
+TEST(Codeword, PackRejectsOverflow) {
+  const CodecParams p = CodecParams::for_chains(7);  // k=3
+  EXPECT_THROW(pack({Opcode::Single, 8}, p), std::invalid_argument);
+  EXPECT_THROW(unpack(1u << p.w, p), std::invalid_argument);
+}
+
+TEST(Codeword, ToStringNames) {
+  EXPECT_EQ(to_string(Codeword{Opcode::Head, 1}), "HEAD(1)");
+  EXPECT_EQ(to_string(Codeword{Opcode::Single, 3}), "SINGLE(3)");
+  EXPECT_EQ(to_string(Codeword{Opcode::Group, 8}), "GROUP(8)");
+  EXPECT_EQ(to_string(Codeword{Opcode::Data, 5}), "DATA(5)");
+}
+
+}  // namespace
+}  // namespace soctest

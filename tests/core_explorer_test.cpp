@@ -1,0 +1,121 @@
+// CoreTable / CoreExplorer: lookup-table consistency with the underlying
+// wrapper + codec models, prefix-minimization, and the sweep series used by
+// the figure benches.
+#include <gtest/gtest.h>
+
+#include "bitvec/bit_util.hpp"
+#include "codec/sparse_cost.hpp"
+#include "explore/core_explorer.hpp"
+#include "test_util.hpp"
+#include "wrapper/slice_map.hpp"
+#include "wrapper/time_model.hpp"
+
+namespace soctest {
+namespace {
+
+ExploreOptions small_opts() {
+  ExploreOptions o;
+  o.max_width = 20;
+  o.max_chains = 64;
+  return o;
+}
+
+TEST(CoreExplorer, SweepPointsMatchDirectComputation) {
+  const CoreUnderTest core = testutil::flex_core("c", 900, 6, 0.05);
+  const CoreTable table = explore_core(core, small_opts());
+  for (int m : {2, 7, 33, 64}) {
+    const SweepPoint* pt = table.at_chains(m);
+    ASSERT_NE(pt, nullptr) << m;
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const SliceMap map(d, core.cubes.num_cells());
+    const SparseCostResult cost = sparse_stream_cost(map, core.cubes);
+    EXPECT_EQ(pt->codewords, cost.total_codewords);
+    EXPECT_EQ(pt->w, codeword_width_for_chains(m));
+    EXPECT_EQ(pt->test_time,
+              compressed_test_time(cost.total_codewords, d.scan_out_length,
+                                   core.spec.num_patterns));
+    EXPECT_EQ(pt->data_volume_bits, cost.total_codewords * pt->w);
+  }
+  EXPECT_EQ(table.at_chains(65), nullptr);
+  EXPECT_EQ(table.at_chains(1), nullptr);
+}
+
+TEST(CoreExplorer, DirectEntriesMatchWrapperModel) {
+  const CoreUnderTest core = testutil::small_core("c", 12, {40, 30, 20}, 9);
+  const CoreTable table = explore_core(core, small_opts());
+  for (int w = 1; w <= 20; ++w) {
+    const int m = std::min(w, core.spec.max_wrapper_chains());
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const CoreChoice& c = table.direct(w);
+    EXPECT_EQ(c.mode, AccessMode::Direct);
+    EXPECT_EQ(c.m, m);
+    EXPECT_EQ(c.test_time, uncompressed_test_time(d, core.spec.num_patterns));
+  }
+}
+
+TEST(CoreExplorer, BestIsPrefixMinimizedAndNeverWorseThanDirect) {
+  const CoreUnderTest core = testutil::flex_core("c", 1200, 8, 0.03);
+  const CoreTable table = explore_core(core, small_opts());
+  std::int64_t prev = table.best(1).test_time;
+  for (int w = 1; w <= table.max_width(); ++w) {
+    const CoreChoice& b = table.best(w);
+    EXPECT_LE(b.test_time, table.direct(w).test_time);
+    EXPECT_LE(b.test_time, prev);  // monotone non-increasing in w
+    prev = b.test_time;
+    const CoreChoice& e = table.best_compressed_exact(w);
+    if (e.m != 0) {
+      EXPECT_LE(b.test_time, e.test_time);
+      EXPECT_EQ(codeword_width_for_chains(e.m), w);
+    }
+  }
+}
+
+TEST(CoreExplorer, CompressionWinsOnSparseCubes) {
+  // At industrial densities the compressed choice must beat direct access
+  // once m can exceed the TAM width substantially.
+  const CoreUnderTest core = testutil::flex_core("c", 3000, 10, 0.02);
+  const CoreTable table = explore_core(core, small_opts());
+  const CoreChoice& b = table.best(8);
+  EXPECT_EQ(b.mode, AccessMode::Compressed);
+  EXPECT_LT(b.test_time, table.direct(8).test_time / 2);
+}
+
+TEST(CoreExplorer, DirectWinsOnDenseCubes) {
+  // Near-fully-specified cubes cannot compress: codewords per slice exceed
+  // the m/w expansion and the explorer must fall back to direct access.
+  const CoreUnderTest core = testutil::flex_core("c", 400, 4, 0.95, 3);
+  const CoreTable table = explore_core(core, small_opts());
+  EXPECT_EQ(table.best(12).mode, AccessMode::Direct);
+}
+
+TEST(CoreExplorer, SweepAtWidthSelectsCorrectBand) {
+  const CoreUnderTest core = testutil::flex_core("c", 800, 4, 0.05);
+  const CoreTable table = explore_core(core, small_opts());
+  const auto band = table.sweep_at_width(7);  // m in [16, 31]
+  ASSERT_FALSE(band.empty());
+  for (const SweepPoint& pt : band) {
+    EXPECT_GE(pt.m, 16);
+    EXPECT_LE(pt.m, 31);
+  }
+}
+
+TEST(CoreTable, BuilderRejectsMisuse) {
+  CoreTable t("x", 8);
+  t.add_sweep_point({5, 5, 10, 20, 50, 3});
+  EXPECT_THROW(t.add_sweep_point({5, 5, 10, 20, 50, 3}),
+               std::invalid_argument);  // non-increasing m
+  EXPECT_THROW(t.best(0), std::out_of_range);
+  EXPECT_THROW(t.best(9), std::out_of_range);
+  EXPECT_THROW(CoreTable("y", 0), std::invalid_argument);
+}
+
+TEST(CoreExplorer, ExploreSocCoversAllCores) {
+  const SocSpec soc = testutil::mixed_soc();
+  const auto tables = explore_soc(soc, small_opts());
+  ASSERT_EQ(tables.size(), soc.cores.size());
+  for (std::size_t i = 0; i < tables.size(); ++i)
+    EXPECT_EQ(tables[i].core_name(), soc.cores[i].spec.name);
+}
+
+}  // namespace
+}  // namespace soctest

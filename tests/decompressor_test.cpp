@@ -1,0 +1,122 @@
+// The cycle-accurate hardware model must agree with the software decoder
+// word for word, and its cycle count must equal the codeword count (the
+// identity behind compressed_test_time()).
+#include <gtest/gtest.h>
+
+#include "codec/stream_decoder.hpp"
+#include "codec/stream_encoder.hpp"
+#include "decomp/area_model.hpp"
+#include "decomp/decompressor_model.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+class DecompressorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompressorSweep, MatchesSoftwareDecoder) {
+  const int m = GetParam();
+  const CoreUnderTest core =
+      testutil::flex_core("c", 700, 5, 0.06, static_cast<std::uint64_t>(m));
+  if (m > core.spec.max_wrapper_chains()) GTEST_SKIP();
+
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  const EncodedStream stream = encode_stream(map, core.cubes);
+
+  StreamDecoder sw(stream.params);
+  const auto sw_slices = sw.decode(stream.words);
+
+  DecompressorModel hw(stream.params);
+  const auto hw_slices = hw.run(stream.words);
+
+  EXPECT_EQ(hw.cycles(), stream.codeword_count());
+  ASSERT_EQ(hw_slices.size(), sw_slices.size());
+  for (std::size_t i = 0; i < sw_slices.size(); ++i)
+    EXPECT_EQ(hw_slices[i], sw_slices[i]) << "slice " << i;
+  EXPECT_TRUE(hw.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DecompressorSweep,
+                         ::testing::Values(2, 3, 4, 6, 9, 17, 32, 100, 255));
+
+TEST(Decompressor, RejectsProtocolViolations) {
+  const CodecParams p = CodecParams::for_chains(8);  // k = 4
+  const auto head = [&](bool t, int count) {
+    return pack({Opcode::Head, p.head_operand(t, count)}, p);
+  };
+  {
+    DecompressorModel hw(p);
+    EXPECT_THROW(hw.clock(pack({Opcode::Single, 0}, p)),
+                 std::invalid_argument);
+  }
+  {
+    DecompressorModel hw(p);
+    hw.clock(head(true, 2));
+    EXPECT_THROW(hw.clock(pack({Opcode::Data, 0}, p)), std::invalid_argument);
+  }
+  {
+    DecompressorModel hw(p);
+    hw.clock(head(true, 2));
+    hw.clock(pack({Opcode::Group, 4}, p));
+    EXPECT_THROW(hw.clock(pack({Opcode::Single, 2}, p)),
+                 std::invalid_argument);
+  }
+  {
+    // END marker while not in escape mode.
+    DecompressorModel hw(p);
+    hw.clock(head(true, 2));
+    EXPECT_THROW(hw.clock(pack({Opcode::Single, 8}, p)),
+                 std::invalid_argument);
+  }
+  {
+    // Group pair straddling the announced body count.
+    DecompressorModel hw(p);
+    hw.clock(head(true, 1));
+    EXPECT_THROW(hw.clock(pack({Opcode::Group, 0}, p)),
+                 std::invalid_argument);
+  }
+  {
+    // Truncated stream: run() must notice the FSM is mid-slice.
+    DecompressorModel hw(p);
+    EXPECT_THROW(hw.run({{Opcode::Head, p.head_operand(true, 1)}}),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Decompressor, RunIsRepeatable) {
+  const CodecParams p = CodecParams::for_chains(10);
+  const std::vector<Codeword> words = {
+      {Opcode::Head, p.head_operand(true, 1)},
+      {Opcode::Single, 2},
+      {Opcode::Head, p.head_operand(false, 0)},
+      {Opcode::Head, p.head_operand(true, 0)},
+  };
+  DecompressorModel hw(p);
+  const auto a = hw.run(words);
+  const auto b = hw.run(words);  // run() resets state
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a[0][2]);
+  EXPECT_FALSE(a[0][3]);
+  for (bool bit : a[1]) EXPECT_TRUE(bit);   // fill of target 0 is 1
+  for (bool bit : a[2]) EXPECT_FALSE(bit);  // fill of target 1 is 0
+}
+
+TEST(AreaModel, MatchesPaperAnchors) {
+  // Controller alone: 5 FFs + 23 gates; the datapath adds the m-bit slice
+  // register, so flip-flops grow linearly in m.
+  const DecompressorArea small = decompressor_area(CodecParams::for_chains(8));
+  EXPECT_GE(small.flip_flops, 5 + 8);
+  EXPECT_GE(small.gates, 23);
+
+  const DecompressorArea big = decompressor_area(CodecParams::for_chains(255));
+  EXPECT_GT(big.flip_flops, small.flip_flops);
+  EXPECT_GT(big.gates, small.gates);
+  // ~1% overhead on million-gate designs (paper, Section 3 step 2).
+  EXPECT_LT(area_overhead_fraction(big, 10, 1'000'000), 0.05);
+  EXPECT_EQ(area_overhead_fraction(big, 10, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace soctest

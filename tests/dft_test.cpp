@@ -1,0 +1,117 @@
+// CoreSpec / TestCubeSet / SocSpec unit tests.
+#include <gtest/gtest.h>
+
+#include "dft/soc_spec.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(CoreSpec, TotalsFixedScan) {
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 10;
+  c.num_outputs = 5;
+  c.scan_chain_lengths = {30, 20, 15};
+  c.num_patterns = 4;
+  EXPECT_EQ(c.total_scan_cells(), 65);
+  EXPECT_EQ(c.stimulus_bits_per_pattern(), 75);
+  EXPECT_EQ(c.initial_data_volume_bits(), 300);
+  EXPECT_EQ(c.max_wrapper_chains(), 13);  // 3 chains + 10 input cells
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CoreSpec, TotalsFlexibleScan) {
+  CoreSpec c;
+  c.name = "f";
+  c.num_inputs = 4;
+  c.flexible_scan = true;
+  c.flexible_scan_cells = 1000;
+  c.num_patterns = 10;
+  EXPECT_EQ(c.total_scan_cells(), 1000);
+  EXPECT_EQ(c.stimulus_bits_per_pattern(), 1004);
+  EXPECT_EQ(c.max_wrapper_chains(), 1004);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(CoreSpec, ValidateRejectsBadSpecs) {
+  CoreSpec c;
+  c.name = "";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.name = "x";
+  c.num_patterns = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.num_patterns = 1;
+  c.scan_chain_lengths = {0};
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.scan_chain_lengths = {5};
+  c.flexible_scan = true;  // fixed chains + flexible is contradictory
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CoreSpec, CombinationalCoreHasOneChain) {
+  CoreSpec c;
+  c.name = "comb";
+  c.num_inputs = 0;
+  c.num_patterns = 0;
+  EXPECT_EQ(c.max_wrapper_chains(), 1);
+}
+
+TEST(TestCubeSet, SparseAndExpandedViewsAgree) {
+  TestCubeSet s(10);
+  s.add_pattern(TernaryVector::from_string("1XX0XXXXX1"));
+  ASSERT_EQ(s.num_patterns(), 1);
+  const auto& bits = s.pattern(0);
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0].cell, 0u);
+  EXPECT_TRUE(bits[0].value);
+  EXPECT_EQ(bits[1].cell, 3u);
+  EXPECT_FALSE(bits[1].value);
+  EXPECT_EQ(s.expand(0).to_string(), "1XX0XXXXX1");
+}
+
+TEST(TestCubeSet, SortsAndRejectsBadBits) {
+  TestCubeSet s(8);
+  s.add_pattern({{5, true}, {1, false}});
+  EXPECT_EQ(s.pattern(0)[0].cell, 1u);
+  EXPECT_EQ(s.pattern(0)[1].cell, 5u);
+  EXPECT_THROW(s.add_pattern({{8, true}}), std::invalid_argument);
+  EXPECT_THROW(s.add_pattern({{2, true}, {2, false}}), std::invalid_argument);
+  TestCubeSet t(4);
+  EXPECT_THROW(t.add_pattern(TernaryVector(5)), std::invalid_argument);
+}
+
+TEST(TestCubeSet, DensityAndSkewStatistics) {
+  TestCubeSet s(100);
+  std::vector<CareBit> bits;
+  for (std::uint32_t i = 0; i < 20; ++i) bits.push_back({i, i < 15});
+  s.add_pattern(bits);
+  s.add_pattern(std::vector<CareBit>{});
+  EXPECT_EQ(s.total_care_bits(), 20);
+  EXPECT_DOUBLE_EQ(s.care_bit_density(), 20.0 / 200.0);
+  EXPECT_DOUBLE_EQ(s.one_fraction(), 0.75);
+}
+
+TEST(SocSpec, ValidateCatchesMismatches) {
+  SocSpec soc = testutil::mixed_soc();
+  EXPECT_NO_THROW(soc.validate());
+  EXPECT_GT(soc.initial_data_volume_bits(), 0);
+
+  SocSpec bad = soc;
+  bad.cores[0].spec.num_patterns += 1;  // cubes no longer match
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  SocSpec empty;
+  empty.name = "e";
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+}
+
+TEST(SocSpec, InitialVolumeIsSumOfCores) {
+  const SocSpec soc = testutil::mixed_soc();
+  std::int64_t sum = 0;
+  for (const auto& c : soc.cores) sum += c.spec.initial_data_volume_bits();
+  EXPECT_EQ(soc.initial_data_volume_bits(), sum);
+}
+
+}  // namespace
+}  // namespace soctest

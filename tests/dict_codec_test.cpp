@@ -1,0 +1,166 @@
+// Dictionary-based slice compression (src/dict) and per-core technique
+// selection (explore_core_with_selection).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dict/dict_codec.hpp"
+#include "explore/technique_select.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(DictParams, Geometry) {
+  const DictParams p = DictParams::make(64, 16);
+  EXPECT_EQ(p.index_bits(), 4);
+  EXPECT_EQ(p.codeword_width(), 5);
+  EXPECT_EQ(p.literal_cycles(), 13);  // ceil(65 / 5)
+  EXPECT_THROW(DictParams::make(0, 16), std::invalid_argument);
+  EXPECT_THROW(DictParams::make(8, 10), std::invalid_argument);
+  EXPECT_THROW(DictParams::make(8, 1), std::invalid_argument);
+}
+
+TEST(Dictionary, BuildMergesCompatibleSlices) {
+  // Two-chain core whose patterns produce only two distinct slice shapes:
+  // a tiny dictionary captures everything.
+  CoreUnderTest core;
+  core.spec.name = "rep";
+  core.spec.num_inputs = 0;
+  core.spec.num_outputs = 0;
+  core.spec.scan_chain_lengths = {4, 4};
+  core.spec.num_patterns = 2;
+  core.cubes = TestCubeSet(8);
+  // Chains are {cells 0..3} and {4..7}; slice s = bits (s, s+4).
+  core.cubes.add_pattern(TernaryVector::from_string("11110000"));
+  core.cubes.add_pattern(TernaryVector::from_string("1X1X0X0X"));
+  core.validate();
+
+  const WrapperDesign d = design_wrapper(core.spec, 2);
+  const SliceMap map(d, 8);
+  const Dictionary dict = build_dictionary(map, core.cubes, 4);
+  EXPECT_LE(static_cast<int>(dict.prototypes.size()), 4);
+
+  const DictCost cost = dict_cost(map, core.cubes, dict);
+  EXPECT_EQ(cost.matched_slices + cost.literal_slices, 2 * 4);
+  EXPECT_EQ(cost.literal_slices, 0);  // everything merged
+  EXPECT_EQ(cost.total_cycles, 8);
+}
+
+using DictCase = std::tuple<int /*m*/, int /*entries*/, double /*density*/>;
+
+class DictRoundTrip : public ::testing::TestWithParam<DictCase> {};
+
+TEST_P(DictRoundTrip, DecodeReproducesCareBits) {
+  const auto [m, entries, density] = GetParam();
+  const CoreUnderTest core =
+      testutil::flex_core("c", 500, 6, density,
+                          static_cast<std::uint64_t>(m * 31 + entries));
+  if (m > core.spec.max_wrapper_chains()) GTEST_SKIP();
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  const Dictionary dict = build_dictionary(map, core.cubes, entries);
+  const DictStream stream = dict_encode(map, core.cubes, dict);
+  const auto slices = dict_decode(stream, dict);
+  ASSERT_EQ(static_cast<int>(slices.size()),
+            stream.patterns * stream.slices_per_pattern);
+
+  for (int p = 0; p < core.cubes.num_patterns(); ++p) {
+    const int base = p * stream.slices_per_pattern;
+    for (const CareBit& b : core.cubes.pattern(p)) {
+      const auto& slice =
+          slices[static_cast<std::size_t>(base) + map.slice_of_cell(b.cell)];
+      EXPECT_EQ(slice[map.chain_of_cell(b.cell)], b.value)
+          << "pattern " << p << " cell " << b.cell;
+    }
+  }
+}
+
+TEST_P(DictRoundTrip, CostMatchesStream) {
+  const auto [m, entries, density] = GetParam();
+  const CoreUnderTest core = testutil::flex_core("c", 400, 4, density, 77);
+  if (m > core.spec.max_wrapper_chains()) GTEST_SKIP();
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  const Dictionary dict = build_dictionary(map, core.cubes, entries);
+  const DictCost cost = dict_cost(map, core.cubes, dict);
+  const DictStream stream = dict_encode(map, core.cubes, dict);
+  EXPECT_EQ(cost.total_cycles,
+            static_cast<std::int64_t>(stream.words.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DictRoundTrip,
+    ::testing::Combine(::testing::Values(4, 16, 64, 200),
+                       ::testing::Values(4, 16, 64),
+                       ::testing::Values(0.02, 0.2, 0.6)));
+
+TEST(Dictionary, DecodeRejectsBadStreams) {
+  const DictParams p = DictParams::make(8, 4);  // wd = 3
+  Dictionary dict;
+  dict.params = p;
+  dict.prototypes.push_back(TernaryVector(8));
+  DictStream s;
+  s.params = p;
+  s.words = {0u};  // literal flag but no continuation words
+  EXPECT_THROW(dict_decode(s, dict), std::invalid_argument);
+  s.words = {(3u << 1) | 1u};  // index 3 beyond the 1-entry dictionary
+  EXPECT_THROW(dict_decode(s, dict), std::invalid_argument);
+}
+
+TEST(DictArea, ScalesWithGeometry) {
+  const DictArea small = dict_area(DictParams::make(16, 16));
+  const DictArea big = dict_area(DictParams::make(256, 256));
+  EXPECT_GT(big.flip_flops, small.flip_flops);
+  EXPECT_GT(big.ram_bits, small.ram_bits);
+  EXPECT_EQ(big.ram_bits, 256 * 256);
+}
+
+TEST(TechniqueSelection, NeverWorseThanSelectiveOnly) {
+  const CoreUnderTest core = testutil::flex_core("c", 2000, 10, 0.03, 5);
+  ExploreOptions e;
+  e.max_width = 20;
+  e.max_chains = 128;
+  const CoreTable plain = explore_core(core, e);
+  const CoreTable selected = explore_core_with_selection(core, e);
+  for (int w = 1; w <= 20; ++w) {
+    EXPECT_LE(selected.best(w).test_time, plain.best(w).test_time) << w;
+  }
+}
+
+TEST(TechniqueSelection, DictionaryWinsOnRepetitiveCubes) {
+  // Patterns whose touched slices repeat a handful of fully-specified
+  // shapes: dictionary indexing beats per-bit selective encoding.
+  CoreUnderTest core;
+  core.spec.name = "rep";
+  core.spec.num_inputs = 0;
+  core.spec.num_outputs = 4;
+  core.spec.scan_chain_lengths.assign(16, 32);  // 16 chains of 32
+  core.spec.num_patterns = 24;
+  core.cubes = TestCubeSet(core.spec.stimulus_bits_per_pattern());
+  for (int p = 0; p < 24; ++p) {
+    std::vector<CareBit> bits;
+    // Dense alternating slice at a per-pattern row: half 1s and half 0s,
+    // the worst case for minority targeting but a single dictionary entry.
+    const std::uint32_t row = static_cast<std::uint32_t>(p % 32);
+    for (std::uint32_t chain = 0; chain < 16; ++chain)
+      bits.push_back({chain * 32 + row, (chain % 2) == 0});
+    core.cubes.add_pattern(std::move(bits));
+  }
+  core.validate();
+
+  ExploreOptions e;
+  e.max_width = 12;
+  e.max_chains = 16;
+  DictSelectOptions d;
+  d.chain_counts = {16};
+  d.entry_counts = {4};
+  const CoreTable selected = explore_core_with_selection(core, e, d);
+  const CoreChoice& best = selected.best(6);
+  EXPECT_EQ(best.mode, AccessMode::Compressed);
+  EXPECT_EQ(best.technique, Technique::Dictionary);
+  EXPECT_EQ(best.aux, 4);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,91 @@
+#include "fdr/fdr_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "socgen/cube_synth.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+std::vector<bool> bits(const std::string& s) {
+  std::vector<bool> v;
+  for (char c : s) v.push_back(c == '1');
+  return v;
+}
+
+TEST(FdrCodec, KnownCodewords) {
+  // Group 1 covers runs {0, 1}: codewords "0"+1 tail bit.
+  // "1" = run 0 -> prefix "0", tail "0" -> 00.
+  EXPECT_EQ(fdr_encode(bits("1")), bits("00"));
+  // "01" = run 1 -> "01".
+  EXPECT_EQ(fdr_encode(bits("01")), bits("01"));
+  // "001" = run 2 -> group 2 [2..5]: prefix "10", tail "00" -> 1000.
+  EXPECT_EQ(fdr_encode(bits("001")), bits("1000"));
+  // "000001" = run 5 -> group 2, tail 3 -> "1011".
+  EXPECT_EQ(fdr_encode(bits("000001")), bits("1011"));
+  // run 6 -> group 3 [6..13]: prefix "110", tail "000".
+  EXPECT_EQ(fdr_encode(bits("0000001")), bits("110000"));
+  // Two runs concatenate: "1" then "001".
+  EXPECT_EQ(fdr_encode(bits("1001")), bits("001000"));
+}
+
+TEST(FdrCodec, RoundTripIncludingTrailingZeros) {
+  for (const char* s :
+       {"1", "0", "000", "1001", "00000000001", "10101", "0001000",
+        "1111", "000000000000000000000000001", ""}) {
+    const std::vector<bool> input = bits(s);
+    const std::vector<bool> enc = fdr_encode(input);
+    EXPECT_EQ(fdr_decode(enc, static_cast<std::int64_t>(input.size())), input)
+        << "'" << s << "'";
+  }
+}
+
+TEST(FdrCodec, RandomRoundTrip) {
+  Rng rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.next_below(2'000);
+    const double p1 = 0.01 + 0.4 * rng.next_double();
+    std::vector<bool> input(n);
+    for (std::size_t i = 0; i < n; ++i) input[i] = rng.next_bool(p1);
+    FdrStats stats;
+    const std::vector<bool> enc = fdr_encode(input, &stats);
+    EXPECT_EQ(stats.input_bits, static_cast<std::int64_t>(n));
+    EXPECT_EQ(stats.output_bits, static_cast<std::int64_t>(enc.size()));
+    EXPECT_EQ(fdr_decode(enc, static_cast<std::int64_t>(n)), input);
+  }
+}
+
+TEST(FdrCodec, CompressesSparseStreamsWell) {
+  // 1% ones: long runs -> strong compression (the regime FDR targets).
+  Rng rng(7);
+  std::vector<bool> input(50'000);
+  for (std::size_t i = 0; i < input.size(); ++i) input[i] = rng.next_bool(0.01);
+  FdrStats stats;
+  fdr_encode(input, &stats);
+  EXPECT_GT(stats.compression_ratio(), 3.0);
+
+  // Dense streams expand instead (every 1 costs >= 2 bits).
+  std::vector<bool> dense(10'000, true);
+  FdrStats dstats;
+  fdr_encode(dense, &dstats);
+  EXPECT_LT(dstats.compression_ratio(), 1.0);
+}
+
+TEST(FdrCodec, DecodeRejectsTruncation) {
+  EXPECT_THROW(fdr_decode(bits("1"), 4), std::invalid_argument);   // prefix
+  EXPECT_THROW(fdr_decode(bits("10"), 4), std::invalid_argument);  // tail
+}
+
+TEST(FdrCodec, CompressCubesUsesXFill) {
+  // All-X cubes serialize to zeros: one giant run, tiny output.
+  TestCubeSet cubes(1'000);
+  for (int p = 0; p < 5; ++p) cubes.add_pattern(std::vector<CareBit>{});
+  const FdrStats stats = fdr_compress_cubes(cubes);
+  EXPECT_EQ(stats.input_bits, 5'000);
+  EXPECT_LT(stats.output_bits, 64);
+  EXPECT_GT(stats.compression_ratio(), 50.0);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,121 @@
+// Randomized cross-module robustness: random SOCs driven through the whole
+// pipeline must satisfy every structural invariant in every mode. The
+// seeds are fixed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "codec/sparse_cost.hpp"
+#include "codec/stream_encoder.hpp"
+#include "decomp/decompressor_model.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "power/power_model.hpp"
+#include "socgen/cube_synth.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+SocSpec random_soc(std::uint64_t seed) {
+  Rng rng(seed);
+  SocSpec soc;
+  soc.name = "fuzz-" + std::to_string(seed);
+  const int cores = static_cast<int>(rng.next_range(2, 6));
+  for (int i = 0; i < cores; ++i) {
+    CoreUnderTest c;
+    c.spec.name = "c" + std::to_string(i);
+    c.spec.num_inputs = static_cast<int>(rng.next_range(0, 40));
+    c.spec.num_outputs = static_cast<int>(rng.next_range(0, 40));
+    if (rng.next_bool(0.5)) {
+      c.spec.flexible_scan = true;
+      c.spec.flexible_scan_cells = rng.next_range(50, 3'000);
+    } else {
+      const int chains = static_cast<int>(rng.next_range(1, 20));
+      for (int j = 0; j < chains; ++j)
+        c.spec.scan_chain_lengths.push_back(
+            static_cast<int>(rng.next_range(1, 150)));
+    }
+    // Guard against the all-empty corner: at least one stimulus cell.
+    if (c.spec.stimulus_bits_per_pattern() == 0) c.spec.num_inputs = 1;
+    c.spec.num_patterns = static_cast<int>(rng.next_range(1, 40));
+
+    CubeSynthParams p;
+    p.num_cells = c.spec.stimulus_bits_per_pattern();
+    p.num_patterns = c.spec.num_patterns;
+    p.care_density = 0.005 + 0.9 * rng.next_double();
+    p.one_fraction = 0.3 + 0.6 * rng.next_double();
+    p.cluster_mean = 1.0 + 9.0 * rng.next_double();
+    if (!c.spec.scan_chain_lengths.empty() && rng.next_bool(0.7)) {
+      p.chain_lengths = c.spec.scan_chain_lengths;
+      p.scan_cell_offset = c.spec.num_inputs;
+    }
+    c.cubes = synthesize_cubes(p, rng.next_u64());
+    c.validate();
+    soc.cores.push_back(std::move(c));
+  }
+  return soc;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, AllModesAllConstraintsHoldInvariants) {
+  const SocSpec soc = random_soc(static_cast<std::uint64_t>(GetParam()));
+  ExploreOptions e;
+  e.max_width = 20;
+  e.max_chains = 80;
+  const SocOptimizer opt(soc, e);
+
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  for (ArchMode mode : {ArchMode::NoTdc, ArchMode::PerCore, ArchMode::PerTam,
+                        ArchMode::FixedWidth4}) {
+    for (ConstraintMode cons :
+         {ConstraintMode::TamWidth, ConstraintMode::AteChannels}) {
+      OptimizerOptions o;
+      o.width = static_cast<int>(rng.next_range(2, 20));
+      o.mode = mode;
+      o.constraint = cons;
+      const OptimizationResult r = opt.optimize(o);
+      ASSERT_NO_THROW(r.schedule.validate(soc.num_cores()))
+          << soc.name << " " << to_string(mode) << " W=" << o.width;
+      EXPECT_EQ(r.arch.total_width(), o.width);
+      EXPECT_GT(r.test_time, 0);
+      EXPECT_EQ(r.test_time, r.schedule.makespan());
+      EXPECT_GT(r.peak_power_mw, 0.0);
+    }
+  }
+}
+
+TEST_P(PipelineFuzz, CodecRoundTripOnRandomCore) {
+  const SocSpec soc = random_soc(static_cast<std::uint64_t>(GetParam()));
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  const CoreUnderTest& core =
+      soc.cores[rng.next_below(soc.cores.size())];
+  const int max_m = std::min(60, core.spec.max_wrapper_chains());
+  if (max_m < 2) GTEST_SKIP();
+  const int m = static_cast<int>(rng.next_range(2, max_m));
+
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+
+  // Sparse cost == materialized count == hardware cycles.
+  const EncodedStream stream = encode_stream(map, core.cubes);
+  const SparseCostResult sparse = sparse_stream_cost(map, core.cubes);
+  EXPECT_EQ(sparse.total_codewords, stream.codeword_count());
+
+  DecompressorModel hw(stream.params);
+  const auto slices = hw.run(stream.words);
+  EXPECT_EQ(hw.cycles(), stream.codeword_count());
+  ASSERT_EQ(static_cast<int>(slices.size()),
+            stream.patterns * stream.slices_per_pattern);
+  for (int p = 0; p < core.cubes.num_patterns(); ++p) {
+    const int base = p * stream.slices_per_pattern;
+    for (const CareBit& b : core.cubes.pattern(p)) {
+      EXPECT_EQ(slices[static_cast<std::size_t>(base) +
+                       map.slice_of_cell(b.cell)][map.chain_of_cell(b.cell)],
+                b.value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace soctest

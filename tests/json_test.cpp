@@ -1,0 +1,57 @@
+#include "report/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ResultSerializationIsWellFormedIsh) {
+  const SocSpec soc = testutil::mixed_soc();
+  ExploreOptions e;
+  e.max_width = 12;
+  e.max_chains = 48;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 8;
+  const OptimizationResult r = opt.optimize(o);
+  const std::string json = result_to_json(r, soc);
+
+  // Structural sanity: balanced braces/brackets, all cores present,
+  // numeric fields match the result.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : json) {
+    if (c == '"' && prev != '\\') in_string = !in_string;
+    if (!in_string) {
+      braces += c == '{';
+      braces -= c == '}';
+      brackets += c == '[';
+      brackets -= c == ']';
+    }
+    prev = c;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+
+  for (const auto& core : soc.cores)
+    EXPECT_NE(json.find("\"" + core.spec.name + "\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_time\": " + std::to_string(r.test_time)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total_width\": 8"), std::string::npos);
+  EXPECT_NE(json.find("decompressor-per-core"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,109 @@
+// Cross-cutting optimizer properties on the real benchmark designs —
+// slower than unit tests but pinned to the exact workloads the paper-level
+// benches run, so bench regressions surface here first.
+#include <gtest/gtest.h>
+
+#include "ate/ate_memory.hpp"
+#include "opt/annealing.hpp"
+#include "opt/baselines.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/systems.hpp"
+
+namespace soctest {
+namespace {
+
+class D695Fixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc_ = new SocSpec(make_d695());
+    ExploreOptions e;
+    e.max_width = 32;
+    e.max_chains = 128;
+    opt_ = new SocOptimizer(*soc_, e);
+  }
+  static void TearDownTestSuite() {
+    delete opt_;
+    delete soc_;
+    opt_ = nullptr;
+    soc_ = nullptr;
+  }
+  static SocSpec* soc_;
+  static SocOptimizer* opt_;
+};
+SocSpec* D695Fixture::soc_ = nullptr;
+SocOptimizer* D695Fixture::opt_ = nullptr;
+
+TEST_F(D695Fixture, DenseBenchmarkBarelyCompresses) {
+  // The paper's d695 observation: ~44-66% care density leaves compression
+  // little to do, so the planner mostly chooses direct access.
+  const TdcComparison cmp = compare_with_without_tdc(*opt_, 24);
+  EXPECT_LE(cmp.time_reduction_factor(), 1.5);
+  EXPECT_GE(cmp.time_reduction_factor(), 1.0);
+  int compressed = 0;
+  for (const ScheduleEntry& e : cmp.with_tdc.schedule.entries)
+    compressed += e.choice.mode == AccessMode::Compressed;
+  EXPECT_LE(compressed, soc_->num_cores() / 2);
+}
+
+TEST_F(D695Fixture, ProposedDominatesPerTamUnderTamConstraint) {
+  for (int w : {16, 32}) {
+    const MethodComparison cmp =
+        compare_methods(*opt_, w, ConstraintMode::TamWidth);
+    EXPECT_LE(cmp.proposed.test_time, cmp.per_tam.test_time) << w;
+    EXPECT_LE(cmp.proposed.test_time, cmp.fixed_w4.test_time) << w;
+  }
+}
+
+TEST_F(D695Fixture, AteMemoryScalesDownWithVolume) {
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::NoTdc;
+  const AteMemoryReport without = ate_memory(opt_->optimize(o));
+  o.mode = ArchMode::PerCore;
+  const AteMemoryReport with = ate_memory(opt_->optimize(o));
+  EXPECT_LE(with.total_bits, without.total_bits * 11 / 10);
+  EXPECT_GT(with.max_channel_depth, 0);
+}
+
+TEST(OptimizerProperties, Fig4SocHeadlineShapes) {
+  // The Figure-4 claims on the actual fig4 design, as a regression test.
+  const SocSpec soc = make_fig4_soc();
+  ExploreOptions e;
+  e.max_width = 40;
+  e.max_chains = 511;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 31;
+  o.constraint = ConstraintMode::AteChannels;
+
+  o.mode = ArchMode::NoTdc;
+  const OptimizationResult a = opt.optimize(o);
+  o.mode = ArchMode::PerTam;
+  const OptimizationResult b = opt.optimize(o);
+  o.mode = ArchMode::PerCore;
+  const OptimizationResult c = opt.optimize(o);
+
+  EXPECT_GT(a.test_time, b.test_time * 5);      // TDC cuts ~10x
+  EXPECT_LE(c.test_time, b.test_time * 11 / 10);  // (c) matches (b)
+  EXPECT_LT(c.wiring.onchip_wires * 2, b.wiring.onchip_wires);
+  EXPECT_EQ(c.wiring.onchip_wires, 31);
+}
+
+TEST(OptimizerProperties, AnnealingMatchesHillClimbOnFig4) {
+  const SocSpec soc = make_fig4_soc();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 128;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 12;
+  const OptimizationResult hill = opt.optimize(o);
+  AnnealingOptions a;
+  a.iterations = 800;
+  const OptimizationResult sa = optimize_annealing(opt, o, a);
+  EXPECT_LE(sa.test_time, hill.test_time * 21 / 20);
+  EXPECT_GE(sa.test_time, hill.test_time * 19 / 20);
+}
+
+}  // namespace
+}  // namespace soctest

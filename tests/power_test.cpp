@@ -1,0 +1,139 @@
+// Power model and power-constrained scheduling (extension; see src/power).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "opt/soc_optimizer.hpp"
+#include "power/power_model.hpp"
+#include "sched/power_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(PowerModel, ScalesWithCellsAndMode) {
+  CoreSpec small;
+  small.name = "s";
+  small.flexible_scan = true;
+  small.flexible_scan_cells = 1'000;
+  small.num_patterns = 1;
+  CoreSpec big = small;
+  big.name = "b";
+  big.flexible_scan_cells = 50'000;
+
+  CoreChoice direct;
+  direct.mode = AccessMode::Direct;
+  CoreChoice compressed;
+  compressed.mode = AccessMode::Compressed;
+
+  EXPECT_LT(core_test_power(small, direct), core_test_power(big, direct));
+  // Constant-fill expansion toggles less than tester random fill.
+  EXPECT_LT(core_test_power(big, compressed), core_test_power(big, direct));
+  EXPECT_GE(core_peak_power(big), core_test_power(big, direct));
+  EXPECT_GE(core_peak_power(big), core_test_power(big, compressed));
+}
+
+// Simple synthetic instances for the scheduler itself.
+CostFn flat_cost(const std::vector<std::int64_t>& t) {
+  return [t](int core, int) {
+    BusAccessCost c;
+    c.time = t[static_cast<std::size_t>(core)];
+    c.choice.test_time = c.time;
+    return c;
+  };
+}
+
+PowerFn flat_power(const std::vector<double>& p) {
+  return [p](int core, int) { return p[static_cast<std::size_t>(core)]; };
+}
+
+TEST(PowerScheduler, RespectsBudgetAtEveryInstant) {
+  const std::vector<std::int64_t> t = {100, 90, 80, 70, 60, 50};
+  const std::vector<double> p = {5, 4, 3, 3, 2, 2};
+  PowerScheduleOptions o;
+  o.power_budget = 7.0;
+  const Schedule s = power_schedule(6, 3, flat_cost(t), flat_power(p), t, o);
+  s.validate(6, /*allow_gaps=*/true);
+  EXPECT_LE(schedule_peak_power(s, flat_power(p)), 7.0);
+}
+
+TEST(PowerScheduler, TighterBudgetNeverFaster) {
+  const std::vector<std::int64_t> t = {100, 90, 80, 70, 60, 50, 40, 30};
+  const std::vector<double> p = {5, 4, 3, 3, 2, 2, 1, 1};
+  std::int64_t prev = 0;
+  for (double budget : {21.0, 10.0, 7.0, 5.0}) {
+    PowerScheduleOptions o;
+    o.power_budget = budget;
+    const Schedule s =
+        power_schedule(8, 4, flat_cost(t), flat_power(p), t, o);
+    s.validate(8, true);
+    EXPECT_GE(s.makespan(), prev) << "budget " << budget;
+    prev = s.makespan();
+  }
+}
+
+TEST(PowerScheduler, UnlimitedBudgetMatchesUnconstrainedQuality) {
+  const std::vector<std::int64_t> t = {70, 60, 50, 40, 30};
+  const std::vector<double> p = {1, 1, 1, 1, 1};
+  PowerScheduleOptions o;
+  o.power_budget = 1e9;
+  const Schedule s = power_schedule(5, 2, flat_cost(t), flat_power(p), t, o);
+  s.validate(5, true);
+  // Sum = 250; lower bound on 2 buses = 130 (LPT-style greedy hits it).
+  EXPECT_LE(s.makespan(), 140);
+}
+
+TEST(PowerScheduler, SerializesWhenOnlyOneFits) {
+  // Budget fits exactly one core at a time: makespan = sum of times even
+  // with many buses.
+  const std::vector<std::int64_t> t = {30, 20, 10};
+  const std::vector<double> p = {2, 2, 2};
+  PowerScheduleOptions o;
+  o.power_budget = 3.0;
+  const Schedule s = power_schedule(3, 3, flat_cost(t), flat_power(p), t, o);
+  s.validate(3, true);
+  EXPECT_EQ(s.makespan(), 60);
+  EXPECT_LE(schedule_peak_power(s, flat_power(p)), 3.0);
+}
+
+TEST(PowerScheduler, InfeasibleCoreThrows) {
+  PowerScheduleOptions o;
+  o.power_budget = 1.0;
+  EXPECT_THROW(power_schedule(1, 1, flat_cost({10}), flat_power({2.0}), {10},
+                              o),
+               std::runtime_error);
+  o.power_budget = 0.0;
+  EXPECT_THROW(power_schedule(1, 1, flat_cost({10}), flat_power({0.5}), {10},
+                              o),
+               std::invalid_argument);
+}
+
+TEST(PowerScheduler, OptimizerIntegration) {
+  const SocSpec soc = testutil::mixed_soc();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions unconstrained;
+  unconstrained.width = 12;
+  const OptimizationResult free_run = opt.optimize(unconstrained);
+  EXPECT_GT(free_run.peak_power_mw, 0.0);
+
+  double floor_mw = 0.0;  // one core must always fit
+  for (const auto& c : soc.cores)
+    floor_mw = std::max(floor_mw, core_peak_power(c.spec));
+
+  OptimizerOptions capped = unconstrained;
+  capped.power_budget_mw =
+      std::max(free_run.peak_power_mw * 0.7, floor_mw + 0.1);
+  if (capped.power_budget_mw >= free_run.peak_power_mw)
+    GTEST_SKIP() << "instance too small to constrain meaningfully";
+  const OptimizationResult capped_run = opt.optimize(capped);
+  capped_run.schedule.validate(soc.num_cores(), true);
+  EXPECT_LE(capped_run.peak_power_mw, capped.power_budget_mw + 1e-9);
+  EXPECT_GE(capped_run.test_time, free_run.test_time);
+}
+
+}  // namespace
+}  // namespace soctest

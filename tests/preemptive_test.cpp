@@ -1,0 +1,129 @@
+// Preemptive power-constrained scheduling.
+#include <gtest/gtest.h>
+
+#include "sched/preemptive_scheduler.hpp"
+
+namespace soctest {
+namespace {
+
+CostFn flat_cost(const std::vector<std::int64_t>& t) {
+  return [t](int core, int) {
+    BusAccessCost c;
+    c.time = t[static_cast<std::size_t>(core)];
+    c.volume_bits = c.time;
+    c.choice.test_time = c.time;
+    return c;
+  };
+}
+
+PowerFn flat_power(const std::vector<double>& p) {
+  return [p](int core, int) { return p[static_cast<std::size_t>(core)]; };
+}
+
+double segments_peak_power(const SegmentedSchedule& s, const PowerFn& power) {
+  double peak = 0.0;
+  for (const ScheduleEntry& e : s.segments) {
+    double at = 0.0;
+    for (const ScheduleEntry& o : s.segments)
+      if (o.start <= e.start && e.start < o.end) at += power(o.core, o.bus);
+    peak = std::max(peak, at);
+  }
+  return peak;
+}
+
+TEST(PreemptiveScheduler, UnconstrainedMatchesListScheduling) {
+  const std::vector<std::int64_t> t = {50, 40, 30, 20};
+  const std::vector<double> p = {1, 1, 1, 1};
+  PowerScheduleOptions o;
+  o.power_budget = 100.0;
+  const SegmentedSchedule s =
+      preemptive_power_schedule(4, 2, flat_cost(t), flat_power(p), t, o);
+  s.validate(4, t);
+  // Two buses, ample power: 50+20 / 40+30 -> makespan 70.
+  EXPECT_EQ(s.makespan(), 70);
+}
+
+TEST(PreemptiveScheduler, RespectsBudgetAndCompletes) {
+  const std::vector<std::int64_t> t = {80, 70, 60, 50, 40};
+  const std::vector<double> p = {5, 4, 3, 2, 2};
+  PowerScheduleOptions o;
+  o.power_budget = 7.5;
+  const SegmentedSchedule s =
+      preemptive_power_schedule(5, 3, flat_cost(t), flat_power(p), t, o);
+  s.validate(5, t);
+  EXPECT_LE(segments_peak_power(s, flat_power(p)), 7.5);
+}
+
+TEST(PreemptiveScheduler, PreemptionBeatsNonPreemptiveOnCraftedInstance) {
+  // Two buses, budget 3. Core 0: long, power 2. Core 1: long, power 2.
+  // Core 2: short, power 3 (needs the budget alone).
+  // Non-preemptive: cores 0 and 1 run together (power 4 > 3? no: 2+2=4 > 3
+  // so they serialize anyway)... Budget 3 admits only one of {0,1} at a
+  // time, and core 2 needs everything. Preemption cannot be worse; check
+  // it interleaves correctly and matches the serial lower bound.
+  const std::vector<std::int64_t> t = {60, 60, 20};
+  const std::vector<double> p = {2, 2, 3};
+  PowerScheduleOptions o;
+  o.power_budget = 3.0;
+
+  const SegmentedSchedule pre =
+      preemptive_power_schedule(3, 2, flat_cost(t), flat_power(p), t, o);
+  pre.validate(3, t);
+  EXPECT_LE(segments_peak_power(pre, flat_power(p)), 3.0);
+  // Everything is mutually exclusive: serial bound 140.
+  EXPECT_EQ(pre.makespan(), 140);
+
+  const Schedule nonpre =
+      power_schedule(3, 2, flat_cost(t), flat_power(p), t, o);
+  nonpre.validate(3, true);
+  EXPECT_GE(nonpre.makespan(), pre.makespan());
+}
+
+TEST(PreemptiveScheduler, SplitsWhenPowerFrees) {
+  // Budget 4; cores: A(time 100, power 3), B(time 100, power 3),
+  // C(time 10, power 1). C fits beside either; A and B exclude each other.
+  // Preemptive: A runs with C; when C ends, A continues alone; B waits for
+  // A -> makespan 200. The point: C overlapped, costing nothing.
+  const std::vector<std::int64_t> t = {100, 100, 10};
+  const std::vector<double> p = {3, 3, 1};
+  PowerScheduleOptions o;
+  o.power_budget = 4.0;
+  const SegmentedSchedule s =
+      preemptive_power_schedule(3, 3, flat_cost(t), flat_power(p), t, o);
+  s.validate(3, t);
+  EXPECT_EQ(s.makespan(), 200);
+  EXPECT_LE(segments_peak_power(s, flat_power(p)), 4.0);
+}
+
+TEST(PreemptiveScheduler, RejectsInfeasibleAndBadArgs) {
+  PowerScheduleOptions o;
+  o.power_budget = 1.0;
+  EXPECT_THROW(preemptive_power_schedule(1, 1, flat_cost({5}),
+                                         flat_power({2.0}), {5}, o),
+               std::runtime_error);
+  o.power_budget = 0.0;
+  EXPECT_THROW(preemptive_power_schedule(1, 1, flat_cost({5}),
+                                         flat_power({0.5}), {5}, o),
+               std::invalid_argument);
+}
+
+TEST(SegmentedSchedule, ValidateCatchesCorruption) {
+  const std::vector<std::int64_t> t = {30, 20};
+  const std::vector<double> p = {1, 1};
+  PowerScheduleOptions o;
+  o.power_budget = 10.0;
+  SegmentedSchedule s =
+      preemptive_power_schedule(2, 2, flat_cost(t), flat_power(p), t, o);
+  s.validate(2, t);
+
+  SegmentedSchedule wrong_total = s;
+  wrong_total.segments[0].end -= 1;
+  EXPECT_THROW(wrong_total.validate(2, t), std::logic_error);
+
+  SegmentedSchedule moved_bus = s;
+  moved_bus.segments.push_back(moved_bus.segments[0]);
+  EXPECT_THROW(moved_bus.validate(2, t), std::logic_error);
+}
+
+}  // namespace
+}  // namespace soctest

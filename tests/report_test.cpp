@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/ascii_chart.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Table, AlignsColumnsAndFormats) {
+  Table t({"design", "tau", "factor"});
+  t.add_row({"d695", Table::num(123456), Table::fixed(12.586, 2)});
+  t.add_row({"System1", Table::num(7), Table::fixed(0.5, 2)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("design"), std::string::npos);
+  EXPECT_NE(s.find("123456"), std::string::npos);
+  EXPECT_NE(s.find("12.59"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.row(1)[0], "System1");
+  EXPECT_THROW(t.add_row({"too", "few"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Csv, EscapesAndWrites) {
+  Csv csv({"a", "b"});
+  csv.add_row({"plain", "has,comma"});
+  csv.add_row({"has\"quote", "multi\nline"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+
+  const std::string path = "/tmp/soctest_csv_test.csv";
+  csv.write_file(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first, "a,b");
+  std::remove(path.c_str());
+  EXPECT_THROW(csv.write_file("/nonexistent-dir/x.csv"), std::runtime_error);
+  EXPECT_THROW(csv.add_row({"one"}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RendersExtremes) {
+  ChartSeries s;
+  for (int i = 0; i <= 20; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i == 13 ? 5.0 : 100.0 + i);
+  }
+  ChartOptions o;
+  o.title = "test chart";
+  o.x_label = "m";
+  o.y_label = "tau";
+  const std::string out = render_chart(s, o);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("m: 0 .. 20"), std::string::npos);
+
+  ChartSeries bad;
+  EXPECT_THROW(render_chart(bad, o), std::invalid_argument);
+  bad.x = {1.0};
+  EXPECT_THROW(render_chart(bad, o), std::invalid_argument);
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
+  ChartSeries s;
+  s.x = {1, 2, 3};
+  s.y = {5, 5, 5};
+  ChartOptions o;
+  EXPECT_NO_THROW(render_chart(s, o));
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,158 @@
+// Greedy scheduler unit tests + heuristic-vs-exact quality bound, plus
+// Schedule::validate fault detection.
+#include <gtest/gtest.h>
+
+#include "sched/exact_scheduler.hpp"
+#include "sched/gantt.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+CostFn uniform_cost(const std::vector<std::int64_t>& times) {
+  return [times](int core, int /*bus*/) {
+    BusAccessCost c;
+    c.time = times[static_cast<std::size_t>(core)];
+    c.volume_bits = c.time * 2;
+    c.choice.test_time = c.time;
+    return c;
+  };
+}
+
+TEST(GreedyScheduler, LptOnIdenticalBuses) {
+  // Classic LPT instance: times {7,6,5,4,3} on 2 buses. Pure LPT packs
+  // 7+4+3 / 6+5 -> makespan 14; the refinement pass recovers the optimum 13.
+  const std::vector<std::int64_t> t = {3, 7, 4, 6, 5};
+  GreedyOptions pure;
+  pure.refine_passes = 0;
+  const Schedule lpt = greedy_schedule(5, 2, uniform_cost(t), t, pure);
+  lpt.validate(5);
+  EXPECT_EQ(lpt.makespan(), 14);
+  EXPECT_EQ(lpt.total_volume_bits, 2 * (3 + 7 + 4 + 6 + 5));
+
+  const Schedule refined = greedy_schedule(5, 2, uniform_cost(t), t);
+  refined.validate(5);
+  EXPECT_EQ(refined.makespan(), 13);
+}
+
+TEST(GreedyScheduler, SingleBusSumsTimes) {
+  const std::vector<std::int64_t> t = {10, 20, 30};
+  const Schedule s = greedy_schedule(3, 1, uniform_cost(t), t);
+  s.validate(3);
+  EXPECT_EQ(s.makespan(), 60);
+  // Longest first on the single bus.
+  EXPECT_EQ(s.entries[0].core, 2);
+}
+
+TEST(GreedyScheduler, BusDependentCosts) {
+  // Bus 1 is twice as fast for core 0; scheduler must exploit that.
+  const CostFn cost = [](int core, int bus) {
+    BusAccessCost c;
+    c.time = core == 0 ? (bus == 1 ? 10 : 20) : 10;
+    return c;
+  };
+  const Schedule s = greedy_schedule(1, 2, cost, {20});
+  EXPECT_EQ(s.entries[0].bus, 1);
+  EXPECT_EQ(s.makespan(), 10);
+}
+
+TEST(GreedyScheduler, RejectsBadArguments) {
+  EXPECT_THROW(greedy_schedule(2, 0, uniform_cost({1, 2}), {1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(greedy_schedule(2, 1, uniform_cost({1, 2}), {1}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, ValidateDetectsCorruption) {
+  const std::vector<std::int64_t> t = {5, 6, 7};
+  Schedule s = greedy_schedule(3, 2, uniform_cost(t), t);
+  s.validate(3);
+
+  Schedule missing = s;
+  missing.entries.pop_back();
+  EXPECT_THROW(missing.validate(3), std::logic_error);
+
+  Schedule dup = s;
+  dup.entries.push_back(dup.entries[0]);
+  EXPECT_THROW(dup.validate(3), std::logic_error);
+
+  Schedule gap = s;
+  gap.entries[1].start += 1;
+  EXPECT_THROW(gap.validate(3), std::logic_error);
+
+  Schedule finish = s;
+  finish.bus_finish[0] += 5;
+  EXPECT_THROW(finish.validate(3), std::logic_error);
+}
+
+TEST(ExactScheduler, SolvesTinyInstanceOptimally) {
+  // Two cores, W=4: cost = ceil(work / width). Best: one bus of 4 shared?
+  // work {12, 4}: single bus w=4 -> 3 + 1 = 4; two buses 2+2 -> max(6, 2)=6.
+  const auto cost = [](int core, int width) {
+    const std::int64_t work[] = {12, 4};
+    return (work[core] + width - 1) / width;
+  };
+  const auto r = exact_optimize(2, 4, cost);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->makespan, 4);
+  EXPECT_EQ(r->arch.num_buses(), 1);
+}
+
+TEST(ExactScheduler, RefusesOversizedInstances) {
+  const auto cost = [](int, int) { return 1ll; };
+  ExactLimits limits;
+  limits.max_cores = 3;
+  EXPECT_FALSE(exact_optimize(4, 8, cost, limits).has_value());
+}
+
+TEST(ExactScheduler, GreedyWithinFactorOfExactOnRandomInstances) {
+  // The greedy step-4 heuristic (with the trivial single-partition
+  // architecture fixed) must stay within 1.5x of the exact optimum on
+  // random width-sensitive instances. (LPT's bound on identical machines
+  // is 4/3; bus-dependent times loosen it slightly.)
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 5 + static_cast<int>(rng.next_below(3));
+    const int W = 6;
+    std::vector<std::int64_t> work(static_cast<std::size_t>(n));
+    for (auto& w : work) w = 20 + static_cast<std::int64_t>(rng.next_below(200));
+
+    const auto exact_cost = [&](int core, int width) {
+      return (work[static_cast<std::size_t>(core)] + width - 1) / width;
+    };
+    const auto exact = exact_optimize(n, W, exact_cost);
+    ASSERT_TRUE(exact.has_value());
+
+    // Greedy on the exact solver's own architecture.
+    const TamArchitecture arch = exact->arch;
+    const CostFn cost = [&](int core, int bus) {
+      BusAccessCost c;
+      c.time = exact_cost(core, arch.widths[static_cast<std::size_t>(bus)]);
+      return c;
+    };
+    std::vector<std::int64_t> ref(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      ref[static_cast<std::size_t>(i)] = cost(i, 0).time;
+    const Schedule s = greedy_schedule(n, arch.num_buses(), cost, ref);
+    s.validate(n);
+    EXPECT_LE(s.makespan(), (exact->makespan * 3) / 2 + 1)
+        << "trial " << trial;
+    EXPECT_GE(s.makespan(), exact->makespan);
+  }
+}
+
+TEST(Gantt, RendersEveryBusAndCore) {
+  const std::vector<std::int64_t> t = {50, 60};
+  const Schedule s = greedy_schedule(2, 2, uniform_cost(t), t);
+  const TamArchitecture arch{{3, 2}};
+  const std::string g = render_gantt(s, arch, {"alpha", "beta"});
+  EXPECT_NE(g.find("TAM0"), std::string::npos);
+  EXPECT_NE(g.find("TAM1"), std::string::npos);
+  EXPECT_NE(g.find("alpha"), std::string::npos);
+  EXPECT_NE(g.find("beta"), std::string::npos);
+  EXPECT_NE(g.find("makespan = 60"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

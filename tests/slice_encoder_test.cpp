@@ -1,0 +1,145 @@
+#include "codec/slice_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codec/stream_decoder.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+std::vector<bool> decode_one(const EncodedSlice& es, const CodecParams& p) {
+  StreamDecoder dec(p);
+  const auto slices = dec.decode(es.words);
+  EXPECT_EQ(slices.size(), 1u);
+  return slices.at(0);
+}
+
+TEST(SliceEncoder, PaperExampleTargetsMinoritySymbol) {
+  // Paper: "the target symbol of 1 in the slice XXX1000 is encoded ... at
+  // index 3". m = 7: one Head (target 1, one body word), one Single(3).
+  const CodecParams p = CodecParams::for_chains(7);
+  const SliceEncoder enc(p);
+  const EncodedSlice es = enc.encode(TernaryVector::from_string("XXX1000"));
+  EXPECT_TRUE(es.target_symbol);
+  EXPECT_FALSE(es.fill_symbol);
+  ASSERT_EQ(es.words.size(), 2u);
+  EXPECT_EQ(es.words[0], (Codeword{Opcode::Head, p.head_operand(true, 1)}));
+  EXPECT_EQ(es.words[1], (Codeword{Opcode::Single, 3}));
+  EXPECT_EQ(enc.cost(TernaryVector::from_string("XXX1000")), 2);
+
+  const std::vector<bool> out = decode_one(es, p);
+  const std::vector<bool> expect = {false, false, false, true,
+                                    false, false, false};
+  EXPECT_EQ(out, expect);
+}
+
+TEST(SliceEncoder, AllXSliceCostsOneCodeword) {
+  const CodecParams p = CodecParams::for_chains(12);
+  const SliceEncoder enc(p);
+  const EncodedSlice es = enc.encode(TernaryVector(12));
+  ASSERT_EQ(es.words.size(), 1u);
+  EXPECT_EQ(es.words[0].opcode, Opcode::Head);
+  EXPECT_EQ(es.words[0].operand >> 1, 0u);  // body count 0
+  EXPECT_EQ(enc.cost(TernaryVector(12)), 1);
+  EXPECT_EQ(decode_one(es, p).size(), 12u);
+}
+
+TEST(SliceEncoder, UniformCareSliceIsEmptyEncoded) {
+  // All care bits share one value -> that value becomes the fill; zero
+  // targets; one codeword.
+  const CodecParams p = CodecParams::for_chains(8);
+  const SliceEncoder enc(p);
+  const EncodedSlice es = enc.encode(TernaryVector::from_string("1111XXXX"));
+  ASSERT_EQ(es.words.size(), 1u);
+  EXPECT_TRUE(es.fill_symbol);
+  const std::vector<bool> out = decode_one(es, p);
+  for (bool b : out) EXPECT_TRUE(b);
+}
+
+TEST(SliceEncoder, GroupCopyKicksInAtThreeTargets) {
+  // m = 8, k = 4 -> groups {0..3} and {4..7}. Three 1s among four 0s in one
+  // group: copy-mode (Group+Data = 2 words) beats three Singles.
+  const CodecParams p = CodecParams::for_chains(8);
+  ASSERT_EQ(p.k, 4);
+  const SliceEncoder enc(p);
+  const EncodedSlice es = enc.encode(TernaryVector::from_string("11010000"));
+  // care: 1,1,0,1,0,0,0,0 -> c1=3, c0=5 -> target=1; group0 has 3 targets.
+  ASSERT_EQ(es.words.size(), 3u);  // Head(count 2), Group, Data
+  EXPECT_EQ(es.words[0].operand >> 1, 2u);
+  EXPECT_EQ(es.words[1].opcode, Opcode::Group);
+  EXPECT_EQ(es.words[1].operand, 0u);
+  EXPECT_EQ(es.words[2].opcode, Opcode::Data);
+  EXPECT_EQ(es.words[2].operand, 0b1011u);  // bit j -> slice[j]
+  EXPECT_EQ(enc.cost(TernaryVector::from_string("11010000")), 3);
+}
+
+TEST(SliceEncoder, TwoTargetsStaySingleBitMode) {
+  const CodecParams p = CodecParams::for_chains(8);
+  const SliceEncoder enc(p);
+  const EncodedSlice es = enc.encode(TernaryVector::from_string("1100XXXX"));
+  // c1 = c0 = 2 -> tie targets 1; two Singles.
+  ASSERT_EQ(es.words.size(), 3u);  // Head(count 2), Single, Single
+  EXPECT_EQ(es.words[1], (Codeword{Opcode::Single, 0}));
+  EXPECT_EQ(es.words[2], (Codeword{Opcode::Single, 1}));
+}
+
+TEST(SliceEncoder, TinyGeometryEscapesToEndMarker) {
+  // m = 2 -> k = 2 -> the Head count field holds only {0, escape}; any
+  // non-empty slice is END-terminated.
+  const CodecParams p = CodecParams::for_chains(2);
+  ASSERT_EQ(p.escape_count(), 1);
+  const SliceEncoder enc(p);
+  const EncodedSlice es = enc.encode(TernaryVector::from_string("10"));
+  ASSERT_EQ(es.words.size(), 3u);
+  EXPECT_EQ(es.words[0], (Codeword{Opcode::Head, p.head_operand(true, 1)}));
+  EXPECT_EQ(es.words[1], (Codeword{Opcode::Single, 0}));
+  EXPECT_EQ(es.words[2], (Codeword{Opcode::Single, 2}));  // END
+  EXPECT_EQ(enc.cost(TernaryVector::from_string("10")), 3);
+  const std::vector<bool> out = decode_one(es, p);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(SliceEncoder, GroupDataLiteralFillsXWithFill) {
+  // Group copy of a group containing an X: the literal carries the fill
+  // value there, so the decoded slice is still correct on care bits.
+  const CodecParams p = CodecParams::for_chains(8);
+  const SliceEncoder enc(p);
+  const TernaryVector slice = TernaryVector::from_string("1X110000");
+  const EncodedSlice es = enc.encode(slice);
+  const std::vector<bool> out = decode_one(es, p);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);  // X -> fill (majority care value is 0)
+  EXPECT_TRUE(out[2]);
+  EXPECT_TRUE(out[3]);
+}
+
+TEST(SliceEncoder, RejectsWrongWidth) {
+  const SliceEncoder enc(CodecParams::for_chains(8));
+  EXPECT_THROW(enc.encode(TernaryVector(7)), std::invalid_argument);
+  EXPECT_THROW(enc.cost(TernaryVector(9)), std::invalid_argument);
+}
+
+TEST(SliceEncoder, CostMatchesEncodeEverywhere) {
+  Rng rng(31);
+  for (int m : {2, 3, 5, 8, 15, 31, 64, 200}) {
+    const CodecParams p = CodecParams::for_chains(m);
+    const SliceEncoder enc(p);
+    for (int trial = 0; trial < 50; ++trial) {
+      TernaryVector slice(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        const double r = rng.next_double();
+        if (r < 0.1)
+          slice.set(static_cast<std::size_t>(i), Trit::One);
+        else if (r < 0.2)
+          slice.set(static_cast<std::size_t>(i), Trit::Zero);
+      }
+      EXPECT_EQ(enc.cost(slice),
+                static_cast<int>(enc.encode(slice).words.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,86 @@
+#include "wrapper/slice_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(SliceMap, CoordinatesCoverEveryCellOnce) {
+  const CoreUnderTest core = testutil::small_core("c", 9, {20, 14, 7}, 3);
+  const WrapperDesign d = design_wrapper(core.spec, 4);
+  const SliceMap map(d, core.cubes.num_cells());
+  EXPECT_EQ(map.num_chains(), 4);
+  EXPECT_EQ(map.depth(), d.scan_in_length);
+
+  std::vector<int> hits(
+      static_cast<std::size_t>(map.depth()) * 4, 0);
+  for (std::int64_t cell = 0; cell < core.cubes.num_cells(); ++cell) {
+    const auto s = map.slice_of_cell(static_cast<std::uint32_t>(cell));
+    const auto c = map.chain_of_cell(static_cast<std::uint32_t>(cell));
+    ASSERT_LT(s, static_cast<std::uint32_t>(map.depth()));
+    ASSERT_LT(c, 4u);
+    ++hits[s * 4 + c];
+  }
+  for (int h : hits) EXPECT_LE(h, 1);  // idle positions may be unused
+}
+
+TEST(SliceMap, PadBitsSitAtEarlySlices) {
+  // One long and one short chain: the short chain's cells occupy the last
+  // slices; its early slices are idle.
+  CoreSpec spec;
+  spec.name = "c";
+  spec.num_inputs = 0;
+  spec.scan_chain_lengths = {8, 3};
+  spec.num_patterns = 1;
+  const WrapperDesign d = design_wrapper(spec, 2);
+  ASSERT_EQ(d.scan_in_length, 8);
+  const SliceMap map(d, spec.stimulus_bits_per_pattern());
+  // Chain with 3 cells: its j-th shift-in cell sits at slice 8 - 3 + j.
+  int short_chain = d.chains[0].scan_cells == 3 ? 0 : 1;
+  for (int j = 0; j < 3; ++j) {
+    const std::uint32_t cell =
+        d.chains[static_cast<std::size_t>(short_chain)]
+            .stimulus_cells[static_cast<std::size_t>(j)];
+    EXPECT_EQ(map.slice_of_cell(cell), static_cast<std::uint32_t>(5 + j));
+  }
+}
+
+TEST(SliceMap, SlicesOfPatternMatchCoordinates) {
+  const CoreUnderTest core = testutil::small_core("c", 6, {11, 9}, 4, 0.3);
+  const WrapperDesign d = design_wrapper(core.spec, 3);
+  const SliceMap map(d, core.cubes.num_cells());
+  for (int p = 0; p < core.cubes.num_patterns(); ++p) {
+    const auto slices = map.slices_of_pattern(core.cubes, p);
+    ASSERT_EQ(static_cast<int>(slices.size()), map.depth());
+    // Rebuild the care-bit list from the slices and compare.
+    std::size_t care_seen = 0;
+    for (const CareBit& b : core.cubes.pattern(p)) {
+      const Trit t = slices[map.slice_of_cell(b.cell)].get(
+          map.chain_of_cell(b.cell));
+      EXPECT_EQ(t, b.value ? Trit::One : Trit::Zero);
+      ++care_seen;
+    }
+    std::size_t care_in_slices = 0;
+    for (const TernaryVector& s : slices) care_in_slices += s.count_care();
+    EXPECT_EQ(care_in_slices, care_seen);
+  }
+}
+
+TEST(SliceMap, RejectsCorruptDesigns) {
+  const CoreUnderTest core = testutil::small_core("c", 4, {10}, 1);
+  WrapperDesign d = design_wrapper(core.spec, 2);
+  // Duplicate a cell.
+  d.chains[0].stimulus_cells.push_back(d.chains[0].stimulus_cells[0]);
+  d.finalize();
+  EXPECT_THROW(SliceMap(d, core.cubes.num_cells()), std::invalid_argument);
+
+  WrapperDesign d2 = design_wrapper(core.spec, 2);
+  d2.chains[1].stimulus_cells.pop_back();  // now one cell is uncovered
+  d2.finalize();
+  EXPECT_THROW(SliceMap(d2, core.cubes.num_cells()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,52 @@
+// End-to-end smoke: a tiny SOC goes through explore -> optimize -> schedule
+// and every structural invariant holds.
+#include <gtest/gtest.h>
+
+#include "opt/soc_optimizer.hpp"
+#include "socgen/cube_synth.hpp"
+
+namespace soctest {
+namespace {
+
+SocSpec tiny_soc() {
+  SocSpec soc;
+  soc.name = "tiny";
+  for (int i = 0; i < 3; ++i) {
+    CoreUnderTest c;
+    c.spec.name = "core" + std::to_string(i);
+    c.spec.num_inputs = 8 + 4 * i;
+    c.spec.num_outputs = 6;
+    c.spec.scan_chain_lengths = {40 + 10 * i, 35, 20};
+    c.spec.num_patterns = 25 + 5 * i;
+    CubeSynthParams p;
+    p.num_cells = c.spec.stimulus_bits_per_pattern();
+    p.num_patterns = c.spec.num_patterns;
+    p.care_density = 0.1;
+    c.cubes = synthesize_cubes(p, 42 + static_cast<std::uint64_t>(i));
+    soc.cores.push_back(std::move(c));
+  }
+  return soc;
+}
+
+TEST(Smoke, EndToEnd) {
+  const SocSpec soc = tiny_soc();
+  ExploreOptions e;
+  e.max_width = 24;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  for (ArchMode mode : {ArchMode::NoTdc, ArchMode::PerCore, ArchMode::PerTam,
+                        ArchMode::FixedWidth4}) {
+    OptimizerOptions o;
+    o.width = 16;
+    o.mode = mode;
+    const OptimizationResult r = opt.optimize(o);
+    EXPECT_GT(r.test_time, 0) << to_string(mode);
+    EXPECT_GT(r.data_volume_bits, 0) << to_string(mode);
+    EXPECT_NO_THROW(r.schedule.validate(soc.num_cores())) << to_string(mode);
+    EXPECT_EQ(r.test_time, r.schedule.makespan());
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,180 @@
+// SocOptimizer: mode/constraint semantics, invariants across the search,
+// and agreement with the exact optimizer on small instances.
+#include <gtest/gtest.h>
+
+#include "opt/baselines.hpp"
+#include "opt/result.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "sched/exact_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    soc_ = new SocSpec(testutil::mixed_soc());
+    ExploreOptions e;
+    e.max_width = 24;
+    e.max_chains = 128;
+    opt_ = new SocOptimizer(*soc_, e);
+  }
+  static void TearDownTestSuite() {
+    delete opt_;
+    delete soc_;
+    opt_ = nullptr;
+    soc_ = nullptr;
+  }
+  static SocSpec* soc_;
+  static SocOptimizer* opt_;
+};
+SocSpec* OptimizerFixture::soc_ = nullptr;
+SocOptimizer* OptimizerFixture::opt_ = nullptr;
+
+TEST_F(OptimizerFixture, ResultInvariantsAcrossModesAndConstraints) {
+  for (ArchMode mode : {ArchMode::NoTdc, ArchMode::PerCore, ArchMode::PerTam,
+                        ArchMode::FixedWidth4}) {
+    for (ConstraintMode cons :
+         {ConstraintMode::TamWidth, ConstraintMode::AteChannels}) {
+      OptimizerOptions o;
+      o.width = 14;
+      o.mode = mode;
+      o.constraint = cons;
+      const OptimizationResult r = opt_->optimize(o);
+      r.schedule.validate(soc_->num_cores());
+      EXPECT_EQ(r.arch.total_width(), 14) << to_string(mode);
+      EXPECT_EQ(r.test_time, r.schedule.makespan());
+      EXPECT_EQ(r.buses.size(),
+                static_cast<std::size_t>(r.arch.num_buses()));
+      EXPECT_GT(r.data_volume_bits, 0);
+      // Every scheduled choice fits its bus realization.
+      for (const ScheduleEntry& e : r.schedule.entries) {
+        EXPECT_GT(e.choice.test_time, 0);
+        EXPECT_EQ(e.end - e.start, e.choice.test_time);
+      }
+    }
+  }
+}
+
+TEST_F(OptimizerFixture, PerCoreNeverSlowerThanNoTdc) {
+  // The per-core mode may always fall back to direct access, so its
+  // optimized test time cannot exceed the no-TDC optimum.
+  for (int W : {6, 10, 16, 24}) {
+    const TdcComparison cmp = compare_with_without_tdc(*opt_, W);
+    EXPECT_LE(cmp.with_tdc.test_time, cmp.without_tdc.test_time) << W;
+    EXPECT_LE(cmp.with_tdc.data_volume_bits,
+              cmp.without_tdc.data_volume_bits)
+        << W;
+    EXPECT_GE(cmp.time_reduction_factor(), 1.0);
+  }
+}
+
+TEST_F(OptimizerFixture, WiderBudgetsNeverHurt) {
+  OptimizerOptions o;
+  o.mode = ArchMode::PerCore;
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (int W : {4, 8, 12, 16, 20, 24}) {
+    o.width = W;
+    const std::int64_t t = opt_->optimize(o).test_time;
+    EXPECT_LE(t, prev) << "W=" << W;
+    prev = t;
+  }
+}
+
+TEST_F(OptimizerFixture, PerTamConstraintAsymmetry) {
+  // Under a TAM-width constraint the per-TAM style pays for expanded buses
+  // on chip; under an ATE constraint it gets the expansion for free on
+  // chip. Its on-chip wiring must reflect that.
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerTam;
+  o.constraint = ConstraintMode::TamWidth;
+  const OptimizationResult tam = opt_->optimize(o);
+  EXPECT_LE(tam.wiring.onchip_wires, 16);
+
+  o.constraint = ConstraintMode::AteChannels;
+  const OptimizationResult ate = opt_->optimize(o);
+  EXPECT_LE(ate.wiring.ate_channels, 16);
+  EXPECT_GT(ate.wiring.onchip_wires, 16);  // expanded buses are wide
+}
+
+TEST_F(OptimizerFixture, PerCoreWiringStaysCompressed) {
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  const OptimizationResult r = opt_->optimize(o);
+  EXPECT_EQ(r.wiring.onchip_wires, 16);
+  EXPECT_EQ(r.wiring.ate_channels, 16);
+  // Compressed cores own one decompressor each.
+  int compressed = 0;
+  for (const ScheduleEntry& e : r.schedule.entries)
+    compressed += e.choice.mode == AccessMode::Compressed;
+  EXPECT_EQ(r.wiring.decompressors, compressed);
+}
+
+TEST_F(OptimizerFixture, EvaluateMatchesOptimizeObjective) {
+  OptimizerOptions o;
+  o.width = 12;
+  o.mode = ArchMode::PerCore;
+  const OptimizationResult best = opt_->optimize(o);
+  // Re-evaluating the winning architecture reproduces the same numbers.
+  const OptimizationResult re = opt_->evaluate(best.arch, o);
+  EXPECT_EQ(re.test_time, best.test_time);
+  EXPECT_EQ(re.data_volume_bits, best.data_volume_bits);
+}
+
+TEST_F(OptimizerFixture, HeuristicWithinBoundOfExactSmallCase) {
+  // Exact optimum over all partitions/assignments with the same lookup
+  // tables; the heuristic must come close (paper: heuristic quality).
+  const auto& tables = opt_->tables();
+  const auto cost = [&](int core, int width) {
+    return tables[static_cast<std::size_t>(core)]
+        .best(std::min(width, tables[core].max_width()))
+        .test_time;
+  };
+  const auto exact = exact_optimize(soc_->num_cores(), 10, cost);
+  ASSERT_TRUE(exact.has_value());
+
+  OptimizerOptions o;
+  o.width = 10;
+  o.mode = ArchMode::PerCore;
+  const OptimizationResult heur = opt_->optimize(o);
+  EXPECT_GE(heur.test_time, exact->makespan);
+  EXPECT_LE(heur.test_time, exact->makespan * 3 / 2 + 1);
+}
+
+TEST_F(OptimizerFixture, SummariesMentionEveryCore) {
+  OptimizerOptions o;
+  o.width = 12;
+  const OptimizationResult r = opt_->optimize(o);
+  const std::string s = summarize(r, *soc_);
+  for (const auto& c : soc_->cores)
+    EXPECT_NE(s.find(c.spec.name), std::string::npos) << c.spec.name;
+  EXPECT_FALSE(one_line(r).empty());
+}
+
+TEST_F(OptimizerFixture, RejectsBadWidth) {
+  OptimizerOptions o;
+  o.width = 0;
+  EXPECT_THROW(opt_->optimize(o), std::invalid_argument);
+}
+
+TEST(SocOptimizerStandalone, MethodComparisonRunsAllThree) {
+  const SocSpec soc = testutil::mixed_soc();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+  const MethodComparison cmp =
+      compare_methods(opt, 12, ConstraintMode::TamWidth);
+  EXPECT_GT(cmp.proposed.test_time, 0);
+  EXPECT_GT(cmp.per_tam.test_time, 0);
+  EXPECT_GT(cmp.fixed_w4.test_time, 0);
+  // Under a TAM-wire constraint, per-core expansion dominates per-TAM
+  // expansion (the paper's central claim).
+  EXPECT_LE(cmp.proposed.test_time, cmp.per_tam.test_time);
+}
+
+}  // namespace
+}  // namespace soctest

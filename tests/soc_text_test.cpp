@@ -1,0 +1,145 @@
+// SOC text-format reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/soc_text.hpp"
+#include "socgen/d695.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(SocText, ParsesHandWrittenDesign) {
+  std::istringstream in(R"(
+# a tiny two-core design
+soc demo
+gates 12345
+latches 67
+
+core alpha
+  inputs 2
+  outputs 1
+  scanchains 3 2
+  patterns 2
+  cube 1X01X00
+  sparse 0:0 4:1
+end
+
+core beta
+  inputs 1
+  outputs 1
+  flexible 50
+  patterns 3
+  synthetic 0.1 0.7 42
+end
+)");
+  const SocSpec soc = read_soc_text(in);
+  EXPECT_EQ(soc.name, "demo");
+  EXPECT_EQ(soc.approx_gate_count, 12345);
+  EXPECT_EQ(soc.approx_latch_count, 67);
+  ASSERT_EQ(soc.num_cores(), 2);
+
+  const CoreUnderTest& a = soc.cores[0];
+  EXPECT_EQ(a.spec.name, "alpha");
+  EXPECT_EQ(a.spec.scan_chain_lengths, (std::vector<int>{3, 2}));
+  EXPECT_EQ(a.cubes.num_patterns(), 2);
+  EXPECT_EQ(a.cubes.expand(0).to_string(), "1X01X00");
+  EXPECT_EQ(a.cubes.expand(1).to_string(), "0XXX1XX");
+
+  const CoreUnderTest& b = soc.cores[1];
+  EXPECT_TRUE(b.spec.flexible_scan);
+  EXPECT_EQ(b.spec.flexible_scan_cells, 50);
+  EXPECT_EQ(b.cubes.num_patterns(), 3);
+  EXPECT_GT(b.cubes.total_care_bits(), 0);
+}
+
+TEST(SocText, RoundTripsExactly) {
+  const SocSpec original = testutil::mixed_soc();
+  std::ostringstream out;
+  write_soc_text(out, original);
+  std::istringstream in(out.str());
+  const SocSpec re = read_soc_text(in);
+
+  EXPECT_EQ(re.name, original.name);
+  ASSERT_EQ(re.num_cores(), original.num_cores());
+  for (int i = 0; i < re.num_cores(); ++i) {
+    const CoreUnderTest& x = original.cores[static_cast<std::size_t>(i)];
+    const CoreUnderTest& y = re.cores[static_cast<std::size_t>(i)];
+    EXPECT_EQ(x.spec.name, y.spec.name);
+    EXPECT_EQ(x.spec.num_inputs, y.spec.num_inputs);
+    EXPECT_EQ(x.spec.scan_chain_lengths, y.spec.scan_chain_lengths);
+    EXPECT_EQ(x.spec.flexible_scan_cells, y.spec.flexible_scan_cells);
+    ASSERT_EQ(x.cubes.num_patterns(), y.cubes.num_patterns());
+    for (int p = 0; p < x.cubes.num_patterns(); ++p)
+      EXPECT_EQ(x.cubes.pattern(p), y.cubes.pattern(p));
+  }
+}
+
+TEST(SocText, RoundTripsD695) {
+  const SocSpec original = make_d695();
+  std::ostringstream out;
+  write_soc_text(out, original);
+  std::istringstream in(out.str());
+  const SocSpec re = read_soc_text(in);
+  ASSERT_EQ(re.num_cores(), 10);
+  EXPECT_EQ(re.initial_data_volume_bits(), original.initial_data_volume_bits());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(re.cores[static_cast<std::size_t>(i)].cubes.total_care_bits(),
+              original.cores[static_cast<std::size_t>(i)]
+                  .cubes.total_care_bits());
+}
+
+TEST(SocText, FileRoundTrip) {
+  const SocSpec soc = testutil::mixed_soc();
+  const std::string path = "/tmp/soctest_io_test.soc";
+  write_soc_text_file(path, soc);
+  const SocSpec re = read_soc_text_file(path);
+  EXPECT_EQ(re.num_cores(), soc.num_cores());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_soc_text_file("/nonexistent/x.soc"), std::runtime_error);
+}
+
+struct BadInput {
+  const char* label;
+  const char* text;
+};
+
+class SocTextErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(SocTextErrors, RejectsMalformedInput) {
+  std::istringstream in(GetParam().text);
+  EXPECT_THROW(read_soc_text(in), std::runtime_error) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SocTextErrors,
+    ::testing::Values(
+        BadInput{"missing end",
+                 "soc s\ncore c\n inputs 1\n patterns 0\n"},
+        BadInput{"nested core",
+                 "soc s\ncore c\ncore d\nend\nend\n"},
+        BadInput{"end outside core", "soc s\nend\n"},
+        BadInput{"unknown keyword", "soc s\nbogus 3\n"},
+        BadInput{"bad integer", "soc s\ngates many\n"},
+        BadInput{"cube length mismatch",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n cube 101\nend\n"},
+        BadInput{"wrong cube count",
+                 "soc s\ncore c\n inputs 2\n patterns 2\n cube 10\nend\n"},
+        BadInput{"bad cube symbol",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n cube 1Z\nend\n"},
+        BadInput{"bad sparse bit",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n sparse 0=1\nend\n"},
+        BadInput{"sparse out of range",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n sparse 5:1\nend\n"},
+        BadInput{"empty scanchains",
+                 "soc s\ncore c\n inputs 1\n scanchains\n patterns 0\nend\n"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      std::string name = info.param.label;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,165 @@
+// Workload generation: RNG determinism, cube-synthesis statistics, and the
+// benchmark SOC constructors.
+#include <gtest/gtest.h>
+
+#include "socgen/d2758.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/industrial.hpp"
+#include "socgen/rng.hpp"
+#include "socgen/systems.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+  }
+  int differs = 0;
+  Rng a2(1);
+  for (int i = 0; i < 100; ++i) differs += a2.next_u64() != c.next_u64();
+  EXPECT_GT(differs, 90);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversValues) {
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, RangeAndGeometric) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_range(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const int g = rng.next_geometric(6.0);
+    EXPECT_GE(g, 1);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / 20'000, 6.0, 0.5);
+}
+
+TEST(CubeSynth, HitsRequestedStatistics) {
+  CubeSynthParams p;
+  p.num_cells = 20'000;
+  p.num_patterns = 10;
+  p.care_density = 0.03;
+  p.one_fraction = 0.85;
+  const TestCubeSet cubes = synthesize_cubes(p, 77);
+  EXPECT_EQ(cubes.num_patterns(), 10);
+  EXPECT_NEAR(cubes.care_bit_density(), 0.03, 0.004);
+  EXPECT_NEAR(cubes.one_fraction(), 0.85, 0.05);
+}
+
+TEST(CubeSynth, DeterministicInSeed) {
+  CubeSynthParams p;
+  p.num_cells = 500;
+  p.num_patterns = 3;
+  p.care_density = 0.1;
+  const TestCubeSet a = synthesize_cubes(p, 11);
+  const TestCubeSet b = synthesize_cubes(p, 11);
+  const TestCubeSet c = synthesize_cubes(p, 12);
+  ASSERT_EQ(a.num_patterns(), b.num_patterns());
+  for (int i = 0; i < a.num_patterns(); ++i)
+    EXPECT_EQ(a.pattern(i), b.pattern(i));
+  bool any_diff = false;
+  for (int i = 0; i < a.num_patterns(); ++i)
+    any_diff |= !(a.pattern(i) == c.pattern(i));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CubeSynth, RejectsBadParams) {
+  CubeSynthParams p;
+  p.num_cells = 0;
+  EXPECT_THROW(synthesize_cubes(p, 1), std::invalid_argument);
+  p.num_cells = 10;
+  p.care_density = 0.0;
+  EXPECT_THROW(synthesize_cubes(p, 1), std::invalid_argument);
+  p.care_density = 1.5;
+  EXPECT_THROW(synthesize_cubes(p, 1), std::invalid_argument);
+}
+
+TEST(Industrial, CatalogueMatchesPaperRanges) {
+  const auto& cat = industrial_catalogue();
+  EXPECT_EQ(cat.size(), 16u);
+  for (const IndustrialCoreProfile& p : cat) {
+    EXPECT_GE(p.scan_cells, 10'000) << p.name;
+    EXPECT_LE(p.scan_cells, 110'000) << p.name;
+    EXPECT_LE(p.care_density, 0.05) << p.name;  // "no more than 5%"
+    EXPECT_GT(p.patterns, 0) << p.name;
+    EXPECT_GT(p.scan_chains, 0) << p.name;
+    // Built cores must realize the profile exactly.
+    const CoreUnderTest core = make_industrial_core(p);
+    EXPECT_EQ(core.spec.total_scan_cells(), p.scan_cells) << p.name;
+    EXPECT_EQ(static_cast<int>(core.spec.scan_chain_lengths.size()),
+              p.scan_chains)
+        << p.name;
+    for (int len : core.spec.scan_chain_lengths) EXPECT_GE(len, 1) << p.name;
+  }
+}
+
+TEST(Industrial, CoreConstructionIsDeterministic) {
+  const CoreUnderTest a = make_industrial_core("ckt-10");
+  const CoreUnderTest b = make_industrial_core("ckt-10");
+  EXPECT_EQ(a.spec.scan_chain_lengths, b.spec.scan_chain_lengths);
+  ASSERT_EQ(a.cubes.num_patterns(), b.cubes.num_patterns());
+  for (int p = 0; p < a.cubes.num_patterns(); ++p)
+    EXPECT_EQ(a.cubes.pattern(p), b.cubes.pattern(p));
+  EXPECT_THROW(make_industrial_core("ckt-99"), std::out_of_range);
+}
+
+TEST(BenchmarkSocs, D695Structure) {
+  const SocSpec soc = make_d695();
+  EXPECT_EQ(soc.name, "d695");
+  EXPECT_EQ(soc.num_cores(), 10);
+  EXPECT_NO_THROW(soc.validate());
+  // Pattern counts within the published 12..234 range; high care density.
+  double density_sum = 0;
+  for (const auto& c : soc.cores) {
+    EXPECT_GE(c.spec.num_patterns, 12);
+    EXPECT_LE(c.spec.num_patterns, 234);
+    EXPECT_LE(static_cast<int>(c.spec.scan_chain_lengths.size()), 16);
+    density_sum += c.cubes.care_bit_density();
+  }
+  const double avg_density = density_sum / soc.num_cores();
+  EXPECT_GT(avg_density, 0.40);
+  EXPECT_LT(avg_density, 0.70);
+}
+
+TEST(BenchmarkSocs, D2758Structure) {
+  const SocSpec soc = make_d2758();
+  EXPECT_GT(soc.num_cores(), 10);
+  EXPECT_NO_THROW(soc.validate());
+}
+
+TEST(BenchmarkSocs, SystemsComposeIndustrialCores) {
+  for (int i = 1; i <= 4; ++i) {
+    const SocSpec soc = make_system(i);
+    EXPECT_NO_THROW(soc.validate());
+    EXPECT_GE(soc.num_cores(), 6);
+    for (const auto& c : soc.cores) {
+      EXPECT_FALSE(c.spec.scan_chain_lengths.empty())
+          << soc.name << "/" << c.spec.name;
+      EXPECT_LE(c.cubes.care_bit_density(), 0.055);
+    }
+    EXPECT_GT(soc.approx_gate_count, 1'000'000);
+  }
+  EXPECT_THROW(make_system(0), std::invalid_argument);
+  EXPECT_THROW(make_system(5), std::invalid_argument);
+  EXPECT_EQ(make_fig4_soc().num_cores(), 4);
+  EXPECT_EQ(make_table3_designs().size(), 5u);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,111 @@
+// Round-trip property of the full stream codec, parameterized across
+// wrapper geometries and cube densities: decoding the encoded stream must
+// reproduce every care bit, and X positions must hold each slice's fill.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codec/stream_decoder.hpp"
+#include "codec/stream_encoder.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+using Geometry = std::tuple<int /*m*/, double /*density*/>;
+
+class StreamRoundTrip : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(StreamRoundTrip, DecodeReproducesCareBits) {
+  const auto [m, density] = GetParam();
+  const CoreUnderTest core =
+      testutil::flex_core("c", 600, 8, density,
+                          static_cast<std::uint64_t>(m * 1000 + 7));
+  if (m > core.spec.max_wrapper_chains()) GTEST_SKIP();
+
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  const EncodedStream stream = encode_stream(map, core.cubes);
+
+  StreamDecoder dec(stream.params);
+  const std::vector<DecodedSlice> slices = dec.decode(stream.words);
+  ASSERT_EQ(static_cast<int>(slices.size()),
+            stream.patterns * stream.slices_per_pattern);
+
+  for (int p = 0; p < core.cubes.num_patterns(); ++p) {
+    const int base = p * stream.slices_per_pattern;
+    for (const CareBit& b : core.cubes.pattern(p)) {
+      const DecodedSlice& slice =
+          slices[static_cast<std::size_t>(base) + map.slice_of_cell(b.cell)];
+      EXPECT_EQ(slice[map.chain_of_cell(b.cell)], b.value)
+          << "pattern " << p << " cell " << b.cell;
+    }
+  }
+}
+
+TEST_P(StreamRoundTrip, VolumeAccounting) {
+  const auto [m, density] = GetParam();
+  const CoreUnderTest core = testutil::flex_core("c", 400, 5, density);
+  if (m > core.spec.max_wrapper_chains()) GTEST_SKIP();
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  const EncodedStream stream = encode_stream(map, core.cubes);
+  EXPECT_EQ(stream.compressed_bits(),
+            stream.codeword_count() * stream.params.w);
+  // Every pattern needs at least one codeword per slice.
+  EXPECT_GE(stream.codeword_count(),
+            static_cast<std::int64_t>(stream.patterns) *
+                stream.slices_per_pattern);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StreamRoundTrip,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7, 8, 16, 33, 64, 128, 255),
+                       ::testing::Values(0.01, 0.05, 0.3, 0.7)));
+
+TEST(StreamDecoder, RejectsMalformedStreams) {
+  const CodecParams p = CodecParams::for_chains(8);  // k = 4, escape = 7
+  StreamDecoder dec(p);
+  const auto head = [&](bool t, int count) {
+    return Codeword{Opcode::Head, p.head_operand(t, count)};
+  };
+  // Starts with a non-Head word.
+  EXPECT_THROW(dec.decode({{Opcode::Single, 1}}), std::invalid_argument);
+  // Head announcing one body word, followed by nothing (truncated).
+  EXPECT_THROW(dec.decode({head(true, 1)}), std::invalid_argument);
+  // Group without Data.
+  EXPECT_THROW(dec.decode({head(true, 2), {Opcode::Group, 0},
+                           {Opcode::Single, 2}}),
+               std::invalid_argument);
+  // Data without Group.
+  EXPECT_THROW(dec.decode({head(true, 1), {Opcode::Data, 3}}),
+               std::invalid_argument);
+  // Single index out of range (> m).
+  EXPECT_THROW(dec.decode({head(true, 1), {Opcode::Single, 9}}),
+               std::invalid_argument);
+  // END marker while not in escape mode.
+  EXPECT_THROW(dec.decode({head(true, 1), {Opcode::Single, 8}}),
+               std::invalid_argument);
+  // Misaligned group base (k = 4 for m = 8).
+  EXPECT_THROW(dec.decode({head(true, 2), {Opcode::Group, 2},
+                           {Opcode::Data, 0}}),
+               std::invalid_argument);
+  // Group pair straddling the announced count.
+  EXPECT_THROW(dec.decode({head(true, 1), {Opcode::Group, 0},
+                           {Opcode::Data, 0}}),
+               std::invalid_argument);
+  // Head inside a slice body.
+  EXPECT_THROW(dec.decode({head(true, 2), head(true, 0)}),
+               std::invalid_argument);
+  // A well-formed empty slice decodes fine.
+  EXPECT_EQ(dec.decode({head(false, 0)}).size(), 1u);
+  // A well-formed escape-mode slice decodes fine.
+  const auto slices = dec.decode({head(true, p.escape_count()),
+                                  {Opcode::Single, 5},
+                                  {Opcode::Single, 8}});
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_TRUE(slices[0][5]);
+}
+
+}  // namespace
+}  // namespace soctest

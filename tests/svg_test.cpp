@@ -1,0 +1,85 @@
+#include "report/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sched/greedy_scheduler.hpp"
+
+namespace soctest {
+namespace {
+
+Schedule tiny_schedule() {
+  const std::vector<std::int64_t> t = {40, 30, 20};
+  const CostFn cost = [&t](int core, int) {
+    BusAccessCost c;
+    c.time = t[static_cast<std::size_t>(core)];
+    return c;
+  };
+  return greedy_schedule(3, 2, cost, t);
+}
+
+TEST(Svg, GanttContainsAllElements) {
+  const Schedule s = tiny_schedule();
+  const TamArchitecture arch{{5, 3}};
+  SvgOptions o;
+  o.title = "demo <gantt>";
+  const std::string svg = gantt_svg(s, arch, {"a&b", "c2", "c3"}, o);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("TAM0"), std::string::npos);
+  EXPECT_NE(svg.find("TAM1"), std::string::npos);
+  // XML escaping of titles and names.
+  EXPECT_NE(svg.find("demo &lt;gantt&gt;"), std::string::npos);
+  EXPECT_NE(svg.find("a&amp;b"), std::string::npos);
+  EXPECT_EQ(svg.find("a&b"), std::string::npos);
+  // One rect per scheduled core.
+  std::size_t rects = 0, at = 0;
+  while ((at = svg.find("<rect", at)) != std::string::npos) {
+    ++rects;
+    ++at;
+  }
+  EXPECT_EQ(rects, 3u);
+  EXPECT_NE(svg.find("makespan"), std::string::npos);
+}
+
+TEST(Svg, ChartRendersSeries) {
+  ChartSeries series;
+  for (int i = 0; i < 10; ++i) {
+    series.x.push_back(i);
+    series.y.push_back(100 - i * i);
+  }
+  ChartOptions copts;
+  copts.title = "tau vs m";
+  copts.x_label = "m";
+  copts.y_label = "tau";
+  const std::string svg = chart_svg(series, copts);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  std::size_t circles = 0, at = 0;
+  while ((at = svg.find("<circle", at)) != std::string::npos) {
+    ++circles;
+    ++at;
+  }
+  EXPECT_EQ(circles, 10u);
+  EXPECT_NE(svg.find("tau vs m"), std::string::npos);
+
+  ChartSeries empty;
+  EXPECT_THROW(chart_svg(empty, copts), std::invalid_argument);
+}
+
+TEST(Svg, WriteFile) {
+  const std::string path = "/tmp/soctest_svg_test.svg";
+  write_svg_file(path, "<svg/>");
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string content;
+  std::getline(f, content);
+  EXPECT_EQ(content, "<svg/>");
+  std::remove(path.c_str());
+  EXPECT_THROW(write_svg_file("/nonexistent/x.svg", "<svg/>"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace soctest

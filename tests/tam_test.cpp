@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tam/partition.hpp"
+#include "tam/tam_architecture.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(TamArchitecture, Basics) {
+  const TamArchitecture a{{12, 10, 9}};
+  EXPECT_EQ(a.num_buses(), 3);
+  EXPECT_EQ(a.total_width(), 31);
+  EXPECT_EQ(a.widest(), 12);
+  EXPECT_EQ(a.to_string(), "12+10+9");
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_THROW(TamArchitecture{}.validate(), std::invalid_argument);
+  EXPECT_THROW((TamArchitecture{{3, 0}}).validate(), std::invalid_argument);
+}
+
+TEST(Partition, BalancedSplit) {
+  const TamArchitecture a = balanced_partition(31, 3);
+  EXPECT_EQ(a.total_width(), 31);
+  EXPECT_EQ(a.num_buses(), 3);
+  for (int w : a.widths) {
+    EXPECT_GE(w, 10);
+    EXPECT_LE(w, 11);
+  }
+  EXPECT_THROW(balanced_partition(2, 3), std::invalid_argument);
+  EXPECT_THROW(balanced_partition(5, 0), std::invalid_argument);
+}
+
+TEST(Partition, WireMoveNeighboursPreserveTotal) {
+  const TamArchitecture a{{12, 10, 9}};
+  const auto ns = wire_move_neighbours(a);
+  EXPECT_FALSE(ns.empty());
+  std::set<std::vector<int>> seen;
+  for (const TamArchitecture& n : ns) {
+    EXPECT_EQ(n.total_width(), 31);
+    EXPECT_EQ(n.num_buses(), 3);
+    for (int w : n.widths) EXPECT_GE(w, 1);
+    std::vector<int> key = n.widths;
+    std::sort(key.begin(), key.end());
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate neighbour";
+  }
+}
+
+TEST(Partition, WireMoveRespectsMinWidth) {
+  const TamArchitecture a{{2, 1}};
+  const auto ns = wire_move_neighbours(a, 1);
+  // Only 2->1 move allowed (the width-1 bus cannot give a wire away).
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(ns[0].widths, (std::vector<int>{1, 2}));
+}
+
+TEST(Partition, EnumerateMatchesClosedForms) {
+  // Partitions of 10 into 3 parts >= 1: {8,1,1},{7,2,1},{6,3,1},{6,2,2},
+  // {5,4,1},{5,3,2},{4,4,2},{4,3,3} -> 8 of them.
+  const auto parts = enumerate_partitions(10, 3);
+  EXPECT_EQ(parts.size(), 8u);
+  for (const TamArchitecture& p : parts) {
+    EXPECT_EQ(p.total_width(), 10);
+    // Non-increasing order, no duplicates by construction.
+    for (int i = 1; i < p.num_buses(); ++i)
+      EXPECT_GE(p.widths[static_cast<std::size_t>(i - 1)],
+                p.widths[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(enumerate_partitions(5, 1).size(), 1u);
+  EXPECT_TRUE(enumerate_partitions(2, 3).empty());
+  // min_width = 2: partitions of 10 into 3 parts >= 2: {6,2,2},{5,3,2},
+  // {4,4,2},{4,3,3} -> 4.
+  EXPECT_EQ(enumerate_partitions(10, 3, 2).size(), 4u);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,111 @@
+#include "bitvec/ternary_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(TernaryVector, DefaultIsAllX) {
+  TernaryVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), Trit::X);
+  EXPECT_EQ(v.count_care(), 0u);
+  EXPECT_EQ(v.count(Trit::X), 130u);
+}
+
+TEST(TernaryVector, SetGetRoundTrip) {
+  TernaryVector v(70);
+  v.set(0, Trit::One);
+  v.set(63, Trit::Zero);
+  v.set(64, Trit::One);
+  v.set(69, Trit::Zero);
+  EXPECT_EQ(v.get(0), Trit::One);
+  EXPECT_EQ(v.get(63), Trit::Zero);
+  EXPECT_EQ(v.get(64), Trit::One);
+  EXPECT_EQ(v.get(69), Trit::Zero);
+  EXPECT_EQ(v.get(1), Trit::X);
+  EXPECT_EQ(v.count_care(), 4u);
+  EXPECT_EQ(v.count(Trit::One), 2u);
+  EXPECT_EQ(v.count(Trit::Zero), 2u);
+  EXPECT_EQ(v.count(Trit::X), 66u);
+  // Overwrite back to X.
+  v.set(0, Trit::X);
+  EXPECT_EQ(v.get(0), Trit::X);
+  EXPECT_EQ(v.count_care(), 3u);
+}
+
+TEST(TernaryVector, StringRoundTrip) {
+  const std::string s = "01X10-x01";
+  TernaryVector v = TernaryVector::from_string(s);
+  EXPECT_EQ(v.to_string(), "01X10XX01");
+  EXPECT_EQ(TernaryVector::from_string(v.to_string()), v);
+  EXPECT_THROW(TernaryVector::from_string("012"), std::invalid_argument);
+}
+
+TEST(TernaryVector, FillXWith) {
+  TernaryVector v = TernaryVector::from_string("0X1XX");
+  v.fill_x_with(true);
+  EXPECT_EQ(v.to_string(), "01111");
+  TernaryVector u = TernaryVector::from_string("0X1XX");
+  u.fill_x_with(false);
+  EXPECT_EQ(u.to_string(), "00100");
+  EXPECT_EQ(u.count_care(), 5u);
+}
+
+TEST(TernaryVector, FillXWithPreservesTailInvariant) {
+  // A size crossing a word boundary: tail bits beyond size must stay clear
+  // so equality still works after filling.
+  TernaryVector a(65);
+  a.set(64, Trit::Zero);
+  a.fill_x_with(true);
+  TernaryVector b(65);
+  for (std::size_t i = 0; i < 64; ++i) b.set(i, Trit::One);
+  b.set(64, Trit::Zero);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.count(Trit::X), 0u);
+}
+
+TEST(TernaryVector, PushBack) {
+  TernaryVector v;
+  for (int i = 0; i < 200; ++i)
+    v.push_back(i % 3 == 0 ? Trit::One : (i % 3 == 1 ? Trit::Zero : Trit::X));
+  EXPECT_EQ(v.size(), 200u);
+  EXPECT_EQ(v.get(0), Trit::One);
+  EXPECT_EQ(v.get(1), Trit::Zero);
+  EXPECT_EQ(v.get(2), Trit::X);
+  EXPECT_EQ(v.count(Trit::One), 67u);
+}
+
+TEST(TernaryVector, Compatibility) {
+  const TernaryVector a = TernaryVector::from_string("01XX1");
+  const TernaryVector b = TernaryVector::from_string("0X0X1");
+  const TernaryVector c = TernaryVector::from_string("11XX1");
+  EXPECT_TRUE(a.compatible_with(b));
+  EXPECT_TRUE(b.compatible_with(a));
+  EXPECT_FALSE(a.compatible_with(c));
+  EXPECT_FALSE(a.compatible_with(TernaryVector(4)));  // size mismatch
+}
+
+TEST(TernaryVector, RandomizedCountsAgreeWithNaive) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(300);
+    TernaryVector v(n);
+    std::size_t ones = 0, zeros = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int r = static_cast<int>(rng.next_below(3));
+      v.set(i, static_cast<Trit>(r));
+      ones += r == 1;
+      zeros += r == 0;
+    }
+    EXPECT_EQ(v.count(Trit::One), ones);
+    EXPECT_EQ(v.count(Trit::Zero), zeros);
+    EXPECT_EQ(v.count(Trit::X), n - ones - zeros);
+    EXPECT_EQ(v.count_care(), ones + zeros);
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,95 @@
+// Shared builders for the test suite: small deterministic cores and SOCs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dft/soc_spec.hpp"
+#include "socgen/cube_synth.hpp"
+
+namespace soctest::testutil {
+
+/// A small fixed-scan core with synthetic cubes.
+inline CoreUnderTest small_core(const std::string& name, int inputs,
+                                std::vector<int> chains, int patterns,
+                                double density = 0.15,
+                                std::uint64_t seed = 1234) {
+  CoreUnderTest c;
+  c.spec.name = name;
+  c.spec.num_inputs = inputs;
+  c.spec.num_outputs = inputs / 2 + 1;
+  c.spec.scan_chain_lengths = std::move(chains);
+  c.spec.num_patterns = patterns;
+  CubeSynthParams p;
+  p.num_cells = c.spec.stimulus_bits_per_pattern();
+  p.num_patterns = patterns;
+  p.care_density = density;
+  c.cubes = synthesize_cubes(p, seed);
+  c.validate();
+  return c;
+}
+
+/// A flexible-scan ("industrial-like") core, scaled down for fast tests.
+inline CoreUnderTest flex_core(const std::string& name, std::int64_t cells,
+                               int patterns, double density = 0.03,
+                               std::uint64_t seed = 99) {
+  CoreUnderTest c;
+  c.spec.name = name;
+  c.spec.num_inputs = 16;
+  c.spec.num_outputs = 12;
+  c.spec.flexible_scan = true;
+  c.spec.flexible_scan_cells = cells;
+  c.spec.num_patterns = patterns;
+  CubeSynthParams p;
+  p.num_cells = c.spec.stimulus_bits_per_pattern();
+  p.num_patterns = patterns;
+  p.care_density = density;
+  c.cubes = synthesize_cubes(p, seed);
+  c.validate();
+  return c;
+}
+
+/// A scaled-down industrial-like core: many fixed scan chains with a
+/// deterministic length wiggle, sparse skewed cubes — the structure behind
+/// the paper's Figure 2/3 non-monotonicity.
+inline CoreUnderTest fixed_industrial_like(const std::string& name,
+                                           std::int64_t cells, int chains,
+                                           int patterns,
+                                           double density = 0.015,
+                                           std::uint64_t seed = 0xC7) {
+  CoreUnderTest c;
+  c.spec.name = name;
+  c.spec.num_inputs = 24;
+  c.spec.num_outputs = 20;
+  c.spec.num_patterns = patterns;
+  const std::int64_t base = cells / chains;
+  std::int64_t remaining = cells;
+  for (int i = 0; i < chains - 1; ++i) {
+    const std::int64_t len =
+        std::max<std::int64_t>(1, base + ((i * 37) % 11) - 5);
+    c.spec.scan_chain_lengths.push_back(static_cast<int>(len));
+    remaining -= len;
+  }
+  c.spec.scan_chain_lengths.push_back(static_cast<int>(remaining));
+  CubeSynthParams p;
+  p.num_cells = c.spec.stimulus_bits_per_pattern();
+  p.num_patterns = patterns;
+  p.care_density = density;
+  c.cubes = synthesize_cubes(p, seed);
+  c.validate();
+  return c;
+}
+
+/// A 4-core SOC mixing fixed and flexible cores.
+inline SocSpec mixed_soc() {
+  SocSpec soc;
+  soc.name = "mixed";
+  soc.cores.push_back(small_core("fix-a", 10, {30, 25, 20}, 20));
+  soc.cores.push_back(small_core("fix-b", 24, {60, 55, 50, 45}, 35, 0.2, 7));
+  soc.cores.push_back(flex_core("flex-a", 1500, 30));
+  soc.cores.push_back(flex_core("flex-b", 900, 25, 0.05, 17));
+  soc.validate();
+  return soc;
+}
+
+}  // namespace soctest::testutil

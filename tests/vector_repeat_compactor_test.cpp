@@ -1,0 +1,78 @@
+// ATE vector-repeat storage model and the response-side compactor model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ate/vector_repeat.hpp"
+#include "codec/stream_encoder.hpp"
+#include "decomp/compactor.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(VectorRepeat, RunLengthCounting) {
+  EXPECT_EQ(vector_repeat_stats(std::vector<std::uint32_t>{}).stored_vectors,
+            0);
+  const RepeatStats s =
+      vector_repeat_stats(std::vector<std::uint32_t>{7, 7, 7, 1, 1, 7});
+  EXPECT_EQ(s.raw_vectors, 6);
+  EXPECT_EQ(s.stored_vectors, 3);
+  EXPECT_DOUBLE_EQ(s.reduction_factor(), 2.0);
+}
+
+TEST(VectorRepeat, CompressedStreamsRepeatHeavily) {
+  // Sparse cubes -> most slices are the identical empty-Head codeword ->
+  // long runs the tester stores once with a repeat count.
+  const CoreUnderTest core = testutil::flex_core("c", 3'000, 6, 0.01, 9);
+  const WrapperDesign d = design_wrapper(core.spec, 32);
+  const SliceMap map(d, core.cubes.num_cells());
+  const EncodedStream stream = encode_stream(map, core.cubes);
+  const RepeatStats s = vector_repeat_stats(stream);
+  EXPECT_EQ(s.raw_vectors, stream.codeword_count());
+  EXPECT_GT(s.reduction_factor(), 1.3);
+  EXPECT_LT(s.stored_vectors, s.raw_vectors);
+}
+
+TEST(Compactor, StructureAndCost) {
+  CompactorSpec spec;
+  spec.inputs = 64;
+  spec.outputs = 8;
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.fan_in(), 8);
+  EXPECT_EQ(spec.xor_gates(), 56);  // m - q over the forest
+  EXPECT_EQ(spec.mask_cells(), 64);
+
+  CompactorSpec bad;
+  bad.inputs = 8;
+  bad.outputs = 8;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.outputs = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Compactor, XBlockingAnalysis) {
+  CompactorSpec spec;
+  spec.inputs = 64;
+  spec.outputs = 8;
+  EXPECT_DOUBLE_EQ(x_block_probability(spec, 0.0), 0.0);
+  EXPECT_NEAR(x_block_probability(spec, 1.0), 1.0, 1e-12);
+  const double p05 = x_block_probability(spec, 0.05);
+  EXPECT_NEAR(p05, 1.0 - std::pow(0.95, 8), 1e-12);
+
+  // More aggressive compaction (wider fan-in) blocks more.
+  CompactorSpec aggressive = spec;
+  aggressive.outputs = 2;
+  EXPECT_GT(x_block_probability(aggressive, 0.05), p05);
+
+  // Masking recovers most blocked observations.
+  EXPECT_GT(observed_fraction(spec, 0.05, true),
+            observed_fraction(spec, 0.05, false));
+  EXPECT_NEAR(observed_fraction(spec, 0.05, true, 1.0), 1.0, 1e-12);
+  EXPECT_THROW(x_block_probability(spec, -0.1), std::invalid_argument);
+  EXPECT_THROW(observed_fraction(spec, 0.1, true, 2.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soctest

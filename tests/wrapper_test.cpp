@@ -1,0 +1,126 @@
+// Wrapper-chain design (BFD) invariants, parameterized over chain counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "bitvec/bit_util.hpp"
+#include "test_util.hpp"
+#include "wrapper/time_model.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+namespace soctest {
+namespace {
+
+void check_invariants(const CoreSpec& core, const WrapperDesign& d, int m) {
+  ASSERT_EQ(d.num_chains, m);
+  ASSERT_EQ(static_cast<int>(d.chains.size()), m);
+
+  // Every stimulus cell appears exactly once.
+  std::set<std::uint32_t> cells;
+  std::int64_t scan_total = 0;
+  int outputs = 0;
+  for (const WrapperChain& c : d.chains) {
+    for (std::uint32_t cell : c.stimulus_cells)
+      ASSERT_TRUE(cells.insert(cell).second) << "duplicate cell " << cell;
+    scan_total += c.scan_cells;
+    outputs += c.output_cells;
+    EXPECT_LE(c.stimulus_length(), d.scan_in_length);
+    EXPECT_LE(c.response_length(), d.scan_out_length);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(cells.size()),
+            core.stimulus_bits_per_pattern());
+  EXPECT_EQ(scan_total, core.total_scan_cells());
+  EXPECT_EQ(outputs, core.num_outputs);
+
+  // Scan-in length can never beat the perfectly balanced lower bound.
+  EXPECT_GE(d.scan_in_length,
+            ceil_div(core.stimulus_bits_per_pattern(), m));
+  EXPECT_GE(d.idle_bits_per_pattern, 0);
+  EXPECT_EQ(d.idle_bits_per_pattern,
+            static_cast<std::int64_t>(d.scan_in_length) * m -
+                core.stimulus_bits_per_pattern());
+}
+
+class WrapperSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapperSweep, FixedScanInvariants) {
+  const CoreUnderTest core =
+      testutil::small_core("c", 17, {40, 33, 25, 12, 9}, 5);
+  const int m = GetParam();
+  if (m > core.spec.max_wrapper_chains()) GTEST_SKIP();
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  check_invariants(core.spec, d, m);
+}
+
+TEST_P(WrapperSweep, FlexibleScanInvariants) {
+  const CoreUnderTest core = testutil::flex_core("f", 777, 5);
+  const int m = GetParam();
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  check_invariants(core.spec, d, m);
+  // Flexible stitching is balanced: lengths differ by at most 1 before
+  // input-cell distribution, so at most a small spread afterwards.
+  const std::int64_t total = core.spec.stimulus_bits_per_pattern();
+  EXPECT_LE(d.scan_in_length, ceil_div(total, m) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainCounts, WrapperSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 22));
+
+TEST(Wrapper, BfdCannotBeatLongestScanChain) {
+  // A fixed scan chain is unsplittable: si >= the longest chain.
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 2;
+  c.scan_chain_lengths = {100, 5, 5};
+  c.num_patterns = 1;
+  for (int m = 1; m <= 5; ++m) {
+    const WrapperDesign d = design_wrapper(c, m);
+    EXPECT_GE(d.scan_in_length, 100);
+  }
+}
+
+TEST(Wrapper, MoreChainsNeverHelpBeyondItemCount) {
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 3;
+  c.scan_chain_lengths = {10, 9};
+  c.num_patterns = 1;
+  EXPECT_EQ(c.max_wrapper_chains(), 5);
+  EXPECT_THROW(design_wrapper(c, 6), std::invalid_argument);
+  EXPECT_THROW(design_wrapper(c, 0), std::invalid_argument);
+}
+
+TEST(Wrapper, ScanInLengthIsNonIncreasingInM) {
+  const CoreUnderTest core = testutil::flex_core("f", 2000, 3);
+  int prev = 1 << 30;
+  for (int m = 1; m <= 64; ++m) {
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    EXPECT_LE(d.scan_in_length, prev) << "m=" << m;
+    prev = d.scan_in_length;
+  }
+}
+
+TEST(TimeModel, UncompressedFormula) {
+  // tau = (1 + max(si, so)) * p + min(si, so), the classic wrapper model.
+  CoreSpec c;
+  c.name = "c";
+  c.num_inputs = 0;
+  c.num_outputs = 0;
+  c.scan_chain_lengths = {10, 10};
+  c.num_patterns = 7;
+  const WrapperDesign d = design_wrapper(c, 2);
+  EXPECT_EQ(d.scan_in_length, 10);
+  EXPECT_EQ(d.scan_out_length, 10);
+  EXPECT_EQ(uncompressed_test_time(d, 7), (1 + 10) * 7 + 10);
+  EXPECT_EQ(uncompressed_test_time(d, 0), 0);
+  EXPECT_EQ(uncompressed_data_volume(d, 7), 10 * 2 * 7);
+}
+
+TEST(TimeModel, CompressedFormula) {
+  EXPECT_EQ(compressed_test_time(1000, 50, 10), 1060);
+  EXPECT_EQ(compressed_test_time(1000, 50, 0), 0);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,106 @@
+// Cycle-accurate scan power (WTM + shift traces) and its headline claim:
+// constant-fill expansion toggles less than tester random fill.
+#include <gtest/gtest.h>
+
+#include "power/wsa.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+WrapperDesign two_chain_design() {
+  CoreSpec spec;
+  spec.name = "t";
+  spec.num_inputs = 0;
+  spec.scan_chain_lengths = {4, 4};
+  spec.num_patterns = 1;
+  return design_wrapper(spec, 2);
+}
+
+SliceSequence slices_from(const std::vector<std::string>& rows) {
+  SliceSequence s;
+  for (const std::string& r : rows) {
+    std::vector<bool> bits;
+    for (char c : r) bits.push_back(c == '1');
+    s.push_back(bits);
+  }
+  return s;
+}
+
+TEST(Wsa, WtmHandComputed) {
+  const WrapperDesign d = two_chain_design();
+  // Chain 0 vector (slices top to bottom): 0,1,0,1 -> transitions at j=0,1,2
+  // with weights 3,2,1 -> 6. Chain 1: 1,1,1,1 -> 0.
+  const SliceSequence s = slices_from({"01", "11", "01", "11"});
+  EXPECT_EQ(weighted_transitions(s, d), 6);
+
+  // Constant chains: zero WTM.
+  const SliceSequence flat = slices_from({"00", "00", "00", "00"});
+  EXPECT_EQ(weighted_transitions(flat, d), 0);
+
+  // Maximum-activity chain 0101 on both chains: 2 * 6 = 12.
+  const SliceSequence busy = slices_from({"00", "11", "00", "11"});
+  EXPECT_EQ(weighted_transitions(busy, d), 12);
+}
+
+TEST(Wsa, ShiftTraceCountsToggles) {
+  const WrapperDesign d = two_chain_design();
+  // All-ones into zero-initialized chains: cycle t toggles exactly one new
+  // cell per chain (the 1-front advances one position per cycle).
+  const SliceSequence s = slices_from({"11", "11", "11", "11"});
+  const PowerTrace trace = shift_power_trace(s, d);
+  ASSERT_EQ(trace.toggles_per_cycle.size(), 4u);
+  for (std::int64_t t : trace.toggles_per_cycle) EXPECT_EQ(t, 2);
+  EXPECT_EQ(trace.peak, 2);
+  EXPECT_DOUBLE_EQ(trace.average, 2.0);
+
+  // Alternating input toggles every cell it passes: activity ramps up.
+  const SliceSequence alt = slices_from({"10", "00", "10", "00"});
+  const PowerTrace at = shift_power_trace(alt, d);
+  EXPECT_GT(at.peak, 1);
+}
+
+TEST(Wsa, RejectsShapeMismatch) {
+  const WrapperDesign d = two_chain_design();
+  EXPECT_THROW(weighted_transitions(slices_from({"01"}), d),
+               std::invalid_argument);
+  EXPECT_THROW(
+      shift_power_trace(slices_from({"011", "110", "000", "101"}), d),
+      std::invalid_argument);
+}
+
+TEST(Wsa, ConstantFillTogglesLessThanRandomFill) {
+  // The companion-paper claim this module exists to quantify: on sparse
+  // cubes, majority-fill (what the decompressor drives) yields much lower
+  // WTM than tester-side random fill.
+  const CoreUnderTest core = testutil::flex_core("c", 2'000, 6, 0.02, 3);
+  const WrapperDesign d = design_wrapper(core.spec, 16);
+  const SliceMap map(d, core.cubes.num_cells());
+
+  std::int64_t wtm_fill = 0, wtm_random = 0;
+  for (int p = 0; p < core.cubes.num_patterns(); ++p) {
+    wtm_fill += weighted_transitions(
+        expand_pattern_slices(map, core.cubes, p, /*random_fill=*/false), d);
+    wtm_random += weighted_transitions(
+        expand_pattern_slices(map, core.cubes, p, /*random_fill=*/true), d);
+  }
+  EXPECT_LT(wtm_fill * 2, wtm_random)
+      << "constant fill should at least halve the weighted transitions";
+}
+
+TEST(Wsa, ExpandPreservesCareBits) {
+  const CoreUnderTest core = testutil::small_core("c", 8, {20, 15}, 4, 0.3);
+  const WrapperDesign d = design_wrapper(core.spec, 3);
+  const SliceMap map(d, core.cubes.num_cells());
+  for (bool random_fill : {false, true}) {
+    const SliceSequence s =
+        expand_pattern_slices(map, core.cubes, 1, random_fill);
+    for (const CareBit& b : core.cubes.pattern(1)) {
+      EXPECT_EQ(s[map.slice_of_cell(b.cell)][map.chain_of_cell(b.cell)],
+                b.value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,269 @@
+// soctest — command-line front end for the library.
+//
+//   soctest list-designs
+//   soctest show     --design <name|file.soc>
+//   soctest explore  --design <d> --core <name> [--max-width N]
+//                    [--max-chains N] [--csv out.csv]
+//   soctest optimize --design <d> --width W [--mode percore|pertam|notdc|
+//                    fixedw4] [--constraint tam|ate] [--power MW]
+//                    [--select] [--svg out.svg]
+//   soctest compare  --design <d> --width W            (with vs without TDC)
+//   soctest convert  --design <d> --out file.soc       (export any design)
+//
+// <d> is a built-in design (d695, d2758, System1..System4, fig4) or a path
+// to a .soc file in the src/io text format.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ate/ate_memory.hpp"
+#include "explore/technique_select.hpp"
+#include "io/soc_text.hpp"
+#include "opt/baselines.hpp"
+#include "opt/result.hpp"
+#include "report/csv.hpp"
+#include "report/svg.hpp"
+#include "report/table.hpp"
+#include "socgen/d2758.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/systems.hpp"
+
+using namespace soctest;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  bool has(const std::string& k) const { return flags.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& def = "") const {
+    auto it = flags.find(k);
+    return it == flags.end() ? def : it->second;
+  }
+  int get_int(const std::string& k, int def) const {
+    auto it = flags.find(k);
+    return it == flags.end() ? def : std::atoi(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    std::string value = "1";  // bare flags
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+      value = argv[++i];
+    a.flags[key] = value;
+  }
+  return a;
+}
+
+SocSpec load_design(const std::string& name) {
+  if (name == "d695") return make_d695();
+  if (name == "d2758") return make_d2758();
+  if (name == "fig4") return make_fig4_soc();
+  for (int i = 1; i <= 4; ++i)
+    if (name == "System" + std::to_string(i)) return make_system(i);
+  // Otherwise treat as a file path.
+  return read_soc_text_file(name);
+}
+
+int cmd_list_designs() {
+  std::printf("built-in designs:\n");
+  std::printf("  d695      ITC'02-style benchmark (10 ISCAS cores)\n");
+  std::printf("  d2758     synthetic many-core benchmark\n");
+  std::printf("  System1..System4  industrial-core example systems\n");
+  std::printf("  fig4      the paper's Figure 4 four-core design\n");
+  std::printf("any other name is read as a .soc file (src/io format)\n");
+  return 0;
+}
+
+int cmd_show(const Args& a) {
+  const SocSpec soc = load_design(a.get("design"));
+  std::printf("%s: %d cores, V_i = %.3f Mbit\n", soc.name.c_str(),
+              soc.num_cores(), soc.initial_data_volume_bits() / 1e6);
+  Table t({"core", "inputs", "outputs", "scan cells", "chains", "patterns",
+           "density"});
+  for (const CoreUnderTest& c : soc.cores) {
+    t.add_row({c.spec.name, Table::num(c.spec.num_inputs),
+               Table::num(c.spec.num_outputs),
+               Table::num(c.spec.total_scan_cells()),
+               c.spec.flexible_scan
+                   ? "flex"
+                   : Table::num(static_cast<std::int64_t>(
+                         c.spec.scan_chain_lengths.size())),
+               Table::num(c.spec.num_patterns),
+               Table::fixed(100.0 * c.cubes.care_bit_density(), 2) + "%"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_explore(const Args& a) {
+  const SocSpec soc = load_design(a.get("design"));
+  const std::string core_name = a.get("core");
+  const CoreUnderTest* core = nullptr;
+  for (const auto& c : soc.cores)
+    if (c.spec.name == core_name) core = &c;
+  if (!core) {
+    std::fprintf(stderr, "no core '%s' in %s\n", core_name.c_str(),
+                 soc.name.c_str());
+    return 1;
+  }
+  ExploreOptions opts;
+  opts.max_width = a.get_int("max-width", 32);
+  opts.max_chains = a.get_int("max-chains", 255);
+  const CoreTable table = explore_core(*core, opts);
+
+  Table t({"w", "mode", "m", "test time", "volume (bits)"});
+  for (int w = 1; w <= opts.max_width; ++w) {
+    const CoreChoice& b = table.best(w);
+    t.add_row({Table::num(w),
+               b.mode == AccessMode::Compressed ? "compressed" : "direct",
+               Table::num(b.m), Table::num(b.test_time),
+               Table::num(b.data_volume_bits)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  if (a.has("csv")) {
+    Csv csv({"m", "w", "codewords", "test_time", "volume_bits"});
+    for (const SweepPoint& pt : table.sweep())
+      csv.add_row({Table::num(pt.m), Table::num(pt.w),
+                   Table::num(pt.codewords), Table::num(pt.test_time),
+                   Table::num(pt.data_volume_bits)});
+    csv.write_file(a.get("csv"));
+    std::printf("wrote %s\n", a.get("csv").c_str());
+  }
+  return 0;
+}
+
+std::optional<ArchMode> parse_mode(const std::string& s) {
+  if (s == "percore") return ArchMode::PerCore;
+  if (s == "pertam") return ArchMode::PerTam;
+  if (s == "notdc") return ArchMode::NoTdc;
+  if (s == "fixedw4") return ArchMode::FixedWidth4;
+  return std::nullopt;
+}
+
+int cmd_optimize(const Args& a) {
+  const SocSpec soc = load_design(a.get("design"));
+  ExploreOptions eopts;
+  eopts.max_width = std::max(a.get_int("width", 32), 32);
+  eopts.max_chains = a.get_int("max-chains", 255);
+
+  const SocOptimizer opt =
+      a.has("select")
+          ? SocOptimizer(soc, explore_soc_with_selection(soc, eopts), eopts)
+          : SocOptimizer(soc, eopts);
+
+  OptimizerOptions o;
+  o.width = a.get_int("width", 32);
+  const auto mode = parse_mode(a.get("mode", "percore"));
+  if (!mode) {
+    std::fprintf(stderr, "bad --mode (percore|pertam|notdc|fixedw4)\n");
+    return 2;
+  }
+  o.mode = *mode;
+  const std::string cons = a.get("constraint", "tam");
+  if (cons == "tam") {
+    o.constraint = ConstraintMode::TamWidth;
+  } else if (cons == "ate") {
+    o.constraint = ConstraintMode::AteChannels;
+  } else {
+    std::fprintf(stderr, "bad --constraint (tam|ate)\n");
+    return 2;
+  }
+  o.power_budget_mw = std::atof(a.get("power", "0").c_str());
+
+  const OptimizationResult r = opt.optimize(o);
+  std::printf("%s", summarize(r, soc).c_str());
+  if (o.power_budget_mw > 0)
+    std::printf("peak power %.1f mW (budget %.1f)\n", r.peak_power_mw,
+                o.power_budget_mw);
+  const AteMemoryReport mem = ate_memory(r);
+  std::printf("ATE memory: %.3f Mbit total, deepest channel %lld vectors, "
+              "imbalance %.2f\n",
+              mem.total_bits / 1e6,
+              static_cast<long long>(mem.max_channel_depth), mem.imbalance);
+
+  if (a.has("svg")) {
+    std::vector<std::string> names;
+    for (const auto& c : soc.cores) names.push_back(c.spec.name);
+    SvgOptions sopts;
+    sopts.title = soc.name + " @ W=" + std::to_string(o.width) + " (" +
+                  to_string(o.mode) + ")";
+    write_svg_file(a.get("svg"), gantt_svg(r.schedule, r.arch, names, sopts));
+    std::printf("wrote %s\n", a.get("svg").c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& a) {
+  const SocSpec soc = load_design(a.get("design"));
+  ExploreOptions eopts;
+  eopts.max_width = std::max(a.get_int("width", 32), 32);
+  eopts.max_chains = a.get_int("max-chains", 255);
+  const SocOptimizer opt(soc, eopts);
+  const TdcComparison cmp =
+      compare_with_without_tdc(opt, a.get_int("width", 32));
+  std::printf("%s @ W=%d\n", soc.name.c_str(), cmp.width);
+  std::printf("  without TDC: tau = %lld, V = %lld bits\n",
+              static_cast<long long>(cmp.without_tdc.test_time),
+              static_cast<long long>(cmp.without_tdc.data_volume_bits));
+  std::printf("  with TDC:    tau = %lld, V = %lld bits\n",
+              static_cast<long long>(cmp.with_tdc.test_time),
+              static_cast<long long>(cmp.with_tdc.data_volume_bits));
+  std::printf("  reductions:  time %.2fx, volume %.2fx (vs initial %.2fx)\n",
+              cmp.time_reduction_factor(), cmp.volume_vs_uncompressed(),
+              cmp.volume_vs_initial());
+  return 0;
+}
+
+int cmd_convert(const Args& a) {
+  const SocSpec soc = load_design(a.get("design"));
+  const std::string out = a.get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "convert needs --out <file>\n");
+    return 2;
+  }
+  write_soc_text_file(out, soc);
+  std::printf("wrote %s (%d cores)\n", out.c_str(), soc.num_cores());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: soctest <command> [--flag value ...]\n"
+      "commands: list-designs | show | explore | optimize | compare | "
+      "convert\n"
+      "see the header of tools/soctest_cli.cpp for per-command flags\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  try {
+    if (a.command == "list-designs") return cmd_list_designs();
+    if (a.command == "show") return cmd_show(a);
+    if (a.command == "explore") return cmd_explore(a);
+    if (a.command == "optimize") return cmd_optimize(a);
+    if (a.command == "compare") return cmd_compare(a);
+    if (a.command == "convert") return cmd_convert(a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
