@@ -12,6 +12,7 @@
 #include "report/ascii_chart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/stats.hpp"
 #include "socgen/industrial.hpp"
 
 using namespace soctest;
@@ -80,5 +81,8 @@ int main() {
                  Table::num(pt.test_time), Table::num(pt.data_volume_bits)});
   csv.write_file("fig2_ckt7_w10.csv");
   std::printf("\nwrote fig2_ckt7_w10.csv\n");
+  // The (w, m) sweep above ran chunked across the runtime pool.
+  const runtime::RuntimeStats rs = runtime::collect_stats();
+  std::printf("\n[runtime] %s\n", runtime::stats_to_json(rs).c_str());
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "report/ascii_chart.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/stats.hpp"
 #include "socgen/industrial.hpp"
 
 using namespace soctest;
@@ -60,5 +61,8 @@ int main() {
 
   csv.write_file("fig3_ckt7.csv");
   std::printf("\nwrote fig3_ckt7.csv\n");
+  // The per-geometry sweep above ran chunked across the runtime pool.
+  const runtime::RuntimeStats rs = runtime::collect_stats();
+  std::printf("\n[runtime] %s\n", runtime::stats_to_json(rs).c_str());
   return 0;
 }

@@ -13,6 +13,8 @@
 
 #include "opt/baselines.hpp"
 #include "report/table.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
 #include "socgen/d2758.hpp"
 #include "socgen/d695.hpp"
 
@@ -28,9 +30,16 @@ int main() {
     e.max_width = 64;
     e.max_chains = 511;
     const SocOptimizer opt(soc, e);
-    for (int w_ate : {8, 16, 24, 32}) {
-      const MethodComparison cmp =
-          compare_methods(opt, w_ate, ConstraintMode::AteChannels);
+    // Each width's three optimizations are independent; run the sweep on
+    // the runtime pool and emit rows in width order.
+    const std::vector<int> widths = {8, 16, 24, 32};
+    const std::vector<MethodComparison> cmps =
+        runtime::parallel_map(widths, [&](int w_ate) {
+          return compare_methods(opt, w_ate, ConstraintMode::AteChannels);
+        });
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const int w_ate = widths[i];
+      const MethodComparison& cmp = cmps[i];
       t.add_row({soc.name, Table::num(w_ate),
                  Table::num(cmp.per_tam.test_time),
                  Table::num(cmp.fixed_w4.test_time),
@@ -49,5 +58,7 @@ int main() {
       "reports\nsmaller gains here than under the TAM-width constraint "
       "(Table 2), because a\nSOC-level decompressor spends on-chip wires "
       "rather than ATE channels.\n");
+  const runtime::RuntimeStats rs = runtime::collect_stats();
+  std::printf("\n[runtime] %s\n", runtime::stats_to_json(rs).c_str());
   return 0;
 }

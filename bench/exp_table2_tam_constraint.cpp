@@ -9,6 +9,8 @@
 
 #include "opt/baselines.hpp"
 #include "report/table.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
 #include "socgen/d695.hpp"
 
 using namespace soctest;
@@ -24,9 +26,15 @@ int main() {
   Table t({"W_TAM", "tau[18]-like", "tau[11]-like", "tau proposed",
            "prop/[18]", "prop/[11]"});
   int proposed_wins_vs_pertam = 0, rows = 0;
-  for (int w : {16, 24, 32, 40, 48, 56, 64}) {
-    const MethodComparison cmp =
-        compare_methods(opt, w, ConstraintMode::TamWidth);
+  // Width rows are independent: sweep on the runtime pool, report in order.
+  const std::vector<int> widths = {16, 24, 32, 40, 48, 56, 64};
+  const std::vector<MethodComparison> cmps =
+      runtime::parallel_map(widths, [&](int w) {
+        return compare_methods(opt, w, ConstraintMode::TamWidth);
+      });
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const int w = widths[i];
+    const MethodComparison& cmp = cmps[i];
     t.add_row({Table::num(w), Table::num(cmp.per_tam.test_time),
                Table::num(cmp.fixed_w4.test_time),
                Table::num(cmp.proposed.test_time),
@@ -43,5 +51,7 @@ int main() {
   std::printf("proposed <= [18]-like on %d/%d widths "
               "[paper: proposed better under TAM constraint]\n",
               proposed_wins_vs_pertam, rows);
+  const runtime::RuntimeStats rs = runtime::collect_stats();
+  std::printf("\n[runtime] %s\n", runtime::stats_to_json(rs).c_str());
   return 0;
 }

@@ -11,6 +11,8 @@
 #include "opt/baselines.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
 #include "socgen/systems.hpp"
 
 using namespace soctest;
@@ -42,8 +44,16 @@ int main() {
     e.max_chains = 511;
     const SocOptimizer opt(soc, e);
     const bool industrial = soc.name != "d695";
-    for (int w : {16, 32, 48, 64}) {
-      const TdcComparison cmp = compare_with_without_tdc(opt, w);
+    // The four width rows are independent optimizations; run them on the
+    // runtime pool and aggregate in width order.
+    const std::vector<int> widths = {16, 32, 48, 64};
+    const std::vector<TdcComparison> cmps =
+        runtime::parallel_map(widths, [&](int w) {
+          return compare_with_without_tdc(opt, w);
+        });
+    for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+      const int w = widths[wi];
+      const TdcComparison& cmp = cmps[wi];
       t.add_row({soc.name,
                  soc.approx_gate_count
                      ? Table::fixed(soc.approx_gate_count / 1e6, 2) + "M"
@@ -89,5 +99,7 @@ int main() {
 
   csv.write_file("table3_tdc_gain.csv");
   std::printf("\nwrote table3_tdc_gain.csv\n");
+  const runtime::RuntimeStats rs = runtime::collect_stats();
+  std::printf("\n[runtime] %s\n", runtime::stats_to_json(rs).c_str());
   return 0;
 }

@@ -4,10 +4,16 @@
 // tracking of the reproduction itself.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cmath>
+#include <future>
+
 #include "codec/sparse_cost.hpp"
 #include "codec/stream_encoder.hpp"
 #include "explore/core_explorer.hpp"
 #include "opt/soc_optimizer.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sched/greedy_scheduler.hpp"
 #include "socgen/cube_synth.hpp"
 #include "wrapper/wrapper_design.hpp"
@@ -94,6 +100,76 @@ void BM_GreedySchedule(benchmark::State& state) {
     benchmark::DoNotOptimize(greedy_schedule(n, 4, cost, times).makespan());
 }
 BENCHMARK(BM_GreedySchedule)->Arg(10)->Arg(100)->Arg(1000);
+
+// --- runtime pool overhead (results recorded in BENCH_runtime.json) ---
+
+// Round-trip latency of a single task: submit + wake + run + future fulfil.
+void BM_PoolSpawnLatency(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) pool.async([] {}).get();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolSpawnLatency)->Arg(1)->Arg(2)->Arg(4);
+
+// Burst fan-out of 256 tiny tasks; the steal_rate counter reports what
+// fraction of tasks workers lifted from sibling queues.
+void BM_PoolFanOut(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  constexpr int kBurst = 256;
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    std::vector<std::future<void>> futs;
+    futs.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i)
+      futs.push_back(
+          pool.async([&sink] { sink.fetch_add(1, std::memory_order_relaxed); }));
+    for (auto& f : futs) f.get();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  const runtime::PoolStats s = pool.stats();
+  state.counters["steal_rate"] =
+      s.tasks_run ? static_cast<double>(s.steals) /
+                        static_cast<double>(s.tasks_run)
+                  : 0.0;
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_PoolFanOut)->Arg(2)->Arg(4);
+
+// Chunked-loop overhead over a cheap body (the determinism engine's cost
+// floor); per-element time should stay in the nanoseconds.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  runtime::ParallelOptions o;
+  o.pool = &pool;
+  std::vector<double> out(1 << 14);
+  for (auto _ : state) {
+    runtime::parallel_for(
+        0, static_cast<std::int64_t>(out.size()),
+        [&](std::int64_t i) {
+          out[static_cast<std::size_t>(i)] = std::sqrt(static_cast<double>(i));
+        },
+        o);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4);
+
+// End-to-end parallel_for speedup on the real workload: explore_core's
+// geometry sweep under a scoped pool of N lanes. Compare Arg(1) vs Arg(N)
+// wall time for the speedup ratio (flat on single-core CI machines).
+void BM_ExploreCoreJobs(benchmark::State& state) {
+  const CoreUnderTest core = bench_core(10'000, 8, 0.02);
+  ExploreOptions o;
+  o.max_width = 32;
+  o.max_chains = 255;
+  runtime::ThreadPool pool(static_cast<int>(state.range(0)));
+  runtime::PoolScope scope(&pool);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore_core(core, o).max_width());
+}
+BENCHMARK(BM_ExploreCoreJobs)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

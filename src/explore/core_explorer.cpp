@@ -4,6 +4,9 @@
 
 #include "bitvec/bit_util.hpp"
 #include "codec/sparse_cost.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/table_cache.hpp"
 #include "wrapper/slice_map.hpp"
 #include "wrapper/time_model.hpp"
 #include "wrapper/wrapper_design.hpp"
@@ -16,50 +19,70 @@ CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts) {
 
   // Step 1: uncompressed wrapper design for every candidate TAM width.
   // A core with fewer scannable elements than w simply leaves wires unused.
-  for (int w = 1; w <= opts.max_width; ++w) {
-    const int m = std::min(w, core.spec.max_wrapper_chains());
+  // Every width is independent; each writes only its own slot.
+  std::vector<CoreChoice> direct(static_cast<std::size_t>(opts.max_width));
+  runtime::parallel_for(1, opts.max_width + 1, [&](std::int64_t w) {
+    const int m =
+        std::min(static_cast<int>(w), core.spec.max_wrapper_chains());
     const WrapperDesign d = design_wrapper(core.spec, m);
     CoreChoice c;
     c.mode = AccessMode::Direct;
-    c.tam_width = w;
+    c.tam_width = static_cast<int>(w);
     c.wires_used = m;
     c.m = m;
     c.test_time = uncompressed_test_time(d, core.spec.num_patterns);
     c.data_volume_bits = uncompressed_data_volume(d, core.spec.num_patterns);
-    table.set_direct(w, c);
-  }
+    direct[static_cast<std::size_t>(w - 1)] = c;
+  });
+  for (int w = 1; w <= opts.max_width; ++w)
+    table.set_direct(w, direct[static_cast<std::size_t>(w - 1)]);
 
   // Step 2: every decompressor geometry m in [2, cap]. The codeword width
   // w(m) = ceil(log2(m+1)) + 2 follows from m; geometries whose w exceeds
   // max_width are still recorded for the sweep plots but never selected.
+  // This is the expensive loop — each geometry re-runs wrapper design and
+  // the sparse codec cost — and each m fills its own slot, so the table is
+  // bit-identical no matter how many pool lanes ran it.
   const int m_cap = std::min(opts.max_chains, core.spec.max_wrapper_chains());
-  for (int m = 2; m <= m_cap; ++m) {
-    const WrapperDesign d = design_wrapper(core.spec, m);
-    const SliceMap map(d, core.cubes.num_cells());
-    const SparseCostResult cost = sparse_stream_cost(map, core.cubes);
-    SweepPoint pt;
-    pt.m = m;
-    pt.w = codeword_width_for_chains(m);
-    pt.codewords = cost.total_codewords;
-    pt.scan_out = d.scan_out_length;
-    pt.test_time = compressed_test_time(cost.total_codewords,
-                                        d.scan_out_length,
-                                        core.spec.num_patterns);
-    pt.data_volume_bits = cost.total_codewords * pt.w;
-    table.add_sweep_point(pt);
+  if (m_cap >= 2) {
+    std::vector<SweepPoint> pts(static_cast<std::size_t>(m_cap - 1));
+    runtime::parallel_for(2, m_cap + 1, [&](std::int64_t mi) {
+      const int m = static_cast<int>(mi);
+      const WrapperDesign d = design_wrapper(core.spec, m);
+      const SliceMap map(d, core.cubes.num_cells());
+      const SparseCostResult cost = sparse_stream_cost(map, core.cubes);
+      SweepPoint pt;
+      pt.m = m;
+      pt.w = codeword_width_for_chains(m);
+      pt.codewords = cost.total_codewords;
+      pt.scan_out = d.scan_out_length;
+      pt.test_time = compressed_test_time(cost.total_codewords,
+                                          d.scan_out_length,
+                                          core.spec.num_patterns);
+      pt.data_volume_bits = cost.total_codewords * pt.w;
+      pts[static_cast<std::size_t>(m - 2)] = pt;
+    });
+    for (const SweepPoint& pt : pts) table.add_sweep_point(pt);
   }
 
   table.finalize();
   return table;
 }
 
+std::shared_ptr<const CoreTable> explore_core_cached(
+    const CoreUnderTest& core, const ExploreOptions& opts) {
+  if (!opts.use_cache)
+    return std::make_shared<const CoreTable>(explore_core(core, opts));
+  return runtime::TableCache::global().get_or_compute(
+      runtime::key_of(core, opts), [&] { return explore_core(core, opts); });
+}
+
 std::vector<CoreTable> explore_soc(const SocSpec& soc,
                                    const ExploreOptions& opts) {
-  std::vector<CoreTable> tables;
-  tables.reserve(soc.cores.size());
-  for (const CoreUnderTest& c : soc.cores)
-    tables.push_back(explore_core(c, opts));
-  return tables;
+  runtime::PhaseTimer timer("explore");
+  return runtime::parallel_map(soc.cores, [&](const CoreUnderTest& c) {
+    return *explore_core_cached(c, opts);
+  });
 }
 
 }  // namespace soctest

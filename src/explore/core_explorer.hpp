@@ -3,6 +3,8 @@
 // geometry (step 2) — producing the CoreTable lookup structure.
 #pragma once
 
+#include <memory>
+
 #include "dft/soc_spec.hpp"
 #include "explore/core_table.hpp"
 
@@ -13,12 +15,22 @@ struct ExploreOptions {
   int max_width = 64;
   /// Cap on wrapper-chain count m (the paper explores up to 255).
   int max_chains = 255;
+  /// Consult/populate the process-wide content-addressed TableCache
+  /// (src/runtime). Exploration is deterministic, so a hit is
+  /// bit-identical to a cold run; disable only to measure cold costs.
+  bool use_cache = true;
 };
 
-/// Explores one core. Deterministic; cost is O(max_chains * care-bits).
+/// Explores one core. Deterministic for any thread count (the geometry
+/// sweep runs on the runtime pool with index-ordered result slots); cost is
+/// O(max_chains * care-bits). Never consults the cache.
 CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts);
 
-/// Explores every core of a SOC.
+/// explore_core through the global TableCache (subject to opts.use_cache).
+std::shared_ptr<const CoreTable> explore_core_cached(
+    const CoreUnderTest& core, const ExploreOptions& opts);
+
+/// Explores every core of a SOC, cores in parallel on the runtime pool.
 std::vector<CoreTable> explore_soc(const SocSpec& soc,
                                    const ExploreOptions& opts);
 

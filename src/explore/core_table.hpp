@@ -28,6 +28,8 @@ struct CoreChoice {
   int aux = 0;          // technique-specific (dictionary entry count)
   std::int64_t test_time = 0;
   std::int64_t data_volume_bits = 0;
+
+  friend bool operator==(const CoreChoice&, const CoreChoice&) = default;
 };
 
 /// One evaluated decompressor geometry (exact, not prefix-minimized) —
@@ -39,6 +41,8 @@ struct SweepPoint {
   std::int64_t test_time = 0;
   std::int64_t data_volume_bits = 0;
   int scan_out = 0;
+
+  friend bool operator==(const SweepPoint&, const SweepPoint&) = default;
 };
 
 class CoreTable {
@@ -74,6 +78,10 @@ class CoreTable {
   /// an earlier finalize(); call finalize() again afterwards.
   void offer_compressed(int w, CoreChoice c);
   void finalize();  // computes best/exact tables from sweep + direct + offers
+
+  /// Member-wise equality — the determinism tests' "byte-identical" check
+  /// (every field that exists is compared; there is no hidden state).
+  friend bool operator==(const CoreTable&, const CoreTable&) = default;
 
  private:
   std::string name_;

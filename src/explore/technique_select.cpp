@@ -3,15 +3,21 @@
 #include <algorithm>
 
 #include "dict/dict_codec.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/table_cache.hpp"
 #include "wrapper/time_model.hpp"
 #include "wrapper/wrapper_design.hpp"
 
 namespace soctest {
+namespace {
 
-CoreTable explore_core_with_selection(const CoreUnderTest& core,
-                                      const ExploreOptions& opts,
-                                      const DictSelectOptions& dict_opts) {
-  CoreTable table = explore_core(core, opts);
+CoreTable explore_with_selection_uncached(const CoreUnderTest& core,
+                                          const ExploreOptions& opts,
+                                          const DictSelectOptions& dict_opts) {
+  // The base sweep dominates the cost and has its own cache line keyed
+  // without the dict options, so plain and selection flows share it.
+  CoreTable table = *explore_core_cached(core, opts);
 
   for (int m : dict_opts.chain_counts) {
     if (m < 2 || m > std::min(opts.max_chains, core.spec.max_wrapper_chains()))
@@ -38,14 +44,25 @@ CoreTable explore_core_with_selection(const CoreUnderTest& core,
   return table;
 }
 
+}  // namespace
+
+CoreTable explore_core_with_selection(const CoreUnderTest& core,
+                                      const ExploreOptions& opts,
+                                      const DictSelectOptions& dict_opts) {
+  if (!opts.use_cache)
+    return explore_with_selection_uncached(core, opts, dict_opts);
+  return *runtime::TableCache::global().get_or_compute(
+      runtime::key_of(core, opts, dict_opts),
+      [&] { return explore_with_selection_uncached(core, opts, dict_opts); });
+}
+
 std::vector<CoreTable> explore_soc_with_selection(
     const SocSpec& soc, const ExploreOptions& opts,
     const DictSelectOptions& dict_opts) {
-  std::vector<CoreTable> tables;
-  tables.reserve(soc.cores.size());
-  for (const CoreUnderTest& c : soc.cores)
-    tables.push_back(explore_core_with_selection(c, opts, dict_opts));
-  return tables;
+  runtime::PhaseTimer timer("explore");
+  return runtime::parallel_map(soc.cores, [&](const CoreUnderTest& c) {
+    return explore_core_with_selection(c, opts, dict_opts);
+  });
 }
 
 }  // namespace soctest

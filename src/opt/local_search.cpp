@@ -1,13 +1,18 @@
 // SocOptimizer::optimize — the step-3 architecture search. For each bus
 // count k the search starts from the balanced partition and hill-climbs over
 // single-wire moves, re-running the step-4 scheduler for every candidate
-// (the schedule is the objective; there is no surrogate). FixedWidth4 uses
-// its prescribed architecture directly.
+// (the schedule is the objective; there is no surrogate). All starts across
+// all bus counts are independent hill climbs, so they run in parallel on
+// the runtime pool; the winner is reduced in start order, which keeps the
+// result identical for any thread count. FixedWidth4 uses its prescribed
+// architecture directly.
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
 #include "opt/soc_optimizer.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
 #include "tam/partition.hpp"
 
 namespace soctest {
@@ -35,29 +40,18 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
   if (opts.width < 1)
     throw std::invalid_argument("SocOptimizer: width must be >= 1");
   const auto t0 = std::chrono::steady_clock::now();
+  runtime::PhaseTimer timer("search");
 
   OptimizationResult best;
-  bool have_best = false;
-  const auto consider = [&](const TamArchitecture& arch) {
-    OptimizationResult r = evaluate(arch, opts);
-    if (!have_best || better(r, best)) {
-      best = std::move(r);
-      have_best = true;
-      return true;
-    }
-    return false;
-  };
-
   if (opts.mode == ArchMode::FixedWidth4) {
-    consider(fixed_w4_architecture(opts.width));
+    best = evaluate(fixed_w4_architecture(opts.width), opts);
   } else {
-    const int kmax =
-        std::min({opts.max_buses, soc_->num_cores(), opts.width});
+    // Multi-start hill climbing: the makespan landscape over partitions
+    // has plateaus (many cores are width-insensitive past their sweet
+    // spot), so a single start can stall in a poor basin.
+    std::vector<TamArchitecture> starts;
+    const int kmax = std::min({opts.max_buses, soc_->num_cores(), opts.width});
     for (int k = 1; k <= kmax; ++k) {
-      // Multi-start hill climbing: the makespan landscape over partitions
-      // has plateaus (many cores are width-insensitive past their sweet
-      // spot), so a single start can stall in a poor basin.
-      std::vector<TamArchitecture> starts;
       starts.push_back(balanced_partition(opts.width, k));
       if (k >= 2) {
         // One dominant bus, the rest minimal: good when one long core
@@ -79,28 +73,33 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
           starts.push_back(taper);
         }
       }
-      for (TamArchitecture arch : starts) {
-        OptimizationResult cur = evaluate(arch, opts);
-        if (!have_best || better(cur, best)) {
-          best = cur;
-          have_best = true;
-        }
-        for (int step = 0; step < opts.max_search_steps; ++step) {
-          bool improved = false;
-          for (const TamArchitecture& n : wire_move_neighbours(arch)) {
-            OptimizationResult r = evaluate(n, opts);
-            if (better(r, cur)) {
-              cur = std::move(r);
-              arch = n;
-              improved = true;
-            }
-          }
-          if (!improved) break;
-          if (better(cur, best)) {
-            best = cur;
-            have_best = true;
+    }
+
+    const auto hill_climb = [&](const TamArchitecture& start) {
+      TamArchitecture arch = start;
+      OptimizationResult cur = evaluate(arch, opts);
+      for (int step = 0; step < opts.max_search_steps; ++step) {
+        bool improved = false;
+        for (const TamArchitecture& n : wire_move_neighbours(arch)) {
+          OptimizationResult r = evaluate(n, opts);
+          if (better(r, cur)) {
+            cur = std::move(r);
+            arch = n;
+            improved = true;
           }
         }
+        if (!improved) break;
+      }
+      return cur;
+    };
+
+    const std::vector<OptimizationResult> climbed =
+        runtime::parallel_map(starts, hill_climb);
+    bool have_best = false;
+    for (const OptimizationResult& r : climbed) {
+      if (!have_best || better(r, best)) {
+        best = r;
+        have_best = true;
       }
     }
   }

@@ -39,7 +39,8 @@ const char* technique_name(Technique t) {
 
 }  // namespace
 
-std::string result_to_json(const OptimizationResult& r, const SocSpec& soc) {
+std::string result_to_json(const OptimizationResult& r, const SocSpec& soc,
+                           const runtime::RuntimeStats* stats) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"soc\": \"" << json_escape(soc.name) << "\",\n";
@@ -76,8 +77,9 @@ std::string result_to_json(const OptimizationResult& r, const SocSpec& soc) {
        << ", \"volume_bits\": " << e.choice.data_volume_bits << "}"
        << (i + 1 < r.schedule.entries.size() ? "," : "") << "\n";
   }
-  os << "  ]\n";
-  os << "}\n";
+  os << "  ]";
+  if (stats) os << ",\n  \"runtime\": " << runtime::stats_to_json(*stats);
+  os << "\n}\n";
   return os.str();
 }
 

@@ -7,13 +7,18 @@
 
 #include "dft/soc_spec.hpp"
 #include "opt/soc_optimizer.hpp"
+#include "runtime/stats.hpp"
 
 namespace soctest {
 
 /// Serializes a result: mode, constraint, architecture, wiring, and the
-/// full schedule with per-core choices. Stable field order.
+/// full schedule with per-core choices. Stable field order. When `stats`
+/// is non-null a "runtime" object (pool counters, TableCache hit/miss,
+/// phase wall times) is embedded — pass &runtime::collect_stats()'s value
+/// to record how the result was produced.
 std::string result_to_json(const OptimizationResult& result,
-                           const SocSpec& soc);
+                           const SocSpec& soc,
+                           const runtime::RuntimeStats* stats = nullptr);
 
 /// Escapes a string for inclusion in JSON (quotes added by caller).
 std::string json_escape(const std::string& s);

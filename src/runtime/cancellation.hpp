@@ -1,0 +1,62 @@
+// Cooperative cancellation for pool tasks and parallel loops: a token the
+// issuer cancels (or arms with a deadline) and workers poll between chunks.
+// Cancellation is advisory — a task observes it at its next check, nothing
+// is interrupted mid-flight.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace soctest::runtime {
+
+/// Thrown by parallel_for / parallel_map when the loop was abandoned because
+/// its CancelToken fired (explicitly or by deadline).
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("soctest::runtime: cancelled") {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the token to fire once `timeout` elapses from now.
+  void set_deadline_after(Clock::duration timeout) {
+    set_deadline(Clock::now() + timeout);
+  }
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline &&
+        Clock::now().time_since_epoch().count() >= d) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Throws CancelledError if the token has fired.
+  void check() const {
+    if (cancelled()) throw CancelledError();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      static_cast<std::int64_t>(-0x7fffffffffffffff);
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace soctest::runtime

@@ -1,0 +1,54 @@
+// Streaming FNV hashing used for content-addressed cache keys. Two
+// independent 64-bit digests (FNV-1a and FNV-1, distinct offset bases) plus
+// the byte count form a 160-bit fingerprint, so a single-hash collision is
+// detected instead of silently returning the wrong cached value.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace soctest::runtime {
+
+class FnvHasher {
+ public:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  static constexpr std::uint64_t kBasisA = 14695981039346656037ULL;  // FNV-1a
+  // Independent second stream: same prime, decorrelated basis, FNV-1 order.
+  static constexpr std::uint64_t kBasisB = 0x9ae16a3b2f90404fULL;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ p[i]) * kPrime;  // FNV-1a: xor, then multiply
+      b_ = (b_ * kPrime) ^ p[i];  // FNV-1: multiply, then xor
+    }
+    len_ += n;
+  }
+
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u64(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  template <class T>
+  void ints(const std::vector<T>& v) {
+    u64(v.size());
+    for (const T& x : v) i64(static_cast<std::int64_t>(x));
+  }
+
+  std::uint64_t digest_a() const { return a_; }
+  std::uint64_t digest_b() const { return b_; }
+  std::uint64_t length() const { return len_; }
+
+ private:
+  std::uint64_t a_ = kBasisA;
+  std::uint64_t b_ = kBasisB;
+  std::uint64_t len_ = 0;
+};
+
+}  // namespace soctest::runtime

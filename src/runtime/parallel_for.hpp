@@ -1,0 +1,57 @@
+// Deterministic parallel loops. The contract: `fn(i)` writes only state
+// owned by index i (typically a pre-sized result slot), so the output is a
+// pure function of the input — bit-identical for any thread count,
+// including 1 — because no reduction order, steal order, or scheduling
+// decision ever reaches the results. Exceptions and cancellation surface on
+// the calling thread.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace soctest::runtime {
+
+struct ParallelOptions {
+  /// Pool to run on; null = the calling thread's scoped pool (PoolScope /
+  /// worker thread) or the process-global pool.
+  ThreadPool* pool = nullptr;
+  /// Indices per chunk; <= 0 picks max(1, n / (4 * lanes)).
+  std::int64_t grain = 0;
+  /// Optional cooperative cancellation (CancelledError on the caller).
+  const CancelToken* cancel = nullptr;
+};
+
+/// Runs fn(i) for every i in [begin, end), in parallel, deterministically.
+template <class Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
+                  const ParallelOptions& opts = {}) {
+  if (end <= begin) return;
+  ThreadPool& pool = opts.pool ? *opts.pool : effective_pool();
+  pool.run_chunked(end - begin, opts.grain, opts.cancel,
+                   [&fn, begin](std::int64_t i0, std::int64_t i1) {
+                     for (std::int64_t i = i0; i < i1; ++i) fn(begin + i);
+                   });
+}
+
+/// Maps fn over items into an index-aligned result vector. The result type
+/// must be default-constructible (slots are pre-sized).
+template <class T, class Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn,
+                  const ParallelOptions& opts = {})
+    -> std::vector<decltype(fn(items[0]))> {
+  using R = decltype(fn(items[0]));
+  std::vector<R> out(items.size());
+  parallel_for(
+      0, static_cast<std::int64_t>(items.size()),
+      [&](std::int64_t i) {
+        out[static_cast<std::size_t>(i)] =
+            fn(items[static_cast<std::size_t>(i)]);
+      },
+      opts);
+  return out;
+}
+
+}  // namespace soctest::runtime

@@ -1,0 +1,78 @@
+#include "runtime/stats.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <sstream>
+
+namespace soctest::runtime {
+namespace {
+
+std::mutex g_m;
+std::vector<PhaseTime> g_phases;
+std::function<CacheStats()> g_cache_provider;
+
+}  // namespace
+
+void add_phase_seconds(const std::string& phase, double seconds) {
+  std::lock_guard<std::mutex> lk(g_m);
+  for (PhaseTime& p : g_phases) {
+    if (p.phase == phase) {
+      p.seconds += seconds;
+      ++p.count;
+      return;
+    }
+  }
+  g_phases.push_back({phase, seconds, 1});
+}
+
+PhaseTimer::PhaseTimer(std::string phase)
+    : phase_(std::move(phase)), start_(std::chrono::steady_clock::now()) {}
+
+PhaseTimer::~PhaseTimer() {
+  const auto end = std::chrono::steady_clock::now();
+  add_phase_seconds(phase_,
+                    std::chrono::duration<double>(end - start_).count());
+}
+
+void register_cache_stats_provider(std::function<CacheStats()> provider) {
+  std::lock_guard<std::mutex> lk(g_m);
+  g_cache_provider = std::move(provider);
+}
+
+RuntimeStats collect_stats() {
+  RuntimeStats s;
+  s.pool = ThreadPool::global().stats();
+  std::function<CacheStats()> provider;
+  {
+    std::lock_guard<std::mutex> lk(g_m);
+    s.phases = g_phases;
+    provider = g_cache_provider;
+  }
+  if (provider) s.table_cache = provider();
+  return s;
+}
+
+void reset_phase_times() {
+  std::lock_guard<std::mutex> lk(g_m);
+  g_phases.clear();
+}
+
+std::string stats_to_json(const RuntimeStats& s) {
+  std::ostringstream os;
+  os << "{\"jobs\": " << s.pool.workers
+     << ", \"tasks_submitted\": " << s.pool.submitted
+     << ", \"tasks_run\": " << s.pool.tasks_run
+     << ", \"steals\": " << s.pool.steals << ", \"table_cache\": {\"hits\": "
+     << s.table_cache.hits << ", \"misses\": " << s.table_cache.misses
+     << ", \"evictions\": " << s.table_cache.evictions
+     << ", \"entries\": " << s.table_cache.entries
+     << ", \"capacity\": " << s.table_cache.capacity << "}, \"phases\": {";
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << s.phases[i].phase
+       << "\": " << s.phases[i].seconds;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace soctest::runtime

@@ -1,0 +1,74 @@
+// Process-wide runtime observability: pool counters, TableCache counters,
+// and named phase wall times, snapshotted into one struct and rendered as
+// JSON by the reporter. The cache reports through a registered provider so
+// this module stays free of explore-layer dependencies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace soctest::runtime {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  /// Hit fraction in [0, 1]; 0 when no lookups happened.
+  double hit_rate() const {
+    const std::uint64_t n = lookups();
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+struct PhaseTime {
+  std::string phase;
+  double seconds = 0.0;
+  std::uint64_t count = 0;  // timer activations accumulated
+};
+
+struct RuntimeStats {
+  PoolStats pool;
+  CacheStats table_cache;
+  std::vector<PhaseTime> phases;  // ordered by first activation
+};
+
+/// Adds `seconds` to the named phase accumulator (thread-safe).
+void add_phase_seconds(const std::string& phase, double seconds);
+
+/// RAII wall-clock accumulator for one phase ("explore", "search", ...).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::string phase);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Installs the callback collect_stats() uses for the cache column (the
+/// global TableCache registers itself on first use).
+void register_cache_stats_provider(std::function<CacheStats()> provider);
+
+/// Snapshot of the global pool, the registered cache, and all phase times.
+RuntimeStats collect_stats();
+
+/// Clears phase accumulators (tests / repeated experiments).
+void reset_phase_times();
+
+/// Compact JSON object, e.g. {"jobs": 8, "tasks_run": …, "phases": {…}}.
+std::string stats_to_json(const RuntimeStats& s);
+
+}  // namespace soctest::runtime

@@ -1,0 +1,152 @@
+#include "runtime/table_cache.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "runtime/fnv.hpp"
+
+namespace soctest::runtime {
+namespace {
+
+void hash_core(FnvHasher& h, const CoreUnderTest& core) {
+  const CoreSpec& s = core.spec;
+  h.str(s.name);
+  h.i32(s.num_inputs);
+  h.i32(s.num_outputs);
+  h.ints(s.scan_chain_lengths);
+  h.boolean(s.flexible_scan);
+  h.i64(s.flexible_scan_cells);
+  h.i32(s.num_patterns);
+
+  const TestCubeSet& cubes = core.cubes;
+  h.i64(cubes.num_cells());
+  h.i32(cubes.num_patterns());
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    const auto& bits = cubes.pattern(p);
+    h.u64(bits.size());
+    for (const CareBit& b : bits) {
+      h.u64(b.cell);
+      h.boolean(b.value);
+    }
+  }
+}
+
+void hash_opts(FnvHasher& h, const ExploreOptions& opts) {
+  h.i32(opts.max_width);
+  h.i32(opts.max_chains);
+  // use_cache is deliberately excluded: it selects the code path, not the
+  // table content.
+}
+
+CacheKey finish(const FnvHasher& h) {
+  return {h.digest_a(), h.digest_b(), h.length()};
+}
+
+}  // namespace
+
+CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts) {
+  FnvHasher h;
+  h.str("soctest.explore_core.v1");
+  hash_core(h, core);
+  hash_opts(h, opts);
+  return finish(h);
+}
+
+CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts,
+                const DictSelectOptions& dict_opts) {
+  FnvHasher h;
+  h.str("soctest.explore_core_with_selection.v1");
+  hash_core(h, core);
+  hash_opts(h, opts);
+  h.ints(dict_opts.chain_counts);
+  h.ints(dict_opts.entry_counts);
+  return finish(h);
+}
+
+TableCache::TableCache(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {}
+
+std::shared_ptr<const CoreTable> TableCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = buckets_.find(key.hash);
+  if (it != buckets_.end()) {
+    for (Entry& e : it->second) {
+      if (e.key == key) {
+        e.last_used = ++tick_;
+        ++hits_;
+        return e.table;
+      }
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+std::shared_ptr<const CoreTable> TableCache::insert(const CacheKey& key,
+                                                    CoreTable table) {
+  auto stored = std::make_shared<const CoreTable>(std::move(table));
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<Entry>& bucket = buckets_[key.hash];
+  for (Entry& e : bucket) {
+    if (e.key == key) {  // racing recompute of the same content: keep newest
+      e.table = stored;
+      e.last_used = ++tick_;
+      return stored;
+    }
+  }
+  while (entries_ >= capacity_) evict_lru_locked();
+  bucket.push_back({key, stored, ++tick_});
+  ++entries_;
+  ++insertions_;
+  return stored;
+}
+
+void TableCache::evict_lru_locked() {
+  auto oldest_bucket = buckets_.end();
+  std::size_t oldest_idx = 0;
+  std::uint64_t oldest_tick = std::numeric_limits<std::uint64_t>::max();
+  for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i].last_used < oldest_tick) {
+        oldest_tick = it->second[i].last_used;
+        oldest_bucket = it;
+        oldest_idx = i;
+      }
+    }
+  }
+  if (oldest_bucket == buckets_.end()) return;
+  auto& vec = oldest_bucket->second;
+  vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(oldest_idx));
+  if (vec.empty()) buckets_.erase(oldest_bucket);
+  --entries_;
+  ++evictions_;
+}
+
+CacheStats TableCache::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.entries = entries_;
+  s.capacity = capacity_;
+  return s;
+}
+
+void TableCache::clear() {
+  std::lock_guard<std::mutex> lk(m_);
+  buckets_.clear();
+  entries_ = 0;
+}
+
+TableCache& TableCache::global() {
+  static TableCache* cache = [] {
+    auto* c = new TableCache(256);  // leaked: outlives static destructors
+    register_cache_stats_provider([c] { return c->stats(); });
+    return c;
+  }();
+  return *cache;
+}
+
+}  // namespace soctest::runtime

@@ -1,0 +1,91 @@
+// Content-addressed cache of CoreTable results. A CacheKey is a 160-bit
+// fingerprint (two independent 64-bit FNV digests + hashed byte count) of
+// everything that determines an exploration's output: the core's spec, its
+// test cubes, the ExploreOptions band, and — for technique selection — the
+// dictionary options. Exploration is deterministic, so equal fingerprints
+// of equal inputs mean a hit can substitute for a cold run bit-for-bit.
+//
+// Entries bucket on the primary digest; the secondary digest and length are
+// compared on lookup, so a primary-hash collision degrades to an extra
+// entry in the bucket instead of a wrong table. Eviction is LRU at a fixed
+// capacity. All operations are thread-safe; hit/miss/eviction counters feed
+// runtime::collect_stats().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dft/soc_spec.hpp"
+#include "explore/core_explorer.hpp"
+#include "explore/technique_select.hpp"
+#include "runtime/stats.hpp"
+
+namespace soctest::runtime {
+
+struct CacheKey {
+  std::uint64_t hash = 0;    // primary digest: bucket selector
+  std::uint64_t check = 0;   // independent digest: collision detector
+  std::uint64_t length = 0;  // bytes fingerprinted
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Fingerprint of a plain explore_core() invocation.
+CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts);
+
+/// Fingerprint of explore_core_with_selection() (includes dict options).
+CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts,
+                const DictSelectOptions& dict_opts);
+
+class TableCache {
+ public:
+  explicit TableCache(std::size_t capacity = 256);
+
+  /// Shared ownership of the cached table, or null on miss.
+  std::shared_ptr<const CoreTable> lookup(const CacheKey& key);
+
+  /// Inserts (or replaces) the table for `key`, evicting the least
+  /// recently used entry when at capacity. Returns the stored pointer.
+  std::shared_ptr<const CoreTable> insert(const CacheKey& key,
+                                          CoreTable table);
+
+  /// lookup(), or compute() + insert() on a miss.
+  template <class Fn>
+  std::shared_ptr<const CoreTable> get_or_compute(const CacheKey& key,
+                                                  Fn&& compute) {
+    if (auto hit = lookup(key)) return hit;
+    return insert(key, compute());
+  }
+
+  CacheStats stats() const;
+  void clear();  // drops entries; counters are kept
+
+  /// Process-wide cache used by the explore layer; registers itself as the
+  /// stats provider for runtime::collect_stats() on first use.
+  static TableCache& global();
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const CoreTable> table;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_lru_locked();
+
+  mutable std::mutex m_;
+  std::size_t capacity_;
+  std::size_t entries_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+  // Primary digest -> entries with that digest (>1 only on collision).
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+};
+
+}  // namespace soctest::runtime

@@ -1,0 +1,237 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace soctest::runtime {
+namespace {
+
+thread_local ThreadPool* tl_scoped_pool = nullptr;
+thread_local ThreadPool* tl_worker_pool = nullptr;
+thread_local int tl_worker_index = -1;
+
+std::mutex g_global_m;
+std::unique_ptr<ThreadPool> g_global_pool;
+int g_global_jobs = 0;  // 0 = not configured, use default_concurrency()
+
+}  // namespace
+
+ThreadPool::ThreadPool(int jobs) {
+  const int lanes = std::max(1, jobs);
+  queues_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int i = 0; i < lanes - 1; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(queues_.size());
+  for (int i = 0; i < static_cast<int>(queues_.size()); ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_m_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_main(int idx) {
+  // Tasks spawned from this thread (e.g. nested parallel loops) stay on
+  // this pool.
+  tl_scoped_pool = this;
+  tl_worker_pool = this;
+  tl_worker_index = idx;
+  for (;;) {
+    std::function<void()> task;
+    if (pop_or_steal(idx, task)) {
+      task();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_m_);
+    sleep_cv_.wait(lk, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+bool ThreadPool::pop_or_steal(int idx, std::function<void()>& task) {
+  const int n = static_cast<int>(queues_.size());
+  {
+    WorkerQueue& own = *queues_[static_cast<std::size_t>(idx)];
+    std::lock_guard<std::mutex> lk(own.m);
+    if (!own.q.empty()) {
+      task = std::move(own.q.back());
+      own.q.pop_back();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+  }
+  for (int k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[static_cast<std::size_t>((idx + k) % n)];
+    std::lock_guard<std::mutex> lk(victim.m);
+    if (!victim.q.empty()) {
+      task = std::move(victim.q.front());
+      victim.q.pop_front();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (queues_.empty()) {  // single-lane pool: run inline
+    task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::size_t idx;
+  if (tl_worker_pool == this && tl_worker_index >= 0) {
+    // A worker submitting keeps the task local (stolen if others idle).
+    idx = static_cast<std::size_t>(tl_worker_index);
+  } else {
+    idx = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(queues_[idx]->m);
+    queues_[idx]->q.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Lock pairs with the sleep predicate so a worker between its predicate
+    // check and wait() cannot miss this wakeup.
+    std::lock_guard<std::mutex> lk(sleep_m_);
+  }
+  sleep_cv_.notify_one();
+}
+
+struct ThreadPool::ChunkState {
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::int64_t total = 0;
+  std::int64_t grain = 1;
+  const CancelToken* cancel = nullptr;
+  std::function<void(std::int64_t, std::int64_t)> body;
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr err;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> saw_cancel{false};
+};
+
+void ThreadPool::drain_chunks(const std::shared_ptr<ChunkState>& st) {
+  for (;;) {
+    const std::int64_t i0 =
+        st->next.fetch_add(st->grain, std::memory_order_relaxed);
+    if (i0 >= st->total) return;
+    const std::int64_t i1 = std::min(st->total, i0 + st->grain);
+    const bool skip = st->failed.load(std::memory_order_relaxed) ||
+                      (st->cancel && st->cancel->cancelled());
+    if (!skip) {
+      try {
+        st->body(i0, i1);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(st->m);
+        if (!st->err) st->err = std::current_exception();
+        st->failed.store(true, std::memory_order_relaxed);
+      }
+    } else if (!st->failed.load(std::memory_order_relaxed)) {
+      st->saw_cancel.store(true, std::memory_order_relaxed);
+    }
+    const std::int64_t finished =
+        st->done.fetch_add(i1 - i0, std::memory_order_acq_rel) + (i1 - i0);
+    if (finished == st->total) {
+      std::lock_guard<std::mutex> lk(st->m);
+      st->cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunked(
+    std::int64_t n, std::int64_t grain, const CancelToken* cancel,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (n <= 0) return;
+  if (grain <= 0)
+    grain = std::max<std::int64_t>(1, n / (4 * concurrency()));
+
+  if (concurrency() == 1 || n <= grain) {
+    if (cancel) cancel->check();
+    body(0, n);
+    return;
+  }
+
+  auto st = std::make_shared<ChunkState>();
+  st->total = n;
+  st->grain = grain;
+  st->cancel = cancel;
+  st->body = body;
+
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  const int helpers = static_cast<int>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(queues_.size()), chunks - 1));
+  for (int i = 0; i < helpers; ++i)
+    submit([st] { drain_chunks(st); });
+
+  drain_chunks(st);  // the caller is a full lane — never blocks on workers
+
+  {
+    std::unique_lock<std::mutex> lk(st->m);
+    st->cv.wait(lk, [&] {
+      return st->done.load(std::memory_order_acquire) == st->total;
+    });
+  }
+  if (st->err) std::rethrow_exception(st->err);
+  if (st->saw_cancel.load(std::memory_order_relaxed)) throw CancelledError();
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.workers = concurrency();
+  return s;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_global_m);
+  if (!g_global_pool) {
+    const int jobs =
+        g_global_jobs > 0 ? g_global_jobs : default_concurrency();
+    g_global_pool = std::make_unique<ThreadPool>(jobs);
+  }
+  return *g_global_pool;
+}
+
+ThreadPool* current_pool() { return tl_scoped_pool; }
+
+ThreadPool& effective_pool() {
+  return tl_scoped_pool ? *tl_scoped_pool : ThreadPool::global();
+}
+
+PoolScope::PoolScope(ThreadPool* pool) : prev_(tl_scoped_pool) {
+  tl_scoped_pool = pool;
+}
+
+PoolScope::~PoolScope() { tl_scoped_pool = prev_; }
+
+int default_concurrency() {
+  if (const char* env = std::getenv("SOCTEST_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 1) return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+void set_global_concurrency(int jobs) {
+  std::lock_guard<std::mutex> lk(g_global_m);
+  g_global_jobs = std::max(1, jobs);
+  g_global_pool.reset();  // next global() builds a pool of the new size
+}
+
+}  // namespace soctest::runtime

@@ -1,0 +1,132 @@
+// Work-stealing thread pool. Each worker owns a deque: it pops its own work
+// LIFO and steals FIFO from siblings, so large subtasks migrate to idle
+// workers while hot caches keep recent work local. A pool built with
+// `jobs = N` uses the submitting thread as one of the N lanes during
+// blocking parallel loops (parallel_for.hpp), so jobs=1 means strictly
+// serial inline execution — the reference for determinism tests.
+//
+// The process-wide pool (`ThreadPool::global()`) is sized from
+// SOCTEST_JOBS, or hardware_concurrency when unset; `set_global_concurrency`
+// (the CLI's --jobs flag) overrides both. `PoolScope` redirects the
+// calling thread — and, transitively, every task it spawns — to a specific
+// pool instance; worker threads are permanently scoped to their own pool so
+// nested parallel loops never hop pools.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/cancellation.hpp"
+
+namespace soctest::runtime {
+
+struct PoolStats {
+  std::uint64_t submitted = 0;  // tasks handed to submit()/async()
+  std::uint64_t tasks_run = 0;  // tasks executed (inline or on a worker)
+  std::uint64_t steals = 0;     // tasks taken from another worker's deque
+  int workers = 0;              // concurrency (worker threads + caller lane)
+};
+
+class ThreadPool {
+ public:
+  /// `jobs` is the total concurrency: jobs-1 worker threads are spawned and
+  /// the caller contributes the last lane inside blocking parallel loops.
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int concurrency() const { return static_cast<int>(queues_.size()) + 1; }
+
+  /// Fire-and-forget. With concurrency()==1 the task runs inline.
+  void submit(std::function<void()> task);
+
+  /// submit() with a future for the result (exceptions propagate).
+  template <class F>
+  auto async(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Deterministic chunked loop engine (used by parallel_for): splits
+  /// [0, n) into `grain`-sized chunks claimed from a shared counter by the
+  /// calling thread plus up to concurrency()-1 pool tasks, and blocks until
+  /// every index ran. body(i0, i1) half-open. grain <= 0 picks
+  /// max(1, n / (4 * concurrency)). Rethrows the first chunk exception;
+  /// throws CancelledError if `cancel` fired before completion. Safe to
+  /// nest: the caller drains the chunk counter itself, so progress never
+  /// depends on a free worker.
+  void run_chunked(std::int64_t n, std::int64_t grain,
+                   const CancelToken* cancel,
+                   const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  PoolStats stats() const;
+
+  /// Process-wide pool (lazily built; see header comment for sizing).
+  static ThreadPool& global();
+
+ private:
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+  struct ChunkState;
+
+  void worker_main(int idx);
+  bool pop_or_steal(int idx, std::function<void()>& task);
+  static void drain_chunks(const std::shared_ptr<ChunkState>& st);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;
+  bool stop_ = false;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::uint64_t> next_queue_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// Pool the calling thread is scoped to (PoolScope or worker thread), or
+/// null when unscoped.
+ThreadPool* current_pool();
+
+/// current_pool() if scoped, else ThreadPool::global().
+ThreadPool& effective_pool();
+
+/// Scopes the calling thread to `pool` (null restores the global default)
+/// for the lifetime of the object. Used by tests and benchmarks to run the
+/// same code under different concurrency without touching the global pool.
+class PoolScope {
+ public:
+  explicit PoolScope(ThreadPool* pool);
+  ~PoolScope();
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
+
+/// SOCTEST_JOBS env var if set (>= 1), else hardware_concurrency, else 1.
+int default_concurrency();
+
+/// Replaces the global pool with one of `jobs` lanes (clamped to >= 1).
+/// Call while no parallel work is in flight (startup / between phases).
+void set_global_concurrency(int jobs);
+
+}  // namespace soctest::runtime

@@ -8,6 +8,7 @@
 #include "decomp/decompressor_model.hpp"
 #include "opt/soc_optimizer.hpp"
 #include "power/power_model.hpp"
+#include "runtime/thread_pool.hpp"
 #include "socgen/cube_synth.hpp"
 #include "socgen/rng.hpp"
 
@@ -113,6 +114,31 @@ TEST_P(PipelineFuzz, CodecRoundTripOnRandomCore) {
                 b.value);
     }
   }
+}
+
+// The runtime pool must not change results: exploring a random SOC with a
+// single lane and with several lanes yields member-identical CoreTables.
+// The cache is bypassed so both runs actually compute.
+TEST_P(PipelineFuzz, ParallelExploreMatchesSerial) {
+  const SocSpec soc = random_soc(static_cast<std::uint64_t>(GetParam()));
+  ExploreOptions e;
+  e.max_width = 18;
+  e.max_chains = 60;
+  e.use_cache = false;
+
+  runtime::ThreadPool serial(1), wide(3);
+  std::vector<CoreTable> ref, par;
+  {
+    runtime::PoolScope scope(&serial);
+    ref = explore_soc(soc, e);
+  }
+  {
+    runtime::PoolScope scope(&wide);
+    par = explore_soc(soc, e);
+  }
+  ASSERT_EQ(ref.size(), par.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_EQ(ref[i], par[i]) << soc.name << " core " << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(1, 13));

@@ -1,0 +1,224 @@
+// src/runtime: work-stealing pool semantics, deterministic parallel loops,
+// cooperative cancellation, and the subsystem's headline contract — the
+// same exploration is bit-identical no matter how many lanes ran it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "explore/core_explorer.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "socgen/d695.hpp"
+
+namespace soctest {
+namespace {
+
+using runtime::CancelToken;
+using runtime::CancelledError;
+using runtime::ParallelOptions;
+using runtime::PoolScope;
+using runtime::ThreadPool;
+
+TEST(ThreadPool, AsyncReturnsValueAndPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.async([] { return 6 * 7; }).get(), 42);
+  auto fut = pool.async([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    futs.push_back(pool.async([&ran] { ran.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), kTasks);
+  const runtime::PoolStats s = pool.stats();
+  EXPECT_EQ(s.submitted, kTasks);
+  EXPECT_EQ(s.tasks_run, kTasks);
+  EXPECT_EQ(s.workers, 4);
+  EXPECT_LE(s.steals, s.tasks_run);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1);
+  const std::thread::id submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.async([&ran_on] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, submitter);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  ParallelOptions opts;
+  opts.pool = &pool;
+  for (std::int64_t n : {0, 1, 7, 100, 1000}) {
+    std::vector<int> hits(static_cast<std::size_t>(n), 0);
+    runtime::parallel_for(
+        0, n, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; },
+        opts);
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), std::int64_t{0}), n);
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, RespectsBeginOffsetAndGrain) {
+  ThreadPool pool(3);
+  ParallelOptions opts;
+  opts.pool = &pool;
+  opts.grain = 5;
+  std::vector<std::int64_t> out(50, -1);
+  runtime::parallel_for(
+      10, 60, [&](std::int64_t i) { out[static_cast<std::size_t>(i - 10)] = i; },
+      opts);
+  for (std::int64_t i = 0; i < 50; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i + 10);
+}
+
+TEST(ParallelFor, PropagatesFirstBodyException) {
+  ThreadPool pool(4);
+  ParallelOptions opts;
+  opts.pool = &pool;
+  EXPECT_THROW(runtime::parallel_for(
+                   0, 100,
+                   [](std::int64_t i) {
+                     if (i == 37) throw std::invalid_argument("i=37");
+                   },
+                   opts),
+               std::invalid_argument);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  ThreadPool pool(3);
+  ParallelOptions opts;
+  opts.pool = &pool;
+  std::vector<std::int64_t> sums(8, 0);
+  runtime::parallel_for(
+      0, 8,
+      [&](std::int64_t outer) {
+        // Inner loop runs on the same pool (worker threads are scoped to
+        // their pool); the claiming caller guarantees progress.
+        std::vector<std::int64_t> inner(100, 0);
+        runtime::parallel_for(0, 100, [&](std::int64_t i) {
+          inner[static_cast<std::size_t>(i)] = i * (outer + 1);
+        });
+        sums[static_cast<std::size_t>(outer)] =
+            std::accumulate(inner.begin(), inner.end(), std::int64_t{0});
+      },
+      opts);
+  for (std::int64_t outer = 0; outer < 8; ++outer)
+    EXPECT_EQ(sums[static_cast<std::size_t>(outer)], 4950 * (outer + 1));
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  ThreadPool pool(4);
+  ParallelOptions opts;
+  opts.pool = &pool;
+  std::vector<int> in(257);
+  std::iota(in.begin(), in.end(), 0);
+  const std::vector<int> out =
+      runtime::parallel_map(in, [](int x) { return 3 * x + 1; }, opts);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], 3 * in[i] + 1);
+}
+
+TEST(Cancellation, ExplicitCancelAbandonsLoop) {
+  ThreadPool pool(2);
+  CancelToken token;
+  ParallelOptions opts;
+  opts.pool = &pool;
+  opts.grain = 1;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(runtime::parallel_for(
+                   0, 10'000,
+                   [&](std::int64_t) {
+                     if (ran.fetch_add(1) == 5) token.cancel();
+                   },
+                   [&] {
+                     ParallelOptions o = opts;
+                     o.cancel = &token;
+                     return o;
+                   }()),
+               CancelledError);
+  EXPECT_LT(ran.load(), 10'000);
+}
+
+TEST(Cancellation, DeadlineFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), CancelledError);
+}
+
+TEST(Cancellation, CompletedLoopIgnoresLateCancel) {
+  ThreadPool pool(2);
+  CancelToken token;
+  ParallelOptions opts;
+  opts.pool = &pool;
+  opts.cancel = &token;
+  std::atomic<int> ran{0};
+  runtime::parallel_for(0, 50, [&](std::int64_t) { ran.fetch_add(1); }, opts);
+  EXPECT_EQ(ran.load(), 50);
+  token.cancel();  // after completion: no effect on the finished loop
+}
+
+// The determinism contract on the real workload: exploring d695 with one
+// lane and with several lanes must produce member-identical CoreTables.
+// The cache is disabled so both runs actually execute.
+TEST(Determinism, ExploreSocBitIdenticalAcrossLaneCounts) {
+  const SocSpec soc = make_d695();
+  ExploreOptions opts;
+  opts.max_width = 16;
+  opts.max_chains = 64;
+  opts.use_cache = false;
+
+  ThreadPool serial(1), wide(4);
+  std::vector<CoreTable> t1, t4;
+  {
+    PoolScope scope(&serial);
+    t1 = explore_soc(soc, opts);
+  }
+  {
+    PoolScope scope(&wide);
+    t4 = explore_soc(soc, opts);
+  }
+  ASSERT_EQ(t1.size(), t4.size());
+  for (std::size_t i = 0; i < t1.size(); ++i)
+    EXPECT_EQ(t1[i], t4[i]) << "core " << soc.cores[i].spec.name;
+}
+
+TEST(Stats, PhaseTimersAccumulate) {
+  runtime::reset_phase_times();
+  {
+    runtime::PhaseTimer t("unit-test-phase");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  runtime::add_phase_seconds("unit-test-phase", 0.5);
+  const runtime::RuntimeStats s = runtime::collect_stats();
+  bool found = false;
+  for (const auto& p : s.phases) {
+    if (p.phase == "unit-test-phase") {
+      found = true;
+      EXPECT_GT(p.seconds, 0.5);
+      EXPECT_EQ(p.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::string json = runtime::stats_to_json(s);
+  EXPECT_NE(json.find("\"unit-test-phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"table_cache\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,204 @@
+// Content-addressed TableCache: fingerprint stability/sensitivity, hits
+// substituting for cold runs, collision handling by construction, LRU
+// eviction at capacity, and a realistic >50% hit-rate workload.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "explore/core_explorer.hpp"
+#include "explore/technique_select.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "runtime/table_cache.hpp"
+#include "socgen/d695.hpp"
+
+namespace soctest {
+namespace {
+
+using runtime::CacheKey;
+using runtime::CacheStats;
+using runtime::TableCache;
+using runtime::key_of;
+
+ExploreOptions small_opts() {
+  ExploreOptions opts;
+  opts.max_width = 12;
+  opts.max_chains = 32;
+  return opts;
+}
+
+TEST(CacheKey, StableForEqualInputs) {
+  const SocSpec soc = make_d695();
+  const ExploreOptions opts = small_opts();
+  EXPECT_EQ(key_of(soc.cores[0], opts), key_of(soc.cores[0], opts));
+  EXPECT_EQ(key_of(soc.cores[0], opts, DictSelectOptions{}),
+            key_of(soc.cores[0], opts, DictSelectOptions{}));
+}
+
+TEST(CacheKey, SensitiveToEveryInputThatChangesTheResult) {
+  const SocSpec soc = make_d695();
+  const ExploreOptions opts = small_opts();
+  const CacheKey base = key_of(soc.cores[0], opts);
+
+  // A different core.
+  EXPECT_NE(base, key_of(soc.cores[1], opts));
+
+  // A different exploration band.
+  ExploreOptions wider = opts;
+  wider.max_width = 13;
+  EXPECT_NE(base, key_of(soc.cores[0], wider));
+  ExploreOptions more_chains = opts;
+  more_chains.max_chains = 33;
+  EXPECT_NE(base, key_of(soc.cores[0], more_chains));
+
+  // Different pattern count on an otherwise identical core.
+  CoreUnderTest tweaked = soc.cores[0];
+  tweaked.spec.num_patterns += 1;
+  EXPECT_NE(base, key_of(tweaked, opts));
+
+  // The selection flow fingerprints the dictionary options too.
+  const CacheKey sel = key_of(soc.cores[0], opts, DictSelectOptions{});
+  EXPECT_NE(base, sel);
+  DictSelectOptions dict;
+  dict.entry_counts = {16, 64};
+  EXPECT_NE(sel, key_of(soc.cores[0], opts, dict));
+}
+
+TEST(CacheKey, InsensitiveToCachePolicyFlag) {
+  // use_cache selects *whether* to consult the cache, not what the result
+  // is — it must not split otherwise-identical fingerprints.
+  const SocSpec soc = make_d695();
+  ExploreOptions on = small_opts();
+  ExploreOptions off = small_opts();
+  on.use_cache = true;
+  off.use_cache = false;
+  EXPECT_EQ(key_of(soc.cores[0], on), key_of(soc.cores[0], off));
+}
+
+TEST(TableCache, HitEqualsColdRun) {
+  const SocSpec soc = make_d695();
+  const ExploreOptions opts = small_opts();
+  const CoreTable cold = explore_core(soc.cores[0], opts);
+
+  TableCache cache(8);
+  const CacheKey key = key_of(soc.cores[0], opts);
+  int computes = 0;
+  const auto first = cache.get_or_compute(key, [&] {
+    ++computes;
+    return explore_core(soc.cores[0], opts);
+  });
+  const auto second = cache.get_or_compute(key, [&] {
+    ++computes;
+    return explore_core(soc.cores[0], opts);
+  });
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first.get(), second.get());  // same stored object
+  EXPECT_EQ(*second, cold);              // and bit-identical to a cold run
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(TableCache, PrimaryHashCollisionKeepsBothEntries) {
+  // Keys engineered to share the primary digest (same bucket) but differ
+  // in the check digest: the cache must treat them as distinct.
+  TableCache cache(8);
+  const CacheKey a{0xDEADBEEFCAFEF00DULL, 0x1111, 64};
+  const CacheKey b{0xDEADBEEFCAFEF00DULL, 0x2222, 64};
+  const CacheKey c{0xDEADBEEFCAFEF00DULL, 0x1111, 65};  // length differs
+
+  cache.insert(a, CoreTable("table-a", 4));
+  cache.insert(b, CoreTable("table-b", 4));
+  cache.insert(c, CoreTable("table-c", 4));
+
+  ASSERT_NE(cache.lookup(a), nullptr);
+  ASSERT_NE(cache.lookup(b), nullptr);
+  ASSERT_NE(cache.lookup(c), nullptr);
+  EXPECT_EQ(cache.lookup(a)->core_name(), "table-a");
+  EXPECT_EQ(cache.lookup(b)->core_name(), "table-b");
+  EXPECT_EQ(cache.lookup(c)->core_name(), "table-c");
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(TableCache, EvictsLeastRecentlyUsedAtCapacity) {
+  TableCache cache(2);
+  const CacheKey k1{1, 1, 8};
+  const CacheKey k2{2, 2, 8};
+  const CacheKey k3{3, 3, 8};
+
+  cache.insert(k1, CoreTable("t1", 4));
+  cache.insert(k2, CoreTable("t2", 4));
+  ASSERT_NE(cache.lookup(k1), nullptr);  // touch k1: k2 becomes LRU
+
+  cache.insert(k3, CoreTable("t3", 4));  // at capacity -> evict k2
+  EXPECT_NE(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.lookup(k2), nullptr);
+  EXPECT_NE(cache.lookup(k3), nullptr);
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(TableCache, ReinsertReplacesWithoutGrowth) {
+  TableCache cache(4);
+  const CacheKey k{7, 7, 8};
+  cache.insert(k, CoreTable("old", 4));
+  cache.insert(k, CoreTable("new", 4));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.lookup(k)->core_name(), "new");
+}
+
+TEST(TableCache, ClearDropsEntriesKeepsCounters) {
+  TableCache cache(4);
+  cache.insert(CacheKey{1, 1, 8}, CoreTable("t", 4));
+  ASSERT_NE(cache.lookup(CacheKey{1, 1, 8}), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.lookup(CacheKey{1, 1, 8}), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_GE(s.hits, 1u);
+}
+
+// A realistic workload: building three optimizers over the same SOC with
+// the same band re-explores the same cores, so at most the first pass can
+// miss — the global cache must serve > 50% of lookups from memory.
+TEST(TableCache, RepeatedOptimizerConstructionHitsMajority) {
+  const SocSpec soc = make_d695();
+  ExploreOptions opts;
+  opts.max_width = 14;
+  opts.max_chains = 48;
+
+  const CacheStats before = TableCache::global().stats();
+  for (int round = 0; round < 3; ++round) {
+    const SocOptimizer opt(soc, opts);
+    OptimizerOptions o;
+    o.width = 12;
+    EXPECT_GT(opt.optimize(o).test_time, 0);
+  }
+  const CacheStats after = TableCache::global().stats();
+
+  const std::uint64_t lookups =
+      (after.hits - before.hits) + (after.misses - before.misses);
+  const std::uint64_t hits = after.hits - before.hits;
+  ASSERT_GT(lookups, 0u);
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(lookups), 0.5)
+      << "hits " << hits << " of " << lookups << " lookups";
+}
+
+TEST(TableCache, GlobalCacheFeedsRuntimeStats) {
+  // TableCache::global() registers itself as the stats provider, so the
+  // collected snapshot must reflect its counters.
+  (void)TableCache::global();  // ensure registration
+  const CacheStats direct = TableCache::global().stats();
+  const CacheStats via = runtime::collect_stats().table_cache;
+  EXPECT_EQ(via.capacity, direct.capacity);
+  EXPECT_GE(via.hits + via.misses, direct.hits);  // monotone counters
+}
+
+}  // namespace
+}  // namespace soctest

@@ -10,8 +10,13 @@
 //   soctest compare  --design <d> --width W            (with vs without TDC)
 //   soctest convert  --design <d> --out file.soc       (export any design)
 //
+// Every command also accepts --jobs N (parallel lanes for the runtime
+// pool; default: SOCTEST_JOBS env var, else all hardware threads).
+//
 // <d> is a built-in design (d695, d2758, System1..System4, fig4) or a path
 // to a .soc file in the src/io text format.
+//
+// Exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +32,8 @@
 #include "report/csv.hpp"
 #include "report/svg.hpp"
 #include "report/table.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
 #include "socgen/d2758.hpp"
 #include "socgen/d695.hpp"
 #include "socgen/systems.hpp"
@@ -43,18 +50,43 @@ struct Args {
     auto it = flags.find(k);
     return it == flags.end() ? def : it->second;
   }
+  /// Strict integer flag: a malformed value is a usage error (exit 2), not
+  /// a silent 0 like atoi would give.
   int get_int(const std::string& k, int def) const {
     auto it = flags.find(k);
-    return it == flags.end() ? def : std::atoi(it->second.c_str());
+    if (it == flags.end()) return def;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not an integer\n", k.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return static_cast<int>(v);
+  }
+  /// Usage error (exit 2) if the flag is absent or empty.
+  std::string require(const std::string& k) const {
+    const std::string v = get(k);
+    if (v.empty()) {
+      std::fprintf(stderr, "missing required flag --%s\n", k.c_str());
+      std::exit(2);
+    }
+    return v;
   }
 };
 
 Args parse_args(int argc, char** argv) {
   Args a;
-  if (argc >= 2) a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  // Flags may appear before or after the command (`soctest --jobs 8
+  // optimize ...` and `soctest optimize --jobs 8 ...` are equivalent);
+  // the first non-flag token is the command.
+  for (int i = 1; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
+      if (a.command.empty()) {
+        a.command = key;
+        continue;
+      }
       std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
       std::exit(2);
     }
@@ -88,7 +120,7 @@ int cmd_list_designs() {
 }
 
 int cmd_show(const Args& a) {
-  const SocSpec soc = load_design(a.get("design"));
+  const SocSpec soc = load_design(a.require("design"));
   std::printf("%s: %d cores, V_i = %.3f Mbit\n", soc.name.c_str(),
               soc.num_cores(), soc.initial_data_volume_bits() / 1e6);
   Table t({"core", "inputs", "outputs", "scan cells", "chains", "patterns",
@@ -109,8 +141,8 @@ int cmd_show(const Args& a) {
 }
 
 int cmd_explore(const Args& a) {
-  const SocSpec soc = load_design(a.get("design"));
-  const std::string core_name = a.get("core");
+  const SocSpec soc = load_design(a.require("design"));
+  const std::string core_name = a.require("core");
   const CoreUnderTest* core = nullptr;
   for (const auto& c : soc.cores)
     if (c.spec.name == core_name) core = &c;
@@ -155,7 +187,7 @@ std::optional<ArchMode> parse_mode(const std::string& s) {
 }
 
 int cmd_optimize(const Args& a) {
-  const SocSpec soc = load_design(a.get("design"));
+  const SocSpec soc = load_design(a.require("design"));
   ExploreOptions eopts;
   eopts.max_width = std::max(a.get_int("width", 32), 32);
   eopts.max_chains = a.get_int("max-chains", 255);
@@ -183,9 +215,26 @@ int cmd_optimize(const Args& a) {
     return 2;
   }
   o.power_budget_mw = std::atof(a.get("power", "0").c_str());
+  if (o.width < 1) {
+    std::fprintf(stderr, "--width must be >= 1\n");
+    return 2;
+  }
 
   const OptimizationResult r = opt.optimize(o);
   std::printf("%s", summarize(r, soc).c_str());
+  const runtime::RuntimeStats rs = runtime::collect_stats();
+  double explore_s = 0, search_s = 0;
+  for (const auto& p : rs.phases) {
+    if (p.phase == "explore") explore_s = p.seconds;
+    if (p.phase == "search") search_s = p.seconds;
+  }
+  std::printf("[runtime] jobs=%d explore=%.3fs search=%.3fs cache %llu/%llu "
+              "hits (%.1f%%), %llu evictions\n",
+              rs.pool.workers, explore_s, search_s,
+              static_cast<unsigned long long>(rs.table_cache.hits),
+              static_cast<unsigned long long>(rs.table_cache.lookups()),
+              100.0 * rs.table_cache.hit_rate(),
+              static_cast<unsigned long long>(rs.table_cache.evictions));
   if (o.power_budget_mw > 0)
     std::printf("peak power %.1f mW (budget %.1f)\n", r.peak_power_mw,
                 o.power_budget_mw);
@@ -208,7 +257,7 @@ int cmd_optimize(const Args& a) {
 }
 
 int cmd_compare(const Args& a) {
-  const SocSpec soc = load_design(a.get("design"));
+  const SocSpec soc = load_design(a.require("design"));
   ExploreOptions eopts;
   eopts.max_width = std::max(a.get_int("width", 32), 32);
   eopts.max_chains = a.get_int("max-chains", 255);
@@ -229,12 +278,8 @@ int cmd_compare(const Args& a) {
 }
 
 int cmd_convert(const Args& a) {
-  const SocSpec soc = load_design(a.get("design"));
-  const std::string out = a.get("out");
-  if (out.empty()) {
-    std::fprintf(stderr, "convert needs --out <file>\n");
-    return 2;
-  }
+  const SocSpec soc = load_design(a.require("design"));
+  const std::string out = a.require("out");
   write_soc_text_file(out, soc);
   std::printf("wrote %s (%d cores)\n", out.c_str(), soc.num_cores());
   return 0;
@@ -246,6 +291,8 @@ int usage() {
       "usage: soctest <command> [--flag value ...]\n"
       "commands: list-designs | show | explore | optimize | compare | "
       "convert\n"
+      "global flags: --jobs N (parallel lanes; default $SOCTEST_JOBS or all "
+      "hardware threads)\n"
       "see the header of tools/soctest_cli.cpp for per-command flags\n");
   return 2;
 }
@@ -254,6 +301,14 @@ int usage() {
 
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
+  if (a.has("jobs")) {
+    const int jobs = a.get_int("jobs", 0);
+    if (jobs < 1) {
+      std::fprintf(stderr, "--jobs must be >= 1\n");
+      return 2;
+    }
+    soctest::runtime::set_global_concurrency(jobs);
+  }
   try {
     if (a.command == "list-designs") return cmd_list_designs();
     if (a.command == "show") return cmd_show(a);
