@@ -1,0 +1,190 @@
+// ABLATION of the incremental step-3 evaluation engine: the delta
+// evaluator (per-width column cache) + makespan lower-bound pruner vs the
+// seed's evaluate-every-neighbour search, on d695 and System1-4. The two
+// strategies must return identical optima (the whole point of the design);
+// the incremental path must run strictly fewer full schedule evaluations.
+// Results land in BENCH_search.json (committed, uploaded as a CI artifact).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "opt/soc_optimizer.hpp"
+#include "report/table.hpp"
+#include "runtime/stats.hpp"
+#include "socgen/systems.hpp"
+
+using namespace soctest;
+
+namespace {
+
+struct Run {
+  runtime::SearchStats stats;
+  double wall_seconds = 0.0;
+  std::int64_t test_time = 0;
+  std::int64_t data_volume_bits = 0;
+};
+
+Run run_once(const SocOptimizer& opt, const OptimizerOptions& o) {
+  // Best wall time of three repetitions; counters come from the last (all
+  // repetitions produce identical counts on a fixed pool size).
+  Run out;
+  out.wall_seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    runtime::reset_search_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    const OptimizationResult r = opt.optimize(o);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.stats = runtime::collect_stats().search;
+    out.wall_seconds = std::min(
+        out.wall_seconds, std::chrono::duration<double>(t1 - t0).count());
+    out.test_time = r.test_time;
+    out.data_volume_bits = r.data_volume_bits;
+  }
+  return out;
+}
+
+// A "full schedule evaluation" builds the candidate's entire cost table
+// from scratch and runs greedy + refine on it — what the seed search does
+// for every candidate. The incremental engine's from-scratch table work is
+// columns_computed; expressed in whole-table units (divide by the mean
+// columns per candidate table) it is directly comparable to the full
+// path's per-candidate rebuilds. Pruned and memo-served candidates
+// contribute zero.
+double full_evaluation_equivalents(const runtime::SearchStats& s) {
+  const std::uint64_t tables_prepared =
+      s.candidates_generated + (s.candidates_pruned + s.schedule_reuse_hits +
+                                s.candidates_scheduled -
+                                s.candidates_generated);  // + starts
+  const std::uint64_t column_needs = s.column_reuse_hits + s.columns_computed;
+  if (!tables_prepared || !column_needs)
+    return static_cast<double>(s.candidates_scheduled);
+  const double avg_columns = static_cast<double>(column_needs) /
+                             static_cast<double>(tables_prepared);
+  return static_cast<double>(s.columns_computed) / avg_columns;
+}
+
+std::string json_u64(const char* key, std::uint64_t v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "      \"%s\": %llu%s\n", key,
+                static_cast<unsigned long long>(v), comma ? "," : "");
+  return buf;
+}
+
+std::string json_run(const char* key, const Run& r, bool comma) {
+  std::string s = "    \"" + std::string(key) + "\": {\n";
+  s += json_u64("candidates_generated", r.stats.candidates_generated);
+  s += json_u64("candidates_pruned", r.stats.candidates_pruned);
+  s += json_u64("candidates_scheduled", r.stats.candidates_scheduled);
+  s += json_u64("schedule_reuse_hits", r.stats.schedule_reuse_hits);
+  s += json_u64("column_reuse_hits", r.stats.column_reuse_hits);
+  s += json_u64("columns_computed", r.stats.columns_computed);
+  s += json_u64("test_time", static_cast<std::uint64_t>(r.test_time));
+  s += json_u64("data_volume_bits",
+                static_cast<std::uint64_t>(r.data_volume_bits));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "      \"wall_seconds\": %.6f\n",
+                r.wall_seconds);
+  s += buf;
+  s += comma ? "    },\n" : "    }\n";
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Incremental search vs full evaluation (W=24) ===\n\n");
+
+  Table t({"design", "cand.", "pruned", "memo", "sched(full)", "sched(inc)",
+           "full-evals(inc)", "full-eval ratio", "wall(full) s",
+           "wall(inc) s", "speedup"});
+  std::string json =
+      "{\n  \"experiment\": \"search_incremental\",\n"
+      "  \"metric\": \"full_schedule_evaluations = candidates whose entire "
+      "cost table was built from scratch and scheduled; the incremental "
+      "engine's value is columns_computed in whole-table units — pruned "
+      "and memo-served candidates contribute zero\",\n"
+      "  \"width\": 24,\n  \"designs\": [\n";
+
+  std::vector<SocSpec> designs = make_table3_designs();
+  bool all_identical = true;
+  double min_sched_ratio = 1e30;
+  for (std::size_t di = 0; di < designs.size(); ++di) {
+    const SocSpec& soc = designs[di];
+    ExploreOptions e;
+    e.max_width = 32;
+    e.max_chains = 511;
+    const SocOptimizer opt(soc, e);
+
+    OptimizerOptions o;
+    o.width = 24;
+    o.mode = ArchMode::PerCore;
+
+    o.incremental = false;
+    const Run full = run_once(opt, o);
+    o.incremental = true;
+    const Run inc = run_once(opt, o);
+
+    if (inc.test_time != full.test_time ||
+        inc.data_volume_bits != full.data_volume_bits) {
+      std::fprintf(stderr,
+                   "FAIL %s: incremental optimum differs (tau %lld vs %lld, "
+                   "V %lld vs %lld)\n",
+                   soc.name.c_str(), static_cast<long long>(inc.test_time),
+                   static_cast<long long>(full.test_time),
+                   static_cast<long long>(inc.data_volume_bits),
+                   static_cast<long long>(full.data_volume_bits));
+      all_identical = false;
+    }
+
+    // Every full-path candidate is a full evaluation; the incremental
+    // path's from-scratch work shrinks to its computed columns.
+    const double full_evals_full =
+        static_cast<double>(full.stats.candidates_scheduled);
+    const double full_evals_inc = full_evaluation_equivalents(inc.stats);
+    const double ratio = full_evals_full / std::max(1e-9, full_evals_inc);
+    min_sched_ratio = std::min(min_sched_ratio, ratio);
+
+    t.add_row({soc.name, Table::num(inc.stats.candidates_generated),
+               Table::num(inc.stats.candidates_pruned),
+               Table::num(inc.stats.schedule_reuse_hits),
+               Table::num(full.stats.candidates_scheduled),
+               Table::num(inc.stats.candidates_scheduled),
+               Table::fixed(full_evals_inc, 1),
+               Table::fixed(ratio, 1) + "x",
+               Table::fixed(full.wall_seconds, 3),
+               Table::fixed(inc.wall_seconds, 3),
+               Table::fixed(full.wall_seconds /
+                                std::max(1e-9, inc.wall_seconds),
+                            2) +
+                   "x"});
+
+    json += "  {\n    \"design\": \"" + soc.name + "\",\n";
+    char metric[160];
+    std::snprintf(metric, sizeof metric,
+                  "    \"full_schedule_evaluations\": "
+                  "{\"full\": %.0f, \"incremental\": %.1f, "
+                  "\"ratio\": %.1f},\n",
+                  full_evals_full, full_evals_inc, ratio);
+    json += metric;
+    json += json_run("full", full, true);
+    json += json_run("incremental", inc, false);
+    json += di + 1 < designs.size() ? "  },\n" : "  }\n";
+  }
+  json += "  ]\n}\n";
+
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("minimum full/incremental full-schedule-evaluation ratio: "
+              "%.1fx (issue gate: >= 2x)\n",
+              min_sched_ratio);
+
+  std::ofstream f("BENCH_search.json");
+  f << json;
+  std::printf("wrote BENCH_search.json\n");
+  if (!all_identical || min_sched_ratio < 2.0) {
+    std::fprintf(stderr, "FAIL: equivalence or pruning gate not met\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "io/soc_text.hpp"
 
+#include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -154,18 +156,30 @@ SocSpec read_soc_text(std::istream& in) {
     } else if (kw == "sparse") {
       std::vector<CareBit> bits;
       std::string t;
+      // Known only once the core geometry lines (inputs/scanchains) have
+      // been seen — the format writes them before any cube, like `cube`'s
+      // length check assumes.
+      const std::int64_t cells = core.spec.stimulus_bits_per_pattern();
       while (tok.next(t)) {
         const std::size_t colon = t.find(':');
         if (colon == std::string::npos || colon + 2 != t.size() ||
             (t[colon + 1] != '0' && t[colon + 1] != '1'))
           fail(line, "bad sparse bit '" + t + "' (want cell:0 or cell:1)");
-        try {
-          bits.push_back({static_cast<std::uint32_t>(
-                              std::stoul(t.substr(0, colon))),
-                          t[colon + 1] == '1'});
-        } catch (...) {
+        // Strict unsigned parse + range check: on LP64 a blind
+        // stoul-then-cast would wrap an index >= 2^32 onto a small valid
+        // cell and corrupt the cube silently.
+        std::uint64_t idx = 0;
+        const auto [ptr, ec] =
+            std::from_chars(t.data(), t.data() + colon, idx);
+        if (ec != std::errc() || ptr != t.data() + colon)
           fail(line, "bad cell index in '" + t + "'");
-        }
+        if (idx > std::numeric_limits<std::uint32_t>::max())
+          fail(line, "cell index " + t.substr(0, colon) +
+                         " exceeds the uint32 cell range");
+        if (cells > 0 && static_cast<std::int64_t>(idx) >= cells)
+          fail(line, "cell index " + t.substr(0, colon) + " >= " +
+                         std::to_string(cells) + " stimulus cells");
+        bits.push_back({static_cast<std::uint32_t>(idx), t[colon + 1] == '1'});
       }
       pending_cubes.push_back(std::move(bits));
     } else if (kw == "synthetic") {

@@ -1,0 +1,104 @@
+#include "opt/delta_evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soctest {
+
+DeltaEvaluator::DeltaEvaluator(const SocOptimizer& opt,
+                               const OptimizerOptions& opts,
+                               ScheduleMemo* memo)
+    : opt_(&opt), opts_(&opts), memo_(memo ? memo : &own_memo_) {}
+
+void DeltaEvaluator::prepare(const std::vector<TamArchitecture>& archs) {
+  const int n = opt_->soc().num_cores();
+  for (const TamArchitecture& arch : archs) {
+    for (int v : arch.widths) {
+      if (static_cast<std::size_t>(v) >= columns_.size())
+        columns_.resize(static_cast<std::size_t>(v) + 1);
+      if (columns_[static_cast<std::size_t>(v)]) {
+        // A full evaluator would recompute this (candidate, bus) column;
+        // the cache hands it over instead.
+        ++base_.column_reuse_hits;
+        continue;
+      }
+      auto col = std::make_unique<Column>();
+      col->bus = opt_->realize_one(v, *opts_);
+      col->cost.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        col->cost.push_back(opt_->access_cost(i, col->bus, *opts_));
+      columns_[static_cast<std::size_t>(v)] = std::move(col);
+      ++base_.columns_computed;
+    }
+  }
+}
+
+const DeltaEvaluator::Column& DeltaEvaluator::column(int width) const {
+  if (width < 0 || static_cast<std::size_t>(width) >= columns_.size() ||
+      !columns_[static_cast<std::size_t>(width)])
+    throw std::logic_error("DeltaEvaluator: width " + std::to_string(width) +
+                           " not prepared");
+  return *columns_[static_cast<std::size_t>(width)];
+}
+
+std::int64_t DeltaEvaluator::lower_bound(const TamArchitecture& arch) const {
+  const int n = opt_->soc().num_cores();
+  const int k = arch.num_buses();
+  std::vector<const Column*> cols;
+  cols.reserve(static_cast<std::size_t>(k));
+  for (int v : arch.widths) cols.push_back(&column(v));
+
+  // schedule_lower_bound's formula, straight off the cached columns.
+  std::int64_t sum_min = 0;
+  std::int64_t max_min = 0;
+  for (int i = 0; i < n; ++i) {
+    std::int64_t mn = cols[0]->cost[static_cast<std::size_t>(i)].time;
+    for (int b = 1; b < k; ++b)
+      mn = std::min(mn, cols[static_cast<std::size_t>(b)]
+                            ->cost[static_cast<std::size_t>(i)]
+                            .time);
+    sum_min += mn;
+    max_min = std::max(max_min, mn);
+  }
+  if (n == 0) return 0;
+  const std::int64_t spread = (sum_min + k - 1) / k;
+  return std::max(spread, max_min);
+}
+
+OptimizationResult DeltaEvaluator::evaluate(const TamArchitecture& arch) const {
+  {
+    std::lock_guard<std::mutex> lk(memo_->mu);
+    const auto it = memo_->results.find(arch.widths);
+    if (it != memo_->results.end()) {
+      sched_reuse_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::vector<BusRealization> buses;
+  buses.reserve(static_cast<std::size_t>(arch.num_buses()));
+  for (int v : arch.widths) buses.push_back(column(v).bus);
+  const CostFn cost = [this, &arch](int core, int bus) {
+    return column(arch.widths[static_cast<std::size_t>(bus)])
+        .cost[static_cast<std::size_t>(core)];
+  };
+  scheduled_.fetch_add(1, std::memory_order_relaxed);
+  OptimizationResult r = opt_->evaluate_with(arch, *opts_, std::move(buses),
+                                             cost);
+  {
+    // A concurrent climb may have raced us to the same key; its result is
+    // identical (evaluation is deterministic), so losing the emplace race
+    // costs one redundant schedule and nothing else.
+    std::lock_guard<std::mutex> lk(memo_->mu);
+    memo_->results.emplace(arch.widths, r);
+  }
+  return r;
+}
+
+runtime::SearchStats DeltaEvaluator::counters() const {
+  runtime::SearchStats s = base_;
+  s.candidates_scheduled = scheduled_.load(std::memory_order_relaxed);
+  s.schedule_reuse_hits = sched_reuse_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace soctest

@@ -1,0 +1,101 @@
+// DeltaEvaluator: incremental candidate evaluation for the step-3
+// architecture search. The cost a core pays on a bus depends only on that
+// bus's width (plus the fixed mode/constraint), so the per-(core, bus) cost
+// table of a candidate architecture factors into per-width COLUMNS. A
+// single-wire move changes at most two bus widths; every other column is
+// reused from the cache, an O(1) CoreTable lookup away from free.
+//
+// On top of the columns sits a makespan LOWER BOUND
+// (sched/schedule_lower_bound's formula): candidates whose bound already
+// exceeds the incumbent makespan cannot win even on the volume tie-break,
+// so the greedy + refine scheduler never runs for them. Survivors are
+// batched through runtime::parallel_map and reduced in index order, which
+// keeps the search bit-identical to the serial full-evaluation loop.
+//
+// Finally, evaluations are MEMOIZED by width vector: the wire-move
+// neighbourhoods of consecutive hill-climb steps overlap heavily (any
+// second move touching one of the two buses changed by the accepted move
+// composes back to a single move from the previous incumbent), so a climb
+// re-encounters architectures it already scheduled — and independent
+// multi-start climbs converge into the same basins, re-encountering each
+// other's candidates. Evaluation is a deterministic function of the
+// architecture alone — the incumbent never enters it — so handing back a
+// memoized result is exact, not an approximation, even when another climb
+// produced it. The search therefore shares one ScheduleMemo across all
+// climbs of an optimize() call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "opt/soc_optimizer.hpp"
+#include "runtime/stats.hpp"
+
+namespace soctest {
+
+/// Evaluation results keyed by the architecture's width vector, shared by
+/// every hill climb of one optimize() call. Concurrent climbs may race to
+/// compute the same key; both compute the identical result, the second
+/// insert is a no-op — correctness never depends on who wins.
+struct ScheduleMemo {
+  std::mutex mu;
+  std::map<std::vector<int>, OptimizationResult> results;
+};
+
+class DeltaEvaluator {
+ public:
+  /// `opt`, `opts` — and `memo`, when given — must outlive the evaluator.
+  /// The column cache starts empty and persists across prepare() batches
+  /// (a hill climb revisits widths constantly). Without an external memo
+  /// the evaluator uses a private one (single-climb scope).
+  DeltaEvaluator(const SocOptimizer& opt, const OptimizerOptions& opts,
+                 ScheduleMemo* memo = nullptr);
+
+  /// Computes and caches the cost column of every width in `archs` that is
+  /// not cached yet. Call before a parallel evaluate() batch: afterwards
+  /// evaluate()/lower_bound() on those architectures only read the cache,
+  /// so they are safe to run concurrently.
+  void prepare(const std::vector<TamArchitecture>& archs);
+
+  /// Admissible lower bound on the makespan of any schedule for `arch`
+  /// (max of the spread bound sum_i min_b t_ib / k and the per-core bound
+  /// max_i min_b t_ib). O(n k) cache reads; no scheduling.
+  std::int64_t lower_bound(const TamArchitecture& arch) const;
+
+  /// Full evaluation (greedy construction + refine, wiring metrics) from
+  /// cached columns, memoized by width vector; bit-identical to
+  /// SocOptimizer::evaluate() on the same architecture. Every width must
+  /// have been prepare()d. Thread-safe for distinct architectures (the
+  /// deduped neighbourhoods the search batches).
+  OptimizationResult evaluate(const TamArchitecture& arch) const;
+
+  // Counter hooks for the search driver (single-threaded phases).
+  void note_generated(std::uint64_t n) { base_.candidates_generated += n; }
+  void note_pruned(std::uint64_t n) { base_.candidates_pruned += n; }
+
+  /// Snapshot including the concurrent scheduled-evaluation count; the
+  /// driver flushes this into runtime::add_search_counters().
+  runtime::SearchStats counters() const;
+
+ private:
+  struct Column {
+    BusRealization bus;
+    std::vector<BusAccessCost> cost;  // per core
+  };
+  const Column& column(int width) const;  // throws if not prepare()d
+
+  const SocOptimizer* opt_;
+  const OptimizerOptions* opts_;
+  std::vector<std::unique_ptr<Column>> columns_;  // indexed by width
+  runtime::SearchStats base_;
+  mutable std::atomic<std::uint64_t> scheduled_{0};
+  mutable std::atomic<std::uint64_t> sched_reuse_{0};
+  mutable ScheduleMemo own_memo_;
+  ScheduleMemo* memo_;  // shared across climbs, or &own_memo_
+};
+
+}  // namespace soctest

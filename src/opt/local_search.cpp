@@ -1,15 +1,25 @@
 // SocOptimizer::optimize — the step-3 architecture search. For each bus
 // count k the search starts from the balanced partition and hill-climbs over
-// single-wire moves, re-running the step-4 scheduler for every candidate
-// (the schedule is the objective; there is no surrogate). All starts across
-// all bus counts are independent hill climbs, so they run in parallel on
-// the runtime pool; the winner is reduced in start order, which keeps the
-// result identical for any thread count. FixedWidth4 uses its prescribed
-// architecture directly.
+// single-wire moves; the step-4 schedule is the objective (no surrogate).
+// All starts across all bus counts are independent hill climbs, so they run
+// in parallel on the runtime pool; the winner is reduced in start order,
+// which keeps the result identical for any thread count. FixedWidth4 uses
+// its prescribed architecture directly.
+//
+// Candidate evaluation is incremental by default (DeltaEvaluator): cost
+// columns are cached per bus width (a single-wire move disturbs at most
+// two), a makespan lower bound prunes candidates that cannot beat the
+// incumbent before any scheduling runs, and the surviving neighbourhood is
+// batched through runtime::parallel_map and reduced in index order — so the
+// result stays bit-identical to the original evaluate-every-neighbour loop
+// (kept under OptimizerOptions::incremental = false for the equivalence
+// tests and the BENCH_search ablation). Search counters flow into
+// runtime::collect_stats() either way.
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
+#include "opt/delta_evaluator.hpp"
 #include "opt/soc_optimizer.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/stats.hpp"
@@ -23,6 +33,8 @@ bool better(const OptimizationResult& a, const OptimizationResult& b) {
   return a.data_volume_bits < b.data_volume_bits;
 }
 
+}  // namespace
+
 TamArchitecture fixed_w4_architecture(int total_width) {
   TamArchitecture arch;
   int left = total_width;
@@ -33,8 +45,6 @@ TamArchitecture fixed_w4_architecture(int total_width) {
   if (left > 0) arch.widths.push_back(left);
   return arch;
 }
-
-}  // namespace
 
 OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
   if (opts.width < 1)
@@ -75,13 +85,61 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
       }
     }
 
-    const auto hill_climb = [&](const TamArchitecture& start) {
+    // Incremental climb: prune on the step-start incumbent. The incumbent
+    // only improves during a step's reduction, so a candidate whose bound
+    // exceeds it at step start can never be accepted at its position in
+    // the scan either — pruning is invisible in the result. The schedule
+    // memo is shared across all starts: climbs converging into the same
+    // basin re-encounter each other's candidates.
+    ScheduleMemo memo;
+    const auto climb_incremental = [&](const TamArchitecture& start) {
+      DeltaEvaluator ev(*this, opts, &memo);
+      TamArchitecture arch = start;
+      ev.prepare({arch});
+      OptimizationResult cur = ev.evaluate(arch);
+      for (int step = 0; step < opts.max_search_steps; ++step) {
+        const std::vector<TamArchitecture> neigh = wire_move_neighbours(arch);
+        ev.note_generated(neigh.size());
+        ev.prepare(neigh);
+        std::vector<int> survivors;
+        survivors.reserve(neigh.size());
+        for (int i = 0; i < static_cast<int>(neigh.size()); ++i) {
+          if (ev.lower_bound(neigh[static_cast<std::size_t>(i)]) >
+              cur.test_time)
+            ev.note_pruned(1);
+          else
+            survivors.push_back(i);
+        }
+        std::vector<OptimizationResult> results = runtime::parallel_map(
+            survivors, [&](int i) {
+              return ev.evaluate(neigh[static_cast<std::size_t>(i)]);
+            });
+        bool improved = false;
+        for (std::size_t j = 0; j < survivors.size(); ++j) {
+          if (better(results[j], cur)) {
+            cur = std::move(results[j]);
+            arch = neigh[static_cast<std::size_t>(survivors[j])];
+            improved = true;
+          }
+        }
+        if (!improved) break;
+      }
+      runtime::add_search_counters(ev.counters());
+      return cur;
+    };
+
+    // The original full-evaluation loop, kept verbatim as the reference.
+    const auto climb_full = [&](const TamArchitecture& start) {
+      runtime::SearchStats st;
       TamArchitecture arch = start;
       OptimizationResult cur = evaluate(arch, opts);
+      ++st.candidates_scheduled;
       for (int step = 0; step < opts.max_search_steps; ++step) {
         bool improved = false;
         for (const TamArchitecture& n : wire_move_neighbours(arch)) {
+          ++st.candidates_generated;
           OptimizationResult r = evaluate(n, opts);
+          ++st.candidates_scheduled;
           if (better(r, cur)) {
             cur = std::move(r);
             arch = n;
@@ -90,7 +148,12 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
         }
         if (!improved) break;
       }
+      runtime::add_search_counters(st);
       return cur;
+    };
+
+    const auto hill_climb = [&](const TamArchitecture& start) {
+      return opts.incremental ? climb_incremental(start) : climb_full(start);
     };
 
     const std::vector<OptimizationResult> climbed =

@@ -78,41 +78,44 @@ int SocOptimizer::choose_per_tam_fanout(int ate_width) const {
   return best_m;
 }
 
+BusRealization SocOptimizer::realize_one(int v,
+                                         const OptimizerOptions& opts) const {
+  BusRealization b;
+  b.alloc_width = v;
+  switch (opts.mode) {
+    case ArchMode::NoTdc:
+      b.ate_width = v;
+      b.onchip_width = v;
+      break;
+    case ArchMode::PerCore:
+    case ArchMode::FixedWidth4:
+      // Compressed data is routed; expansion happens at each core.
+      b.ate_width = v;
+      b.onchip_width = v;
+      break;
+    case ArchMode::PerTam:
+      if (opts.constraint == ConstraintMode::TamWidth) {
+        // The expanded bus is what occupies on-chip wires.
+        b.onchip_width = v;
+        b.m = v >= 2 ? v : 0;
+        b.ate_width = b.m >= 2 ? codeword_width_for_chains(b.m) : v;
+        b.has_decompressor = b.m >= 2;
+      } else {
+        b.ate_width = v;
+        b.m = v >= 4 ? choose_per_tam_fanout(v) : 0;
+        b.has_decompressor = b.m >= 2;
+        b.onchip_width = b.has_decompressor ? b.m : v;
+      }
+      break;
+  }
+  return b;
+}
+
 std::vector<BusRealization> SocOptimizer::realize(
     const TamArchitecture& arch, const OptimizerOptions& opts) const {
   std::vector<BusRealization> buses;
   buses.reserve(static_cast<std::size_t>(arch.num_buses()));
-  for (int v : arch.widths) {
-    BusRealization b;
-    b.alloc_width = v;
-    switch (opts.mode) {
-      case ArchMode::NoTdc:
-        b.ate_width = v;
-        b.onchip_width = v;
-        break;
-      case ArchMode::PerCore:
-      case ArchMode::FixedWidth4:
-        // Compressed data is routed; expansion happens at each core.
-        b.ate_width = v;
-        b.onchip_width = v;
-        break;
-      case ArchMode::PerTam:
-        if (opts.constraint == ConstraintMode::TamWidth) {
-          // The expanded bus is what occupies on-chip wires.
-          b.onchip_width = v;
-          b.m = v >= 2 ? v : 0;
-          b.ate_width = b.m >= 2 ? codeword_width_for_chains(b.m) : v;
-          b.has_decompressor = b.m >= 2;
-        } else {
-          b.ate_width = v;
-          b.m = v >= 4 ? choose_per_tam_fanout(v) : 0;
-          b.has_decompressor = b.m >= 2;
-          b.onchip_width = b.has_decompressor ? b.m : v;
-        }
-        break;
-    }
-    buses.push_back(b);
-  }
+  for (int v : arch.widths) buses.push_back(realize_one(v, opts));
   return buses;
 }
 
@@ -202,17 +205,26 @@ BusAccessCost SocOptimizer::access_cost(int core, const BusRealization& bus,
 
 OptimizationResult SocOptimizer::evaluate(const TamArchitecture& arch,
                                           const OptimizerOptions& opts) const {
+  const std::vector<BusRealization> buses = realize(arch, opts);
+  const CostFn cost = [&](int core, int bus) {
+    return access_cost(core, buses[static_cast<std::size_t>(bus)], opts);
+  };
+  // `buses` is copied in (not moved): the cost lambda reads the local.
+  return evaluate_with(arch, opts, buses, cost);
+}
+
+OptimizationResult SocOptimizer::evaluate_with(
+    const TamArchitecture& arch, const OptimizerOptions& opts,
+    std::vector<BusRealization> buses, const CostFn& cost) const {
   arch.validate();
   const int n = soc_->num_cores();
   OptimizationResult r;
   r.mode = opts.mode;
   r.constraint = opts.constraint;
   r.arch = arch;
-  r.buses = realize(arch, opts);
+  r.buses = std::move(buses);
 
-  const CostFn cost = [&](int core, int bus) {
-    return access_cost(core, r.buses[static_cast<std::size_t>(bus)], opts);
-  };
+  const CostTable table = build_cost_table(n, arch.num_buses(), cost);
 
   // Reference ordering: test time on the widest bus (longest first).
   int widest = 0;
@@ -222,19 +234,23 @@ OptimizationResult SocOptimizer::evaluate(const TamArchitecture& arch,
       widest = b;
   std::vector<std::int64_t> ref(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
-    ref[static_cast<std::size_t>(i)] = cost(i, widest).time;
+    ref[static_cast<std::size_t>(i)] = table.at(i, widest).time;
 
   const PowerFn power = [&](int core, int bus) {
     return core_test_power(
         soc_->cores[static_cast<std::size_t>(core)].spec,
-        cost(core, bus).choice);
+        table.at(core, bus).choice);
   };
   if (opts.power_budget_mw > 0.0) {
     PowerScheduleOptions popts;
     popts.power_budget = opts.power_budget_mw;
-    r.schedule = power_schedule(n, arch.num_buses(), cost, power, ref, popts);
+    const CostFn table_cost = [&](int core, int bus) {
+      return table.at(core, bus);
+    };
+    r.schedule =
+        power_schedule(n, arch.num_buses(), table_cost, power, ref, popts);
   } else {
-    r.schedule = greedy_schedule(n, arch.num_buses(), cost, ref);
+    r.schedule = greedy_schedule(table, ref);
   }
   r.test_time = r.schedule.makespan();
   r.data_volume_bits = r.schedule.total_volume_bits;

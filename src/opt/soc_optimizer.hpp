@@ -50,6 +50,14 @@ struct OptimizerOptions {
   /// Peak concurrent test power budget in model milliwatts; 0 disables the
   /// constraint (extension beyond the paper — see src/power).
   double power_budget_mw = 0.0;
+  /// Step-3 candidate evaluation strategy. true (default): the incremental
+  /// engine — per-width cost columns cached across single-wire moves, a
+  /// makespan lower bound prunes hopeless candidates before scheduling, and
+  /// the surviving neighbourhood is batched on the runtime pool. false: the
+  /// original evaluate-every-neighbour loop. Both return bit-identical
+  /// results; the flag exists for the equivalence tests and the
+  /// BENCH_search ablation.
+  bool incremental = true;
 };
 
 /// How one bus of the abstract architecture is physically realized.
@@ -98,9 +106,21 @@ class SocOptimizer {
                               const OptimizerOptions& opts) const;
 
  private:
+  friend class DeltaEvaluator;
   struct RealizedBuses;
   std::vector<BusRealization> realize(const TamArchitecture& arch,
                                       const OptimizerOptions& opts) const;
+  /// Realization of a single bus of width `v` (depends on nothing else —
+  /// the property the delta evaluator's per-width column cache rests on).
+  BusRealization realize_one(int v, const OptimizerOptions& opts) const;
+  /// Shared back half of evaluate(): schedules `arch` using pre-realized
+  /// buses and a cost source, then derives the wiring metrics. Both the
+  /// fresh and the incremental (column-cached) paths funnel through here,
+  /// so equal costs give structurally identical results.
+  OptimizationResult evaluate_with(const TamArchitecture& arch,
+                                   const OptimizerOptions& opts,
+                                   std::vector<BusRealization> buses,
+                                   const CostFn& cost) const;
   BusAccessCost access_cost(int core, const BusRealization& bus,
                             const OptimizerOptions& opts) const;
   /// Best serialized-delivery compressed choice over v wires (FixedWidth4).
@@ -113,5 +133,10 @@ class SocOptimizer {
   ExploreOptions explore_;
   std::vector<CoreTable> tables_;
 };
+
+/// The FixedWidth4 baseline's prescribed architecture: 4-wire buses plus
+/// one remainder bus (last, so widths stay non-increasing); a budget under
+/// 4 wires yields a single narrow bus. Exposed for regression tests.
+TamArchitecture fixed_w4_architecture(int total_width);
 
 }  // namespace soctest

@@ -1,5 +1,6 @@
 #include "runtime/stats.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <sstream>
@@ -10,6 +11,14 @@ namespace {
 std::mutex g_m;
 std::vector<PhaseTime> g_phases;
 std::function<CacheStats()> g_cache_provider;
+
+// Search counters are plain atomics: hill climbs flush concurrently.
+std::atomic<std::uint64_t> g_search_generated{0};
+std::atomic<std::uint64_t> g_search_pruned{0};
+std::atomic<std::uint64_t> g_search_scheduled{0};
+std::atomic<std::uint64_t> g_search_sched_reuse{0};
+std::atomic<std::uint64_t> g_search_reuse{0};
+std::atomic<std::uint64_t> g_search_computed{0};
 
 }  // namespace
 
@@ -34,6 +43,27 @@ PhaseTimer::~PhaseTimer() {
                     std::chrono::duration<double>(end - start_).count());
 }
 
+void add_search_counters(const SearchStats& s) {
+  g_search_generated.fetch_add(s.candidates_generated,
+                               std::memory_order_relaxed);
+  g_search_pruned.fetch_add(s.candidates_pruned, std::memory_order_relaxed);
+  g_search_scheduled.fetch_add(s.candidates_scheduled,
+                               std::memory_order_relaxed);
+  g_search_sched_reuse.fetch_add(s.schedule_reuse_hits,
+                                 std::memory_order_relaxed);
+  g_search_reuse.fetch_add(s.column_reuse_hits, std::memory_order_relaxed);
+  g_search_computed.fetch_add(s.columns_computed, std::memory_order_relaxed);
+}
+
+void reset_search_counters() {
+  g_search_generated.store(0, std::memory_order_relaxed);
+  g_search_pruned.store(0, std::memory_order_relaxed);
+  g_search_scheduled.store(0, std::memory_order_relaxed);
+  g_search_sched_reuse.store(0, std::memory_order_relaxed);
+  g_search_reuse.store(0, std::memory_order_relaxed);
+  g_search_computed.store(0, std::memory_order_relaxed);
+}
+
 void register_cache_stats_provider(std::function<CacheStats()> provider) {
   std::lock_guard<std::mutex> lk(g_m);
   g_cache_provider = std::move(provider);
@@ -42,6 +72,15 @@ void register_cache_stats_provider(std::function<CacheStats()> provider) {
 RuntimeStats collect_stats() {
   RuntimeStats s;
   s.pool = ThreadPool::global().stats();
+  s.search.candidates_generated =
+      g_search_generated.load(std::memory_order_relaxed);
+  s.search.candidates_pruned = g_search_pruned.load(std::memory_order_relaxed);
+  s.search.candidates_scheduled =
+      g_search_scheduled.load(std::memory_order_relaxed);
+  s.search.schedule_reuse_hits =
+      g_search_sched_reuse.load(std::memory_order_relaxed);
+  s.search.column_reuse_hits = g_search_reuse.load(std::memory_order_relaxed);
+  s.search.columns_computed = g_search_computed.load(std::memory_order_relaxed);
   std::function<CacheStats()> provider;
   {
     std::lock_guard<std::mutex> lk(g_m);
@@ -66,7 +105,15 @@ std::string stats_to_json(const RuntimeStats& s) {
      << s.table_cache.hits << ", \"misses\": " << s.table_cache.misses
      << ", \"evictions\": " << s.table_cache.evictions
      << ", \"entries\": " << s.table_cache.entries
-     << ", \"capacity\": " << s.table_cache.capacity << "}, \"phases\": {";
+     << ", \"capacity\": " << s.table_cache.capacity
+     << "}, \"search\": {\"candidates_generated\": "
+     << s.search.candidates_generated
+     << ", \"candidates_pruned\": " << s.search.candidates_pruned
+     << ", \"candidates_scheduled\": " << s.search.candidates_scheduled
+     << ", \"schedule_reuse_hits\": " << s.search.schedule_reuse_hits
+     << ", \"column_reuse_hits\": " << s.search.column_reuse_hits
+     << ", \"columns_computed\": " << s.search.columns_computed
+     << "}, \"phases\": {";
   for (std::size_t i = 0; i < s.phases.size(); ++i) {
     os << (i ? ", " : "") << "\"" << s.phases[i].phase
        << "\": " << s.phases[i].seconds;

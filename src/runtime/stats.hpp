@@ -36,14 +36,40 @@ struct PhaseTime {
   std::uint64_t count = 0;  // timer activations accumulated
 };
 
+/// Step-3 architecture-search counters (src/opt). `generated` candidates
+/// split into `pruned` (rejected by the makespan lower bound, never
+/// scheduled), `schedule_reuse_hits` (identical architecture already
+/// evaluated earlier in the climb — neighbourhoods of consecutive steps
+/// overlap — so the memoized schedule is returned), and `scheduled` (full
+/// greedy + refine evaluation ran); `column_reuse_hits` counts
+/// per-(candidate, bus) cost columns served from the delta evaluator's
+/// width cache instead of recomputed, and `columns_computed` the ones
+/// actually built.
+struct SearchStats {
+  std::uint64_t candidates_generated = 0;
+  std::uint64_t candidates_pruned = 0;
+  std::uint64_t candidates_scheduled = 0;
+  std::uint64_t schedule_reuse_hits = 0;
+  std::uint64_t column_reuse_hits = 0;
+  std::uint64_t columns_computed = 0;
+};
+
 struct RuntimeStats {
   PoolStats pool;
   CacheStats table_cache;
+  SearchStats search;
   std::vector<PhaseTime> phases;  // ordered by first activation
 };
 
 /// Adds `seconds` to the named phase accumulator (thread-safe).
 void add_phase_seconds(const std::string& phase, double seconds);
+
+/// Accumulates search counters into the process-wide totals (thread-safe;
+/// called by each hill climb as it finishes).
+void add_search_counters(const SearchStats& s);
+
+/// Clears the search counter accumulators (tests / repeated experiments).
+void reset_search_counters();
 
 /// RAII wall-clock accumulator for one phase ("explore", "search", ...).
 class PhaseTimer {

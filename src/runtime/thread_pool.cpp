@@ -1,7 +1,10 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace soctest::runtime {
 namespace {
@@ -220,12 +223,22 @@ PoolScope::PoolScope(ThreadPool* pool) : prev_(tl_scoped_pool) {
 PoolScope::~PoolScope() { tl_scoped_pool = prev_; }
 
 int default_concurrency() {
-  if (const char* env = std::getenv("SOCTEST_JOBS")) {
-    const int jobs = std::atoi(env);
-    if (jobs >= 1) return jobs;
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? static_cast<int>(hw) : 1;
+  const int fallback = hw ? static_cast<int>(hw) : 1;
+  if (const char* env = std::getenv("SOCTEST_JOBS")) {
+    // Strict parse, matching the CLI's --jobs contract: the whole value
+    // must be a positive integer — "abc", "4x", "" or "-3" are rejected
+    // with a warning, never silently treated as 0 the way atoi would.
+    int jobs = 0;
+    const char* end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, jobs);
+    if (ec == std::errc() && ptr == end && jobs >= 1) return jobs;
+    std::fprintf(stderr,
+                 "soctest: ignoring invalid SOCTEST_JOBS='%s' (want a "
+                 "positive integer); using %d lanes\n",
+                 env, fallback);
+  }
+  return fallback;
 }
 
 void set_global_concurrency(int jobs) {

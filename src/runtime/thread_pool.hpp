@@ -122,7 +122,9 @@ class PoolScope {
   ThreadPool* prev_;
 };
 
-/// SOCTEST_JOBS env var if set (>= 1), else hardware_concurrency, else 1.
+/// SOCTEST_JOBS env var if it parses strictly as a positive integer, else
+/// hardware_concurrency, else 1. A set-but-malformed value ("abc", "4x",
+/// "-3") is rejected with a warning on stderr, never silently coerced.
 int default_concurrency();
 
 /// Replaces the global pool with one of `jobs` lanes (clamped to >= 1).

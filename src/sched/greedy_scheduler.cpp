@@ -97,29 +97,63 @@ void refine(int num_cores, int num_buses,
 
 }  // namespace
 
+CostTable build_cost_table(int num_cores, int num_buses, const CostFn& cost) {
+  if (num_cores < 0 || num_buses < 1)
+    throw std::invalid_argument("build_cost_table: bad sizes");
+  CostTable t;
+  t.num_cores = num_cores;
+  t.num_buses = num_buses;
+  t.cells.resize(static_cast<std::size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    t.cells[static_cast<std::size_t>(i)].reserve(
+        static_cast<std::size_t>(num_buses));
+    for (int b = 0; b < num_buses; ++b)
+      t.cells[static_cast<std::size_t>(i)].push_back(cost(i, b));
+  }
+  return t;
+}
+
+std::int64_t schedule_lower_bound(const CostTable& table) {
+  if (table.num_cores == 0) return 0;
+  std::int64_t sum_min = 0;
+  std::int64_t max_min = 0;
+  for (int i = 0; i < table.num_cores; ++i) {
+    std::int64_t mn = table.at(i, 0).time;
+    for (int b = 1; b < table.num_buses; ++b)
+      mn = std::min(mn, table.at(i, b).time);
+    sum_min += mn;
+    max_min = std::max(max_min, mn);
+  }
+  const std::int64_t k = table.num_buses;
+  const std::int64_t spread = (sum_min + k - 1) / k;
+  return std::max(spread, max_min);
+}
+
 Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,
                          const std::vector<std::int64_t>& ref_time,
                          const GreedyOptions& opts) {
+  return greedy_schedule(build_cost_table(num_cores, num_buses, cost),
+                         ref_time, opts);
+}
+
+Schedule greedy_schedule(const CostTable& table,
+                         const std::vector<std::int64_t>& ref_time,
+                         const GreedyOptions& opts) {
+  const int num_cores = table.num_cores;
+  const int num_buses = table.num_buses;
   if (num_cores < 0 || num_buses < 1)
     throw std::invalid_argument("greedy_schedule: bad sizes");
   if (static_cast<int>(ref_time.size()) != num_cores)
     throw std::invalid_argument("greedy_schedule: ref_time size mismatch");
 
-  // Cache every (core, bus) cost once; construction and refinement reuse it.
-  std::vector<std::vector<BusAccessCost>> costs(
-      static_cast<std::size_t>(num_cores));
+  // Plain time matrix for the hot refinement loops.
   std::vector<std::vector<std::int64_t>> time(
       static_cast<std::size_t>(num_cores),
       std::vector<std::int64_t>(static_cast<std::size_t>(num_buses), 0));
-  for (int i = 0; i < num_cores; ++i) {
-    costs[static_cast<std::size_t>(i)].reserve(
-        static_cast<std::size_t>(num_buses));
-    for (int b = 0; b < num_buses; ++b) {
-      costs[static_cast<std::size_t>(i)].push_back(cost(i, b));
+  for (int i = 0; i < num_cores; ++i)
+    for (int b = 0; b < num_buses; ++b)
       time[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)] =
-          costs[static_cast<std::size_t>(i)].back().time;
-    }
-  }
+          table.at(i, b).time;
 
   std::vector<int> order(static_cast<std::size_t>(num_cores));
   std::iota(order.begin(), order.end(), 0);
@@ -164,8 +198,7 @@ Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,
   s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
   for (int core : order) {
     const int b = assign[static_cast<std::size_t>(core)];
-    const BusAccessCost& c =
-        costs[static_cast<std::size_t>(core)][static_cast<std::size_t>(b)];
+    const BusAccessCost& c = table.at(core, b);
     ScheduleEntry e;
     e.core = core;
     e.bus = b;

@@ -19,9 +19,39 @@ struct GreedyOptions {
   int refine_passes = 64;
 };
 
+/// Fully-resolved per-(core, bus) cost table, the scheduler's working set.
+/// The step-3 search keeps these alive across candidate architectures: a
+/// single-wire move changes at most two bus widths, so all other columns
+/// carry over unchanged (src/opt DeltaEvaluator).
+struct CostTable {
+  int num_cores = 0;
+  int num_buses = 0;
+  std::vector<std::vector<BusAccessCost>> cells;  // [core][bus]
+
+  const BusAccessCost& at(int core, int bus) const {
+    return cells[static_cast<std::size_t>(core)][static_cast<std::size_t>(bus)];
+  }
+};
+
+/// Resolves every (core, bus) pair through `cost`, core-major.
+CostTable build_cost_table(int num_cores, int num_buses, const CostFn& cost);
+
+/// Admissible lower bound on the makespan of ANY schedule for this table:
+/// max(ceil(sum_i min_b t_ib / k), max_i min_b t_ib). The first term spreads
+/// the least possible total load over k buses; the second says every core
+/// runs somewhere. Power stalls and refinement only add time, so no
+/// achievable schedule — greedy, refined or power-constrained — beats it.
+std::int64_t schedule_lower_bound(const CostTable& table);
+
 /// `ref_time[i]` orders the cores (descending). `cost(i, b)` gives the test
 /// time/volume of core i on bus b.
 Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,
+                         const std::vector<std::int64_t>& ref_time,
+                         const GreedyOptions& opts = {});
+
+/// Same algorithm over a pre-resolved cost table (no CostFn round trips);
+/// output is identical to the CostFn overload for equal costs.
+Schedule greedy_schedule(const CostTable& table,
                          const std::vector<std::int64_t>& ref_time,
                          const GreedyOptions& opts = {});
 

@@ -1,0 +1,270 @@
+// Search-equivalence regression for the incremental step-3 evaluation
+// engine: the delta evaluator + lower-bound pruner + batched neighbourhood
+// must return an OptimizationResult member-for-member identical to the
+// original evaluate-every-neighbour loop, on d695 and on a fuzzed random
+// SOC, for 1 and 4 runtime lanes. Also pins down the counter algebra the
+// BENCH_search ablation relies on.
+#include <gtest/gtest.h>
+
+#include "opt/delta_evaluator.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "socgen/cube_synth.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/rng.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+void expect_identical(const OptimizationResult& a, const OptimizationResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.constraint, b.constraint);
+  EXPECT_EQ(a.arch.widths, b.arch.widths);
+  EXPECT_EQ(a.test_time, b.test_time);
+  EXPECT_EQ(a.data_volume_bits, b.data_volume_bits);
+  EXPECT_EQ(a.peak_power_mw, b.peak_power_mw);
+
+  ASSERT_EQ(a.buses.size(), b.buses.size());
+  for (std::size_t i = 0; i < a.buses.size(); ++i) {
+    EXPECT_EQ(a.buses[i].alloc_width, b.buses[i].alloc_width) << i;
+    EXPECT_EQ(a.buses[i].ate_width, b.buses[i].ate_width) << i;
+    EXPECT_EQ(a.buses[i].onchip_width, b.buses[i].onchip_width) << i;
+    EXPECT_EQ(a.buses[i].m, b.buses[i].m) << i;
+    EXPECT_EQ(a.buses[i].has_decompressor, b.buses[i].has_decompressor) << i;
+  }
+
+  EXPECT_EQ(a.schedule.bus_finish, b.schedule.bus_finish);
+  EXPECT_EQ(a.schedule.total_volume_bits, b.schedule.total_volume_bits);
+  ASSERT_EQ(a.schedule.entries.size(), b.schedule.entries.size());
+  for (std::size_t i = 0; i < a.schedule.entries.size(); ++i) {
+    const ScheduleEntry& x = a.schedule.entries[i];
+    const ScheduleEntry& y = b.schedule.entries[i];
+    EXPECT_EQ(x.core, y.core) << i;
+    EXPECT_EQ(x.bus, y.bus) << i;
+    EXPECT_EQ(x.start, y.start) << i;
+    EXPECT_EQ(x.end, y.end) << i;
+    EXPECT_EQ(x.choice, y.choice) << i;
+  }
+
+  EXPECT_EQ(a.wiring.onchip_wires, b.wiring.onchip_wires);
+  EXPECT_EQ(a.wiring.ate_channels, b.wiring.ate_channels);
+  EXPECT_EQ(a.wiring.decompressors, b.wiring.decompressors);
+  EXPECT_EQ(a.wiring.total_flip_flops, b.wiring.total_flip_flops);
+  EXPECT_EQ(a.wiring.total_gates, b.wiring.total_gates);
+}
+
+SocSpec fuzzed_soc(std::uint64_t seed) {
+  Rng rng(seed);
+  SocSpec soc;
+  soc.name = "fuzz-" + std::to_string(seed);
+  const int cores = static_cast<int>(rng.next_range(3, 6));
+  for (int i = 0; i < cores; ++i) {
+    CoreUnderTest c;
+    c.spec.name = "c" + std::to_string(i);
+    c.spec.num_inputs = static_cast<int>(rng.next_range(1, 30));
+    c.spec.num_outputs = static_cast<int>(rng.next_range(1, 30));
+    const int chains = static_cast<int>(rng.next_range(1, 12));
+    for (int j = 0; j < chains; ++j)
+      c.spec.scan_chain_lengths.push_back(
+          static_cast<int>(rng.next_range(1, 120)));
+    c.spec.num_patterns = static_cast<int>(rng.next_range(4, 30));
+    CubeSynthParams p;
+    p.num_cells = c.spec.stimulus_bits_per_pattern();
+    p.num_patterns = c.spec.num_patterns;
+    p.care_density = 0.01 + 0.4 * rng.next_double();
+    c.cubes = synthesize_cubes(p, rng.next_u64());
+    c.validate();
+    soc.cores.push_back(std::move(c));
+  }
+  return soc;
+}
+
+/// Runs the search in both evaluation strategies under `lanes` pool lanes
+/// and checks member-for-member equality across every combination.
+void check_equivalence(const SocOptimizer& opt, const OptimizerOptions& base) {
+  OptimizerOptions full = base;
+  full.incremental = false;
+  OptimizerOptions inc = base;
+  inc.incremental = true;
+
+  runtime::ThreadPool pool1(1);
+  runtime::ThreadPool pool4(4);
+
+  OptimizationResult reference;
+  {
+    runtime::PoolScope scope(&pool1);
+    reference = opt.optimize(full);
+  }
+  {
+    runtime::PoolScope scope(&pool1);
+    expect_identical(opt.optimize(inc), reference, "incremental@1lane");
+  }
+  {
+    runtime::PoolScope scope(&pool4);
+    expect_identical(opt.optimize(full), reference, "full@4lanes");
+    expect_identical(opt.optimize(inc), reference, "incremental@4lanes");
+  }
+}
+
+TEST(IncrementalSearch, MatchesFullEvaluationOnD695) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  o.constraint = ConstraintMode::TamWidth;
+  check_equivalence(opt, o);
+
+  o.mode = ArchMode::PerTam;
+  o.constraint = ConstraintMode::AteChannels;
+  check_equivalence(opt, o);
+}
+
+TEST(IncrementalSearch, MatchesFullEvaluationOnFuzzedSoc) {
+  const SocSpec soc = fuzzed_soc(0xD0E5);
+  ExploreOptions e;
+  e.max_width = 14;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  for (ArchMode mode : {ArchMode::NoTdc, ArchMode::PerCore, ArchMode::PerTam}) {
+    for (ConstraintMode cons :
+         {ConstraintMode::TamWidth, ConstraintMode::AteChannels}) {
+      OptimizerOptions o;
+      o.width = 11;
+      o.mode = mode;
+      o.constraint = cons;
+      check_equivalence(opt, o);
+    }
+  }
+}
+
+TEST(IncrementalSearch, MatchesFullEvaluationUnderPowerBudget) {
+  // The pruner's bound must stay admissible for power-constrained
+  // schedules too (stalls only add time).
+  const SocSpec soc = testutil::mixed_soc();
+  ExploreOptions e;
+  e.max_width = 12;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions o;
+  o.width = 12;
+  o.mode = ArchMode::PerCore;
+  o.power_budget_mw = 1e6;  // loose enough to be feasible, still exercised
+  check_equivalence(opt, o);
+}
+
+TEST(IncrementalSearch, CountersBalanceAndProveReuse) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+
+  o.incremental = false;
+  runtime::reset_search_counters();
+  opt.optimize(o);
+  const runtime::SearchStats full = runtime::collect_stats().search;
+  EXPECT_GT(full.candidates_generated, 0u);
+  EXPECT_EQ(full.candidates_pruned, 0u);
+  // The full loop schedules every candidate plus one start evaluation per
+  // hill climb.
+  EXPECT_GE(full.candidates_scheduled, full.candidates_generated);
+
+  o.incremental = true;
+  runtime::reset_search_counters();
+  const OptimizationResult r = opt.optimize(o);
+  const runtime::SearchStats inc = runtime::collect_stats().search;
+  EXPECT_GT(inc.candidates_generated, 0u);
+  // Every generated candidate is exactly one of pruned, memo-served, or
+  // scheduled; the surplus over generated is the per-climb start
+  // evaluations (which both strategies schedule without generating).
+  EXPECT_EQ(inc.candidates_pruned + inc.schedule_reuse_hits +
+                inc.candidates_scheduled - inc.candidates_generated,
+            full.candidates_scheduled - full.candidates_generated);
+  EXPECT_GT(inc.candidates_pruned, 0u);
+  EXPECT_GT(inc.schedule_reuse_hits, 0u);
+  EXPECT_LT(inc.candidates_scheduled, full.candidates_scheduled);
+  // Column reuse is where the delta evaluation saves its work.
+  EXPECT_GT(inc.column_reuse_hits, inc.columns_computed);
+  EXPECT_GT(r.test_time, 0);
+}
+
+TEST(ScheduleLowerBound, AdmissibleAgainstGreedyAndExhaustive) {
+  // Random tables: the bound never exceeds the greedy (refined) makespan.
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.next_range(1, 10));
+    const int k = static_cast<int>(rng.next_range(1, 4));
+    CostTable t;
+    t.num_cores = n;
+    t.num_buses = k;
+    t.cells.resize(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> ref(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int b = 0; b < k; ++b) {
+        BusAccessCost c;
+        c.time = static_cast<std::int64_t>(rng.next_range(1, 1000));
+        c.choice.test_time = c.time;
+        t.cells[static_cast<std::size_t>(i)].push_back(c);
+      }
+      ref[static_cast<std::size_t>(i)] = t.at(i, 0).time;
+    }
+    const Schedule s = greedy_schedule(t, ref);
+    s.validate(n);
+    EXPECT_LE(schedule_lower_bound(t), s.makespan()) << trial;
+  }
+}
+
+TEST(ScheduleLowerBound, ExactOnSingleBus) {
+  // One bus: the bound is the exact makespan (sum of all times).
+  CostTable t;
+  t.num_cores = 3;
+  t.num_buses = 1;
+  for (std::int64_t time : {5, 7, 11}) {
+    BusAccessCost c;
+    c.time = time;
+    t.cells.push_back({c});
+  }
+  EXPECT_EQ(schedule_lower_bound(t), 23);
+}
+
+TEST(CostTableOverload, MatchesCostFnOverload) {
+  const CostFn cost = [](int core, int bus) {
+    BusAccessCost c;
+    c.time = 10 + 7 * core + 3 * bus + ((core * bus) % 5);
+    c.volume_bits = c.time * 2;
+    c.choice.test_time = c.time;
+    return c;
+  };
+  const std::vector<std::int64_t> ref = {40, 33, 26, 19};
+  const Schedule via_fn = greedy_schedule(4, 3, cost, ref);
+  const Schedule via_table =
+      greedy_schedule(build_cost_table(4, 3, cost), ref);
+  ASSERT_EQ(via_fn.entries.size(), via_table.entries.size());
+  for (std::size_t i = 0; i < via_fn.entries.size(); ++i) {
+    EXPECT_EQ(via_fn.entries[i].core, via_table.entries[i].core);
+    EXPECT_EQ(via_fn.entries[i].bus, via_table.entries[i].bus);
+    EXPECT_EQ(via_fn.entries[i].start, via_table.entries[i].start);
+    EXPECT_EQ(via_fn.entries[i].end, via_table.entries[i].end);
+  }
+  EXPECT_EQ(via_fn.bus_finish, via_table.bus_finish);
+  EXPECT_EQ(via_fn.total_volume_bits, via_table.total_volume_bits);
+}
+
+}  // namespace
+}  // namespace soctest

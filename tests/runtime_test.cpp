@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -218,6 +220,74 @@ TEST(Stats, PhaseTimersAccumulate) {
   const std::string json = runtime::stats_to_json(s);
   EXPECT_NE(json.find("\"unit-test-phase\""), std::string::npos);
   EXPECT_NE(json.find("\"table_cache\""), std::string::npos);
+}
+
+TEST(Stats, SearchCountersAccumulateResetAndSerialize) {
+  runtime::reset_search_counters();
+  runtime::SearchStats s;
+  s.candidates_generated = 10;
+  s.candidates_pruned = 4;
+  s.candidates_scheduled = 6;
+  s.schedule_reuse_hits = 5;
+  s.column_reuse_hits = 20;
+  s.columns_computed = 3;
+  runtime::add_search_counters(s);
+  runtime::add_search_counters(s);
+
+  const runtime::SearchStats got = runtime::collect_stats().search;
+  EXPECT_EQ(got.candidates_generated, 20u);
+  EXPECT_EQ(got.candidates_pruned, 8u);
+  EXPECT_EQ(got.candidates_scheduled, 12u);
+  EXPECT_EQ(got.schedule_reuse_hits, 10u);
+  EXPECT_EQ(got.column_reuse_hits, 40u);
+  EXPECT_EQ(got.columns_computed, 6u);
+
+  const std::string json = runtime::stats_to_json(runtime::collect_stats());
+  EXPECT_NE(json.find("\"candidates_pruned\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schedule_reuse_hits\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"column_reuse_hits\": 40"), std::string::npos);
+
+  runtime::reset_search_counters();
+  EXPECT_EQ(runtime::collect_stats().search.candidates_generated, 0u);
+}
+
+class JobsEnvGuard {
+ public:
+  JobsEnvGuard() {
+    if (const char* v = std::getenv("SOCTEST_JOBS")) saved_ = v;
+  }
+  ~JobsEnvGuard() {
+    if (saved_.empty())
+      unsetenv("SOCTEST_JOBS");
+    else
+      setenv("SOCTEST_JOBS", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(DefaultConcurrency, AcceptsStrictPositiveIntegers) {
+  JobsEnvGuard guard;
+  setenv("SOCTEST_JOBS", "3", 1);
+  EXPECT_EQ(runtime::default_concurrency(), 3);
+  setenv("SOCTEST_JOBS", "1", 1);
+  EXPECT_EQ(runtime::default_concurrency(), 1);
+}
+
+TEST(DefaultConcurrency, RejectsMalformedEnvValues) {
+  JobsEnvGuard guard;
+  unsetenv("SOCTEST_JOBS");
+  const int fallback = runtime::default_concurrency();
+  EXPECT_GE(fallback, 1);
+  // The CLI promises strict --jobs parsing; the env path must match it:
+  // none of these may be atoi'd into a number or silently become 0.
+  for (const char* junk : {"abc", "4x", "", " 4", "4 ", "-2", "0", "1.5",
+                           "99999999999999999999"}) {
+    setenv("SOCTEST_JOBS", junk, 1);
+    EXPECT_EQ(runtime::default_concurrency(), fallback)
+        << "SOCTEST_JOBS='" << junk << "'";
+  }
 }
 
 }  // namespace

@@ -160,6 +160,42 @@ TEST_F(OptimizerFixture, RejectsBadWidth) {
   EXPECT_THROW(opt_->optimize(o), std::invalid_argument);
 }
 
+TEST(FixedW4Baseline, ValidatesAcrossSmallWidths) {
+  // Regression for the width < 4 edge: a budget too small for one full
+  // 4-bit bus must become a single narrow bus, not an empty (invalid)
+  // architecture; remainders always trail the 4-bit buses.
+  for (int W = 1; W <= 7; ++W) {
+    const TamArchitecture arch = fixed_w4_architecture(W);
+    arch.validate();
+    EXPECT_EQ(arch.total_width(), W) << W;
+    ASSERT_GE(arch.num_buses(), 1) << W;
+    for (int b = 0; b + 1 < arch.num_buses(); ++b)
+      EXPECT_EQ(arch.widths[static_cast<std::size_t>(b)], 4) << W;
+    const int last = arch.widths.back();
+    EXPECT_GE(last, 1) << W;
+    EXPECT_LE(last, 4) << W;
+    // Non-increasing: the remainder bus (if any) comes last.
+    for (std::size_t b = 1; b < arch.widths.size(); ++b)
+      EXPECT_LE(arch.widths[b], arch.widths[b - 1]) << W;
+  }
+  EXPECT_EQ(fixed_w4_architecture(3).widths, (std::vector<int>{3}));
+  EXPECT_EQ(fixed_w4_architecture(4).widths, (std::vector<int>{4}));
+  EXPECT_EQ(fixed_w4_architecture(7).widths, (std::vector<int>{4, 3}));
+  EXPECT_EQ(fixed_w4_architecture(8).widths, (std::vector<int>{4, 4}));
+}
+
+TEST_F(OptimizerFixture, FixedW4ModeUsesTheFixedPartition) {
+  for (int W : {3, 6, 14}) {
+    OptimizerOptions o;
+    o.width = W;
+    o.mode = ArchMode::FixedWidth4;
+    const OptimizationResult r = opt_->optimize(o);
+    EXPECT_EQ(r.arch.widths, fixed_w4_architecture(W).widths) << W;
+    r.schedule.validate(soc_->num_cores());
+    EXPECT_GT(r.test_time, 0) << W;
+  }
+}
+
 TEST(SocOptimizerStandalone, MethodComparisonRunsAllThree) {
   const SocSpec soc = testutil::mixed_soc();
   ExploreOptions e;

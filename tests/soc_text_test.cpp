@@ -100,6 +100,19 @@ TEST(SocText, FileRoundTrip) {
   EXPECT_THROW(read_soc_text_file("/nonexistent/x.soc"), std::runtime_error);
 }
 
+TEST(SocText, SparseOverflowDiagnosticNamesLineAndIndex) {
+  std::istringstream in(
+      "soc s\ncore c\n inputs 2\n patterns 1\n sparse 4294967296:1\nend\n");
+  try {
+    read_soc_text(in);
+    FAIL() << "expected rejection of a cell index >= 2^32";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("soc_text:5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cell index"), std::string::npos) << msg;
+  }
+}
+
 struct BadInput {
   const char* label;
   const char* text;
@@ -132,6 +145,19 @@ INSTANTIATE_TEST_SUITE_P(
                  "soc s\ncore c\n inputs 2\n patterns 1\n sparse 0=1\nend\n"},
         BadInput{"sparse out of range",
                  "soc s\ncore c\n inputs 2\n patterns 1\n sparse 5:1\nend\n"},
+        // An index >= 2^32 must be rejected, not silently wrapped to a
+        // small valid cell by a stoul-then-cast (4294967296 mod 2^32 = 0,
+        // a perfectly legal cell — the old bug).
+        BadInput{"sparse index wraps uint32",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n"
+                 " sparse 4294967296:1\nend\n"},
+        BadInput{"sparse index overflows uint64",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n"
+                 " sparse 99999999999999999999999:1\nend\n"},
+        BadInput{"sparse negative index",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n sparse -1:1\nend\n"},
+        BadInput{"sparse junk index",
+                 "soc s\ncore c\n inputs 2\n patterns 1\n sparse 1x:1\nend\n"},
         BadInput{"empty scanchains",
                  "soc s\ncore c\n inputs 1\n scanchains\n patterns 0\nend\n"}),
     [](const ::testing::TestParamInfo<BadInput>& info) {

@@ -64,6 +64,20 @@ struct Args {
     }
     return static_cast<int>(v);
   }
+  /// Strict floating-point flag, same contract as get_int: malformed
+  /// values are a usage error, not atof's silent 0.
+  double get_double(const std::string& k, double def) const {
+    auto it = flags.find(k);
+    if (it == flags.end()) return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not a number\n", k.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
   /// Usage error (exit 2) if the flag is absent or empty.
   std::string require(const std::string& k) const {
     const std::string v = get(k);
@@ -214,7 +228,7 @@ int cmd_optimize(const Args& a) {
     std::fprintf(stderr, "bad --constraint (tam|ate)\n");
     return 2;
   }
-  o.power_budget_mw = std::atof(a.get("power", "0").c_str());
+  o.power_budget_mw = a.get_double("power", 0.0);
   if (o.width < 1) {
     std::fprintf(stderr, "--width must be >= 1\n");
     return 2;
@@ -235,6 +249,15 @@ int cmd_optimize(const Args& a) {
               static_cast<unsigned long long>(rs.table_cache.lookups()),
               100.0 * rs.table_cache.hit_rate(),
               static_cast<unsigned long long>(rs.table_cache.evictions));
+  std::printf("[search] candidates=%llu pruned=%llu scheduled=%llu "
+              "schedule-reuse=%llu column-reuse=%llu/%llu\n",
+              static_cast<unsigned long long>(rs.search.candidates_generated),
+              static_cast<unsigned long long>(rs.search.candidates_pruned),
+              static_cast<unsigned long long>(rs.search.candidates_scheduled),
+              static_cast<unsigned long long>(rs.search.schedule_reuse_hits),
+              static_cast<unsigned long long>(rs.search.column_reuse_hits),
+              static_cast<unsigned long long>(rs.search.column_reuse_hits +
+                                              rs.search.columns_computed));
   if (o.power_budget_mw > 0)
     std::printf("peak power %.1f mW (budget %.1f)\n", r.peak_power_mw,
                 o.power_budget_mw);
