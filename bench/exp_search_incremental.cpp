@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "opt/annealing.hpp"
 #include "opt/soc_optimizer.hpp"
 #include "report/table.hpp"
 #include "runtime/stats.hpp"
@@ -35,6 +36,24 @@ Run run_once(const SocOptimizer& opt, const OptimizerOptions& o) {
     runtime::reset_search_counters();
     const auto t0 = std::chrono::steady_clock::now();
     const OptimizationResult r = opt.optimize(o);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.stats = runtime::collect_stats().search;
+    out.wall_seconds = std::min(
+        out.wall_seconds, std::chrono::duration<double>(t1 - t0).count());
+    out.test_time = r.test_time;
+    out.data_volume_bits = r.data_volume_bits;
+  }
+  return out;
+}
+
+Run run_anneal(const SocOptimizer& opt, const OptimizerOptions& o,
+               const AnnealingOptions& a) {
+  Run out;
+  out.wall_seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    runtime::reset_search_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    const OptimizationResult r = optimize_annealing(opt, o, a);
     const auto t1 = std::chrono::steady_clock::now();
     out.stats = runtime::collect_stats().search;
     out.wall_seconds = std::min(
@@ -72,8 +91,14 @@ std::string json_u64(const char* key, std::uint64_t v, bool comma = true) {
   return buf;
 }
 
-std::string json_run(const char* key, const Run& r, bool comma) {
+std::string json_run(const char* key, const Run& r, bool comma,
+                     bool anneal = false) {
   std::string s = "    \"" + std::string(key) + "\": {\n";
+  if (anneal) {
+    s += json_u64("anneal_proposals", r.stats.anneal_proposals);
+    s += json_u64("anneal_memo_hits", r.stats.anneal_memo_hits);
+    s += json_u64("anneal_bound_pruned", r.stats.anneal_bound_pruned);
+  }
   s += json_u64("candidates_generated", r.stats.candidates_generated);
   s += json_u64("candidates_pruned", r.stats.candidates_pruned);
   s += json_u64("candidates_scheduled", r.stats.candidates_scheduled);
@@ -172,17 +197,86 @@ int main() {
     json += json_run("incremental", inc, false);
     json += di + 1 < designs.size() ? "  },\n" : "  }\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
 
+  // ---- Annealing ablation: scratch walk vs DeltaEvaluator-backed walk.
+  // Same Markov chain (differential tests pin bit-identity); the counters
+  // here quantify how much of it the memo + bound pruning absorb.
   std::printf("%s\n", t.to_string().c_str());
   std::printf("minimum full/incremental full-schedule-evaluation ratio: "
-              "%.1fx (issue gate: >= 2x)\n",
+              "%.1fx (issue gate: >= 2x)\n\n",
               min_sched_ratio);
+
+  std::printf("=== Annealing: scratch vs incremental proposal path ===\n\n");
+  Table ta({"design", "proposals", "memo", "bound-pruned", "sched(full)",
+            "sched(inc)", "sched ratio", "wall(full) s", "wall(inc) s"});
+  json += "  \"anneal\": [\n";
+  double min_anneal_ratio = 1e30;
+  for (std::size_t di = 0; di < designs.size(); ++di) {
+    const SocSpec& soc = designs[di];
+    ExploreOptions e;
+    e.max_width = 32;
+    e.max_chains = 511;
+    const SocOptimizer opt(soc, e);
+
+    OptimizerOptions o;
+    o.width = 24;
+    o.mode = ArchMode::PerCore;
+    AnnealingOptions a;  // default 2000-iteration walk, seed 1
+
+    o.incremental = false;
+    const Run full = run_anneal(opt, o, a);
+    o.incremental = true;
+    const Run inc = run_anneal(opt, o, a);
+
+    if (inc.test_time != full.test_time ||
+        inc.data_volume_bits != full.data_volume_bits) {
+      std::fprintf(stderr, "FAIL %s: annealing optimum differs\n",
+                   soc.name.c_str());
+      all_identical = false;
+    }
+    const double ratio =
+        static_cast<double>(full.stats.candidates_scheduled) /
+        std::max<double>(1.0,
+                         static_cast<double>(inc.stats.candidates_scheduled));
+    min_anneal_ratio = std::min(min_anneal_ratio, ratio);
+
+    ta.add_row({soc.name, Table::num(inc.stats.anneal_proposals),
+                Table::num(inc.stats.anneal_memo_hits),
+                Table::num(inc.stats.anneal_bound_pruned),
+                Table::num(full.stats.candidates_scheduled),
+                Table::num(inc.stats.candidates_scheduled),
+                Table::fixed(ratio, 1) + "x",
+                Table::fixed(full.wall_seconds, 3),
+                Table::fixed(inc.wall_seconds, 3)});
+
+    json += "  {\n    \"design\": \"" + soc.name + "\",\n";
+    char metric[128];
+    std::snprintf(metric, sizeof metric,
+                  "    \"schedule_constructions\": "
+                  "{\"full\": %llu, \"incremental\": %llu, "
+                  "\"ratio\": %.1f},\n",
+                  static_cast<unsigned long long>(
+                      full.stats.candidates_scheduled),
+                  static_cast<unsigned long long>(
+                      inc.stats.candidates_scheduled),
+                  ratio);
+    json += metric;
+    json += json_run("full", full, true, true);
+    json += json_run("incremental", inc, false, true);
+    json += di + 1 < designs.size() ? "  },\n" : "  }\n";
+  }
+  json += "  ]\n}\n";
+
+  std::printf("%s\n", ta.to_string().c_str());
+  std::printf("minimum annealing schedule-construction ratio: %.1fx "
+              "(issue gate: >= 5x)\n",
+              min_anneal_ratio);
 
   std::ofstream f("BENCH_search.json");
   f << json;
   std::printf("wrote BENCH_search.json\n");
-  if (!all_identical || min_sched_ratio < 2.0) {
+  if (!all_identical || min_sched_ratio < 2.0 || min_anneal_ratio < 5.0) {
     std::fprintf(stderr, "FAIL: equivalence or pruning gate not met\n");
     return 1;
   }

@@ -1,0 +1,205 @@
+// SCALE study of the incremental search engine on synthetic 100+-core
+// SOCs (socgen/synthetic). On the paper-scale designs the win is mostly a
+// counter win — schedules there cost microseconds. At 120/240 cores the
+// step-4 schedule construction dominates each candidate evaluation, so
+// memo hits and bound pruning must translate into WALL-CLOCK speedups;
+// this experiment gates on that. Results are spliced into the "scale"
+// section of BENCH_search.json (run exp_search_incremental first — it
+// rewrites the file wholesale; this binary only replaces its own section).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opt/annealing.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "report/table.hpp"
+#include "runtime/stats.hpp"
+#include "socgen/synthetic.hpp"
+
+using namespace soctest;
+
+namespace {
+
+struct Run {
+  runtime::SearchStats stats;
+  double wall_seconds = 0.0;
+  std::int64_t test_time = 0;
+  std::int64_t data_volume_bits = 0;
+};
+
+template <typename F>
+Run timed_best_of(int reps, const F& go) {
+  Run out;
+  out.wall_seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    runtime::reset_search_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    const OptimizationResult r = go();
+    const auto t1 = std::chrono::steady_clock::now();
+    out.stats = runtime::collect_stats().search;
+    out.wall_seconds = std::min(
+        out.wall_seconds, std::chrono::duration<double>(t1 - t0).count());
+    out.test_time = r.test_time;
+    out.data_volume_bits = r.data_volume_bits;
+  }
+  return out;
+}
+
+SocSpec scale_soc(int num_cores, std::uint64_t seed) {
+  // Small per-core geometry: τ-table exploration stays cheap, the n-core
+  // schedule construction per candidate is what's being measured.
+  SyntheticSocParams p;
+  p.num_cores = num_cores;
+  p.max_inputs = 16;
+  p.max_outputs = 16;
+  p.max_chains = 6;
+  p.max_chain_length = 32;
+  p.max_patterns = 10;
+  p.giant_scale = 4;
+  return make_synthetic_soc(p, seed);
+}
+
+std::string json_u64(const char* key, std::uint64_t v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "      \"%s\": %llu%s\n", key,
+                static_cast<unsigned long long>(v), comma ? "," : "");
+  return buf;
+}
+
+std::string json_run(const char* key, const Run& r, bool comma) {
+  std::string s = "    \"" + std::string(key) + "\": {\n";
+  s += json_u64("anneal_proposals", r.stats.anneal_proposals);
+  s += json_u64("anneal_memo_hits", r.stats.anneal_memo_hits);
+  s += json_u64("anneal_bound_pruned", r.stats.anneal_bound_pruned);
+  s += json_u64("candidates_generated", r.stats.candidates_generated);
+  s += json_u64("candidates_pruned", r.stats.candidates_pruned);
+  s += json_u64("candidates_scheduled", r.stats.candidates_scheduled);
+  s += json_u64("schedule_reuse_hits", r.stats.schedule_reuse_hits);
+  s += json_u64("column_reuse_hits", r.stats.column_reuse_hits);
+  s += json_u64("columns_computed", r.stats.columns_computed);
+  s += json_u64("test_time", static_cast<std::uint64_t>(r.test_time));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "      \"wall_seconds\": %.6f\n",
+                r.wall_seconds);
+  s += buf;
+  s += comma ? "    },\n" : "    }\n";
+  return s;
+}
+
+/// Replaces (or appends) the top-level "scale" key of BENCH_search.json,
+/// leaving whatever exp_search_incremental wrote intact. Falls back to a
+/// standalone file when none exists yet.
+void splice_scale_section(const std::string& scale_json) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_search.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  const std::size_t marker = existing.find(",\n  \"scale\":");
+  if (marker != std::string::npos) {
+    out = existing.substr(0, marker);  // rerun: drop the stale section
+  } else if (const std::size_t close = existing.rfind('}');
+             close != std::string::npos) {
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+      out.pop_back();
+  }
+  if (out.empty())
+    out = "{\n  \"experiment\": \"search_scale\"";
+  out += ",\n  \"scale\": [\n" + scale_json + "  ]\n}\n";
+  std::ofstream f("BENCH_search.json");
+  f << out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Incremental search at scale (synthetic SOCs, W=24) ===\n\n");
+
+  Table t({"soc", "search", "sched(full)", "sched(inc)", "wall(full) s",
+           "wall(inc) s", "speedup"});
+  std::string json;
+  bool all_identical = true;
+  double min_climb_speedup = 1e30;
+
+  const std::vector<int> sizes = {120, 240};
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const SocSpec soc = scale_soc(sizes[si], 0xC0DE + si);
+    ExploreOptions e;
+    e.max_width = 10;
+    e.max_chains = 32;
+    const SocOptimizer opt(soc, e);
+
+    OptimizerOptions o;
+    o.width = 24;
+    o.mode = ArchMode::PerCore;
+
+    o.incremental = false;
+    const Run cf = timed_best_of(3, [&] { return opt.optimize(o); });
+    o.incremental = true;
+    const Run ci = timed_best_of(3, [&] { return opt.optimize(o); });
+
+    AnnealingOptions a;  // default 2000-iteration walk
+    o.incremental = false;
+    const Run af = timed_best_of(2, [&] { return optimize_annealing(opt, o, a); });
+    o.incremental = true;
+    const Run ai = timed_best_of(2, [&] { return optimize_annealing(opt, o, a); });
+
+    if (ci.test_time != cf.test_time ||
+        ci.data_volume_bits != cf.data_volume_bits ||
+        ai.test_time != af.test_time ||
+        ai.data_volume_bits != af.data_volume_bits) {
+      std::fprintf(stderr, "FAIL %s: incremental result differs\n",
+                   soc.name.c_str());
+      all_identical = false;
+    }
+
+    const double climb_speedup = cf.wall_seconds / std::max(1e-9, ci.wall_seconds);
+    const double anneal_speedup = af.wall_seconds / std::max(1e-9, ai.wall_seconds);
+    min_climb_speedup = std::min(min_climb_speedup, climb_speedup);
+
+    t.add_row({soc.name, "hill-climb", Table::num(cf.stats.candidates_scheduled),
+               Table::num(ci.stats.candidates_scheduled),
+               Table::fixed(cf.wall_seconds, 3), Table::fixed(ci.wall_seconds, 3),
+               Table::fixed(climb_speedup, 2) + "x"});
+    t.add_row({soc.name, "annealing", Table::num(af.stats.candidates_scheduled),
+               Table::num(ai.stats.candidates_scheduled),
+               Table::fixed(af.wall_seconds, 3), Table::fixed(ai.wall_seconds, 3),
+               Table::fixed(anneal_speedup, 2) + "x"});
+
+    json += "  {\n    \"soc\": \"" + soc.name + "\",\n";
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "    \"num_cores\": %d,\n"
+                  "    \"hill_climb_speedup\": %.2f,\n"
+                  "    \"anneal_speedup\": %.2f,\n",
+                  sizes[si], climb_speedup, anneal_speedup);
+    json += line;
+    json += json_run("climb_full", cf, true);
+    json += json_run("climb_incremental", ci, true);
+    json += json_run("anneal_full", af, true);
+    json += json_run("anneal_incremental", ai, false);
+    json += si + 1 < sizes.size() ? "  },\n" : "  }\n";
+  }
+
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("minimum hill-climb wall-clock speedup: %.2fx "
+              "(issue gate: > 1x — a wall-clock win, not just counters)\n",
+              min_climb_speedup);
+
+  splice_scale_section(json);
+  std::printf("spliced \"scale\" section into BENCH_search.json\n");
+  if (!all_identical || min_climb_speedup <= 1.0) {
+    std::fprintf(stderr, "FAIL: equivalence or wall-clock gate not met\n");
+    return 1;
+  }
+  return 0;
+}

@@ -21,6 +21,15 @@ struct AnnealingOptions {
 /// Runs SA over TAM partitions for the given optimizer options (the mode,
 /// constraint and width are taken from `opts`; `opts.max_buses` bounds the
 /// bus count). Deterministic for a fixed seed.
+///
+/// With `opts.incremental` (the default) proposals are evaluated through
+/// the same DeltaEvaluator the hill climb uses: cached per-width cost
+/// columns, width-vector memoization, and lower-bound rejection of
+/// provably-uphill proposals — bit-identical to the from-scratch path
+/// (opts.incremental = false) including the RNG stream, while running far
+/// fewer full schedule constructions. Counters flow into
+/// runtime::collect_stats() (anneal_proposals / anneal_memo_hits /
+/// anneal_bound_pruned).
 OptimizationResult optimize_annealing(const SocOptimizer& optimizer,
                                       const OptimizerOptions& opts,
                                       const AnnealingOptions& anneal = {});

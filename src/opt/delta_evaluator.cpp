@@ -3,37 +3,61 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sched/greedy_scheduler.hpp"
+
 namespace soctest {
 
 DeltaEvaluator::DeltaEvaluator(const SocOptimizer& opt,
                                const OptimizerOptions& opts,
-                               ScheduleMemo* memo)
-    : opt_(&opt), opts_(&opts), memo_(memo ? memo : &own_memo_) {}
+                               ScheduleMemo* memo, ColumnCache* columns)
+    : opt_(&opt),
+      opts_(&opts),
+      memo_(memo ? memo : &own_memo_),
+      shared_columns_(columns ? columns : &own_columns_) {}
 
 void DeltaEvaluator::prepare(const std::vector<TamArchitecture>& archs) {
   const int n = opt_->soc().num_cores();
   for (const TamArchitecture& arch : archs) {
     for (int v : arch.widths) {
-      if (static_cast<std::size_t>(v) >= columns_.size())
-        columns_.resize(static_cast<std::size_t>(v) + 1);
-      if (columns_[static_cast<std::size_t>(v)]) {
+      const std::size_t w = static_cast<std::size_t>(v);
+      if (w >= columns_.size()) columns_.resize(w + 1);
+      if (columns_[w]) {
         // A full evaluator would recompute this (candidate, bus) column;
         // the cache hands it over instead.
         ++base_.column_reuse_hits;
         continue;
       }
-      auto col = std::make_unique<Column>();
+      {
+        // Another climb may have built this width already.
+        std::lock_guard<std::mutex> lk(shared_columns_->mu);
+        if (w < shared_columns_->columns.size() &&
+            shared_columns_->columns[w]) {
+          columns_[w] = shared_columns_->columns[w];
+          ++base_.column_reuse_hits;
+          continue;
+        }
+      }
+      // Build outside the lock: column construction walks every core table
+      // and must not serialize concurrent climbs.
+      auto col = std::make_shared<CostColumn>();
       col->bus = opt_->realize_one(v, *opts_);
       col->cost.reserve(static_cast<std::size_t>(n));
       for (int i = 0; i < n; ++i)
         col->cost.push_back(opt_->access_cost(i, col->bus, *opts_));
-      columns_[static_cast<std::size_t>(v)] = std::move(col);
       ++base_.columns_computed;
+      {
+        std::lock_guard<std::mutex> lk(shared_columns_->mu);
+        if (w >= shared_columns_->columns.size())
+          shared_columns_->columns.resize(w + 1);
+        if (!shared_columns_->columns[w])
+          shared_columns_->columns[w] = col;  // first build wins
+        columns_[w] = shared_columns_->columns[w];
+      }
     }
   }
 }
 
-const DeltaEvaluator::Column& DeltaEvaluator::column(int width) const {
+const CostColumn& DeltaEvaluator::column(int width) const {
   if (width < 0 || static_cast<std::size_t>(width) >= columns_.size() ||
       !columns_[static_cast<std::size_t>(width)])
     throw std::logic_error("DeltaEvaluator: width " + std::to_string(width) +
@@ -41,28 +65,29 @@ const DeltaEvaluator::Column& DeltaEvaluator::column(int width) const {
   return *columns_[static_cast<std::size_t>(width)];
 }
 
-std::int64_t DeltaEvaluator::lower_bound(const TamArchitecture& arch) const {
+bool DeltaEvaluator::bound_exceeds(const TamArchitecture& arch,
+                                   std::int64_t threshold) const {
   const int n = opt_->soc().num_cores();
   const int k = arch.num_buses();
-  std::vector<const Column*> cols;
+  std::vector<const CostColumn*> cols;
   cols.reserve(static_cast<std::size_t>(k));
   for (int v : arch.widths) cols.push_back(&column(v));
 
-  // schedule_lower_bound's formula, straight off the cached columns.
-  std::int64_t sum_min = 0;
-  std::int64_t max_min = 0;
+  // Row-major time matrix off the cached columns; the bound core in sched/
+  // takes it straight (no CostTable materialization).
+  bound_scratch_.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(k), 0);
   for (int i = 0; i < n; ++i) {
-    std::int64_t mn = cols[0]->cost[static_cast<std::size_t>(i)].time;
-    for (int b = 1; b < k; ++b)
-      mn = std::min(mn, cols[static_cast<std::size_t>(b)]
-                            ->cost[static_cast<std::size_t>(i)]
-                            .time);
-    sum_min += mn;
-    max_min = std::max(max_min, mn);
+    const std::size_t row =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    for (int b = 0; b < k; ++b)
+      bound_scratch_[row + static_cast<std::size_t>(b)] =
+          cols[static_cast<std::size_t>(b)]
+              ->cost[static_cast<std::size_t>(i)]
+              .time;
   }
-  if (n == 0) return 0;
-  const std::int64_t spread = (sum_min + k - 1) / k;
-  return std::max(spread, max_min);
+  return makespan_bound_exceeds(n, k, bound_scratch_, threshold,
+                                opts_->capacity_bound);
 }
 
 OptimizationResult DeltaEvaluator::evaluate(const TamArchitecture& arch) const {

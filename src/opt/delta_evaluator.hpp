@@ -3,14 +3,19 @@
 // bus's width (plus the fixed mode/constraint), so the per-(core, bus) cost
 // table of a candidate architecture factors into per-width COLUMNS. A
 // single-wire move changes at most two bus widths; every other column is
-// reused from the cache, an O(1) CoreTable lookup away from free.
+// reused from the cache, an O(1) CoreTable lookup away from free. The
+// columns themselves are shared across every climb of one optimize() call
+// through a ColumnCache: for a fixed (mode, constraint) a width-w column is
+// the same object no matter which climb asks first.
 //
-// On top of the columns sits a makespan LOWER BOUND
-// (sched/schedule_lower_bound's formula): candidates whose bound already
-// exceeds the incumbent makespan cannot win even on the volume tie-break,
-// so the greedy + refine scheduler never runs for them. Survivors are
-// batched through runtime::parallel_map and reduced in index order, which
-// keeps the search bit-identical to the serial full-evaluation loop.
+// On top of the columns sits a makespan LOWER BOUND (the work-conservation
+// formula, tightened by sched/makespan_lower_bound's bus-capacity argument
+// when OptimizerOptions::capacity_bound is set): candidates whose bound
+// already exceeds the incumbent makespan cannot win even on the volume
+// tie-break, so the greedy + refine scheduler never runs for them.
+// Survivors are batched through runtime::parallel_map and reduced in index
+// order, which keeps the search bit-identical to the serial full-evaluation
+// loop.
 //
 // Finally, evaluations are MEMOIZED by width vector: the wire-move
 // neighbourhoods of consecutive hill-climb steps overlap heavily (any
@@ -22,7 +27,9 @@
 // architecture alone — the incumbent never enters it — so handing back a
 // memoized result is exact, not an approximation, even when another climb
 // produced it. The search therefore shares one ScheduleMemo across all
-// climbs of an optimize() call.
+// climbs of an optimize() call. The annealing search (opt/annealing) leans
+// on the same memo even harder: SA revisits the architectures it bounced
+// off constantly.
 #pragma once
 
 #include <atomic>
@@ -46,25 +53,48 @@ struct ScheduleMemo {
   std::map<std::vector<int>, OptimizationResult> results;
 };
 
+/// One per-width cost column: the bus realization of that width and every
+/// core's access cost on it. Immutable once built (shared_ptr<const> in the
+/// cache), so readers never lock.
+struct CostColumn {
+  BusRealization bus;
+  std::vector<BusAccessCost> cost;  // per core
+};
+
+/// Width-indexed column store shared across the hill climbs of one
+/// optimize() call (ROADMAP: the memo was shared, the columns were not —
+/// every climb rebuilt identical columns). Two climbs racing on the same
+/// width both build the identical column; the first insert wins and the
+/// loser's copy is dropped, costing one redundant build and nothing else.
+struct ColumnCache {
+  std::mutex mu;
+  std::vector<std::shared_ptr<const CostColumn>> columns;  // indexed by width
+};
+
 class DeltaEvaluator {
  public:
-  /// `opt`, `opts` — and `memo`, when given — must outlive the evaluator.
-  /// The column cache starts empty and persists across prepare() batches
-  /// (a hill climb revisits widths constantly). Without an external memo
-  /// the evaluator uses a private one (single-climb scope).
+  /// `opt`, `opts` — and `memo`/`columns`, when given — must outlive the
+  /// evaluator. The evaluator keeps a private lock-free view of every
+  /// column it has prepare()d; the shared caches are only touched on a
+  /// local miss. Without external caches it uses private ones
+  /// (single-climb scope).
   DeltaEvaluator(const SocOptimizer& opt, const OptimizerOptions& opts,
-                 ScheduleMemo* memo = nullptr);
+                 ScheduleMemo* memo = nullptr, ColumnCache* columns = nullptr);
 
   /// Computes and caches the cost column of every width in `archs` that is
   /// not cached yet. Call before a parallel evaluate() batch: afterwards
-  /// evaluate()/lower_bound() on those architectures only read the cache,
-  /// so they are safe to run concurrently.
+  /// evaluate()/lower_bound() on those architectures only read the local
+  /// view, so they are safe to run concurrently.
   void prepare(const std::vector<TamArchitecture>& archs);
 
-  /// Admissible lower bound on the makespan of any schedule for `arch`
-  /// (max of the spread bound sum_i min_b t_ib / k and the per-core bound
-  /// max_i min_b t_ib). O(n k) cache reads; no scheduling.
-  std::int64_t lower_bound(const TamArchitecture& arch) const;
+  /// True iff the admissible makespan lower bound of `arch` exceeds
+  /// `threshold` — the work-conservation bound, tightened by the
+  /// bus-capacity subset checks when opts.capacity_bound is set. A single
+  /// O(n k + k 2^k) probe (sched/makespan_bound_exceeds), no scheduling,
+  /// no binary search. Uses a per-evaluator scratch buffer — call from one
+  /// thread at a time (the search's serial filter phases do).
+  bool bound_exceeds(const TamArchitecture& arch,
+                     std::int64_t threshold) const;
 
   /// Full evaluation (greedy construction + refine, wiring metrics) from
   /// cached columns, memoized by width vector; bit-identical to
@@ -76,26 +106,28 @@ class DeltaEvaluator {
   // Counter hooks for the search driver (single-threaded phases).
   void note_generated(std::uint64_t n) { base_.candidates_generated += n; }
   void note_pruned(std::uint64_t n) { base_.candidates_pruned += n; }
+  void note_anneal_proposals(std::uint64_t n) { base_.anneal_proposals += n; }
+  void note_anneal_pruned(std::uint64_t n) { base_.anneal_bound_pruned += n; }
 
   /// Snapshot including the concurrent scheduled-evaluation count; the
   /// driver flushes this into runtime::add_search_counters().
   runtime::SearchStats counters() const;
 
  private:
-  struct Column {
-    BusRealization bus;
-    std::vector<BusAccessCost> cost;  // per core
-  };
-  const Column& column(int width) const;  // throws if not prepare()d
+  const CostColumn& column(int width) const;  // throws if not prepare()d
 
   const SocOptimizer* opt_;
   const OptimizerOptions* opts_;
-  std::vector<std::unique_ptr<Column>> columns_;  // indexed by width
+  // Local lock-free view; shared_ptrs alias the ColumnCache's entries.
+  std::vector<std::shared_ptr<const CostColumn>> columns_;
   runtime::SearchStats base_;
   mutable std::atomic<std::uint64_t> scheduled_{0};
   mutable std::atomic<std::uint64_t> sched_reuse_{0};
+  mutable std::vector<std::int64_t> bound_scratch_;  // lower_bound workspace
   mutable ScheduleMemo own_memo_;
   ScheduleMemo* memo_;  // shared across climbs, or &own_memo_
+  ColumnCache own_columns_;
+  ColumnCache* shared_columns_;  // shared across climbs, or &own_columns_
 };
 
 }  // namespace soctest

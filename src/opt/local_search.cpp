@@ -89,11 +89,14 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
     // only improves during a step's reduction, so a candidate whose bound
     // exceeds it at step start can never be accepted at its position in
     // the scan either — pruning is invisible in the result. The schedule
-    // memo is shared across all starts: climbs converging into the same
-    // basin re-encounter each other's candidates.
+    // memo AND the per-width column cache are shared across all starts:
+    // climbs converging into the same basin re-encounter each other's
+    // candidates, and for a fixed (mode, constraint) a width-w cost column
+    // is the same no matter which climb builds it first.
     ScheduleMemo memo;
+    ColumnCache columns;
     const auto climb_incremental = [&](const TamArchitecture& start) {
-      DeltaEvaluator ev(*this, opts, &memo);
+      DeltaEvaluator ev(*this, opts, &memo, &columns);
       TamArchitecture arch = start;
       ev.prepare({arch});
       OptimizationResult cur = ev.evaluate(arch);
@@ -104,8 +107,8 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
         std::vector<int> survivors;
         survivors.reserve(neigh.size());
         for (int i = 0; i < static_cast<int>(neigh.size()); ++i) {
-          if (ev.lower_bound(neigh[static_cast<std::size_t>(i)]) >
-              cur.test_time)
+          if (ev.bound_exceeds(neigh[static_cast<std::size_t>(i)],
+                               cur.test_time))
             ev.note_pruned(1);
           else
             survivors.push_back(i);

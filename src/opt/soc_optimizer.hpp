@@ -58,6 +58,13 @@ struct OptimizerOptions {
   /// results; the flag exists for the equivalence tests and the
   /// BENCH_search ablation.
   bool incremental = true;
+  /// Lower bound the incremental pruner uses. true (default): the
+  /// bus-capacity bound (sched/schedule_capacity_bound) — tighter on skewed
+  /// partitions, where the work-conservation bound lets most candidates
+  /// survive. false: the plain work-conservation bound. Both are admissible,
+  /// so the flag changes how many candidates are pruned before scheduling
+  /// but never which architecture wins — results stay bit-identical.
+  bool capacity_bound = true;
 };
 
 /// How one bus of the abstract architecture is physically realized.

@@ -19,6 +19,9 @@ std::atomic<std::uint64_t> g_search_scheduled{0};
 std::atomic<std::uint64_t> g_search_sched_reuse{0};
 std::atomic<std::uint64_t> g_search_reuse{0};
 std::atomic<std::uint64_t> g_search_computed{0};
+std::atomic<std::uint64_t> g_anneal_proposals{0};
+std::atomic<std::uint64_t> g_anneal_memo_hits{0};
+std::atomic<std::uint64_t> g_anneal_bound_pruned{0};
 
 }  // namespace
 
@@ -53,6 +56,10 @@ void add_search_counters(const SearchStats& s) {
                                  std::memory_order_relaxed);
   g_search_reuse.fetch_add(s.column_reuse_hits, std::memory_order_relaxed);
   g_search_computed.fetch_add(s.columns_computed, std::memory_order_relaxed);
+  g_anneal_proposals.fetch_add(s.anneal_proposals, std::memory_order_relaxed);
+  g_anneal_memo_hits.fetch_add(s.anneal_memo_hits, std::memory_order_relaxed);
+  g_anneal_bound_pruned.fetch_add(s.anneal_bound_pruned,
+                                  std::memory_order_relaxed);
 }
 
 void reset_search_counters() {
@@ -62,6 +69,9 @@ void reset_search_counters() {
   g_search_sched_reuse.store(0, std::memory_order_relaxed);
   g_search_reuse.store(0, std::memory_order_relaxed);
   g_search_computed.store(0, std::memory_order_relaxed);
+  g_anneal_proposals.store(0, std::memory_order_relaxed);
+  g_anneal_memo_hits.store(0, std::memory_order_relaxed);
+  g_anneal_bound_pruned.store(0, std::memory_order_relaxed);
 }
 
 void register_cache_stats_provider(std::function<CacheStats()> provider) {
@@ -81,6 +91,12 @@ RuntimeStats collect_stats() {
       g_search_sched_reuse.load(std::memory_order_relaxed);
   s.search.column_reuse_hits = g_search_reuse.load(std::memory_order_relaxed);
   s.search.columns_computed = g_search_computed.load(std::memory_order_relaxed);
+  s.search.anneal_proposals =
+      g_anneal_proposals.load(std::memory_order_relaxed);
+  s.search.anneal_memo_hits =
+      g_anneal_memo_hits.load(std::memory_order_relaxed);
+  s.search.anneal_bound_pruned =
+      g_anneal_bound_pruned.load(std::memory_order_relaxed);
   std::function<CacheStats()> provider;
   {
     std::lock_guard<std::mutex> lk(g_m);
@@ -113,6 +129,9 @@ std::string stats_to_json(const RuntimeStats& s) {
      << ", \"schedule_reuse_hits\": " << s.search.schedule_reuse_hits
      << ", \"column_reuse_hits\": " << s.search.column_reuse_hits
      << ", \"columns_computed\": " << s.search.columns_computed
+     << ", \"anneal_proposals\": " << s.search.anneal_proposals
+     << ", \"anneal_memo_hits\": " << s.search.anneal_memo_hits
+     << ", \"anneal_bound_pruned\": " << s.search.anneal_bound_pruned
      << "}, \"phases\": {";
   for (std::size_t i = 0; i < s.phases.size(); ++i) {
     os << (i ? ", " : "") << "\"" << s.phases[i].phase

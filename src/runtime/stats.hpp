@@ -45,6 +45,12 @@ struct PhaseTime {
 /// per-(candidate, bus) cost columns served from the delta evaluator's
 /// width cache instead of recomputed, and `columns_computed` the ones
 /// actually built.
+/// The annealing search reports through the same stats channel:
+/// `anneal_proposals` counts valid SA proposals, of which
+/// `anneal_memo_hits` were served from the shared schedule memo (SA
+/// revisits architectures constantly) and `anneal_bound_pruned` were
+/// rejected on the lower bound alone — provably rejectable without a full
+/// evaluation, with the RNG stream kept identical to the scratch path.
 struct SearchStats {
   std::uint64_t candidates_generated = 0;
   std::uint64_t candidates_pruned = 0;
@@ -52,6 +58,9 @@ struct SearchStats {
   std::uint64_t schedule_reuse_hits = 0;
   std::uint64_t column_reuse_hits = 0;
   std::uint64_t columns_computed = 0;
+  std::uint64_t anneal_proposals = 0;
+  std::uint64_t anneal_memo_hits = 0;
+  std::uint64_t anneal_bound_pruned = 0;
 };
 
 struct RuntimeStats {

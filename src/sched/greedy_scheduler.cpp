@@ -1,6 +1,7 @@
 #include "sched/greedy_scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <stdexcept>
 
@@ -113,20 +114,136 @@ CostTable build_cost_table(int num_cores, int num_buses, const CostFn& cost) {
   return t;
 }
 
-std::int64_t schedule_lower_bound(const CostTable& table) {
-  if (table.num_cores == 0) return 0;
+namespace {
+
+std::vector<std::int64_t> flatten_times(const CostTable& table) {
+  std::vector<std::int64_t> time;
+  time.reserve(static_cast<std::size_t>(table.num_cores) *
+               static_cast<std::size_t>(table.num_buses));
+  for (int i = 0; i < table.num_cores; ++i)
+    for (int b = 0; b < table.num_buses; ++b)
+      time.push_back(table.at(i, b).time);
+  return time;
+}
+
+// True when no bus-capacity check refutes a schedule of makespan <= T.
+// `minv[i]` is min_b t_ib. For every bus subset S, the cores whose
+// affordable buses ({b : t_ib <= T}, always containing the argmin bus once
+// T >= max_min) all lie in S must fit: sum of their minv <= |S| * T.
+// Subset sums come from a zeta transform over affordability bitmasks.
+bool capacity_feasible(int num_cores, int num_buses,
+                       const std::vector<std::int64_t>& time,
+                       const std::vector<std::int64_t>& minv, std::int64_t T,
+                       std::vector<std::int64_t>& confined) {
+  const std::size_t k = static_cast<std::size_t>(num_buses);
+  confined.assign(std::size_t{1} << k, 0);
+  for (int i = 0; i < num_cores; ++i) {
+    std::size_t mask = 0;
+    const std::size_t row = static_cast<std::size_t>(i) * k;
+    for (std::size_t b = 0; b < k; ++b)
+      if (time[row + b] <= T) mask |= std::size_t{1} << b;
+    confined[mask] += minv[static_cast<std::size_t>(i)];
+  }
+  for (std::size_t b = 0; b < k; ++b)
+    for (std::size_t s = 0; s < confined.size(); ++s)
+      if (s & (std::size_t{1} << b)) confined[s] += confined[s ^ (std::size_t{1} << b)];
+  for (std::size_t s = 1; s < confined.size(); ++s) {
+    const int width = static_cast<int>(std::popcount(s));
+    if (confined[s] > T * width) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t makespan_lower_bound(int num_cores, int num_buses,
+                                  const std::vector<std::int64_t>& time,
+                                  bool bus_capacity) {
+  if (num_cores == 0) return 0;
+  if (num_buses < 1 ||
+      time.size() != static_cast<std::size_t>(num_cores) *
+                         static_cast<std::size_t>(num_buses))
+    throw std::invalid_argument("makespan_lower_bound: bad sizes");
   std::int64_t sum_min = 0;
   std::int64_t max_min = 0;
-  for (int i = 0; i < table.num_cores; ++i) {
-    std::int64_t mn = table.at(i, 0).time;
-    for (int b = 1; b < table.num_buses; ++b)
-      mn = std::min(mn, table.at(i, b).time);
+  std::vector<std::int64_t> minv(static_cast<std::size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    const std::size_t row =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(num_buses);
+    std::int64_t mn = time[row];
+    for (int b = 1; b < num_buses; ++b) mn = std::min(mn, time[row + static_cast<std::size_t>(b)]);
+    minv[static_cast<std::size_t>(i)] = mn;
     sum_min += mn;
     max_min = std::max(max_min, mn);
   }
-  const std::int64_t k = table.num_buses;
-  const std::int64_t spread = (sum_min + k - 1) / k;
-  return std::max(spread, max_min);
+  const std::int64_t k = num_buses;
+  const std::int64_t base = std::max((sum_min + k - 1) / k, max_min);
+
+  // The subset checks add nothing on one bus (base is already the exact
+  // sum); past 16 buses the 2^k transform stops being cheap, so fall back.
+  if (!bus_capacity || num_buses <= 1 || num_buses > 16) return base;
+
+  // Smallest T passing every check, by binary search: infeasible(T) is
+  // monotone (raising T only enlarges affordability sets, weakening every
+  // constraint), sum_min always passes (any confined group's work is at
+  // most sum_min <= T * |S| once T >= sum_min).
+  std::vector<std::int64_t> confined;
+  if (capacity_feasible(num_cores, num_buses, time, minv, base, confined))
+    return base;
+  std::int64_t lo = base, hi = sum_min;  // lo infeasible, hi feasible
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (capacity_feasible(num_cores, num_buses, time, minv, mid, confined))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+bool makespan_bound_exceeds(int num_cores, int num_buses,
+                            const std::vector<std::int64_t>& time,
+                            std::int64_t threshold, bool bus_capacity) {
+  if (num_cores == 0) return 0 > threshold;
+  if (num_buses < 1 ||
+      time.size() != static_cast<std::size_t>(num_cores) *
+                         static_cast<std::size_t>(num_buses))
+    throw std::invalid_argument("makespan_bound_exceeds: bad sizes");
+  std::int64_t sum_min = 0;
+  std::int64_t max_min = 0;
+  std::vector<std::int64_t> minv(static_cast<std::size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    const std::size_t row =
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(num_buses);
+    std::int64_t mn = time[row];
+    for (int b = 1; b < num_buses; ++b)
+      mn = std::min(mn, time[row + static_cast<std::size_t>(b)]);
+    minv[static_cast<std::size_t>(i)] = mn;
+    sum_min += mn;
+    max_min = std::max(max_min, mn);
+  }
+  const std::int64_t k = num_buses;
+  const std::int64_t base = std::max((sum_min + k - 1) / k, max_min);
+  if (base > threshold) return true;
+  if (!bus_capacity || num_buses <= 1 || num_buses > 16) return false;
+  // The capacity bound never exceeds sum_min (one bus can always take
+  // every core at its argmin), so a threshold at or past it always passes.
+  if (threshold >= sum_min) return false;
+  std::vector<std::int64_t> confined;
+  return !capacity_feasible(num_cores, num_buses, time, minv, threshold,
+                            confined);
+}
+
+std::int64_t schedule_lower_bound(const CostTable& table) {
+  if (table.num_cores == 0) return 0;
+  return makespan_lower_bound(table.num_cores, table.num_buses,
+                              flatten_times(table), false);
+}
+
+std::int64_t schedule_capacity_bound(const CostTable& table) {
+  if (table.num_cores == 0) return 0;
+  return makespan_lower_bound(table.num_cores, table.num_buses,
+                              flatten_times(table), true);
 }
 
 Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,

@@ -43,6 +43,40 @@ CostTable build_cost_table(int num_cores, int num_buses, const CostFn& cost);
 /// achievable schedule — greedy, refined or power-constrained — beats it.
 std::int64_t schedule_lower_bound(const CostTable& table);
 
+/// Tighter admissible bound: the work-conservation bound above, raised by a
+/// BUS-CAPACITY argument. In any schedule with makespan <= T, core i can
+/// only sit on a bus b with t_ib <= T (its own entry already exceeds T
+/// elsewhere), so for every bus subset S the cores whose affordable buses
+/// all lie inside S must fit into S's capacity |S|*T; their least possible
+/// work is sum of min_b t_ib. The bound is the smallest T in
+/// [work-conservation, sum_i min_b t_ib] passing every subset check, found
+/// by binary search (the checks are monotone in T). On skewed partitions —
+/// where a few wide buses are the only affordable home of the long cores —
+/// this is strictly tighter than spreading work over all k buses; on
+/// balanced ones it degrades gracefully to the work-conservation bound.
+/// Never exceeds the optimum, so pruning on it is invisible in search
+/// results (bit-identity is preserved by construction, not by luck).
+std::int64_t schedule_capacity_bound(const CostTable& table);
+
+/// Core of both bounds, over a row-major time matrix `time[i*num_buses+b]`
+/// (the delta evaluator calls this straight off its cached columns, no
+/// CostTable materialization). `bus_capacity` gates the subset checks:
+/// false reproduces schedule_lower_bound exactly.
+std::int64_t makespan_lower_bound(int num_cores, int num_buses,
+                                  const std::vector<std::int64_t>& time,
+                                  bool bus_capacity);
+
+/// Exactly `makespan_lower_bound(...) > threshold`, but without the binary
+/// search: the search engines only ever ask whether the bound clears the
+/// incumbent, and that is ONE monotone feasibility probe at `threshold`
+/// (bound > T iff T fails a capacity check), not a hunt for the bound's
+/// exact value. Turns the pruning test from ~40 probes into 1 — the
+/// difference between the capacity bound paying for itself at paper scale
+/// and costing more than the schedules it prunes.
+bool makespan_bound_exceeds(int num_cores, int num_buses,
+                            const std::vector<std::int64_t>& time,
+                            std::int64_t threshold, bool bus_capacity);
+
 /// `ref_time[i]` orders the cores (descending). `cost(i, b)` gives the test
 /// time/volume of core i on bus b.
 Schedule greedy_schedule(int num_cores, int num_buses, const CostFn& cost,

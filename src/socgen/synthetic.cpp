@@ -1,0 +1,79 @@
+#include "socgen/synthetic.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "socgen/cube_synth.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+
+void SyntheticSocParams::validate() const {
+  const auto bad_range = [](int lo, int hi) { return lo < 1 || hi < lo; };
+  if (num_cores < 1)
+    throw std::invalid_argument("SyntheticSocParams: num_cores must be >= 1");
+  if (bad_range(min_inputs, max_inputs) || bad_range(min_outputs, max_outputs) ||
+      bad_range(min_chains, max_chains) ||
+      bad_range(min_chain_length, max_chain_length) ||
+      bad_range(min_patterns, max_patterns))
+    throw std::invalid_argument("SyntheticSocParams: empty/inverted range");
+  if (min_care_density <= 0.0 || max_care_density < min_care_density ||
+      max_care_density > 1.0)
+    throw std::invalid_argument("SyntheticSocParams: bad care density range");
+  if (one_fraction < 0.0 || one_fraction > 1.0)
+    throw std::invalid_argument("SyntheticSocParams: bad one_fraction");
+  if (giant_fraction < 0.0 || giant_fraction > 1.0 || giant_scale < 1)
+    throw std::invalid_argument("SyntheticSocParams: bad giant parameters");
+}
+
+SocSpec make_synthetic_soc(const SyntheticSocParams& params,
+                           std::uint64_t seed) {
+  params.validate();
+  Rng rng(seed);
+
+  SocSpec soc;
+  soc.name = "synth" + std::to_string(params.num_cores) + "c-s" +
+             std::to_string(seed);
+  soc.cores.reserve(static_cast<std::size_t>(params.num_cores));
+  for (int i = 0; i < params.num_cores; ++i) {
+    CoreUnderTest core;
+    core.spec.name = "syn" + std::to_string(i);
+    core.spec.num_inputs = static_cast<int>(
+        rng.next_range(params.min_inputs, params.max_inputs));
+    core.spec.num_outputs = static_cast<int>(
+        rng.next_range(params.min_outputs, params.max_outputs));
+
+    const bool giant = rng.next_bool(params.giant_fraction);
+    const int scale = giant ? params.giant_scale : 1;
+    const int chains = static_cast<int>(
+        rng.next_range(params.min_chains, params.max_chains));
+    for (int c = 0; c < chains; ++c)
+      core.spec.scan_chain_lengths.push_back(
+          scale * static_cast<int>(rng.next_range(params.min_chain_length,
+                                                  params.max_chain_length)));
+    core.spec.num_patterns = scale * static_cast<int>(rng.next_range(
+                                         params.min_patterns,
+                                         params.max_patterns));
+
+    CubeSynthParams p;
+    p.num_cells = core.spec.stimulus_bits_per_pattern();
+    p.num_patterns = core.spec.num_patterns;
+    p.care_density =
+        params.min_care_density +
+        (params.max_care_density - params.min_care_density) *
+            rng.next_double();
+    p.one_fraction = params.one_fraction;
+    p.chain_lengths = core.spec.scan_chain_lengths;
+    p.scan_cell_offset = core.spec.num_inputs;
+    core.cubes = synthesize_cubes(p, rng.next_u64());
+    core.validate();
+
+    soc.approx_gate_count += 40 * core.spec.total_scan_cells();
+    soc.approx_latch_count += core.spec.total_scan_cells();
+    soc.cores.push_back(std::move(core));
+  }
+  soc.validate();
+  return soc;
+}
+
+}  // namespace soctest

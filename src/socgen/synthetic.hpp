@@ -1,0 +1,51 @@
+// Seeded synthetic SOC generator for scale studies. The paper-scale
+// designs (d695, System1-4) have 10-30 cores, where τ-table exploration
+// dominates and scheduling is O(1)-cheap; the incremental search engine's
+// wins only show up in evaluation counts there. This generator produces
+// 100-300-core SOCs — sized like modern many-core designs — where the
+// step-4 schedule construction (greedy + refine over n cores) dominates
+// every candidate evaluation, so BENCH_search can demonstrate wall-clock
+// wins, not just counter wins. A configurable heavy tail of "giant" cores
+// skews the makespan landscape, which is exactly where the bus-capacity
+// lower bound out-prunes the work-conservation bound.
+#pragma once
+
+#include <cstdint>
+
+#include "dft/soc_spec.hpp"
+
+namespace soctest {
+
+struct SyntheticSocParams {
+  /// Exact number of cores generated.
+  int num_cores = 120;
+
+  /// Per-core draws, uniform in [min, max] (inclusive). Regular cores stay
+  /// inside these ranges; giants scale lengths/patterns by `giant_scale`.
+  int min_inputs = 1, max_inputs = 48;
+  int min_outputs = 1, max_outputs = 48;
+  int min_chains = 1, max_chains = 12;
+  int min_chain_length = 4, max_chain_length = 96;
+  int min_patterns = 4, max_patterns = 24;
+  double min_care_density = 0.02, max_care_density = 0.30;
+  double one_fraction = 0.85;
+
+  /// Heavy tail: each core is a "giant" with this probability; a giant's
+  /// chain lengths and pattern count are multiplied by `giant_scale`.
+  /// Real SOCs concentrate most test data in a few large cores, and the
+  /// skew is what separates the two lower bounds.
+  double giant_fraction = 0.05;
+  int giant_scale = 6;
+
+  /// Throws std::invalid_argument on empty/inverted ranges.
+  void validate() const;
+};
+
+/// Deterministically generates a SOC: equal (params, seed) pairs yield
+/// identical SocSpecs, cube sets included (socgen/rng + socgen/cube_synth
+/// underneath — no std:: distribution portability caveats). The result is
+/// validate()d and round-trips exactly through io/soc_text.
+SocSpec make_synthetic_soc(const SyntheticSocParams& params,
+                           std::uint64_t seed);
+
+}  // namespace soctest

@@ -1,0 +1,180 @@
+// Admissibility properties of the makespan lower bounds (sched/
+// greedy_scheduler): on exhaustively enumerable instances neither the
+// work-conservation bound nor the bus-capacity bound may exceed the true
+// optimum over ALL core-to-bus assignments, and on fuzzed large instances
+// neither may exceed the (refined) greedy makespan. The bounds are what
+// makes incremental-search pruning invisible in results, so admissibility
+// is a correctness property, not a quality metric.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/greedy_scheduler.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+CostTable random_table(Rng& rng, int n, int k, std::int64_t max_time) {
+  CostTable t;
+  t.num_cores = n;
+  t.num_buses = k;
+  t.cells.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < k; ++b) {
+      BusAccessCost c;
+      c.time = rng.next_range(1, max_time);
+      c.choice.test_time = c.time;
+      t.cells[static_cast<std::size_t>(i)].push_back(c);
+    }
+  }
+  return t;
+}
+
+// Heavy-tailed tables: a few cores are cheap only on one bus and ruinous
+// everywhere else — the shape where bus-capacity checks bite.
+CostTable skewed_table(Rng& rng, int n, int k) {
+  CostTable t = random_table(rng, n, k, 60);
+  for (int i = 0; i < n; ++i) {
+    if (!rng.next_bool(0.35)) continue;
+    const int home = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    for (int b = 0; b < k; ++b) {
+      BusAccessCost& c = t.cells[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(b)];
+      c.time = b == home ? rng.next_range(30, 90) : rng.next_range(500, 900);
+      c.choice.test_time = c.time;
+    }
+  }
+  return t;
+}
+
+// True minimum makespan over every one of the k^n assignments.
+std::int64_t exhaustive_optimum(const CostTable& t) {
+  const int n = t.num_cores, k = t.num_buses;
+  std::vector<std::int64_t> load(static_cast<std::size_t>(k), 0);
+  std::int64_t best = 0;
+  for (int i = 0; i < n; ++i) best += t.at(i, 0).time;  // all-on-bus-0 start
+  const auto rec = [&](const auto& self, int core) -> void {
+    if (core == n) {
+      std::int64_t ms = 0;
+      for (std::int64_t l : load) ms = std::max(ms, l);
+      best = std::min(best, ms);
+      return;
+    }
+    for (int b = 0; b < k; ++b) {
+      load[static_cast<std::size_t>(b)] += t.at(core, b).time;
+      self(self, core + 1);
+      load[static_cast<std::size_t>(b)] -= t.at(core, b).time;
+    }
+  };
+  rec(rec, 0);
+  return best;
+}
+
+std::vector<std::int64_t> first_bus_ref(const CostTable& t) {
+  std::vector<std::int64_t> ref;
+  for (int i = 0; i < t.num_cores; ++i) ref.push_back(t.at(i, 0).time);
+  return ref;
+}
+
+TEST(PropertyLowerBound, AdmissibleAgainstExhaustiveOptimum) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = static_cast<int>(rng.next_range(1, 5));
+    const int k = static_cast<int>(rng.next_range(1, 3));
+    const CostTable t = trial % 2 ? skewed_table(rng, n, k)
+                                  : random_table(rng, n, k, 1000);
+    const std::int64_t opt = exhaustive_optimum(t);
+    const std::int64_t work = schedule_lower_bound(t);
+    const std::int64_t cap = schedule_capacity_bound(t);
+    EXPECT_LE(work, opt) << "work-conservation, trial " << trial;
+    EXPECT_LE(cap, opt) << "bus-capacity, trial " << trial;
+    // The tighter bound dominates the looser one, never the optimum.
+    EXPECT_GE(cap, work) << trial;
+  }
+}
+
+TEST(PropertyLowerBound, AdmissibleAgainstGreedyOnFuzzedLargeInstances) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.next_range(10, 80));
+    const int k = static_cast<int>(rng.next_range(2, 8));
+    const CostTable t = trial % 2 ? skewed_table(rng, n, k)
+                                  : random_table(rng, n, k, 2000);
+    const Schedule s = greedy_schedule(t, first_bus_ref(t));
+    s.validate(n);
+    const std::int64_t cap = schedule_capacity_bound(t);
+    EXPECT_GE(cap, schedule_lower_bound(t)) << trial;
+    EXPECT_LE(cap, s.makespan()) << trial;
+  }
+}
+
+TEST(PropertyLowerBound, CapacityBoundIsStrictlyTighterOnConfinedCores) {
+  // Two cores affordable only on bus 0 within any competitive makespan;
+  // work conservation spreads their load over both buses (bound 11), the
+  // capacity argument pins them to bus 0 (bound 20 — the true optimum).
+  CostTable t;
+  t.num_cores = 3;
+  t.num_buses = 2;
+  const std::int64_t times[3][2] = {{10, 1000}, {10, 1000}, {1, 1}};
+  for (int i = 0; i < 3; ++i) {
+    std::vector<BusAccessCost> row;
+    for (int b = 0; b < 2; ++b) {
+      BusAccessCost c;
+      c.time = times[i][b];
+      c.choice.test_time = c.time;
+      row.push_back(c);
+    }
+    t.cells.push_back(row);
+  }
+  EXPECT_EQ(schedule_lower_bound(t), 11);
+  EXPECT_EQ(schedule_capacity_bound(t), 20);
+  EXPECT_EQ(exhaustive_optimum(t), 20);
+}
+
+TEST(PropertyLowerBound, MatrixEntryPointMatchesTableEntryPoints) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.next_range(1, 12));
+    const int k = static_cast<int>(rng.next_range(1, 5));
+    const CostTable t = random_table(rng, n, k, 500);
+    std::vector<std::int64_t> flat;
+    for (int i = 0; i < n; ++i)
+      for (int b = 0; b < k; ++b) flat.push_back(t.at(i, b).time);
+    EXPECT_EQ(makespan_lower_bound(n, k, flat, false),
+              schedule_lower_bound(t));
+    EXPECT_EQ(makespan_lower_bound(n, k, flat, true),
+              schedule_capacity_bound(t));
+  }
+}
+
+TEST(PropertyLowerBound, ExceedsPredicateAgreesWithBoundValue) {
+  // The single-probe predicate the search engines prune on must equal
+  // "bound > threshold" for every threshold, both bound variants — probed
+  // at and around the bound value and at random thresholds.
+  Rng rng(90210);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.next_range(1, 20));
+    const int k = static_cast<int>(rng.next_range(1, 6));
+    const CostTable t = trial % 2 ? skewed_table(rng, n, k)
+                                  : random_table(rng, n, k, 800);
+    std::vector<std::int64_t> flat;
+    for (int i = 0; i < n; ++i)
+      for (int b = 0; b < k; ++b) flat.push_back(t.at(i, b).time);
+    for (const bool cap : {false, true}) {
+      const std::int64_t bound = makespan_lower_bound(n, k, flat, cap);
+      for (const std::int64_t thr :
+           {std::int64_t{0}, bound - 1, bound, bound + 1,
+            rng.next_range(0, 4000)}) {
+        EXPECT_EQ(makespan_bound_exceeds(n, k, flat, thr, cap), bound > thr)
+            << "cap=" << cap << " thr=" << thr << " bound=" << bound
+            << " trial=" << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -6,6 +6,7 @@
 // BENCH_search ablation relies on.
 #include <gtest/gtest.h>
 
+#include "opt/annealing.hpp"
 #include "opt/delta_evaluator.hpp"
 #include "opt/soc_optimizer.hpp"
 #include "runtime/stats.hpp"
@@ -111,6 +112,40 @@ void check_equivalence(const SocOptimizer& opt, const OptimizerOptions& base) {
   }
 }
 
+/// Annealing differential: the incremental proposal path (delta evaluator +
+/// schedule memo + RNG-stream-preserving bound rejection) must walk the
+/// exact same Markov chain as the scratch path — same accepted states, same
+/// best — at 1 and 4 runtime lanes.
+void check_annealing_equivalence(const SocOptimizer& opt,
+                                 const OptimizerOptions& base,
+                                 const AnnealingOptions& anneal) {
+  OptimizerOptions full = base;
+  full.incremental = false;
+  OptimizerOptions inc = base;
+  inc.incremental = true;
+
+  runtime::ThreadPool pool1(1);
+  runtime::ThreadPool pool4(4);
+
+  OptimizationResult reference;
+  {
+    runtime::PoolScope scope(&pool1);
+    reference = optimize_annealing(opt, full, anneal);
+  }
+  {
+    runtime::PoolScope scope(&pool1);
+    expect_identical(optimize_annealing(opt, inc, anneal), reference,
+                     "anneal-incremental@1lane");
+  }
+  {
+    runtime::PoolScope scope(&pool4);
+    expect_identical(optimize_annealing(opt, full, anneal), reference,
+                     "anneal-full@4lanes");
+    expect_identical(optimize_annealing(opt, inc, anneal), reference,
+                     "anneal-incremental@4lanes");
+  }
+}
+
 TEST(IncrementalSearch, MatchesFullEvaluationOnD695) {
   const SocSpec soc = make_d695();
   ExploreOptions e;
@@ -202,6 +237,88 @@ TEST(IncrementalSearch, CountersBalanceAndProveReuse) {
   // Column reuse is where the delta evaluation saves its work.
   EXPECT_GT(inc.column_reuse_hits, inc.columns_computed);
   EXPECT_GT(r.test_time, 0);
+}
+
+TEST(IncrementalAnnealing, MatchesScratchPathOnD695) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  AnnealingOptions a;
+  a.iterations = 800;
+  a.seed = 17;
+  check_annealing_equivalence(opt, o, a);
+
+  o.mode = ArchMode::PerTam;
+  o.constraint = ConstraintMode::AteChannels;
+  a.seed = 99;
+  check_annealing_equivalence(opt, o, a);
+}
+
+TEST(IncrementalAnnealing, MatchesScratchPathOnFuzzedSocs) {
+  for (std::uint64_t soc_seed : {0xA11EA1ULL, 0xB0B0ULL}) {
+    const SocSpec soc = fuzzed_soc(soc_seed);
+    ExploreOptions e;
+    e.max_width = 14;
+    e.max_chains = 64;
+    const SocOptimizer opt(soc, e);
+
+    for (ArchMode mode : {ArchMode::NoTdc, ArchMode::PerCore}) {
+      OptimizerOptions o;
+      o.width = 11;
+      o.mode = mode;
+      AnnealingOptions a;
+      a.iterations = 500;
+      a.seed = soc_seed ^ 0x5EED;
+      check_annealing_equivalence(opt, o, a);
+    }
+  }
+}
+
+TEST(IncrementalAnnealing, CountersProveMemoAndBoundReuse) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  AnnealingOptions a;
+  a.iterations = 3000;
+  a.seed = 3;
+
+  o.incremental = false;
+  runtime::reset_search_counters();
+  const OptimizationResult rf = optimize_annealing(opt, o, a);
+  const runtime::SearchStats full = runtime::collect_stats().search;
+  EXPECT_GT(full.anneal_proposals, 0u);
+  EXPECT_EQ(full.anneal_memo_hits, 0u);
+  EXPECT_EQ(full.anneal_bound_pruned, 0u);
+  // The scratch path schedules the start plus every valid proposal.
+  EXPECT_EQ(full.candidates_scheduled, full.anneal_proposals + 1);
+
+  o.incremental = true;
+  runtime::reset_search_counters();
+  const OptimizationResult ri = optimize_annealing(opt, o, a);
+  const runtime::SearchStats inc = runtime::collect_stats().search;
+  EXPECT_EQ(ri.test_time, rf.test_time);
+  EXPECT_EQ(inc.anneal_proposals, full.anneal_proposals);
+  // Every proposal is bound-pruned, memo-served, or scheduled (the +1 is
+  // the start evaluation, scheduled but never proposed).
+  EXPECT_EQ(inc.anneal_bound_pruned + inc.anneal_memo_hits +
+                inc.candidates_scheduled,
+            inc.anneal_proposals + 1);
+  EXPECT_GT(inc.anneal_memo_hits, 0u);
+  EXPECT_GT(inc.anneal_bound_pruned, 0u);
+  // The acceptance-criteria gate: >= 5x fewer full schedule constructions.
+  EXPECT_LE(inc.candidates_scheduled * 5, full.candidates_scheduled);
 }
 
 TEST(ScheduleLowerBound, AdmissibleAgainstGreedyAndExhaustive) {

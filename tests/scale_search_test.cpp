@@ -1,0 +1,106 @@
+// Scale differential (CTest label: scale — Release CI only): on a
+// 100-core synthetic SOC the incremental search engine must still be
+// bit-identical to the from-scratch path, for both the hill climb and the
+// annealing walk. Small per-core geometry keeps τ-table exploration cheap
+// so the test stays well under a minute in Release while the step-4
+// scheduling cost — the thing the incremental engine amortizes — is real.
+#include <gtest/gtest.h>
+
+#include "opt/annealing.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "socgen/synthetic.hpp"
+
+namespace soctest {
+namespace {
+
+SocSpec scale_soc(int num_cores, std::uint64_t seed) {
+  SyntheticSocParams p;
+  p.num_cores = num_cores;
+  p.max_inputs = 16;
+  p.max_outputs = 16;
+  p.max_chains = 6;
+  p.max_chain_length = 32;
+  p.max_patterns = 10;
+  p.giant_scale = 4;
+  return make_synthetic_soc(p, seed);
+}
+
+TEST(ScaleSearch, HillClimbIdenticalOnHundredCores) {
+  const SocSpec soc = scale_soc(100, 2026);
+  ExploreOptions e;
+  e.max_width = 10;
+  e.max_chains = 32;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions full;
+  full.width = 24;
+  full.mode = ArchMode::PerCore;
+  full.incremental = false;
+  OptimizerOptions inc = full;
+  inc.incremental = true;
+
+  runtime::ThreadPool pool(4);
+  runtime::PoolScope scope(&pool);
+
+  runtime::reset_search_counters();
+  const OptimizationResult rf = opt.optimize(full);
+  const runtime::SearchStats sf = runtime::collect_stats().search;
+
+  runtime::reset_search_counters();
+  const OptimizationResult ri = opt.optimize(inc);
+  const runtime::SearchStats si = runtime::collect_stats().search;
+
+  EXPECT_EQ(rf.test_time, ri.test_time);
+  EXPECT_EQ(rf.arch.widths, ri.arch.widths);
+  EXPECT_EQ(rf.schedule.bus_finish, ri.schedule.bus_finish);
+  ASSERT_EQ(rf.schedule.entries.size(), ri.schedule.entries.size());
+  for (std::size_t i = 0; i < rf.schedule.entries.size(); ++i) {
+    EXPECT_EQ(rf.schedule.entries[i].core, ri.schedule.entries[i].core) << i;
+    EXPECT_EQ(rf.schedule.entries[i].bus, ri.schedule.entries[i].bus) << i;
+    EXPECT_EQ(rf.schedule.entries[i].end, ri.schedule.entries[i].end) << i;
+  }
+  // At this scale the engine must actually be skipping schedule builds.
+  EXPECT_LT(si.candidates_scheduled, sf.candidates_scheduled);
+  EXPECT_GT(si.candidates_pruned + si.schedule_reuse_hits, 0u);
+}
+
+TEST(ScaleSearch, AnnealingIdenticalOnHundredCores) {
+  const SocSpec soc = scale_soc(100, 31337);
+  ExploreOptions e;
+  e.max_width = 10;
+  e.max_chains = 32;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions full;
+  full.width = 20;
+  full.mode = ArchMode::PerCore;
+  full.incremental = false;
+  OptimizerOptions inc = full;
+  inc.incremental = true;
+
+  AnnealingOptions a;
+  a.iterations = 400;
+  a.seed = 11;
+
+  runtime::ThreadPool pool(4);
+  runtime::PoolScope scope(&pool);
+
+  runtime::reset_search_counters();
+  const OptimizationResult rf = optimize_annealing(opt, full, a);
+  const runtime::SearchStats sf = runtime::collect_stats().search;
+
+  runtime::reset_search_counters();
+  const OptimizationResult ri = optimize_annealing(opt, inc, a);
+  const runtime::SearchStats si = runtime::collect_stats().search;
+
+  EXPECT_EQ(rf.test_time, ri.test_time);
+  EXPECT_EQ(rf.arch.widths, ri.arch.widths);
+  EXPECT_EQ(rf.schedule.bus_finish, ri.schedule.bus_finish);
+  EXPECT_EQ(sf.anneal_proposals, si.anneal_proposals);
+  EXPECT_LT(si.candidates_scheduled, sf.candidates_scheduled);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -7,6 +7,7 @@
 //   soctest optimize --design <d> --width W [--mode percore|pertam|notdc|
 //                    fixedw4] [--constraint tam|ate] [--power MW]
 //                    [--select] [--svg out.svg]
+//                    [--anneal N [--seed S]]    (simulated annealing search)
 //   soctest compare  --design <d> --width W            (with vs without TDC)
 //   soctest convert  --design <d> --out file.soc       (export any design)
 //
@@ -27,6 +28,7 @@
 #include "ate/ate_memory.hpp"
 #include "explore/technique_select.hpp"
 #include "io/soc_text.hpp"
+#include "opt/annealing.hpp"
 #include "opt/baselines.hpp"
 #include "opt/result.hpp"
 #include "report/csv.hpp"
@@ -36,6 +38,7 @@
 #include "runtime/thread_pool.hpp"
 #include "socgen/d2758.hpp"
 #include "socgen/d695.hpp"
+#include "socgen/synthetic.hpp"
 #include "socgen/systems.hpp"
 
 using namespace soctest;
@@ -119,6 +122,16 @@ SocSpec load_design(const std::string& name) {
   if (name == "fig4") return make_fig4_soc();
   for (int i = 1; i <= 4; ++i)
     if (name == "System" + std::to_string(i)) return make_system(i);
+  // synth:<cores>[:<seed>] — the seeded scale-study generator.
+  if (name.rfind("synth:", 0) == 0) {
+    const std::string rest = name.substr(6);
+    const std::size_t colon = rest.find(':');
+    SyntheticSocParams p;
+    p.num_cores = std::stoi(rest.substr(0, colon));
+    const std::uint64_t seed =
+        colon == std::string::npos ? 1 : std::stoull(rest.substr(colon + 1));
+    return make_synthetic_soc(p, seed);
+  }
   // Otherwise treat as a file path.
   return read_soc_text_file(name);
 }
@@ -129,6 +142,7 @@ int cmd_list_designs() {
   std::printf("  d2758     synthetic many-core benchmark\n");
   std::printf("  System1..System4  industrial-core example systems\n");
   std::printf("  fig4      the paper's Figure 4 four-core design\n");
+  std::printf("  synth:<cores>[:<seed>]  seeded synthetic scale-study SOC\n");
   std::printf("any other name is read as a .soc file (src/io format)\n");
   return 0;
 }
@@ -234,7 +248,19 @@ int cmd_optimize(const Args& a) {
     return 2;
   }
 
-  const OptimizationResult r = opt.optimize(o);
+  OptimizationResult r;
+  if (a.has("anneal")) {
+    AnnealingOptions an;
+    an.iterations = a.get_int("anneal", 2000);
+    an.seed = static_cast<std::uint64_t>(a.get_int("seed", 1));
+    if (an.iterations < 1) {
+      std::fprintf(stderr, "--anneal must be >= 1\n");
+      return 2;
+    }
+    r = optimize_annealing(opt, o, an);
+  } else {
+    r = opt.optimize(o);
+  }
   std::printf("%s", summarize(r, soc).c_str());
   const runtime::RuntimeStats rs = runtime::collect_stats();
   double explore_s = 0, search_s = 0;
@@ -258,6 +284,13 @@ int cmd_optimize(const Args& a) {
               static_cast<unsigned long long>(rs.search.column_reuse_hits),
               static_cast<unsigned long long>(rs.search.column_reuse_hits +
                                               rs.search.columns_computed));
+  if (rs.search.anneal_proposals > 0)
+    std::printf("[search] annealing proposals=%llu memo-hits=%llu "
+                "bound-pruned=%llu\n",
+                static_cast<unsigned long long>(rs.search.anneal_proposals),
+                static_cast<unsigned long long>(rs.search.anneal_memo_hits),
+                static_cast<unsigned long long>(
+                    rs.search.anneal_bound_pruned));
   if (o.power_budget_mw > 0)
     std::printf("peak power %.1f mW (budget %.1f)\n", r.peak_power_mw,
                 o.power_budget_mw);
