@@ -1,0 +1,217 @@
+// Portfolio ablation: does the replica-exchange ladder (src/portfolio/)
+// actually buy search efficiency over one long annealing walk, or is it
+// just K walks in a trench coat? For each design we give a single walk a
+// budget of K * sweeps * proposals_per_sweep iterations, then run the
+// K-replica portfolio (racer disabled — this isolates the tempering
+// mechanism) on the same total budget and read its best-by-sweep curve.
+//
+// Gate (from the issue): the portfolio must reach the single walk's FINAL
+// makespan within half the proposal budget, or end strictly better at the
+// full budget. An independent-walks run (swaps disabled) is also recorded
+// so the JSON shows what the exchanges themselves contribute.
+//
+// Results are spliced into the "portfolio" section of BENCH_search.json.
+// Unlike exp_search_scale's splice (which may truncate trailing sections on
+// rerun), this one removes ONLY its own section by brace matching, so the
+// benches can be rerun in any order without eating each other's output.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opt/annealing.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "portfolio/portfolio.hpp"
+#include "report/table.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/synthetic.hpp"
+
+using namespace soctest;
+
+namespace {
+
+struct Case {
+  std::string name;
+  SocSpec soc;
+  ExploreOptions explore;
+  int width = 16;
+};
+
+SocSpec synth_soc(int num_cores, std::uint64_t seed) {
+  SyntheticSocParams p;  // same geometry as exp_search_scale
+  p.num_cores = num_cores;
+  p.max_inputs = 16;
+  p.max_outputs = 16;
+  p.max_chains = 6;
+  p.max_chain_length = 32;
+  p.max_patterns = 10;
+  p.giant_scale = 4;
+  return make_synthetic_soc(p, seed);
+}
+
+/// Removes the top-level "portfolio" key (and the comma that precedes it)
+/// from an existing BENCH_search.json body, leaving every other section
+/// intact. The section value is brace/bracket-matched, which is safe here
+/// because no string in the file contains braces.
+std::string drop_portfolio_section(std::string existing) {
+  const std::size_t marker = existing.find("\n  \"portfolio\":");
+  if (marker == std::string::npos)
+    return existing;
+  std::size_t start = marker;
+  if (start > 0 && existing[start - 1] == ',')
+    --start;
+  std::size_t p = existing.find_first_of("[{", marker);
+  if (p == std::string::npos)
+    return existing.substr(0, start);  // malformed tail: drop it
+  int depth = 0;
+  std::size_t q = p;
+  for (; q < existing.size(); ++q) {
+    const char c = existing[q];
+    if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (--depth == 0) {
+        ++q;
+        break;
+      }
+    }
+  }
+  return existing.substr(0, start) + existing.substr(q);
+}
+
+void splice_portfolio_section(const std::string& section) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_search.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  if (const std::size_t close = drop_portfolio_section(existing).rfind('}');
+      close != std::string::npos) {
+    out = drop_portfolio_section(existing).substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+      out.pop_back();
+  }
+  if (out.empty())
+    out = "{\n  \"experiment\": \"portfolio\"";
+  out += ",\n  \"portfolio\": [\n" + section + "  ]\n}\n";
+  std::ofstream f("BENCH_search.json");
+  f << out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Replica-exchange portfolio vs one long annealing walk ===\n\n");
+
+  const int K = 4, sweeps = 20, pps = 100;
+  const std::uint64_t seed = 2026;
+  const std::uint64_t total = static_cast<std::uint64_t>(K) * sweeps * pps;
+
+  std::vector<Case> cases;
+  cases.push_back({"d695", make_d695(), {}, 16});
+  cases.back().explore.max_width = 16;
+  cases.back().explore.max_chains = 64;
+  cases.push_back({"synth120", synth_soc(120, 0xC0DE), {}, 24});
+  cases.back().explore.max_width = 10;
+  cases.back().explore.max_chains = 32;
+
+  Table t({"soc", "single walk", "independent", "portfolio", "to-match",
+           "budget/2", "swap acc"});
+  std::string json;
+  bool all_pass = true;
+
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
+    const SocOptimizer opt(c.soc, c.explore);
+    OptimizerOptions o;
+    o.width = c.width;
+    o.mode = ArchMode::PerCore;
+
+    AnnealingOptions a;
+    a.iterations = static_cast<int>(total);
+    a.seed = seed;
+    const OptimizationResult single = optimize_annealing(opt, o, a);
+
+    PortfolioOptions po;
+    po.replicas = K;
+    po.sweeps = sweeps;
+    po.proposals_per_sweep = pps;
+    po.seed = seed;
+    po.race_hill_climb = false;  // isolate the tempering mechanism
+    const PortfolioResult pf = optimize_portfolio(opt, o, po);
+
+    PortfolioOptions pi = po;
+    pi.swaps_enabled = false;  // ablation: same ladder, no exchanges
+    const PortfolioResult indep = optimize_portfolio(opt, o, pi);
+
+    // First sweep whose best matches the single walk's final makespan.
+    std::uint64_t to_match = 0;
+    for (std::size_t s = 0; s < pf.stats.best_by_sweep.size(); ++s) {
+      if (pf.stats.best_by_sweep[s] <= single.test_time) {
+        to_match = (s + 1) * static_cast<std::uint64_t>(K) * pps;
+        break;
+      }
+    }
+    const bool pass = (to_match != 0 && to_match * 2 <= total) ||
+                      pf.best.test_time < single.test_time;
+    all_pass = all_pass && pass;
+
+    t.add_row({c.name, Table::num(single.test_time),
+               Table::num(indep.best.test_time), Table::num(pf.best.test_time),
+               to_match ? Table::num(static_cast<std::int64_t>(to_match)) : "never",
+               Table::num(static_cast<std::int64_t>(total / 2)),
+               Table::fixed(100.0 * pf.stats.swap_acceptance(), 1) + "%"});
+    std::printf("%s: %s\n", c.name.c_str(),
+                pass ? "PASS" : "FAIL (neither half-budget match nor strict win)");
+
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "  {\n"
+                  "    \"soc\": \"%s\",\n"
+                  "    \"width\": %d,\n"
+                  "    \"replicas\": %d,\n"
+                  "    \"sweeps\": %d,\n"
+                  "    \"proposals_per_sweep\": %d,\n"
+                  "    \"proposals_total\": %llu,\n"
+                  "    \"single_walk_test_time\": %lld,\n"
+                  "    \"independent_walks_test_time\": %lld,\n"
+                  "    \"portfolio_test_time\": %lld,\n"
+                  "    \"proposals_to_match_single\": %llu,\n"
+                  "    \"swap_acceptance\": %.4f,\n"
+                  "    \"best_by_sweep\": [",
+                  c.name.c_str(), c.width, K, sweeps, pps,
+                  static_cast<unsigned long long>(total),
+                  static_cast<long long>(single.test_time),
+                  static_cast<long long>(indep.best.test_time),
+                  static_cast<long long>(pf.best.test_time),
+                  static_cast<unsigned long long>(to_match),
+                  pf.stats.swap_acceptance());
+    json += buf;
+    for (std::size_t s = 0; s < pf.stats.best_by_sweep.size(); ++s) {
+      json += std::to_string(pf.stats.best_by_sweep[s]);
+      if (s + 1 < pf.stats.best_by_sweep.size())
+        json += ", ";
+    }
+    json += "]\n";
+    json += ci + 1 < cases.size() ? "  },\n" : "  }\n";
+  }
+
+  std::printf("\n%s\n", t.to_string().c_str());
+  splice_portfolio_section(json);
+  std::printf("spliced \"portfolio\" section into BENCH_search.json\n");
+  if (!all_pass) {
+    std::fprintf(stderr,
+                 "FAIL: portfolio did not reach the single walk's makespan "
+                 "in half the budget nor beat it outright\n");
+    return 1;
+  }
+  return 0;
+}

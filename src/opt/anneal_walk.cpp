@@ -1,0 +1,219 @@
+#include "opt/anneal_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tam/partition.hpp"
+
+namespace soctest {
+namespace {
+
+// Neighbour move on a partition: wire transfer, bus split, or bus merge.
+TamArchitecture random_neighbour(const TamArchitecture& arch, int max_buses,
+                                 Rng& rng) {
+  TamArchitecture n = arch;
+  const int k = n.num_buses();
+  const int move = static_cast<int>(rng.next_below(3));
+  if (move == 0 && k >= 2) {
+    // Move one wire between two distinct buses.
+    const int from = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    int to = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k - 1)));
+    if (to >= from) ++to;
+    if (n.widths[static_cast<std::size_t>(from)] > 1) {
+      n.widths[static_cast<std::size_t>(from)] -= 1;
+      n.widths[static_cast<std::size_t>(to)] += 1;
+    }
+  } else if (move == 1 && k < max_buses) {
+    // Split a bus with width >= 2.
+    const int b = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    const int w = n.widths[static_cast<std::size_t>(b)];
+    if (w >= 2) {
+      const int left = 1 + static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(w - 1)));
+      n.widths[static_cast<std::size_t>(b)] = left;
+      n.widths.push_back(w - left);
+    }
+  } else if (k >= 2) {
+    // Merge two buses.
+    const int a = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k)));
+    int b = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(k - 1)));
+    if (b >= a) ++b;
+    n.widths[static_cast<std::size_t>(std::min(a, b))] +=
+        n.widths[static_cast<std::size_t>(std::max(a, b))];
+    n.widths.erase(n.widths.begin() + std::max(a, b));
+  }
+  return n;
+}
+
+bool better(const OptimizationResult& a, const OptimizationResult& b) {
+  if (a.test_time != b.test_time) return a.test_time < b.test_time;
+  return a.data_volume_bits < b.data_volume_bits;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+double bits_double(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof d);
+  return d;
+}
+
+}  // namespace
+
+AnnealWalk::AnnealWalk(const SocOptimizer& optimizer,
+                       const OptimizerOptions& opts,
+                       const AnnealingOptions& anneal, ScheduleMemo* memo,
+                       ColumnCache* columns)
+    : opt_(&optimizer), opts_(opts), anneal_(anneal), rng_(anneal.seed) {
+  kmax_ = std::min({opts_.max_buses, optimizer.soc().num_cores(),
+                    opts_.width});
+  if (opts_.incremental) ev_.emplace(optimizer, opts_, memo, columns);
+  current_ = balanced_partition(opts_.width, std::max(1, kmax_ / 2));
+  cur_r_ = evaluate(current_);
+  best_ = cur_r_;
+  temperature_ =
+      anneal_.initial_temperature * static_cast<double>(cur_r_.test_time);
+}
+
+OptimizationResult AnnealWalk::evaluate(const TamArchitecture& arch) {
+  if (ev_) {
+    ev_->prepare({arch});
+    return ev_->evaluate(arch);
+  }
+  ++scratch_stats_.candidates_scheduled;
+  return opt_->evaluate(arch, opts_);
+}
+
+// One iteration of the original optimize_annealing loop, verbatim — see
+// opt/annealing.cpp (pre-portfolio) for the bit-identity argument of the
+// bound-rejection path: a prune is taken only when the scratch path's
+// acceptance test is certain to reject with the SAME draws, so the RNG
+// stream is preserved either way. An invalid candidate (degenerate
+// partition) skips cooling, matching the original `continue`.
+void AnnealWalk::step() {
+  if (done()) return;
+  ++it_;
+
+  const TamArchitecture cand = random_neighbour(current_, kmax_, rng_);
+  if (cand.num_buses() < 1 || cand.total_width() != opts_.width) return;
+  ++proposals_;
+
+  bool accept;
+  OptimizationResult r;
+  if (ev_) {
+    ev_->note_anneal_proposals(1);
+    ev_->prepare({cand});
+    std::optional<double> drawn_u;
+    if (ev_->bound_exceeds(cand, cur_r_.test_time)) {
+      // Certainly uphill. The scratch path would reject outright when
+      // cold (no draw), or draw u — consume the identical draw here and
+      // reject when even the bound's optimistic delta cannot pass.
+      if (temperature_ <= 1e-9) {
+        ev_->note_anneal_pruned(1);
+        temperature_ *= anneal_.cooling;
+        return;
+      }
+      const double u = rng_.next_double();
+      // The scratch path accepts iff u < exp(-delta/T), which needs
+      // delta < T * (-ln u). Probe the bound once at that limit:
+      // bound_exceeds(probe) certifies lb >= probe + 1, a concrete
+      // admissible value to replay the scratch exp-test against. The
+      // log/floor only PICK the probe point — a badly rounded probe
+      // merely forfeits a prune, never flips a decision, because the
+      // final test is the same u-vs-exp comparison the scratch path
+      // would make with any delta >= probe + 1 - incumbent.
+      const double limit = static_cast<double>(cur_r_.test_time) +
+                           temperature_ * (-std::log(u));
+      if (limit < 9.0e18) {
+        const std::int64_t probe =
+            static_cast<std::int64_t>(std::floor(limit));
+        if (ev_->bound_exceeds(cand, probe)) {
+          const double lb_delta =
+              static_cast<double>(probe + 1 - cur_r_.test_time);
+          if (u >= std::exp(-lb_delta / temperature_)) {
+            ev_->note_anneal_pruned(1);
+            temperature_ *= anneal_.cooling;
+            return;
+          }
+        }
+      }
+      drawn_u = u;  // inconclusive: replay the exact test with this u
+    }
+    r = ev_->evaluate(cand);
+    const double delta =
+        static_cast<double>(r.test_time - cur_r_.test_time);
+    if (drawn_u) {
+      accept = *drawn_u < std::exp(-delta / temperature_);
+    } else {
+      accept = delta <= 0.0 ||
+               (temperature_ > 1e-9 &&
+                rng_.next_double() < std::exp(-delta / temperature_));
+    }
+  } else {
+    ++scratch_stats_.anneal_proposals;
+    r = evaluate(cand);
+    const double delta =
+        static_cast<double>(r.test_time - cur_r_.test_time);
+    accept = delta <= 0.0 ||
+             (temperature_ > 1e-9 &&
+              rng_.next_double() < std::exp(-delta / temperature_));
+  }
+
+  if (accept) {
+    current_ = cand;
+    cur_r_ = std::move(r);
+    if (better(cur_r_, best_)) best_ = cur_r_;
+  }
+  temperature_ *= anneal_.cooling;
+}
+
+void AnnealWalk::exchange(AnnealWalk& a, AnnealWalk& b) {
+  std::swap(a.current_, b.current_);
+  std::swap(a.cur_r_, b.cur_r_);
+  if (better(a.cur_r_, a.best_)) a.best_ = a.cur_r_;
+  if (better(b.cur_r_, b.best_)) b.best_ = b.cur_r_;
+}
+
+AnnealWalkState AnnealWalk::save_state() const {
+  AnnealWalkState st;
+  st.rng = rng_.state();
+  st.iteration = it_;
+  st.temperature_bits = double_bits(temperature_);
+  st.proposals = proposals_;
+  st.current_widths = current_.widths;
+  st.best_widths = best_.arch.widths;
+  return st;
+}
+
+void AnnealWalk::restore_state(const AnnealWalkState& st) {
+  rng_.set_state(st.rng);
+  it_ = st.iteration;
+  temperature_ = bits_double(st.temperature_bits);
+  proposals_ = st.proposals;
+  current_.widths = st.current_widths;
+  cur_r_ = evaluate(current_);
+  TamArchitecture b;
+  b.widths = st.best_widths;
+  best_ = evaluate(b);
+}
+
+runtime::SearchStats AnnealWalk::counters() const {
+  if (ev_) {
+    runtime::SearchStats s = ev_->counters();
+    s.anneal_memo_hits = s.schedule_reuse_hits;
+    return s;
+  }
+  return scratch_stats_;
+}
+
+}  // namespace soctest

@@ -1,0 +1,104 @@
+// AnnealWalk: one simulated-annealing walk over TAM partitions, exposed as
+// a stepper instead of a run-to-completion loop. optimize_annealing() is a
+// thin driver over it; the replica-exchange portfolio (src/portfolio) runs
+// K of them concurrently, exchanging configurations between sweeps while
+// every walk keeps its own RNG stream — which is why the walk must be
+// steppable, checkpointable (save_state()/restore_state()), and able to
+// swap its current configuration without consuming a draw.
+//
+// Stepping semantics are bit-identical to the original optimize_annealing
+// loop for both evaluation strategies (OptimizerOptions::incremental on and
+// off), including the RNG stream — the incremental path's memo hits and
+// bound rejections never change which draws happen (see annealing.hpp for
+// the argument). Sharing a ScheduleMemo/ColumnCache across walks is
+// invisible in the trajectory too: a memoized result is the exact result,
+// no matter which walk computed it first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opt/annealing.hpp"
+#include "opt/delta_evaluator.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+
+/// Everything needed to resume a walk mid-stream: the RNG words, the
+/// iteration cursor, the exact temperature bits, and the current/best
+/// architectures (their OptimizationResults are re-derived on restore —
+/// evaluation is a deterministic function of the width vector).
+struct AnnealWalkState {
+  Rng::State rng{};
+  int iteration = 0;
+  std::uint64_t temperature_bits = 0;
+  std::uint64_t proposals = 0;
+  std::vector<int> current_widths;
+  std::vector<int> best_widths;
+};
+
+class AnnealWalk {
+ public:
+  /// `optimizer` must outlive the walk; `opts` and `anneal` are copied.
+  /// `memo`/`columns` optionally share caches with other walks (portfolio);
+  /// null gives the walk private ones. Construction evaluates the balanced
+  /// starting partition (no RNG is consumed).
+  AnnealWalk(const SocOptimizer& optimizer, const OptimizerOptions& opts,
+             const AnnealingOptions& anneal, ScheduleMemo* memo = nullptr,
+             ColumnCache* columns = nullptr);
+  AnnealWalk(const AnnealWalk&) = delete;
+  AnnealWalk& operator=(const AnnealWalk&) = delete;
+
+  /// One annealing iteration: propose a neighbour, evaluate (through the
+  /// delta evaluator when opts.incremental), accept/reject, cool. No-op
+  /// once done().
+  void step();
+
+  bool done() const { return it_ >= anneal_.iterations; }
+  int iteration() const { return it_; }
+  /// Valid proposals so far (survives checkpoint/restore, unlike the
+  /// evaluator's counters, which restart per process).
+  std::uint64_t proposals() const { return proposals_; }
+  double temperature() const { return temperature_; }
+  const TamArchitecture& current_arch() const { return current_; }
+  const OptimizationResult& current_result() const { return cur_r_; }
+  const OptimizationResult& best() const { return best_; }
+
+  /// Replica exchange: swaps the two walks' current configurations
+  /// (architecture + result) in place. Temperatures, RNG streams and
+  /// iteration cursors stay put — the ladder slots keep their identity.
+  /// Each walk's incumbent best is updated against its incoming
+  /// configuration, exactly as an accepted move would.
+  static void exchange(AnnealWalk& a, AnnealWalk& b);
+
+  AnnealWalkState save_state() const;
+  /// Restores a save_state() snapshot: the next step() continues the exact
+  /// draw sequence of the saved walk. Re-evaluates the saved architectures
+  /// (deterministic), so the shared memo absorbs the cost on later hits.
+  void restore_state(const AnnealWalkState& st);
+
+  /// Counter snapshot for runtime::add_search_counters(); on the
+  /// incremental path anneal_memo_hits mirrors schedule_reuse_hits, like
+  /// optimize_annealing always reported.
+  runtime::SearchStats counters() const;
+
+ private:
+  OptimizationResult evaluate(const TamArchitecture& arch);
+
+  const SocOptimizer* opt_;
+  OptimizerOptions opts_;  // owned copy: ev_ points into it
+  AnnealingOptions anneal_;
+  Rng rng_;
+  int kmax_ = 1;
+  std::optional<DeltaEvaluator> ev_;
+  runtime::SearchStats scratch_stats_;  // scratch path's counters
+  TamArchitecture current_;
+  OptimizationResult cur_r_;
+  OptimizationResult best_;
+  double temperature_ = 0.0;
+  int it_ = 0;
+  std::uint64_t proposals_ = 0;
+};
+
+}  // namespace soctest

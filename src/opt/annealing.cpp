@@ -1,194 +1,25 @@
 #include "opt/annealing.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-
-#include "opt/delta_evaluator.hpp"
+#include "opt/anneal_walk.hpp"
 #include "runtime/stats.hpp"
-#include "socgen/rng.hpp"
-#include "tam/partition.hpp"
 
 namespace soctest {
-namespace {
 
-// Neighbour move on a partition: wire transfer, bus split, or bus merge.
-TamArchitecture random_neighbour(const TamArchitecture& arch, int max_buses,
-                                 Rng& rng) {
-  TamArchitecture n = arch;
-  const int k = n.num_buses();
-  const int move = static_cast<int>(rng.next_below(3));
-  if (move == 0 && k >= 2) {
-    // Move one wire between two distinct buses.
-    const int from = static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(k)));
-    int to = static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(k - 1)));
-    if (to >= from) ++to;
-    if (n.widths[static_cast<std::size_t>(from)] > 1) {
-      n.widths[static_cast<std::size_t>(from)] -= 1;
-      n.widths[static_cast<std::size_t>(to)] += 1;
-    }
-  } else if (move == 1 && k < max_buses) {
-    // Split a bus with width >= 2.
-    const int b = static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(k)));
-    const int w = n.widths[static_cast<std::size_t>(b)];
-    if (w >= 2) {
-      const int left = 1 + static_cast<int>(rng.next_below(
-                               static_cast<std::uint64_t>(w - 1)));
-      n.widths[static_cast<std::size_t>(b)] = left;
-      n.widths.push_back(w - left);
-    }
-  } else if (k >= 2) {
-    // Merge two buses.
-    const int a = static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(k)));
-    int b = static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(k - 1)));
-    if (b >= a) ++b;
-    n.widths[static_cast<std::size_t>(std::min(a, b))] +=
-        n.widths[static_cast<std::size_t>(std::max(a, b))];
-    n.widths.erase(n.widths.begin() + std::max(a, b));
-  }
-  return n;
-}
-
-}  // namespace
-
-// The incremental path (opts.incremental, the default) routes every
-// proposal through a DeltaEvaluator: per-width cost columns are cached
-// across proposals (an SA move disturbs at most two widths), results are
-// memoized by width vector (SA revisits architectures constantly — far
-// more than the hill climb, since rejected proposals re-propose later and
-// accepted ones walk back), and the admissible lower bound rejects
-// provably-hopeless proposals without running the scheduler.
-//
-// Bit-identity with the scratch path hinges on two facts:
-//  1. Evaluation never consumes RNG, so memo hits leave the stream intact.
-//  2. A bound-based rejection is taken only when the scratch path's
-//     acceptance test is certain to reject with the SAME draws. Cold
-//     (temperature <= 1e-9): delta > 0 rejects without drawing, and
-//     bound > incumbent implies delta > 0. Warm: the scratch path draws
-//     u and accepts iff u < exp(-delta/T); we draw the same u first,
-//     probe the bound at the acceptance limit T*(-ln u) above the
-//     incumbent, and reject only when u >= exp(-lb_delta/T) for the
-//     certified bound value, which (exp monotone, delta >= lb_delta)
-//     implies u >= exp(-delta/T). Otherwise the bound is inconclusive —
-//     evaluate fully and replay the exact comparison with that same u.
+// The walk body lives in opt/anneal_walk.cpp so the replica-exchange
+// portfolio (src/portfolio) can drive the identical stepper sweep-by-sweep;
+// this driver just runs one walk to completion. The incremental path
+// (opts.incremental, the default) routes every proposal through a
+// DeltaEvaluator — cached per-width cost columns, width-vector memoization,
+// and lower-bound rejection of provably-uphill proposals — bit-identical to
+// the scratch path including the RNG stream (the argument is spelled out in
+// AnnealWalk::step).
 OptimizationResult optimize_annealing(const SocOptimizer& optimizer,
                                       const OptimizerOptions& opts,
                                       const AnnealingOptions& anneal) {
-  Rng rng(anneal.seed);
-  const int kmax = std::min({opts.max_buses, optimizer.soc().num_cores(),
-                             opts.width});
-
-  std::optional<DeltaEvaluator> ev;
-  if (opts.incremental) ev.emplace(optimizer, opts);
-  runtime::SearchStats scratch_stats;  // scratch path's counters
-
-  const auto evaluate = [&](const TamArchitecture& arch) {
-    if (ev) {
-      ev->prepare({arch});
-      return ev->evaluate(arch);
-    }
-    ++scratch_stats.candidates_scheduled;
-    return optimizer.evaluate(arch, opts);
-  };
-
-  TamArchitecture current =
-      balanced_partition(opts.width, std::max(1, kmax / 2));
-  OptimizationResult cur_r = evaluate(current);
-  OptimizationResult best = cur_r;
-
-  double temperature =
-      anneal.initial_temperature * static_cast<double>(cur_r.test_time);
-  for (int it = 0; it < anneal.iterations; ++it) {
-    const TamArchitecture cand =
-        random_neighbour(current, kmax, rng);
-    if (cand.num_buses() < 1 || cand.total_width() != opts.width) continue;
-
-    bool accept;
-    OptimizationResult r;
-    if (ev) {
-      ev->note_anneal_proposals(1);
-      ev->prepare({cand});
-      std::optional<double> drawn_u;
-      if (ev->bound_exceeds(cand, cur_r.test_time)) {
-        // Certainly uphill. The scratch path would reject outright when
-        // cold (no draw), or draw u — consume the identical draw here and
-        // reject when even the bound's optimistic delta cannot pass.
-        if (temperature <= 1e-9) {
-          ev->note_anneal_pruned(1);
-          temperature *= anneal.cooling;
-          continue;
-        }
-        const double u = rng.next_double();
-        // The scratch path accepts iff u < exp(-delta/T), which needs
-        // delta < T * (-ln u). Probe the bound once at that limit:
-        // bound_exceeds(probe) certifies lb >= probe + 1, a concrete
-        // admissible value to replay the scratch exp-test against. The
-        // log/floor only PICK the probe point — a badly rounded probe
-        // merely forfeits a prune, never flips a decision, because the
-        // final test is the same u-vs-exp comparison the scratch path
-        // would make with any delta >= probe + 1 - incumbent.
-        const double limit = static_cast<double>(cur_r.test_time) +
-                             temperature * (-std::log(u));
-        if (limit < 9.0e18) {
-          const std::int64_t probe =
-              static_cast<std::int64_t>(std::floor(limit));
-          if (ev->bound_exceeds(cand, probe)) {
-            const double lb_delta =
-                static_cast<double>(probe + 1 - cur_r.test_time);
-            if (u >= std::exp(-lb_delta / temperature)) {
-              ev->note_anneal_pruned(1);
-              temperature *= anneal.cooling;
-              continue;
-            }
-          }
-        }
-        drawn_u = u;  // inconclusive: replay the exact test with this u
-      }
-      r = ev->evaluate(cand);
-      const double delta =
-          static_cast<double>(r.test_time - cur_r.test_time);
-      if (drawn_u) {
-        accept = *drawn_u < std::exp(-delta / temperature);
-      } else {
-        accept = delta <= 0.0 ||
-                 (temperature > 1e-9 &&
-                  rng.next_double() < std::exp(-delta / temperature));
-      }
-    } else {
-      ++scratch_stats.anneal_proposals;
-      r = evaluate(cand);
-      const double delta =
-          static_cast<double>(r.test_time - cur_r.test_time);
-      accept = delta <= 0.0 ||
-               (temperature > 1e-9 &&
-                rng.next_double() < std::exp(-delta / temperature));
-    }
-
-    if (accept) {
-      current = cand;
-      cur_r = std::move(r);
-      if (cur_r.test_time < best.test_time ||
-          (cur_r.test_time == best.test_time &&
-           cur_r.data_volume_bits < best.data_volume_bits)) {
-        best = cur_r;
-      }
-    }
-    temperature *= anneal.cooling;
-  }
-
-  if (ev) {
-    runtime::SearchStats s = ev->counters();
-    s.anneal_memo_hits = s.schedule_reuse_hits;
-    runtime::add_search_counters(s);
-  } else {
-    runtime::add_search_counters(scratch_stats);
-  }
-  return best;
+  AnnealWalk walk(optimizer, opts, anneal);
+  while (!walk.done()) walk.step();
+  runtime::add_search_counters(walk.counters());
+  return walk.best();
 }
 
 }  // namespace soctest

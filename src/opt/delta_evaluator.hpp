@@ -34,15 +34,30 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "opt/soc_optimizer.hpp"
+#include "runtime/fnv.hpp"
 #include "runtime/stats.hpp"
 
 namespace soctest {
+
+/// FNV fingerprint of a width vector, used as the memo's hash. The memo
+/// used to be a std::map whose lexicographic key comparisons showed up at
+/// scale (ROADMAP: 1000-core memo probes walk long shared prefixes); a
+/// single linear hash replaces O(log n) vector comparisons per probe.
+/// Mixing both digests keeps the 64-bit fingerprints decorrelated from the
+/// length-prefixed FNV-1a stream alone.
+struct WidthVectorHash {
+  std::size_t operator()(const std::vector<int>& widths) const {
+    runtime::FnvHasher h;
+    h.ints(widths);
+    return static_cast<std::size_t>(h.digest_a() ^ (h.digest_b() >> 1));
+  }
+};
 
 /// Evaluation results keyed by the architecture's width vector, shared by
 /// every hill climb of one optimize() call. Concurrent climbs may race to
@@ -50,7 +65,8 @@ namespace soctest {
 /// insert is a no-op — correctness never depends on who wins.
 struct ScheduleMemo {
   std::mutex mu;
-  std::map<std::vector<int>, OptimizationResult> results;
+  std::unordered_map<std::vector<int>, OptimizationResult, WidthVectorHash>
+      results;
 };
 
 /// One per-width cost column: the bus realization of that width and every

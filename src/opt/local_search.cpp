@@ -47,6 +47,12 @@ TamArchitecture fixed_w4_architecture(int total_width) {
 }
 
 OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
+  return optimize_shared(opts, nullptr, nullptr);
+}
+
+OptimizationResult SocOptimizer::optimize_shared(
+    const OptimizerOptions& opts, ScheduleMemo* shared_memo,
+    ColumnCache* shared_columns) const {
   if (opts.width < 1)
     throw std::invalid_argument("SocOptimizer: width must be >= 1");
   const auto t0 = std::chrono::steady_clock::now();
@@ -93,10 +99,12 @@ OptimizationResult SocOptimizer::optimize(const OptimizerOptions& opts) const {
     // climbs converging into the same basin re-encounter each other's
     // candidates, and for a fixed (mode, constraint) a width-w cost column
     // is the same no matter which climb builds it first.
-    ScheduleMemo memo;
-    ColumnCache columns;
+    ScheduleMemo local_memo;
+    ColumnCache local_columns;
+    ScheduleMemo* memo = shared_memo ? shared_memo : &local_memo;
+    ColumnCache* columns = shared_columns ? shared_columns : &local_columns;
     const auto climb_incremental = [&](const TamArchitecture& start) {
-      DeltaEvaluator ev(*this, opts, &memo, &columns);
+      DeltaEvaluator ev(*this, opts, memo, columns);
       TamArchitecture arch = start;
       ev.prepare({arch});
       OptimizationResult cur = ev.evaluate(arch);

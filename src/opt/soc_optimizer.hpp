@@ -34,6 +34,9 @@
 
 namespace soctest {
 
+struct ScheduleMemo;   // opt/delta_evaluator.hpp
+struct ColumnCache;    // opt/delta_evaluator.hpp
+
 enum class ArchMode { NoTdc, PerTam, PerCore, FixedWidth4 };
 enum class ConstraintMode { TamWidth, AteChannels };
 
@@ -65,6 +68,13 @@ struct OptimizerOptions {
   /// so the flag changes how many candidates are pruned before scheduling
   /// but never which architecture wins — results stay bit-identical.
   bool capacity_bound = true;
+  /// Replica count for the replica-exchange search portfolio
+  /// (src/portfolio): K annealing walks at a geometric temperature ladder
+  /// sharing one ScheduleMemo/ColumnCache, racing the multi-start hill
+  /// climb. 0 (default) = off; optimize() itself ignores the field — the
+  /// CLI and benches dispatch to optimize_portfolio() when it is set, so
+  /// the opt layer stays free of a portfolio dependency.
+  int portfolio = 0;
 };
 
 /// How one bus of the abstract architecture is physically realized.
@@ -106,6 +116,17 @@ class SocOptimizer {
   const std::vector<CoreTable>& tables() const { return tables_; }
 
   OptimizationResult optimize(const OptimizerOptions& opts) const;
+
+  /// optimize() with externally shared evaluation caches. The portfolio
+  /// races the multi-start hill climb against its tempering replicas and
+  /// wants both to drink from the same ScheduleMemo/ColumnCache — the
+  /// caches must come from the same (optimizer, opts) universe, since memo
+  /// entries are keyed by width vector alone. Null pointers fall back to
+  /// per-call caches (exactly optimize()). Only the incremental path
+  /// touches them.
+  OptimizationResult optimize_shared(const OptimizerOptions& opts,
+                                     ScheduleMemo* memo,
+                                     ColumnCache* columns) const;
 
   /// Evaluates one concrete architecture (no search) — used by the local
   /// search, by tests, and to reproduce Figure 4's fixed examples.

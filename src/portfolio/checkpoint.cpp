@@ -1,0 +1,173 @@
+#include "portfolio/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace soctest::portfolio {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'O', 'C', 'P', 'F', 'C', 'K', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Writer {
+  std::vector<unsigned char> out;
+
+  void u8(std::uint8_t v) { out.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFF);
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void widths(const std::vector<int>& w) {
+    u32(static_cast<std::uint32_t>(w.size()));
+    for (int v : w) u32(static_cast<std::uint32_t>(v));
+  }
+};
+
+struct Reader {
+  const std::vector<unsigned char>& in;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > in.size())
+      throw std::runtime_error("portfolio checkpoint: truncated blob");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return in[pos++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::vector<int> widths() {
+    const std::uint32_t n = u32();
+    // A width vector can never outgrow the blob it came from; anything
+    // larger is corruption, not data — reject before allocating.
+    if (n > in.size())
+      throw std::runtime_error("portfolio checkpoint: implausible vector");
+    std::vector<int> w;
+    w.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      w.push_back(static_cast<int>(u32()));
+    return w;
+  }
+};
+
+}  // namespace
+
+std::vector<unsigned char> encode_checkpoint(const PortfolioCheckpoint& ck) {
+  Writer w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kVersion);
+  w.u64(ck.fingerprint);
+  w.u32(static_cast<std::uint32_t>(ck.replicas.size()));
+  w.u32(static_cast<std::uint32_t>(ck.sweeps_completed));
+  w.u64(ck.swaps_attempted);
+  w.u64(ck.swaps_accepted);
+  w.u64(ck.proposals_total);
+  w.u8(static_cast<std::uint8_t>(ck.racer_state));
+  if (ck.racer_state == RacerState::Done) w.widths(ck.racer_best_widths);
+  w.u32(static_cast<std::uint32_t>(ck.best_by_sweep.size()));
+  for (std::int64_t v : ck.best_by_sweep) w.i64(v);
+  for (const AnnealWalkState& r : ck.replicas) {
+    for (std::uint64_t s : r.rng) w.u64(s);
+    w.u64(static_cast<std::uint64_t>(r.iteration));
+    w.u64(r.temperature_bits);
+    w.u64(r.proposals);
+    w.widths(r.current_widths);
+    w.widths(r.best_widths);
+  }
+  return std::move(w.out);
+}
+
+PortfolioCheckpoint decode_checkpoint(
+    const std::vector<unsigned char>& bytes) {
+  Reader r{bytes};
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("portfolio checkpoint: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion)
+    throw std::runtime_error("portfolio checkpoint: unsupported version " +
+                             std::to_string(version));
+  PortfolioCheckpoint ck;
+  ck.fingerprint = r.u64();
+  const std::uint32_t replicas = r.u32();
+  ck.sweeps_completed = static_cast<int>(r.u32());
+  ck.swaps_attempted = r.u64();
+  ck.swaps_accepted = r.u64();
+  ck.proposals_total = r.u64();
+  const std::uint8_t racer = r.u8();
+  if (racer > static_cast<std::uint8_t>(RacerState::Done))
+    throw std::runtime_error("portfolio checkpoint: bad racer state");
+  ck.racer_state = static_cast<RacerState>(racer);
+  if (ck.racer_state == RacerState::Done) ck.racer_best_widths = r.widths();
+  const std::uint32_t sweeps = r.u32();
+  if (sweeps > bytes.size())
+    throw std::runtime_error("portfolio checkpoint: implausible vector");
+  ck.best_by_sweep.reserve(sweeps);
+  for (std::uint32_t i = 0; i < sweeps; ++i)
+    ck.best_by_sweep.push_back(r.i64());
+  if (replicas > bytes.size())
+    throw std::runtime_error("portfolio checkpoint: implausible vector");
+  ck.replicas.reserve(replicas);
+  for (std::uint32_t i = 0; i < replicas; ++i) {
+    AnnealWalkState st;
+    for (std::uint64_t& s : st.rng) s = r.u64();
+    const std::uint64_t it = r.u64();
+    if (it > static_cast<std::uint64_t>(std::numeric_limits<int>::max()))
+      throw std::runtime_error("portfolio checkpoint: implausible iteration");
+    st.iteration = static_cast<int>(it);
+    st.temperature_bits = r.u64();
+    st.proposals = r.u64();
+    st.current_widths = r.widths();
+    st.best_widths = r.widths();
+    ck.replicas.push_back(std::move(st));
+  }
+  if (r.pos != bytes.size())
+    throw std::runtime_error("portfolio checkpoint: trailing bytes");
+  return ck;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const PortfolioCheckpoint& ck) {
+  const std::vector<unsigned char> bytes = encode_checkpoint(ck);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f)
+    throw std::runtime_error("portfolio checkpoint: cannot open '" + path +
+                             "' for writing");
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f)
+    throw std::runtime_error("portfolio checkpoint: short write to '" +
+                             path + "'");
+}
+
+PortfolioCheckpoint read_checkpoint_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("portfolio checkpoint: cannot read '" + path +
+                             "'");
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  return decode_checkpoint(bytes);
+}
+
+}  // namespace soctest::portfolio

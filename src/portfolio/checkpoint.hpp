@@ -1,0 +1,60 @@
+// Versioned binary checkpoint for the replica-exchange portfolio. The blob
+// captures everything a resumed run needs to be bit-identical to the
+// uninterrupted one: per-replica RNG words, iteration cursors, exact
+// temperature bits, and current/best width vectors (their
+// OptimizationResults are re-derived — evaluation is deterministic), plus
+// the swap/proposal counters, the best-by-sweep trajectory, and the
+// hill-climb racer's outcome. A fingerprint of the (SOC, optimizer options,
+// portfolio config) universe guards against resuming against the wrong
+// problem; decode errors and mismatches throw, they never silently
+// mis-resume.
+//
+// Format (version 1, little-endian on every supported target):
+//   byte[8]  magic "SOCPFCK1"
+//   u32      version
+//   u64      fingerprint
+//   u32      replica count K
+//   u32      sweeps_completed
+//   u64      swaps_attempted, swaps_accepted, proposals_total
+//   u8       racer_state (0 = no racer, 1 = rerun on resume, 2 = done)
+//   widths   racer best (present iff racer_state == 2)
+//   i64[]    best_by_sweep (u32 count prefix)
+//   K x      { u64[4] rng, u64 iteration, u64 temperature_bits,
+//              u64 proposals, widths current, widths best }
+// where widths = u32 count + i32 values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/anneal_walk.hpp"
+
+namespace soctest::portfolio {
+
+enum class RacerState : std::uint8_t { None = 0, Pending = 1, Done = 2 };
+
+struct PortfolioCheckpoint {
+  std::uint64_t fingerprint = 0;
+  int sweeps_completed = 0;
+  std::uint64_t swaps_attempted = 0;
+  std::uint64_t swaps_accepted = 0;
+  std::uint64_t proposals_total = 0;
+  RacerState racer_state = RacerState::None;
+  std::vector<int> racer_best_widths;       // valid iff racer_state == Done
+  std::vector<std::int64_t> best_by_sweep;  // incumbent after each sweep
+  std::vector<AnnealWalkState> replicas;    // ladder order
+};
+
+std::vector<unsigned char> encode_checkpoint(const PortfolioCheckpoint& ck);
+
+/// Throws std::runtime_error on bad magic, unknown version, or truncation.
+PortfolioCheckpoint decode_checkpoint(const std::vector<unsigned char>& bytes);
+
+void write_checkpoint_file(const std::string& path,
+                           const PortfolioCheckpoint& ck);
+
+/// Throws std::runtime_error when the file is unreadable or malformed.
+PortfolioCheckpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace soctest::portfolio

@@ -1,0 +1,48 @@
+// Counter-based randomness for the replica-exchange portfolio. Swap
+// decisions must be a pure function of (seed, sweep, pair) — never of
+// thread timing or of any replica's own draw stream — so the portfolio is
+// bit-identical for any --jobs lane count, and a resumed run replays the
+// exact swap sequence of the uninterrupted one (the "counter" is the sweep
+// index, which the checkpoint stores). Three SplitMix64 finalizer rounds
+// over the keyed words give a well-mixed 64-bit word per counter value; no
+// state is carried between calls.
+#pragma once
+
+#include <cstdint>
+
+namespace soctest::portfolio {
+
+/// SplitMix64 finalizer (the same mixer socgen's Rng seeds with).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Keyed 64-bit word for one (seed, sweep, pair) swap decision.
+inline std::uint64_t swap_word(std::uint64_t seed, std::uint64_t sweep,
+                               std::uint64_t pair) {
+  std::uint64_t h = mix64(seed ^ 0x53574150'5041'4952ull);  // "SWAP PAIR"
+  h = mix64(h ^ sweep);
+  h = mix64(h ^ pair);
+  return h;
+}
+
+/// Uniform double in [0, 1) for one swap decision (same 53-bit construction
+/// as Rng::next_double).
+inline double swap_uniform(std::uint64_t seed, std::uint64_t sweep,
+                           std::uint64_t pair) {
+  return static_cast<double>(swap_word(seed, sweep, pair) >> 11) * 0x1.0p-53;
+}
+
+/// Seed of ladder slot `replica` for portfolio seed `seed`. Exposed (and
+/// fixed) so tests can reproduce a replica as an independent anneal() run:
+/// with swaps disabled, slot r is bit-identical to optimize_annealing with
+/// this seed and the slot's ladder temperature.
+inline std::uint64_t replica_seed(std::uint64_t seed, int replica) {
+  return mix64(mix64(seed ^ 0x5245'504C'4943'41ull) +  // "REPLICA"
+               static_cast<std::uint64_t>(replica));
+}
+
+}  // namespace soctest::portfolio

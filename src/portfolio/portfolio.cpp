@@ -1,0 +1,318 @@
+#include "portfolio/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <stdexcept>
+
+#include "opt/anneal_walk.hpp"
+#include "opt/delta_evaluator.hpp"
+#include "portfolio/checkpoint.hpp"
+#include "portfolio/counter_rng.hpp"
+#include "runtime/fnv.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace soctest {
+namespace {
+
+using portfolio::PortfolioCheckpoint;
+using portfolio::RacerState;
+
+bool better(const OptimizationResult& a, const OptimizationResult& b) {
+  if (a.test_time != b.test_time) return a.test_time < b.test_time;
+  return a.data_volume_bits < b.data_volume_bits;
+}
+
+int resolved_replicas(const OptimizerOptions& opts,
+                      const PortfolioOptions& popts) {
+  if (popts.replicas > 0) return popts.replicas;
+  if (opts.portfolio > 0) return opts.portfolio;
+  return 4;
+}
+
+double ladder_temperature(const PortfolioOptions& popts, int slot) {
+  return popts.initial_temperature *
+         std::pow(popts.temperature_ratio, slot);
+}
+
+/// Standard replica-exchange acceptance between the (hot, cold) =
+/// (lo, lo + 1) ladder pair: always swap when it moves the better
+/// configuration toward the colder slot, otherwise with probability
+/// exp((1/T_lo - 1/T_hi)(E_lo - E_hi)) on a counter-based draw.
+bool swap_accepted(const AnnealWalk& hot, const AnnealWalk& cold,
+                   std::uint64_t seed, int sweep, int pair) {
+  const double t_hot = std::max(hot.temperature(), 1e-300);
+  const double t_cold = std::max(cold.temperature(), 1e-300);
+  const double e_hot =
+      static_cast<double>(hot.current_result().test_time);
+  const double e_cold =
+      static_cast<double>(cold.current_result().test_time);
+  const double arg = (1.0 / t_hot - 1.0 / t_cold) * (e_hot - e_cold);
+  if (arg >= 0.0) return true;
+  return portfolio::swap_uniform(seed, static_cast<std::uint64_t>(sweep),
+                                 static_cast<std::uint64_t>(pair)) <
+         std::exp(arg);
+}
+
+std::uint64_t double_key_bits(double d) {
+  std::uint64_t u;
+  static_assert(sizeof u == sizeof d);
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+PortfolioResult run_portfolio(const SocOptimizer& optimizer,
+                              const OptimizerOptions& opts,
+                              const PortfolioOptions& popts,
+                              const PortfolioCheckpoint* restore) {
+  const int K = resolved_replicas(opts, popts);
+  if (K < 1) throw std::invalid_argument("portfolio: replicas must be >= 1");
+  if (popts.proposals_per_sweep < 1)
+    throw std::invalid_argument("portfolio: proposals_per_sweep must be >= 1");
+  if (popts.sweeps < 0)
+    throw std::invalid_argument("portfolio: sweeps must be >= 0");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::PhaseTimer timer("portfolio");
+
+  // One shared memo + column store for the whole portfolio — the first
+  // truly concurrent mutable structure in the search (TSan-covered).
+  ScheduleMemo shared_memo;
+  ColumnCache shared_columns;
+  ScheduleMemo* memo = popts.share_caches ? &shared_memo : nullptr;
+  ColumnCache* columns = popts.share_caches ? &shared_columns : nullptr;
+
+  // Each replica needs iterations for the FULL budget up front (the walk
+  // refuses to step past its own horizon); resume may extend this.
+  std::vector<std::unique_ptr<AnnealWalk>> walks;
+  walks.reserve(static_cast<std::size_t>(K));
+  for (int r = 0; r < K; ++r) {
+    AnnealingOptions a;
+    a.iterations = popts.sweeps * popts.proposals_per_sweep;
+    a.initial_temperature = ladder_temperature(popts, r);
+    a.cooling = popts.cooling;
+    a.seed = portfolio::replica_seed(popts.seed, r);
+    walks.push_back(
+        std::make_unique<AnnealWalk>(optimizer, opts, a, memo, columns));
+  }
+
+  PortfolioStats stats;
+  stats.replicas = K;
+  int first_sweep = 0;
+  std::uint64_t restored_proposals = 0;
+  OptimizationResult racer_result;
+  bool racer_done = false;
+  std::future<OptimizationResult> racer;
+  bool racer_pending = false;
+
+  if (restore) {
+    if (static_cast<int>(restore->replicas.size()) != K)
+      throw std::runtime_error("portfolio: checkpoint replica count " +
+                               std::to_string(restore->replicas.size()) +
+                               " != configured " + std::to_string(K));
+    for (int r = 0; r < K; ++r)
+      walks[static_cast<std::size_t>(r)]->restore_state(
+          restore->replicas[static_cast<std::size_t>(r)]);
+    first_sweep = restore->sweeps_completed;
+    stats.sweeps_completed = restore->sweeps_completed;
+    stats.swaps_attempted = restore->swaps_attempted;
+    stats.swaps_accepted = restore->swaps_accepted;
+    stats.proposals_total = restore->proposals_total;
+    restored_proposals = restore->proposals_total;
+    stats.best_by_sweep = restore->best_by_sweep;
+    if (restore->racer_state == RacerState::Done) {
+      TamArchitecture arch;
+      arch.widths = restore->racer_best_widths;
+      // Evaluation is deterministic, so re-deriving the racer's result
+      // from its width vector reproduces the original bit for bit.
+      racer_result = optimizer.evaluate(arch, opts);
+      racer_done = true;
+    }
+  }
+
+  if (popts.race_hill_climb) {
+    stats.hill_climb_raced = true;
+    if (!racer_done) {
+      racer = runtime::effective_pool().async([&optimizer, &opts, memo,
+                                               columns] {
+        return optimizer.optimize_shared(opts, memo, columns);
+      });
+      racer_pending = true;
+    }
+  }
+
+  const std::uint64_t sweep_proposals =
+      static_cast<std::uint64_t>(K) *
+      static_cast<std::uint64_t>(popts.proposals_per_sweep);
+
+  const auto write_checkpoint = [&](RacerState racer_state) {
+    PortfolioCheckpoint ck;
+    ck.fingerprint = portfolio_fingerprint(optimizer, opts, popts);
+    ck.sweeps_completed = stats.sweeps_completed;
+    ck.swaps_attempted = stats.swaps_attempted;
+    ck.swaps_accepted = stats.swaps_accepted;
+    ck.proposals_total = stats.proposals_total;
+    ck.racer_state = racer_state;
+    if (racer_state == RacerState::Done)
+      ck.racer_best_widths = racer_result.arch.widths;
+    ck.best_by_sweep = stats.best_by_sweep;
+    for (const auto& w : walks) ck.replicas.push_back(w->save_state());
+    portfolio::write_checkpoint_file(popts.checkpoint_path, ck);
+  };
+
+  for (int sweep = first_sweep; sweep < popts.sweeps; ++sweep) {
+    if (popts.cancel && popts.cancel->cancelled()) break;
+    if (popts.max_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      if (elapsed >= popts.max_seconds) break;
+    }
+    if (popts.max_proposals > 0 &&
+        stats.proposals_total + sweep_proposals > popts.max_proposals)
+      break;
+
+    // One sweep: every replica advances proposals_per_sweep iterations,
+    // in parallel. Trajectories are independent (own RNG, own evaluator
+    // view); the shared caches only change who computes a result first.
+    runtime::parallel_for(0, K, [&](std::int64_t r) {
+      AnnealWalk& w = *walks[static_cast<std::size_t>(r)];
+      for (int p = 0; p < popts.proposals_per_sweep; ++p) w.step();
+    });
+    stats.proposals_total += sweep_proposals;
+
+    if (popts.swaps_enabled) {
+      // Alternating even/odd adjacent pairs; decisions keyed on the
+      // absolute sweep index so a resumed run replays them exactly.
+      for (int lo = sweep % 2; lo + 1 < K; lo += 2) {
+        ++stats.swaps_attempted;
+        AnnealWalk& hot = *walks[static_cast<std::size_t>(lo)];
+        AnnealWalk& cold = *walks[static_cast<std::size_t>(lo + 1)];
+        if (swap_accepted(hot, cold, popts.seed, sweep, lo)) {
+          AnnealWalk::exchange(hot, cold);
+          ++stats.swaps_accepted;
+        }
+      }
+    }
+
+    std::int64_t sweep_best = walks[0]->best().test_time;
+    for (int r = 1; r < K; ++r)
+      sweep_best = std::min(sweep_best,
+                            walks[static_cast<std::size_t>(r)]->best()
+                                .test_time);
+    stats.best_by_sweep.push_back(sweep_best);
+    stats.sweeps_completed = sweep + 1;
+
+    if (!popts.checkpoint_path.empty() && popts.checkpoint_every > 0 &&
+        (sweep + 1) % popts.checkpoint_every == 0 &&
+        sweep + 1 < popts.sweeps) {
+      // Mid-run checkpoints always mark the racer as pending: resuming
+      // reruns it, which yields the identical (deterministic) result
+      // without having to wait for the in-flight climb here.
+      write_checkpoint(popts.race_hill_climb ? RacerState::Pending
+                                             : RacerState::None);
+    }
+  }
+
+  if (racer_pending) {
+    racer_result = racer.get();
+    racer_done = true;
+  }
+
+  PortfolioResult out;
+  out.replica_best.reserve(static_cast<std::size_t>(K));
+  for (int r = 0; r < K; ++r) {
+    const AnnealWalk& w = *walks[static_cast<std::size_t>(r)];
+    out.replica_best.push_back(w.best());
+    PortfolioReplicaReport rep;
+    rep.initial_temperature = ladder_temperature(popts, r);
+    rep.proposals = w.proposals();
+    rep.best_test_time = w.best().test_time;
+    stats.replica.push_back(rep);
+  }
+  out.best = out.replica_best[0];
+  for (int r = 1; r < K; ++r)
+    if (better(out.replica_best[static_cast<std::size_t>(r)], out.best))
+      out.best = out.replica_best[static_cast<std::size_t>(r)];
+  if (racer_done && better(racer_result, out.best)) {
+    out.best = racer_result;
+    stats.hill_climb_won = true;
+  }
+
+  if (!popts.checkpoint_path.empty())
+    write_checkpoint(racer_done ? RacerState::Done : RacerState::None);
+
+  // Flush the evaluator counters of every walk, plus the portfolio's own
+  // counters for THIS invocation (a resume adds only its own segment to
+  // the process-wide totals; PortfolioStats carries the cumulative view).
+  for (const auto& w : walks) runtime::add_search_counters(w->counters());
+  runtime::SearchStats ps;
+  ps.portfolio_proposals = stats.proposals_total - restored_proposals;
+  ps.portfolio_swaps_attempted =
+      stats.swaps_attempted - (restore ? restore->swaps_attempted : 0);
+  ps.portfolio_swaps_accepted =
+      stats.swaps_accepted - (restore ? restore->swaps_accepted : 0);
+  runtime::add_search_counters(ps);
+
+  out.best.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.stats = std::move(stats);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t portfolio_fingerprint(const SocOptimizer& optimizer,
+                                    const OptimizerOptions& opts,
+                                    const PortfolioOptions& popts) {
+  runtime::FnvHasher h;
+  h.str(optimizer.soc().name);
+  h.i32(optimizer.soc().num_cores());
+  h.i32(opts.width);
+  h.i32(static_cast<std::int32_t>(opts.mode));
+  h.i32(static_cast<std::int32_t>(opts.constraint));
+  h.i32(opts.max_buses);
+  h.i32(opts.max_search_steps);
+  h.u64(double_key_bits(opts.power_budget_mw));
+  h.boolean(opts.incremental);
+  h.boolean(opts.capacity_bound);
+  h.i32(resolved_replicas(opts, popts));
+  h.i32(popts.proposals_per_sweep);
+  h.u64(double_key_bits(popts.initial_temperature));
+  h.u64(double_key_bits(popts.temperature_ratio));
+  h.u64(double_key_bits(popts.cooling));
+  h.u64(popts.seed);
+  h.boolean(popts.swaps_enabled);
+  h.boolean(popts.race_hill_climb);
+  return h.digest_a() ^ (h.digest_b() << 1);
+}
+
+PortfolioResult optimize_portfolio(const SocOptimizer& optimizer,
+                                   const OptimizerOptions& opts,
+                                   const PortfolioOptions& popts) {
+  return run_portfolio(optimizer, opts, popts, nullptr);
+}
+
+PortfolioResult resume_portfolio(const SocOptimizer& optimizer,
+                                 const OptimizerOptions& opts,
+                                 const PortfolioOptions& popts,
+                                 const std::string& checkpoint_path) {
+  const PortfolioCheckpoint ck =
+      portfolio::read_checkpoint_file(checkpoint_path);
+  const std::uint64_t expect =
+      portfolio_fingerprint(optimizer, opts, popts);
+  if (ck.fingerprint != expect)
+    throw std::runtime_error(
+        "portfolio: checkpoint fingerprint mismatch — it was written for a "
+        "different SOC / optimizer / portfolio configuration");
+  return run_portfolio(optimizer, opts, popts, &ck);
+}
+
+}  // namespace soctest

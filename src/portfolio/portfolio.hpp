@@ -1,0 +1,147 @@
+// Replica-exchange (parallel-tempering) search portfolio for the step-3
+// architecture search. K annealing walks run at a geometric temperature
+// ladder (slot r starts at initial_temperature * temperature_ratio^r,
+// relative to its start makespan, all cooling at the same rate); after
+// every sweep of proposals_per_sweep steps per walk, adjacent ladder pairs
+// exchange their current configurations with the standard replica-exchange
+// acceptance min(1, exp((1/T_lo - 1/T_hi) * (E_lo - E_hi))). Hot slots
+// tunnel between basins; cold slots polish — the multi-modal landscape
+// regime (see PAPERS.md: rectangle-packing TAM formulations) where one walk
+// stalls.
+//
+// Determinism: every replica owns its RNG stream (seeded by
+// portfolio::replica_seed), swap decisions come from a counter-based RNG
+// keyed on (seed, sweep, pair) — portfolio::swap_uniform — and the final
+// reduction runs in ladder order, so results are bit-identical for any
+// --jobs lane count. Sharing one ScheduleMemo/ColumnCache across replicas
+// (and the hill-climb racer) is invisible in the trajectories: a memoized
+// result is the exact result regardless of which walk computed it first.
+//
+// Budget: sweeps x proposals_per_sweep is the deterministic budget;
+// max_proposals tightens it deterministically (whole sweeps only).
+// max_seconds and the cancel token stop cooperatively at sweep boundaries —
+// wall-clock stops are inherently timing-dependent, but the state they stop
+// in is always a whole number of sweeps, so a checkpoint written there
+// resumes exactly.
+//
+// Checkpoint/resume: the full ladder state (RNG words, temperature bits,
+// iteration cursors, current/best width vectors, swap counters, racer
+// outcome) round-trips through a versioned binary blob
+// (portfolio/checkpoint.hpp); a resumed run is bit-identical to the
+// uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/annealing.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "runtime/cancellation.hpp"
+
+namespace soctest {
+
+struct PortfolioOptions {
+  /// Ladder size K; 0 takes OptimizerOptions::portfolio, else 4.
+  int replicas = 0;
+  /// Deterministic budget: each replica runs sweeps * proposals_per_sweep
+  /// annealing iterations, swaps happen between sweeps.
+  int sweeps = 20;
+  int proposals_per_sweep = 100;
+  /// Hottest slot's starting temperature relative to its start makespan
+  /// (same meaning as AnnealingOptions::initial_temperature); slot r gets
+  /// initial_temperature * temperature_ratio^r.
+  double initial_temperature = 0.10;
+  double temperature_ratio = 0.5;
+  double cooling = 0.997;
+  std::uint64_t seed = 1;
+  /// false: no exchanges — K independent walks, bit-identical to K
+  /// optimize_annealing() runs (pinned in tests).
+  bool swaps_enabled = true;
+  /// Share one ScheduleMemo/ColumnCache across replicas and the racer
+  /// (results are identical either way; the flag exists for the
+  /// equivalence tests and the bench ablation).
+  bool share_caches = true;
+  /// Race the multi-start hill climb (SocOptimizer::optimize) against the
+  /// ladder as one more portfolio member, drinking from the same shared
+  /// caches; its result is merged at the end, after the replicas, so the
+  /// outcome never depends on timing.
+  bool race_hill_climb = true;
+  /// Hard deterministic cap on total proposal slots (iterations summed
+  /// over replicas); a sweep that would exceed it does not start. 0 = off.
+  std::uint64_t max_proposals = 0;
+  /// Cooperative wall-clock budget, checked between sweeps. 0 = off.
+  /// Timing-dependent by nature — use max_proposals for reproducibility.
+  double max_seconds = 0.0;
+  /// Optional cooperative cancellation, polled between sweeps.
+  const runtime::CancelToken* cancel = nullptr;
+  /// When set, the final state is checkpointed here (and every
+  /// checkpoint_every sweeps when that is > 0).
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
+};
+
+struct PortfolioReplicaReport {
+  double initial_temperature = 0.0;  // relative, after ladder scaling
+  std::uint64_t proposals = 0;       // valid proposals, cumulative
+  std::int64_t best_test_time = 0;
+};
+
+struct PortfolioStats {
+  int replicas = 0;
+  int sweeps_completed = 0;
+  /// Proposal slots consumed (replicas x proposals_per_sweep per sweep),
+  /// cumulative across resume.
+  std::uint64_t proposals_total = 0;
+  std::uint64_t swaps_attempted = 0;
+  std::uint64_t swaps_accepted = 0;
+  bool hill_climb_raced = false;
+  /// True when the racer's result beat every tempering replica.
+  bool hill_climb_won = false;
+  std::vector<PortfolioReplicaReport> replica;  // ladder order
+  /// Best-known makespan after each sweep (cumulative proposals for sweep
+  /// s = (s + 1) * replicas * proposals_per_sweep) — the bench's
+  /// proposals-to-target curve.
+  std::vector<std::int64_t> best_by_sweep;
+
+  double swap_acceptance() const {
+    return swaps_attempted
+               ? static_cast<double>(swaps_accepted) /
+                     static_cast<double>(swaps_attempted)
+               : 0.0;
+  }
+};
+
+struct PortfolioResult {
+  OptimizationResult best;
+  std::vector<OptimizationResult> replica_best;  // ladder order
+  PortfolioStats stats;
+};
+
+/// Runs the portfolio from scratch. Flushes search + portfolio counters
+/// into runtime::collect_stats() ("portfolio" phase timer, swap and
+/// proposal counters, shared-cache hit rates via the usual search stats).
+PortfolioResult optimize_portfolio(const SocOptimizer& optimizer,
+                                   const OptimizerOptions& opts,
+                                   const PortfolioOptions& popts = {});
+
+/// Resumes a checkpoint written by a run with the same (SOC, optimizer
+/// options, portfolio config) — fingerprint-verified, throws
+/// std::runtime_error on mismatch or a malformed blob. popts.sweeps may
+/// exceed the checkpointed run's budget to extend the search; a resume with
+/// the original budget reproduces the uninterrupted run bit-identically.
+PortfolioResult resume_portfolio(const SocOptimizer& optimizer,
+                                 const OptimizerOptions& opts,
+                                 const PortfolioOptions& popts,
+                                 const std::string& checkpoint_path);
+
+/// The configuration fingerprint guarding resume (exposed for tests).
+/// Covers the SOC identity, every result-affecting optimizer option, and
+/// the trajectory-defining portfolio parameters — but not the sweep budget
+/// (extending it is the point of resume) and not cache sharing (invisible
+/// in results).
+std::uint64_t portfolio_fingerprint(const SocOptimizer& optimizer,
+                                    const OptimizerOptions& opts,
+                                    const PortfolioOptions& popts);
+
+}  // namespace soctest

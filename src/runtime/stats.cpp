@@ -22,6 +22,9 @@ std::atomic<std::uint64_t> g_search_computed{0};
 std::atomic<std::uint64_t> g_anneal_proposals{0};
 std::atomic<std::uint64_t> g_anneal_memo_hits{0};
 std::atomic<std::uint64_t> g_anneal_bound_pruned{0};
+std::atomic<std::uint64_t> g_portfolio_proposals{0};
+std::atomic<std::uint64_t> g_portfolio_swaps_attempted{0};
+std::atomic<std::uint64_t> g_portfolio_swaps_accepted{0};
 
 }  // namespace
 
@@ -60,6 +63,12 @@ void add_search_counters(const SearchStats& s) {
   g_anneal_memo_hits.fetch_add(s.anneal_memo_hits, std::memory_order_relaxed);
   g_anneal_bound_pruned.fetch_add(s.anneal_bound_pruned,
                                   std::memory_order_relaxed);
+  g_portfolio_proposals.fetch_add(s.portfolio_proposals,
+                                  std::memory_order_relaxed);
+  g_portfolio_swaps_attempted.fetch_add(s.portfolio_swaps_attempted,
+                                        std::memory_order_relaxed);
+  g_portfolio_swaps_accepted.fetch_add(s.portfolio_swaps_accepted,
+                                       std::memory_order_relaxed);
 }
 
 void reset_search_counters() {
@@ -72,6 +81,9 @@ void reset_search_counters() {
   g_anneal_proposals.store(0, std::memory_order_relaxed);
   g_anneal_memo_hits.store(0, std::memory_order_relaxed);
   g_anneal_bound_pruned.store(0, std::memory_order_relaxed);
+  g_portfolio_proposals.store(0, std::memory_order_relaxed);
+  g_portfolio_swaps_attempted.store(0, std::memory_order_relaxed);
+  g_portfolio_swaps_accepted.store(0, std::memory_order_relaxed);
 }
 
 void register_cache_stats_provider(std::function<CacheStats()> provider) {
@@ -97,6 +109,12 @@ RuntimeStats collect_stats() {
       g_anneal_memo_hits.load(std::memory_order_relaxed);
   s.search.anneal_bound_pruned =
       g_anneal_bound_pruned.load(std::memory_order_relaxed);
+  s.search.portfolio_proposals =
+      g_portfolio_proposals.load(std::memory_order_relaxed);
+  s.search.portfolio_swaps_attempted =
+      g_portfolio_swaps_attempted.load(std::memory_order_relaxed);
+  s.search.portfolio_swaps_accepted =
+      g_portfolio_swaps_accepted.load(std::memory_order_relaxed);
   std::function<CacheStats()> provider;
   {
     std::lock_guard<std::mutex> lk(g_m);
@@ -132,6 +150,10 @@ std::string stats_to_json(const RuntimeStats& s) {
      << ", \"anneal_proposals\": " << s.search.anneal_proposals
      << ", \"anneal_memo_hits\": " << s.search.anneal_memo_hits
      << ", \"anneal_bound_pruned\": " << s.search.anneal_bound_pruned
+     << ", \"portfolio_proposals\": " << s.search.portfolio_proposals
+     << ", \"portfolio_swaps_attempted\": "
+     << s.search.portfolio_swaps_attempted
+     << ", \"portfolio_swaps_accepted\": " << s.search.portfolio_swaps_accepted
      << "}, \"phases\": {";
   for (std::size_t i = 0; i < s.phases.size(); ++i) {
     os << (i ? ", " : "") << "\"" << s.phases[i].phase

@@ -61,6 +61,12 @@ struct SearchStats {
   std::uint64_t anneal_proposals = 0;
   std::uint64_t anneal_memo_hits = 0;
   std::uint64_t anneal_bound_pruned = 0;
+  /// Replica-exchange portfolio (src/portfolio): proposal slots consumed
+  /// (replicas x proposals_per_sweep per sweep) and adjacent-pair exchange
+  /// attempts/acceptances. Zero unless a portfolio ran.
+  std::uint64_t portfolio_proposals = 0;
+  std::uint64_t portfolio_swaps_attempted = 0;
+  std::uint64_t portfolio_swaps_accepted = 0;
 };
 
 struct RuntimeStats {

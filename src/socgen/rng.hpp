@@ -4,6 +4,7 @@
 // portability caveats: we implement the draws ourselves).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace soctest {
@@ -12,6 +13,14 @@ namespace soctest {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
+
+  /// Raw generator state, for checkpointing a walk mid-stream
+  /// (src/portfolio). restore()d state resumes the exact draw sequence.
+  using State = std::array<std::uint64_t, 4>;
+  State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st[static_cast<std::size_t>(i)];
+  }
 
   std::uint64_t next_u64();
   /// Uniform in [0, n) for n >= 1 (unbiased via rejection).

@@ -6,6 +6,8 @@
 // BENCH_search ablation relies on.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "opt/annealing.hpp"
 #include "opt/delta_evaluator.hpp"
 #include "opt/soc_optimizer.hpp"
@@ -358,6 +360,40 @@ TEST(ScheduleLowerBound, ExactOnSingleBus) {
     t.cells.push_back({c});
   }
   EXPECT_EQ(schedule_lower_bound(t), 23);
+}
+
+TEST(ScheduleMemoHashing, FnvKeyedMapMatchesOrderedMapSemantics) {
+  // The memo moved from std::map to an FNV-hashed unordered_map; a random
+  // find/emplace workload (duplicate-heavy, near-identical keys) must see
+  // identical semantics against an ordered-map shadow.
+  Rng rng(0x5EED5EEDULL);
+  ScheduleMemo memo;
+  std::map<std::vector<int>, std::int64_t> shadow;
+  for (int step = 0; step < 4000; ++step) {
+    std::vector<int> key;
+    const int n = static_cast<int>(rng.next_range(1, 6));
+    for (int i = 0; i < n; ++i)
+      key.push_back(static_cast<int>(rng.next_range(1, 5)));
+    const auto it = memo.results.find(key);
+    const auto sit = shadow.find(key);
+    ASSERT_EQ(it == memo.results.end(), sit == shadow.end()) << step;
+    if (it != memo.results.end()) {
+      EXPECT_EQ(it->second.test_time, sit->second) << step;
+    } else {
+      OptimizationResult r;
+      r.test_time = step;
+      memo.results.emplace(key, r);
+      shadow.emplace(key, step);
+    }
+  }
+  EXPECT_EQ(memo.results.size(), shadow.size());
+  EXPECT_GT(shadow.size(), 100u);                 // real collisions of keys
+  EXPECT_LT(shadow.size(), 4000u);                // plenty of duplicate hits
+  for (const auto& [key, value] : shadow) {
+    const auto it = memo.results.find(key);
+    ASSERT_NE(it, memo.results.end());
+    EXPECT_EQ(it->second.test_time, value);
+  }
 }
 
 TEST(CostTableOverload, MatchesCostFnOverload) {

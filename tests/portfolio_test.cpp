@@ -1,0 +1,367 @@
+// Replica-exchange portfolio (src/portfolio) pins:
+//   - bit-identity across runtime lane counts (1/4/8) — the determinism
+//     contract the counter-based swap RNG and ladder-order reduction buy;
+//   - shared-cache invisibility: one ScheduleMemo/ColumnCache across all
+//     replicas gives member-for-member the same results as private caches;
+//   - swaps disabled == K independent optimize_annealing() runs, replica by
+//     replica, seed derivation and ladder temperatures included;
+//   - checkpoint/resume reproduces the uninterrupted run exactly, and the
+//     decoder rejects corrupt or mismatched blobs instead of mis-resuming;
+//   - the hill-climb racer merges deterministically, and the proposal
+//     budget truncates to whole sweeps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "opt/annealing.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "portfolio/checkpoint.hpp"
+#include "portfolio/counter_rng.hpp"
+#include "portfolio/portfolio.hpp"
+#include "runtime/thread_pool.hpp"
+#include "socgen/cube_synth.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+void expect_identical(const OptimizationResult& a, const OptimizationResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.arch.widths, b.arch.widths);
+  EXPECT_EQ(a.test_time, b.test_time);
+  EXPECT_EQ(a.data_volume_bits, b.data_volume_bits);
+  ASSERT_EQ(a.schedule.entries.size(), b.schedule.entries.size());
+  for (std::size_t i = 0; i < a.schedule.entries.size(); ++i) {
+    EXPECT_EQ(a.schedule.entries[i].core, b.schedule.entries[i].core) << i;
+    EXPECT_EQ(a.schedule.entries[i].bus, b.schedule.entries[i].bus) << i;
+    EXPECT_EQ(a.schedule.entries[i].start, b.schedule.entries[i].start) << i;
+    EXPECT_EQ(a.schedule.entries[i].end, b.schedule.entries[i].end) << i;
+  }
+  EXPECT_EQ(a.schedule.bus_finish, b.schedule.bus_finish);
+  EXPECT_EQ(a.wiring.onchip_wires, b.wiring.onchip_wires);
+  EXPECT_EQ(a.wiring.ate_channels, b.wiring.ate_channels);
+  EXPECT_EQ(a.wiring.decompressors, b.wiring.decompressors);
+}
+
+void expect_same_portfolio(const PortfolioResult& a, const PortfolioResult& b,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  expect_identical(a.best, b.best, "best");
+  ASSERT_EQ(a.replica_best.size(), b.replica_best.size());
+  for (std::size_t r = 0; r < a.replica_best.size(); ++r)
+    expect_identical(a.replica_best[r], b.replica_best[r],
+                     "replica " + std::to_string(r));
+  EXPECT_EQ(a.stats.sweeps_completed, b.stats.sweeps_completed);
+  EXPECT_EQ(a.stats.proposals_total, b.stats.proposals_total);
+  EXPECT_EQ(a.stats.swaps_attempted, b.stats.swaps_attempted);
+  EXPECT_EQ(a.stats.swaps_accepted, b.stats.swaps_accepted);
+  EXPECT_EQ(a.stats.best_by_sweep, b.stats.best_by_sweep);
+  EXPECT_EQ(a.stats.hill_climb_won, b.stats.hill_climb_won);
+}
+
+SocSpec fuzzed_soc(std::uint64_t seed) {
+  Rng rng(seed);
+  SocSpec soc;
+  soc.name = "fuzz-" + std::to_string(seed);
+  const int cores = static_cast<int>(rng.next_range(3, 6));
+  for (int i = 0; i < cores; ++i) {
+    CoreUnderTest c;
+    c.spec.name = "c" + std::to_string(i);
+    c.spec.num_inputs = static_cast<int>(rng.next_range(1, 30));
+    c.spec.num_outputs = static_cast<int>(rng.next_range(1, 30));
+    const int chains = static_cast<int>(rng.next_range(1, 12));
+    for (int j = 0; j < chains; ++j)
+      c.spec.scan_chain_lengths.push_back(
+          static_cast<int>(rng.next_range(1, 120)));
+    c.spec.num_patterns = static_cast<int>(rng.next_range(4, 30));
+    CubeSynthParams p;
+    p.num_cells = c.spec.stimulus_bits_per_pattern();
+    p.num_patterns = c.spec.num_patterns;
+    p.care_density = 0.01 + 0.4 * rng.next_double();
+    c.cubes = synthesize_cubes(p, rng.next_u64());
+    c.validate();
+    soc.cores.push_back(std::move(c));
+  }
+  return soc;
+}
+
+/// Shared d695 optimizer — static so the SocSpec outlives it (SocOptimizer
+/// keeps a pointer) and the explore tables build once for the whole suite.
+const SocOptimizer& d695_optimizer() {
+  static const SocSpec soc = make_d695();
+  static const SocOptimizer opt(soc, [] {
+    ExploreOptions e;
+    e.max_width = 16;
+    e.max_chains = 64;
+    return e;
+  }());
+  return opt;
+}
+
+OptimizerOptions d695_options() {
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  return o;
+}
+
+PortfolioOptions small_portfolio(std::uint64_t seed = 7) {
+  PortfolioOptions p;
+  p.replicas = 3;
+  p.sweeps = 5;
+  p.proposals_per_sweep = 30;
+  p.seed = seed;
+  return p;
+}
+
+TEST(PortfolioDeterminism, BitIdenticalAcrossJobs) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const PortfolioOptions p = small_portfolio();
+
+  runtime::ThreadPool pool1(1), pool4(4), pool8(8);
+  PortfolioResult r1, r4, r8;
+  {
+    runtime::PoolScope scope(&pool1);
+    r1 = optimize_portfolio(opt, o, p);
+  }
+  {
+    runtime::PoolScope scope(&pool4);
+    r4 = optimize_portfolio(opt, o, p);
+  }
+  {
+    runtime::PoolScope scope(&pool8);
+    r8 = optimize_portfolio(opt, o, p);
+  }
+  expect_same_portfolio(r4, r1, "4 lanes vs 1");
+  expect_same_portfolio(r8, r1, "8 lanes vs 1");
+}
+
+TEST(PortfolioDeterminism, SharedMemoMatchesPrivateMemo) {
+  for (const bool use_d695 : {true, false}) {
+    const SocSpec soc = use_d695 ? make_d695() : fuzzed_soc(0xF011F011ULL);
+    ExploreOptions e;
+    e.max_width = use_d695 ? 16 : 14;
+    e.max_chains = 64;
+    const SocOptimizer opt(soc, e);
+    OptimizerOptions o;
+    o.width = use_d695 ? 16 : 11;
+    o.mode = ArchMode::PerCore;
+
+    PortfolioOptions shared = small_portfolio(11);
+    shared.share_caches = true;
+    PortfolioOptions priv = shared;
+    priv.share_caches = false;
+
+    runtime::ThreadPool pool1(1), pool4(4);
+    PortfolioResult rs1, rp1, rs4, rp4;
+    {
+      runtime::PoolScope scope(&pool1);
+      rs1 = optimize_portfolio(opt, o, shared);
+      rp1 = optimize_portfolio(opt, o, priv);
+    }
+    {
+      runtime::PoolScope scope(&pool4);
+      rs4 = optimize_portfolio(opt, o, shared);
+      rp4 = optimize_portfolio(opt, o, priv);
+    }
+    const std::string tag = use_d695 ? "d695" : "fuzzed";
+    expect_same_portfolio(rp1, rs1, tag + ": private vs shared @1");
+    expect_same_portfolio(rs4, rs1, tag + ": shared @4 vs @1");
+    expect_same_portfolio(rp4, rs1, tag + ": private @4 vs shared @1");
+  }
+}
+
+TEST(PortfolioDeterminism, SwapsDisabledMatchesIndependentAnneals) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+
+  PortfolioOptions p = small_portfolio(21);
+  p.swaps_enabled = false;
+  p.race_hill_climb = false;
+  const PortfolioResult pr = optimize_portfolio(opt, o, p);
+  EXPECT_EQ(pr.stats.swaps_attempted, 0u);
+
+  for (int r = 0; r < p.replicas; ++r) {
+    AnnealingOptions a;
+    a.iterations = p.sweeps * p.proposals_per_sweep;
+    a.initial_temperature = p.initial_temperature;
+    for (int i = 0; i < r; ++i) a.initial_temperature *= p.temperature_ratio;
+    a.cooling = p.cooling;
+    a.seed = portfolio::replica_seed(p.seed, r);
+    expect_identical(pr.replica_best[static_cast<std::size_t>(r)],
+                     optimize_annealing(opt, o, a),
+                     "replica " + std::to_string(r) + " vs lone anneal");
+  }
+}
+
+TEST(PortfolioCheckpoint, ResumeReproducesUninterruptedRun) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const std::string path = testing::TempDir() + "soctest_portfolio_ck.bin";
+
+  PortfolioOptions full = small_portfolio(5);
+  const PortfolioResult uninterrupted = optimize_portfolio(opt, o, full);
+
+  PortfolioOptions partial = full;
+  partial.sweeps = 2;  // interrupted after 2 of 5 sweeps
+  partial.checkpoint_path = path;
+  optimize_portfolio(opt, o, partial);
+
+  PortfolioOptions rest = full;  // budget restored to the full 5 sweeps
+  const PortfolioResult resumed = resume_portfolio(opt, o, rest, path);
+  expect_same_portfolio(resumed, uninterrupted, "resumed vs uninterrupted");
+  std::remove(path.c_str());
+}
+
+TEST(PortfolioCheckpoint, RoundTripsThroughBytes) {
+  portfolio::PortfolioCheckpoint ck;
+  ck.fingerprint = 0xDEADBEEFCAFEF00DULL;
+  ck.sweeps_completed = 3;
+  ck.swaps_attempted = 6;
+  ck.swaps_accepted = 2;
+  ck.proposals_total = 540;
+  ck.racer_state = portfolio::RacerState::Done;
+  ck.racer_best_widths = {9, 4, 3};
+  ck.best_by_sweep = {50000, 48000, 47500};
+  for (int r = 0; r < 2; ++r) {
+    AnnealWalkState st;
+    st.rng = {1ULL + r, 2, 3, 4};
+    st.iteration = 90;
+    st.temperature_bits = 0x3FE0000000000000ULL;
+    st.proposals = 88;
+    st.current_widths = {8, 8};
+    st.best_widths = {10, 6};
+    ck.replicas.push_back(st);
+  }
+  const std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
+  const portfolio::PortfolioCheckpoint back =
+      portfolio::decode_checkpoint(bytes);
+  EXPECT_EQ(back.fingerprint, ck.fingerprint);
+  EXPECT_EQ(back.sweeps_completed, ck.sweeps_completed);
+  EXPECT_EQ(back.swaps_attempted, ck.swaps_attempted);
+  EXPECT_EQ(back.swaps_accepted, ck.swaps_accepted);
+  EXPECT_EQ(back.proposals_total, ck.proposals_total);
+  EXPECT_EQ(back.racer_state, ck.racer_state);
+  EXPECT_EQ(back.racer_best_widths, ck.racer_best_widths);
+  EXPECT_EQ(back.best_by_sweep, ck.best_by_sweep);
+  ASSERT_EQ(back.replicas.size(), ck.replicas.size());
+  for (std::size_t r = 0; r < ck.replicas.size(); ++r) {
+    EXPECT_EQ(back.replicas[r].rng, ck.replicas[r].rng);
+    EXPECT_EQ(back.replicas[r].iteration, ck.replicas[r].iteration);
+    EXPECT_EQ(back.replicas[r].temperature_bits,
+              ck.replicas[r].temperature_bits);
+    EXPECT_EQ(back.replicas[r].proposals, ck.replicas[r].proposals);
+    EXPECT_EQ(back.replicas[r].current_widths, ck.replicas[r].current_widths);
+    EXPECT_EQ(back.replicas[r].best_widths, ck.replicas[r].best_widths);
+  }
+}
+
+TEST(PortfolioCheckpoint, RejectsCorruptOrMismatched) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const std::string path = testing::TempDir() + "soctest_portfolio_bad.bin";
+
+  PortfolioOptions p = small_portfolio(9);
+  p.sweeps = 1;
+  p.checkpoint_path = path;
+  optimize_portfolio(opt, o, p);
+  p.checkpoint_path.clear();
+
+  // Wrong optimizer config: the fingerprint guard must refuse.
+  OptimizerOptions narrower = o;
+  narrower.width = 8;
+  EXPECT_THROW(resume_portfolio(opt, narrower, p, path), std::runtime_error);
+  // Wrong portfolio config (different seed -> different trajectory).
+  PortfolioOptions other_seed = p;
+  other_seed.seed = 1234;
+  EXPECT_THROW(resume_portfolio(opt, o, other_seed, path),
+               std::runtime_error);
+  // Missing file.
+  EXPECT_THROW(resume_portfolio(opt, o, p, path + ".nope"),
+               std::runtime_error);
+
+  std::vector<unsigned char> bytes;
+  {
+    const portfolio::PortfolioCheckpoint ck =
+        portfolio::read_checkpoint_file(path);
+    bytes = portfolio::encode_checkpoint(ck);
+  }
+  std::vector<unsigned char> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(portfolio::decode_checkpoint(bad_magic), std::runtime_error);
+  std::vector<unsigned char> truncated(bytes.begin(), bytes.end() - 5);
+  EXPECT_THROW(portfolio::decode_checkpoint(truncated), std::runtime_error);
+  std::vector<unsigned char> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(portfolio::decode_checkpoint(trailing), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PortfolioRacer, MergesHillClimbResult) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const OptimizationResult climb = opt.optimize(o);
+
+  // No sweeps: the replicas only know their balanced start, so the racer
+  // must carry the portfolio to the hill climb's result.
+  PortfolioOptions p = small_portfolio(3);
+  p.sweeps = 0;
+  const PortfolioResult pr = optimize_portfolio(opt, o, p);
+  EXPECT_TRUE(pr.stats.hill_climb_raced);
+  expect_identical(pr.best, climb, "racer-carried best");
+
+  // Racer off: the start configuration is all the portfolio has.
+  PortfolioOptions no_racer = p;
+  no_racer.race_hill_climb = false;
+  const PortfolioResult nr = optimize_portfolio(opt, o, no_racer);
+  EXPECT_FALSE(nr.stats.hill_climb_raced);
+  EXPECT_FALSE(nr.stats.hill_climb_won);
+  EXPECT_GE(nr.best.test_time, pr.best.test_time);
+}
+
+TEST(PortfolioBudget, ProposalBudgetStopsAtWholeSweeps) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+
+  PortfolioOptions p = small_portfolio(13);
+  p.race_hill_climb = false;
+  const std::uint64_t per_sweep =
+      static_cast<std::uint64_t>(p.replicas) *
+      static_cast<std::uint64_t>(p.proposals_per_sweep);
+  // Budget covers 2 whole sweeps plus a remainder the loop must not start.
+  p.max_proposals = 2 * per_sweep + per_sweep / 2;
+  const PortfolioResult pr = optimize_portfolio(opt, o, p);
+  EXPECT_EQ(pr.stats.sweeps_completed, 2);
+  EXPECT_EQ(pr.stats.proposals_total, 2 * per_sweep);
+
+  // The truncated run is the prefix of the unbudgeted one.
+  PortfolioOptions unbudgeted = small_portfolio(13);
+  unbudgeted.race_hill_climb = false;
+  const PortfolioResult full = optimize_portfolio(opt, o, unbudgeted);
+  ASSERT_GE(full.stats.best_by_sweep.size(), pr.stats.best_by_sweep.size());
+  for (std::size_t i = 0; i < pr.stats.best_by_sweep.size(); ++i)
+    EXPECT_EQ(pr.stats.best_by_sweep[i], full.stats.best_by_sweep[i]) << i;
+}
+
+TEST(PortfolioSwapRng, CounterDrawsAreStableAndSeedKeyed) {
+  // Pure function of (seed, sweep, pair): same inputs, same draw.
+  EXPECT_EQ(portfolio::swap_word(1, 2, 3), portfolio::swap_word(1, 2, 3));
+  EXPECT_NE(portfolio::swap_word(1, 2, 3), portfolio::swap_word(2, 2, 3));
+  EXPECT_NE(portfolio::swap_word(1, 2, 3), portfolio::swap_word(1, 3, 3));
+  EXPECT_NE(portfolio::swap_word(1, 2, 3), portfolio::swap_word(1, 2, 4));
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    const double u = portfolio::swap_uniform(99, s, s % 3);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_NE(portfolio::replica_seed(1, 0), portfolio::replica_seed(1, 1));
+  EXPECT_NE(portfolio::replica_seed(1, 0), portfolio::replica_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace soctest

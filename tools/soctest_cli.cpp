@@ -8,14 +8,19 @@
 //                    fixedw4] [--constraint tam|ate] [--power MW]
 //                    [--select] [--svg out.svg]
 //                    [--anneal N [--seed S]]    (simulated annealing search)
+//                    [--portfolio K [--sweeps N] [--sweep-proposals P]
+//                     [--seed S] [--checkpoint f [--checkpoint-every N]]
+//                     [--resume f]]     (replica-exchange search portfolio)
 //   soctest compare  --design <d> --width W            (with vs without TDC)
 //   soctest convert  --design <d> --out file.soc       (export any design)
+//   soctest help                                       (full flag grammar)
 //
 // Every command also accepts --jobs N (parallel lanes for the runtime
 // pool; default: SOCTEST_JOBS env var, else all hardware threads).
 //
-// <d> is a built-in design (d695, d2758, System1..System4, fig4) or a path
-// to a .soc file in the src/io text format.
+// <d> is a built-in design (d695, d2758, System1..System4, fig4),
+// synth:<cores>[:<seed>] for the seeded synthetic generator, or a path to a
+// .soc file in the src/io text format.
 //
 // Exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error.
 #include <cstdio>
@@ -31,6 +36,7 @@
 #include "opt/annealing.hpp"
 #include "opt/baselines.hpp"
 #include "opt/result.hpp"
+#include "portfolio/portfolio.hpp"
 #include "report/csv.hpp"
 #include "report/svg.hpp"
 #include "report/table.hpp"
@@ -81,6 +87,20 @@ struct Args {
     }
     return v;
   }
+  /// Strict unsigned 64-bit flag (seeds): the whole token must be digits.
+  std::uint64_t get_u64(const std::string& k, std::uint64_t def) const {
+    auto it = flags.find(k);
+    if (it == flags.end()) return def;
+    const char* s = it->second.c_str();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (*s < '0' || *s > '9' || end == s || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not an unsigned integer\n",
+                   k.c_str(), s);
+      std::exit(2);
+    }
+    return v;
+  }
   /// Usage error (exit 2) if the flag is absent or empty.
   std::string require(const std::string& k) const {
     const std::string v = get(k);
@@ -122,14 +142,30 @@ SocSpec load_design(const std::string& name) {
   if (name == "fig4") return make_fig4_soc();
   for (int i = 1; i <= 4; ++i)
     if (name == "System" + std::to_string(i)) return make_system(i);
-  // synth:<cores>[:<seed>] — the seeded scale-study generator.
+  // synth:<cores>[:<seed>] — the seeded scale-study generator. Strict: the
+  // whole token must be consumed, so 'synth:120:7x' or 'synth:12x0' is a
+  // usage error instead of silently parsing the digit prefix.
   if (name.rfind("synth:", 0) == 0) {
-    const std::string rest = name.substr(6);
-    const std::size_t colon = rest.find(':');
+    const auto bad = [&name]() {
+      std::fprintf(stderr,
+                   "bad design '%s': expected synth:<cores>[:<seed>] with "
+                   "<cores> >= 1 and <seed> unsigned decimal\n",
+                   name.c_str());
+      std::exit(2);
+    };
+    const char* s = name.c_str() + 6;
+    char* end = nullptr;
+    const long cores = std::strtol(s, &end, 10);
+    if (*s < '0' || *s > '9' || end == s || cores < 1) bad();
+    std::uint64_t seed = 1;
+    if (*end == ':') {
+      const char* s2 = end + 1;
+      seed = std::strtoull(s2, &end, 10);
+      if (*s2 < '0' || *s2 > '9' || end == s2) bad();
+    }
+    if (*end != '\0') bad();
     SyntheticSocParams p;
-    p.num_cores = std::stoi(rest.substr(0, colon));
-    const std::uint64_t seed =
-        colon == std::string::npos ? 1 : std::stoull(rest.substr(colon + 1));
+    p.num_cores = static_cast<int>(cores);
     return make_synthetic_soc(p, seed);
   }
   // Otherwise treat as a file path.
@@ -249,10 +285,40 @@ int cmd_optimize(const Args& a) {
   }
 
   OptimizationResult r;
-  if (a.has("anneal")) {
+  std::optional<PortfolioStats> pstats;
+  if (a.has("portfolio") || a.has("resume")) {
+    if (a.has("anneal")) {
+      std::fprintf(stderr, "--portfolio and --anneal are exclusive (the "
+                           "portfolio runs its own annealing ladder)\n");
+      return 2;
+    }
+    o.portfolio = a.get_int("portfolio", 4);
+    if (o.portfolio < 1) {
+      std::fprintf(stderr, "--portfolio must be >= 1\n");
+      return 2;
+    }
+    PortfolioOptions p;
+    p.sweeps = a.get_int("sweeps", 20);
+    p.proposals_per_sweep = a.get_int("sweep-proposals", 100);
+    p.seed = a.get_u64("seed", 1);
+    p.checkpoint_path = a.get("checkpoint");
+    p.checkpoint_every = a.get_int("checkpoint-every", 0);
+    if (p.sweeps < 0 || p.proposals_per_sweep < 1) {
+      std::fprintf(stderr,
+                   "--sweeps must be >= 0 and --sweep-proposals >= 1\n");
+      return 2;
+    }
+    const PortfolioResult pr =
+        a.has("resume") ? resume_portfolio(opt, o, p, a.require("resume"))
+                        : optimize_portfolio(opt, o, p);
+    r = pr.best;
+    pstats = pr.stats;
+    if (!p.checkpoint_path.empty())
+      std::printf("checkpoint written to %s\n", p.checkpoint_path.c_str());
+  } else if (a.has("anneal")) {
     AnnealingOptions an;
     an.iterations = a.get_int("anneal", 2000);
-    an.seed = static_cast<std::uint64_t>(a.get_int("seed", 1));
+    an.seed = a.get_u64("seed", 1);
     if (an.iterations < 1) {
       std::fprintf(stderr, "--anneal must be >= 1\n");
       return 2;
@@ -263,11 +329,13 @@ int cmd_optimize(const Args& a) {
   }
   std::printf("%s", summarize(r, soc).c_str());
   const runtime::RuntimeStats rs = runtime::collect_stats();
-  double explore_s = 0, search_s = 0;
+  double explore_s = 0, search_s = 0, portfolio_s = 0;
   for (const auto& p : rs.phases) {
     if (p.phase == "explore") explore_s = p.seconds;
     if (p.phase == "search") search_s = p.seconds;
+    if (p.phase == "portfolio") portfolio_s = p.seconds;
   }
+  if (portfolio_s > 0) search_s += portfolio_s;
   std::printf("[runtime] jobs=%d explore=%.3fs search=%.3fs cache %llu/%llu "
               "hits (%.1f%%), %llu evictions\n",
               rs.pool.workers, explore_s, search_s,
@@ -291,6 +359,25 @@ int cmd_optimize(const Args& a) {
                 static_cast<unsigned long long>(rs.search.anneal_memo_hits),
                 static_cast<unsigned long long>(
                     rs.search.anneal_bound_pruned));
+  if (pstats) {
+    std::printf("[portfolio] replicas=%d sweeps=%d proposals=%llu "
+                "swap-acceptance=%.1f%% (%llu/%llu)%s%s\n",
+                pstats->replicas, pstats->sweeps_completed,
+                static_cast<unsigned long long>(pstats->proposals_total),
+                100.0 * pstats->swap_acceptance(),
+                static_cast<unsigned long long>(pstats->swaps_accepted),
+                static_cast<unsigned long long>(pstats->swaps_attempted),
+                pstats->hill_climb_raced ? " raced-hill-climb" : "",
+                pstats->hill_climb_won ? " (hill climb won)" : "");
+    for (std::size_t i = 0; i < pstats->replica.size(); ++i) {
+      const PortfolioReplicaReport& rep = pstats->replica[i];
+      std::printf("[portfolio]   replica %zu: T0=%.4f proposals=%llu "
+                  "best=%lld\n",
+                  i, rep.initial_temperature,
+                  static_cast<unsigned long long>(rep.proposals),
+                  static_cast<long long>(rep.best_test_time));
+    }
+  }
   if (o.power_budget_mw > 0)
     std::printf("peak power %.1f mW (budget %.1f)\n", r.peak_power_mw,
                 o.power_budget_mw);
@@ -341,15 +428,52 @@ int cmd_convert(const Args& a) {
   return 0;
 }
 
-int usage() {
+void print_grammar(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: soctest <command> [--flag value ...]\n"
-      "commands: list-designs | show | explore | optimize | compare | "
-      "convert\n"
-      "global flags: --jobs N (parallel lanes; default $SOCTEST_JOBS or all "
-      "hardware threads)\n"
-      "see the header of tools/soctest_cli.cpp for per-command flags\n");
+      "\n"
+      "commands:\n"
+      "  list-designs\n"
+      "  show     --design <d>\n"
+      "  explore  --design <d> --core <name> [--max-width N] [--max-chains N]\n"
+      "           [--csv out.csv]\n"
+      "  optimize --design <d> --width W [--mode percore|pertam|notdc|fixedw4]\n"
+      "           [--constraint tam|ate] [--power MW] [--select] [--svg f]\n"
+      "           [--anneal N [--seed S]]\n"
+      "           [--portfolio K [--sweeps N] [--sweep-proposals P] [--seed S]\n"
+      "            [--checkpoint f [--checkpoint-every N]] [--resume f]]\n"
+      "  compare  --design <d> --width W\n"
+      "  convert  --design <d> --out file.soc\n"
+      "  help\n"
+      "\n"
+      "design grammar (<d>):\n"
+      "  d695 | d2758 | System1..System4 | fig4     built-in benchmarks\n"
+      "  synth:<cores>[:<seed>]                     seeded synthetic SOC;\n"
+      "      <cores> decimal >= 1, <seed> unsigned decimal (default 1);\n"
+      "      no trailing characters (synth:120:7x is rejected)\n"
+      "  anything else                              path to a .soc text file\n"
+      "\n"
+      "search selection (optimize):\n"
+      "  default             multi-start hill climb over bus counts\n"
+      "  --anneal N          simulated annealing, N iterations, RNG --seed S\n"
+      "  --portfolio K       replica-exchange portfolio: K annealing walks on\n"
+      "                      a geometric temperature ladder, deterministic\n"
+      "                      swaps each sweep, racing the hill climb; budget =\n"
+      "                      --sweeps x --sweep-proposals per replica\n"
+      "  --checkpoint f      write portfolio state to f (and every\n"
+      "                      --checkpoint-every sweeps when > 0)\n"
+      "  --resume f          resume a portfolio checkpoint (same design,\n"
+      "                      width, mode and portfolio config; --sweeps may\n"
+      "                      be raised to extend the search)\n"
+      "\n"
+      "global flags: --jobs N (parallel lanes; default $SOCTEST_JOBS or all\n"
+      "hardware threads). Results are bit-identical for any --jobs value.\n"
+      "exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error\n");
+}
+
+int usage() {
+  print_grammar(stderr);
   return 2;
 }
 
@@ -364,6 +488,10 @@ int main(int argc, char** argv) {
       return 2;
     }
     soctest::runtime::set_global_concurrency(jobs);
+  }
+  if (a.command == "help" || a.has("help")) {
+    print_grammar(stdout);
+    return 0;
   }
   try {
     if (a.command == "list-designs") return cmd_list_designs();
