@@ -1,0 +1,264 @@
+// Daemon throughput: cold vs warm request batches through the in-process
+// ServerCore — the same engine `soctest --serve` and `--batch` run. Two
+// scenarios:
+//
+//   repeat   N distinct synthetic SOCs submitted concurrently twice over.
+//            The first wave builds N sessions (full per-core explore); the
+//            second wave must be served from the SessionCache and finish
+//            measurably faster, with nonzero cross-request cache hits.
+//   sweep    One SOC, a sequence of TAM widths inside one explore band
+//            (the session fingerprint covers the explored width range
+//            max(width, 32), not the requested width itself), so every
+//            width after the first rides the warm columns/memo; compared
+//            against fresh cold ServerCores per width.
+//
+// Gates (exit 1): warm wall-clock < cold wall-clock in both scenarios,
+// warm reports byte-identical to their cold counterparts, and nonzero
+// session-cache hits. Results are spliced into the "server" section of
+// BENCH_runtime.json; micro_kernels rewrites the google-benchmark body of
+// that file wholesale, so this binary only replaces its own section.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "server/server.hpp"
+
+using namespace soctest;
+using namespace soctest::server;
+
+namespace {
+
+/// Thread-safe line sink; keeps the raw "report" object per request id so
+/// cold and warm waves can be compared byte for byte.
+class Sink {
+ public:
+  EmitFn emit() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(m_);
+      const std::size_t pos = line.find("\"report\": ");
+      if (pos == std::string::npos) return;
+      const std::size_t id0 = line.find("\"id\": \"") + 7;
+      const std::string id = line.substr(id0, line.find('"', id0) - id0);
+      reports_[id] = line.substr(pos + 10, line.size() - (pos + 10) - 1);
+    };
+  }
+  std::string report(const std::string& id) const {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = reports_.find(id);
+    return it == reports_.end() ? std::string() : it->second;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, std::string> reports_;
+};
+
+std::string synth_request(const std::string& id, int cores, int seed,
+                          int width) {
+  return "{\"op\": \"optimize\", \"id\": \"" + id + "\", \"design\": "
+         "\"synth:" + std::to_string(cores) + ":" + std::to_string(seed) +
+         "\", \"width\": " + std::to_string(width) + "}";
+}
+
+/// Submits all lines concurrently and waits for every job; returns wall
+/// seconds for the whole wave.
+double run_wave(ServerCore& core, const std::vector<std::string>& lines,
+                Sink& sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::shared_future<void>> pending;
+  for (const std::string& line : lines)
+    pending.push_back(core.handle_line(line, sink.emit()));
+  for (auto& fut : pending)
+    if (fut.valid()) fut.get();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Removes the top-level "server" key (and its preceding comma) from an
+/// existing BENCH_runtime.json body by bracket matching, leaving the
+/// google-benchmark "context"/"benchmarks" sections intact.
+std::string drop_server_section(std::string existing) {
+  const std::size_t marker = existing.find("\n  \"server\":");
+  if (marker == std::string::npos)
+    return existing;
+  std::size_t start = marker;
+  if (start > 0 && existing[start - 1] == ',')
+    --start;
+  std::size_t p = existing.find_first_of("[{", marker);
+  if (p == std::string::npos)
+    return existing.substr(0, start);  // malformed tail: drop it
+  int depth = 0;
+  std::size_t q = p;
+  for (; q < existing.size(); ++q) {
+    const char c = existing[q];
+    if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (--depth == 0) {
+        ++q;
+        break;
+      }
+    }
+  }
+  return existing.substr(0, start) + existing.substr(q);
+}
+
+/// Replaces (or appends) the top-level "server" key of BENCH_runtime.json,
+/// leaving the micro_kernels body intact. Falls back to a standalone file
+/// when none exists yet.
+void splice_server_section(const std::string& server_json) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_runtime.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  if (const std::size_t close = drop_server_section(existing).rfind('}');
+      close != std::string::npos) {
+    out = drop_server_section(existing).substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+      out.pop_back();
+  }
+  if (out.empty())
+    out = "{\n  \"experiment\": \"server_throughput\"";
+  out += ",\n  \"server\": {\n" + server_json + "  }\n}\n";
+  std::ofstream f("BENCH_runtime.json");
+  f << out;
+}
+
+std::string json_f(const char* key, double v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "    \"%s\": %.6f%s\n", key, v,
+                comma ? "," : "");
+  return buf;
+}
+
+std::string json_u(const char* key, std::uint64_t v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "    \"%s\": %llu%s\n", key,
+                static_cast<unsigned long long>(v), comma ? "," : "");
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Daemon throughput: cold vs warm request waves ===\n\n");
+  bool ok = true;
+  std::string json;
+
+  // --- Scenario 1: repeat traffic over N distinct SOCs -------------------
+  constexpr int kSocs = 6;
+  constexpr int kCores = 24;
+  std::vector<std::string> cold_wave, warm_wave;
+  for (int i = 0; i < kSocs; ++i) {
+    cold_wave.push_back(
+        synth_request("cold" + std::to_string(i), kCores, 100 + i, 24));
+    warm_wave.push_back(
+        synth_request("warm" + std::to_string(i), kCores, 100 + i, 24));
+  }
+
+  ServerCore core;
+  Sink sink;
+  const double cold_s = run_wave(core, cold_wave, sink);
+  const double warm_s = run_wave(core, warm_wave, sink);
+  const runtime::CacheStats repeat_stats = core.session_cache().stats();
+
+  bool identical = true;
+  for (int i = 0; i < kSocs; ++i) {
+    const std::string c = sink.report("cold" + std::to_string(i));
+    const std::string w = sink.report("warm" + std::to_string(i));
+    identical = identical && !c.empty() && c == w;
+  }
+
+  Table t1({"wave", "requests", "wall s", "session hits", "identical"});
+  t1.add_row({"cold", std::to_string(kSocs), Table::fixed(cold_s, 3), "0",
+              "-"});
+  t1.add_row({"warm", std::to_string(kSocs), Table::fixed(warm_s, 3),
+              std::to_string(repeat_stats.hits), identical ? "yes" : "NO"});
+  std::printf("%s", t1.to_string().c_str());
+  std::printf("\nrepeat speedup: %.2fx\n\n",
+              warm_s > 0 ? cold_s / warm_s : 0.0);
+
+  ok = ok && identical && repeat_stats.hits >= kSocs && warm_s < cold_s;
+
+  json += "    \"repeat\": {\n";
+  json += "  " + json_u("requests", kSocs);
+  json += "  " + json_f("cold_wall_seconds", cold_s);
+  json += "  " + json_f("warm_wall_seconds", warm_s);
+  json += "  " + json_f("speedup", warm_s > 0 ? cold_s / warm_s : 0.0);
+  json += "  " + json_u("session_hits", repeat_stats.hits);
+  json += "  " + json_u("session_insertions", repeat_stats.insertions, false);
+  json += "    },\n";
+
+  // --- Scenario 2: width sweep on one SOC (cross-width warm sharing) -----
+  const std::vector<int> widths = {12, 16, 20, 24, 32};
+  double sweep_cold_s = 0.0;
+  Sink cold_sink;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ServerCore fresh;  // a cold daemon per width: no sharing possible
+    sweep_cold_s += run_wave(
+        fresh, {synth_request("sc" + std::to_string(i), kCores, 7, widths[i])},
+        cold_sink);
+  }
+
+  ServerCore shared;
+  Sink warm_sink;
+  double sweep_warm_s = 0.0;
+  for (std::size_t i = 0; i < widths.size(); ++i)
+    sweep_warm_s += run_wave(
+        shared, {synth_request("sw" + std::to_string(i), kCores, 7, widths[i])},
+        warm_sink);
+  const runtime::CacheStats sweep_stats = shared.session_cache().stats();
+
+  bool sweep_identical = true;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const std::string c = cold_sink.report("sc" + std::to_string(i));
+    const std::string w = warm_sink.report("sw" + std::to_string(i));
+    sweep_identical = sweep_identical && !c.empty() && c == w;
+  }
+
+  Table t2({"sweep", "widths", "wall s", "session hits", "identical"});
+  t2.add_row({"cold daemons", std::to_string(widths.size()),
+              Table::fixed(sweep_cold_s, 3), "0", "-"});
+  t2.add_row({"one daemon", std::to_string(widths.size()),
+              Table::fixed(sweep_warm_s, 3), std::to_string(sweep_stats.hits),
+              sweep_identical ? "yes" : "NO"});
+  std::printf("%s", t2.to_string().c_str());
+  std::printf("\nsweep speedup: %.2fx\n\n",
+              sweep_warm_s > 0 ? sweep_cold_s / sweep_warm_s : 0.0);
+
+  ok = ok && sweep_identical && sweep_stats.hits >= widths.size() - 1 &&
+       sweep_warm_s < sweep_cold_s;
+
+  json += "    \"width_sweep\": {\n";
+  json += "  " + json_u("widths", widths.size());
+  json += "  " + json_f("cold_wall_seconds", sweep_cold_s);
+  json += "  " + json_f("warm_wall_seconds", sweep_warm_s);
+  json += "  " + json_f("speedup",
+                        sweep_warm_s > 0 ? sweep_cold_s / sweep_warm_s : 0.0);
+  json += "  " + json_u("session_hits", sweep_stats.hits, false);
+  json += "    }\n";
+
+  splice_server_section(json);
+  std::printf("BENCH_runtime.json: \"server\" section updated\n");
+
+  if (!ok) {
+    std::printf("FAIL: warm waves must beat cold with identical reports "
+                "and nonzero session hits\n");
+    return 1;
+  }
+  std::printf("OK: warm repeats beat cold with bit-identical reports\n");
+  return 0;
+}

@@ -20,6 +20,8 @@ CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts) {
   // Step 1: uncompressed wrapper design for every candidate TAM width.
   // A core with fewer scannable elements than w simply leaves wires unused.
   // Every width is independent; each writes only its own slot.
+  runtime::ParallelOptions popts;
+  popts.cancel = opts.cancel;
   std::vector<CoreChoice> direct(static_cast<std::size_t>(opts.max_width));
   runtime::parallel_for(1, opts.max_width + 1, [&](std::int64_t w) {
     const int m =
@@ -33,7 +35,7 @@ CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts) {
     c.test_time = uncompressed_test_time(d, core.spec.num_patterns);
     c.data_volume_bits = uncompressed_data_volume(d, core.spec.num_patterns);
     direct[static_cast<std::size_t>(w - 1)] = c;
-  });
+  }, popts);
   for (int w = 1; w <= opts.max_width; ++w)
     table.set_direct(w, direct[static_cast<std::size_t>(w - 1)]);
 
@@ -61,7 +63,7 @@ CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts) {
                                           core.spec.num_patterns);
       pt.data_volume_bits = cost.total_codewords * pt.w;
       pts[static_cast<std::size_t>(m - 2)] = pt;
-    });
+    }, popts);
     for (const SweepPoint& pt : pts) table.add_sweep_point(pt);
   }
 
@@ -80,9 +82,11 @@ std::shared_ptr<const CoreTable> explore_core_cached(
 std::vector<CoreTable> explore_soc(const SocSpec& soc,
                                    const ExploreOptions& opts) {
   runtime::PhaseTimer timer("explore");
+  runtime::ParallelOptions popts;
+  popts.cancel = opts.cancel;
   return runtime::parallel_map(soc.cores, [&](const CoreUnderTest& c) {
     return *explore_core_cached(c, opts);
-  });
+  }, popts);
 }
 
 }  // namespace soctest

@@ -7,6 +7,7 @@
 
 #include "dft/soc_spec.hpp"
 #include "explore/core_table.hpp"
+#include "runtime/cancellation.hpp"
 
 namespace soctest {
 
@@ -19,6 +20,12 @@ struct ExploreOptions {
   /// (src/runtime). Exploration is deterministic, so a hit is
   /// bit-identical to a cold run; disable only to measure cold costs.
   bool use_cache = true;
+  /// Optional cooperative cancellation, polled by the exploration loops
+  /// (runtime::CancelledError on the caller). An abandoned exploration
+  /// never inserts a partial table into the cache. Excluded from cache
+  /// fingerprints — it selects how long the code runs, not what it
+  /// computes.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Explores one core. Deterministic for any thread count (the geometry

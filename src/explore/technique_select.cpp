@@ -60,9 +60,11 @@ std::vector<CoreTable> explore_soc_with_selection(
     const SocSpec& soc, const ExploreOptions& opts,
     const DictSelectOptions& dict_opts) {
   runtime::PhaseTimer timer("explore");
+  runtime::ParallelOptions popts;
+  popts.cancel = opts.cancel;
   return runtime::parallel_map(soc.cores, [&](const CoreUnderTest& c) {
     return explore_core_with_selection(c, opts, dict_opts);
-  });
+  }, popts);
 }
 
 }  // namespace soctest

@@ -1,0 +1,46 @@
+#include "io/design_loader.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "io/soc_text.hpp"
+#include "socgen/d2758.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/synthetic.hpp"
+#include "socgen/systems.hpp"
+
+namespace soctest {
+
+SocSpec load_design(const std::string& name) {
+  if (name == "d695") return make_d695();
+  if (name == "d2758") return make_d2758();
+  if (name == "fig4") return make_fig4_soc();
+  for (int i = 1; i <= 4; ++i)
+    if (name == "System" + std::to_string(i)) return make_system(i);
+  if (name.rfind("synth:", 0) == 0) {
+    const auto bad = [&name]() {
+      throw std::invalid_argument(
+          "bad design '" + name +
+          "': expected synth:<cores>[:<seed>] with <cores> >= 1 and <seed> "
+          "unsigned decimal");
+    };
+    const char* s = name.c_str() + 6;
+    char* end = nullptr;
+    const long cores = std::strtol(s, &end, 10);
+    if (*s < '0' || *s > '9' || end == s || cores < 1) bad();
+    std::uint64_t seed = 1;
+    if (*end == ':') {
+      const char* s2 = end + 1;
+      seed = std::strtoull(s2, &end, 10);
+      if (*s2 < '0' || *s2 > '9' || end == s2) bad();
+    }
+    if (*end != '\0') bad();
+    SyntheticSocParams p;
+    p.num_cores = static_cast<int>(cores);
+    return make_synthetic_soc(p, seed);
+  }
+  // Otherwise treat as a file path.
+  return read_soc_text_file(name);
+}
+
+}  // namespace soctest

@@ -1,0 +1,24 @@
+// Shared design-name resolution for the CLI and the server.
+//
+// A design reference is one of:
+//   d695 | d2758 | System1..System4 | fig4      built-in benchmarks
+//   synth:<cores>[:<seed>]                      seeded synthetic generator
+//   anything else                               path to a .soc text file
+//
+// The synth: grammar is strict — the whole token must be consumed, so
+// "synth:120:7x" or "synth:12x0" raises instead of silently parsing a
+// digit prefix. Malformed references throw std::invalid_argument (the CLI
+// maps that to exit 2, the server to a bad_request protocol error);
+// unreadable/malformed .soc files throw std::runtime_error from the text
+// reader (exit 1 / internal error).
+#pragma once
+
+#include <string>
+
+#include "dft/soc_spec.hpp"
+
+namespace soctest {
+
+SocSpec load_design(const std::string& name);
+
+}  // namespace soctest

@@ -1,0 +1,56 @@
+// Minimal recursive-descent JSON parser for the server's request protocol.
+// The repository's reporters emit JSON by hand (src/report/json); this is
+// the matching input side. It parses the full JSON grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null) into a small
+// tree value. Numbers keep their raw lexeme alongside the double
+// conversion so 64-bit integers (RNG seeds, cycle counts) round-trip
+// without the 2^53 precision cliff.
+//
+// No third-party dependencies, same as the rest of the repo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace soctest {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string number_lexeme;  // exact source text, Number only
+  std::string string_value;
+  std::vector<JsonValue> items;                                // Array
+  std::vector<std::pair<std::string, JsonValue>> members;      // Object,
+                                                               // source order
+  bool is_null() const { return type == Type::Null; }
+  bool is_bool() const { return type == Type::Bool; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_object() const { return type == Type::Object; }
+
+  /// Member lookup (Object only); null when absent.
+  const JsonValue* find(const std::string& key) const;
+
+  // Checked accessors: throw std::runtime_error naming the expected type
+  // (the server maps that to a bad_request protocol error).
+  bool as_bool() const;
+  std::string as_string() const;
+  double as_double() const;
+  /// Strict integer conversions off the raw lexeme: "3.5", "1e3" and
+  /// out-of-range values are errors, not truncations.
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace is an error.
+/// Throws std::runtime_error with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace soctest

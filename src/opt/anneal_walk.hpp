@@ -31,7 +31,7 @@ namespace soctest {
 /// evaluation is a deterministic function of the width vector).
 struct AnnealWalkState {
   Rng::State rng{};
-  int iteration = 0;
+  std::int64_t iteration = 0;
   std::uint64_t temperature_bits = 0;
   std::uint64_t proposals = 0;
   std::vector<int> current_widths;
@@ -56,7 +56,7 @@ class AnnealWalk {
   void step();
 
   bool done() const { return it_ >= anneal_.iterations; }
-  int iteration() const { return it_; }
+  std::int64_t iteration() const { return it_; }
   /// Valid proposals so far (survives checkpoint/restore, unlike the
   /// evaluator's counters, which restart per process).
   std::uint64_t proposals() const { return proposals_; }
@@ -97,7 +97,7 @@ class AnnealWalk {
   OptimizationResult cur_r_;
   OptimizationResult best_;
   double temperature_ = 0.0;
-  int it_ = 0;
+  std::int64_t it_ = 0;
   std::uint64_t proposals_ = 0;
 };
 

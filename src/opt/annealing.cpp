@@ -16,8 +16,19 @@ namespace soctest {
 OptimizationResult optimize_annealing(const SocOptimizer& optimizer,
                                       const OptimizerOptions& opts,
                                       const AnnealingOptions& anneal) {
-  AnnealWalk walk(optimizer, opts, anneal);
-  while (!walk.done()) walk.step();
+  return optimize_annealing_shared(optimizer, opts, anneal, nullptr, nullptr);
+}
+
+OptimizationResult optimize_annealing_shared(const SocOptimizer& optimizer,
+                                             const OptimizerOptions& opts,
+                                             const AnnealingOptions& anneal,
+                                             ScheduleMemo* memo,
+                                             ColumnCache* columns) {
+  AnnealWalk walk(optimizer, opts, anneal, memo, columns);
+  while (!walk.done()) {
+    if (opts.cancel) opts.cancel->check();
+    walk.step();
+  }
   runtime::add_search_counters(walk.counters());
   return walk.best();
 }

@@ -12,7 +12,7 @@
 namespace soctest {
 
 struct AnnealingOptions {
-  int iterations = 2'000;
+  std::int64_t iterations = 2'000;
   double initial_temperature = 0.10;  // relative to the starting makespan
   double cooling = 0.997;             // per-iteration multiplier
   std::uint64_t seed = 1;
@@ -30,8 +30,22 @@ struct AnnealingOptions {
 /// fewer full schedule constructions. Counters flow into
 /// runtime::collect_stats() (anneal_proposals / anneal_memo_hits /
 /// anneal_bound_pruned).
+///
+/// `opts.cancel` is polled between proposals; a fired token surfaces as
+/// runtime::CancelledError (the walk's partial state is discarded).
 OptimizationResult optimize_annealing(const SocOptimizer& optimizer,
                                       const OptimizerOptions& opts,
                                       const AnnealingOptions& anneal = {});
+
+/// optimize_annealing drinking from externally owned caches (same contract
+/// as SocOptimizer::optimize_shared — the caches must come from the same
+/// (optimizer, opts) universe). The server's SessionCache passes its
+/// per-SOC ScheduleMemo/ColumnCache here so repeat annealing requests hit
+/// warm state; nulls fall back to walk-private caches.
+OptimizationResult optimize_annealing_shared(const SocOptimizer& optimizer,
+                                             const OptimizerOptions& opts,
+                                             const AnnealingOptions& anneal,
+                                             ScheduleMemo* memo,
+                                             ColumnCache* columns);
 
 }  // namespace soctest

@@ -34,9 +34,11 @@ void DeltaEvaluator::prepare(const std::vector<TamArchitecture>& archs) {
             shared_columns_->columns[w]) {
           columns_[w] = shared_columns_->columns[w];
           ++base_.column_reuse_hits;
+          shared_columns_->hits.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
       }
+      shared_columns_->misses.fetch_add(1, std::memory_order_relaxed);
       // Build outside the lock: column construction walks every core table
       // and must not serialize concurrent climbs.
       auto col = std::make_shared<CostColumn>();
@@ -96,8 +98,10 @@ OptimizationResult DeltaEvaluator::evaluate(const TamArchitecture& arch) const {
     const auto it = memo_->results.find(arch.widths);
     if (it != memo_->results.end()) {
       sched_reuse_.fetch_add(1, std::memory_order_relaxed);
+      memo_->hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
+    memo_->misses.fetch_add(1, std::memory_order_relaxed);
   }
   std::vector<BusRealization> buses;
   buses.reserve(static_cast<std::size_t>(arch.num_buses()));

@@ -63,10 +63,17 @@ struct WidthVectorHash {
 /// every hill climb of one optimize() call. Concurrent climbs may race to
 /// compute the same key; both compute the identical result, the second
 /// insert is a no-op — correctness never depends on who wins.
+///
+/// The hit/miss counters are observability only (relaxed atomics, never
+/// synchronization): the server's SessionCache keeps one memo alive across
+/// requests and reports per-request deltas of these counters to prove that
+/// repeat traffic on the same SOC is served from warm state.
 struct ScheduleMemo {
   std::mutex mu;
   std::unordered_map<std::vector<int>, OptimizationResult, WidthVectorHash>
       results;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
 };
 
 /// One per-width cost column: the bus realization of that width and every
@@ -82,9 +89,14 @@ struct CostColumn {
 /// every climb rebuilt identical columns). Two climbs racing on the same
 /// width both build the identical column; the first insert wins and the
 /// loser's copy is dropped, costing one redundant build and nothing else.
+/// hits/misses count probes of this shared store (an evaluator's private
+/// lock-free view never reaches it) — the server's per-request cache
+/// evidence, same contract as ScheduleMemo's counters.
 struct ColumnCache {
   std::mutex mu;
   std::vector<std::shared_ptr<const CostColumn>> columns;  // indexed by width
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
 };
 
 class DeltaEvaluator {

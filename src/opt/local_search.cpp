@@ -103,12 +103,15 @@ OptimizationResult SocOptimizer::optimize_shared(
     ColumnCache local_columns;
     ScheduleMemo* memo = shared_memo ? shared_memo : &local_memo;
     ColumnCache* columns = shared_columns ? shared_columns : &local_columns;
+    runtime::ParallelOptions par;
+    par.cancel = opts.cancel;
     const auto climb_incremental = [&](const TamArchitecture& start) {
       DeltaEvaluator ev(*this, opts, memo, columns);
       TamArchitecture arch = start;
       ev.prepare({arch});
       OptimizationResult cur = ev.evaluate(arch);
       for (int step = 0; step < opts.max_search_steps; ++step) {
+        if (opts.cancel) opts.cancel->check();
         const std::vector<TamArchitecture> neigh = wire_move_neighbours(arch);
         ev.note_generated(neigh.size());
         ev.prepare(neigh);
@@ -124,7 +127,7 @@ OptimizationResult SocOptimizer::optimize_shared(
         std::vector<OptimizationResult> results = runtime::parallel_map(
             survivors, [&](int i) {
               return ev.evaluate(neigh[static_cast<std::size_t>(i)]);
-            });
+            }, par);
         bool improved = false;
         for (std::size_t j = 0; j < survivors.size(); ++j) {
           if (better(results[j], cur)) {
@@ -146,6 +149,7 @@ OptimizationResult SocOptimizer::optimize_shared(
       OptimizationResult cur = evaluate(arch, opts);
       ++st.candidates_scheduled;
       for (int step = 0; step < opts.max_search_steps; ++step) {
+        if (opts.cancel) opts.cancel->check();
         bool improved = false;
         for (const TamArchitecture& n : wire_move_neighbours(arch)) {
           ++st.candidates_generated;
@@ -168,7 +172,7 @@ OptimizationResult SocOptimizer::optimize_shared(
     };
 
     const std::vector<OptimizationResult> climbed =
-        runtime::parallel_map(starts, hill_climb);
+        runtime::parallel_map(starts, hill_climb, par);
     bool have_best = false;
     for (const OptimizationResult& r : climbed) {
       if (!have_best || better(r, best)) {

@@ -28,6 +28,7 @@
 
 #include "dft/soc_spec.hpp"
 #include "explore/core_explorer.hpp"
+#include "runtime/cancellation.hpp"
 #include "sched/schedule.hpp"
 #include "tam/tam_architecture.hpp"
 #include "tam/wiring_cost.hpp"
@@ -75,6 +76,12 @@ struct OptimizerOptions {
   /// CLI and benches dispatch to optimize_portfolio() when it is set, so
   /// the opt layer stays free of a portfolio dependency.
   int portfolio = 0;
+  /// Optional cooperative cancellation for the step-3 search (the server's
+  /// per-request deadline/cancel token). Polled between hill-climb steps,
+  /// between annealing proposals, and inside the batched parallel loops; a
+  /// fired token surfaces as runtime::CancelledError on the caller. Never
+  /// fingerprinted — it bounds how long the search runs, not its result.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// How one bus of the abstract architecture is physically realized.

@@ -132,9 +132,10 @@ PortfolioCheckpoint decode_checkpoint(
     AnnealWalkState st;
     for (std::uint64_t& s : st.rng) s = r.u64();
     const std::uint64_t it = r.u64();
-    if (it > static_cast<std::uint64_t>(std::numeric_limits<int>::max()))
+    if (it > static_cast<std::uint64_t>(
+                 std::numeric_limits<std::int64_t>::max()))
       throw std::runtime_error("portfolio checkpoint: implausible iteration");
-    st.iteration = static_cast<int>(it);
+    st.iteration = static_cast<std::int64_t>(it);
     st.temperature_bits = r.u64();
     st.proposals = r.u64();
     st.current_widths = r.widths();
@@ -151,13 +152,14 @@ void write_checkpoint_file(const std::string& path,
   const std::vector<unsigned char> bytes = encode_checkpoint(ck);
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f)
-    throw std::runtime_error("portfolio checkpoint: cannot open '" + path +
-                             "' for writing");
+    throw CheckpointIoError("portfolio checkpoint: cannot open '" + path +
+                            "' for writing");
   f.write(reinterpret_cast<const char*>(bytes.data()),
           static_cast<std::streamsize>(bytes.size()));
+  f.flush();
   if (!f)
-    throw std::runtime_error("portfolio checkpoint: short write to '" +
-                             path + "'");
+    throw CheckpointIoError("portfolio checkpoint: short write to '" + path +
+                            "' (disk full?)");
 }
 
 PortfolioCheckpoint read_checkpoint_file(const std::string& path) {

@@ -25,12 +25,24 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "opt/anneal_walk.hpp"
 
 namespace soctest::portfolio {
+
+/// Thrown by write_checkpoint_file when the blob cannot be persisted
+/// (unwritable path, full disk). Distinct from std::runtime_error so
+/// callers can keep the in-memory run: the search state that failed to
+/// persist is still valid — the CLI reports it with exit code 3 and the
+/// server with a "checkpoint_io" protocol error, neither aborts the run.
+class CheckpointIoError : public std::runtime_error {
+ public:
+  explicit CheckpointIoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 enum class RacerState : std::uint8_t { None = 0, Pending = 1, Done = 2 };
 
@@ -48,11 +60,13 @@ struct PortfolioCheckpoint {
 
 std::vector<unsigned char> encode_checkpoint(const PortfolioCheckpoint& ck);
 
-/// Throws std::runtime_error on bad magic, unknown version, or truncation.
-PortfolioCheckpoint decode_checkpoint(const std::vector<unsigned char>& bytes);
-
+/// Throws CheckpointIoError when the path cannot be opened or the write
+/// comes up short (disk full).
 void write_checkpoint_file(const std::string& path,
                            const PortfolioCheckpoint& ck);
+
+/// Throws std::runtime_error on bad magic, unknown version, or truncation.
+PortfolioCheckpoint decode_checkpoint(const std::vector<unsigned char>& bytes);
 
 /// Throws std::runtime_error when the file is unreadable or malformed.
 PortfolioCheckpoint read_checkpoint_file(const std::string& path);

@@ -82,10 +82,15 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
 
   // One shared memo + column store for the whole portfolio — the first
   // truly concurrent mutable structure in the search (TSan-covered).
+  // External caches (the server's cross-request SessionCache) take
+  // precedence: then warm state outlives this invocation.
   ScheduleMemo shared_memo;
   ColumnCache shared_columns;
-  ScheduleMemo* memo = popts.share_caches ? &shared_memo : nullptr;
-  ColumnCache* columns = popts.share_caches ? &shared_columns : nullptr;
+  ScheduleMemo* memo =
+      popts.memo ? popts.memo : (popts.share_caches ? &shared_memo : nullptr);
+  ColumnCache* columns =
+      popts.columns ? popts.columns
+                    : (popts.share_caches ? &shared_columns : nullptr);
 
   // Each replica needs iterations for the FULL budget up front (the walk
   // refuses to step past its own horizon); resume may extend this.
@@ -93,7 +98,8 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
   walks.reserve(static_cast<std::size_t>(K));
   for (int r = 0; r < K; ++r) {
     AnnealingOptions a;
-    a.iterations = popts.sweeps * popts.proposals_per_sweep;
+    a.iterations = static_cast<std::int64_t>(popts.sweeps) *
+                   popts.proposals_per_sweep;
     a.initial_temperature = ladder_temperature(popts, r);
     a.cooling = popts.cooling;
     a.seed = portfolio::replica_seed(popts.seed, r);
@@ -150,7 +156,13 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
       static_cast<std::uint64_t>(K) *
       static_cast<std::uint64_t>(popts.proposals_per_sweep);
 
+  // A checkpoint write failure (unwritable path, full disk) must never
+  // tear down the run it was trying to persist: the first failure is
+  // recorded, checkpointing is disabled, and the search carries on with
+  // its in-memory state intact.
+  bool checkpointing = !popts.checkpoint_path.empty();
   const auto write_checkpoint = [&](RacerState racer_state) {
+    if (!checkpointing) return;
     PortfolioCheckpoint ck;
     ck.fingerprint = portfolio_fingerprint(optimizer, opts, popts);
     ck.sweeps_completed = stats.sweeps_completed;
@@ -162,7 +174,12 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
       ck.racer_best_widths = racer_result.arch.widths;
     ck.best_by_sweep = stats.best_by_sweep;
     for (const auto& w : walks) ck.replicas.push_back(w->save_state());
-    portfolio::write_checkpoint_file(popts.checkpoint_path, ck);
+    try {
+      portfolio::write_checkpoint_file(popts.checkpoint_path, ck);
+    } catch (const portfolio::CheckpointIoError& e) {
+      stats.checkpoint_error = e.what();
+      checkpointing = false;
+    }
   };
 
   for (int sweep = first_sweep; sweep < popts.sweeps; ++sweep) {
@@ -208,6 +225,15 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
                                 .test_time);
     stats.best_by_sweep.push_back(sweep_best);
     stats.sweeps_completed = sweep + 1;
+
+    if (popts.progress) {
+      PortfolioProgress pg;
+      pg.sweep = sweep + 1;
+      pg.sweeps_total = popts.sweeps;
+      pg.incumbent = sweep_best;
+      pg.proposals = stats.proposals_total;
+      popts.progress(pg);
+    }
 
     if (!popts.checkpoint_path.empty() && popts.checkpoint_every > 0 &&
         (sweep + 1) % popts.checkpoint_every == 0 &&

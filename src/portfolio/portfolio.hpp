@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,16 @@
 #include "runtime/cancellation.hpp"
 
 namespace soctest {
+
+/// One progress sample, delivered after each completed sweep (single
+/// threaded, between the swap phase and the next sweep). The server
+/// streams these to clients as NDJSON progress events.
+struct PortfolioProgress {
+  int sweep = 0;                 // completed sweeps, cumulative (1-based)
+  int sweeps_total = 0;          // configured budget
+  std::int64_t incumbent = 0;    // best makespan across the ladder so far
+  std::uint64_t proposals = 0;   // proposal slots consumed, cumulative
+};
 
 struct PortfolioOptions {
   /// Ladder size K; 0 takes OptimizerOptions::portfolio, else 4.
@@ -76,9 +87,22 @@ struct PortfolioOptions {
   /// Optional cooperative cancellation, polled between sweeps.
   const runtime::CancelToken* cancel = nullptr;
   /// When set, the final state is checkpointed here (and every
-  /// checkpoint_every sweeps when that is > 0).
+  /// checkpoint_every sweeps when that is > 0). A write failure never
+  /// aborts the run: checkpointing is disabled for the rest of the run and
+  /// the first error is reported in PortfolioStats::checkpoint_error.
   std::string checkpoint_path;
   int checkpoint_every = 0;
+  /// Called after every completed sweep (from the driving thread). Purely
+  /// observational — never part of the fingerprint, never affects the
+  /// trajectory.
+  std::function<void(const PortfolioProgress&)> progress;
+  /// Externally owned evaluation caches (the server's per-SOC
+  /// SessionCache). When set they override share_caches and every replica
+  /// plus the racer drinks from them, so warm state persists across
+  /// portfolio invocations. Must come from the same (optimizer, opts)
+  /// universe; results are bit-identical either way.
+  ScheduleMemo* memo = nullptr;
+  ColumnCache* columns = nullptr;
 };
 
 struct PortfolioReplicaReport {
@@ -98,6 +122,10 @@ struct PortfolioStats {
   bool hill_climb_raced = false;
   /// True when the racer's result beat every tempering replica.
   bool hill_climb_won = false;
+  /// First checkpoint-write failure, empty when every write succeeded.
+  /// The run itself completed — callers decide how loudly to fail (the
+  /// CLI exits 3, the server sends a "checkpoint_io" protocol error).
+  std::string checkpoint_error;
   std::vector<PortfolioReplicaReport> replica;  // ladder order
   /// Best-known makespan after each sweep (cumulative proposals for sweep
   /// s = (s + 1) * replicas * proposals_per_sweep) — the bench's

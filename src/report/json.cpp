@@ -26,6 +26,23 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string compact_json(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  std::size_t i = 0;
+  while (i < pretty.size()) {
+    const char c = pretty[i];
+    if (c == '\n' || c == '\r') {
+      ++i;
+      while (i < pretty.size() && pretty[i] == ' ') ++i;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
 namespace {
 
 const char* technique_name(Technique t) {

@@ -23,4 +23,11 @@ std::string result_to_json(const OptimizationResult& result,
 /// Escapes a string for inclusion in JSON (quotes added by caller).
 std::string json_escape(const std::string& s);
 
+/// Collapses a pretty-printed JSON document onto one line by dropping
+/// newlines and the indentation that follows them. Safe on any output of
+/// this module: json_escape turns control characters inside string values
+/// into \u escapes, so a raw newline is always inter-token whitespace.
+/// The server uses this to embed full reports in NDJSON response lines.
+std::string compact_json(const std::string& pretty);
+
 }  // namespace soctest

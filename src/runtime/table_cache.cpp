@@ -34,8 +34,8 @@ void hash_core(FnvHasher& h, const CoreUnderTest& core) {
 void hash_opts(FnvHasher& h, const ExploreOptions& opts) {
   h.i32(opts.max_width);
   h.i32(opts.max_chains);
-  // use_cache is deliberately excluded: it selects the code path, not the
-  // table content.
+  // use_cache and cancel are deliberately excluded: they select the code
+  // path / how long it runs, not the table content.
 }
 
 CacheKey finish(const FnvHasher& h) {
@@ -60,6 +60,18 @@ CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts,
   hash_opts(h, opts);
   h.ints(dict_opts.chain_counts);
   h.ints(dict_opts.entry_counts);
+  return finish(h);
+}
+
+CacheKey key_of_soc(const SocSpec& soc, const ExploreOptions& opts) {
+  FnvHasher h;
+  h.str("soctest.soc.v1");
+  h.str(soc.name);
+  h.i64(soc.approx_gate_count);
+  h.i64(soc.approx_latch_count);
+  h.i32(soc.num_cores());
+  for (const CoreUnderTest& c : soc.cores) hash_core(h, c);
+  hash_opts(h, opts);
   return finish(h);
 }
 

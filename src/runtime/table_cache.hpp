@@ -40,6 +40,12 @@ CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts);
 CacheKey key_of(const CoreUnderTest& core, const ExploreOptions& opts,
                 const DictSelectOptions& dict_opts);
 
+/// Content fingerprint of a whole SOC (every core's spec + cubes) and the
+/// explore band. One changed care bit anywhere changes the key. This is
+/// the base of the server's cross-request SessionCache key — two requests
+/// share warm ScheduleMemo/ColumnCache state only when this matches.
+CacheKey key_of_soc(const SocSpec& soc, const ExploreOptions& opts);
+
 class TableCache {
  public:
   explicit TableCache(std::size_t capacity = 256);

@@ -1,0 +1,247 @@
+#include "server/protocol.hpp"
+
+#include <sstream>
+
+#include "io/json_value.hpp"
+#include "report/json.hpp"
+
+namespace soctest::server {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ProtocolError("bad_request", message);
+}
+
+int field_int(const JsonValue& v, const std::string& key, int lo, int hi) {
+  std::int64_t x = 0;
+  try {
+    x = v.as_int64();
+  } catch (const std::exception&) {
+    bad("'" + key + "' must be an integer");
+  }
+  if (x < lo || x > hi)
+    bad("'" + key + "' must be in [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "]");
+  return static_cast<int>(x);
+}
+
+ArchMode parse_mode(const std::string& s) {
+  if (s == "percore") return ArchMode::PerCore;
+  if (s == "pertam") return ArchMode::PerTam;
+  if (s == "notdc") return ArchMode::NoTdc;
+  if (s == "fixedw4") return ArchMode::FixedWidth4;
+  bad("'mode' must be percore|pertam|notdc|fixedw4");
+}
+
+ConstraintMode parse_constraint(const std::string& s) {
+  if (s == "tam") return ConstraintMode::TamWidth;
+  if (s == "ate") return ConstraintMode::AteChannels;
+  bad("'constraint' must be tam|ate");
+}
+
+void parse_optimize_field(OptimizeRequest& r, const std::string& key,
+                          const JsonValue& v) {
+  try {
+    if (key == "design") {
+      r.design = v.as_string();
+    } else if (key == "soc_text") {
+      r.soc_text = v.as_string();
+    } else if (key == "width") {
+      r.width = field_int(v, key, 1, 1 << 20);
+    } else if (key == "mode") {
+      r.mode = parse_mode(v.as_string());
+    } else if (key == "constraint") {
+      r.constraint = parse_constraint(v.as_string());
+    } else if (key == "power") {
+      r.power = v.as_double();
+      if (r.power < 0) bad("'power' must be >= 0");
+    } else if (key == "select") {
+      r.select = v.as_bool();
+    } else if (key == "max_chains") {
+      r.max_chains = field_int(v, key, 1, 1 << 20);
+    } else if (key == "anneal") {
+      r.anneal = field_int(v, key, 0, 1 << 30);
+    } else if (key == "portfolio") {
+      r.portfolio = field_int(v, key, 0, 1 << 20);
+    } else if (key == "sweeps") {
+      r.sweeps = field_int(v, key, 0, 1 << 30);
+    } else if (key == "sweep_proposals") {
+      r.sweep_proposals = field_int(v, key, 1, 1 << 30);
+    } else if (key == "seed") {
+      r.seed = v.as_uint64();
+    } else if (key == "checkpoint") {
+      r.checkpoint = v.as_string();
+    } else if (key == "checkpoint_every") {
+      r.checkpoint_every = field_int(v, key, 0, 1 << 30);
+    } else if (key == "deadline_ms") {
+      r.deadline_ms = v.as_int64();
+      if (r.deadline_ms < 0) bad("'deadline_ms' must be >= 0");
+    } else if (key == "progress") {
+      r.progress = v.as_bool();
+    } else {
+      bad("unknown field '" + key + "'");
+    }
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad("'" + key + "': " + e.what());
+  }
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+  if (!doc.is_object()) bad("request must be a JSON object");
+  const JsonValue* opv = doc.find("op");
+  if (!opv || !opv->is_string()) bad("missing string field 'op'");
+  const std::string op = opv->string_value;
+
+  Request req;
+  if (const JsonValue* idv = doc.find("id")) {
+    if (!idv->is_string()) bad("'id' must be a string");
+    req.id = idv->string_value;
+  }
+
+  if (op == "optimize") {
+    req.op = Request::Op::Optimize;
+    if (req.id.empty()) bad("optimize requires a non-empty 'id'");
+    for (const auto& [key, value] : doc.members) {
+      if (key == "op" || key == "id") continue;
+      parse_optimize_field(req.optimize, key, value);
+    }
+    const bool has_design = !req.optimize.design.empty();
+    const bool has_text = !req.optimize.soc_text.empty();
+    if (has_design == has_text)
+      bad("optimize requires exactly one of 'design' or 'soc_text'");
+    if (req.optimize.anneal > 0 && req.optimize.portfolio > 0)
+      bad("'anneal' and 'portfolio' are exclusive (the portfolio runs its "
+          "own annealing ladder)");
+    if (!req.optimize.checkpoint.empty() && req.optimize.portfolio == 0)
+      bad("'checkpoint' requires 'portfolio'");
+    return req;
+  }
+
+  // Housekeeping ops take no fields beyond op/id.
+  for (const auto& [key, value] : doc.members) {
+    (void)value;
+    if (key != "op" && key != "id") bad("unknown field '" + key + "'");
+  }
+  if (op == "cancel") {
+    if (req.id.empty()) bad("cancel requires a non-empty 'id'");
+    req.op = Request::Op::Cancel;
+  } else if (op == "stats") {
+    req.op = Request::Op::Stats;
+  } else if (op == "ping") {
+    req.op = Request::Op::Ping;
+  } else if (op == "shutdown") {
+    req.op = Request::Op::Shutdown;
+  } else {
+    bad("unknown op '" + op + "'");
+  }
+  return req;
+}
+
+namespace {
+
+std::string head(const char* event, const std::string& id) {
+  std::string s = "{\"event\": \"";
+  s += event;
+  s += "\", \"id\": \"" + json_escape(id) + "\"";
+  return s;
+}
+
+}  // namespace
+
+std::string accepted_line(const std::string& id) {
+  return head("accepted", id) + "}";
+}
+
+std::string cancel_ack_line(const std::string& id) {
+  return head("accepted", id) + ", \"op\": \"cancel\"}";
+}
+
+std::string phase_progress_line(const std::string& id,
+                                const std::string& phase) {
+  return head("progress", id) + ", \"phase\": \"" + json_escape(phase) + "\"}";
+}
+
+std::string portfolio_progress_line(const std::string& id, int sweep,
+                                    int sweeps_total, std::int64_t incumbent,
+                                    std::uint64_t proposals) {
+  std::ostringstream os;
+  os << head("progress", id) << ", \"phase\": \"portfolio\", \"sweep\": "
+     << sweep << ", \"sweeps_total\": " << sweeps_total
+     << ", \"incumbent\": " << incumbent << ", \"proposals\": " << proposals
+     << "}";
+  return os.str();
+}
+
+std::string result_line(const std::string& id, bool warm,
+                        std::int64_t elapsed_ms,
+                        const std::string& session_json,
+                        const std::string& compact_report) {
+  std::ostringstream os;
+  os << head("result", id) << ", \"warm\": " << (warm ? "true" : "false")
+     << ", \"elapsed_ms\": " << elapsed_ms << ", \"session\": " << session_json
+     << ", \"report\": " << compact_report << "}";
+  return os.str();
+}
+
+std::string error_line(const std::string& id, const std::string& code,
+                       const std::string& message) {
+  return head("error", id) + ", \"code\": \"" + json_escape(code) +
+         "\", \"message\": \"" + json_escape(message) + "\"}";
+}
+
+std::string pong_line(const std::string& id) {
+  return head("pong", id) + "}";
+}
+
+std::string shutdown_line(const std::string& id) {
+  return head("shutdown", id) + "}";
+}
+
+namespace {
+
+std::string cache_stats_json(const runtime::CacheStats& c) {
+  std::ostringstream os;
+  os << "{\"hits\": " << c.hits << ", \"misses\": " << c.misses
+     << ", \"evictions\": " << c.evictions << ", \"entries\": " << c.entries
+     << ", \"capacity\": " << c.capacity << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string session_evidence_json(const Session& session,
+                                  const SessionCounters& before,
+                                  const SessionCounters& after,
+                                  const runtime::CacheStats& cache) {
+  std::ostringstream os;
+  os << "{\"key\": \"" << session.key_hex() << "\""
+     << ", \"memo_hits\": " << (after.memo_hits - before.memo_hits)
+     << ", \"memo_misses\": " << (after.memo_misses - before.memo_misses)
+     << ", \"column_hits\": " << (after.column_hits - before.column_hits)
+     << ", \"column_misses\": " << (after.column_misses - before.column_misses)
+     << ", \"sessions\": " << cache_stats_json(cache) << "}";
+  return os.str();
+}
+
+std::string stats_line(const std::string& id,
+                       const runtime::CacheStats& cache, int active,
+                       std::uint64_t completed, std::uint64_t failed) {
+  std::ostringstream os;
+  os << head("stats", id) << ", \"sessions\": " << cache_stats_json(cache)
+     << ", \"active\": " << active << ", \"completed\": " << completed
+     << ", \"failed\": " << failed << "}";
+  return os.str();
+}
+
+}  // namespace soctest::server

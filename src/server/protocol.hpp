@@ -1,0 +1,133 @@
+// NDJSON request/response protocol for the soctest daemon. One JSON object
+// per line in both directions.
+//
+// Requests ({"op": ...}):
+//   {"op":"optimize","id":"r1","design":"d695","width":16, ...}
+//   {"op":"optimize","id":"r2","soc_text":"soc mini\ncore a\n...","width":8}
+//   {"op":"cancel","id":"r1"}
+//   {"op":"stats"}       {"op":"ping"}       {"op":"shutdown"}
+//
+// optimize fields (beyond op/id; unknown keys are a bad_request —
+// validation is strict, a typo never silently falls back to a default):
+//   design           built-in | synth:<cores>[:<seed>] | .soc path
+//   soc_text         inline .soc text (exactly one of design/soc_text)
+//   width            budget W (>= 1; default 32)
+//   mode             "percore"|"pertam"|"notdc"|"fixedw4"  (default percore)
+//   constraint       "tam"|"ate"                           (default tam)
+//   power            peak-power budget mW (default 0 = off)
+//   select           bool: per-core technique selection     (default false)
+//   max_chains       wrapper-chain cap (default 255)
+//   anneal           > 0: simulated annealing, that many iterations
+//   portfolio        > 0: replica-exchange portfolio, that many replicas
+//   sweeps, sweep_proposals, seed          portfolio/annealing knobs
+//   checkpoint       portfolio checkpoint path; resumed when the file
+//                    exists and its fingerprint matches, else started fresh
+//   checkpoint_every write every N sweeps (default 0 = final only)
+//   deadline_ms      > 0: cancel the request this many ms after acceptance
+//   progress         bool: stream progress events              (default false)
+//
+// Responses ({"event": ...}), per request id:
+//   accepted    the request was parsed and queued
+//   progress    {"phase":"explore"|"search"|"portfolio"[,"sweep","sweeps_total",
+//               "incumbent","proposals"]} — only when progress:true
+//   result      terminal on success: {"warm":bool,"elapsed_ms":N,
+//               "session":{...per-request cache evidence...},
+//               "report":{...the full optimize report, cpu_seconds zeroed so
+//               identical requests give bit-identical report objects...}}
+//   error       terminal on failure: {"code","message"}. Codes:
+//                 bad_request    malformed JSON / unknown field / bad value
+//                 cancelled      an explicit cancel op stopped the request
+//                 deadline       the request's deadline_ms elapsed
+//                 checkpoint_io  the run finished but a checkpoint write
+//                                failed — this error FOLLOWS the result
+//                                event (the in-memory run is intact)
+//                 internal       anything else (bug or resource failure)
+//   stats/pong/shutdown   acks for the housekeeping ops
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "opt/soc_optimizer.hpp"
+#include "server/session_cache.hpp"
+
+namespace soctest::server {
+
+/// Thrown by request parsing and mapped to an error response. `code` is
+/// one of the protocol error codes above.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+struct OptimizeRequest {
+  std::string design;    // exactly one of design / soc_text is set
+  std::string soc_text;
+  int width = 32;
+  ArchMode mode = ArchMode::PerCore;
+  ConstraintMode constraint = ConstraintMode::TamWidth;
+  double power = 0.0;
+  bool select = false;
+  int max_chains = 255;
+  int anneal = 0;
+  int portfolio = 0;
+  int sweeps = 20;
+  int sweep_proposals = 100;
+  std::uint64_t seed = 1;
+  std::string checkpoint;
+  int checkpoint_every = 0;
+  std::int64_t deadline_ms = 0;
+  bool progress = false;
+};
+
+struct Request {
+  enum class Op { Optimize, Cancel, Stats, Ping, Shutdown };
+  Op op = Op::Ping;
+  std::string id;
+  OptimizeRequest optimize;  // meaningful when op == Optimize
+};
+
+/// Parses one request line. Strict: malformed JSON, a missing/unknown op,
+/// an unknown field, a wrong-typed or out-of-range value, or both/neither
+/// of design+soc_text all throw ProtocolError("bad_request", ...).
+Request parse_request(const std::string& line);
+
+// Response emitters — each returns one complete line WITHOUT the trailing
+// newline (the transport appends it).
+std::string accepted_line(const std::string& id);
+std::string cancel_ack_line(const std::string& id);
+std::string phase_progress_line(const std::string& id,
+                                const std::string& phase);
+std::string portfolio_progress_line(const std::string& id, int sweep,
+                                    int sweeps_total, std::int64_t incumbent,
+                                    std::uint64_t proposals);
+/// `session_json` and `compact_report` are pre-rendered JSON objects.
+std::string result_line(const std::string& id, bool warm,
+                        std::int64_t elapsed_ms,
+                        const std::string& session_json,
+                        const std::string& compact_report);
+std::string error_line(const std::string& id, const std::string& code,
+                       const std::string& message);
+std::string pong_line(const std::string& id);
+std::string shutdown_line(const std::string& id);
+
+/// The per-request cache-evidence object embedded in result lines: the
+/// session identity, this request's memo/column counter deltas, and the
+/// SessionCache's cumulative hit/miss/eviction stats.
+std::string session_evidence_json(const Session& session,
+                                  const SessionCounters& before,
+                                  const SessionCounters& after,
+                                  const runtime::CacheStats& cache);
+
+/// The stats-op response body (cumulative SessionCache stats + job counts).
+std::string stats_line(const std::string& id,
+                       const runtime::CacheStats& cache, int active,
+                       std::uint64_t completed, std::uint64_t failed);
+
+}  // namespace soctest::server

@@ -1,0 +1,370 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "io/design_loader.hpp"
+#include "io/soc_text.hpp"
+#include "opt/annealing.hpp"
+#include "portfolio/portfolio.hpp"
+#include "report/json.hpp"
+
+namespace soctest::server {
+
+namespace {
+
+SocSpec load_request_soc(const OptimizeRequest& req) {
+  try {
+    if (!req.soc_text.empty()) {
+      std::istringstream in(req.soc_text);
+      return read_soc_text(in);
+    }
+    return load_design(req.design);
+  } catch (const std::invalid_argument& e) {
+    throw ProtocolError("bad_request", e.what());
+  } catch (const std::runtime_error& e) {
+    // Malformed .soc text / unreadable file — the request named bad input.
+    throw ProtocolError("bad_request", e.what());
+  }
+}
+
+}  // namespace
+
+ServerCore::ServerCore(ServerOptions opts) : opts_(opts), sessions_(opts.sessions) {}
+
+ServerCore::~ServerCore() { wait_idle(); }
+
+int ServerCore::active_jobs() const {
+  std::lock_guard<std::mutex> lock(jobs_m_);
+  return static_cast<int>(jobs_.size());
+}
+
+void ServerCore::wait_idle() {
+  std::unique_lock<std::mutex> lock(jobs_m_);
+  jobs_cv_.wait(lock, [this] { return jobs_.empty(); });
+}
+
+void ServerCore::acquire_slot(const Job& job) {
+  std::unique_lock<std::mutex> lock(jobs_m_);
+  if (opts_.max_active > 0) {
+    // Queued requests stay cancellable: poll the token while waiting.
+    while (running_ >= opts_.max_active) {
+      job.token.check();
+      jobs_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    job.token.check();
+  }
+  ++running_;
+}
+
+void ServerCore::release_slot() {
+  std::lock_guard<std::mutex> lock(jobs_m_);
+  --running_;
+  jobs_cv_.notify_all();
+}
+
+void ServerCore::finish_job(const std::string& id, bool failed) {
+  std::lock_guard<std::mutex> lock(jobs_m_);
+  jobs_.erase(id);
+  if (failed)
+    ++failed_;
+  else
+    ++completed_;
+  jobs_cv_.notify_all();
+}
+
+std::shared_future<void> ServerCore::handle_line(const std::string& line,
+                                                 EmitFn emit) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ProtocolError& e) {
+    emit(error_line("", e.code(), e.what()));
+    return {};
+  }
+
+  switch (req.op) {
+    case Request::Op::Ping:
+      emit(pong_line(req.id));
+      return {};
+    case Request::Op::Shutdown:
+      shutdown_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(jobs_m_);
+        jobs_cv_.notify_all();
+      }
+      emit(shutdown_line(req.id));
+      return {};
+    case Request::Op::Stats: {
+      int active = 0;
+      std::uint64_t completed = 0, failed = 0;
+      {
+        std::lock_guard<std::mutex> lock(jobs_m_);
+        active = static_cast<int>(jobs_.size());
+        completed = completed_;
+        failed = failed_;
+      }
+      emit(stats_line(req.id, sessions_.stats(), active, completed, failed));
+      return {};
+    }
+    case Request::Op::Cancel: {
+      std::shared_ptr<Job> job;
+      {
+        std::lock_guard<std::mutex> lock(jobs_m_);
+        auto it = jobs_.find(req.id);
+        if (it != jobs_.end()) job = it->second;
+      }
+      if (!job) {
+        emit(error_line(req.id, "bad_request",
+                        "no active request with id '" + req.id + "'"));
+        return {};
+      }
+      job->cancel_requested.store(true, std::memory_order_relaxed);
+      job->token.cancel();
+      {
+        std::lock_guard<std::mutex> lock(jobs_m_);
+        jobs_cv_.notify_all();  // wake it if queued on a compute slot
+      }
+      emit(cancel_ack_line(req.id));
+      return {};
+    }
+    case Request::Op::Optimize:
+      break;
+  }
+
+  if (shutdown_requested()) {
+    emit(error_line(req.id, "bad_request", "server is shutting down"));
+    return {};
+  }
+  auto job = std::make_shared<Job>();
+  job->id = req.id;
+  if (req.optimize.deadline_ms > 0)
+    job->token.set_deadline_after(
+        std::chrono::milliseconds(req.optimize.deadline_ms));
+  {
+    std::lock_guard<std::mutex> lock(jobs_m_);
+    if (jobs_.count(req.id)) {
+      emit(error_line(req.id, "bad_request",
+                      "request id '" + req.id + "' is already active"));
+      return {};
+    }
+    jobs_[req.id] = job;
+  }
+  emit(accepted_line(req.id));
+
+  // Dedicated thread per job: a job may block (slot queue, another job's
+  // future) and must never park a compute-pool lane. The promise is
+  // fulfilled only after the job's terminal event was emitted and the job
+  // was deregistered, so waiting on the future then closing the transport
+  // can never lose a response line.
+  auto prom = std::make_shared<std::promise<void>>();
+  job->done = prom->get_future().share();
+  std::thread([this, job, request = req.optimize, emit = std::move(emit),
+               prom]() mutable {
+    run_job(job, std::move(request), emit);
+    prom->set_value();
+  }).detach();
+  return job->done;
+}
+
+void ServerCore::run_job(const std::shared_ptr<Job>& job, OptimizeRequest req,
+                         const EmitFn& emit) {
+  const auto t0 = std::chrono::steady_clock::now();
+  bool failed = true;
+  bool slot = false;
+  try {
+    acquire_slot(*job);
+    slot = true;
+
+    if (req.progress) emit(phase_progress_line(job->id, "explore"));
+    const SocSpec soc = load_request_soc(req);
+    SessionConfig cfg;
+    cfg.explore.max_width = std::max(req.width, 32);
+    cfg.explore.max_chains = req.max_chains;
+    cfg.select = req.select;
+    cfg.mode = req.mode;
+    cfg.constraint = req.constraint;
+    cfg.power_budget_mw = req.power;
+    bool warm = false;
+    std::shared_ptr<Session> session =
+        sessions_.get_or_build(soc, cfg, &job->token, &warm);
+    const SessionCounters before = snapshot_counters(*session);
+
+    if (req.progress) emit(phase_progress_line(job->id, "search"));
+    OptimizerOptions o;
+    o.width = req.width;
+    o.mode = req.mode;
+    o.constraint = req.constraint;
+    o.power_budget_mw = req.power;
+
+    OptimizationResult r;
+    std::string checkpoint_error;
+    if (req.portfolio > 0) {
+      o.portfolio = req.portfolio;
+      // The portfolio stops cooperatively at sweep boundaries through
+      // popts.cancel; o.cancel stays null so the racing hill climb never
+      // aborts the graceful stop with a CancelledError.
+      PortfolioOptions p;
+      p.sweeps = req.sweeps;
+      p.proposals_per_sweep = req.sweep_proposals;
+      p.seed = req.seed;
+      p.checkpoint_path = req.checkpoint;
+      p.checkpoint_every = req.checkpoint_every;
+      p.cancel = &job->token;
+      p.memo = &session->memo;
+      p.columns = &session->columns;
+      if (req.progress) {
+        const std::string id = job->id;
+        p.progress = [&emit, id](const PortfolioProgress& pp) {
+          emit(portfolio_progress_line(id, pp.sweep, pp.sweeps_total,
+                                       pp.incumbent, pp.proposals));
+        };
+      }
+      PortfolioResult pr;
+      bool resumed = false;
+      if (!req.checkpoint.empty() &&
+          std::filesystem::exists(req.checkpoint)) {
+        try {
+          pr = resume_portfolio(*session->optimizer, o, p, req.checkpoint);
+          resumed = true;
+        } catch (const runtime::CancelledError&) {
+          throw;
+        } catch (const std::exception&) {
+          resumed = false;  // mismatched/malformed checkpoint: start fresh
+        }
+      }
+      if (!resumed) pr = optimize_portfolio(*session->optimizer, o, p);
+      job->token.check();  // a cooperative stop is still a cancellation
+      r = pr.best;
+      checkpoint_error = pr.stats.checkpoint_error;
+    } else if (req.anneal > 0) {
+      o.cancel = &job->token;
+      AnnealingOptions an;
+      an.iterations = req.anneal;
+      an.seed = req.seed;
+      r = optimize_annealing_shared(*session->optimizer, o, an,
+                                    &session->memo, &session->columns);
+    } else {
+      o.cancel = &job->token;
+      r = session->optimizer->optimize_shared(o, &session->memo,
+                                              &session->columns);
+    }
+
+    // Planning wall time varies run to run; zero it so identical requests
+    // produce bit-identical report objects (the envelope carries timing).
+    r.cpu_seconds = 0.0;
+    const SessionCounters after = snapshot_counters(*session);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    emit(result_line(
+        job->id, warm, elapsed_ms,
+        session_evidence_json(*session, before, after, sessions_.stats()),
+        compact_json(result_to_json(r, *session->soc))));
+    failed = false;
+    if (!checkpoint_error.empty()) {
+      // The run is intact and its result was just delivered; persistence
+      // failed. Distinct code so clients (and the batch exit path) can
+      // tell this apart from a lost run.
+      emit(error_line(job->id, "checkpoint_io", checkpoint_error));
+      failed = true;
+    }
+  } catch (const runtime::CancelledError&) {
+    const bool explicit_cancel =
+        job->cancel_requested.load(std::memory_order_relaxed);
+    emit(error_line(job->id, explicit_cancel ? "cancelled" : "deadline",
+                    explicit_cancel
+                        ? "request cancelled"
+                        : "request deadline elapsed"));
+  } catch (const ProtocolError& e) {
+    emit(error_line(job->id, e.code(), e.what()));
+  } catch (const std::exception& e) {
+    emit(error_line(job->id, "internal", e.what()));
+  }
+  if (slot) release_slot();
+  finish_job(job->id, failed);
+}
+
+int run_batch(const std::string& dir, ServerCore& core) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  try {
+    for (const auto& entry : fs::directory_iterator(dir))
+      if (entry.is_regular_file() && entry.path().extension() == ".json")
+        files.push_back(entry.path());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batch: cannot read '%s': %s\n", dir.c_str(),
+                 e.what());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+
+  bool checkpoint_io = false;
+  for (const fs::path& file : files) {
+    if (core.shutdown_requested()) break;
+    fs::path out = file;
+    out.replace_extension(".out.jsonl");
+    if (fs::exists(out)) {
+      std::fprintf(stderr, "batch: %s: output exists, skipping\n",
+                   file.filename().c_str());
+      continue;
+    }
+
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "batch: cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::mutex m;
+    std::vector<std::string> lines;
+    const EmitFn emit = [&m, &lines](const std::string& line) {
+      std::lock_guard<std::mutex> lock(m);
+      lines.push_back(line);
+    };
+    // Requests within one file run concurrently through the same
+    // handle_line path the socket transport uses.
+    std::vector<std::shared_future<void>> pending;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::shared_future<void> fut = core.handle_line(line, emit);
+      if (fut.valid()) pending.push_back(std::move(fut));
+    }
+    for (auto& fut : pending) fut.get();
+
+    const fs::path tmp = out.string() + ".tmp";
+    {
+      std::ofstream os(tmp);
+      for (const std::string& l : lines) {
+        os << l << "\n";
+        if (l.find("\"code\": \"checkpoint_io\"") != std::string::npos)
+          checkpoint_io = true;
+      }
+      os.flush();
+      if (!os) {
+        std::fprintf(stderr, "batch: cannot write %s\n", tmp.c_str());
+        return 1;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, out, ec);
+    if (ec) {
+      std::fprintf(stderr, "batch: cannot rename %s: %s\n", tmp.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "batch: %s -> %s (%zu lines)\n",
+                 file.filename().c_str(), out.filename().c_str(),
+                 lines.size());
+  }
+  return checkpoint_io ? 3 : 0;
+}
+
+}  // namespace soctest::server

@@ -1,0 +1,108 @@
+// ServerCore: the transport-independent daemon engine. One instance owns
+// the cross-request SessionCache and an active-job registry; transports
+// (the unix-socket listener in server/socket, the --batch directory
+// drainer below, tests calling handle_line directly) feed it request
+// lines and receive response lines through an emit callback.
+//
+// Concurrency model: every optimize request runs on its own dedicated
+// thread (std::async) so a request blocking on another's future can never
+// park the compute pool — while all actual parallel work inside a request
+// (exploration, candidate batches, portfolio replicas) flows through the
+// shared work-stealing runtime::ThreadPool, where the work-stealing deques
+// interleave the requests' chunks. `max_active` bounds how many requests
+// compute at once (a queued request waits on a slot, still cancellable);
+// the pool bounds how many lanes the whole daemon uses. Determinism is
+// per-request: each request's report is bit-identical to a one-shot run at
+// any --jobs and any concurrency mix, because shared caches only ever
+// substitute exact results (see session_cache.hpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "server/session_cache.hpp"
+
+namespace soctest::server {
+
+/// Receives one complete response line (no trailing newline). Called from
+/// the accepting thread and from job threads — must be thread-safe.
+using EmitFn = std::function<void(const std::string&)>;
+
+struct ServerOptions {
+  /// SessionCache capacity (distinct warm SOC configurations kept).
+  std::size_t sessions = 8;
+  /// Concurrently *computing* optimize requests; 0 = unbounded. Accepted
+  /// requests beyond the bound queue (FIFO by slot wakeup) and remain
+  /// cancellable while queued.
+  int max_active = 0;
+};
+
+class ServerCore {
+ public:
+  explicit ServerCore(ServerOptions opts = {});
+  ~ServerCore();
+
+  /// Handles one request line, emitting every response for it through
+  /// `emit`. Optimize requests return immediately with the job's future
+  /// (so a transport can drain a connection's jobs before closing it);
+  /// housekeeping ops are handled inline and return an invalid future.
+  std::shared_future<void> handle_line(const std::string& line, EmitFn emit);
+
+  /// Blocks until every accepted job has terminated.
+  void wait_idle();
+
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  SessionCache& session_cache() { return sessions_; }
+  runtime::CacheStats session_stats() const { return sessions_.stats(); }
+  int active_jobs() const;
+
+ private:
+  struct Job {
+    std::string id;
+    runtime::CancelToken token;
+    std::atomic<bool> cancel_requested{false};
+    std::shared_future<void> done;
+  };
+
+  void run_job(const std::shared_ptr<Job>& job, OptimizeRequest req,
+               const EmitFn& emit);
+  void acquire_slot(const Job& job);
+  void release_slot();
+  void finish_job(const std::string& id, bool failed);
+
+  ServerOptions opts_;
+  SessionCache sessions_;
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::mutex jobs_m_;
+  std::condition_variable jobs_cv_;  // job-finished + slot-freed wakeups
+  std::map<std::string, std::shared_ptr<Job>> jobs_;  // active, by id
+  int running_ = 0;                  // jobs holding a compute slot
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+/// --batch mode: drains `dir` of request files through the same
+/// handle_line path the socket uses. Every `*.json` file (sorted by name)
+/// holds one request per line; its responses are written to
+/// `<stem>.out.jsonl` via a tmp+rename, so a killed daemon resumes by
+/// skipping files whose output already exists. Requests within one file
+/// run concurrently; files are processed in order. Returns a process exit
+/// code: 0 when every file was processed (individual request failures are
+/// recorded in the outputs, not the exit code), 3 when any request
+/// reported a checkpoint_io error and nothing worse happened, 1 on a
+/// directory or output I/O failure.
+int run_batch(const std::string& dir, ServerCore& core);
+
+}  // namespace soctest::server

@@ -1,0 +1,125 @@
+#include "server/session_cache.hpp"
+
+#include <cstdio>
+
+#include "explore/technique_select.hpp"
+#include "runtime/fnv.hpp"
+
+namespace soctest::server {
+
+std::string Session::key_hex() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(key.hash),
+                static_cast<unsigned long long>(key.check));
+  return buf;
+}
+
+SessionCounters snapshot_counters(const Session& s) {
+  SessionCounters c;
+  c.memo_hits = s.memo.hits.load(std::memory_order_relaxed);
+  c.memo_misses = s.memo.misses.load(std::memory_order_relaxed);
+  c.column_hits = s.columns.hits.load(std::memory_order_relaxed);
+  c.column_misses = s.columns.misses.load(std::memory_order_relaxed);
+  return c;
+}
+
+SessionCache::SessionCache(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {}
+
+runtime::CacheKey SessionCache::key_for(const SocSpec& soc,
+                                        const SessionConfig& cfg) {
+  // Base: the full SOC content + explore band (one changed care bit
+  // anywhere changes it). Extend with the session-relevant knobs.
+  const runtime::CacheKey base = runtime::key_of_soc(soc, cfg.explore);
+  runtime::FnvHasher h;
+  h.str("soctest.session.v1");
+  h.u64(base.hash);
+  h.u64(base.check);
+  h.u64(base.length);
+  h.boolean(cfg.select);
+  h.i32(static_cast<int>(cfg.mode));
+  h.i32(static_cast<int>(cfg.constraint));
+  h.bytes(&cfg.power_budget_mw, sizeof cfg.power_budget_mw);
+  return {h.digest_a(), h.digest_b(), h.length()};
+}
+
+std::shared_ptr<Session> SessionCache::lookup(const runtime::CacheKey& key) {
+  std::lock_guard<std::mutex> lock(m_);
+  for (Entry& e : entries_) {
+    if (e.session->key == key) {
+      e.last_used = ++tick_;
+      ++hits_;
+      return e.session;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+std::shared_ptr<Session> SessionCache::get_or_build(
+    const SocSpec& soc, const SessionConfig& cfg,
+    const runtime::CancelToken* cancel, bool* warm) {
+  const runtime::CacheKey key = key_for(soc, cfg);
+  if (auto hit = lookup(key)) {
+    if (warm) *warm = true;
+    return hit;
+  }
+  if (warm) *warm = false;
+
+  // Build outside the lock: exploration is the expensive part and may be
+  // cancelled; an unwound build must leave the cache untouched.
+  auto session = std::make_shared<Session>();
+  session->key = key;
+  session->soc = std::make_unique<SocSpec>(soc);
+  ExploreOptions eopts = cfg.explore;
+  eopts.cancel = cancel;
+  std::vector<CoreTable> tables =
+      cfg.select ? explore_soc_with_selection(*session->soc, eopts)
+                 : explore_soc(*session->soc, eopts);
+  // The stored optimizer must not reference the request's token.
+  eopts.cancel = nullptr;
+  session->optimizer = std::make_unique<SocOptimizer>(
+      *session->soc, std::move(tables), eopts);
+
+  std::lock_guard<std::mutex> lock(m_);
+  // A concurrent request may have inserted the same key while we built;
+  // first insert wins so every requester shares one warm state.
+  for (Entry& e : entries_) {
+    if (e.session->key == key) {
+      e.last_used = ++tick_;
+      return e.session;
+    }
+  }
+  if (entries_.size() >= capacity_) evict_lru_locked();
+  entries_.push_back({session, ++tick_});
+  ++insertions_;
+  return session;
+}
+
+void SessionCache::evict_lru_locked() {
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].last_used < entries_[victim].last_used) victim = i;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+  ++evictions_;
+}
+
+runtime::CacheStats SessionCache::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  runtime::CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.entries = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return entries_.size();
+}
+
+}  // namespace soctest::server

@@ -1,0 +1,119 @@
+// Cross-request evaluation-state sharing for the soctest daemon.
+//
+// The expensive, reusable state of an optimize request is (a) the per-core
+// lookup tables inside a SocOptimizer and (b) the ScheduleMemo /
+// ColumnCache the incremental search fills while it runs. One-shot CLI
+// runs rebuild all three every time; the server keeps them alive in a
+// Session keyed by a content fingerprint of everything that determines
+// their values — the full SOC content (runtime::key_of_soc: every core's
+// spec and cubes plus the explore band) extended with technique selection
+// and the result-affecting optimizer knobs (mode, constraint, power
+// budget). Two requests with equal keys can share warm state bit-safely:
+// memo entries are keyed by width vector and evaluation is deterministic,
+// so a warm hit returns exactly what a cold run would compute. The width
+// BUDGET is deliberately NOT in the key — a width sweep over one SOC is
+// the motivating warm workload, and architecture evaluation never depends
+// on the budget that proposed it.
+//
+// Sessions are built OUTSIDE the cache lock: a request cancelled
+// mid-explore unwinds before insert and leaves no partial session behind
+// (concurrent requests racing on the same key both build; the first insert
+// wins and the loser adopts it). Eviction is LRU at a fixed capacity;
+// running requests keep their evicted session alive through shared_ptr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "explore/core_explorer.hpp"
+#include "opt/delta_evaluator.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "runtime/cancellation.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/table_cache.hpp"
+
+namespace soctest::server {
+
+/// The key-forming subset of a request: explore band + technique selection
+/// + the optimizer knobs a memoized result depends on.
+struct SessionConfig {
+  ExploreOptions explore;  // cancel is ignored for the key (never hashed)
+  bool select = false;     // per-core technique selection tables
+  ArchMode mode = ArchMode::PerCore;
+  ConstraintMode constraint = ConstraintMode::TamWidth;
+  double power_budget_mw = 0.0;
+};
+
+/// One SOC's warm state. The SocSpec is owned here (at a stable address —
+/// SocOptimizer keeps a pointer into it) so the request's stack copy can
+/// die while the session lives on.
+struct Session {
+  runtime::CacheKey key;
+  std::unique_ptr<SocSpec> soc;
+  std::unique_ptr<SocOptimizer> optimizer;
+  ScheduleMemo memo;
+  ColumnCache columns;
+
+  /// "<hash><check>" as 32 hex digits — the id clients see in result
+  /// envelopes (equal ids <=> shared warm state).
+  std::string key_hex() const;
+};
+
+/// Relaxed snapshot of a session's memo/column counters; the server diffs
+/// two snapshots around a request to report per-request warm evidence.
+struct SessionCounters {
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  std::uint64_t column_hits = 0;
+  std::uint64_t column_misses = 0;
+};
+
+SessionCounters snapshot_counters(const Session& s);
+
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t capacity = 8);
+
+  /// The session fingerprint for (soc, cfg); cfg.explore.cancel never
+  /// participates.
+  static runtime::CacheKey key_for(const SocSpec& soc,
+                                   const SessionConfig& cfg);
+
+  /// Returns the cached session for (soc, cfg), or builds one (copying
+  /// `soc`, exploring its cores — honoring `cancel` — and constructing the
+  /// optimizer) and inserts it. `*warm` reports whether the session came
+  /// from cache. Throws runtime::CancelledError if `cancel` fires during
+  /// the build; nothing is inserted in that case.
+  std::shared_ptr<Session> get_or_build(const SocSpec& soc,
+                                        const SessionConfig& cfg,
+                                        const runtime::CancelToken* cancel,
+                                        bool* warm = nullptr);
+
+  /// Lookup without building (tests / stats).
+  std::shared_ptr<Session> lookup(const runtime::CacheKey& key);
+
+  runtime::CacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  void evict_lru_locked();
+
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex m_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::vector<Entry> entries_;  // small N: linear scan beats a map
+};
+
+}  // namespace soctest::server

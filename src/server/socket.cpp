@@ -1,0 +1,211 @@
+#include "server/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+
+namespace soctest::server {
+
+namespace {
+
+/// Writes all of `data`; returns false on a hard error (peer gone — the
+/// response is dropped, the job itself already completed server-side).
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool bind_path(int fd, const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // replace a stale socket from a killed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "bind %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool connect_path(int fd, const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "connect %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+void serve_connection(int fd, ServerCore& core) {
+  auto write_m = std::make_shared<std::mutex>();
+  const EmitFn emit = [fd, write_m](const std::string& line) {
+    std::lock_guard<std::mutex> lock(*write_m);
+    write_all(fd, line + "\n");
+  };
+
+  std::vector<std::shared_future<void>> pending;
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open && !core.shutdown_requested()) {
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);  // timeout: re-check shutdown
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) {
+      open = false;  // EOF / error: stop reading, drain in-flight jobs
+      break;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+      std::shared_future<void> fut = core.handle_line(line, emit);
+      if (fut.valid()) pending.push_back(std::move(fut));
+    }
+  }
+  // The client may have half-closed after sending its requests; every
+  // in-flight job still delivers its terminal event before we hang up.
+  for (auto& fut : pending) fut.get();
+  ::close(fd);
+}
+
+}  // namespace
+
+int serve_unix(const std::string& path, ServerCore& core) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (!bind_path(listen_fd, path)) {
+    ::close(listen_fd);
+    return 1;
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    std::fprintf(stderr, "listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listen_fd);
+    return 1;
+  }
+  std::fprintf(stderr, "soctest: serving on %s\n", path.c_str());
+
+  std::vector<std::thread> connections;
+  while (!core.shutdown_requested()) {
+    pollfd p{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.emplace_back([fd, &core] { serve_connection(fd, core); });
+  }
+  for (std::thread& t : connections) t.join();
+  core.wait_idle();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  std::fprintf(stderr, "soctest: shut down cleanly\n");
+  return 0;
+}
+
+int run_client(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (!connect_path(fd, path)) {
+    ::close(fd);
+    return 1;
+  }
+
+  bool stdin_open = true;
+  char chunk[4096];
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    fds[1] = {stdin_open ? STDIN_FILENO : -1, POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "poll: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    if (fds[0].revents & (POLLIN | POLLHUP)) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return 1;
+      }
+      if (n == 0) break;  // server closed: all responses delivered
+      std::fwrite(chunk, 1, static_cast<std::size_t>(n), stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    if (stdin_open && (fds[1].revents & (POLLIN | POLLHUP))) {
+      const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return 1;
+      }
+      if (n == 0) {
+        stdin_open = false;
+        ::shutdown(fd, SHUT_WR);  // tell the server we are done sending
+        continue;
+      }
+      if (!write_all(fd, std::string(chunk, static_cast<std::size_t>(n)))) {
+        std::fprintf(stderr, "write: server connection lost\n");
+        ::close(fd);
+        return 1;
+      }
+    }
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace soctest::server

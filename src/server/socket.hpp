@@ -1,0 +1,35 @@
+// Unix-domain-socket transport for ServerCore, plus the matching client
+// the CLI's --connect flag uses. Framing is newline-delimited JSON in both
+// directions (see server/protocol.hpp).
+//
+// Listener: accepts any number of concurrent connections, one reader
+// thread per connection; responses are serialized per connection with a
+// write mutex (a request's responses never interleave mid-line with
+// another's). A connection that half-closes keeps receiving responses for
+// its in-flight requests before the server closes the other half. A
+// {"op":"shutdown"} request from any connection stops the accept loop,
+// drains every active job, and removes the socket file.
+//
+// Client: streams stdin to the socket and socket responses to stdout
+// until both sides are drained — `soctest --connect <sock> < requests`
+// is the scriptable unit the CI smoke uses.
+#pragma once
+
+#include <string>
+
+namespace soctest::server {
+
+class ServerCore;
+
+/// Binds `path` (an existing stale socket file is replaced), serves until
+/// a shutdown request arrives, then drains and unlinks. Returns a process
+/// exit code: 0 clean shutdown, 1 on a bind/listen failure.
+int serve_unix(const std::string& path, ServerCore& core);
+
+/// Connects to `path`, forwards stdin lines to the server and server
+/// lines to stdout (interleaved via poll, so progress events stream while
+/// stdin is still being read). Returns 0 when the server closed the
+/// connection after stdin was fully forwarded, 1 on connect/I/O failure.
+int run_client(const std::string& path);
+
+}  // namespace soctest::server

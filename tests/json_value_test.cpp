@@ -1,0 +1,73 @@
+// io/json_value — the minimal JSON parser behind the server protocol.
+#include <gtest/gtest.h>
+
+#include "io/json_value.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(JsonValue, ParsesScalarsAndContainers) {
+  const JsonValue v = parse_json(
+      R"({"s": "hi", "n": 42, "f": -1.5e2, "b": true, "z": null,)"
+      R"( "a": [1, 2, 3], "o": {"inner": false}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->as_string(), "hi");
+  EXPECT_EQ(v.find("n")->as_int64(), 42);
+  EXPECT_DOUBLE_EQ(v.find("f")->as_double(), -150.0);
+  EXPECT_TRUE(v.find("b")->as_bool());
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_TRUE(v.find("a")->is_array());
+  ASSERT_EQ(v.find("a")->items.size(), 3u);
+  EXPECT_EQ(v.find("a")->items[2].as_int64(), 3);
+  EXPECT_FALSE(v.find("o")->find("inner")->as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, PreservesMemberOrderAndLexemes) {
+  const JsonValue v = parse_json(R"({"b": 1, "a": 2})");
+  ASSERT_EQ(v.members.size(), 2u);
+  EXPECT_EQ(v.members[0].first, "b");
+  EXPECT_EQ(v.members[1].first, "a");
+  // 64-bit integers survive exactly (no 2^53 double cliff).
+  const JsonValue big = parse_json("9223372036854775807");
+  EXPECT_EQ(big.as_int64(), 9223372036854775807LL);
+  const JsonValue ubig = parse_json("18446744073709551615");
+  EXPECT_EQ(ubig.as_uint64(), 18446744073709551615ULL);
+}
+
+TEST(JsonValue, DecodesStringEscapes) {
+  const JsonValue v = parse_json(R"("line\nquote\"tab\tback\\uA")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"tab\tback\\uA");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1 2]"), std::runtime_error);
+  EXPECT_THROW(parse_json("truth"), std::runtime_error);
+  EXPECT_THROW(parse_json("01"), std::runtime_error);
+  EXPECT_THROW(parse_json("1."), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"raw\ncontrol\""), std::runtime_error);
+  EXPECT_THROW(parse_json(R"("\ud83d alone")"), std::runtime_error);
+  // Trailing garbage after a complete document is an error (NDJSON lines
+  // must be exactly one object).
+  EXPECT_THROW(parse_json("{} {}"), std::runtime_error);
+  EXPECT_THROW(parse_json("1 2"), std::runtime_error);
+}
+
+TEST(JsonValue, StrictIntegerAccessors) {
+  EXPECT_THROW(parse_json("3.5").as_int64(), std::runtime_error);
+  EXPECT_THROW(parse_json("1e3").as_int64(), std::runtime_error);
+  EXPECT_THROW(parse_json("-1").as_uint64(), std::runtime_error);
+  EXPECT_THROW(parse_json("99999999999999999999").as_int64(),
+               std::runtime_error);
+  EXPECT_THROW(parse_json("\"7\"").as_int64(), std::runtime_error);
+  EXPECT_EQ(parse_json("-7").as_int64(), -7);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,473 @@
+// src/server — the optimization-as-a-service daemon engine. Exercises the
+// transport-independent ServerCore exactly the way the socket and --batch
+// transports do (handle_line + emit), pinning:
+//   - strict request validation (unknown fields, conflicting inputs);
+//   - warm-vs-cold semantics: an identical resubmit is served from the
+//     shared session with a bit-identical report and nonzero cross-request
+//     cache hits; a one-bit-different SOC gets a cold session;
+//   - concurrent requests produce reports bit-identical to one-shot
+//     library runs;
+//   - cancellation and deadlines surface as distinct protocol errors and
+//     never poison the shared SessionCache for later requests;
+//   - checkpoint write failures yield the distinct checkpoint_io error
+//     AFTER the intact in-memory result;
+//   - --batch directory draining with resume-by-skipping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "io/json_value.hpp"
+#include "io/soc_text.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "report/json.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "test_util.hpp"
+
+namespace soctest::server {
+namespace {
+
+SocSpec mini_soc(int chain_tweak = 0) {
+  SocSpec soc;
+  soc.name = "server-mini";
+  soc.cores.push_back(
+      testutil::small_core("a", 8, {14 + chain_tweak, 12, 10}, 10));
+  soc.cores.push_back(testutil::small_core("b", 10, {18, 16, 12, 8}, 12));
+  soc.validate();
+  return soc;
+}
+
+std::string soc_text_of(const SocSpec& soc) {
+  std::ostringstream os;
+  write_soc_text(os, soc);
+  return os.str();
+}
+
+std::string optimize_request(const std::string& id, const SocSpec& soc,
+                             int width, const std::string& extra = "") {
+  return "{\"op\": \"optimize\", \"id\": \"" + id + "\", \"soc_text\": \"" +
+         json_escape(soc_text_of(soc)) +
+         "\", \"width\": " + std::to_string(width) + extra + "}";
+}
+
+/// What a one-shot CLI run reports for (soc, width) — the daemon's
+/// bit-identity reference.
+std::string one_shot_report(const SocSpec& soc, int width) {
+  ExploreOptions eopts;
+  eopts.max_width = std::max(width, 32);
+  eopts.max_chains = 255;
+  const SocOptimizer opt(soc, eopts);
+  OptimizerOptions o;
+  o.width = width;
+  OptimizationResult r = opt.optimize(o);
+  r.cpu_seconds = 0.0;
+  return compact_json(result_to_json(r, soc));
+}
+
+class Collector {
+ public:
+  EmitFn emit() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(m_);
+      lines_.push_back(line);
+    };
+  }
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return lines_;
+  }
+  /// Last response with the given event (and id, when non-empty), parsed.
+  JsonValue event(const std::string& event, const std::string& id = "") const {
+    JsonValue found;
+    for (const std::string& line : lines()) {
+      const JsonValue v = parse_json(line);
+      const JsonValue* ev = v.find("event");
+      const JsonValue* idv = v.find("id");
+      if (ev && ev->string_value == event &&
+          (id.empty() || (idv && idv->string_value == id)))
+        found = v;
+    }
+    return found;
+  }
+  /// The raw "report" object of a result line (bit-comparable substring).
+  std::string report_of(const std::string& id) const {
+    for (const std::string& line : lines()) {
+      if (line.find("\"event\": \"result\", \"id\": \"" + id + "\"") ==
+          std::string::npos)
+        continue;
+      const std::size_t pos = line.find("\"report\": ");
+      EXPECT_NE(pos, std::string::npos);
+      return line.substr(pos + 10, line.size() - (pos + 10) - 1);
+    }
+    ADD_FAILURE() << "no result line for id " << id;
+    return "";
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::string> lines_;
+};
+
+void run(ServerCore& core, const std::string& line, Collector& col) {
+  std::shared_future<void> fut = core.handle_line(line, col.emit());
+  if (fut.valid()) fut.get();
+}
+
+TEST(ServerProtocol, StrictRequestValidation) {
+  const auto code_of = [](const std::string& line) -> std::string {
+    try {
+      parse_request(line);
+    } catch (const ProtocolError& e) {
+      return e.code();
+    }
+    return "";
+  };
+  EXPECT_EQ(code_of("not json"), "bad_request");
+  EXPECT_EQ(code_of("{\"op\": \"optimize\"}"), "bad_request");  // no id
+  EXPECT_EQ(code_of("{\"op\": \"teleport\", \"id\": \"x\"}"), "bad_request");
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\", \"design\": "
+                    "\"d695\", \"widht\": 16}"),
+            "bad_request");  // typo'd field, never silently defaulted
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\"}"),
+            "bad_request");  // neither design nor soc_text
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\", \"design\": "
+                    "\"d695\", \"soc_text\": \"soc s\"}"),
+            "bad_request");  // both
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\", \"design\": "
+                    "\"d695\", \"anneal\": 10, \"portfolio\": 2}"),
+            "bad_request");
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\", \"design\": "
+                    "\"d695\", \"checkpoint\": \"f\"}"),
+            "bad_request");  // checkpoint without portfolio
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\", \"design\": "
+                    "\"d695\", \"width\": 0}"),
+            "bad_request");
+  EXPECT_EQ(code_of("{\"op\": \"optimize\", \"id\": \"x\", \"design\": "
+                    "\"d695\", \"width\": \"16\"}"),
+            "bad_request");  // wrong type
+  EXPECT_EQ(code_of("{\"op\": \"cancel\"}"), "bad_request");
+  EXPECT_EQ(code_of("{\"op\": \"ping\", \"design\": \"d695\"}"),
+            "bad_request");  // housekeeping ops take no extra fields
+  // Well-formed requests parse.
+  EXPECT_EQ(parse_request("{\"op\": \"ping\"}").op, Request::Op::Ping);
+  EXPECT_EQ(parse_request("{\"op\": \"optimize\", \"id\": \"r\", "
+                          "\"design\": \"d695\", \"width\": 16}")
+                .optimize.width,
+            16);
+}
+
+TEST(ServerCoreTest, HousekeepingOps) {
+  ServerCore core;
+  Collector col;
+  run(core, "{\"op\": \"ping\", \"id\": \"p\"}", col);
+  EXPECT_TRUE(col.event("pong", "p").is_object());
+  run(core, "{\"op\": \"stats\"}", col);
+  const JsonValue stats = col.event("stats");
+  ASSERT_TRUE(stats.is_object());
+  EXPECT_EQ(stats.find("active")->as_int64(), 0);
+  run(core, "{\"op\": \"cancel\", \"id\": \"ghost\"}", col);
+  EXPECT_EQ(col.event("error", "ghost").find("code")->as_string(),
+            "bad_request");
+  run(core, "not json at all", col);
+  EXPECT_EQ(col.event("error").find("code")->as_string(), "bad_request");
+}
+
+TEST(ServerCoreTest, WarmResubmitIsBitIdenticalWithCacheHits) {
+  ServerCore core;
+  Collector col;
+  const SocSpec soc = mini_soc();
+
+  run(core, optimize_request("cold", soc, 8), col);
+  const JsonValue cold = col.event("result", "cold");
+  ASSERT_TRUE(cold.is_object());
+  EXPECT_FALSE(cold.find("warm")->as_bool());
+
+  run(core, optimize_request("warm", soc, 8), col);
+  const JsonValue warm = col.event("result", "warm");
+  ASSERT_TRUE(warm.is_object());
+  EXPECT_TRUE(warm.find("warm")->as_bool());
+
+  // Bit-identical report objects, byte for byte.
+  EXPECT_EQ(col.report_of("cold"), col.report_of("warm"));
+  EXPECT_EQ(col.report_of("cold"), one_shot_report(soc, 8));
+
+  // The resubmit was served from shared warm state: same session key,
+  // nonzero cross-request memo hits, a SessionCache hit on record.
+  const JsonValue* cs = cold.find("session");
+  const JsonValue* ws = warm.find("session");
+  EXPECT_EQ(cs->find("key")->as_string(), ws->find("key")->as_string());
+  EXPECT_GT(ws->find("memo_hits")->as_int64(), 0);
+  EXPECT_EQ(ws->find("memo_misses")->as_int64(), 0);
+  EXPECT_GE(ws->find("sessions")->find("hits")->as_int64(), 1);
+}
+
+TEST(ServerCoreTest, WidthSweepSharesOneSession) {
+  ServerCore core;
+  Collector col;
+  const SocSpec soc = mini_soc();
+  run(core, optimize_request("w8", soc, 8), col);
+  run(core, optimize_request("w12", soc, 12), col);
+  const JsonValue a = col.event("result", "w8");
+  const JsonValue b = col.event("result", "w12");
+  // Different budget, same session: the width is deliberately not part of
+  // the fingerprint, so a sweep reuses warm columns/memo entries.
+  EXPECT_TRUE(b.find("warm")->as_bool());
+  EXPECT_EQ(a.find("session")->find("key")->as_string(),
+            b.find("session")->find("key")->as_string());
+  EXPECT_EQ(col.report_of("w12"), one_shot_report(soc, 12));
+}
+
+TEST(ServerCoreTest, OneBitDifferentSocGetsAColdSession) {
+  ServerCore core;
+  Collector col;
+  run(core, optimize_request("base", mini_soc(0), 8), col);
+  run(core, optimize_request("tweak", mini_soc(1), 8), col);
+  const JsonValue a = col.event("result", "base");
+  const JsonValue b = col.event("result", "tweak");
+  EXPECT_FALSE(b.find("warm")->as_bool());
+  EXPECT_NE(a.find("session")->find("key")->as_string(),
+            b.find("session")->find("key")->as_string());
+}
+
+TEST(ServerCoreTest, ConcurrentRequestsMatchOneShotRuns) {
+  ServerCore core;
+  Collector col;
+  const SocSpec soc = mini_soc();
+  // 8 concurrent requests over a width sweep: all interleave on the shared
+  // pool and the shared session; every report must equal the one-shot run.
+  const std::vector<int> widths = {6, 7, 8, 9, 10, 11, 12, 13};
+  std::vector<std::shared_future<void>> pending;
+  for (int w : widths)
+    pending.push_back(core.handle_line(
+        optimize_request("cw" + std::to_string(w), soc, w), col.emit()));
+  for (auto& fut : pending) {
+    ASSERT_TRUE(fut.valid());
+    fut.get();
+  }
+  for (int w : widths) {
+    SCOPED_TRACE(w);
+    EXPECT_EQ(col.report_of("cw" + std::to_string(w)), one_shot_report(soc, w));
+  }
+}
+
+TEST(ServerCoreTest, ExplicitCancelDoesNotPoisonTheSharedSession) {
+  ServerCore core;
+  Collector col;
+  const SocSpec soc = mini_soc();
+  // An effectively unbounded portfolio: only the cancel ends it.
+  std::shared_future<void> fut = core.handle_line(
+      optimize_request("victim", soc, 8,
+                       ", \"portfolio\": 2, \"sweeps\": 1000000000, "
+                       "\"sweep_proposals\": 5"),
+      col.emit());
+  ASSERT_TRUE(fut.valid());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  Collector ack;
+  core.handle_line("{\"op\": \"cancel\", \"id\": \"victim\"}", ack.emit());
+  fut.get();
+  EXPECT_EQ(col.event("error", "victim").find("code")->as_string(),
+            "cancelled");
+
+  // The session the cancelled portfolio was filling serves later requests
+  // with exact results (memoized entries are exact by construction).
+  run(core, optimize_request("after", soc, 8), col);
+  EXPECT_TRUE(col.event("result", "after").find("warm")->as_bool());
+  EXPECT_EQ(col.report_of("after"), one_shot_report(soc, 8));
+}
+
+TEST(ServerCoreTest, DeadlineMidExploreLeavesNoPartialSession) {
+  ServerCore core;
+  Collector col;
+  // synth:6 explores long enough that a 1 ms deadline always fires during
+  // the session build; the cancelled build must insert nothing.
+  run(core,
+      "{\"op\": \"optimize\", \"id\": \"dl\", \"design\": \"synth:6\", "
+      "\"width\": 8, \"deadline_ms\": 1}",
+      col);
+  EXPECT_EQ(col.event("error", "dl").find("code")->as_string(), "deadline");
+  EXPECT_EQ(core.session_cache().size(), 0u);
+
+  // The same SOC afterwards builds cold and completes normally.
+  run(core,
+      "{\"op\": \"optimize\", \"id\": \"full\", \"design\": \"synth:6\", "
+      "\"width\": 8}",
+      col);
+  const JsonValue full = col.event("result", "full");
+  ASSERT_TRUE(full.is_object());
+  EXPECT_FALSE(full.find("warm")->as_bool());
+  EXPECT_EQ(core.session_cache().size(), 1u);
+}
+
+TEST(ServerCoreTest, DuplicateActiveIdIsRejected) {
+  ServerCore core;
+  Collector col;
+  const SocSpec soc = mini_soc();
+  std::shared_future<void> fut = core.handle_line(
+      optimize_request("dup", soc, 8,
+                       ", \"portfolio\": 2, \"sweeps\": 1000000000, "
+                       "\"sweep_proposals\": 5"),
+      col.emit());
+  ASSERT_TRUE(fut.valid());
+  Collector second;
+  core.handle_line(optimize_request("dup", soc, 8), second.emit());
+  EXPECT_EQ(second.event("error", "dup").find("code")->as_string(),
+            "bad_request");
+  Collector ack;
+  core.handle_line("{\"op\": \"cancel\", \"id\": \"dup\"}", ack.emit());
+  fut.get();
+}
+
+TEST(ServerCoreTest, CheckpointWriteFailureFollowsTheIntactResult) {
+  ServerCore core;
+  Collector col;
+  const SocSpec soc = mini_soc();
+  run(core,
+      optimize_request("ck", soc, 8,
+                       ", \"portfolio\": 2, \"sweeps\": 2, "
+                       "\"sweep_proposals\": 5, \"progress\": true, "
+                       "\"checkpoint\": "
+                       "\"/nonexistent-soctest-dir/cp.bin\""),
+      col);
+  // The in-memory run is intact and delivered first ...
+  const std::vector<std::string> lines = col.lines();
+  const auto result_at = std::find_if(
+      lines.begin(), lines.end(), [](const std::string& l) {
+        return l.find("\"event\": \"result\", \"id\": \"ck\"") !=
+               std::string::npos;
+      });
+  const auto error_at = std::find_if(
+      lines.begin(), lines.end(), [](const std::string& l) {
+        return l.find("\"checkpoint_io\"") != std::string::npos;
+      });
+  ASSERT_NE(result_at, lines.end());
+  ASSERT_NE(error_at, lines.end());
+  EXPECT_LT(result_at - lines.begin(), error_at - lines.begin());
+  // ... and progress streamed sweep samples before that.
+  const JsonValue prog = col.event("progress", "ck");
+  ASSERT_TRUE(prog.is_object());
+  EXPECT_EQ(prog.find("sweeps_total")->as_int64(), 2);
+}
+
+TEST(ServerCoreTest, ResumesPortfolioCheckpointAcrossDaemonRestarts) {
+  namespace fs = std::filesystem;
+  const std::string ck =
+      (fs::path(::testing::TempDir()) / "soctest_server_ck.bin").string();
+  fs::remove(ck);
+  const SocSpec soc = mini_soc();
+  const std::string base = ", \"portfolio\": 2, \"sweep_proposals\": 20";
+
+  // Daemon #1 runs a partial budget and persists the walk state.
+  {
+    ServerCore core;
+    Collector col;
+    run(core,
+        optimize_request("part", soc, 8,
+                         base + ", \"sweeps\": 2, \"checkpoint\": \"" +
+                             json_escape(ck) + "\""),
+        col);
+    ASSERT_TRUE(col.event("result", "part").is_object());
+    ASSERT_TRUE(fs::exists(ck));
+  }
+
+  // Daemon #2 — a restart after a kill — resubmits with an extended
+  // budget and resumes from the checkpoint instead of starting over.
+  ServerCore restarted;
+  Collector res;
+  run(restarted,
+      optimize_request("res", soc, 8,
+                       base + ", \"sweeps\": 4, \"checkpoint\": \"" +
+                           json_escape(ck) + "\""),
+      res);
+
+  // Reference: the uninterrupted 4-sweep run in a fresh daemon.
+  ServerCore fresh;
+  Collector full;
+  run(fresh, optimize_request("full", soc, 8, base + ", \"sweeps\": 4"),
+      full);
+
+  // The resumed run lands on the same architecture and cost as the
+  // uninterrupted one (proposal counters differ — only the extension
+  // ran — so compare the deterministic outcome fields).
+  const JsonValue a = parse_json(res.report_of("res"));
+  const JsonValue b = parse_json(full.report_of("full"));
+  EXPECT_EQ(a.find("test_time")->as_int64(), b.find("test_time")->as_int64());
+  EXPECT_EQ(a.find("data_volume_bits")->as_int64(),
+            b.find("data_volume_bits")->as_int64());
+
+  // A corrupt checkpoint falls back to a fresh run instead of failing
+  // the request.
+  { std::ofstream(ck) << "not a checkpoint"; }
+  ServerCore after_corrupt;
+  Collector cor;
+  run(after_corrupt,
+      optimize_request("cor", soc, 8,
+                       base + ", \"sweeps\": 4, \"checkpoint\": \"" +
+                           json_escape(ck) + "\""),
+      cor);
+  const JsonValue c = parse_json(cor.report_of("cor"));
+  EXPECT_EQ(c.find("test_time")->as_int64(), b.find("test_time")->as_int64());
+  fs::remove(ck);
+}
+
+TEST(ServerCoreTest, ShutdownRejectsNewRequests) {
+  ServerCore core;
+  Collector col;
+  run(core, "{\"op\": \"shutdown\"}", col);
+  EXPECT_TRUE(core.shutdown_requested());
+  run(core, optimize_request("late", mini_soc(), 8), col);
+  EXPECT_EQ(col.event("error", "late").find("code")->as_string(),
+            "bad_request");
+}
+
+TEST(ServerBatch, DrainsDirectoryAndResumesBySkipping) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "soctest_batch_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const SocSpec soc = mini_soc();
+  {
+    std::ofstream a(dir / "a.json");
+    a << optimize_request("b1", soc, 8) << "\n"
+      << optimize_request("b2", soc, 10) << "\n";
+    std::ofstream b(dir / "b.json");
+    b << "{\"op\": \"optimize\", \"id\": \"bad\", \"design\": "
+         "\"no-such.soc\", \"width\": 8}\n";
+  }
+
+  ServerCore core;
+  EXPECT_EQ(run_batch(dir.string(), core), 0);
+  ASSERT_TRUE(fs::exists(dir / "a.out.jsonl"));
+  ASSERT_TRUE(fs::exists(dir / "b.out.jsonl"));
+
+  Collector col;  // reuse the line-matching helpers on the batch output
+  std::ifstream out(dir / "a.out.jsonl");
+  std::string line;
+  auto emit = col.emit();
+  while (std::getline(out, line)) emit(line);
+  EXPECT_EQ(col.report_of("b1"), one_shot_report(soc, 8));
+  EXPECT_EQ(col.report_of("b2"), one_shot_report(soc, 10));
+
+  std::ifstream bad(dir / "b.out.jsonl");
+  std::stringstream bad_body;
+  bad_body << bad.rdbuf();
+  EXPECT_NE(bad_body.str().find("\"bad_request\""), std::string::npos);
+
+  // A second drain (killed-daemon restart) skips files whose output
+  // already exists instead of recomputing or clobbering them.
+  const auto mtime = fs::last_write_time(dir / "a.out.jsonl");
+  ServerCore fresh;
+  EXPECT_EQ(run_batch(dir.string(), fresh), 0);
+  EXPECT_EQ(fs::last_write_time(dir / "a.out.jsonl"), mtime);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace soctest::server

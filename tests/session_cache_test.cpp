@@ -1,0 +1,153 @@
+// server/session_cache — the daemon's cross-request warm-state store.
+// Pins the key semantics (content-addressed, width-budget excluded,
+// cancel-token excluded), LRU eviction, the build-outside-the-lock
+// contract under cancellation, and concurrent first-insert-wins adoption.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "server/session_cache.hpp"
+#include "test_util.hpp"
+
+namespace soctest::server {
+namespace {
+
+SocSpec two_core_soc(int chain_tweak = 0) {
+  SocSpec soc;
+  soc.name = "sc-test";
+  soc.cores.push_back(
+      testutil::small_core("a", 8, {14 + chain_tweak, 12, 10}, 10));
+  soc.cores.push_back(testutil::small_core("b", 10, {18, 16, 12, 8}, 12));
+  soc.validate();
+  return soc;
+}
+
+SessionConfig small_config() {
+  SessionConfig cfg;
+  cfg.explore.max_width = 32;
+  cfg.explore.max_chains = 64;
+  return cfg;
+}
+
+TEST(SessionCacheKey, ContentAddressedNotNameAddressed) {
+  const SocSpec soc = two_core_soc();
+  const SessionConfig cfg = small_config();
+  EXPECT_EQ(SessionCache::key_for(soc, cfg), SessionCache::key_for(soc, cfg));
+
+  // One changed chain length anywhere -> a different session.
+  const SocSpec tweaked = two_core_soc(1);
+  EXPECT_NE(SessionCache::key_for(soc, cfg),
+            SessionCache::key_for(tweaked, cfg));
+}
+
+TEST(SessionCacheKey, KnobsThatChangeResultsChangeTheKey) {
+  const SocSpec soc = two_core_soc();
+  const SessionConfig base = small_config();
+
+  SessionConfig c = base;
+  c.mode = ArchMode::PerTam;
+  EXPECT_NE(SessionCache::key_for(soc, base), SessionCache::key_for(soc, c));
+  c = base;
+  c.constraint = ConstraintMode::AteChannels;
+  EXPECT_NE(SessionCache::key_for(soc, base), SessionCache::key_for(soc, c));
+  c = base;
+  c.select = true;
+  EXPECT_NE(SessionCache::key_for(soc, base), SessionCache::key_for(soc, c));
+  c = base;
+  c.power_budget_mw = 250.0;
+  EXPECT_NE(SessionCache::key_for(soc, base), SessionCache::key_for(soc, c));
+  c = base;
+  c.explore.max_chains = 32;
+  EXPECT_NE(SessionCache::key_for(soc, base), SessionCache::key_for(soc, c));
+}
+
+TEST(SessionCacheKey, CancelTokenNeverParticipates) {
+  const SocSpec soc = two_core_soc();
+  SessionConfig a = small_config();
+  SessionConfig b = small_config();
+  runtime::CancelToken token;
+  b.explore.cancel = &token;
+  EXPECT_EQ(SessionCache::key_for(soc, a), SessionCache::key_for(soc, b));
+}
+
+TEST(SessionCache, WarmHitReturnsTheSameSession) {
+  SessionCache cache(4);
+  const SocSpec soc = two_core_soc();
+  const SessionConfig cfg = small_config();
+
+  bool warm = true;
+  auto first = cache.get_or_build(soc, cfg, nullptr, &warm);
+  EXPECT_FALSE(warm);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->optimizer->soc().num_cores(), 2);
+
+  auto second = cache.get_or_build(soc, cfg, nullptr, &warm);
+  EXPECT_TRUE(warm);
+  EXPECT_EQ(first.get(), second.get());
+
+  const runtime::CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(SessionCache, EvictsLeastRecentlyUsed) {
+  SessionCache cache(2);
+  const SessionConfig cfg = small_config();
+  const SocSpec s0 = two_core_soc(0);
+  const SocSpec s1 = two_core_soc(1);
+  const SocSpec s2 = two_core_soc(2);
+
+  auto a = cache.get_or_build(s0, cfg, nullptr);
+  cache.get_or_build(s1, cfg, nullptr);
+  cache.get_or_build(s0, cfg, nullptr);  // refresh s0: s1 becomes LRU
+  cache.get_or_build(s2, cfg, nullptr);  // evicts s1
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.lookup(SessionCache::key_for(s0, cfg)), nullptr);
+  EXPECT_EQ(cache.lookup(SessionCache::key_for(s1, cfg)), nullptr);
+  // A running request keeps its evicted session alive via shared_ptr.
+  EXPECT_EQ(a->optimizer->soc().name, "sc-test");
+}
+
+TEST(SessionCache, CancelledBuildInsertsNothing) {
+  SessionCache cache(4);
+  const SocSpec soc = two_core_soc();
+  const SessionConfig cfg = small_config();
+  runtime::CancelToken token;
+  token.cancel();  // fires at the first explore poll
+  EXPECT_THROW(cache.get_or_build(soc, cfg, &token), runtime::CancelledError);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // The next (uncancelled) request builds normally — no poisoned state.
+  bool warm = true;
+  auto session = cache.get_or_build(soc, cfg, nullptr, &warm);
+  EXPECT_FALSE(warm);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SessionCache, ConcurrentBuildersAdoptTheFirstInsert) {
+  SessionCache cache(4);
+  const SocSpec soc = two_core_soc();
+  const SessionConfig cfg = small_config();
+
+  std::vector<std::shared_ptr<Session>> got(4);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    threads.emplace_back(
+        [&, i] { got[i] = cache.get_or_build(soc, cfg, nullptr); });
+  for (auto& t : threads) t.join();
+
+  for (const auto& s : got) {
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s.get(), got[0].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+}  // namespace
+}  // namespace soctest::server

@@ -15,6 +15,11 @@
 //   soctest convert  --design <d> --out file.soc       (export any design)
 //   soctest help                                       (full flag grammar)
 //
+// Daemon modes (mutually exclusive with each other and with commands):
+//   soctest --serve <sock>   [--sessions N] [--max-active N]
+//   soctest --batch <dir>    [--sessions N] [--max-active N]
+//   soctest --connect <sock>                 (client: stdin -> responses)
+//
 // Every command also accepts --jobs N (parallel lanes for the runtime
 // pool; default: SOCTEST_JOBS env var, else all hardware threads).
 //
@@ -22,7 +27,8 @@
 // synth:<cores>[:<seed>] for the seeded synthetic generator, or a path to a
 // .soc file in the src/io text format.
 //
-// Exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error,
+// 3 the run succeeded but a checkpoint write failed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +38,7 @@
 
 #include "ate/ate_memory.hpp"
 #include "explore/technique_select.hpp"
+#include "io/design_loader.hpp"
 #include "io/soc_text.hpp"
 #include "opt/annealing.hpp"
 #include "opt/baselines.hpp"
@@ -42,10 +49,8 @@
 #include "report/table.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
-#include "socgen/d2758.hpp"
-#include "socgen/d695.hpp"
-#include "socgen/synthetic.hpp"
-#include "socgen/systems.hpp"
+#include "server/server.hpp"
+#include "server/socket.hpp"
 
 using namespace soctest;
 
@@ -136,40 +141,16 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-SocSpec load_design(const std::string& name) {
-  if (name == "d695") return make_d695();
-  if (name == "d2758") return make_d2758();
-  if (name == "fig4") return make_fig4_soc();
-  for (int i = 1; i <= 4; ++i)
-    if (name == "System" + std::to_string(i)) return make_system(i);
-  // synth:<cores>[:<seed>] — the seeded scale-study generator. Strict: the
-  // whole token must be consumed, so 'synth:120:7x' or 'synth:12x0' is a
-  // usage error instead of silently parsing the digit prefix.
-  if (name.rfind("synth:", 0) == 0) {
-    const auto bad = [&name]() {
-      std::fprintf(stderr,
-                   "bad design '%s': expected synth:<cores>[:<seed>] with "
-                   "<cores> >= 1 and <seed> unsigned decimal\n",
-                   name.c_str());
-      std::exit(2);
-    };
-    const char* s = name.c_str() + 6;
-    char* end = nullptr;
-    const long cores = std::strtol(s, &end, 10);
-    if (*s < '0' || *s > '9' || end == s || cores < 1) bad();
-    std::uint64_t seed = 1;
-    if (*end == ':') {
-      const char* s2 = end + 1;
-      seed = std::strtoull(s2, &end, 10);
-      if (*s2 < '0' || *s2 > '9' || end == s2) bad();
-    }
-    if (*end != '\0') bad();
-    SyntheticSocParams p;
-    p.num_cores = static_cast<int>(cores);
-    return make_synthetic_soc(p, seed);
+/// io/design_loader shared with the server, with the CLI's exit-code
+/// contract layered on: a malformed design reference (strict synth:
+/// grammar) is a usage error (exit 2), not a runtime failure.
+SocSpec load_design_or_exit(const std::string& name) {
+  try {
+    return soctest::load_design(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
   }
-  // Otherwise treat as a file path.
-  return read_soc_text_file(name);
 }
 
 int cmd_list_designs() {
@@ -184,7 +165,7 @@ int cmd_list_designs() {
 }
 
 int cmd_show(const Args& a) {
-  const SocSpec soc = load_design(a.require("design"));
+  const SocSpec soc = load_design_or_exit(a.require("design"));
   std::printf("%s: %d cores, V_i = %.3f Mbit\n", soc.name.c_str(),
               soc.num_cores(), soc.initial_data_volume_bits() / 1e6);
   Table t({"core", "inputs", "outputs", "scan cells", "chains", "patterns",
@@ -205,7 +186,7 @@ int cmd_show(const Args& a) {
 }
 
 int cmd_explore(const Args& a) {
-  const SocSpec soc = load_design(a.require("design"));
+  const SocSpec soc = load_design_or_exit(a.require("design"));
   const std::string core_name = a.require("core");
   const CoreUnderTest* core = nullptr;
   for (const auto& c : soc.cores)
@@ -251,7 +232,7 @@ std::optional<ArchMode> parse_mode(const std::string& s) {
 }
 
 int cmd_optimize(const Args& a) {
-  const SocSpec soc = load_design(a.require("design"));
+  const SocSpec soc = load_design_or_exit(a.require("design"));
   ExploreOptions eopts;
   eopts.max_width = std::max(a.get_int("width", 32), 32);
   eopts.max_chains = a.get_int("max-chains", 255);
@@ -313,7 +294,7 @@ int cmd_optimize(const Args& a) {
                         : optimize_portfolio(opt, o, p);
     r = pr.best;
     pstats = pr.stats;
-    if (!p.checkpoint_path.empty())
+    if (!p.checkpoint_path.empty() && pstats->checkpoint_error.empty())
       std::printf("checkpoint written to %s\n", p.checkpoint_path.c_str());
   } else if (a.has("anneal")) {
     AnnealingOptions an;
@@ -396,11 +377,20 @@ int cmd_optimize(const Args& a) {
     write_svg_file(a.get("svg"), gantt_svg(r.schedule, r.arch, names, sopts));
     std::printf("wrote %s\n", a.get("svg").c_str());
   }
+  // A checkpoint-write failure never aborts the run (the result above is
+  // real and fully reported) but must not exit 0 either: scripted sweeps
+  // that rely on the checkpoint for resume need to notice. Distinct code
+  // so callers can tell "lost the run" (1) from "lost the checkpoint" (3).
+  if (pstats && !pstats->checkpoint_error.empty()) {
+    std::fprintf(stderr, "checkpoint write failed: %s\n",
+                 pstats->checkpoint_error.c_str());
+    return 3;
+  }
   return 0;
 }
 
 int cmd_compare(const Args& a) {
-  const SocSpec soc = load_design(a.require("design"));
+  const SocSpec soc = load_design_or_exit(a.require("design"));
   ExploreOptions eopts;
   eopts.max_width = std::max(a.get_int("width", 32), 32);
   eopts.max_chains = a.get_int("max-chains", 255);
@@ -421,7 +411,7 @@ int cmd_compare(const Args& a) {
 }
 
 int cmd_convert(const Args& a) {
-  const SocSpec soc = load_design(a.require("design"));
+  const SocSpec soc = load_design_or_exit(a.require("design"));
   const std::string out = a.require("out");
   write_soc_text_file(out, soc);
   std::printf("wrote %s (%d cores)\n", out.c_str(), soc.num_cores());
@@ -447,6 +437,21 @@ void print_grammar(std::FILE* out) {
       "  convert  --design <d> --out file.soc\n"
       "  help\n"
       "\n"
+      "daemon modes (no command; exclusive with each other and with every\n"
+      "one-shot flag except --jobs):\n"
+      "  --serve <sock>      long-lived daemon on a unix socket; newline-\n"
+      "                      delimited JSON requests/responses (op: optimize|\n"
+      "                      cancel|stats|ping|shutdown), concurrent requests\n"
+      "                      share warm per-SOC state (see DESIGN.md s11)\n"
+      "  --batch <dir>       drain <dir>/*.json request files through the\n"
+      "                      same engine; responses to <stem>.out.jsonl;\n"
+      "                      files with existing output are skipped (resume)\n"
+      "  --connect <sock>    client: forward stdin lines to a --serve daemon\n"
+      "                      and print its responses\n"
+      "  --sessions N        warm SOC sessions kept (LRU; default 8)\n"
+      "  --max-active N      concurrently computing requests (default 0 =\n"
+      "                      unbounded; queued requests stay cancellable)\n"
+      "\n"
       "design grammar (<d>):\n"
       "  d695 | d2758 | System1..System4 | fig4     built-in benchmarks\n"
       "  synth:<cores>[:<seed>]                     seeded synthetic SOC;\n"
@@ -469,12 +474,74 @@ void print_grammar(std::FILE* out) {
       "\n"
       "global flags: --jobs N (parallel lanes; default $SOCTEST_JOBS or all\n"
       "hardware threads). Results are bit-identical for any --jobs value.\n"
-      "exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error\n");
+      "exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error,\n"
+      "3 run succeeded but a checkpoint write failed\n");
 }
 
 int usage() {
   print_grammar(stderr);
   return 2;
+}
+
+/// Validates and runs the daemon modes. Strict, PR-5 style: the three
+/// modes are mutually exclusive, take no command, and reject every
+/// one-shot flag (a request's parameters travel in the protocol, not on
+/// the daemon's command line) — a typo'd invocation exits 2 instead of
+/// silently ignoring half its flags.
+int run_daemon_mode(const Args& a) {
+  const int modes = (a.has("serve") ? 1 : 0) + (a.has("batch") ? 1 : 0) +
+                    (a.has("connect") ? 1 : 0);
+  if (modes > 1) {
+    std::fprintf(stderr,
+                 "--serve, --batch and --connect are mutually exclusive\n");
+    return 2;
+  }
+  if (!a.command.empty()) {
+    std::fprintf(stderr,
+                 "--serve/--batch/--connect take no command (got '%s')\n",
+                 a.command.c_str());
+    return 2;
+  }
+  static const char* kOneShot[] = {
+      "design", "width",      "mode",           "constraint", "power",
+      "select", "svg",        "anneal",         "portfolio",  "sweeps",
+      "sweep-proposals",      "seed",           "checkpoint",
+      "checkpoint-every",     "resume",         "core",       "max-width",
+      "max-chains",           "csv",            "out"};
+  for (const char* flag : kOneShot) {
+    if (a.has(flag)) {
+      std::fprintf(stderr,
+                   "--%s is a one-shot flag; optimize parameters travel in "
+                   "the request protocol, not on the daemon command line\n",
+                   flag);
+      return 2;
+    }
+  }
+  if (a.has("connect")) {
+    if (a.has("sessions") || a.has("max-active")) {
+      std::fprintf(stderr,
+                   "--sessions/--max-active configure the daemon, not the "
+                   "client\n");
+      return 2;
+    }
+    return server::run_client(a.require("connect"));
+  }
+  const int sessions = a.get_int("sessions", 8);
+  const int max_active = a.get_int("max-active", 0);
+  if (sessions < 1) {
+    std::fprintf(stderr, "--sessions must be >= 1\n");
+    return 2;
+  }
+  if (max_active < 0) {
+    std::fprintf(stderr, "--max-active must be >= 0\n");
+    return 2;
+  }
+  server::ServerOptions sopts;
+  sopts.sessions = static_cast<std::size_t>(sessions);
+  sopts.max_active = max_active;
+  server::ServerCore core(sopts);
+  if (a.has("serve")) return server::serve_unix(a.require("serve"), core);
+  return server::run_batch(a.require("batch"), core);
 }
 
 }  // namespace
@@ -492,6 +559,19 @@ int main(int argc, char** argv) {
   if (a.command == "help" || a.has("help")) {
     print_grammar(stdout);
     return 0;
+  }
+  if (a.has("serve") || a.has("batch") || a.has("connect")) {
+    try {
+      return run_daemon_mode(a);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (a.has("sessions") || a.has("max-active")) {
+    std::fprintf(stderr,
+                 "--sessions/--max-active require --serve or --batch\n");
+    return 2;
   }
   try {
     if (a.command == "list-designs") return cmd_list_designs();
