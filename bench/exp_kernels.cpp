@@ -1,0 +1,307 @@
+// Word-parallel kernel gates: the bit-parallel codec/explore rewrite must
+// (1) beat the seed trit-at-a-time slice counting loop by >= 5x,
+// (2) make the explore-phase geometry sweep measurably faster than the
+//     sort-based seed cost model on the same workload, and
+// (3) produce byte-identical cost reports with the SIMD path forced on and
+//     forced off.
+//
+// Gates exit 1 on failure. Results are spliced into the "kernels" section
+// of BENCH_runtime.json; micro_kernels rewrites the google-benchmark body
+// of that file wholesale, so this binary only replaces its own section
+// (same contract as exp_server_throughput's "server" section).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bitvec/slice_kernels.hpp"
+#include "codec/sparse_cost.hpp"
+#include "dft/soc_spec.hpp"
+#include "report/table.hpp"
+#include "socgen/cube_synth.hpp"
+#include "socgen/rng.hpp"
+#include "wrapper/slice_map.hpp"
+#include "wrapper/wrapper_design.hpp"
+
+using namespace soctest;
+
+namespace {
+
+volatile std::int64_t g_sink = 0;
+
+/// Median-free micro timer: doubles reps until the body runs >= 30 ms, then
+/// reports ns per call.
+double time_ns_per_call(const std::function<void()>& body) {
+  using clock = std::chrono::steady_clock;
+  std::int64_t reps = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::int64_t i = 0; i < reps; ++i) body();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= 0.03 || reps > (std::int64_t{1} << 40))
+      return s * 1e9 / static_cast<double>(reps);
+    reps *= 2;
+  }
+}
+
+std::vector<TernaryVector> slice_pool(int width, int count, Rng& rng) {
+  std::vector<TernaryVector> pool;
+  for (int i = 0; i < count; ++i) {
+    TernaryVector v(static_cast<std::size_t>(width));
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      const double r = rng.next_double();
+      if (r < 0.15)
+        v.set(j, Trit::One);
+      else if (r < 0.4)
+        v.set(j, Trit::Zero);
+    }
+    pool.push_back(std::move(v));
+  }
+  return pool;
+}
+
+/// The seed's counting loop: one virtual get() per position.
+std::int64_t trit_count(const TernaryVector& v) {
+  std::int64_t c0 = 0, c1 = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    switch (v.get(i)) {
+      case Trit::Zero: ++c0; break;
+      case Trit::One: ++c1; break;
+      case Trit::X: break;
+    }
+  }
+  return c0 + (c1 << 20);
+}
+
+CoreUnderTest explore_workload() {
+  CoreUnderTest c;
+  c.spec.name = "kernels-bench";
+  c.spec.num_inputs = 32;
+  c.spec.num_outputs = 24;
+  c.spec.flexible_scan = true;
+  c.spec.flexible_scan_cells = 20'000;
+  c.spec.num_patterns = 100;
+  CubeSynthParams p;
+  p.num_cells = c.spec.stimulus_bits_per_pattern();
+  p.num_patterns = c.spec.num_patterns;
+  p.care_density = 0.02;
+  c.cubes = synthesize_cubes(p, 11);
+  return c;
+}
+
+std::string cost_report_json(const std::vector<int>& geometries,
+                             const CoreUnderTest& core) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < geometries.size(); ++i) {
+    const int m = geometries[i];
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const SliceMap map(d, core.cubes.num_cells());
+    const SparseCostResult r = sparse_stream_cost(map, core.cubes);
+    os << (i ? "," : "") << "{\"m\":" << m << ",\"total\":"
+       << r.total_codewords << ",\"touched\":" << r.touched_slices
+       << ",\"empty\":" << r.empty_slices << ",\"singles\":"
+       << r.single_codewords << ",\"pairs\":" << r.group_copy_pairs << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+// --- BENCH_runtime.json "kernels" section splicing (see
+// --- exp_server_throughput.cpp for the same idiom on "server") ------------
+
+std::string drop_kernels_section(std::string existing) {
+  const std::size_t marker = existing.find("\n  \"kernels\":");
+  if (marker == std::string::npos) return existing;
+  std::size_t start = marker;
+  if (start > 0 && existing[start - 1] == ',') --start;
+  std::size_t p = existing.find_first_of("[{", marker);
+  if (p == std::string::npos) return existing.substr(0, start);
+  int depth = 0;
+  std::size_t q = p;
+  for (; q < existing.size(); ++q) {
+    const char c = existing[q];
+    if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (--depth == 0) {
+        ++q;
+        break;
+      }
+    }
+  }
+  return existing.substr(0, start) + existing.substr(q);
+}
+
+void splice_kernels_section(const std::string& kernels_json) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_runtime.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  if (const std::size_t close = drop_kernels_section(existing).rfind('}');
+      close != std::string::npos) {
+    out = drop_kernels_section(existing).substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+      out.pop_back();
+  }
+  if (out.empty()) out = "{\n  \"experiment\": \"kernels\"";
+  out += ",\n  \"kernels\": {\n" + kernels_json + "  }\n}\n";
+  std::ofstream f("BENCH_runtime.json");
+  f << out;
+}
+
+std::string json_f(const char* key, double v, bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "    \"%s\": %.6f%s\n", key, v,
+                comma ? "," : "");
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Word-parallel kernel gates ===\n\n");
+  bool ok = true;
+  std::string json;
+  json += "    \"simd_supported\": ";
+  json += kernels::avx2_supported() ? "true" : "false";
+  json += ",\n    \"mode\": \"";
+  json += kernels::mode_name(kernels::active_mode());
+  json += "\",\n";
+
+  // --- Gate 1: slice counting, trit oracle vs packed-word kernels ---------
+  Rng rng(17);
+  Table t1({"width", "trit ns", "word ns", "simd ns", "word x", "simd x"});
+  double min_word_speedup = 1e30;
+  json += "    \"slice_count\": {\n";
+  const std::vector<int> widths = {130, 255, 1024};
+  for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+    const int width = widths[wi];
+    const std::vector<TernaryVector> pool = slice_pool(width, 64, rng);
+    std::size_t next = 0;
+    const auto pick = [&]() -> const TernaryVector& {
+      const TernaryVector& v = pool[next];
+      next = (next + 1) % pool.size();
+      return v;
+    };
+    const double trit_ns =
+        time_ns_per_call([&] { g_sink = g_sink + trit_count(pick()); });
+    const double word_ns = time_ns_per_call([&] {
+      const TernaryVector& v = pick();
+      g_sink = g_sink + kernels::slice_count_scalar(v.care_words(),
+                                                    v.value_words(),
+                                                    v.num_words())
+                            .care;
+    });
+    const double simd_ns = time_ns_per_call([&] {
+      const TernaryVector& v = pick();
+      g_sink = g_sink + kernels::slice_count(v.care_words(), v.value_words(),
+                                             v.num_words())
+                            .care;
+    });
+    const double word_x = word_ns > 0 ? trit_ns / word_ns : 0;
+    const double simd_x = simd_ns > 0 ? trit_ns / simd_ns : 0;
+    min_word_speedup = std::min(min_word_speedup, word_x);
+    t1.add_row({std::to_string(width), Table::fixed(trit_ns, 1),
+                Table::fixed(word_ns, 1), Table::fixed(simd_ns, 1),
+                Table::fixed(word_x, 1), Table::fixed(simd_x, 1)});
+    json += "      \"width_" + std::to_string(width) + "\": {\n";
+    json += "    " + json_f("trit_ns", trit_ns);
+    json += "    " + json_f("word_scalar_ns", word_ns);
+    json += "    " + json_f("word_dispatched_ns", simd_ns);
+    json += "    " + json_f("scalar_speedup", word_x);
+    json += "    " + json_f("dispatched_speedup", simd_x, false);
+    json += wi + 1 < widths.size() ? "      },\n" : "      }\n";
+  }
+  json += "    },\n";
+  std::printf("%s\n", t1.to_string().c_str());
+  ok = ok && min_word_speedup >= 5.0;
+  if (min_word_speedup < 5.0)
+    std::printf("GATE FAIL: word-parallel slice counting only %.1fx over the "
+                "trit loop (need >= 5x)\n",
+                min_word_speedup);
+
+  // --- Gate 2: explore-phase geometry sweep, sorted seed vs fused ---------
+  const CoreUnderTest core = explore_workload();
+  const int m_cap = std::min(255, core.spec.max_wrapper_chains());
+  using clock = std::chrono::steady_clock;
+
+  std::int64_t sorted_total = 0, fused_total = 0;
+  const auto t_sorted0 = clock::now();
+  for (int m = 2; m <= m_cap; ++m) {
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const SliceMap map(d, core.cubes.num_cells());
+    sorted_total += sparse_stream_cost_sorted(map, core.cubes).total_codewords;
+  }
+  const double sorted_s =
+      std::chrono::duration<double>(clock::now() - t_sorted0).count();
+  const auto t_fused0 = clock::now();
+  for (int m = 2; m <= m_cap; ++m) {
+    const WrapperDesign d = design_wrapper(core.spec, m);
+    const SliceMap map(d, core.cubes.num_cells());
+    fused_total += sparse_stream_cost(map, core.cubes).total_codewords;
+  }
+  const double fused_s =
+      std::chrono::duration<double>(clock::now() - t_fused0).count();
+
+  Table t2({"sweep", "geometries", "wall s", "codewords"});
+  t2.add_row({"sorted (seed)", std::to_string(m_cap - 1),
+              Table::fixed(sorted_s, 3), std::to_string(sorted_total)});
+  t2.add_row({"fused (word)", std::to_string(m_cap - 1),
+              Table::fixed(fused_s, 3), std::to_string(fused_total)});
+  std::printf("%s\nexplore sweep speedup: %.2fx\n\n", t2.to_string().c_str(),
+              fused_s > 0 ? sorted_s / fused_s : 0.0);
+  ok = ok && fused_total == sorted_total && fused_s < sorted_s;
+  if (fused_total != sorted_total)
+    std::printf("GATE FAIL: fused and sorted sweeps disagree\n");
+  else if (fused_s >= sorted_s)
+    std::printf("GATE FAIL: fused sweep must beat the sorted seed sweep\n");
+
+  json += "    \"explore_sweep\": {\n";
+  json += json_f("geometries", m_cap - 1);
+  json += json_f("patterns", core.spec.num_patterns);
+  json += json_f("sorted_wall_seconds", sorted_s);
+  json += json_f("fused_wall_seconds", fused_s);
+  json += json_f("speedup", fused_s > 0 ? sorted_s / fused_s : 0.0, false);
+  json += "    },\n";
+
+  // --- Gate 3: forced-scalar vs forced-SIMD byte identity -----------------
+  const std::vector<int> geometries = {8, 64, 255};
+  const kernels::SimdMode prev_mode = kernels::active_mode();
+  kernels::set_mode(kernels::SimdMode::Scalar);
+  const std::string scalar_report = cost_report_json(geometries, core);
+  kernels::set_mode(kernels::SimdMode::Avx2);  // stays scalar if unsupported
+  const std::string simd_report = cost_report_json(geometries, core);
+  kernels::set_mode(prev_mode);
+  const bool identical = scalar_report == simd_report;
+  std::printf("forced-scalar vs forced-%s cost report: %s\n\n",
+              kernels::avx2_supported() ? "avx2" : "scalar(no avx2)",
+              identical ? "byte-identical" : "MISMATCH");
+  ok = ok && identical;
+
+  json += "    \"dispatch_identity\": {\n";
+  json += "      \"byte_identical\": ";
+  json += identical ? "true" : "false";
+  json += ",\n      \"report\": " + scalar_report + "\n";
+  json += "    }\n";
+
+  splice_kernels_section(json);
+  std::printf("BENCH_runtime.json: \"kernels\" section updated\n");
+
+  if (!ok) {
+    std::printf("FAIL: kernel gates not met\n");
+    return 1;
+  }
+  std::printf("OK: >=5x slice counting, fused sweep faster, dispatch "
+              "byte-identical\n");
+  return 0;
+}

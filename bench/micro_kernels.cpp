@@ -8,6 +8,7 @@
 #include <cmath>
 #include <future>
 
+#include "bitvec/slice_kernels.hpp"
 #include "codec/sparse_cost.hpp"
 #include "codec/stream_encoder.hpp"
 #include "explore/core_explorer.hpp"
@@ -38,16 +39,68 @@ CoreUnderTest bench_core(std::int64_t cells, int patterns, double density) {
   return c;
 }
 
+TernaryVector patterned_slice(int m) {
+  TernaryVector slice(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; i += 7) slice.set(static_cast<std::size_t>(i), Trit::One);
+  for (int i = 3; i < m; i += 11) slice.set(static_cast<std::size_t>(i), Trit::Zero);
+  return slice;
+}
+
 void BM_SliceEncode(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   const CodecParams p = CodecParams::for_chains(m);
   const SliceEncoder enc(p);
-  TernaryVector slice(static_cast<std::size_t>(m));
-  for (int i = 0; i < m; i += 7) slice.set(static_cast<std::size_t>(i), Trit::One);
-  for (int i = 3; i < m; i += 11) slice.set(static_cast<std::size_t>(i), Trit::Zero);
+  const TernaryVector slice = patterned_slice(m);
   for (auto _ : state) benchmark::DoNotOptimize(enc.encode(slice).words.size());
 }
 BENCHMARK(BM_SliceEncode)->Arg(16)->Arg(64)->Arg(255);
+
+// --- slice counting: seed trit-at-a-time loop vs packed-word kernels ------
+// (gated version with recorded speedups: bench/exp_kernels.cpp)
+
+void BM_SliceCountTrit(benchmark::State& state) {
+  // The seed's counting loop: one virtual slice.get() per position.
+  const TernaryVector slice =
+      patterned_slice(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::int64_t c0 = 0, c1 = 0;
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      switch (slice.get(i)) {
+        case Trit::Zero: ++c0; break;
+        case Trit::One: ++c1; break;
+        case Trit::X: break;
+      }
+    }
+    benchmark::DoNotOptimize(c0 + c1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(slice.size()));
+}
+BENCHMARK(BM_SliceCountTrit)->Arg(64)->Arg(255)->Arg(2048);
+
+void BM_SliceCountScalar(benchmark::State& state) {
+  const TernaryVector slice =
+      patterned_slice(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernels::slice_count_scalar(
+        slice.care_words(), slice.value_words(), slice.num_words()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(slice.size()));
+}
+BENCHMARK(BM_SliceCountScalar)->Arg(64)->Arg(255)->Arg(2048);
+
+void BM_SliceCountDispatched(benchmark::State& state) {
+  // Whatever SOCTEST_SIMD / the CPU picked (AVX2 where available).
+  const TernaryVector slice =
+      patterned_slice(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(kernels::slice_count(
+        slice.care_words(), slice.value_words(), slice.num_words()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(slice.size()));
+  state.SetLabel(kernels::mode_name(kernels::active_mode()));
+}
+BENCHMARK(BM_SliceCountDispatched)->Arg(64)->Arg(255)->Arg(2048);
 
 void BM_SparseCost(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
@@ -59,6 +112,20 @@ void BM_SparseCost(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * core.cubes.total_care_bits());
 }
 BENCHMARK(BM_SparseCost)->Arg(32)->Arg(255);
+
+void BM_SparseCostSorted(benchmark::State& state) {
+  // The seed sort-based path, kept as the differential oracle; the ratio to
+  // BM_SparseCost is the fused rewrite's win at the same geometry.
+  const int m = static_cast<int>(state.range(0));
+  const CoreUnderTest core = bench_core(20'000, 16, 0.02);
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sparse_stream_cost_sorted(map, core.cubes).total_codewords);
+  state.SetItemsProcessed(state.iterations() * core.cubes.total_care_bits());
+}
+BENCHMARK(BM_SparseCostSorted)->Arg(32)->Arg(255);
 
 void BM_StreamEncode(benchmark::State& state) {
   const CoreUnderTest core = bench_core(4'000, 4, 0.05);

@@ -1,0 +1,173 @@
+#include "bitvec/slice_kernels.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(SOCTEST_HAVE_AVX2_KERNELS)
+#include <immintrin.h>
+#endif
+
+namespace soctest::kernels {
+
+// --- scalar reference ------------------------------------------------------
+
+SliceCounts slice_count_scalar(const std::uint64_t* care,
+                               const std::uint64_t* value, std::size_t words) {
+  SliceCounts r;
+  for (std::size_t i = 0; i < words; ++i) {
+    r.care += std::popcount(care[i]);
+    r.ones += std::popcount(care[i] & value[i]);
+  }
+  return r;
+}
+
+std::int64_t popcount_scalar(const std::uint64_t* w, std::size_t words) {
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < words; ++i) n += std::popcount(w[i]);
+  return n;
+}
+
+// --- AVX2 path -------------------------------------------------------------
+
+#if defined(SOCTEST_HAVE_AVX2_KERNELS)
+namespace {
+
+// Per-64-bit-lane popcount of a 256-bit vector via the nibble lookup trick
+// (vpshufb LUT + vpsadbw byte reduction).
+__attribute__((target("avx2"))) inline __m256i popcnt256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low));
+  return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::int64_t hsum64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1);
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) SliceCounts slice_count_avx2(
+    const std::uint64_t* care, const std::uint64_t* value, std::size_t words) {
+  SliceCounts r;
+  __m256i acc_care = _mm256_setzero_si256();
+  __m256i acc_ones = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(care + i));
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(value + i));
+    acc_care = _mm256_add_epi64(acc_care, popcnt256(c));
+    acc_ones = _mm256_add_epi64(acc_ones, popcnt256(_mm256_and_si256(c, v)));
+  }
+  r.care = hsum64(acc_care);
+  r.ones = hsum64(acc_ones);
+  for (; i < words; ++i) {
+    r.care += std::popcount(care[i]);
+    r.ones += std::popcount(care[i] & value[i]);
+  }
+  return r;
+}
+
+__attribute__((target("avx2"))) std::int64_t popcount_avx2(
+    const std::uint64_t* w, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4)
+    acc = _mm256_add_epi64(
+        acc,
+        popcnt256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i))));
+  std::int64_t n = hsum64(acc);
+  for (; i < words; ++i) n += std::popcount(w[i]);
+  return n;
+}
+#endif  // SOCTEST_HAVE_AVX2_KERNELS
+
+// --- dispatch --------------------------------------------------------------
+
+bool avx2_supported() {
+#if defined(SOCTEST_HAVE_AVX2_KERNELS)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+SimdMode resolve_from_env() {
+  const char* env = std::getenv("SOCTEST_SIMD");
+  if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+      std::strcmp(env, "") == 0)
+    return avx2_supported() ? SimdMode::Avx2 : SimdMode::Scalar;
+  if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "0") == 0 ||
+      std::strcmp(env, "off") == 0)
+    return SimdMode::Scalar;
+  if (std::strcmp(env, "avx2") == 0 || std::strcmp(env, "1") == 0 ||
+      std::strcmp(env, "on") == 0) {
+    if (avx2_supported()) return SimdMode::Avx2;
+    std::fprintf(stderr,
+                 "soctest: SOCTEST_SIMD=%s requested but AVX2 is unavailable; "
+                 "using scalar kernels\n",
+                 env);
+    return SimdMode::Scalar;
+  }
+  std::fprintf(stderr,
+               "soctest: ignoring unrecognized SOCTEST_SIMD value \"%s\" "
+               "(want scalar|avx2|auto)\n",
+               env);
+  return avx2_supported() ? SimdMode::Avx2 : SimdMode::Scalar;
+}
+
+// Relaxed atomics: set_mode() may race with reads from pool workers in
+// benches; any interleaving yields one of the two valid modes and both
+// produce identical results.
+std::atomic<SimdMode>& mode_cell() {
+  static std::atomic<SimdMode> mode{resolve_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+SimdMode active_mode() {
+  return mode_cell().load(std::memory_order_relaxed);
+}
+
+SimdMode set_mode(SimdMode mode) {
+  if (mode == SimdMode::Avx2 && !avx2_supported()) mode = SimdMode::Scalar;
+  mode_cell().store(mode, std::memory_order_relaxed);
+  return mode;
+}
+
+const char* mode_name(SimdMode mode) {
+  return mode == SimdMode::Avx2 ? "avx2" : "scalar";
+}
+
+SliceCounts slice_count(const std::uint64_t* care, const std::uint64_t* value,
+                        std::size_t words) {
+#if defined(SOCTEST_HAVE_AVX2_KERNELS)
+  if (active_mode() == SimdMode::Avx2)
+    return slice_count_avx2(care, value, words);
+#endif
+  return slice_count_scalar(care, value, words);
+}
+
+std::int64_t popcount_words(const std::uint64_t* w, std::size_t words) {
+#if defined(SOCTEST_HAVE_AVX2_KERNELS)
+  if (active_mode() == SimdMode::Avx2) return popcount_avx2(w, words);
+#endif
+  return popcount_scalar(w, words);
+}
+
+}  // namespace soctest::kernels

@@ -1,0 +1,85 @@
+// Word-parallel counting kernels over the packed dual-plane (care, value)
+// representation of TernaryVector (DESIGN.md Section 12).
+//
+// Every kernel exists twice:
+//   *_scalar   portable word-at-a-time reference using std::popcount —
+//              always built, the pinned oracle for the SIMD path;
+//   *_avx2     AVX2 nibble-LUT popcount path (x86-64 gcc/clang only),
+//              compiled with a per-function target attribute so the rest of
+//              the library keeps the baseline ISA.
+//
+// Dispatch is resolved once per process from the SOCTEST_SIMD environment
+// variable ("scalar"/"0"/"off", "avx2"/"1"/"on", "auto"/unset) plus a CPUID
+// probe; tests and benches can override it in-process with set_mode(). Both
+// paths are integer-exact, so forced-scalar and forced-AVX2 runs must be
+// bit-identical — the differential suites and bench/exp_kernels enforce it.
+//
+// All kernels assume the caller upholds the padding-bit invariant: bits at
+// positions >= the logical size in the last word of each plane are zero
+// (TernaryVector maintains this; see ternary_vector.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace soctest::kernels {
+
+/// Fused per-slice statistics: care = popcount(care plane),
+/// ones = popcount(care & value).
+struct SliceCounts {
+  std::int64_t care = 0;
+  std::int64_t ones = 0;
+
+  friend bool operator==(const SliceCounts&, const SliceCounts&) = default;
+};
+
+enum class SimdMode : int { Scalar = 0, Avx2 = 1 };
+
+/// True if this build carries the AVX2 kernels and the CPU reports AVX2.
+bool avx2_supported();
+
+/// The dispatch mode in effect (env + CPUID resolved on first use).
+SimdMode active_mode();
+/// Overrides dispatch for this process (tests/benches). Requesting Avx2 on
+/// a machine without it silently stays Scalar; returns the mode in effect.
+SimdMode set_mode(SimdMode mode);
+const char* mode_name(SimdMode mode);
+
+// --- scalar reference kernels (always built) -------------------------------
+
+SliceCounts slice_count_scalar(const std::uint64_t* care,
+                               const std::uint64_t* value, std::size_t words);
+std::int64_t popcount_scalar(const std::uint64_t* w, std::size_t words);
+
+// --- AVX2 kernels (present only when the build supports them; calling them
+// --- on a CPU without AVX2 is undefined — go through the dispatched entry
+// --- points below unless you probed avx2_supported() yourself) -------------
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SOCTEST_HAVE_AVX2_KERNELS 1
+SliceCounts slice_count_avx2(const std::uint64_t* care,
+                             const std::uint64_t* value, std::size_t words);
+std::int64_t popcount_avx2(const std::uint64_t* w, std::size_t words);
+#endif
+
+// --- dispatched entry points ----------------------------------------------
+
+SliceCounts slice_count(const std::uint64_t* care, const std::uint64_t* value,
+                        std::size_t words);
+std::int64_t popcount_words(const std::uint64_t* w, std::size_t words);
+
+/// Extracts `len` (1..64) bits starting at bit `start` from a packed word
+/// array (little-endian bit order, matching TernaryVector's planes). The
+/// caller guarantees the range lies within the array.
+inline std::uint64_t extract_bits(const std::uint64_t* w, std::size_t start,
+                                  int len) {
+  const std::size_t word = start >> 6;
+  const unsigned shift = static_cast<unsigned>(start & 63);
+  std::uint64_t bits = w[word] >> shift;
+  if (shift != 0 && shift + static_cast<unsigned>(len) > 64)
+    bits |= w[word + 1] << (64 - shift);
+  if (len < 64) bits &= (std::uint64_t{1} << len) - 1;
+  return bits;
+}
+
+}  // namespace soctest::kernels

@@ -1,10 +1,10 @@
 #include "bitvec/ternary_vector.hpp"
 
-#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 #include "bitvec/bit_util.hpp"
+#include "bitvec/slice_kernels.hpp"
 
 namespace soctest {
 
@@ -35,7 +35,20 @@ TernaryVector::TernaryVector(std::size_t size)
 
 TernaryVector TernaryVector::from_string(const std::string& s) {
   TernaryVector v(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) v.set(i, trit_from_char(s[i]));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case '0': v.set(i, Trit::Zero); break;
+      case '1': v.set(i, Trit::One); break;
+      case 'X':
+      case 'x':
+      case '-': break;  // already X
+      default:
+        throw std::invalid_argument(
+            "TernaryVector::from_string: invalid character '" +
+            std::string(1, s[i]) + "' at position " + std::to_string(i) +
+            " (expected 0, 1, X, x or -)");
+    }
+  }
   return v;
 }
 
@@ -69,26 +82,37 @@ bool TernaryVector::is_care(std::size_t i) const {
 }
 
 std::size_t TernaryVector::count_care() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : care_) n += std::popcount(w);
-  return n;
+  assert(tail_is_clear());
+  return static_cast<std::size_t>(
+      kernels::popcount_words(care_.data(), care_.size()));
 }
 
 std::size_t TernaryVector::count(Trit t) const {
-  std::size_t n = 0;
-  for (std::size_t w = 0; w < care_.size(); ++w) {
-    switch (t) {
-      case Trit::One: n += std::popcount(care_[w] & value_[w]); break;
-      case Trit::Zero: n += std::popcount(care_[w] & ~value_[w]); break;
-      case Trit::X: n += std::popcount(~care_[w]); break;
-    }
+  assert(tail_is_clear());
+  const kernels::SliceCounts c =
+      kernels::slice_count(care_.data(), value_.data(), care_.size());
+  switch (t) {
+    case Trit::One: return static_cast<std::size_t>(c.ones);
+    case Trit::Zero: return static_cast<std::size_t>(c.care - c.ones);
+    case Trit::X: return size_ - static_cast<std::size_t>(c.care);
   }
-  if (t == Trit::X) {
-    // ~care_ counts the unused tail bits of the last word too; subtract.
-    const std::size_t capacity = care_.size() * kWordBits;
-    n -= capacity - size_;
-  }
-  return n;
+  return 0;
+}
+
+void TernaryVector::clear_tail() {
+  const std::size_t tail = size_ % kWordBits;
+  if (care_.empty() || tail == 0) return;
+  const std::uint64_t keep = (std::uint64_t{1} << tail) - 1;
+  care_.back() &= keep;
+  value_.back() &= keep;
+}
+
+bool TernaryVector::tail_is_clear() const {
+  if (care_.empty()) return true;
+  const std::size_t tail = size_ % kWordBits;
+  if (tail == 0) return true;
+  const std::uint64_t pad = ~((std::uint64_t{1} << tail) - 1);
+  return (care_.back() & pad) == 0 && (value_.back() & pad) == 0;
 }
 
 void TernaryVector::fill_x_with(bool value) {
@@ -99,13 +123,8 @@ void TernaryVector::fill_x_with(bool value) {
       value_[w] &= care_[w];
     care_[w] = ~std::uint64_t{0};
   }
-  // Re-clear the tail beyond size_ so equality/compat stay well-defined.
-  const std::size_t tail = size_ % kWordBits;
-  if (!care_.empty() && tail != 0) {
-    const std::uint64_t keep = (std::uint64_t{1} << tail) - 1;
-    care_.back() &= keep;
-    value_.back() &= keep;
-  }
+  clear_tail();
+  assert(tail_is_clear());
 }
 
 void TernaryVector::push_back(Trit t) {
@@ -115,6 +134,21 @@ void TernaryVector::push_back(Trit t) {
   }
   ++size_;
   set(size_ - 1, t);
+  assert(tail_is_clear());
+}
+
+void TernaryVector::resize(std::size_t new_size) {
+  const std::size_t new_words =
+      static_cast<std::size_t>(ceil_div(static_cast<std::int64_t>(new_size),
+                                        kWordBits));
+  care_.resize(new_words, 0);
+  value_.resize(new_words, 0);
+  const bool shrinking = new_size < size_;
+  size_ = new_size;
+  // Shrinking strands bits of the old tail past the new size; growing only
+  // exposes zeros (new positions read as X) because the invariant held.
+  if (shrinking) clear_tail();
+  assert(tail_is_clear());
 }
 
 std::string TernaryVector::to_string() const {
@@ -154,6 +188,10 @@ void TernaryVector::merge_with(const TernaryVector& other) {
     value_[w] = (value_[w] & ~only_other) | (other.value_[w] & only_other);
     care_[w] |= other.care_[w];
   }
+  // Defense in depth: if `other` ever arrived with dirty padding, absorbing
+  // its planes verbatim would break the word-parallel counts here.
+  clear_tail();
+  assert(tail_is_clear());
 }
 
 }  // namespace soctest

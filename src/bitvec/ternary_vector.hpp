@@ -1,6 +1,11 @@
 // TernaryVector: a fixed-length vector of three-valued test-data symbols
 // {0, 1, X}. Stored as two packed bit planes (care, value) so that slice
 // analysis (count care bits, count 1s among care bits) is word-parallel.
+//
+// Invariant (load-bearing for the word-parallel kernels in
+// bitvec/slice_kernels.hpp): in the last word of each plane, every bit at a
+// position >= size() is zero. All mutating operations preserve it; the
+// counting kernels would silently overcount otherwise.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +26,9 @@ class TernaryVector {
   TernaryVector() = default;
   /// Constructs a vector of `size` symbols, all X.
   explicit TernaryVector(std::size_t size);
-  /// Parses a string of '0', '1', 'X'/'x'/'-' characters.
+  /// Parses a string of '0', '1', 'X'/'x'/'-' characters. Throws
+  /// std::invalid_argument naming the offending character and position on
+  /// anything else.
   static TernaryVector from_string(const std::string& s);
 
   std::size_t size() const { return size_; }
@@ -44,6 +51,10 @@ class TernaryVector {
   /// Appends one symbol.
   void push_back(Trit t);
 
+  /// Grows (new positions are X) or shrinks the vector. Shrinking clears
+  /// the dropped positions so the padding invariant holds.
+  void resize(std::size_t new_size);
+
   std::string to_string() const;
 
   friend bool operator==(const TernaryVector& a, const TernaryVector& b);
@@ -60,8 +71,21 @@ class TernaryVector {
   /// in `other` (i.e. `other` refines/covers this vector).
   bool covered_by(const TernaryVector& other) const;
 
+  // Packed-plane access for the word-parallel kernels
+  // (bitvec/slice_kernels.hpp). Bit i of word i/64 is position i; bits past
+  // size() in the last word are guaranteed zero.
+  std::size_t num_words() const { return care_.size(); }
+  const std::uint64_t* care_words() const { return care_.data(); }
+  const std::uint64_t* value_words() const { return value_.data(); }
+
  private:
   static constexpr std::size_t kWordBits = 64;
+
+  /// Re-zeroes both planes' bits past size_ in the last word.
+  void clear_tail();
+  /// Debug-only invariant probe: no plane bit set at positions >= size_.
+  bool tail_is_clear() const;
+
   std::size_t size_ = 0;
   std::vector<std::uint64_t> care_;   // bit set => position is 0/1
   std::vector<std::uint64_t> value_;  // meaningful only where care bit set

@@ -1,33 +1,29 @@
 #include "codec/slice_encoder.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "bitvec/slice_kernels.hpp"
 
 namespace soctest {
 namespace {
 
-struct SliceStats {
-  bool target = false;  // t
-  std::vector<int> target_positions;
-};
+// Bits of word `wi` holding the target symbol: care & value for target 1,
+// care & ~value for target 0. Padding bits are zero in both planes, so the
+// mask never points past the slice.
+inline std::uint64_t target_word(const TernaryVector& s, std::size_t wi,
+                                 bool target) {
+  const std::uint64_t c = s.care_words()[wi];
+  const std::uint64_t v = s.value_words()[wi];
+  return target ? (c & v) : (c & ~v);
+}
 
-// Chooses the target symbol (minority care value; tie -> 1) and lists the
-// positions that must be explicitly encoded. If one care value never occurs
-// the other becomes the fill and the slice encodes as empty.
-SliceStats analyze(const TernaryVector& slice) {
-  int c0 = 0, c1 = 0;
-  for (std::size_t i = 0; i < slice.size(); ++i) {
-    switch (slice.get(i)) {
-      case Trit::Zero: ++c0; break;
-      case Trit::One: ++c1; break;
-      case Trit::X: break;
-    }
-  }
-  SliceStats st;
-  st.target = c1 <= c0;  // tie -> target 1, as in the paper's example
-  const Trit t = st.target ? Trit::One : Trit::Zero;
-  for (std::size_t i = 0; i < slice.size(); ++i)
-    if (slice.get(i) == t) st.target_positions.push_back(static_cast<int>(i));
-  return st;
+// Minority care value; tie -> 1, as in the paper's example.
+inline bool choose_target(const TernaryVector& slice) {
+  const kernels::SliceCounts c = kernels::slice_count(
+      slice.care_words(), slice.value_words(), slice.num_words());
+  return c.ones <= c.care - c.ones;
 }
 
 }  // namespace
@@ -36,47 +32,66 @@ EncodedSlice SliceEncoder::encode(const TernaryVector& slice) const {
   if (static_cast<int>(slice.size()) != p_.m)
     throw std::invalid_argument("SliceEncoder: slice width mismatch");
 
-  const SliceStats st = analyze(slice);
   EncodedSlice out;
-  out.target_symbol = st.target;
-  out.fill_symbol = !st.target;
+  out.target_symbol = choose_target(slice);
+  out.fill_symbol = !out.target_symbol;
 
   // Body codewords first; the Head carries their count (or the escape
-  // marker plus a trailing END for oversized bodies).
+  // marker plus a trailing END for oversized bodies). Target positions are
+  // walked in ascending order straight off the packed planes; a run is a
+  // maximal stretch of targets inside one k-bit group.
   std::vector<Codeword> body;
-  std::size_t i = 0;
-  while (i < st.target_positions.size()) {
-    const int g = st.target_positions[i] / p_.k;
-    std::size_t j = i;
-    while (j < st.target_positions.size() &&
-           st.target_positions[j] / p_.k == g)
-      ++j;
-    const std::size_t n_g = j - i;
-    if (opts_.enable_group_copy && n_g >= 3) {
-      std::uint32_t literal = 0;
-      const int start = p_.group_start(g);
-      for (int b = 0; b < p_.group_size(g); ++b) {
-        const Trit v = slice.get(static_cast<std::size_t>(start + b));
-        const bool bit = (v == Trit::X) ? out.fill_symbol : (v == Trit::One);
-        if (bit) literal |= std::uint32_t{1} << b;
-      }
+  std::vector<std::uint32_t> run_pos;
+  int run_group = -1;
+  const auto flush_run = [&] {
+    if (run_pos.empty()) return;
+    if (opts_.enable_group_copy && run_pos.size() >= 3) {
+      const int start = p_.group_start(run_group);
+      const int gs = p_.group_size(run_group);
+      const std::uint64_t gmask =
+          gs >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << gs) - 1;
+      const std::uint64_t care = kernels::extract_bits(
+          slice.care_words(), static_cast<std::size_t>(start), gs);
+      const std::uint64_t val =
+          kernels::extract_bits(slice.value_words(),
+                                static_cast<std::size_t>(start), gs) &
+          care;
+      // X positions take the fill value in the literal.
+      const std::uint64_t literal =
+          val | (out.fill_symbol ? (~care & gmask) : 0);
       body.push_back({Opcode::Group, static_cast<std::uint32_t>(start)});
-      body.push_back({Opcode::Data, literal});
+      body.push_back({Opcode::Data, static_cast<std::uint32_t>(literal)});
     } else {
-      for (std::size_t s = i; s < j; ++s)
-        body.push_back({Opcode::Single,
-                        static_cast<std::uint32_t>(st.target_positions[s])});
+      for (std::uint32_t pos : run_pos) body.push_back({Opcode::Single, pos});
     }
-    i = j;
+    run_pos.clear();
+  };
+
+  for (std::size_t wi = 0; wi < slice.num_words(); ++wi) {
+    std::uint64_t t = target_word(slice, wi, out.target_symbol);
+    while (t != 0) {
+      const int pos =
+          static_cast<int>(wi * 64) + std::countr_zero(t);
+      t &= t - 1;
+      const int g = pos / p_.k;
+      if (g != run_group) {
+        flush_run();
+        run_group = g;
+      }
+      run_pos.push_back(static_cast<std::uint32_t>(pos));
+    }
   }
+  flush_run();
 
   const int esc = p_.escape_count();
   const int count = static_cast<int>(body.size());
   if (count < esc) {
-    out.words.push_back({Opcode::Head, p_.head_operand(st.target, count)});
+    out.words.push_back({Opcode::Head, p_.head_operand(out.target_symbol,
+                                                       count)});
     out.words.insert(out.words.end(), body.begin(), body.end());
   } else {
-    out.words.push_back({Opcode::Head, p_.head_operand(st.target, esc)});
+    out.words.push_back({Opcode::Head, p_.head_operand(out.target_symbol,
+                                                       esc)});
     out.words.insert(out.words.end(), body.begin(), body.end());
     out.words.push_back({Opcode::Single, static_cast<std::uint32_t>(p_.m)});
   }
@@ -86,20 +101,30 @@ EncodedSlice SliceEncoder::encode(const TernaryVector& slice) const {
 int SliceEncoder::cost(const TernaryVector& slice) const {
   if (static_cast<int>(slice.size()) != p_.m)
     throw std::invalid_argument("SliceEncoder: slice width mismatch");
-  const SliceStats st = analyze(slice);
+
+  const bool target = choose_target(slice);
   int body = 0;
-  std::size_t i = 0;
-  while (i < st.target_positions.size()) {
-    const int g = st.target_positions[i] / p_.k;
-    std::size_t j = i;
-    while (j < st.target_positions.size() &&
-           st.target_positions[j] / p_.k == g)
-      ++j;
-    body += opts_.enable_group_copy
-                ? static_cast<int>(std::min<std::size_t>(j - i, 2))
-                : static_cast<int>(j - i);
-    i = j;
+  int run_group = -1;
+  int run_count = 0;
+  const auto flush_run = [&] {
+    if (run_count == 0) return;
+    body += opts_.enable_group_copy ? std::min(run_count, 2) : run_count;
+    run_count = 0;
+  };
+  for (std::size_t wi = 0; wi < slice.num_words(); ++wi) {
+    std::uint64_t t = target_word(slice, wi, target);
+    while (t != 0) {
+      const int pos = static_cast<int>(wi * 64) + std::countr_zero(t);
+      t &= t - 1;
+      const int g = pos / p_.k;
+      if (g != run_group) {
+        flush_run();
+        run_group = g;
+      }
+      ++run_count;
+    }
   }
+  flush_run();
   return 1 + body + (body >= p_.escape_count() ? 1 : 0);
 }
 

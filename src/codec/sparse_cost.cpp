@@ -1,21 +1,161 @@
 #include "codec/sparse_cost.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "bitvec/bit_util.hpp"
+#include "bitvec/slice_kernels.hpp"
 
 namespace soctest {
+
+void validate_sparse_geometry(int num_chains, int depth) {
+  if (num_chains < 1 || num_chains > kMaxPackedChains)
+    throw std::invalid_argument(
+        "sparse_stream_cost: num_chains " + std::to_string(num_chains) +
+        " outside [1, " + std::to_string(kMaxPackedChains) +
+        "] supported by the key packing");
+  if (depth < 0)
+    throw std::invalid_argument("sparse_stream_cost: negative depth");
+}
+
+namespace {
+
+// Reusable per-thread scratch for the fused path: depth rows of `words`
+// 64-bit words per plane, plus the touched-slice list. Sized to the largest
+// geometry seen on this thread; rows are zeroed between patterns by walking
+// the touched list, never wholesale.
+struct ScatterWorkspace {
+  std::vector<std::uint64_t> care;
+  std::vector<std::uint64_t> value;
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint8_t> dirty;  // per-slice "already in touched" flag
+
+  void ensure(std::size_t depth, std::size_t words) {
+    const std::size_t cells = depth * words;
+    if (care.size() < cells) {
+      care.assign(cells, 0);
+      value.assign(cells, 0);
+    }
+    if (dirty.size() < depth) dirty.assign(depth, 0);
+    touched.clear();
+  }
+};
+
+thread_local ScatterWorkspace tls_workspace;
+
+}  // namespace
 
 SparseCostResult sparse_stream_cost(const SliceMap& map,
                                     const TestCubeSet& cubes,
                                     const SliceEncoderOptions& options) {
+  const int m = map.num_chains();
+  const int depth = map.depth();
+  validate_sparse_geometry(m, depth);
+  const int k = operand_width_for_chains(m);
+  const std::int64_t escape = (std::int64_t{1} << (k - 1)) - 1;
+  const std::size_t words =
+      static_cast<std::size_t>(ceil_div(m, 64));
+
+  ScatterWorkspace& ws = tls_workspace;
+  ws.ensure(static_cast<std::size_t>(depth), words);
+
+  SparseCostResult r;
+  for (int p = 0; p < cubes.num_patterns(); ++p) {
+    // Scatter: one pass over the pattern's care bits, straight into the
+    // touched slices' (care, value) planes — the fused wrapper-walk/cost
+    // step; no per-slice query, no sort.
+    for (const CareBit& b : cubes.pattern(p)) {
+      const std::uint32_t s = map.slice_of_cell(b.cell);
+      const std::uint32_t c = map.chain_of_cell(b.cell);
+      if (!ws.dirty[s]) {
+        ws.dirty[s] = 1;
+        ws.touched.push_back(s);
+      }
+      const std::size_t word = s * words + (c >> 6);
+      const std::uint64_t bit = std::uint64_t{1} << (c & 63);
+      ws.care[word] |= bit;
+      if (b.value) ws.value[word] |= bit;
+    }
+
+    // Cost every touched slice word-parallel, then scrub its rows. All
+    // counters are integer sums, so the visit order never shows in the
+    // result.
+    for (const std::uint32_t s : ws.touched) {
+      std::uint64_t* care_row = ws.care.data() + s * words;
+      std::uint64_t* value_row = ws.value.data() + s * words;
+      const kernels::SliceCounts counts =
+          kernels::slice_count(care_row, value_row, words);
+      const bool target = counts.ones <= counts.care - counts.ones;
+      const std::int64_t n_targets =
+          target ? counts.ones : counts.care - counts.ones;
+
+      if (n_targets == 0) {
+        r.total_codewords += 1;  // Head with body count 0
+      } else {
+        std::int64_t body = 0;
+        std::int64_t run_group = -1;
+        int run_count = 0;
+        const auto flush_run = [&] {
+          if (run_count == 0) return;
+          if (options.enable_group_copy && run_count >= 3) {
+            body += 2;
+            ++r.group_copy_pairs;
+          } else {
+            body += run_count;
+            r.single_codewords += run_count;
+          }
+          run_count = 0;
+        };
+        for (std::size_t wi = 0; wi < words; ++wi) {
+          std::uint64_t t = target ? (care_row[wi] & value_row[wi])
+                                   : (care_row[wi] & ~value_row[wi]);
+          while (t != 0) {
+            const std::int64_t chain =
+                static_cast<std::int64_t>(wi * 64) + std::countr_zero(t);
+            t &= t - 1;
+            const std::int64_t g = chain / k;
+            if (g != run_group) {
+              flush_run();
+              run_group = g;
+            }
+            ++run_count;
+          }
+        }
+        flush_run();
+        // Head + body, plus an END marker when the body count escapes.
+        r.total_codewords += 1 + body + (body >= escape ? 1 : 0);
+      }
+
+      std::memset(care_row, 0, words * sizeof(std::uint64_t));
+      std::memset(value_row, 0, words * sizeof(std::uint64_t));
+      ws.dirty[s] = 0;
+    }
+
+    const std::int64_t pattern_touched =
+        static_cast<std::int64_t>(ws.touched.size());
+    ws.touched.clear();
+    r.touched_slices += pattern_touched;
+    const std::int64_t empty = depth - pattern_touched;
+    r.empty_slices += empty;
+    r.total_codewords += empty;  // one empty-Head each
+  }
+  return r;
+}
+
+SparseCostResult sparse_stream_cost_sorted(const SliceMap& map,
+                                           const TestCubeSet& cubes,
+                                           const SliceEncoderOptions& options) {
+  validate_sparse_geometry(map.num_chains(), map.depth());
   const int k = operand_width_for_chains(map.num_chains());
   const std::int64_t escape = (std::int64_t{1} << (k - 1)) - 1;
   SparseCostResult r;
 
   // One entry per care bit: (slice, chain, value) packed for a single sort.
-  // Chains fit in 20 bits (max_wrapper_chains caps at 2^16).
+  // Chains occupy bits [1, 21) — validate_sparse_geometry() enforces the
+  // cap, well above max_wrapper_chains()'s 2^16.
   std::vector<std::uint64_t> keys;
   for (int p = 0; p < cubes.num_patterns(); ++p) {
     const std::vector<CareBit>& bits = cubes.pattern(p);

@@ -1,12 +1,25 @@
 // SparseCostModel: computes the exact selective-encoding codeword count for
-// a whole cube set in O(care-bits log care-bits) time, without materializing
-// any slice. This is what makes exhaustive (w, m) design-space exploration
-// tractable: slices containing no care bit (the vast majority at industrial
-// 1-5% densities, including all idle-bit positions) cost exactly one Head
-// codeword and are only counted, never visited.
+// a whole cube set without materializing any slice. This is what makes
+// exhaustive (w, m) design-space exploration tractable: slices containing no
+// care bit (the vast majority at industrial 1-5% densities, including all
+// idle-bit positions) cost exactly one Head codeword and are only counted,
+// never visited.
 //
-// Guaranteed to agree codeword-for-codeword-count with encode_stream();
-// tests/codec_consistency_test.cpp enforces this.
+// Two implementations, pinned codeword-for-codeword-count identical to each
+// other and to encode_stream() (tests/codec_consistency_test.cpp):
+//
+//   sparse_stream_cost         the default, fused word-parallel path: each
+//                              pattern's care bits are scattered once into
+//                              per-slice (care, value) word planes, then
+//                              every touched slice is costed with the
+//                              popcount kernels of bitvec/slice_kernels.hpp.
+//                              O(care-bits + touched-slices * words) per
+//                              pattern, no sort — each cube is touched once
+//                              per geometry.
+//   sparse_stream_cost_sorted  the seed sort-based reference: one packed
+//                              (slice, chain, value) key per care bit,
+//                              sorted, runs walked per slice. Kept as the
+//                              differential oracle and ablation baseline.
 #pragma once
 
 #include <cstdint>
@@ -23,10 +36,28 @@ struct SparseCostResult {
   std::int64_t empty_slices = 0;    // all-X slices (1 codeword each)
   std::int64_t single_codewords = 0;
   std::int64_t group_copy_pairs = 0;
+
+  friend bool operator==(const SparseCostResult&,
+                         const SparseCostResult&) = default;
 };
+
+/// Hard cap on the chain index the sorted path can pack: chains occupy bits
+/// [1, 21) of the 64-bit sort key. max_wrapper_chains() caps geometries at
+/// 2^16, so real designs sit far below this; the checks below make the
+/// packing contract explicit instead of silently corrupting keys.
+inline constexpr int kMaxPackedChains = 1 << 20;
+
+/// Validates a geometry against the key-packing widths (and the scratch
+/// planes' addressing). Throws std::invalid_argument when num_chains is
+/// outside [1, kMaxPackedChains] or depth is negative.
+void validate_sparse_geometry(int num_chains, int depth);
 
 SparseCostResult sparse_stream_cost(const SliceMap& map,
                                     const TestCubeSet& cubes,
                                     const SliceEncoderOptions& options = {});
+
+SparseCostResult sparse_stream_cost_sorted(
+    const SliceMap& map, const TestCubeSet& cubes,
+    const SliceEncoderOptions& options = {});
 
 }  // namespace soctest

@@ -44,7 +44,10 @@ CoreTable explore_core(const CoreUnderTest& core, const ExploreOptions& opts) {
   // max_width are still recorded for the sweep plots but never selected.
   // This is the expensive loop — each geometry re-runs wrapper design and
   // the sparse codec cost — and each m fills its own slot, so the table is
-  // bit-identical no matter how many pool lanes ran it.
+  // bit-identical no matter how many pool lanes ran it. The cost model is
+  // the fused word-parallel path (codec/sparse_cost.cpp): per geometry,
+  // every cube is scattered once into packed slice planes and costed with
+  // the popcount kernels, so no slice is ever queried bit by bit.
   const int m_cap = std::min(opts.max_chains, core.spec.max_wrapper_chains());
   if (m_cap >= 2) {
     std::vector<SweepPoint> pts(static_cast<std::size_t>(m_cap - 1));

@@ -1,10 +1,15 @@
 // The exploration kernel (SparseCostModel) must agree exactly with the
 // materializing encoder — codeword counts drive every test-time number in
 // the reproduction, so this is the repository's most load-bearing identity.
+// Since the word-parallel rewrite it is a three-way identity: the fused
+// mask-scatter path, the sort-based reference, and the materializing
+// encoder, under both the scalar and the AVX2 kernel dispatch.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <tuple>
 
+#include "bitvec/slice_kernels.hpp"
 #include "codec/sparse_cost.hpp"
 #include "codec/stream_encoder.hpp"
 #include "test_util.hpp"
@@ -34,6 +39,23 @@ TEST_P(SparseVsMaterialized, CodewordCountsAgree) {
   EXPECT_EQ(sparse.touched_slices + sparse.empty_slices,
             static_cast<std::int64_t>(stream.patterns) *
                 stream.slices_per_pattern);
+
+  // The fused word-parallel path must reproduce the sorted reference down
+  // to every statistic, in every dispatch mode available on this machine.
+  const SparseCostResult sorted = sparse_stream_cost_sorted(map, core.cubes);
+  EXPECT_EQ(sparse, sorted);
+  const kernels::SimdMode prev = kernels::active_mode();
+  kernels::set_mode(kernels::SimdMode::Scalar);
+  EXPECT_EQ(sparse_stream_cost(map, core.cubes), sorted);
+  kernels::set_mode(kernels::SimdMode::Avx2);  // stays scalar if unsupported
+  EXPECT_EQ(sparse_stream_cost(map, core.cubes), sorted);
+  kernels::set_mode(prev);
+
+  // The group-copy ablation must agree across paths too.
+  SliceEncoderOptions nocopy;
+  nocopy.enable_group_copy = false;
+  EXPECT_EQ(sparse_stream_cost(map, core.cubes, nocopy),
+            sparse_stream_cost_sorted(map, core.cubes, nocopy));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -69,6 +91,52 @@ TEST(SparseCost, PerSliceCostBoundsHold) {
     EXPECT_GE(r.total_codewords, slices);
     EXPECT_LE(r.total_codewords, slices * (2 + 2 * p.num_groups()));
   }
+}
+
+TEST(SparseCost, ValidatesGeometryAgainstPackingWidths) {
+  // The sorted path packs (slice << 21) | (chain << 1) | value into one
+  // 64-bit key; chains occupy 20 bits. The cap must be enforced at entry,
+  // not assumed from max_wrapper_chains()'s 2^16.
+  EXPECT_NO_THROW(validate_sparse_geometry(1, 0));
+  EXPECT_NO_THROW(validate_sparse_geometry(kMaxPackedChains, 1 << 20));
+  EXPECT_THROW(validate_sparse_geometry(0, 10), std::invalid_argument);
+  EXPECT_THROW(validate_sparse_geometry(-5, 10), std::invalid_argument);
+  EXPECT_THROW(validate_sparse_geometry(kMaxPackedChains + 1, 10),
+               std::invalid_argument);
+  EXPECT_THROW(validate_sparse_geometry(4, -1), std::invalid_argument);
+}
+
+TEST(SparseCost, MaxWrapperChainsGeometryStaysExact) {
+  // Regression at the largest geometry the spec layer can produce:
+  // max_wrapper_chains() caps at 2^16 chains, the widest slice planes the
+  // fused path ever scatters into (1024 words) and the largest chain index
+  // the sorted path ever packs.
+  CoreUnderTest core;
+  core.spec.name = "max-m";
+  core.spec.num_inputs = 16;
+  core.spec.num_outputs = 8;
+  core.spec.flexible_scan = true;
+  core.spec.flexible_scan_cells = 70'000;
+  core.spec.num_patterns = 2;
+  CubeSynthParams p;
+  p.num_cells = core.spec.stimulus_bits_per_pattern();
+  p.num_patterns = 2;
+  p.care_density = 0.002;
+  core.cubes = synthesize_cubes(p, 77);
+  core.validate();
+
+  const int m = core.spec.max_wrapper_chains();
+  ASSERT_EQ(m, 1 << 16);
+  const WrapperDesign d = design_wrapper(core.spec, m);
+  const SliceMap map(d, core.cubes.num_cells());
+  ASSERT_EQ(map.num_chains(), m);
+
+  const SparseCostResult fused = sparse_stream_cost(map, core.cubes);
+  const SparseCostResult sorted = sparse_stream_cost_sorted(map, core.cubes);
+  EXPECT_EQ(fused, sorted);
+  EXPECT_EQ(fused.total_codewords,
+            encode_stream(map, core.cubes).codeword_count());
+  EXPECT_GT(fused.touched_slices, 0);
 }
 
 TEST(SparseCost, StatisticsDecomposeTotal) {

@@ -1,0 +1,240 @@
+// Word-parallel kernel differentials: the packed-plane counting kernels and
+// the word-walking SliceEncoder must agree bit-for-bit with a trit-at-a-time
+// oracle, in scalar mode and (where the CPU has it) in AVX2 mode, across
+// slice widths 1-130 and the degenerate cubes (all-X, all-care, single-care).
+#include "bitvec/slice_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitvec/ternary_vector.hpp"
+#include "codec/slice_encoder.hpp"
+#include "codec/stream_decoder.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+// Restores the process-wide dispatch mode on scope exit so suites can't
+// leak a forced mode into each other.
+class ScopedMode {
+ public:
+  explicit ScopedMode(kernels::SimdMode m) : prev_(kernels::active_mode()) {
+    kernels::set_mode(m);
+  }
+  ~ScopedMode() { kernels::set_mode(prev_); }
+
+ private:
+  kernels::SimdMode prev_;
+};
+
+std::vector<kernels::SimdMode> modes_under_test() {
+  std::vector<kernels::SimdMode> modes{kernels::SimdMode::Scalar};
+  if (kernels::avx2_supported()) modes.push_back(kernels::SimdMode::Avx2);
+  return modes;
+}
+
+// The seed's counting loop: one get() per trit.
+struct OracleCounts {
+  std::int64_t care = 0;
+  std::int64_t ones = 0;
+};
+
+OracleCounts oracle_count(const TernaryVector& v) {
+  OracleCounts c;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    switch (v.get(i)) {
+      case Trit::One:
+        ++c.care;
+        ++c.ones;
+        break;
+      case Trit::Zero: ++c.care; break;
+      case Trit::X: break;
+    }
+  }
+  return c;
+}
+
+// The seed SliceEncoder::cost: materialized target positions, run walk.
+int oracle_cost(const TernaryVector& slice, const CodecParams& p,
+                const SliceEncoderOptions& opts) {
+  const OracleCounts c = oracle_count(slice);
+  const bool target = c.ones <= c.care - c.ones;
+  const Trit t = target ? Trit::One : Trit::Zero;
+  std::vector<int> positions;
+  for (std::size_t i = 0; i < slice.size(); ++i)
+    if (slice.get(i) == t) positions.push_back(static_cast<int>(i));
+  int body = 0;
+  std::size_t i = 0;
+  while (i < positions.size()) {
+    const int g = positions[i] / p.k;
+    std::size_t j = i;
+    while (j < positions.size() && positions[j] / p.k == g) ++j;
+    body += opts.enable_group_copy
+                ? static_cast<int>(std::min<std::size_t>(j - i, 2))
+                : static_cast<int>(j - i);
+    i = j;
+  }
+  return 1 + body + (body >= p.escape_count() ? 1 : 0);
+}
+
+TernaryVector random_slice(Rng& rng, std::size_t n, double p_one,
+                           double p_zero) {
+  TernaryVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = rng.next_double();
+    if (r < p_one)
+      v.set(i, Trit::One);
+    else if (r < p_one + p_zero)
+      v.set(i, Trit::Zero);
+  }
+  return v;
+}
+
+std::vector<TernaryVector> edge_slices(std::size_t n) {
+  std::vector<TernaryVector> out;
+  out.emplace_back(n);  // all-X
+  TernaryVector ones(n), zeros(n), mixed(n);
+  ones.fill_x_with(true);
+  zeros.fill_x_with(false);
+  for (std::size_t i = 0; i < n; ++i)
+    mixed.set(i, i % 2 ? Trit::One : Trit::Zero);
+  out.push_back(ones);   // all-care, all 1
+  out.push_back(zeros);  // all-care, all 0
+  out.push_back(mixed);  // all-care, alternating
+  for (const std::size_t pos : {std::size_t{0}, n / 2, n - 1}) {
+    TernaryVector single1(n), single0(n);
+    single1.set(pos, Trit::One);
+    single0.set(pos, Trit::Zero);
+    out.push_back(single1);  // single-care
+    out.push_back(single0);
+  }
+  return out;
+}
+
+TEST(SliceKernels, CountsMatchTritOracleAcrossWidths) {
+  Rng rng(2026);
+  for (const kernels::SimdMode mode : modes_under_test()) {
+    ScopedMode scoped(mode);
+    for (std::size_t n = 1; n <= 130; ++n) {
+      std::vector<TernaryVector> cases = edge_slices(n);
+      for (int trial = 0; trial < 4; ++trial)
+        cases.push_back(random_slice(rng, n, 0.2, 0.3));
+      for (const TernaryVector& v : cases) {
+        const OracleCounts want = oracle_count(v);
+        const kernels::SliceCounts got = kernels::slice_count(
+            v.care_words(), v.value_words(), v.num_words());
+        ASSERT_EQ(got.care, want.care)
+            << "mode=" << kernels::mode_name(mode) << " n=" << n;
+        ASSERT_EQ(got.ones, want.ones)
+            << "mode=" << kernels::mode_name(mode) << " n=" << n;
+        ASSERT_EQ(kernels::popcount_words(v.care_words(), v.num_words()),
+                  want.care);
+        // The TernaryVector entry points ride the same kernels.
+        ASSERT_EQ(v.count_care(), static_cast<std::size_t>(want.care));
+        ASSERT_EQ(v.count(Trit::One), static_cast<std::size_t>(want.ones));
+        ASSERT_EQ(v.count(Trit::Zero),
+                  static_cast<std::size_t>(want.care - want.ones));
+        ASSERT_EQ(v.count(Trit::X),
+                  v.size() - static_cast<std::size_t>(want.care));
+      }
+    }
+  }
+}
+
+TEST(SliceKernels, ScalarAndAvx2KernelsAgreeOnLongPlanes) {
+  if (!kernels::avx2_supported())
+    GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(555);
+  for (const std::size_t words : {1u, 3u, 4u, 5u, 8u, 17u, 64u, 129u}) {
+    std::vector<std::uint64_t> care(words), value(words);
+    for (std::size_t i = 0; i < words; ++i) {
+      care[i] = rng.next_u64();
+      value[i] = rng.next_u64() & care[i];
+    }
+    EXPECT_EQ(kernels::slice_count_scalar(care.data(), value.data(), words),
+              kernels::slice_count_avx2(care.data(), value.data(), words));
+    EXPECT_EQ(kernels::popcount_scalar(care.data(), words),
+              kernels::popcount_avx2(care.data(), words));
+  }
+}
+
+TEST(SliceKernels, ExtractBitsMatchesPerBitReads) {
+  Rng rng(99);
+  std::vector<std::uint64_t> w(5);
+  for (auto& x : w) x = rng.next_u64();
+  for (int trial = 0; trial < 500; ++trial) {
+    const int len = 1 + static_cast<int>(rng.next_below(64));
+    const std::size_t start = rng.next_below(5 * 64 - len + 1);
+    const std::uint64_t got = kernels::extract_bits(w.data(), start, len);
+    std::uint64_t want = 0;
+    for (int b = 0; b < len; ++b) {
+      const std::size_t i = start + static_cast<std::size_t>(b);
+      if ((w[i >> 6] >> (i & 63)) & 1) want |= std::uint64_t{1} << b;
+    }
+    ASSERT_EQ(got, want) << "start=" << start << " len=" << len;
+  }
+}
+
+TEST(SliceKernels, EncoderCostMatchesTritOracleAcrossWidths) {
+  Rng rng(31337);
+  for (const kernels::SimdMode mode : modes_under_test()) {
+    ScopedMode scoped(mode);
+    for (int m = 2; m <= 130; ++m) {
+      const CodecParams p = CodecParams::for_chains(m);
+      for (const SliceEncoderOptions opts :
+           {SliceEncoderOptions{true}, SliceEncoderOptions{false}}) {
+        const SliceEncoder enc(p, opts);
+        std::vector<TernaryVector> cases =
+            edge_slices(static_cast<std::size_t>(m));
+        for (int trial = 0; trial < 3; ++trial)
+          cases.push_back(random_slice(rng, static_cast<std::size_t>(m), 0.15,
+                                       0.25));
+        for (const TernaryVector& v : cases) {
+          ASSERT_EQ(enc.cost(v), oracle_cost(v, p, opts))
+              << "mode=" << kernels::mode_name(mode) << " m=" << m;
+          ASSERT_EQ(enc.cost(v),
+                    static_cast<int>(enc.encode(v).words.size()))
+              << "mode=" << kernels::mode_name(mode) << " m=" << m;
+        }
+      }
+    }
+  }
+}
+
+TEST(SliceKernels, EncodeDecodesToSameSliceInBothModes) {
+  // The encoded words themselves (not just their count) must be mode-
+  // independent, and decode must restore every care bit.
+  Rng rng(4242);
+  for (int m : {2, 7, 63, 64, 65, 128, 130}) {
+    const CodecParams p = CodecParams::for_chains(m);
+    const SliceEncoder enc(p);
+    const StreamDecoder dec(p);
+    std::vector<TernaryVector> cases = edge_slices(static_cast<std::size_t>(m));
+    for (int trial = 0; trial < 5; ++trial)
+      cases.push_back(
+          random_slice(rng, static_cast<std::size_t>(m), 0.3, 0.3));
+    for (const TernaryVector& v : cases) {
+      EncodedSlice scalar_words, simd_words;
+      {
+        ScopedMode scoped(kernels::SimdMode::Scalar);
+        scalar_words = enc.encode(v);
+      }
+      {
+        ScopedMode scoped(kernels::SimdMode::Avx2);  // scalar if unsupported
+        simd_words = enc.encode(v);
+      }
+      ASSERT_EQ(scalar_words.words, simd_words.words) << "m=" << m;
+      const auto slices = dec.decode(scalar_words.words);
+      ASSERT_EQ(slices.size(), 1u);
+      for (std::size_t i = 0; i < v.size(); ++i)
+        if (v.get(i) != Trit::X)
+          ASSERT_EQ(slices[0][i], v.get(i) == Trit::One)
+              << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soctest

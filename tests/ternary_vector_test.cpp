@@ -44,6 +44,26 @@ TEST(TernaryVector, StringRoundTrip) {
   EXPECT_THROW(TernaryVector::from_string("012"), std::invalid_argument);
 }
 
+TEST(TernaryVector, FromStringNamesBadCharacterAndPosition) {
+  try {
+    TernaryVector::from_string("01Xq1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'q'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("position 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("from_string"), std::string::npos) << msg;
+  }
+  // A '2' (the classic near-miss for a ternary alphabet) is rejected too.
+  try {
+    TernaryVector::from_string("2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'2'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("position 0"), std::string::npos);
+  }
+}
+
 TEST(TernaryVector, FillXWith) {
   TernaryVector v = TernaryVector::from_string("0X1XX");
   v.fill_x_with(true);
@@ -65,6 +85,62 @@ TEST(TernaryVector, FillXWithPreservesTailInvariant) {
   b.set(64, Trit::Zero);
   EXPECT_EQ(a, b);
   EXPECT_EQ(a.count(Trit::X), 0u);
+}
+
+TEST(TernaryVector, PaddingStaysClearAcrossGrowFillShrink) {
+  // Regression for the padding-bit hazard: fill_x_with sets whole words
+  // before re-clearing the tail, and resize strands old tail bits when
+  // shrinking. Any leaked bit past size() makes the word-parallel
+  // count/count_care silently overcount.
+  TernaryVector v;
+  for (int i = 0; i < 70; ++i) v.push_back(Trit::X);  // grow across word 0/1
+  EXPECT_EQ(v.size(), 70u);
+  v.fill_x_with(true);  // word 1 is written whole; bits 70..127 must clear
+  EXPECT_EQ(v.count(Trit::One), 70u);
+  EXPECT_EQ(v.count_care(), 70u);
+
+  v.resize(65);  // shrink across the boundary: bits 65..69 were 1
+  EXPECT_EQ(v.size(), 65u);
+  EXPECT_EQ(v.count(Trit::One), 65u);
+  EXPECT_EQ(v.count_care(), 65u);
+  EXPECT_EQ(v.count(Trit::X), 0u);
+
+  v.resize(64);  // shrink to an exact word boundary
+  EXPECT_EQ(v.count(Trit::One), 64u);
+
+  v.resize(130);  // regrow: new positions must read as X, not leaked 1s
+  EXPECT_EQ(v.count(Trit::One), 64u);
+  EXPECT_EQ(v.count(Trit::X), 66u);
+  for (std::size_t i = 64; i < 130; ++i) EXPECT_EQ(v.get(i), Trit::X);
+
+  // push_back after a shrink must land on a clean word.
+  v.resize(63);
+  v.push_back(Trit::Zero);
+  v.push_back(Trit::One);
+  EXPECT_EQ(v.size(), 65u);
+  EXPECT_EQ(v.get(63), Trit::Zero);
+  EXPECT_EQ(v.get(64), Trit::One);
+  EXPECT_EQ(v.count_care(), 65u);
+
+  // Equality must hold against a vector built fresh the same way: leaked
+  // padding would break operator== even with identical logical contents.
+  TernaryVector w(65);
+  for (std::size_t i = 0; i < 63; ++i) w.set(i, Trit::One);
+  w.set(63, Trit::Zero);
+  w.set(64, Trit::One);
+  EXPECT_EQ(v, w);
+}
+
+TEST(TernaryVector, MergeWithKeepsPaddingClear) {
+  TernaryVector a(100), b(100);
+  for (std::size_t i = 0; i < 100; i += 3) a.set(i, Trit::One);
+  for (std::size_t i = 1; i < 100; i += 3) b.set(i, Trit::Zero);
+  b.fill_x_with(true);  // b: word 1 fully written, tail cleared
+  ASSERT_TRUE(a.compatible_with(b));
+  a.merge_with(b);
+  EXPECT_EQ(a.count_care(), 100u);
+  EXPECT_EQ(a.count(Trit::X), 0u);
+  EXPECT_EQ(a.count(Trit::Zero), 33u);  // positions 1, 4, ..., 97
 }
 
 TEST(TernaryVector, PushBack) {
