@@ -1,0 +1,272 @@
+// Distributed portfolio scaling: does sharding the replica-exchange
+// ladder across worker processes (src/dist/) actually buy wall-clock —
+// and does every split still produce the byte-identical report the
+// coordinator promises?
+//
+// Default mode (every CI run): on the 120-core synthetic SOC, run the
+// single-process portfolio and the distributed one at 1 and 4 workers.
+// HARD gate: the distributed results must be member-identical to the
+// single-process run — identity is the contract, and it must hold on the
+// small case cheaply. The 1-worker/4-worker sweep-loop ratio is recorded
+// as an advisory (a saturated small machine cannot show scaling).
+//
+// SOCTEST_SCALE_XL=1 (opt-in CI step on a multi-core runner): the
+// 1000-core SOC with a 32-replica ladder, where per-sweep evaluation work
+// dwarfs the exchange protocol. HARD gate: >= 3x sweep-loop speedup at 4
+// workers vs 1 worker at the identical proposal budget.
+//
+// Results are spliced into the "distributed" section of BENCH_search.json
+// (own-section brace matching, same discipline as exp_portfolio.cpp: the
+// benches can be rerun in any order without eating each other's output).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "portfolio/portfolio.hpp"
+#include "report/table.hpp"
+#include "socgen/synthetic.hpp"
+
+#ifndef SOCTEST_CLI_BINARY
+#error "exp_portfolio_distributed needs SOCTEST_CLI_BINARY (worker binary)"
+#endif
+
+using namespace soctest;
+
+namespace {
+
+SocSpec synth_soc(int num_cores, std::uint64_t seed) {
+  SyntheticSocParams p;  // same geometry as exp_search_scale
+  p.num_cores = num_cores;
+  p.max_inputs = 16;
+  p.max_outputs = 16;
+  p.max_chains = 6;
+  p.max_chain_length = 32;
+  p.max_patterns = 10;
+  p.giant_scale = 4;
+  return make_synthetic_soc(p, seed);
+}
+
+/// Removes the top-level "distributed" key (and the comma preceding it)
+/// from an existing BENCH_search.json body, leaving other sections intact.
+std::string drop_distributed_section(std::string existing) {
+  const std::size_t marker = existing.find("\n  \"distributed\":");
+  if (marker == std::string::npos)
+    return existing;
+  std::size_t start = marker;
+  if (start > 0 && existing[start - 1] == ',')
+    --start;
+  std::size_t p = existing.find_first_of("[{", marker);
+  if (p == std::string::npos)
+    return existing.substr(0, start);  // malformed tail: drop it
+  int depth = 0;
+  std::size_t q = p;
+  for (; q < existing.size(); ++q) {
+    const char c = existing[q];
+    if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (--depth == 0) {
+        ++q;
+        break;
+      }
+    }
+  }
+  return existing.substr(0, start) + existing.substr(q);
+}
+
+void splice_distributed_section(const std::string& section) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_search.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  if (const std::size_t close = drop_distributed_section(existing).rfind('}');
+      close != std::string::npos) {
+    out = drop_distributed_section(existing).substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+      out.pop_back();
+  }
+  if (out.empty())
+    out = "{\n  \"experiment\": \"distributed\"";
+  out += ",\n  \"distributed\": [\n" + section + "  ]\n}\n";
+  std::ofstream f("BENCH_search.json");
+  f << out;
+}
+
+bool same_result(const PortfolioResult& a, const PortfolioResult& b) {
+  if (a.best.arch.widths != b.best.arch.widths) return false;
+  if (a.best.test_time != b.best.test_time) return false;
+  if (a.best.data_volume_bits != b.best.data_volume_bits) return false;
+  if (a.stats.best_by_sweep != b.stats.best_by_sweep) return false;
+  if (a.stats.swaps_attempted != b.stats.swaps_attempted) return false;
+  if (a.stats.swaps_accepted != b.stats.swaps_accepted) return false;
+  if (a.replica_best.size() != b.replica_best.size()) return false;
+  for (std::size_t r = 0; r < a.replica_best.size(); ++r) {
+    if (a.replica_best[r].arch.widths != b.replica_best[r].arch.widths)
+      return false;
+    if (a.replica_best[r].test_time != b.replica_best[r].test_time)
+      return false;
+  }
+  return true;
+}
+
+dist::DistOptions dist_opts(int workers) {
+  dist::DistOptions d;
+  d.workers = workers;
+  d.worker_cmd = SOCTEST_CLI_BINARY;
+  d.explore_max_width = 10;
+  d.explore_max_chains = 32;
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  const char* xl = std::getenv("SOCTEST_SCALE_XL");
+  const bool run_xl = xl && *xl && *xl != '0';
+
+  std::printf("=== Distributed sharded portfolio: identity + scaling ===\n\n");
+
+  // --- Default case: 120 cores, identity gate, advisory speedup. -------
+  const SocSpec soc = synth_soc(120, 0xC0DE);
+  ExploreOptions e;
+  e.max_width = 10;
+  e.max_chains = 32;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 24;
+  o.mode = ArchMode::PerCore;
+
+  PortfolioOptions po;
+  po.replicas = 8;
+  po.sweeps = 5;
+  po.proposals_per_sweep = 30;
+  po.seed = 2026;
+  po.race_hill_climb = false;  // isolate the sharded ladder's wall-clock
+
+  const PortfolioResult local = optimize_portfolio(opt, o, po);
+  const PortfolioResult w1 =
+      dist::optimize_portfolio_distributed(opt, o, po, dist_opts(1));
+  const PortfolioResult w4 =
+      dist::optimize_portfolio_distributed(opt, o, po, dist_opts(4));
+
+  const bool identical = same_result(w1, local) && same_result(w4, local);
+  const double small_speedup =
+      w4.stats.dist_sweep_seconds > 0.0
+          ? w1.stats.dist_sweep_seconds / w4.stats.dist_sweep_seconds
+          : 0.0;
+
+  Table t({"case", "workers", "setup s", "sweeps s", "speedup", "identical"});
+  t.add_row({"synth120", "1", Table::fixed(w1.stats.dist_setup_seconds, 3),
+             Table::fixed(w1.stats.dist_sweep_seconds, 3), "1.00x",
+             same_result(w1, local) ? "yes" : "NO"});
+  t.add_row({"synth120", "4", Table::fixed(w4.stats.dist_setup_seconds, 3),
+             Table::fixed(w4.stats.dist_sweep_seconds, 3),
+             Table::fixed(small_speedup, 2) + "x",
+             same_result(w4, local) ? "yes" : "NO"});
+
+  std::printf("identity (1 and 4 workers vs single-process): %s\n",
+              identical ? "PASS" : "FAIL");
+  std::printf("advisory speedup at 4 workers: %.2fx\n\n", small_speedup);
+
+  // --- XL case: 1000 cores, 32 replicas, hard >= 3x gate. --------------
+  double xl_speedup = 0.0;
+  bool xl_pass = true;
+  std::string xl_json;
+  if (run_xl) {
+    std::printf("SOCTEST_SCALE_XL=1: 1000-core SOC, 32-replica ladder\n");
+    const SocSpec big = synth_soc(1000, 0xBEEF);
+    const SocOptimizer bopt(big, e);
+    OptimizerOptions bo;
+    bo.width = 32;
+    bo.mode = ArchMode::PerCore;
+    PortfolioOptions bp;
+    bp.replicas = 32;
+    bp.sweeps = 3;
+    bp.proposals_per_sweep = 20;
+    bp.seed = 2026;
+    bp.race_hill_climb = false;
+
+    const PortfolioResult x1 =
+        dist::optimize_portfolio_distributed(bopt, bo, bp, dist_opts(1));
+    const PortfolioResult x4 =
+        dist::optimize_portfolio_distributed(bopt, bo, bp, dist_opts(4));
+    xl_speedup = x4.stats.dist_sweep_seconds > 0.0
+                     ? x1.stats.dist_sweep_seconds / x4.stats.dist_sweep_seconds
+                     : 0.0;
+    xl_pass = same_result(x1, x4) && xl_speedup >= 3.0;
+    t.add_row({"synth1000", "1", Table::fixed(x1.stats.dist_setup_seconds, 3),
+               Table::fixed(x1.stats.dist_sweep_seconds, 3), "1.00x",
+               same_result(x1, x4) ? "yes" : "NO"});
+    t.add_row({"synth1000", "4", Table::fixed(x4.stats.dist_setup_seconds, 3),
+               Table::fixed(x4.stats.dist_sweep_seconds, 3),
+               Table::fixed(xl_speedup, 2) + "x",
+               same_result(x1, x4) ? "yes" : "NO"});
+    std::printf("XL speedup at 4 workers: %.2fx (gate: >= 3.00x) %s\n\n",
+                xl_speedup, xl_pass ? "PASS" : "FAIL");
+
+    char xbuf[512];
+    std::snprintf(xbuf, sizeof xbuf,
+                  ",\n  {\n"
+                  "    \"soc\": \"synth1000\",\n"
+                  "    \"replicas\": %d,\n"
+                  "    \"sweeps\": %d,\n"
+                  "    \"proposals_per_sweep\": %d,\n"
+                  "    \"sweep_seconds_1w\": %.4f,\n"
+                  "    \"sweep_seconds_4w\": %.4f,\n"
+                  "    \"speedup_4w\": %.3f,\n"
+                  "    \"gate\": 3.0\n"
+                  "  }\n",
+                  bp.replicas, bp.sweeps, bp.proposals_per_sweep,
+                  x1.stats.dist_sweep_seconds, x4.stats.dist_sweep_seconds,
+                  xl_speedup);
+    xl_json = xbuf;
+  } else {
+    std::printf("SOCTEST_SCALE_XL unset: skipping the 1000-core gate "
+                "(advisory CI step runs it on a multi-core runner)\n\n");
+  }
+
+  std::printf("%s\n", t.to_string().c_str());
+
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  {\n"
+                "    \"soc\": \"synth120\",\n"
+                "    \"replicas\": %d,\n"
+                "    \"sweeps\": %d,\n"
+                "    \"proposals_per_sweep\": %d,\n"
+                "    \"identical\": %s,\n"
+                "    \"setup_seconds_4w\": %.4f,\n"
+                "    \"sweep_seconds_1w\": %.4f,\n"
+                "    \"sweep_seconds_4w\": %.4f,\n"
+                "    \"speedup_4w\": %.3f\n"
+                "  }%s",
+                po.replicas, po.sweeps, po.proposals_per_sweep,
+                identical ? "true" : "false", w4.stats.dist_setup_seconds,
+                w1.stats.dist_sweep_seconds, w4.stats.dist_sweep_seconds,
+                small_speedup, xl_json.empty() ? "\n" : "");
+  splice_distributed_section(buf + xl_json);
+  std::printf("spliced \"distributed\" section into BENCH_search.json\n");
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: distributed result diverged from the "
+                         "single-process portfolio\n");
+    return 1;
+  }
+  if (!xl_pass) {
+    std::fprintf(stderr, "FAIL: XL 4-worker speedup %.2fx below the 3x gate\n",
+                 xl_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,321 @@
+#include "dist/codec.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json_value.hpp"
+#include "portfolio/ladder_policy.hpp"
+#include "report/json.hpp"
+
+namespace soctest::dist {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::runtime_error("dist codec: invalid hex digit");
+}
+
+[[noreturn]] void bad(const std::string& message) {
+  throw std::runtime_error("dist codec: " + message);
+}
+
+const JsonValue& field(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.find(key);
+  if (!v) bad(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+int field_int(const JsonValue& doc, const char* key) {
+  return static_cast<int>(field(doc, key).as_int64());
+}
+
+std::uint64_t field_u64(const JsonValue& doc, const char* key) {
+  return field(doc, key).as_uint64();
+}
+
+bool field_bool(const JsonValue& doc, const char* key) {
+  return field(doc, key).as_bool();
+}
+
+std::string field_str(const JsonValue& doc, const char* key) {
+  return field(doc, key).as_string();
+}
+
+// SearchStats <-> fixed-order u64 array. Order is part of the wire
+// format; extend at the END when SearchStats grows.
+constexpr int kCounterCount = 13;
+
+void counters_to(std::uint64_t (&a)[kCounterCount],
+                 const runtime::SearchStats& s) {
+  a[0] = s.candidates_generated;
+  a[1] = s.candidates_pruned;
+  a[2] = s.candidates_scheduled;
+  a[3] = s.schedule_reuse_hits;
+  a[4] = s.column_reuse_hits;
+  a[5] = s.columns_computed;
+  a[6] = s.anneal_proposals;
+  a[7] = s.anneal_memo_hits;
+  a[8] = s.anneal_bound_pruned;
+  a[9] = s.warm_schedule_starts;
+  a[10] = s.portfolio_proposals;
+  a[11] = s.portfolio_swaps_attempted;
+  a[12] = s.portfolio_swaps_accepted;
+}
+
+runtime::SearchStats counters_from(const std::vector<std::uint64_t>& a) {
+  if (a.size() != kCounterCount) bad("bye: wrong counter count");
+  runtime::SearchStats s;
+  s.candidates_generated = a[0];
+  s.candidates_pruned = a[1];
+  s.candidates_scheduled = a[2];
+  s.schedule_reuse_hits = a[3];
+  s.column_reuse_hits = a[4];
+  s.columns_computed = a[5];
+  s.anneal_proposals = a[6];
+  s.anneal_memo_hits = a[7];
+  s.anneal_bound_pruned = a[8];
+  s.warm_schedule_starts = a[9];
+  s.portfolio_proposals = a[10];
+  s.portfolio_swaps_attempted = a[11];
+  s.portfolio_swaps_accepted = a[12];
+  return s;
+}
+
+}  // namespace
+
+std::string hex_encode(const std::vector<unsigned char>& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<unsigned char> hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0)
+    throw std::runtime_error("dist codec: odd-length hex blob");
+  std::vector<unsigned char> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    out.push_back(static_cast<unsigned char>((hex_nibble(hex[i]) << 4) |
+                                             hex_nibble(hex[i + 1])));
+  return out;
+}
+
+std::string init_line(const WorkerInit& w) {
+  std::vector<unsigned char> soc(w.soc_text.begin(), w.soc_text.end());
+  std::ostringstream os;
+  os << "{\"cmd\": \"init\""
+     << ", \"soc_hex\": \"" << hex_encode(soc) << "\""
+     << ", \"select\": " << (w.select ? "true" : "false")
+     << ", \"emax_width\": " << w.explore_max_width
+     << ", \"emax_chains\": " << w.explore_max_chains
+     << ", \"width\": " << w.opts.width
+     << ", \"mode\": " << static_cast<int>(w.opts.mode)
+     << ", \"constraint\": " << static_cast<int>(w.opts.constraint)
+     << ", \"max_buses\": " << w.opts.max_buses
+     << ", \"max_steps\": " << w.opts.max_search_steps
+     << ", \"power_bits\": "
+     << portfolio::double_bits(w.opts.power_budget_mw)
+     << ", \"incremental\": " << (w.opts.incremental ? "true" : "false")
+     << ", \"capacity_bound\": "
+     << (w.opts.capacity_bound ? "true" : "false")
+     << ", \"portfolio\": " << w.opts.portfolio
+     << ", \"replicas\": " << w.popts.replicas
+     << ", \"sweeps\": " << w.popts.sweeps
+     << ", \"pps\": " << w.popts.proposals_per_sweep
+     << ", \"t0_bits\": "
+     << portfolio::double_bits(w.popts.initial_temperature)
+     << ", \"ratio_bits\": "
+     << portfolio::double_bits(w.popts.temperature_ratio)
+     << ", \"cool_bits\": " << portfolio::double_bits(w.popts.cooling)
+     << ", \"seed\": " << w.popts.seed
+     << ", \"swaps\": " << (w.popts.swaps_enabled ? "true" : "false")
+     << ", \"share_caches\": "
+     << (w.popts.share_caches ? "true" : "false")
+     << ", \"race\": " << (w.popts.race_hill_climb ? "true" : "false")
+     << ", \"adaptive\": " << (w.popts.adaptive_ladder ? "true" : "false")
+     << ", \"ladder\": " << w.ladder_size
+     << ", \"begin\": " << w.slot_begin << ", \"end\": " << w.slot_end
+     << ", \"start\": " << w.start_sweep << ", \"fp\": " << w.fingerprint
+     << ", \"restore_hex\": \"" << w.restore_frame_hex << "\"}";
+  return os.str();
+}
+
+std::string sweep_line(int sweep) {
+  return "{\"cmd\": \"sweep\", \"sweep\": " + std::to_string(sweep) + "}";
+}
+
+std::string barrier_line(const BarrierCmd& b) {
+  std::ostringstream os;
+  os << "{\"cmd\": \"barrier\", \"sweep\": " << b.sweep << ", \"swaps\": [";
+  for (std::size_t i = 0; i < b.swaps.size(); ++i)
+    os << (i ? ", " : "") << b.swaps[i];
+  os << "], \"adopts\": [";
+  for (std::size_t i = 0; i < b.adopts.size(); ++i) {
+    os << (i ? ", " : "") << "{\"slot\": " << b.adopts[i].first
+       << ", \"widths\": [";
+    const std::vector<int>& ws = b.adopts[i].second;
+    for (std::size_t j = 0; j < ws.size(); ++j)
+      os << (j ? ", " : "") << ws[j];
+    os << "]}";
+  }
+  os << "], \"temps\": [";
+  for (std::size_t i = 0; i < b.temps.size(); ++i)
+    os << (i ? ", " : "") << b.temps[i];
+  os << "]}";
+  return os.str();
+}
+
+std::string finish_line() { return "{\"cmd\": \"finish\"}"; }
+
+std::string ready_line(const std::string& frame_hex) {
+  return "{\"event\": \"ready\", \"data\": \"" + frame_hex + "\"}";
+}
+
+std::string frame_line(int sweep, const std::string& frame_hex) {
+  return "{\"event\": \"frame\", \"sweep\": " + std::to_string(sweep) +
+         ", \"data\": \"" + frame_hex + "\"}";
+}
+
+std::string bye_line(const runtime::SearchStats& counters) {
+  std::uint64_t a[kCounterCount];
+  counters_to(a, counters);
+  std::ostringstream os;
+  os << "{\"event\": \"bye\", \"counters\": [";
+  for (int i = 0; i < kCounterCount; ++i) os << (i ? ", " : "") << a[i];
+  os << "]}";
+  return os.str();
+}
+
+std::string error_line(const std::string& message) {
+  return "{\"event\": \"error\", \"message\": \"" + json_escape(message) +
+         "\"}";
+}
+
+CoordCmd parse_coord_cmd(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const std::exception& e) {
+    bad(std::string("malformed command line: ") + e.what());
+  }
+  if (!doc.is_object()) bad("command must be a JSON object");
+  const std::string cmd = field_str(doc, "cmd");
+
+  CoordCmd out;
+  if (cmd == "sweep") {
+    out.kind = CoordCmd::Kind::Sweep;
+    out.sweep = field_int(doc, "sweep");
+    return out;
+  }
+  if (cmd == "finish") {
+    out.kind = CoordCmd::Kind::Finish;
+    return out;
+  }
+  if (cmd == "barrier") {
+    out.kind = CoordCmd::Kind::Barrier;
+    out.barrier.sweep = field_int(doc, "sweep");
+    for (const JsonValue& v : field(doc, "swaps").items)
+      out.barrier.swaps.push_back(static_cast<int>(v.as_int64()));
+    for (const JsonValue& a : field(doc, "adopts").items) {
+      std::pair<int, std::vector<int>> adopt;
+      adopt.first = field_int(a, "slot");
+      for (const JsonValue& wv : field(a, "widths").items)
+        adopt.second.push_back(static_cast<int>(wv.as_int64()));
+      out.barrier.adopts.push_back(std::move(adopt));
+    }
+    for (const JsonValue& t : field(doc, "temps").items)
+      out.barrier.temps.push_back(t.as_uint64());
+    return out;
+  }
+  if (cmd == "init") {
+    out.kind = CoordCmd::Kind::Init;
+    WorkerInit& w = out.init;
+    const std::vector<unsigned char> soc =
+        hex_decode(field_str(doc, "soc_hex"));
+    w.soc_text.assign(soc.begin(), soc.end());
+    w.select = field_bool(doc, "select");
+    w.explore_max_width = field_int(doc, "emax_width");
+    w.explore_max_chains = field_int(doc, "emax_chains");
+    w.opts.width = field_int(doc, "width");
+    w.opts.mode = static_cast<ArchMode>(field_int(doc, "mode"));
+    w.opts.constraint =
+        static_cast<ConstraintMode>(field_int(doc, "constraint"));
+    w.opts.max_buses = field_int(doc, "max_buses");
+    w.opts.max_search_steps = field_int(doc, "max_steps");
+    w.opts.power_budget_mw =
+        portfolio::bits_double(field_u64(doc, "power_bits"));
+    w.opts.incremental = field_bool(doc, "incremental");
+    w.opts.capacity_bound = field_bool(doc, "capacity_bound");
+    w.opts.portfolio = field_int(doc, "portfolio");
+    w.popts.replicas = field_int(doc, "replicas");
+    w.popts.sweeps = field_int(doc, "sweeps");
+    w.popts.proposals_per_sweep = field_int(doc, "pps");
+    w.popts.initial_temperature =
+        portfolio::bits_double(field_u64(doc, "t0_bits"));
+    w.popts.temperature_ratio =
+        portfolio::bits_double(field_u64(doc, "ratio_bits"));
+    w.popts.cooling = portfolio::bits_double(field_u64(doc, "cool_bits"));
+    w.popts.seed = field_u64(doc, "seed");
+    w.popts.swaps_enabled = field_bool(doc, "swaps");
+    w.popts.share_caches = field_bool(doc, "share_caches");
+    w.popts.race_hill_climb = field_bool(doc, "race");
+    w.popts.adaptive_ladder = field_bool(doc, "adaptive");
+    w.ladder_size = field_int(doc, "ladder");
+    w.slot_begin = field_int(doc, "begin");
+    w.slot_end = field_int(doc, "end");
+    w.start_sweep = field_int(doc, "start");
+    w.fingerprint = field_u64(doc, "fp");
+    w.restore_frame_hex = field_str(doc, "restore_hex");
+    return out;
+  }
+  bad("unknown cmd '" + cmd + "'");
+}
+
+WorkerEvent parse_worker_event(const std::string& line) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const std::exception& e) {
+    bad(std::string("malformed event line: ") + e.what());
+  }
+  if (!doc.is_object()) bad("event must be a JSON object");
+  const std::string event = field_str(doc, "event");
+
+  WorkerEvent out;
+  if (event == "ready") {
+    out.kind = WorkerEvent::Kind::Ready;
+    out.frame_hex = field_str(doc, "data");
+    return out;
+  }
+  if (event == "frame") {
+    out.kind = WorkerEvent::Kind::Frame;
+    out.sweep = field_int(doc, "sweep");
+    out.frame_hex = field_str(doc, "data");
+    return out;
+  }
+  if (event == "bye") {
+    out.kind = WorkerEvent::Kind::Bye;
+    std::vector<std::uint64_t> a;
+    for (const JsonValue& v : field(doc, "counters").items)
+      a.push_back(v.as_uint64());
+    out.counters = counters_from(a);
+    return out;
+  }
+  if (event == "error") {
+    out.kind = WorkerEvent::Kind::Error;
+    out.message = field_str(doc, "message");
+    return out;
+  }
+  bad("unknown event '" + event + "'");
+}
+
+}  // namespace soctest::dist

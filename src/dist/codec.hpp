@@ -1,0 +1,109 @@
+// NDJSON message codec for the distributed replica-exchange portfolio.
+// One JSON object per line in each direction over a unix-socket byte
+// stream (server/fd_io.hpp framing).
+//
+// Coordinator -> worker commands ({"cmd": ...}):
+//   init     the full problem universe: SOC text (hex), explore band,
+//            optimizer options, trajectory-defining portfolio parameters
+//            (doubles as raw IEEE-754 bits — text round-trips drift, bits
+//            never do), the worker's ladder-global slot range, the resume
+//            cursor, the configuration fingerprint, and optionally a
+//            restore frame (hex SOCPFSH1 blob) to continue from.
+//   sweep    run one sweep over the local slots, reply with a frame.
+//   barrier  apply this sweep's exchange decisions: local adjacent-pair
+//            swaps, cross-worker adoptions (partner's current widths),
+//            and optionally a retuned temperature ladder (all K slots,
+//            raw bits). Reply with a post-barrier frame.
+//   finish   stop; reply with a bye carrying the evaluator counters.
+//
+// Worker -> coordinator events ({"event": ...}):
+//   ready    init accepted; carries the initial frame so the coordinator
+//            holds authoritative states before the first sweep.
+//   frame    the slot states after a sweep / barrier (hex SOCPFSH1 blob,
+//            fingerprint-guarded — see portfolio/checkpoint.hpp).
+//   bye      terminal; the worker's summed SearchStats counters.
+//   error    terminal; human-readable reason (fingerprint mismatch,
+//            malformed frame, evaluation failure).
+//
+// Every parse is strict: unknown cmd/event, missing fields, or malformed
+// hex throw std::runtime_error — a corrupted exchange must abort the run
+// cleanly, never mis-resume a replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "opt/soc_optimizer.hpp"
+#include "portfolio/portfolio.hpp"
+#include "runtime/stats.hpp"
+
+namespace soctest::dist {
+
+std::string hex_encode(const std::vector<unsigned char>& bytes);
+/// Throws std::runtime_error on odd length or a non-hex digit.
+std::vector<unsigned char> hex_decode(const std::string& hex);
+
+/// Everything a worker needs to reconstruct the coordinator's problem
+/// universe bit-exactly. Runtime-only fields of the embedded option
+/// structs (cancel tokens, progress callbacks, cache pointers, checkpoint
+/// paths) do not travel — they are process-local by nature.
+struct WorkerInit {
+  std::string soc_text;
+  bool select = false;  // tables built with per-core technique selection
+  int explore_max_width = 64;
+  int explore_max_chains = 255;
+  OptimizerOptions opts;
+  PortfolioOptions popts;
+  int ladder_size = 0;
+  int slot_begin = 0;
+  int slot_end = 0;
+  int start_sweep = 0;
+  std::uint64_t fingerprint = 0;
+  std::string restore_frame_hex;  // empty = start from fresh walks
+};
+
+/// One sweep's exchange decisions for one worker, applied at the barrier.
+struct BarrierCmd {
+  int sweep = 0;
+  /// Ladder-global lo indices with both lo and lo+1 local: exchange().
+  std::vector<int> swaps;
+  /// Cross-worker halves: the local slot adopts these current widths.
+  std::vector<std::pair<int, std::vector<int>>> adopts;
+  /// Retuned ladder (raw bits, all ladder_size slots); empty = no retune.
+  std::vector<std::uint64_t> temps;
+};
+
+struct CoordCmd {
+  enum class Kind { Init, Sweep, Barrier, Finish };
+  Kind kind = Kind::Finish;
+  WorkerInit init;      // Kind::Init
+  int sweep = 0;        // Kind::Sweep
+  BarrierCmd barrier;   // Kind::Barrier
+};
+
+struct WorkerEvent {
+  enum class Kind { Ready, Frame, Bye, Error };
+  Kind kind = Kind::Error;
+  int sweep = 0;              // Frame
+  std::string frame_hex;      // Ready, Frame
+  runtime::SearchStats counters;  // Bye
+  std::string message;        // Error
+};
+
+// Line builders (no trailing newline).
+std::string init_line(const WorkerInit& init);
+std::string sweep_line(int sweep);
+std::string barrier_line(const BarrierCmd& b);
+std::string finish_line();
+std::string ready_line(const std::string& frame_hex);
+std::string frame_line(int sweep, const std::string& frame_hex);
+std::string bye_line(const runtime::SearchStats& counters);
+std::string error_line(const std::string& message);
+
+// Strict parsers; throw std::runtime_error on anything unexpected.
+CoordCmd parse_coord_cmd(const std::string& line);
+WorkerEvent parse_worker_event(const std::string& line);
+
+}  // namespace soctest::dist

@@ -1,0 +1,660 @@
+#include "dist/coordinator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/codec.hpp"
+#include "io/soc_text.hpp"
+#include "portfolio/checkpoint.hpp"
+#include "portfolio/ladder_policy.hpp"
+#include "portfolio/shard.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "server/fd_io.hpp"
+
+namespace soctest::dist {
+
+namespace {
+
+using portfolio::PortfolioCheckpoint;
+using portfolio::RacerState;
+using portfolio::ShardFrame;
+using portfolio::ShardSlotState;
+using server::LineReader;
+using server::ReadStatus;
+
+bool better(const OptimizationResult& a, const OptimizationResult& b) {
+  if (a.test_time != b.test_time) return a.test_time < b.test_time;
+  return a.data_volume_bits < b.data_volume_bits;
+}
+
+/// Transport loss: the worker's socket EOF'd, timed out, or failed hard.
+/// Recoverable — the coordinator respawns and re-issues. Distinct from
+/// std::runtime_error, which marks configuration/protocol failures that a
+/// fresh process would only repeat.
+class WorkerLost : public std::exception {
+ public:
+  explicit WorkerLost(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+struct WorkerConn {
+  int index = 0;
+  int slot_begin = 0;
+  int slot_end = 0;
+  pid_t pid = -1;           // > 0: spawned child to reap
+  int fd = -1;
+  std::unique_ptr<LineReader> reader;
+  std::string attach_path;  // empty: spawned; else daemon socket to borrow
+};
+
+class Coordinator {
+ public:
+  Coordinator(const SocOptimizer& optimizer, const OptimizerOptions& opts,
+              const PortfolioOptions& popts, const DistOptions& dopts)
+      : opt_(optimizer), opts_(opts), popts_(popts), dopts_(dopts) {}
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  ~Coordinator() {
+    for (WorkerConn& w : workers_) teardown(w);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      ::unlink(listen_path_.c_str());
+    }
+  }
+
+  PortfolioResult run(const PortfolioCheckpoint* restore);
+
+ private:
+  void setup_topology(const PortfolioCheckpoint* restore);
+  void setup_listen();
+  void spawn(WorkerConn& w);
+  void connect_attached(WorkerConn& w);
+  void teardown(WorkerConn& w);
+  /// Brings `w` up (spawn/connect + init + ready), spending respawn
+  /// budget on every transport failure until it sticks or the budget is
+  /// gone.
+  void ensure_up(WorkerConn& w, int start_sweep);
+  void init_worker(WorkerConn& w, int start_sweep);
+  std::string restore_hex_for(const WorkerConn& w, int start_sweep) const;
+  WorkerEvent read_event(WorkerConn& w);
+  /// Validates a frame event against `w`'s slot range and installs its
+  /// slots into the authoritative state.
+  void apply_frame(const WorkerEvent& ev, const WorkerConn& w);
+  /// One lockstep round: broadcast per-worker command lines, then collect
+  /// one frame from each worker (respawning + re-issuing on loss).
+  void round(const std::vector<std::string>& lines, int start_sweep);
+  int worker_of(int slot) const;
+
+  const SocOptimizer& opt_;
+  const OptimizerOptions& opts_;
+  const PortfolioOptions& popts_;
+  const DistOptions& dopts_;
+
+  int K_ = 0;
+  std::uint64_t fp_ = 0;
+  std::string soc_text_;
+  int timeout_ms_ = -1;
+  std::vector<WorkerConn> workers_;
+  /// Ladder-order authoritative slot states: ready/post-sweep/post-barrier
+  /// frames land here; checkpoints and respawn restores read from here.
+  std::vector<ShardSlotState> auth_;
+  bool seeded_ = false;  // auth_ holds real states (restore or ready seen)
+  int listen_fd_ = -1;
+  std::string listen_path_;
+  std::vector<std::string> spawn_args_;  // prebuilt: no mallocs post-fork
+  std::vector<char*> spawn_argv_;
+  PortfolioStats stats_;
+};
+
+int Coordinator::worker_of(int slot) const {
+  for (const WorkerConn& w : workers_)
+    if (slot >= w.slot_begin && slot < w.slot_end) return w.index;
+  throw std::logic_error("dist: slot outside every worker range");
+}
+
+void Coordinator::setup_listen() {
+  static std::atomic<int> counter{0};
+  listen_path_ = ".soctest-dist-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(counter.fetch_add(1)) + ".sock";
+  listen_fd_ = server::listen_unix(listen_path_);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("dist: cannot listen on " + listen_path_);
+
+  const std::string cmd =
+      dopts_.worker_cmd.empty() ? "/proc/self/exe" : dopts_.worker_cmd;
+  spawn_args_ = {cmd, "--worker", listen_path_};
+  if (dopts_.worker_jobs > 0) {
+    spawn_args_.push_back("--jobs");
+    spawn_args_.push_back(std::to_string(dopts_.worker_jobs));
+  }
+  for (std::string& a : spawn_args_)
+    spawn_argv_.push_back(const_cast<char*>(a.c_str()));
+  spawn_argv_.push_back(nullptr);
+}
+
+void Coordinator::spawn(WorkerConn& w) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("dist: fork failed");
+  if (pid == 0) {
+    // Child: argv was prebuilt before any fork, so nothing here
+    // allocates — safe even with the racer's pool threads running.
+    ::execv(spawn_argv_[0], spawn_argv_.data());
+    _exit(127);
+  }
+  w.pid = pid;
+  pollfd p{listen_fd_, POLLIN, 0};
+  const int pr = ::poll(&p, 1, 30000);
+  if (pr <= 0) throw WorkerLost("spawned worker did not connect back");
+  w.fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (w.fd < 0) throw WorkerLost("accept on worker socket failed");
+  w.reader = std::make_unique<LineReader>(w.fd);
+}
+
+void Coordinator::connect_attached(WorkerConn& w) {
+  w.fd = server::connect_unix(w.attach_path);
+  if (w.fd < 0)
+    throw WorkerLost("cannot connect to attached daemon " + w.attach_path);
+  if (!server::fd_write_all(w.fd, "{\"op\": \"worker\"}\n"))
+    throw WorkerLost("attached daemon rejected the worker handshake");
+  w.reader = std::make_unique<LineReader>(w.fd);
+}
+
+void Coordinator::teardown(WorkerConn& w) {
+  if (w.fd >= 0) {
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  w.reader.reset();
+  if (w.pid > 0) {
+    ::kill(w.pid, SIGKILL);
+    ::waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+  }
+}
+
+std::string Coordinator::restore_hex_for(const WorkerConn& w,
+                                         int start_sweep) const {
+  if (!seeded_) return {};  // fresh run: workers build fresh walks
+  ShardFrame f;
+  f.fingerprint = fp_;
+  f.sweep = start_sweep;
+  f.slot_begin = w.slot_begin;
+  f.slot_end = w.slot_end;
+  f.slots.assign(auth_.begin() + w.slot_begin, auth_.begin() + w.slot_end);
+  return hex_encode(portfolio::encode_shard_frame(f));
+}
+
+WorkerEvent Coordinator::read_event(WorkerConn& w) {
+  std::string line;
+  switch (w.reader->read_line(&line, timeout_ms_)) {
+    case ReadStatus::Ok:
+      break;
+    case ReadStatus::Eof:
+      throw WorkerLost("worker " + std::to_string(w.index) + " hung up");
+    case ReadStatus::Timeout:
+      throw WorkerLost("worker " + std::to_string(w.index) + " timed out");
+    case ReadStatus::Error:
+      throw WorkerLost("read from worker " + std::to_string(w.index) +
+                       " failed");
+  }
+  const WorkerEvent ev = parse_worker_event(line);
+  if (ev.kind == WorkerEvent::Kind::Error)
+    throw std::runtime_error("dist: worker " + std::to_string(w.index) +
+                             " reported: " + ev.message);
+  return ev;
+}
+
+void Coordinator::apply_frame(const WorkerEvent& ev, const WorkerConn& w) {
+  const ShardFrame f =
+      portfolio::decode_shard_frame(hex_decode(ev.frame_hex));
+  if (f.fingerprint != fp_)
+    throw std::runtime_error("dist: frame fingerprint mismatch from worker " +
+                             std::to_string(w.index));
+  if (f.slot_begin != w.slot_begin || f.slot_end != w.slot_end)
+    throw std::runtime_error("dist: frame slot range mismatch from worker " +
+                             std::to_string(w.index));
+  std::copy(f.slots.begin(), f.slots.end(), auth_.begin() + w.slot_begin);
+}
+
+void Coordinator::init_worker(WorkerConn& w, int start_sweep) {
+  WorkerInit init;
+  init.soc_text = soc_text_;
+  init.select = dopts_.select;
+  init.explore_max_width = dopts_.explore_max_width;
+  init.explore_max_chains = dopts_.explore_max_chains;
+  init.opts = opts_;
+  init.opts.cancel = nullptr;  // runtime-only, process-local
+  init.popts = popts_;
+  init.popts.cancel = nullptr;
+  init.popts.progress = nullptr;
+  init.popts.checkpoint_path.clear();  // the coordinator checkpoints
+  init.popts.memo = nullptr;
+  init.popts.columns = nullptr;
+  init.ladder_size = K_;
+  init.slot_begin = w.slot_begin;
+  init.slot_end = w.slot_end;
+  init.start_sweep = start_sweep;
+  init.fingerprint = fp_;
+  init.restore_frame_hex = restore_hex_for(w, start_sweep);
+  if (!server::fd_write_all(w.fd, init_line(init) + "\n"))
+    throw WorkerLost("init send to worker " + std::to_string(w.index) +
+                     " failed");
+  const WorkerEvent ev = read_event(w);
+  if (ev.kind != WorkerEvent::Kind::Ready)
+    throw std::runtime_error("dist: worker " + std::to_string(w.index) +
+                             " answered init with a non-ready event");
+  apply_frame(ev, w);
+}
+
+void Coordinator::ensure_up(WorkerConn& w, int start_sweep) {
+  while (true) {
+    try {
+      if (w.fd < 0) {
+        if (w.attach_path.empty())
+          spawn(w);
+        else
+          connect_attached(w);
+      }
+      init_worker(w, start_sweep);
+      return;
+    } catch (const WorkerLost& e) {
+      teardown(w);
+      if (stats_.dist_respawns >= dopts_.max_respawns)
+        throw std::runtime_error(
+            std::string("dist: respawn budget exhausted: ") + e.what());
+      ++stats_.dist_respawns;
+    }
+  }
+}
+
+void Coordinator::round(const std::vector<std::string>& lines,
+                        int start_sweep) {
+  for (WorkerConn& w : workers_)
+    server::fd_write_all(w.fd, lines[static_cast<std::size_t>(w.index)] +
+                                   "\n");  // loss surfaces on the read
+  for (WorkerConn& w : workers_) {
+    while (true) {
+      try {
+        const WorkerEvent ev = read_event(w);
+        if (ev.kind != WorkerEvent::Kind::Frame)
+          throw std::runtime_error("dist: worker " +
+                                   std::to_string(w.index) +
+                                   " sent a non-frame event mid-round");
+        apply_frame(ev, w);
+        break;
+      } catch (const WorkerLost& e) {
+        teardown(w);
+        if (stats_.dist_respawns >= dopts_.max_respawns)
+          throw std::runtime_error(
+              std::string("dist: respawn budget exhausted: ") + e.what());
+        ++stats_.dist_respawns;
+        // Replacement resumes from the authoritative states (its own
+        // slots are untouched by this half-finished round), then the
+        // in-flight command is re-issued.
+        ensure_up(w, start_sweep);
+        server::fd_write_all(
+            w.fd, lines[static_cast<std::size_t>(w.index)] + "\n");
+      }
+    }
+  }
+}
+
+void Coordinator::setup_topology(const PortfolioCheckpoint* restore) {
+  int W = dopts_.attach.empty() ? dopts_.workers
+                                : static_cast<int>(dopts_.attach.size());
+  if (W < 1)
+    throw std::invalid_argument("dist: workers must be >= 1");
+  W = std::min(W, K_);  // never more processes than ladder slots
+  workers_.resize(static_cast<std::size_t>(W));
+  for (int i = 0; i < W; ++i) {
+    WorkerConn& w = workers_[static_cast<std::size_t>(i)];
+    w.index = i;
+    const auto range = portfolio::shard_slot_range(K_, W, i);
+    w.slot_begin = range.first;
+    w.slot_end = range.second;
+    if (!dopts_.attach.empty())
+      w.attach_path = dopts_.attach[static_cast<std::size_t>(i)];
+  }
+  if (dopts_.attach.empty()) setup_listen();
+  const int first_sweep = restore ? restore->sweeps_completed : 0;
+  for (WorkerConn& w : workers_) ensure_up(w, first_sweep);
+  stats_.dist_workers = W;
+}
+
+PortfolioResult Coordinator::run(const PortfolioCheckpoint* restore) {
+  K_ = portfolio::resolved_ladder_size(opts_, popts_);
+  if (K_ < 1) throw std::invalid_argument("portfolio: replicas must be >= 1");
+  if (popts_.proposals_per_sweep < 1)
+    throw std::invalid_argument("portfolio: proposals_per_sweep must be >= 1");
+  if (popts_.sweeps < 0)
+    throw std::invalid_argument("portfolio: sweeps must be >= 0");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::PhaseTimer timer("portfolio");
+  const auto elapsed = [](std::chrono::steady_clock::time_point since) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         since)
+        .count();
+  };
+
+  fp_ = portfolio_fingerprint(opt_, opts_, popts_);
+  {
+    std::ostringstream os;
+    write_soc_text(os, opt_.soc());
+    soc_text_ = os.str();
+  }
+  timeout_ms_ = dopts_.sweep_timeout_s > 0.0
+                    ? static_cast<int>(dopts_.sweep_timeout_s * 1000.0)
+                    : -1;
+
+  stats_.replicas = K_;
+  int first_sweep = 0;
+  std::uint64_t restored_proposals = 0;
+  OptimizationResult racer_result;
+  bool racer_done = false;
+  std::future<OptimizationResult> racer;
+  bool racer_pending = false;
+  std::vector<std::uint64_t> win_att(K_ > 0 ? K_ - 1 : 0, 0);
+  std::vector<std::uint64_t> win_acc(K_ > 0 ? K_ - 1 : 0, 0);
+  auth_.assign(static_cast<std::size_t>(K_), ShardSlotState{});
+
+  if (restore) {
+    if (static_cast<int>(restore->replicas.size()) != K_)
+      throw std::runtime_error("portfolio: checkpoint replica count " +
+                               std::to_string(restore->replicas.size()) +
+                               " != configured " + std::to_string(K_));
+    for (int r = 0; r < K_; ++r)
+      auth_[static_cast<std::size_t>(r)].state =
+          restore->replicas[static_cast<std::size_t>(r)];
+    for (std::size_t p = 0;
+         p < win_att.size() && p < restore->retune_window_attempted.size();
+         ++p)
+      win_att[p] = restore->retune_window_attempted[p];
+    for (std::size_t p = 0;
+         p < win_acc.size() && p < restore->retune_window_accepted.size();
+         ++p)
+      win_acc[p] = restore->retune_window_accepted[p];
+    first_sweep = restore->sweeps_completed;
+    stats_.sweeps_completed = restore->sweeps_completed;
+    stats_.swaps_attempted = restore->swaps_attempted;
+    stats_.swaps_accepted = restore->swaps_accepted;
+    stats_.proposals_total = restore->proposals_total;
+    restored_proposals = restore->proposals_total;
+    stats_.best_by_sweep = restore->best_by_sweep;
+    seeded_ = true;  // init frames restore the checkpointed states
+    if (restore->racer_state == RacerState::Done) {
+      TamArchitecture arch;
+      arch.widths = restore->racer_best_widths;
+      racer_result = opt_.evaluate(arch, opts_);
+      racer_done = true;
+    }
+  }
+
+  setup_topology(restore);
+  seeded_ = true;  // from here on, ready frames filled auth_
+  stats_.dist_setup_seconds = elapsed(t0);
+
+  if (popts_.race_hill_climb) {
+    stats_.hill_climb_raced = true;
+    if (!racer_done) {
+      // Same racer as the single-process portfolio; with the walks in
+      // other processes there is no cache to share, and the result is
+      // deterministic either way.
+      racer = runtime::effective_pool().async(
+          [this] { return opt_.optimize_shared(opts_, nullptr, nullptr); });
+      racer_pending = true;
+    }
+  }
+
+  const std::uint64_t sweep_proposals =
+      static_cast<std::uint64_t>(K_) *
+      static_cast<std::uint64_t>(popts_.proposals_per_sweep);
+
+  bool checkpointing = !popts_.checkpoint_path.empty();
+  const auto write_checkpoint = [&](RacerState racer_state) {
+    if (!checkpointing) return;
+    PortfolioCheckpoint ck;
+    ck.fingerprint = fp_;
+    ck.sweeps_completed = stats_.sweeps_completed;
+    ck.swaps_attempted = stats_.swaps_attempted;
+    ck.swaps_accepted = stats_.swaps_accepted;
+    ck.proposals_total = stats_.proposals_total;
+    ck.racer_state = racer_state;
+    if (racer_state == RacerState::Done)
+      ck.racer_best_widths = racer_result.arch.widths;
+    ck.best_by_sweep = stats_.best_by_sweep;
+    if (popts_.adaptive_ladder) {
+      ck.retune_window_attempted = win_att;
+      ck.retune_window_accepted = win_acc;
+    }
+    for (int r = 0; r < K_; ++r)
+      ck.replicas.push_back(auth_[static_cast<std::size_t>(r)].state);
+    try {
+      portfolio::write_checkpoint_file(popts_.checkpoint_path, ck);
+    } catch (const portfolio::CheckpointIoError& e) {
+      stats_.checkpoint_error = e.what();
+      checkpointing = false;
+    }
+  };
+
+  const auto sweep_t0 = std::chrono::steady_clock::now();
+  const int W = static_cast<int>(workers_.size());
+  for (int sweep = first_sweep; sweep < popts_.sweeps; ++sweep) {
+    if (popts_.cancel && popts_.cancel->cancelled()) break;
+    if (popts_.max_seconds > 0.0 && elapsed(t0) >= popts_.max_seconds) break;
+    if (popts_.max_proposals > 0 &&
+        stats_.proposals_total + sweep_proposals > popts_.max_proposals)
+      break;
+
+    if (sweep == dopts_.kill_at_sweep && dopts_.kill_worker >= 0 &&
+        dopts_.kill_worker < W) {
+      // Test hook: a deterministic crash right before the broadcast.
+      const WorkerConn& victim =
+          workers_[static_cast<std::size_t>(dopts_.kill_worker)];
+      if (victim.pid > 0) ::kill(victim.pid, SIGKILL);
+    }
+
+    // Barrier 1: every worker advances its slots one sweep.
+    round(std::vector<std::string>(static_cast<std::size_t>(W),
+                                   sweep_line(sweep)),
+          sweep);
+    stats_.proposals_total += sweep_proposals;
+
+    // Exchange decisions on the authoritative post-sweep states — the
+    // identical pure function of the identical inputs the single-process
+    // loop uses.
+    std::vector<BarrierCmd> cmds(static_cast<std::size_t>(W));
+    for (BarrierCmd& c : cmds) c.sweep = sweep;
+    if (popts_.swaps_enabled) {
+      for (int lo = sweep % 2; lo + 1 < K_; lo += 2) {
+        ++stats_.swaps_attempted;
+        const ShardSlotState& hot = auth_[static_cast<std::size_t>(lo)];
+        const ShardSlotState& cold = auth_[static_cast<std::size_t>(lo + 1)];
+        const bool accept = portfolio::swap_decision(
+            portfolio::bits_double(hot.state.temperature_bits),
+            portfolio::bits_double(cold.state.temperature_bits),
+            hot.cur_time, cold.cur_time, popts_.seed, sweep, lo);
+        if (popts_.adaptive_ladder) ++win_att[static_cast<std::size_t>(lo)];
+        if (!accept) continue;
+        ++stats_.swaps_accepted;
+        if (popts_.adaptive_ladder) ++win_acc[static_cast<std::size_t>(lo)];
+        const int wlo = worker_of(lo);
+        const int whi = worker_of(lo + 1);
+        if (wlo == whi) {
+          cmds[static_cast<std::size_t>(wlo)].swaps.push_back(lo);
+        } else {
+          // The pair straddles a worker boundary: each side adopts the
+          // partner's current widths (re-evaluation is deterministic, so
+          // this equals an in-process exchange).
+          cmds[static_cast<std::size_t>(wlo)].adopts.emplace_back(
+              lo, cold.state.current_widths);
+          cmds[static_cast<std::size_t>(whi)].adopts.emplace_back(
+              lo + 1, hot.state.current_widths);
+        }
+      }
+    }
+
+    if (popts_.adaptive_ladder && popts_.swaps_enabled &&
+        (sweep + 1) % portfolio::kRetuneEverySweeps == 0) {
+      std::vector<double> temps(static_cast<std::size_t>(K_));
+      for (int r = 0; r < K_; ++r)
+        temps[static_cast<std::size_t>(r)] = portfolio::bits_double(
+            auth_[static_cast<std::size_t>(r)].state.temperature_bits);
+      portfolio::retune_ladder(temps, win_att, win_acc);
+      std::vector<std::uint64_t> bits(static_cast<std::size_t>(K_));
+      for (int r = 0; r < K_; ++r)
+        bits[static_cast<std::size_t>(r)] =
+            portfolio::double_bits(temps[static_cast<std::size_t>(r)]);
+      for (BarrierCmd& c : cmds) c.temps = bits;
+      std::fill(win_att.begin(), win_att.end(), 0);
+      std::fill(win_acc.begin(), win_acc.end(), 0);
+    }
+
+    // Barrier 2: apply the decisions; the returned post-barrier frames
+    // become the authoritative (and checkpointable) ladder state.
+    {
+      std::vector<std::string> lines;
+      lines.reserve(static_cast<std::size_t>(W));
+      for (const BarrierCmd& c : cmds) lines.push_back(barrier_line(c));
+      round(lines, sweep);
+    }
+
+    std::int64_t sweep_best = auth_[0].best_time;
+    for (int r = 1; r < K_; ++r)
+      sweep_best =
+          std::min(sweep_best, auth_[static_cast<std::size_t>(r)].best_time);
+    stats_.best_by_sweep.push_back(sweep_best);
+    stats_.sweeps_completed = sweep + 1;
+
+    if (popts_.progress) {
+      PortfolioProgress pg;
+      pg.sweep = sweep + 1;
+      pg.sweeps_total = popts_.sweeps;
+      pg.incumbent = sweep_best;
+      pg.proposals = stats_.proposals_total;
+      popts_.progress(pg);
+    }
+
+    if (!popts_.checkpoint_path.empty() && popts_.checkpoint_every > 0 &&
+        (sweep + 1) % popts_.checkpoint_every == 0 &&
+        sweep + 1 < popts_.sweeps) {
+      write_checkpoint(popts_.race_hill_climb ? RacerState::Pending
+                                              : RacerState::None);
+    }
+  }
+  stats_.dist_sweep_seconds = elapsed(sweep_t0);
+
+  // Retire the fleet: byes carry each worker's evaluator counters (pure
+  // observability — a worker that died right here costs counters, never
+  // correctness).
+  for (WorkerConn& w : workers_) {
+    if (w.fd < 0) continue;
+    if (!server::fd_write_all(w.fd, finish_line() + "\n")) continue;
+    try {
+      const WorkerEvent ev = read_event(w);
+      if (ev.kind == WorkerEvent::Kind::Bye)
+        runtime::add_search_counters(ev.counters);
+    } catch (const WorkerLost&) {
+    }
+  }
+  for (WorkerConn& w : workers_) {
+    if (w.fd >= 0) {
+      ::close(w.fd);
+      w.fd = -1;
+    }
+    w.reader.reset();
+    if (w.pid > 0) {
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+  }
+
+  if (racer_pending) {
+    racer_result = racer.get();
+    racer_done = true;
+  }
+
+  PortfolioResult out;
+  out.replica_best.reserve(static_cast<std::size_t>(K_));
+  for (int r = 0; r < K_; ++r) {
+    const ShardSlotState& s = auth_[static_cast<std::size_t>(r)];
+    TamArchitecture arch;
+    arch.widths = s.state.best_widths;
+    // Deterministic re-evaluation reproduces the walk's stored best bit
+    // for bit — the same identity the checkpoint restore path relies on.
+    out.replica_best.push_back(opt_.evaluate(arch, opts_));
+    PortfolioReplicaReport rep;
+    rep.initial_temperature = portfolio::ladder_temperature(popts_, r);
+    rep.proposals = s.state.proposals;
+    rep.best_test_time =
+        out.replica_best[static_cast<std::size_t>(r)].test_time;
+    stats_.replica.push_back(rep);
+  }
+  out.best = out.replica_best[0];
+  for (int r = 1; r < K_; ++r)
+    if (better(out.replica_best[static_cast<std::size_t>(r)], out.best))
+      out.best = out.replica_best[static_cast<std::size_t>(r)];
+  if (racer_done && better(racer_result, out.best)) {
+    out.best = racer_result;
+    stats_.hill_climb_won = true;
+  }
+
+  if (!popts_.checkpoint_path.empty())
+    write_checkpoint(racer_done ? RacerState::Done : RacerState::None);
+
+  runtime::SearchStats ps;
+  ps.portfolio_proposals = stats_.proposals_total - restored_proposals;
+  ps.portfolio_swaps_attempted =
+      stats_.swaps_attempted - (restore ? restore->swaps_attempted : 0);
+  ps.portfolio_swaps_accepted =
+      stats_.swaps_accepted - (restore ? restore->swaps_accepted : 0);
+  runtime::add_search_counters(ps);
+
+  out.best.cpu_seconds = elapsed(t0);
+  out.stats = std::move(stats_);
+  return out;
+}
+
+}  // namespace
+
+PortfolioResult optimize_portfolio_distributed(const SocOptimizer& optimizer,
+                                               const OptimizerOptions& opts,
+                                               const PortfolioOptions& popts,
+                                               const DistOptions& dopts) {
+  Coordinator c(optimizer, opts, popts, dopts);
+  return c.run(nullptr);
+}
+
+PortfolioResult resume_portfolio_distributed(
+    const SocOptimizer& optimizer, const OptimizerOptions& opts,
+    const PortfolioOptions& popts, const DistOptions& dopts,
+    const std::string& checkpoint_path) {
+  const PortfolioCheckpoint ck =
+      portfolio::read_checkpoint_file(checkpoint_path);
+  if (ck.fingerprint != portfolio_fingerprint(optimizer, opts, popts))
+    throw std::runtime_error(
+        "portfolio: checkpoint fingerprint mismatch — it was written for a "
+        "different SOC / optimizer / portfolio configuration");
+  Coordinator c(optimizer, opts, popts, dopts);
+  return c.run(&ck);
+}
+
+}  // namespace soctest::dist

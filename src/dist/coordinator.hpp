@@ -1,0 +1,86 @@
+// Distributed replica-exchange coordinator: shards the K-slot temperature
+// ladder across W worker processes and drives them in lockstep, producing
+// a PortfolioResult byte-identical to optimize_portfolio() for every
+// (workers x jobs) split.
+//
+// Why byte-identity holds: slot indices are ladder-global, so every
+// worker builds the identical walks (temperature, RNG stream, budget) the
+// single-process shard would; swap decisions are the same pure function
+// portfolio::swap_decision of (frame temperatures, frame energies, seed,
+// sweep, pair) the single-process loop uses; and the only cross-process
+// state — current configurations at an accepted exchange — travels as
+// exact width vectors whose re-evaluation is deterministic. Caches are
+// process-local and invisible in trajectories.
+//
+// Per sweep, two barriers:
+//   1. broadcast sweep        -> collect post-sweep frames
+//      (coordinator computes swap decisions + optional ladder retune)
+//   2. broadcast barrier      -> collect post-barrier frames
+// The post-barrier frames are the authoritative ladder state: checkpoints
+// are assembled from them (byte-identical to single-process checkpoint
+// blobs, so runs are cross-resumable), and a crashed worker is respawned
+// and re-initialised from them — the run degrades, it never diverges.
+//
+// Crash handling: every fd is CLOEXEC, so a dead worker yields EOF on its
+// socket. The coordinator reaps it, spawns a replacement (or reconnects,
+// for attached daemon workers), re-sends init with a restore frame built
+// from the authoritative states, re-sends the in-flight command, and
+// carries on — up to max_respawns times. A worker-reported error event
+// (fingerprint mismatch, corrupted frame) aborts instead: retrying a
+// configuration error would loop forever.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "portfolio/portfolio.hpp"
+
+namespace soctest::dist {
+
+struct DistOptions {
+  /// Worker processes to spawn (ignored when `attach` is non-empty);
+  /// clamped to the ladder size.
+  int workers = 2;
+  /// Unix-socket paths of running daemons to borrow as workers via the
+  /// {"op": "worker"} stream takeover, one worker per path.
+  std::vector<std::string> attach;
+  /// Worker binary for spawned workers; empty = /proc/self/exe.
+  std::string worker_cmd;
+  /// --jobs forwarded to each spawned worker (its pool lanes); 0 = the
+  /// worker's default. Any value is byte-identical, like everywhere else.
+  int worker_jobs = 0;
+  /// The explore universe the optimizer was built with — workers must
+  /// rebuild the identical tables.
+  bool select = false;
+  int explore_max_width = 64;
+  int explore_max_chains = 255;
+  /// Per-read timeout while waiting on a worker frame; 0 = wait for EOF
+  /// only (a killed worker's CLOEXEC socket always EOFs).
+  double sweep_timeout_s = 0.0;
+  /// Total respawn budget across the run; exceeding it aborts.
+  int max_respawns = 3;
+  /// Test hook: SIGKILL spawned worker `kill_worker` just before sweep
+  /// `kill_at_sweep` is broadcast (-1 = disabled). Exercises the respawn
+  /// path deterministically.
+  int kill_worker = -1;
+  int kill_at_sweep = -1;
+};
+
+/// optimize_portfolio(), distributed. Same result, same side effects
+/// (checkpoints, progress callbacks, runtime counters); PortfolioStats
+/// additionally reports dist_workers / dist_respawns / dist_*_seconds.
+PortfolioResult optimize_portfolio_distributed(const SocOptimizer& optimizer,
+                                               const OptimizerOptions& opts,
+                                               const PortfolioOptions& popts,
+                                               const DistOptions& dopts);
+
+/// resume_portfolio(), distributed. The checkpoint may come from a
+/// single-process run or any (workers x jobs) split — the blobs are
+/// byte-identical.
+PortfolioResult resume_portfolio_distributed(const SocOptimizer& optimizer,
+                                             const OptimizerOptions& opts,
+                                             const PortfolioOptions& popts,
+                                             const DistOptions& dopts,
+                                             const std::string& checkpoint_path);
+
+}  // namespace soctest::dist

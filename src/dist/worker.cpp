@@ -1,0 +1,163 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/codec.hpp"
+#include "explore/technique_select.hpp"
+#include "io/soc_text.hpp"
+#include "opt/delta_evaluator.hpp"
+#include "portfolio/checkpoint.hpp"
+#include "portfolio/shard.hpp"
+#include "server/fd_io.hpp"
+
+namespace soctest::dist {
+
+namespace {
+
+using server::LineReader;
+using server::ReadStatus;
+
+bool emit(int fd, const std::string& line) {
+  return server::fd_write_all(fd, line + "\n");
+}
+
+void restore_from_frame(portfolio::LadderShard& shard,
+                        const WorkerInit& init,
+                        const std::string& frame_hex) {
+  const portfolio::ShardFrame frame =
+      portfolio::decode_shard_frame(hex_decode(frame_hex));
+  if (frame.fingerprint != init.fingerprint)
+    throw std::runtime_error("restore frame fingerprint mismatch");
+  if (frame.slot_begin != init.slot_begin || frame.slot_end != init.slot_end)
+    throw std::runtime_error("restore frame covers slots [" +
+                             std::to_string(frame.slot_begin) + ", " +
+                             std::to_string(frame.slot_end) +
+                             "), worker owns [" +
+                             std::to_string(init.slot_begin) + ", " +
+                             std::to_string(init.slot_end) + ")");
+  for (int s = init.slot_begin; s < init.slot_end; ++s)
+    shard.restore(
+        s, frame.slots[static_cast<std::size_t>(s - init.slot_begin)].state);
+}
+
+void serve(int fd, LineReader& reader) {
+  // --- Init: rebuild the coordinator's problem universe. ---
+  std::string line;
+  if (reader.read_line(&line, -1) != ReadStatus::Ok) return;
+  CoordCmd cmd = parse_coord_cmd(line);
+  if (cmd.kind != CoordCmd::Kind::Init)
+    throw std::runtime_error("expected init, got another command");
+  const WorkerInit init = cmd.init;
+
+  std::istringstream soc_in(init.soc_text);
+  const SocSpec soc = read_soc_text(soc_in);
+  ExploreOptions eopts;
+  eopts.max_width = init.explore_max_width;
+  eopts.max_chains = init.explore_max_chains;
+  std::optional<SocOptimizer> optimizer;
+  if (init.select)
+    optimizer.emplace(soc, explore_soc_with_selection(soc, eopts), eopts);
+  else
+    optimizer.emplace(soc, eopts);
+
+  // The fingerprint check front-loads every "different universe" failure
+  // (SOC text drift, option skew between binary versions) before any
+  // search state exists.
+  const std::uint64_t fp =
+      portfolio_fingerprint(*optimizer, init.opts, init.popts);
+  if (fp != init.fingerprint)
+    throw std::runtime_error(
+        "configuration fingerprint mismatch: coordinator sent " +
+        std::to_string(init.fingerprint) + ", worker derived " +
+        std::to_string(fp));
+
+  // Process-local shared caches: same sharing policy as the
+  // single-process run, scoped to this worker's slots. Cache population
+  // order is invisible in the trajectories, so process-local caches keep
+  // the byte-identity invariant.
+  ScheduleMemo memo;
+  ColumnCache columns;
+  ScheduleMemo* m = init.popts.share_caches ? &memo : nullptr;
+  ColumnCache* c = init.popts.share_caches ? &columns : nullptr;
+  portfolio::LadderShard shard(*optimizer, init.opts, init.popts,
+                               init.ladder_size, init.slot_begin,
+                               init.slot_end, m, c);
+  if (!init.restore_frame_hex.empty())
+    restore_from_frame(shard, init, init.restore_frame_hex);
+
+  const auto frame_hex = [&](int sweep) {
+    return hex_encode(portfolio::encode_shard_frame(shard.frame(fp, sweep)));
+  };
+  if (!emit(fd, ready_line(frame_hex(init.start_sweep)))) return;
+
+  // --- Lockstep: sweep -> frame, barrier -> frame, finish -> bye. ---
+  while (true) {
+    switch (reader.read_line(&line, -1)) {
+      case ReadStatus::Ok:
+        break;
+      case ReadStatus::Eof:
+      case ReadStatus::Error:
+        return;  // coordinator gone; nothing useful left to say
+      case ReadStatus::Timeout:
+        continue;  // unreachable with an infinite timeout
+    }
+    cmd = parse_coord_cmd(line);
+    switch (cmd.kind) {
+      case CoordCmd::Kind::Init:
+        throw std::runtime_error("duplicate init");
+      case CoordCmd::Kind::Sweep: {
+        shard.run_sweep();
+        if (!emit(fd, frame_line(cmd.sweep, frame_hex(cmd.sweep + 1))))
+          return;
+        break;
+      }
+      case CoordCmd::Kind::Barrier: {
+        const BarrierCmd& b = cmd.barrier;
+        for (int lo : b.swaps) shard.exchange(lo);
+        for (const auto& adopt : b.adopts)
+          shard.walk(adopt.first).adopt_current(adopt.second);
+        if (!b.temps.empty()) {
+          if (static_cast<int>(b.temps.size()) != init.ladder_size)
+            throw std::runtime_error("barrier retune ladder size mismatch");
+          for (int s = init.slot_begin; s < init.slot_end; ++s)
+            shard.walk(s).set_temperature_bits(
+                b.temps[static_cast<std::size_t>(s)]);
+        }
+        if (!emit(fd, frame_line(b.sweep, frame_hex(b.sweep + 1)))) return;
+        break;
+      }
+      case CoordCmd::Kind::Finish:
+        emit(fd, bye_line(shard.counters()));
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+void run_worker_loop(int fd, std::string carry) {
+  LineReader reader(fd, std::move(carry));
+  try {
+    serve(fd, reader);
+  } catch (const std::exception& e) {
+    // Best effort: the coordinator may already be gone.
+    emit(fd, error_line(e.what()));
+  }
+}
+
+int run_worker(const std::string& socket_path) {
+  const int fd = server::connect_unix(socket_path);
+  if (fd < 0) return 1;
+  run_worker_loop(fd);
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace soctest::dist

@@ -1,0 +1,34 @@
+// Distributed-portfolio worker: one process hosting a contiguous range of
+// ladder slots, driven in lockstep by the coordinator over an NDJSON byte
+// stream (dist/codec.hpp). Two entry points share one loop:
+//
+//   - `soctest --worker <socket>` (run_worker): a worker the coordinator
+//     spawned, connecting back to the coordinator's own listen socket.
+//   - the daemon's {"op": "worker"} stream takeover (run_worker_loop,
+//     called from server/socket.cpp): an attached daemon lends the
+//     connection to the dist protocol, with any already-buffered bytes
+//     carried across.
+//
+// The worker rebuilds the coordinator's problem universe from the init
+// message (SOC text + explore band + options), verifies the configuration
+// fingerprint before touching any state, and then answers sweep/barrier
+// commands with fingerprint-guarded shard frames. Any failure — protocol,
+// fingerprint, evaluation — emits a terminal error event and returns; the
+// coordinator treats it like a crash and respawns.
+#pragma once
+
+#include <string>
+
+namespace soctest::dist {
+
+/// Connects to the coordinator's unix socket and serves one session.
+/// Returns a process exit code (0 = clean finish or coordinator hangup,
+/// 1 = connect failure).
+int run_worker(const std::string& socket_path);
+
+/// Serves the worker protocol over an already-connected fd (not owned;
+/// the caller closes it). `carry` holds bytes already read past the
+/// takeover point. Never throws — failures become error events.
+void run_worker_loop(int fd, std::string carry = {});
+
+}  // namespace soctest::dist

@@ -88,7 +88,10 @@ AnnealWalk::AnnealWalk(const SocOptimizer& optimizer,
 OptimizationResult AnnealWalk::evaluate(const TamArchitecture& arch) {
   if (ev_) {
     ev_->prepare({arch});
-    return ev_->evaluate(arch);
+    // The walk owns its evaluator and drives it from one thread, so the
+    // warm-started construction (anchor patching + cached core order) is
+    // safe here; results are bit-identical to the cold path.
+    return ev_->evaluate_warm(arch);
   }
   ++scratch_stats_.candidates_scheduled;
   return opt_->evaluate(arch, opts_);
@@ -149,7 +152,7 @@ void AnnealWalk::step() {
       }
       drawn_u = u;  // inconclusive: replay the exact test with this u
     }
-    r = ev_->evaluate(cand);
+    r = ev_->evaluate_warm(cand);
     const double delta =
         static_cast<double>(r.test_time - cur_r_.test_time);
     if (drawn_u) {
@@ -182,6 +185,20 @@ void AnnealWalk::exchange(AnnealWalk& a, AnnealWalk& b) {
   std::swap(a.cur_r_, b.cur_r_);
   if (better(a.cur_r_, a.best_)) a.best_ = a.cur_r_;
   if (better(b.cur_r_, b.best_)) b.best_ = b.cur_r_;
+}
+
+void AnnealWalk::adopt_current(const std::vector<int>& widths) {
+  current_.widths = widths;
+  cur_r_ = evaluate(current_);
+  if (better(cur_r_, best_)) best_ = cur_r_;
+}
+
+std::uint64_t AnnealWalk::temperature_bits() const {
+  return double_bits(temperature_);
+}
+
+void AnnealWalk::set_temperature_bits(std::uint64_t bits) {
+  temperature_ = bits_double(bits);
 }
 
 AnnealWalkState AnnealWalk::save_state() const {

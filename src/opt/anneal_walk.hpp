@@ -72,6 +72,20 @@ class AnnealWalk {
   /// configuration, exactly as an accepted move would.
   static void exchange(AnnealWalk& a, AnnealWalk& b);
 
+  /// One half of exchange(), for when the partner lives in another
+  /// process: replaces the current configuration with `widths` and
+  /// re-evaluates it (deterministic, so the result equals the partner's),
+  /// updating the incumbent best exactly like exchange() would. RNG,
+  /// temperature and iteration cursor stay put.
+  void adopt_current(const std::vector<int>& widths);
+
+  /// Exact temperature bits, for shipping across processes (doubles
+  /// round-tripped through text would drift; bits never do).
+  std::uint64_t temperature_bits() const;
+  /// Installs exact temperature bits (adaptive-ladder retuning at sweep
+  /// barriers; the distributed coordinator sends these).
+  void set_temperature_bits(std::uint64_t bits);
+
   AnnealWalkState save_state() const;
   /// Restores a save_state() snapshot: the next step() continues the exact
   /// draw sequence of the saved walk. Re-evaluates the saved architectures

@@ -92,6 +92,19 @@ bool DeltaEvaluator::bound_exceeds(const TamArchitecture& arch,
                                 opts_->capacity_bound);
 }
 
+OptimizationResult DeltaEvaluator::compute_cold(
+    const TamArchitecture& arch) const {
+  std::vector<BusRealization> buses;
+  buses.reserve(static_cast<std::size_t>(arch.num_buses()));
+  for (int v : arch.widths) buses.push_back(column(v).bus);
+  const CostFn cost = [this, &arch](int core, int bus) {
+    return column(arch.widths[static_cast<std::size_t>(bus)])
+        .cost[static_cast<std::size_t>(core)];
+  };
+  scheduled_.fetch_add(1, std::memory_order_relaxed);
+  return opt_->evaluate_with(arch, *opts_, std::move(buses), cost);
+}
+
 OptimizationResult DeltaEvaluator::evaluate(const TamArchitecture& arch) const {
   {
     std::lock_guard<std::mutex> lk(memo_->mu);
@@ -103,20 +116,122 @@ OptimizationResult DeltaEvaluator::evaluate(const TamArchitecture& arch) const {
     }
     memo_->misses.fetch_add(1, std::memory_order_relaxed);
   }
-  std::vector<BusRealization> buses;
-  buses.reserve(static_cast<std::size_t>(arch.num_buses()));
-  for (int v : arch.widths) buses.push_back(column(v).bus);
-  const CostFn cost = [this, &arch](int core, int bus) {
-    return column(arch.widths[static_cast<std::size_t>(bus)])
-        .cost[static_cast<std::size_t>(core)];
-  };
-  scheduled_.fetch_add(1, std::memory_order_relaxed);
-  OptimizationResult r = opt_->evaluate_with(arch, *opts_, std::move(buses),
-                                             cost);
+  OptimizationResult r = compute_cold(arch);
   {
     // A concurrent climb may have raced us to the same key; its result is
     // identical (evaluation is deterministic), so losing the emplace race
     // costs one redundant schedule and nothing else.
+    std::lock_guard<std::mutex> lk(memo_->mu);
+    memo_->results.emplace(arch.widths, r);
+  }
+  return r;
+}
+
+OptimizationResult DeltaEvaluator::evaluate_warm(const TamArchitecture& arch) {
+  {
+    std::lock_guard<std::mutex> lk(memo_->mu);
+    const auto it = memo_->results.find(arch.widths);
+    if (it != memo_->results.end()) {
+      sched_reuse_.fetch_add(1, std::memory_order_relaxed);
+      memo_->hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    memo_->misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  OptimizationResult r;
+  if (opts_->power_budget_mw > 0.0) {
+    // The power scheduler has no prepared entry point; warm starts would
+    // buy nothing — cold path, identical results.
+    r = compute_cold(arch);
+  } else {
+    arch.validate();
+    const int n = opt_->soc().num_cores();
+    const int k = arch.num_buses();
+    const std::size_t ks = static_cast<std::size_t>(k);
+
+    // Patch the anchor matrix when the proposal touches at most two buses
+    // (wire move) and keeps the bus count; rebuild it otherwise (split /
+    // merge change k, so every column shifts position).
+    int changed[2] = {-1, -1};
+    int nchanged = 0;
+    bool patch = anchor_valid_ && anchor_widths_.size() == arch.widths.size();
+    if (patch) {
+      for (int b = 0; b < k; ++b) {
+        if (anchor_widths_[static_cast<std::size_t>(b)] ==
+            arch.widths[static_cast<std::size_t>(b)])
+          continue;
+        if (nchanged == 2) {
+          patch = false;
+          break;
+        }
+        changed[nchanged++] = b;
+      }
+    }
+    if (patch) {
+      for (int j = 0; j < nchanged; ++j) {
+        const int b = changed[j];
+        const CostColumn& col =
+            column(arch.widths[static_cast<std::size_t>(b)]);
+        for (int i = 0; i < n; ++i)
+          anchor_time_[static_cast<std::size_t>(i) * ks +
+                       static_cast<std::size_t>(b)] =
+              col.cost[static_cast<std::size_t>(i)].time;
+        anchor_widths_[static_cast<std::size_t>(b)] =
+            arch.widths[static_cast<std::size_t>(b)];
+      }
+      ++base_.warm_schedule_starts;
+    } else {
+      anchor_time_.assign(static_cast<std::size_t>(n) * ks, 0);
+      for (int b = 0; b < k; ++b) {
+        const CostColumn& col =
+            column(arch.widths[static_cast<std::size_t>(b)]);
+        for (int i = 0; i < n; ++i)
+          anchor_time_[static_cast<std::size_t>(i) * ks +
+                       static_cast<std::size_t>(b)] =
+              col.cost[static_cast<std::size_t>(i)].time;
+      }
+      anchor_widths_ = arch.widths;
+      anchor_valid_ = true;
+    }
+
+    // Construction order: the reference column is the first-argmax widest
+    // bus's times, which depend only on that bus's width VALUE — cache the
+    // sorted order per value instead of re-sorting every proposal.
+    int widest = 0;
+    for (int b = 1; b < k; ++b)
+      if (arch.widths[static_cast<std::size_t>(b)] >
+          arch.widths[static_cast<std::size_t>(widest)])
+        widest = b;
+    const int wv = arch.widths[static_cast<std::size_t>(widest)];
+    auto oit = order_cache_.find(wv);
+    if (oit == order_cache_.end()) {
+      const CostColumn& col = column(wv);
+      std::vector<std::int64_t> ref(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        ref[static_cast<std::size_t>(i)] =
+            col.cost[static_cast<std::size_t>(i)].time;
+      oit = order_cache_
+                .emplace(wv, std::make_shared<const std::vector<int>>(
+                                 schedule_core_order(n, ref)))
+                .first;
+    }
+
+    std::vector<BusRealization> buses;
+    buses.reserve(ks);
+    for (int v : arch.widths) buses.push_back(column(v).bus);
+    const CostFn cost = [this, &arch](int core, int bus) {
+      return column(arch.widths[static_cast<std::size_t>(bus)])
+          .cost[static_cast<std::size_t>(core)];
+    };
+    Schedule s = greedy_schedule_prepared(n, k, anchor_time_, *oit->second,
+                                          cost, GreedyOptions{});
+    scheduled_.fetch_add(1, std::memory_order_relaxed);
+    r = opt_->evaluate_scheduled(arch, *opts_, std::move(buses), cost,
+                                 std::move(s));
+  }
+
+  {
     std::lock_guard<std::mutex> lk(memo_->mu);
     memo_->results.emplace(arch.widths, r);
   }

@@ -131,6 +131,20 @@ class DeltaEvaluator {
   /// deduped neighbourhoods the search batches).
   OptimizationResult evaluate(const TamArchitecture& arch) const;
 
+  /// evaluate() with a warm-started greedy construction: consecutive SA
+  /// proposals differ from the last evaluated architecture in at most two
+  /// bus widths (wire move / split / merge), so the row-major time matrix
+  /// is patched column-wise off the anchor and the construction order is
+  /// served from a per-widest-width cache instead of re-sorting. The
+  /// resulting schedule — and therefore the memoized OptimizationResult —
+  /// is bit-identical to evaluate(): both funnel through
+  /// greedy_schedule_prepared on equal inputs (pinned by tests). NOT
+  /// thread-safe: the anchor is per-evaluator scratch; only a
+  /// single-threaded owner (an AnnealWalk driving its own evaluator) may
+  /// call it. Power-constrained runs fall back to the cold path (the power
+  /// scheduler has no prepared entry point).
+  OptimizationResult evaluate_warm(const TamArchitecture& arch);
+
   // Counter hooks for the search driver (single-threaded phases).
   void note_generated(std::uint64_t n) { base_.candidates_generated += n; }
   void note_pruned(std::uint64_t n) { base_.candidates_pruned += n; }
@@ -143,9 +157,19 @@ class DeltaEvaluator {
 
  private:
   const CostColumn& column(int width) const;  // throws if not prepare()d
+  /// Cold evaluation off the cached columns (no memo interaction).
+  OptimizationResult compute_cold(const TamArchitecture& arch) const;
 
   const SocOptimizer* opt_;
   const OptimizerOptions* opts_;
+  // Warm-start anchor: the width vector and row-major time matrix of the
+  // last warm evaluation, plus construction orders keyed by the widest
+  // bus's width VALUE (the reference column depends on nothing else).
+  bool anchor_valid_ = false;
+  std::vector<int> anchor_widths_;
+  std::vector<std::int64_t> anchor_time_;
+  std::unordered_map<int, std::shared_ptr<const std::vector<int>>>
+      order_cache_;
   // Local lock-free view; shared_ptrs alias the ColumnCache's entries.
   std::vector<std::shared_ptr<const CostColumn>> columns_;
   runtime::SearchStats base_;

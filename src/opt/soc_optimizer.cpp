@@ -218,12 +218,6 @@ OptimizationResult SocOptimizer::evaluate_with(
     std::vector<BusRealization> buses, const CostFn& cost) const {
   arch.validate();
   const int n = soc_->num_cores();
-  OptimizationResult r;
-  r.mode = opts.mode;
-  r.constraint = opts.constraint;
-  r.arch = arch;
-  r.buses = std::move(buses);
-
   const CostTable table = build_cost_table(n, arch.num_buses(), cost);
 
   // Reference ordering: test time on the widest bus (longest first).
@@ -236,22 +230,47 @@ OptimizationResult SocOptimizer::evaluate_with(
   for (int i = 0; i < n; ++i)
     ref[static_cast<std::size_t>(i)] = table.at(i, widest).time;
 
-  const PowerFn power = [&](int core, int bus) {
-    return core_test_power(
-        soc_->cores[static_cast<std::size_t>(core)].spec,
-        table.at(core, bus).choice);
-  };
+  Schedule schedule;
   if (opts.power_budget_mw > 0.0) {
+    const PowerFn power = [&](int core, int bus) {
+      return core_test_power(
+          soc_->cores[static_cast<std::size_t>(core)].spec,
+          table.at(core, bus).choice);
+    };
     PowerScheduleOptions popts;
     popts.power_budget = opts.power_budget_mw;
     const CostFn table_cost = [&](int core, int bus) {
       return table.at(core, bus);
     };
-    r.schedule =
+    schedule =
         power_schedule(n, arch.num_buses(), table_cost, power, ref, popts);
   } else {
-    r.schedule = greedy_schedule(table, ref);
+    schedule = greedy_schedule(table, ref);
   }
+  // Hand the resolved table (not the raw cost source) to the tail: the
+  // peak-power pass re-reads per-entry choices and must stay O(1) a cell.
+  const CostFn resolved = [&table](int core, int bus) {
+    return table.at(core, bus);
+  };
+  return evaluate_scheduled(arch, opts, std::move(buses), resolved,
+                            std::move(schedule));
+}
+
+OptimizationResult SocOptimizer::evaluate_scheduled(
+    const TamArchitecture& arch, const OptimizerOptions& opts,
+    std::vector<BusRealization> buses, const CostFn& cost,
+    Schedule schedule) const {
+  OptimizationResult r;
+  r.mode = opts.mode;
+  r.constraint = opts.constraint;
+  r.arch = arch;
+  r.buses = std::move(buses);
+  r.schedule = std::move(schedule);
+
+  const PowerFn power = [&](int core, int bus) {
+    return core_test_power(soc_->cores[static_cast<std::size_t>(core)].spec,
+                           cost(core, bus).choice);
+  };
   r.test_time = r.schedule.makespan();
   r.data_volume_bits = r.schedule.total_volume_bits;
   r.peak_power_mw = schedule_peak_power(r.schedule, power);

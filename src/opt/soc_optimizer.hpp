@@ -121,6 +121,10 @@ class SocOptimizer {
 
   const SocSpec& soc() const { return *soc_; }
   const std::vector<CoreTable>& tables() const { return tables_; }
+  /// The exploration options the lookup tables were built with — the
+  /// distributed coordinator ships these so workers rebuild identical
+  /// tables from the serialized SOC.
+  const ExploreOptions& explore_options() const { return explore_; }
 
   OptimizationResult optimize(const OptimizerOptions& opts) const;
 
@@ -156,6 +160,16 @@ class SocOptimizer {
                                    const OptimizerOptions& opts,
                                    std::vector<BusRealization> buses,
                                    const CostFn& cost) const;
+  /// Final leg of evaluate_with: takes an already-built schedule and
+  /// derives metrics + wiring from it. The delta evaluator's warm-start
+  /// path builds the schedule itself (patched time matrix, cached core
+  /// order) and funnels through here, so warm and cold evaluations share
+  /// every line of result materialization.
+  OptimizationResult evaluate_scheduled(const TamArchitecture& arch,
+                                        const OptimizerOptions& opts,
+                                        std::vector<BusRealization> buses,
+                                        const CostFn& cost,
+                                        Schedule schedule) const;
   BusAccessCost access_cost(int core, const BusRealization& bus,
                             const OptimizerOptions& opts) const;
   /// Best serialized-delivery compressed choice over v wires (FixedWidth4).

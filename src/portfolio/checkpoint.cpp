@@ -9,7 +9,9 @@ namespace soctest::portfolio {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'O', 'C', 'P', 'F', 'C', 'K', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr char kShardMagic[8] = {'S', 'O', 'C', 'P', 'F', 'S', 'H', '1'};
+constexpr std::uint32_t kShardVersion = 1;
 
 struct Writer {
   std::vector<unsigned char> out;
@@ -85,6 +87,10 @@ std::vector<unsigned char> encode_checkpoint(const PortfolioCheckpoint& ck) {
   if (ck.racer_state == RacerState::Done) w.widths(ck.racer_best_widths);
   w.u32(static_cast<std::uint32_t>(ck.best_by_sweep.size()));
   for (std::int64_t v : ck.best_by_sweep) w.i64(v);
+  w.u32(static_cast<std::uint32_t>(ck.retune_window_attempted.size()));
+  for (std::uint64_t v : ck.retune_window_attempted) w.u64(v);
+  w.u32(static_cast<std::uint32_t>(ck.retune_window_accepted.size()));
+  for (std::uint64_t v : ck.retune_window_accepted) w.u64(v);
   for (const AnnealWalkState& r : ck.replicas) {
     for (std::uint64_t s : r.rng) w.u64(s);
     w.u64(static_cast<std::uint64_t>(r.iteration));
@@ -125,6 +131,18 @@ PortfolioCheckpoint decode_checkpoint(
   ck.best_by_sweep.reserve(sweeps);
   for (std::uint32_t i = 0; i < sweeps; ++i)
     ck.best_by_sweep.push_back(r.i64());
+  const std::uint32_t win_att = r.u32();
+  if (win_att > bytes.size())
+    throw std::runtime_error("portfolio checkpoint: implausible vector");
+  ck.retune_window_attempted.reserve(win_att);
+  for (std::uint32_t i = 0; i < win_att; ++i)
+    ck.retune_window_attempted.push_back(r.u64());
+  const std::uint32_t win_acc = r.u32();
+  if (win_acc > bytes.size())
+    throw std::runtime_error("portfolio checkpoint: implausible vector");
+  ck.retune_window_accepted.reserve(win_acc);
+  for (std::uint32_t i = 0; i < win_acc; ++i)
+    ck.retune_window_accepted.push_back(r.u64());
   if (replicas > bytes.size())
     throw std::runtime_error("portfolio checkpoint: implausible vector");
   ck.replicas.reserve(replicas);
@@ -145,6 +163,89 @@ PortfolioCheckpoint decode_checkpoint(
   if (r.pos != bytes.size())
     throw std::runtime_error("portfolio checkpoint: trailing bytes");
   return ck;
+}
+
+namespace {
+
+void put_walk_state(Writer& w, const AnnealWalkState& st) {
+  for (std::uint64_t s : st.rng) w.u64(s);
+  w.u64(static_cast<std::uint64_t>(st.iteration));
+  w.u64(st.temperature_bits);
+  w.u64(st.proposals);
+  w.widths(st.current_widths);
+  w.widths(st.best_widths);
+}
+
+AnnealWalkState get_walk_state(Reader& r, const char* what) {
+  AnnealWalkState st;
+  for (std::uint64_t& s : st.rng) s = r.u64();
+  const std::uint64_t it = r.u64();
+  if (it >
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+    throw std::runtime_error(std::string(what) + ": implausible iteration");
+  st.iteration = static_cast<std::int64_t>(it);
+  st.temperature_bits = r.u64();
+  st.proposals = r.u64();
+  st.current_widths = r.widths();
+  st.best_widths = r.widths();
+  return st;
+}
+
+}  // namespace
+
+std::vector<unsigned char> encode_shard_frame(const ShardFrame& f) {
+  Writer w;
+  for (char c : kShardMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kShardVersion);
+  w.u64(f.fingerprint);
+  w.u32(static_cast<std::uint32_t>(f.sweep));
+  w.u32(static_cast<std::uint32_t>(f.slot_begin));
+  w.u32(static_cast<std::uint32_t>(f.slot_end));
+  w.u32(static_cast<std::uint32_t>(f.slots.size()));
+  for (const ShardSlotState& s : f.slots) {
+    put_walk_state(w, s.state);
+    w.i64(s.cur_time);
+    w.i64(s.cur_volume);
+    w.i64(s.best_time);
+    w.i64(s.best_volume);
+  }
+  return std::move(w.out);
+}
+
+ShardFrame decode_shard_frame(const std::vector<unsigned char>& bytes) {
+  Reader r{bytes};
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kShardMagic, sizeof kShardMagic) != 0)
+    throw std::runtime_error("shard frame: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != kShardVersion)
+    throw std::runtime_error("shard frame: unsupported version " +
+                             std::to_string(version));
+  ShardFrame f;
+  f.fingerprint = r.u64();
+  f.sweep = static_cast<int>(r.u32());
+  f.slot_begin = static_cast<int>(r.u32());
+  f.slot_end = static_cast<int>(r.u32());
+  const std::uint32_t n = r.u32();
+  if (n > bytes.size())
+    throw std::runtime_error("shard frame: implausible slot count");
+  if (f.slot_begin < 0 || f.slot_end < f.slot_begin ||
+      static_cast<std::uint32_t>(f.slot_end - f.slot_begin) != n)
+    throw std::runtime_error("shard frame: slot range/count mismatch");
+  f.slots.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardSlotState s;
+    s.state = get_walk_state(r, "shard frame");
+    s.cur_time = r.i64();
+    s.cur_volume = r.i64();
+    s.best_time = r.i64();
+    s.best_volume = r.i64();
+    f.slots.push_back(std::move(s));
+  }
+  if (r.pos != bytes.size())
+    throw std::runtime_error("shard frame: trailing bytes");
+  return f;
 }
 
 void write_checkpoint_file(const std::string& path,

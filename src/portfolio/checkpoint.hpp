@@ -9,7 +9,7 @@
 // problem; decode errors and mismatches throw, they never silently
 // mis-resume.
 //
-// Format (version 1, little-endian on every supported target):
+// Format (version 2, little-endian on every supported target):
 //   byte[8]  magic "SOCPFCK1"
 //   u32      version
 //   u64      fingerprint
@@ -19,9 +19,14 @@
 //   u8       racer_state (0 = no racer, 1 = rerun on resume, 2 = done)
 //   widths   racer best (present iff racer_state == 2)
 //   i64[]    best_by_sweep (u32 count prefix)
+//   u64[]    retune_attempted (u32 count prefix; adaptive-ladder window)
+//   u64[]    retune_accepted  (u32 count prefix)
 //   K x      { u64[4] rng, u64 iteration, u64 temperature_bits,
 //              u64 proposals, widths current, widths best }
-// where widths = u32 count + i32 values.
+// where widths = u32 count + i32 values. Version 2 added the adaptive
+// ladder's per-pair retune window counters (empty unless --adaptive-ladder
+// ran); version 1 blobs are rejected — the fingerprint recipe changed with
+// them, so no version-1 blob could resume correctly anyway.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +60,13 @@ struct PortfolioCheckpoint {
   RacerState racer_state = RacerState::None;
   std::vector<int> racer_best_widths;       // valid iff racer_state == Done
   std::vector<std::int64_t> best_by_sweep;  // incumbent after each sweep
+  // Adaptive-ladder retune window: per-adjacent-pair swap attempts and
+  // acceptances since the last retune barrier. Checkpoints can land
+  // mid-window, so a resume must restore these exactly or the next retune
+  // would see a shorter window and re-shape the ladder differently. Empty
+  // when the adaptive ladder is off.
+  std::vector<std::uint64_t> retune_window_attempted;
+  std::vector<std::uint64_t> retune_window_accepted;
   std::vector<AnnealWalkState> replicas;    // ladder order
 };
 
@@ -70,5 +82,39 @@ PortfolioCheckpoint decode_checkpoint(const std::vector<unsigned char>& bytes);
 
 /// Throws std::runtime_error when the file is unreadable or malformed.
 PortfolioCheckpoint read_checkpoint_file(const std::string& path);
+
+/// One ladder slot's state as exchanged between the distributed
+/// coordinator and a worker at a sweep barrier: the full AnnealWalkState
+/// plus the current/best objective metrics the coordinator needs for its
+/// swap decisions and best-by-sweep curve. Workers restoring a frame only
+/// use `state` (results are re-derived deterministically); the metrics are
+/// coordinator-side bookkeeping.
+struct ShardSlotState {
+  AnnealWalkState state;
+  std::int64_t cur_time = 0;
+  std::int64_t cur_volume = 0;
+  std::int64_t best_time = 0;
+  std::int64_t best_volume = 0;
+};
+
+/// Exchange message payload ("SOCPFSH1"): the states of ladder slots
+/// [slot_begin, slot_end) after `sweep` sweeps, guarded by the same
+/// configuration fingerprint as the checkpoint blob. Shipped worker ->
+/// coordinator after every sweep and coordinator -> worker on init/respawn.
+struct ShardFrame {
+  std::uint64_t fingerprint = 0;
+  int sweep = 0;
+  int slot_begin = 0;
+  int slot_end = 0;
+  std::vector<ShardSlotState> slots;  // ladder order, slot_end - slot_begin
+};
+
+std::vector<unsigned char> encode_shard_frame(const ShardFrame& f);
+
+/// Strict decode: throws std::runtime_error on bad magic, unknown version,
+/// truncation, slot-count mismatch, or trailing bytes — a corrupted
+/// exchange frame must abort the distributed run cleanly, never
+/// mis-resume a replica.
+ShardFrame decode_shard_frame(const std::vector<unsigned char>& bytes);
 
 }  // namespace soctest::portfolio

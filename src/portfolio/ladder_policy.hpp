@@ -1,0 +1,90 @@
+// Shared temperature-ladder policy for the replica-exchange portfolio. The
+// single-process driver (portfolio.cpp) and the distributed coordinator
+// (src/dist) must take EXACTLY the same swap and retune decisions — both
+// call these pure functions on the same inputs, so the decisions are equal
+// by construction, not by careful duplication. Temperatures cross process
+// boundaries as raw IEEE-754 bits (AnnealWalkState::temperature_bits), so
+// the doubles fed in here are bitwise identical on every side.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "portfolio/counter_rng.hpp"
+
+namespace soctest::portfolio {
+
+inline std::uint64_t double_bits(double d) {
+  std::uint64_t u;
+  static_assert(sizeof u == sizeof d);
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+inline double bits_double(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof d);
+  return d;
+}
+
+/// Standard replica-exchange acceptance between the (hot, cold) =
+/// (lo, lo + 1) ladder pair: always swap when it moves the better
+/// configuration toward the colder slot, otherwise with probability
+/// exp((1/T_lo - 1/T_hi)(E_lo - E_hi)) on a counter-based draw keyed on
+/// (seed, sweep, pair) — a pure function, so any process sharding takes
+/// the identical decision.
+inline bool swap_decision(double t_hot, double t_cold, std::int64_t e_hot,
+                          std::int64_t e_cold, std::uint64_t seed, int sweep,
+                          int pair) {
+  const double th = std::max(t_hot, 1e-300);
+  const double tc = std::max(t_cold, 1e-300);
+  const double eh = static_cast<double>(e_hot);
+  const double ec = static_cast<double>(e_cold);
+  const double arg = (1.0 / th - 1.0 / tc) * (eh - ec);
+  if (arg >= 0.0) return true;
+  return swap_uniform(seed, static_cast<std::uint64_t>(sweep),
+                      static_cast<std::uint64_t>(pair)) < std::exp(arg);
+}
+
+/// Adaptive-ladder retune window and acceptance target (~23-40% per
+/// adjacent pair, the classic parallel-tempering sweet spot).
+constexpr int kRetuneEverySweeps = 8;
+constexpr double kRetuneAcceptLow = 0.23;
+constexpr double kRetuneAcceptHigh = 0.40;
+/// Gap adjustment exponent: a retune moves the colder slot's temperature a
+/// quarter of the way (in log space) toward / away from its hotter
+/// neighbour.
+constexpr double kRetuneStep = 0.25;
+
+/// Deterministic ladder retune from per-pair swap acceptance observed over
+/// the last window. `temps` holds the CURRENT temperature of every ladder
+/// slot (ladder order); pairs are processed in ascending order, each
+/// adjusting the colder slot T[p+1]: too few acceptances narrow the gap
+/// (raise T[p+1] toward T[p]), too many widen it. T[p+1] never exceeds
+/// T[p], so the ladder stays monotone. Inputs come from deterministic swap
+/// counters, so every process computes the identical new ladder; the swap
+/// RNG itself is untouched (it is keyed on (seed, sweep, pair), never on
+/// temperatures).
+inline void retune_ladder(std::vector<double>& temps,
+                          const std::vector<std::uint64_t>& attempted,
+                          const std::vector<std::uint64_t>& accepted) {
+  for (std::size_t p = 0; p + 1 < temps.size(); ++p) {
+    if (p >= attempted.size() || attempted[p] == 0) continue;
+    const double t_hot = temps[p];
+    const double t_cold = temps[p + 1];
+    if (!(t_hot > 0.0) || !(t_cold > 0.0)) continue;
+    const double rate = static_cast<double>(accepted[p]) /
+                        static_cast<double>(attempted[p]);
+    const double gap = std::max(t_hot / t_cold, 1.0);
+    if (rate < kRetuneAcceptLow) {
+      temps[p + 1] = std::min(t_hot, t_cold * std::pow(gap, kRetuneStep));
+    } else if (rate > kRetuneAcceptHigh) {
+      temps[p + 1] = t_cold / std::pow(gap, kRetuneStep);
+    }
+  }
+}
+
+}  // namespace soctest::portfolio

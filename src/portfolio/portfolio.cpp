@@ -12,14 +12,16 @@
 #include "opt/delta_evaluator.hpp"
 #include "portfolio/checkpoint.hpp"
 #include "portfolio/counter_rng.hpp"
+#include "portfolio/ladder_policy.hpp"
+#include "portfolio/shard.hpp"
 #include "runtime/fnv.hpp"
-#include "runtime/parallel_for.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace soctest {
 namespace {
 
+using portfolio::LadderShard;
 using portfolio::PortfolioCheckpoint;
 using portfolio::RacerState;
 
@@ -28,49 +30,11 @@ bool better(const OptimizationResult& a, const OptimizationResult& b) {
   return a.data_volume_bits < b.data_volume_bits;
 }
 
-int resolved_replicas(const OptimizerOptions& opts,
-                      const PortfolioOptions& popts) {
-  if (popts.replicas > 0) return popts.replicas;
-  if (opts.portfolio > 0) return opts.portfolio;
-  return 4;
-}
-
-double ladder_temperature(const PortfolioOptions& popts, int slot) {
-  return popts.initial_temperature *
-         std::pow(popts.temperature_ratio, slot);
-}
-
-/// Standard replica-exchange acceptance between the (hot, cold) =
-/// (lo, lo + 1) ladder pair: always swap when it moves the better
-/// configuration toward the colder slot, otherwise with probability
-/// exp((1/T_lo - 1/T_hi)(E_lo - E_hi)) on a counter-based draw.
-bool swap_accepted(const AnnealWalk& hot, const AnnealWalk& cold,
-                   std::uint64_t seed, int sweep, int pair) {
-  const double t_hot = std::max(hot.temperature(), 1e-300);
-  const double t_cold = std::max(cold.temperature(), 1e-300);
-  const double e_hot =
-      static_cast<double>(hot.current_result().test_time);
-  const double e_cold =
-      static_cast<double>(cold.current_result().test_time);
-  const double arg = (1.0 / t_hot - 1.0 / t_cold) * (e_hot - e_cold);
-  if (arg >= 0.0) return true;
-  return portfolio::swap_uniform(seed, static_cast<std::uint64_t>(sweep),
-                                 static_cast<std::uint64_t>(pair)) <
-         std::exp(arg);
-}
-
-std::uint64_t double_key_bits(double d) {
-  std::uint64_t u;
-  static_assert(sizeof u == sizeof d);
-  std::memcpy(&u, &d, sizeof u);
-  return u;
-}
-
 PortfolioResult run_portfolio(const SocOptimizer& optimizer,
                               const OptimizerOptions& opts,
                               const PortfolioOptions& popts,
                               const PortfolioCheckpoint* restore) {
-  const int K = resolved_replicas(opts, popts);
+  const int K = portfolio::resolved_ladder_size(opts, popts);
   if (K < 1) throw std::invalid_argument("portfolio: replicas must be >= 1");
   if (popts.proposals_per_sweep < 1)
     throw std::invalid_argument("portfolio: proposals_per_sweep must be >= 1");
@@ -92,20 +56,10 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
       popts.columns ? popts.columns
                     : (popts.share_caches ? &shared_columns : nullptr);
 
-  // Each replica needs iterations for the FULL budget up front (the walk
-  // refuses to step past its own horizon); resume may extend this.
-  std::vector<std::unique_ptr<AnnealWalk>> walks;
-  walks.reserve(static_cast<std::size_t>(K));
-  for (int r = 0; r < K; ++r) {
-    AnnealingOptions a;
-    a.iterations = static_cast<std::int64_t>(popts.sweeps) *
-                   popts.proposals_per_sweep;
-    a.initial_temperature = ladder_temperature(popts, r);
-    a.cooling = popts.cooling;
-    a.seed = portfolio::replica_seed(popts.seed, r);
-    walks.push_back(
-        std::make_unique<AnnealWalk>(optimizer, opts, a, memo, columns));
-  }
+  // The whole ladder as one local shard spanning [0, K): the identical
+  // construction a distributed worker uses for its sub-range, so the
+  // single-process run is the W = 1 case of the same machinery.
+  LadderShard shard(optimizer, opts, popts, K, 0, K, memo, columns);
 
   PortfolioStats stats;
   stats.replicas = K;
@@ -116,14 +70,27 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
   std::future<OptimizationResult> racer;
   bool racer_pending = false;
 
+  // Adaptive-ladder retune window: per-adjacent-pair swap attempts and
+  // acceptances since the last retune barrier. Restored from checkpoints
+  // (which can land mid-window) so a resume replays retunes exactly.
+  std::vector<std::uint64_t> win_att(K > 0 ? K - 1 : 0, 0);
+  std::vector<std::uint64_t> win_acc(K > 0 ? K - 1 : 0, 0);
+
   if (restore) {
     if (static_cast<int>(restore->replicas.size()) != K)
       throw std::runtime_error("portfolio: checkpoint replica count " +
                                std::to_string(restore->replicas.size()) +
                                " != configured " + std::to_string(K));
     for (int r = 0; r < K; ++r)
-      walks[static_cast<std::size_t>(r)]->restore_state(
-          restore->replicas[static_cast<std::size_t>(r)]);
+      shard.restore(r, restore->replicas[static_cast<std::size_t>(r)]);
+    for (std::size_t p = 0;
+         p < win_att.size() && p < restore->retune_window_attempted.size();
+         ++p)
+      win_att[p] = restore->retune_window_attempted[p];
+    for (std::size_t p = 0;
+         p < win_acc.size() && p < restore->retune_window_accepted.size();
+         ++p)
+      win_acc[p] = restore->retune_window_accepted[p];
     first_sweep = restore->sweeps_completed;
     stats.sweeps_completed = restore->sweeps_completed;
     stats.swaps_attempted = restore->swaps_attempted;
@@ -173,7 +140,12 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
     if (racer_state == RacerState::Done)
       ck.racer_best_widths = racer_result.arch.widths;
     ck.best_by_sweep = stats.best_by_sweep;
-    for (const auto& w : walks) ck.replicas.push_back(w->save_state());
+    if (popts.adaptive_ladder) {
+      ck.retune_window_attempted = win_att;
+      ck.retune_window_accepted = win_acc;
+    }
+    for (int r = 0; r < K; ++r)
+      ck.replicas.push_back(shard.walk(r).save_state());
     try {
       portfolio::write_checkpoint_file(popts.checkpoint_path, ck);
     } catch (const portfolio::CheckpointIoError& e) {
@@ -195,13 +167,7 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
         stats.proposals_total + sweep_proposals > popts.max_proposals)
       break;
 
-    // One sweep: every replica advances proposals_per_sweep iterations,
-    // in parallel. Trajectories are independent (own RNG, own evaluator
-    // view); the shared caches only change who computes a result first.
-    runtime::parallel_for(0, K, [&](std::int64_t r) {
-      AnnealWalk& w = *walks[static_cast<std::size_t>(r)];
-      for (int p = 0; p < popts.proposals_per_sweep; ++p) w.step();
-    });
+    shard.run_sweep();
     stats.proposals_total += sweep_proposals;
 
     if (popts.swaps_enabled) {
@@ -209,20 +175,41 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
       // absolute sweep index so a resumed run replays them exactly.
       for (int lo = sweep % 2; lo + 1 < K; lo += 2) {
         ++stats.swaps_attempted;
-        AnnealWalk& hot = *walks[static_cast<std::size_t>(lo)];
-        AnnealWalk& cold = *walks[static_cast<std::size_t>(lo + 1)];
-        if (swap_accepted(hot, cold, popts.seed, sweep, lo)) {
+        AnnealWalk& hot = shard.walk(lo);
+        AnnealWalk& cold = shard.walk(lo + 1);
+        const bool accept = portfolio::swap_decision(
+            hot.temperature(), cold.temperature(),
+            hot.current_result().test_time, cold.current_result().test_time,
+            popts.seed, sweep, lo);
+        if (popts.adaptive_ladder) ++win_att[static_cast<std::size_t>(lo)];
+        if (accept) {
           AnnealWalk::exchange(hot, cold);
           ++stats.swaps_accepted;
+          if (popts.adaptive_ladder) ++win_acc[static_cast<std::size_t>(lo)];
         }
       }
     }
 
-    std::int64_t sweep_best = walks[0]->best().test_time;
+    if (popts.adaptive_ladder && popts.swaps_enabled &&
+        (sweep + 1) % portfolio::kRetuneEverySweeps == 0) {
+      // Retune at the barrier from the window's deterministic counters,
+      // then reset the window. Every sharding of the ladder observes the
+      // same counters at the same sweep, so the new ladder is identical
+      // everywhere.
+      std::vector<double> temps(static_cast<std::size_t>(K));
+      for (int r = 0; r < K; ++r)
+        temps[static_cast<std::size_t>(r)] = shard.walk(r).temperature();
+      portfolio::retune_ladder(temps, win_att, win_acc);
+      for (int r = 0; r < K; ++r)
+        shard.walk(r).set_temperature_bits(
+            portfolio::double_bits(temps[static_cast<std::size_t>(r)]));
+      std::fill(win_att.begin(), win_att.end(), 0);
+      std::fill(win_acc.begin(), win_acc.end(), 0);
+    }
+
+    std::int64_t sweep_best = shard.walk(0).best().test_time;
     for (int r = 1; r < K; ++r)
-      sweep_best = std::min(sweep_best,
-                            walks[static_cast<std::size_t>(r)]->best()
-                                .test_time);
+      sweep_best = std::min(sweep_best, shard.walk(r).best().test_time);
     stats.best_by_sweep.push_back(sweep_best);
     stats.sweeps_completed = sweep + 1;
 
@@ -254,10 +241,10 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
   PortfolioResult out;
   out.replica_best.reserve(static_cast<std::size_t>(K));
   for (int r = 0; r < K; ++r) {
-    const AnnealWalk& w = *walks[static_cast<std::size_t>(r)];
+    const AnnealWalk& w = shard.walk(r);
     out.replica_best.push_back(w.best());
     PortfolioReplicaReport rep;
-    rep.initial_temperature = ladder_temperature(popts, r);
+    rep.initial_temperature = portfolio::ladder_temperature(popts, r);
     rep.proposals = w.proposals();
     rep.best_test_time = w.best().test_time;
     stats.replica.push_back(rep);
@@ -277,7 +264,7 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
   // Flush the evaluator counters of every walk, plus the portfolio's own
   // counters for THIS invocation (a resume adds only its own segment to
   // the process-wide totals; PortfolioStats carries the cumulative view).
-  for (const auto& w : walks) runtime::add_search_counters(w->counters());
+  runtime::add_search_counters(shard.counters());
   runtime::SearchStats ps;
   ps.portfolio_proposals = stats.proposals_total - restored_proposals;
   ps.portfolio_swaps_attempted =
@@ -306,17 +293,18 @@ std::uint64_t portfolio_fingerprint(const SocOptimizer& optimizer,
   h.i32(static_cast<std::int32_t>(opts.constraint));
   h.i32(opts.max_buses);
   h.i32(opts.max_search_steps);
-  h.u64(double_key_bits(opts.power_budget_mw));
+  h.u64(portfolio::double_bits(opts.power_budget_mw));
   h.boolean(opts.incremental);
   h.boolean(opts.capacity_bound);
-  h.i32(resolved_replicas(opts, popts));
+  h.i32(portfolio::resolved_ladder_size(opts, popts));
   h.i32(popts.proposals_per_sweep);
-  h.u64(double_key_bits(popts.initial_temperature));
-  h.u64(double_key_bits(popts.temperature_ratio));
-  h.u64(double_key_bits(popts.cooling));
+  h.u64(portfolio::double_bits(popts.initial_temperature));
+  h.u64(portfolio::double_bits(popts.temperature_ratio));
+  h.u64(portfolio::double_bits(popts.cooling));
   h.u64(popts.seed);
   h.boolean(popts.swaps_enabled);
   h.boolean(popts.race_hill_climb);
+  h.boolean(popts.adaptive_ladder);
   return h.digest_a() ^ (h.digest_b() << 1);
 }
 

@@ -78,6 +78,14 @@ struct PortfolioOptions {
   /// caches; its result is merged at the end, after the replicas, so the
   /// outcome never depends on timing.
   bool race_hill_climb = true;
+  /// Retune the temperature ladder every portfolio::kRetuneEverySweeps
+  /// sweeps from the observed per-pair swap acceptance, targeting the
+  /// classic ~23-40% parallel-tempering band. Applied only at sweep
+  /// barriers from deterministic counters, so single-process and every
+  /// (workers x jobs) sharding compute the identical new ladder; the swap
+  /// RNG is keyed on (seed, sweep, pair) and is untouched. Off by default;
+  /// part of the resume fingerprint (it changes the trajectory).
+  bool adaptive_ladder = false;
   /// Hard deterministic cap on total proposal slots (iterations summed
   /// over replicas); a sweep that would exceed it does not start. 0 = off.
   std::uint64_t max_proposals = 0;
@@ -126,6 +134,14 @@ struct PortfolioStats {
   /// The run itself completed — callers decide how loudly to fail (the
   /// CLI exits 3, the server sends a "checkpoint_io" protocol error).
   std::string checkpoint_error;
+  /// Distributed-run observability (zero for single-process runs): worker
+  /// process count, how many workers were respawned after a crash, and the
+  /// wall-clock split between setup (spawn + init frames) and the sweep
+  /// loop. Purely observational — never part of the fingerprint.
+  int dist_workers = 0;
+  int dist_respawns = 0;
+  double dist_setup_seconds = 0.0;
+  double dist_sweep_seconds = 0.0;
   std::vector<PortfolioReplicaReport> replica;  // ladder order
   /// Best-known makespan after each sweep (cumulative proposals for sweep
   /// s = (s + 1) * replicas * proposals_per_sweep) — the bench's

@@ -1,0 +1,128 @@
+#include "portfolio/shard.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "portfolio/counter_rng.hpp"
+#include "runtime/parallel_for.hpp"
+
+namespace soctest::portfolio {
+
+double ladder_temperature(const PortfolioOptions& popts, int slot) {
+  return popts.initial_temperature *
+         std::pow(popts.temperature_ratio, slot);
+}
+
+int resolved_ladder_size(const OptimizerOptions& opts,
+                         const PortfolioOptions& popts) {
+  if (popts.replicas > 0) return popts.replicas;
+  if (opts.portfolio > 0) return opts.portfolio;
+  return 4;
+}
+
+std::pair<int, int> shard_slot_range(int ladder_size, int workers,
+                                     int worker) {
+  if (workers < 1 || worker < 0 || worker >= workers)
+    throw std::invalid_argument("shard_slot_range: bad worker index");
+  const std::int64_t k = ladder_size;
+  const std::int64_t w = workers;
+  return {static_cast<int>(k * worker / w),
+          static_cast<int>(k * (worker + 1) / w)};
+}
+
+LadderShard::LadderShard(const SocOptimizer& optimizer,
+                         const OptimizerOptions& opts,
+                         const PortfolioOptions& popts, int ladder_size,
+                         int slot_begin, int slot_end, ScheduleMemo* memo,
+                         ColumnCache* columns)
+    : begin_(slot_begin),
+      end_(slot_end),
+      proposals_per_sweep_(popts.proposals_per_sweep) {
+  if (slot_begin < 0 || slot_end > ladder_size || slot_begin >= slot_end)
+    throw std::invalid_argument("LadderShard: bad slot range [" +
+                                std::to_string(slot_begin) + ", " +
+                                std::to_string(slot_end) + ") of " +
+                                std::to_string(ladder_size));
+  walks_.reserve(static_cast<std::size_t>(size()));
+  for (int r = slot_begin; r < slot_end; ++r) {
+    // Each walk needs iterations for the FULL budget up front (it refuses
+    // to step past its own horizon); resume may extend this.
+    AnnealingOptions a;
+    a.iterations = static_cast<std::int64_t>(popts.sweeps) *
+                   popts.proposals_per_sweep;
+    a.initial_temperature = ladder_temperature(popts, r);
+    a.cooling = popts.cooling;
+    a.seed = replica_seed(popts.seed, r);
+    walks_.push_back(
+        std::make_unique<AnnealWalk>(optimizer, opts, a, memo, columns));
+  }
+}
+
+void LadderShard::run_sweep() {
+  runtime::parallel_for(0, size(), [&](std::int64_t i) {
+    AnnealWalk& w = *walks_[static_cast<std::size_t>(i)];
+    for (int p = 0; p < proposals_per_sweep_; ++p) w.step();
+  });
+}
+
+AnnealWalk& LadderShard::walk(int slot) {
+  if (slot < begin_ || slot >= end_)
+    throw std::out_of_range("LadderShard: slot " + std::to_string(slot) +
+                            " not in [" + std::to_string(begin_) + ", " +
+                            std::to_string(end_) + ")");
+  return *walks_[static_cast<std::size_t>(slot - begin_)];
+}
+
+const AnnealWalk& LadderShard::walk(int slot) const {
+  return const_cast<LadderShard*>(this)->walk(slot);
+}
+
+ShardSlotState LadderShard::slot_state(int slot) const {
+  const AnnealWalk& w = walk(slot);
+  ShardSlotState s;
+  s.state = w.save_state();
+  s.cur_time = w.current_result().test_time;
+  s.cur_volume = w.current_result().data_volume_bits;
+  s.best_time = w.best().test_time;
+  s.best_volume = w.best().data_volume_bits;
+  return s;
+}
+
+ShardFrame LadderShard::frame(std::uint64_t fingerprint, int sweep) const {
+  ShardFrame f;
+  f.fingerprint = fingerprint;
+  f.sweep = sweep;
+  f.slot_begin = begin_;
+  f.slot_end = end_;
+  f.slots.reserve(static_cast<std::size_t>(size()));
+  for (int r = begin_; r < end_; ++r) f.slots.push_back(slot_state(r));
+  return f;
+}
+
+void LadderShard::restore(int slot, const AnnealWalkState& st) {
+  walk(slot).restore_state(st);
+}
+
+runtime::SearchStats LadderShard::counters() const {
+  runtime::SearchStats total;
+  for (const auto& w : walks_) {
+    const runtime::SearchStats s = w->counters();
+    total.candidates_generated += s.candidates_generated;
+    total.candidates_pruned += s.candidates_pruned;
+    total.candidates_scheduled += s.candidates_scheduled;
+    total.schedule_reuse_hits += s.schedule_reuse_hits;
+    total.column_reuse_hits += s.column_reuse_hits;
+    total.columns_computed += s.columns_computed;
+    total.anneal_proposals += s.anneal_proposals;
+    total.anneal_memo_hits += s.anneal_memo_hits;
+    total.anneal_bound_pruned += s.anneal_bound_pruned;
+    total.warm_schedule_starts += s.warm_schedule_starts;
+    total.portfolio_proposals += s.portfolio_proposals;
+    total.portfolio_swaps_attempted += s.portfolio_swaps_attempted;
+    total.portfolio_swaps_accepted += s.portfolio_swaps_accepted;
+  }
+  return total;
+}
+
+}  // namespace soctest::portfolio

@@ -1,0 +1,82 @@
+// LadderShard: the ladder slots [slot_begin, slot_end) of a K-replica
+// temperature ladder, owned and stepped by one process. The single-process
+// portfolio runs one shard spanning [0, K); the distributed portfolio gives
+// each worker process its own contiguous slot range over process-local
+// caches. Slot indices are always LADDER-GLOBAL, so temperatures
+// (ladder_temperature(popts, slot)) and RNG streams (replica_seed(seed,
+// slot)) are identical no matter which process hosts a slot — the
+// foundation of the byte-identical (workers x jobs) invariant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "opt/anneal_walk.hpp"
+#include "portfolio/checkpoint.hpp"
+#include "portfolio/portfolio.hpp"
+
+namespace soctest::portfolio {
+
+class LadderShard {
+ public:
+  /// Builds the walks for slots [slot_begin, slot_end) of a
+  /// `ladder_size`-slot ladder; each gets its ladder temperature, its
+  /// replica seed, and the full sweeps x proposals_per_sweep iteration
+  /// budget. `optimizer` must outlive the shard; `memo`/`columns` are the
+  /// process-local shared caches (null = private per walk).
+  LadderShard(const SocOptimizer& optimizer, const OptimizerOptions& opts,
+              const PortfolioOptions& popts, int ladder_size, int slot_begin,
+              int slot_end, ScheduleMemo* memo, ColumnCache* columns);
+
+  int slot_begin() const { return begin_; }
+  int slot_end() const { return end_; }
+  int size() const { return end_ - begin_; }
+
+  /// One sweep: every local slot advances proposals_per_sweep iterations,
+  /// in parallel on the process pool. Trajectories are independent (own
+  /// RNG, own evaluator view); shared caches only change who computes a
+  /// result first.
+  void run_sweep();
+
+  /// Walk of LADDER-GLOBAL slot `slot` (must be local to this shard).
+  AnnealWalk& walk(int slot);
+  const AnnealWalk& walk(int slot) const;
+
+  /// Exchange between local slots (lo, lo + 1) — both must be local.
+  void exchange(int lo) { AnnealWalk::exchange(walk(lo), walk(lo + 1)); }
+
+  /// Snapshot of one local slot (state + current/best metrics).
+  ShardSlotState slot_state(int slot) const;
+  /// Full frame for slots [slot_begin, slot_end) after `sweep` sweeps.
+  ShardFrame frame(std::uint64_t fingerprint, int sweep) const;
+
+  /// Restores one local slot from a checkpointed walk state.
+  void restore(int slot, const AnnealWalkState& st);
+
+  /// Summed evaluator counters of every local walk.
+  runtime::SearchStats counters() const;
+
+ private:
+  int begin_;
+  int end_;
+  int proposals_per_sweep_;
+  std::vector<std::unique_ptr<AnnealWalk>> walks_;  // index slot - begin_
+};
+
+/// Ladder slot r's starting temperature (relative to its start makespan):
+/// initial_temperature * temperature_ratio^r.
+double ladder_temperature(const PortfolioOptions& popts, int slot);
+
+/// Ladder size K: popts.replicas, else opts.portfolio, else 4.
+int resolved_ladder_size(const OptimizerOptions& opts,
+                         const PortfolioOptions& popts);
+
+/// The coordinator's slot partition: worker w of W gets
+/// [w * K / W, (w + 1) * K / W) — contiguous, near-equal, and a pure
+/// function of (K, W), so respawns recompute the identical split.
+std::pair<int, int> shard_slot_range(int ladder_size, int workers,
+                                     int worker);
+
+}  // namespace soctest::portfolio

@@ -22,6 +22,7 @@ std::atomic<std::uint64_t> g_search_computed{0};
 std::atomic<std::uint64_t> g_anneal_proposals{0};
 std::atomic<std::uint64_t> g_anneal_memo_hits{0};
 std::atomic<std::uint64_t> g_anneal_bound_pruned{0};
+std::atomic<std::uint64_t> g_warm_schedule_starts{0};
 std::atomic<std::uint64_t> g_portfolio_proposals{0};
 std::atomic<std::uint64_t> g_portfolio_swaps_attempted{0};
 std::atomic<std::uint64_t> g_portfolio_swaps_accepted{0};
@@ -63,6 +64,8 @@ void add_search_counters(const SearchStats& s) {
   g_anneal_memo_hits.fetch_add(s.anneal_memo_hits, std::memory_order_relaxed);
   g_anneal_bound_pruned.fetch_add(s.anneal_bound_pruned,
                                   std::memory_order_relaxed);
+  g_warm_schedule_starts.fetch_add(s.warm_schedule_starts,
+                                   std::memory_order_relaxed);
   g_portfolio_proposals.fetch_add(s.portfolio_proposals,
                                   std::memory_order_relaxed);
   g_portfolio_swaps_attempted.fetch_add(s.portfolio_swaps_attempted,
@@ -81,6 +84,7 @@ void reset_search_counters() {
   g_anneal_proposals.store(0, std::memory_order_relaxed);
   g_anneal_memo_hits.store(0, std::memory_order_relaxed);
   g_anneal_bound_pruned.store(0, std::memory_order_relaxed);
+  g_warm_schedule_starts.store(0, std::memory_order_relaxed);
   g_portfolio_proposals.store(0, std::memory_order_relaxed);
   g_portfolio_swaps_attempted.store(0, std::memory_order_relaxed);
   g_portfolio_swaps_accepted.store(0, std::memory_order_relaxed);
@@ -109,6 +113,8 @@ RuntimeStats collect_stats() {
       g_anneal_memo_hits.load(std::memory_order_relaxed);
   s.search.anneal_bound_pruned =
       g_anneal_bound_pruned.load(std::memory_order_relaxed);
+  s.search.warm_schedule_starts =
+      g_warm_schedule_starts.load(std::memory_order_relaxed);
   s.search.portfolio_proposals =
       g_portfolio_proposals.load(std::memory_order_relaxed);
   s.search.portfolio_swaps_attempted =
@@ -150,6 +156,7 @@ std::string stats_to_json(const RuntimeStats& s) {
      << ", \"anneal_proposals\": " << s.search.anneal_proposals
      << ", \"anneal_memo_hits\": " << s.search.anneal_memo_hits
      << ", \"anneal_bound_pruned\": " << s.search.anneal_bound_pruned
+     << ", \"warm_schedule_starts\": " << s.search.warm_schedule_starts
      << ", \"portfolio_proposals\": " << s.search.portfolio_proposals
      << ", \"portfolio_swaps_attempted\": "
      << s.search.portfolio_swaps_attempted

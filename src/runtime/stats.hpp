@@ -61,6 +61,12 @@ struct SearchStats {
   std::uint64_t anneal_proposals = 0;
   std::uint64_t anneal_memo_hits = 0;
   std::uint64_t anneal_bound_pruned = 0;
+  /// Warm-started greedy constructions: schedules built by patching the
+  /// previous candidate's cost matrix (<= 2 bus widths changed) and reusing
+  /// its cached core order instead of rebuilding both from scratch. The
+  /// schedule itself is identical either way — this counts saved setup work,
+  /// not approximations.
+  std::uint64_t warm_schedule_starts = 0;
   /// Replica-exchange portfolio (src/portfolio): proposal slots consumed
   /// (replicas x proposals_per_sweep per sweep) and adjacent-pair exchange
   /// attempts/acceptances. Zero unless a portfolio ran.

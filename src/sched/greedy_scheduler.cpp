@@ -17,11 +17,17 @@ std::int64_t max_load(const std::vector<std::int64_t>& loads) {
 // Best-improvement local search over core-to-bus assignments: move a core
 // off a critical bus, or swap a critical core with one on another bus.
 // Classic unrelated-machines refinement; keeps the paper's greedy
-// construction as the starting point.
+// construction as the starting point. `time` is row-major
+// (time[i * num_buses + b]) so the warm-start path can hand over its cached
+// matrix without reshaping.
 void refine(int num_cores, int num_buses,
-            const std::vector<std::vector<std::int64_t>>& time,
-            std::vector<int>& assign, std::vector<std::int64_t>& loads,
-            int max_passes) {
+            const std::vector<std::int64_t>& time, std::vector<int>& assign,
+            std::vector<std::int64_t>& loads, int max_passes) {
+  const std::size_t k = static_cast<std::size_t>(num_buses);
+  const auto t = [&](int core, int bus) {
+    return time[static_cast<std::size_t>(core) * k +
+                static_cast<std::size_t>(bus)];
+  };
   for (int pass = 0; pass < max_passes; ++pass) {
     const std::int64_t makespan = max_load(loads);
     std::int64_t best_new = makespan;
@@ -30,12 +36,10 @@ void refine(int num_cores, int num_buses,
     for (int i = 0; i < num_cores; ++i) {
       const int a = assign[static_cast<std::size_t>(i)];
       if (loads[static_cast<std::size_t>(a)] != makespan) continue;
-      const std::int64_t t_ia = time[static_cast<std::size_t>(i)]
-                                    [static_cast<std::size_t>(a)];
+      const std::int64_t t_ia = t(i, a);
       for (int b = 0; b < num_buses; ++b) {
         if (b == a) continue;
-        const std::int64_t t_ib = time[static_cast<std::size_t>(i)]
-                                      [static_cast<std::size_t>(b)];
+        const std::int64_t t_ib = t(i, b);
         // Move i: a loses t_ia, b gains t_ib.
         {
           std::int64_t new_ms = 0;
@@ -55,10 +59,8 @@ void refine(int num_cores, int num_buses,
         // Swap i with each core j on bus b.
         for (int j = 0; j < num_cores; ++j) {
           if (assign[static_cast<std::size_t>(j)] != b) continue;
-          const std::int64_t t_jb = time[static_cast<std::size_t>(j)]
-                                        [static_cast<std::size_t>(b)];
-          const std::int64_t t_ja = time[static_cast<std::size_t>(j)]
-                                        [static_cast<std::size_t>(a)];
+          const std::int64_t t_jb = t(j, b);
+          const std::int64_t t_ja = t(j, a);
           std::int64_t new_ms = 0;
           for (int x = 0; x < num_buses; ++x) {
             std::int64_t l = loads[static_cast<std::size_t>(x)];
@@ -78,19 +80,12 @@ void refine(int num_cores, int num_buses,
     if (move_core < 0) return;  // local optimum
 
     const int a = assign[static_cast<std::size_t>(move_core)];
-    loads[static_cast<std::size_t>(a)] -=
-        time[static_cast<std::size_t>(move_core)][static_cast<std::size_t>(a)];
-    loads[static_cast<std::size_t>(move_to)] +=
-        time[static_cast<std::size_t>(move_core)]
-            [static_cast<std::size_t>(move_to)];
+    loads[static_cast<std::size_t>(a)] -= t(move_core, a);
+    loads[static_cast<std::size_t>(move_to)] += t(move_core, move_to);
     assign[static_cast<std::size_t>(move_core)] = move_to;
     if (swap_with >= 0) {
-      loads[static_cast<std::size_t>(move_to)] -=
-          time[static_cast<std::size_t>(swap_with)]
-              [static_cast<std::size_t>(move_to)];
-      loads[static_cast<std::size_t>(a)] +=
-          time[static_cast<std::size_t>(swap_with)]
-              [static_cast<std::size_t>(a)];
+      loads[static_cast<std::size_t>(move_to)] -= t(swap_with, move_to);
+      loads[static_cast<std::size_t>(a)] += t(swap_with, a);
       assign[static_cast<std::size_t>(swap_with)] = a;
     }
   }
@@ -263,33 +258,59 @@ Schedule greedy_schedule(const CostTable& table,
   if (static_cast<int>(ref_time.size()) != num_cores)
     throw std::invalid_argument("greedy_schedule: ref_time size mismatch");
 
-  // Plain time matrix for the hot refinement loops.
-  std::vector<std::vector<std::int64_t>> time(
-      static_cast<std::size_t>(num_cores),
-      std::vector<std::int64_t>(static_cast<std::size_t>(num_buses), 0));
+  // Plain row-major time matrix for the hot construction/refinement loops.
+  std::vector<std::int64_t> time;
+  time.reserve(static_cast<std::size_t>(num_cores) *
+               static_cast<std::size_t>(num_buses));
   for (int i = 0; i < num_cores; ++i)
-    for (int b = 0; b < num_buses; ++b)
-      time[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)] =
-          table.at(i, b).time;
+    for (int b = 0; b < num_buses; ++b) time.push_back(table.at(i, b).time);
 
+  const std::vector<int> order = schedule_core_order(num_cores, ref_time);
+  const CostFn cost = [&table](int core, int bus) {
+    return table.at(core, bus);
+  };
+  return greedy_schedule_prepared(num_cores, num_buses, time, order, cost,
+                                  opts);
+}
+
+std::vector<int> schedule_core_order(
+    int num_cores, const std::vector<std::int64_t>& ref_time) {
+  if (static_cast<int>(ref_time.size()) != num_cores)
+    throw std::invalid_argument("schedule_core_order: ref_time size mismatch");
   std::vector<int> order(static_cast<std::size_t>(num_cores));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
     return ref_time[static_cast<std::size_t>(a)] >
            ref_time[static_cast<std::size_t>(b)];
   });
+  return order;
+}
+
+Schedule greedy_schedule_prepared(int num_cores, int num_buses,
+                                  const std::vector<std::int64_t>& time,
+                                  const std::vector<int>& order,
+                                  const CostFn& cost,
+                                  const GreedyOptions& opts) {
+  if (num_cores < 0 || num_buses < 1)
+    throw std::invalid_argument("greedy_schedule: bad sizes");
+  if (time.size() != static_cast<std::size_t>(num_cores) *
+                         static_cast<std::size_t>(num_buses))
+    throw std::invalid_argument("greedy_schedule: time matrix size mismatch");
+  if (static_cast<int>(order.size()) != num_cores)
+    throw std::invalid_argument("greedy_schedule: order size mismatch");
+  const std::size_t k = static_cast<std::size_t>(num_buses);
 
   // Paper step 4: longest first, least makespan increase.
   std::vector<int> assign(static_cast<std::size_t>(num_cores), 0);
-  std::vector<std::int64_t> loads(static_cast<std::size_t>(num_buses), 0);
+  std::vector<std::int64_t> loads(k, 0);
   for (int core : order) {
     const std::int64_t makespan = max_load(loads);
+    const std::size_t row = static_cast<std::size_t>(core) * k;
     int best_bus = -1;
     std::int64_t best_makespan = 0, best_finish = 0;
     for (int b = 0; b < num_buses; ++b) {
-      const std::int64_t finish =
-          loads[static_cast<std::size_t>(b)] +
-          time[static_cast<std::size_t>(core)][static_cast<std::size_t>(b)];
+      const std::int64_t finish = loads[static_cast<std::size_t>(b)] +
+                                  time[row + static_cast<std::size_t>(b)];
       const std::int64_t new_makespan = std::max(makespan, finish);
       const bool better =
           best_bus < 0 || new_makespan < best_makespan ||
@@ -304,7 +325,7 @@ Schedule greedy_schedule(const CostTable& table,
     }
     assign[static_cast<std::size_t>(core)] = best_bus;
     loads[static_cast<std::size_t>(best_bus)] +=
-        time[static_cast<std::size_t>(core)][static_cast<std::size_t>(best_bus)];
+        time[row + static_cast<std::size_t>(best_bus)];
   }
 
   if (opts.refine_passes > 0)
@@ -312,10 +333,10 @@ Schedule greedy_schedule(const CostTable& table,
 
   // Materialize the schedule: cores on each bus in construction order.
   Schedule s;
-  s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
+  s.bus_finish.assign(k, 0);
   for (int core : order) {
     const int b = assign[static_cast<std::size_t>(core)];
-    const BusAccessCost& c = table.at(core, b);
+    const BusAccessCost c = cost(core, b);
     ScheduleEntry e;
     e.core = core;
     e.bus = b;

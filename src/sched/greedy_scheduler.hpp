@@ -89,4 +89,23 @@ Schedule greedy_schedule(const CostTable& table,
                          const std::vector<std::int64_t>& ref_time,
                          const GreedyOptions& opts = {});
 
+/// The construction order greedy_schedule uses internally: core indices
+/// stable-sorted by ref_time descending. Exposed so callers that reuse a
+/// reference column across candidates (opt/DeltaEvaluator's warm path) can
+/// cache the sorted order instead of re-sorting per evaluation.
+std::vector<int> schedule_core_order(int num_cores,
+                                     const std::vector<std::int64_t>& ref_time);
+
+/// greedy_schedule with its two O(n log n)/O(n k) inputs precomputed: a
+/// row-major time matrix `time[i*num_buses+b]` and the construction order
+/// from schedule_core_order. `cost` is only consulted when materializing the
+/// final schedule (volume/choice per placed core). Both greedy_schedule
+/// overloads route through here, so for equal inputs the output is identical
+/// by construction — the warm-start path's bit-identity rests on that.
+Schedule greedy_schedule_prepared(int num_cores, int num_buses,
+                                  const std::vector<std::int64_t>& time,
+                                  const std::vector<int>& order,
+                                  const CostFn& cost,
+                                  const GreedyOptions& opts = {});
+
 }  // namespace soctest

@@ -1,0 +1,129 @@
+#include "server/fd_io.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace soctest::server {
+
+namespace {
+
+bool fill_addr(sockaddr_un* addr, const std::string& path) {
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool fd_write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int listen_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  sockaddr_un addr{};
+  if (!fill_addr(&addr, path)) {
+    ::close(fd);
+    return -1;
+  }
+  ::unlink(path.c_str());  // replace a stale socket from a killed daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "bind %s: %s\n", path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 64) != 0) {
+    std::fprintf(stderr, "listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  sockaddr_un addr{};
+  if (!fill_addr(&addr, path)) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "connect %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+ReadStatus LineReader::read_line(std::string* out, int timeout_ms) {
+  using clock = std::chrono::steady_clock;
+  const bool bounded = timeout_ms >= 0;
+  const clock::time_point deadline =
+      clock::now() + std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  char chunk[4096];
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return ReadStatus::Ok;
+    }
+    int wait = -1;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - clock::now());
+      if (left.count() <= 0) return ReadStatus::Timeout;
+      wait = static_cast<int>(left.count());
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, wait);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::Error;
+    }
+    if (pr == 0) return ReadStatus::Timeout;
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::Error;
+    }
+    if (n == 0) return ReadStatus::Eof;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string LineReader::take_buffered() { return std::exchange(buf_, {}); }
+
+}  // namespace soctest::server

@@ -1,0 +1,61 @@
+// Low-level unix-socket + line-framing helpers shared by the daemon
+// transport (server/socket.cpp) and the distributed portfolio
+// (src/dist/): blocking full writes, CLOEXEC listen/connect, and a
+// poll-driven buffered line reader that distinguishes EOF (peer gone —
+// the coordinator's crash signal) from a timeout (peer alive but slow)
+// without ever blocking forever.
+//
+// Every fd created here is O_CLOEXEC: the distributed coordinator forks
+// worker processes, and a worker inheriting its siblings' socket fds
+// would keep those connections "open" after the sibling died, masking
+// exactly the EOF the crash detection depends on.
+#pragma once
+
+#include <string>
+
+namespace soctest::server {
+
+/// Writes all of `data` (MSG_NOSIGNAL, EINTR-safe); false on a hard
+/// error (peer gone).
+bool fd_write_all(int fd, const std::string& data);
+
+/// Creates, binds, and listens on a unix stream socket (CLOEXEC, backlog
+/// 64, stale socket file replaced). Returns the listening fd, or -1 with
+/// a message on stderr.
+int listen_unix(const std::string& path);
+
+/// Connects to a unix stream socket (CLOEXEC). Returns the fd, or -1
+/// with a message on stderr.
+int connect_unix(const std::string& path);
+
+enum class ReadStatus {
+  Ok,       // one complete line delivered
+  Eof,      // peer closed; no complete line remained buffered
+  Timeout,  // no complete line within the budget; buffered bytes kept
+  Error,    // hard read/poll failure
+};
+
+/// Buffered newline-framed reader over a socket fd (not owned). A line
+/// already buffered is returned without touching the fd, so interleaving
+/// with other readers of the same buffer is safe as long as the carry is
+/// handed over (see take_buffered / the carry constructor).
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::string carry = {})
+      : fd_(fd), buf_(std::move(carry)) {}
+
+  /// Reads until one complete line (without the '\n') is available.
+  /// timeout_ms < 0 blocks indefinitely; 0 polls. On Timeout partial
+  /// data stays buffered for the next call.
+  ReadStatus read_line(std::string* out, int timeout_ms);
+
+  /// Surrenders the unconsumed buffer (bytes read past the last returned
+  /// line) — for handing this connection to another framing layer.
+  std::string take_buffered();
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace soctest::server

@@ -142,6 +142,10 @@ Request parse_request(const std::string& line) {
     req.op = Request::Op::Ping;
   } else if (op == "shutdown") {
     req.op = Request::Op::Shutdown;
+  } else if (op == "history") {
+    req.op = Request::Op::History;
+  } else if (op == "worker") {
+    req.op = Request::Op::Worker;
   } else {
     bad("unknown op '" + op + "'");
   }
@@ -206,6 +210,16 @@ std::string pong_line(const std::string& id) {
 
 std::string shutdown_line(const std::string& id) {
   return head("shutdown", id) + "}";
+}
+
+std::string history_entry_line(const std::string& id,
+                               const std::string& entry) {
+  return head("history", id) + ", \"entry\": " + entry + "}";
+}
+
+std::string history_end_line(const std::string& id, std::size_t count) {
+  return head("history_end", id) + ", \"count\": " + std::to_string(count) +
+         "}";
 }
 
 namespace {

@@ -6,6 +6,10 @@
 //   {"op":"optimize","id":"r2","soc_text":"soc mini\ncore a\n...","width":8}
 //   {"op":"cancel","id":"r1"}
 //   {"op":"stats"}       {"op":"ping"}       {"op":"shutdown"}
+//   {"op":"history"}     replay recent result lines (bounded ring)
+//   {"op":"worker"}      turn this connection into a distributed-portfolio
+//                        worker channel (socket transport only; the NDJSON
+//                        exchange that follows is defined in dist/codec.hpp)
 //
 // optimize fields (beyond op/id; unknown keys are a bad_request —
 // validation is strict, a typo never silently falls back to a default):
@@ -43,6 +47,10 @@
 //                                event (the in-memory run is intact)
 //                 internal       anything else (bug or resource failure)
 //   stats/pong/shutdown   acks for the housekeeping ops
+//   history     one per replayed entry: {"entry":<stored result line>},
+//               oldest first, then a terminal history_end {"count":N}. The
+//               ring is bounded (ServerOptions::history, default 64) — old
+//               entries drop silently.
 #pragma once
 
 #include <cstdint>
@@ -87,7 +95,7 @@ struct OptimizeRequest {
 };
 
 struct Request {
-  enum class Op { Optimize, Cancel, Stats, Ping, Shutdown };
+  enum class Op { Optimize, Cancel, Stats, Ping, Shutdown, History, Worker };
   Op op = Op::Ping;
   std::string id;
   OptimizeRequest optimize;  // meaningful when op == Optimize
@@ -116,6 +124,10 @@ std::string error_line(const std::string& id, const std::string& code,
                        const std::string& message);
 std::string pong_line(const std::string& id);
 std::string shutdown_line(const std::string& id);
+/// `entry` is a pre-rendered stored response line, embedded verbatim.
+std::string history_entry_line(const std::string& id,
+                               const std::string& entry);
+std::string history_end_line(const std::string& id, std::size_t count);
 
 /// The per-request cache-evidence object embedded in result lines: the
 /// session identity, this request's memo/column counter deltas, and the

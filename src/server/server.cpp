@@ -69,6 +69,18 @@ void ServerCore::release_slot() {
   jobs_cv_.notify_all();
 }
 
+void ServerCore::record_history(const std::string& line) {
+  if (opts_.history == 0) return;
+  std::lock_guard<std::mutex> lock(history_m_);
+  history_.push_back(line);
+  while (history_.size() > opts_.history) history_.pop_front();
+}
+
+std::vector<std::string> ServerCore::history_snapshot() const {
+  std::lock_guard<std::mutex> lock(history_m_);
+  return {history_.begin(), history_.end()};
+}
+
 void ServerCore::finish_job(const std::string& id, bool failed) {
   std::lock_guard<std::mutex> lock(jobs_m_);
   jobs_.erase(id);
@@ -134,6 +146,22 @@ std::shared_future<void> ServerCore::handle_line(const std::string& line,
       emit(cancel_ack_line(req.id));
       return {};
     }
+    case Request::Op::History: {
+      // Replay under no lock held during emission: emit() may block on a
+      // slow client, and the ring must stay writable for running jobs.
+      const std::vector<std::string> entries = history_snapshot();
+      for (const std::string& e : entries)
+        emit(history_entry_line(req.id, e));
+      emit(history_end_line(req.id, entries.size()));
+      return {};
+    }
+    case Request::Op::Worker:
+      // Taking over the byte stream is a transport-level act; only the
+      // socket listener can do it (it intercepts the op before this
+      // point). Reaching here means a transport that cannot.
+      emit(error_line(req.id, "bad_request",
+                      "worker op requires a socket transport"));
+      return {};
     case Request::Op::Optimize:
       break;
   }
@@ -264,10 +292,12 @@ void ServerCore::run_job(const std::shared_ptr<Job>& job, OptimizeRequest req,
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - t0)
             .count();
-    emit(result_line(
+    const std::string result = result_line(
         job->id, warm, elapsed_ms,
         session_evidence_json(*session, before, after, sessions_.stats()),
-        compact_json(result_to_json(r, *session->soc))));
+        compact_json(result_to_json(r, *session->soc)));
+    emit(result);
+    record_history(result);
     failed = false;
     if (!checkpoint_error.empty()) {
       // The run is intact and its result was just delivered; persistence

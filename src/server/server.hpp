@@ -20,12 +20,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "server/protocol.hpp"
 #include "server/session_cache.hpp"
@@ -43,6 +45,9 @@ struct ServerOptions {
   /// requests beyond the bound queue (FIFO by slot wakeup) and remain
   /// cancellable while queued.
   int max_active = 0;
+  /// Result lines kept for the history op (bounded ring, oldest dropped);
+  /// 0 disables recording.
+  std::size_t history = 64;
 };
 
 class ServerCore {
@@ -67,6 +72,10 @@ class ServerCore {
   runtime::CacheStats session_stats() const { return sessions_.stats(); }
   int active_jobs() const;
 
+  /// Snapshot of the recent-result ring, oldest first (exposed for tests;
+  /// the history op replays exactly these lines).
+  std::vector<std::string> history_snapshot() const;
+
  private:
   struct Job {
     std::string id;
@@ -80,6 +89,7 @@ class ServerCore {
   void acquire_slot(const Job& job);
   void release_slot();
   void finish_job(const std::string& id, bool failed);
+  void record_history(const std::string& line);
 
   ServerOptions opts_;
   SessionCache sessions_;
@@ -91,6 +101,9 @@ class ServerCore {
   int running_ = 0;                  // jobs holding a compute slot
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+
+  mutable std::mutex history_m_;
+  std::deque<std::string> history_;  // recent result lines, oldest first
 };
 
 /// --batch mode: drains `dir` of request files through the same

@@ -2,7 +2,6 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,94 +13,57 @@
 #include <thread>
 #include <vector>
 
+#include "dist/worker.hpp"
+#include "server/fd_io.hpp"
 #include "server/server.hpp"
 
 namespace soctest::server {
 
 namespace {
 
-/// Writes all of `data`; returns false on a hard error (peer gone — the
-/// response is dropped, the job itself already completed server-side).
-bool write_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool bind_path(int fd, const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
-    return false;
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());  // replace a stale socket from a killed daemon
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    std::fprintf(stderr, "bind %s: %s\n", path.c_str(),
-                 std::strerror(errno));
-    return false;
-  }
-  return true;
-}
-
-bool connect_path(int fd, const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
-    return false;
-  }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    std::fprintf(stderr, "connect %s: %s\n", path.c_str(),
-                 std::strerror(errno));
-    return false;
-  }
-  return true;
-}
-
 void serve_connection(int fd, ServerCore& core) {
   auto write_m = std::make_shared<std::mutex>();
   const EmitFn emit = [fd, write_m](const std::string& line) {
     std::lock_guard<std::mutex> lock(*write_m);
-    write_all(fd, line + "\n");
+    fd_write_all(fd, line + "\n");
   };
 
   std::vector<std::shared_future<void>> pending;
-  std::string buf;
-  char chunk[4096];
+  LineReader reader(fd);
   bool open = true;
   while (open && !core.shutdown_requested()) {
-    pollfd p{fd, POLLIN, 0};
-    const int pr = ::poll(&p, 1, 100);  // timeout: re-check shutdown
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      break;
+    std::string line;
+    // Short timeout so a quiet connection still notices server shutdown.
+    switch (reader.read_line(&line, 100)) {
+      case ReadStatus::Timeout:
+        continue;
+      case ReadStatus::Eof:
+      case ReadStatus::Error:
+        open = false;  // EOF / error: stop reading, drain in-flight jobs
+        continue;
+      case ReadStatus::Ok:
+        break;
     }
-    if (pr == 0) continue;
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n <= 0) {
-      open = false;  // EOF / error: stop reading, drain in-flight jobs
-      break;
+    if (line.empty()) continue;
+
+    // The worker op hands the whole byte stream over to the distributed
+    // portfolio: from here on the connection speaks the dist exchange
+    // protocol, with any already-buffered bytes carried across.
+    bool is_worker = false;
+    try {
+      is_worker = parse_request(line).op == Request::Op::Worker;
+    } catch (const ProtocolError&) {
+      // Not parseable here; handle_line will emit the error response.
     }
-    buf.append(chunk, static_cast<std::size_t>(n));
-    std::size_t nl;
-    while ((nl = buf.find('\n')) != std::string::npos) {
-      std::string line = buf.substr(0, nl);
-      buf.erase(0, nl + 1);
-      if (line.empty()) continue;
-      std::shared_future<void> fut = core.handle_line(line, emit);
-      if (fut.valid()) pending.push_back(std::move(fut));
+    if (is_worker) {
+      for (auto& fut : pending) fut.get();
+      dist::run_worker_loop(fd, reader.take_buffered());
+      ::close(fd);
+      return;
     }
+
+    std::shared_future<void> fut = core.handle_line(line, emit);
+    if (fut.valid()) pending.push_back(std::move(fut));
   }
   // The client may have half-closed after sending its requests; every
   // in-flight job still delivers its terminal event before we hang up.
@@ -112,21 +74,8 @@ void serve_connection(int fd, ServerCore& core) {
 }  // namespace
 
 int serve_unix(const std::string& path, ServerCore& core) {
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
-    return 1;
-  }
-  if (!bind_path(listen_fd, path)) {
-    ::close(listen_fd);
-    return 1;
-  }
-  if (::listen(listen_fd, 64) != 0) {
-    std::fprintf(stderr, "listen %s: %s\n", path.c_str(),
-                 std::strerror(errno));
-    ::close(listen_fd);
-    return 1;
-  }
+  const int listen_fd = listen_unix(path);
+  if (listen_fd < 0) return 1;
   std::fprintf(stderr, "soctest: serving on %s\n", path.c_str());
 
   std::vector<std::thread> connections;
@@ -138,7 +87,7 @@ int serve_unix(const std::string& path, ServerCore& core) {
       break;
     }
     if (pr == 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
     connections.emplace_back([fd, &core] { serve_connection(fd, core); });
   }
@@ -151,15 +100,8 @@ int serve_unix(const std::string& path, ServerCore& core) {
 }
 
 int run_client(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
-    return 1;
-  }
-  if (!connect_path(fd, path)) {
-    ::close(fd);
-    return 1;
-  }
+  const int fd = connect_unix(path);
+  if (fd < 0) return 1;
 
   bool stdin_open = true;
   char chunk[4096];
@@ -197,7 +139,7 @@ int run_client(const std::string& path) {
         ::shutdown(fd, SHUT_WR);  // tell the server we are done sending
         continue;
       }
-      if (!write_all(fd, std::string(chunk, static_cast<std::size_t>(n)))) {
+      if (!fd_write_all(fd, std::string(chunk, static_cast<std::size_t>(n)))) {
         std::fprintf(stderr, "write: server connection lost\n");
         ::close(fd);
         return 1;

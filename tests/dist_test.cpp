@@ -1,0 +1,443 @@
+// Distributed sharded replica-exchange portfolio (src/dist) pins:
+//   - byte-identity: every (workers x worker-jobs) split of the ladder —
+//     including attached daemon workers — produces member-for-member the
+//     identical PortfolioResult the single-process run does;
+//   - crash resilience: a worker SIGKILLed mid-run is respawned from the
+//     authoritative barrier states and the final report is unchanged;
+//   - checkpoint interchange: blobs written by distributed runs resume in
+//     single-process runs and vice versa, at any worker count;
+//   - strict exchange framing: corrupted frames and malformed protocol
+//     lines are rejected with a clean error, never mis-applied;
+//   - the slot partition and the NDJSON codec round-trip exactly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "dist/codec.hpp"
+#include "dist/coordinator.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "portfolio/checkpoint.hpp"
+#include "portfolio/ladder_policy.hpp"
+#include "portfolio/portfolio.hpp"
+#include "portfolio/shard.hpp"
+#include "server/fd_io.hpp"
+#include "server/server.hpp"
+#include "server/socket.hpp"
+#include "socgen/d695.hpp"
+
+#ifndef SOCTEST_CLI_BINARY
+#error "dist_test needs SOCTEST_CLI_BINARY (the worker binary to spawn)"
+#endif
+
+namespace soctest {
+namespace {
+
+void expect_identical(const OptimizationResult& a, const OptimizationResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.arch.widths, b.arch.widths);
+  EXPECT_EQ(a.test_time, b.test_time);
+  EXPECT_EQ(a.data_volume_bits, b.data_volume_bits);
+  ASSERT_EQ(a.schedule.entries.size(), b.schedule.entries.size());
+  for (std::size_t i = 0; i < a.schedule.entries.size(); ++i) {
+    EXPECT_EQ(a.schedule.entries[i].core, b.schedule.entries[i].core) << i;
+    EXPECT_EQ(a.schedule.entries[i].bus, b.schedule.entries[i].bus) << i;
+    EXPECT_EQ(a.schedule.entries[i].start, b.schedule.entries[i].start) << i;
+    EXPECT_EQ(a.schedule.entries[i].end, b.schedule.entries[i].end) << i;
+  }
+  EXPECT_EQ(a.schedule.bus_finish, b.schedule.bus_finish);
+  EXPECT_EQ(a.wiring.onchip_wires, b.wiring.onchip_wires);
+  EXPECT_EQ(a.wiring.ate_channels, b.wiring.ate_channels);
+  EXPECT_EQ(a.wiring.decompressors, b.wiring.decompressors);
+}
+
+void expect_same_portfolio(const PortfolioResult& a, const PortfolioResult& b,
+                           const std::string& label) {
+  SCOPED_TRACE(label);
+  expect_identical(a.best, b.best, "best");
+  ASSERT_EQ(a.replica_best.size(), b.replica_best.size());
+  for (std::size_t r = 0; r < a.replica_best.size(); ++r)
+    expect_identical(a.replica_best[r], b.replica_best[r],
+                     "replica " + std::to_string(r));
+  EXPECT_EQ(a.stats.sweeps_completed, b.stats.sweeps_completed);
+  EXPECT_EQ(a.stats.proposals_total, b.stats.proposals_total);
+  EXPECT_EQ(a.stats.swaps_attempted, b.stats.swaps_attempted);
+  EXPECT_EQ(a.stats.swaps_accepted, b.stats.swaps_accepted);
+  EXPECT_EQ(a.stats.best_by_sweep, b.stats.best_by_sweep);
+  EXPECT_EQ(a.stats.hill_climb_won, b.stats.hill_climb_won);
+  ASSERT_EQ(a.stats.replica.size(), b.stats.replica.size());
+  for (std::size_t r = 0; r < a.stats.replica.size(); ++r) {
+    EXPECT_EQ(a.stats.replica[r].proposals, b.stats.replica[r].proposals);
+    EXPECT_EQ(a.stats.replica[r].best_test_time,
+              b.stats.replica[r].best_test_time);
+  }
+}
+
+const SocOptimizer& d695_optimizer() {
+  static const SocSpec soc = make_d695();
+  static const SocOptimizer opt(soc, [] {
+    ExploreOptions e;
+    e.max_width = 16;
+    e.max_chains = 64;
+    return e;
+  }());
+  return opt;
+}
+
+OptimizerOptions d695_options() {
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  return o;
+}
+
+PortfolioOptions small_portfolio(std::uint64_t seed = 7) {
+  PortfolioOptions p;
+  p.replicas = 4;
+  p.sweeps = 5;
+  p.proposals_per_sweep = 20;
+  p.seed = seed;
+  return p;
+}
+
+/// DistOptions matching d695_optimizer()'s explore universe, spawning the
+/// real CLI binary as the worker process.
+dist::DistOptions d695_dist(int workers, int worker_jobs = 1) {
+  dist::DistOptions d;
+  d.workers = workers;
+  d.worker_jobs = worker_jobs;
+  d.worker_cmd = SOCTEST_CLI_BINARY;
+  d.explore_max_width = 16;
+  d.explore_max_chains = 64;
+  return d;
+}
+
+std::string temp_path(const std::string& stem) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + stem + "-" + info->test_suite_name() + "-" +
+         info->name() + ".bin";
+}
+
+TEST(DistShard, SlotRangePartitionsTheLadder) {
+  for (int K = 1; K <= 9; ++K) {
+    for (int W = 1; W <= K; ++W) {
+      int covered = 0;
+      int prev_end = 0;
+      for (int w = 0; w < W; ++w) {
+        const auto r = portfolio::shard_slot_range(K, W, w);
+        EXPECT_EQ(r.first, prev_end) << "K=" << K << " W=" << W << " w=" << w;
+        EXPECT_LE(r.second - r.first, K / W + 1);
+        EXPECT_GE(r.second - r.first, K / W);
+        covered += r.second - r.first;
+        prev_end = r.second;
+      }
+      EXPECT_EQ(prev_end, K);
+      EXPECT_EQ(covered, K);
+    }
+  }
+}
+
+TEST(DistCodec, HexRoundTripsAndRejectsGarbage) {
+  const std::vector<unsigned char> bytes = {0x00, 0xff, 0x5a, 0x01};
+  EXPECT_EQ(dist::hex_encode(bytes), "00ff5a01");
+  EXPECT_EQ(dist::hex_decode("00ff5a01"), bytes);
+  EXPECT_TRUE(dist::hex_decode("").empty());
+  EXPECT_THROW(dist::hex_decode("abc"), std::runtime_error);   // odd length
+  EXPECT_THROW(dist::hex_decode("zz"), std::runtime_error);    // non-hex
+}
+
+TEST(DistCodec, InitLineRoundTripsEveryTrajectoryField) {
+  dist::WorkerInit in;
+  in.soc_text = "soc tiny\ncore a\n  inputs 1\nend\n";
+  in.select = true;
+  in.explore_max_width = 24;
+  in.explore_max_chains = 99;
+  in.opts.width = 17;
+  in.opts.mode = ArchMode::PerTam;
+  in.opts.constraint = ConstraintMode::AteChannels;
+  in.opts.max_buses = 5;
+  in.opts.max_search_steps = 321;
+  in.opts.power_budget_mw = 12.625;
+  in.opts.incremental = false;
+  in.opts.capacity_bound = false;
+  in.opts.portfolio = 6;
+  in.popts.replicas = 6;
+  in.popts.sweeps = 11;
+  in.popts.proposals_per_sweep = 13;
+  in.popts.initial_temperature = 0.1;  // not exactly representable: bits
+  in.popts.temperature_ratio = 0.3;    // must round-trip, not text
+  in.popts.cooling = 0.997;
+  in.popts.seed = 0xffffffffffffffffULL;  // full u64, past the 2^53 cliff
+  in.popts.swaps_enabled = false;
+  in.popts.share_caches = false;
+  in.popts.race_hill_climb = false;
+  in.popts.adaptive_ladder = true;
+  in.ladder_size = 6;
+  in.slot_begin = 2;
+  in.slot_end = 4;
+  in.start_sweep = 3;
+  in.fingerprint = 0x123456789abcdef0ULL;
+  in.restore_frame_hex = "00ff";
+
+  const dist::CoordCmd cmd = dist::parse_coord_cmd(dist::init_line(in));
+  ASSERT_EQ(cmd.kind, dist::CoordCmd::Kind::Init);
+  const dist::WorkerInit& out = cmd.init;
+  EXPECT_EQ(out.soc_text, in.soc_text);
+  EXPECT_EQ(out.select, in.select);
+  EXPECT_EQ(out.explore_max_width, in.explore_max_width);
+  EXPECT_EQ(out.explore_max_chains, in.explore_max_chains);
+  EXPECT_EQ(out.opts.width, in.opts.width);
+  EXPECT_EQ(out.opts.mode, in.opts.mode);
+  EXPECT_EQ(out.opts.constraint, in.opts.constraint);
+  EXPECT_EQ(out.opts.max_buses, in.opts.max_buses);
+  EXPECT_EQ(out.opts.max_search_steps, in.opts.max_search_steps);
+  EXPECT_EQ(portfolio::double_bits(out.opts.power_budget_mw),
+            portfolio::double_bits(in.opts.power_budget_mw));
+  EXPECT_EQ(out.opts.incremental, in.opts.incremental);
+  EXPECT_EQ(out.opts.capacity_bound, in.opts.capacity_bound);
+  EXPECT_EQ(out.opts.portfolio, in.opts.portfolio);
+  EXPECT_EQ(out.popts.replicas, in.popts.replicas);
+  EXPECT_EQ(out.popts.sweeps, in.popts.sweeps);
+  EXPECT_EQ(out.popts.proposals_per_sweep, in.popts.proposals_per_sweep);
+  EXPECT_EQ(portfolio::double_bits(out.popts.initial_temperature),
+            portfolio::double_bits(in.popts.initial_temperature));
+  EXPECT_EQ(portfolio::double_bits(out.popts.temperature_ratio),
+            portfolio::double_bits(in.popts.temperature_ratio));
+  EXPECT_EQ(portfolio::double_bits(out.popts.cooling),
+            portfolio::double_bits(in.popts.cooling));
+  EXPECT_EQ(out.popts.seed, in.popts.seed);
+  EXPECT_EQ(out.popts.swaps_enabled, in.popts.swaps_enabled);
+  EXPECT_EQ(out.popts.share_caches, in.popts.share_caches);
+  EXPECT_EQ(out.popts.race_hill_climb, in.popts.race_hill_climb);
+  EXPECT_EQ(out.popts.adaptive_ladder, in.popts.adaptive_ladder);
+  EXPECT_EQ(out.ladder_size, in.ladder_size);
+  EXPECT_EQ(out.slot_begin, in.slot_begin);
+  EXPECT_EQ(out.slot_end, in.slot_end);
+  EXPECT_EQ(out.start_sweep, in.start_sweep);
+  EXPECT_EQ(out.fingerprint, in.fingerprint);
+  EXPECT_EQ(out.restore_frame_hex, in.restore_frame_hex);
+}
+
+TEST(DistCodec, BarrierAndEventsRoundTrip) {
+  dist::BarrierCmd b;
+  b.sweep = 9;
+  b.swaps = {0, 2};
+  b.adopts.emplace_back(3, std::vector<int>{4, 5, 7});
+  b.adopts.emplace_back(4, std::vector<int>{16});
+  b.temps = {1ULL, 0ULL, 0xffffffffffffffffULL};
+  const dist::CoordCmd cmd = dist::parse_coord_cmd(dist::barrier_line(b));
+  ASSERT_EQ(cmd.kind, dist::CoordCmd::Kind::Barrier);
+  EXPECT_EQ(cmd.barrier.sweep, b.sweep);
+  EXPECT_EQ(cmd.barrier.swaps, b.swaps);
+  EXPECT_EQ(cmd.barrier.adopts, b.adopts);
+  EXPECT_EQ(cmd.barrier.temps, b.temps);
+
+  EXPECT_EQ(dist::parse_coord_cmd(dist::sweep_line(4)).kind,
+            dist::CoordCmd::Kind::Sweep);
+  EXPECT_EQ(dist::parse_coord_cmd(dist::sweep_line(4)).sweep, 4);
+  EXPECT_EQ(dist::parse_coord_cmd(dist::finish_line()).kind,
+            dist::CoordCmd::Kind::Finish);
+
+  const dist::WorkerEvent ready =
+      dist::parse_worker_event(dist::ready_line("ab12"));
+  EXPECT_EQ(ready.kind, dist::WorkerEvent::Kind::Ready);
+  EXPECT_EQ(ready.frame_hex, "ab12");
+  const dist::WorkerEvent frame =
+      dist::parse_worker_event(dist::frame_line(6, "cd"));
+  EXPECT_EQ(frame.kind, dist::WorkerEvent::Kind::Frame);
+  EXPECT_EQ(frame.sweep, 6);
+  EXPECT_EQ(frame.frame_hex, "cd");
+
+  runtime::SearchStats s;
+  s.candidates_generated = 1;
+  s.anneal_proposals = 0xfffffffffffffff0ULL;
+  s.portfolio_swaps_accepted = 13;
+  const dist::WorkerEvent bye = dist::parse_worker_event(dist::bye_line(s));
+  EXPECT_EQ(bye.kind, dist::WorkerEvent::Kind::Bye);
+  EXPECT_EQ(bye.counters.candidates_generated, s.candidates_generated);
+  EXPECT_EQ(bye.counters.anneal_proposals, s.anneal_proposals);
+  EXPECT_EQ(bye.counters.portfolio_swaps_accepted,
+            s.portfolio_swaps_accepted);
+
+  const dist::WorkerEvent err = dist::parse_worker_event(
+      dist::error_line("bad \"thing\"\nhappened"));
+  EXPECT_EQ(err.kind, dist::WorkerEvent::Kind::Error);
+  EXPECT_EQ(err.message, "bad \"thing\"\nhappened");
+}
+
+TEST(DistCodec, StrictParsersRejectMalformedLines) {
+  EXPECT_THROW(dist::parse_coord_cmd("not json"), std::runtime_error);
+  EXPECT_THROW(dist::parse_coord_cmd("{\"cmd\": \"warp\"}"),
+               std::runtime_error);
+  EXPECT_THROW(dist::parse_coord_cmd("{\"cmd\": \"sweep\"}"),
+               std::runtime_error);  // missing sweep index
+  EXPECT_THROW(dist::parse_worker_event("{\"event\": \"frame\"}"),
+               std::runtime_error);  // missing fields
+  EXPECT_THROW(dist::parse_worker_event(
+                   "{\"event\": \"bye\", \"counters\": [1, 2]}"),
+               std::runtime_error);  // wrong counter arity
+}
+
+TEST(DistFraming, CorruptedExchangeFrameIsRejected) {
+  // A real frame, then corrupted in the ways a broken transport could
+  // produce: flipped magic, truncation, trailing bytes. Every one must
+  // throw — a mis-applied frame would silently fork the trajectory.
+  portfolio::ShardFrame f;
+  f.fingerprint = 42;
+  f.sweep = 3;
+  f.slot_begin = 1;
+  f.slot_end = 2;
+  portfolio::ShardSlotState s;
+  s.state.iteration = 5;
+  s.state.temperature_bits = portfolio::double_bits(0.25);
+  s.state.current_widths = {3, 5};
+  s.state.best_widths = {4, 4};
+  s.cur_time = 100;
+  s.best_time = 90;
+  f.slots.push_back(s);
+  std::vector<unsigned char> bytes = portfolio::encode_shard_frame(f);
+
+  const portfolio::ShardFrame back = portfolio::decode_shard_frame(bytes);
+  EXPECT_EQ(back.fingerprint, f.fingerprint);
+  EXPECT_EQ(back.slots[0].state.current_widths, s.state.current_widths);
+  EXPECT_EQ(back.slots[0].cur_time, s.cur_time);
+
+  std::vector<unsigned char> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(portfolio::decode_shard_frame(bad_magic), std::runtime_error);
+
+  std::vector<unsigned char> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_THROW(portfolio::decode_shard_frame(truncated), std::runtime_error);
+
+  std::vector<unsigned char> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_THROW(portfolio::decode_shard_frame(trailing), std::runtime_error);
+
+  EXPECT_THROW(portfolio::decode_shard_frame({}), std::runtime_error);
+}
+
+TEST(DistDeterminism, WorkerJobMatrixIsByteIdentical) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const PortfolioOptions p = small_portfolio();
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+
+  for (const int workers : {1, 2, 4}) {
+    for (const int jobs : {1, 4}) {
+      const PortfolioResult r = dist::optimize_portfolio_distributed(
+          opt, o, p, d695_dist(workers, jobs));
+      EXPECT_EQ(r.stats.dist_workers, workers);
+      EXPECT_EQ(r.stats.dist_respawns, 0);
+      expect_same_portfolio(r, base,
+                            "workers=" + std::to_string(workers) +
+                                " jobs=" + std::to_string(jobs));
+    }
+  }
+}
+
+TEST(DistDeterminism, AdaptiveLadderShardsIdentically) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  PortfolioOptions p = small_portfolio(11);
+  p.sweeps = 10;  // crosses a retune barrier (kRetuneEverySweeps = 8)
+  p.adaptive_ladder = true;
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+  const PortfolioResult r =
+      dist::optimize_portfolio_distributed(opt, o, p, d695_dist(3));
+  expect_same_portfolio(r, base, "adaptive ladder, 3 workers");
+}
+
+TEST(DistCrash, KilledWorkerIsRespawnedWithoutChangingTheReport) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const PortfolioOptions p = small_portfolio(5);
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+
+  dist::DistOptions d = d695_dist(2);
+  d.kill_worker = 1;
+  d.kill_at_sweep = 2;  // SIGKILL mid-run, after real exchanges happened
+  const PortfolioResult r =
+      dist::optimize_portfolio_distributed(opt, o, p, d);
+  EXPECT_GE(r.stats.dist_respawns, 1);
+  expect_same_portfolio(r, base, "kill + respawn");
+}
+
+TEST(DistCrash, KillThenResumeFromCheckpointIsByteIdentical) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  PortfolioOptions p = small_portfolio(9);
+  p.sweeps = 6;
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+
+  // Segment 1, distributed, checkpointing every sweep, with a worker
+  // SIGKILLed partway: the periodic checkpoint written from the
+  // authoritative barrier states is the resume point.
+  const std::string ck = temp_path("dist-kill-resume");
+  PortfolioOptions p1 = p;
+  p1.sweeps = 4;
+  p1.checkpoint_path = ck;
+  p1.checkpoint_every = 1;
+  dist::DistOptions d = d695_dist(2);
+  d.kill_worker = 0;
+  d.kill_at_sweep = 2;
+  const PortfolioResult seg1 =
+      dist::optimize_portfolio_distributed(opt, o, p1, d);
+  EXPECT_GE(seg1.stats.dist_respawns, 1);
+
+  // Segment 2 resumes the distributed checkpoint at a DIFFERENT worker
+  // count and finishes the budget: together the segments must equal the
+  // uninterrupted single-process run.
+  PortfolioOptions p2 = p;
+  p2.checkpoint_path = ck;
+  const PortfolioResult seg2 = dist::resume_portfolio_distributed(
+      opt, o, p2, d695_dist(3), ck);
+  expect_same_portfolio(seg2, base, "kill, checkpoint, resume at 3 workers");
+
+  // And the same distributed checkpoint resumes in-process too.
+  const PortfolioResult seg2_local = resume_portfolio(opt, o, p2, ck);
+  expect_same_portfolio(seg2_local, base, "dist checkpoint, local resume");
+  std::remove(ck.c_str());
+}
+
+TEST(DistAttach, DaemonWorkersMatchSpawnedWorkers) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const PortfolioOptions p = small_portfolio(13);
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+
+  const std::string sock = ::testing::TempDir() + "dist-attach-test.sock";
+  server::ServerCore core;
+  std::thread daemon([&] { server::serve_unix(sock, core); });
+  // The listener unlinks + rebinds on startup; wait until it accepts.
+  for (int i = 0; i < 100; ++i) {
+    const int probe = server::connect_unix(sock);
+    if (probe >= 0) {
+      ::close(probe);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  dist::DistOptions d = d695_dist(0);
+  d.attach = {sock, sock};  // two workers borrowed from one daemon
+  const PortfolioResult r =
+      dist::optimize_portfolio_distributed(opt, o, p, d);
+  expect_same_portfolio(r, base, "attached daemon workers");
+  EXPECT_EQ(r.stats.dist_workers, 2);
+
+  server::EmitFn drop = [](const std::string&) {};
+  core.handle_line("{\"op\": \"shutdown\"}", drop);
+  daemon.join();
+  std::remove(sock.c_str());
+}
+
+}  // namespace
+}  // namespace soctest

@@ -6,6 +6,8 @@
 // BENCH_search ablation relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <map>
 
 #include "opt/annealing.hpp"
@@ -394,6 +396,66 @@ TEST(ScheduleMemoHashing, FnvKeyedMapMatchesOrderedMapSemantics) {
     ASSERT_NE(it, memo.results.end());
     EXPECT_EQ(it->second.test_time, value);
   }
+}
+
+// Warm-started greedy construction (evaluate_warm): the anchor-patching
+// fast path for proposals touching at most two buses — and the rebuild
+// fallback for splits/merges/jumps — must be bit-identical to the cold
+// evaluation, over a random SA-like proposal walk. A private evaluator is
+// compared against SocOptimizer::evaluate so the memo cannot mask a wrong
+// warm schedule.
+TEST(IncrementalSearch, WarmStartEvaluationMatchesCold) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+
+  DeltaEvaluator ev(opt, o);
+  Rng rng(0xAC1D);
+  std::vector<int> widths = {4, 4, 4, 4};
+  std::uint64_t warm_before = 0;
+  for (int step = 0; step < 40; ++step) {
+    const int move = static_cast<int>(rng.next_range(0, 9));
+    if (move < 6 && widths.size() >= 2) {
+      // Wire move: one bus grows, another shrinks (<= 2 buses change).
+      const auto from = rng.next_range(0, widths.size() - 1);
+      const auto to = rng.next_range(0, widths.size() - 1);
+      if (widths[from] > 1 && widths[to] < 16 && from != to) {
+        --widths[from];
+        ++widths[to];
+      }
+    } else if (move < 8 && widths.size() >= 2) {
+      // Merge: bus count changes, forcing the anchor rebuild path.
+      const auto a = rng.next_range(0, widths.size() - 1);
+      auto b = rng.next_range(0, widths.size() - 1);
+      if (a != b && widths[a] + widths[b] <= 16) {
+        widths[a] += widths[b];
+        widths.erase(widths.begin() + static_cast<std::ptrdiff_t>(b));
+      }
+    } else {
+      // Split the widest bus.
+      const auto w =
+          std::max_element(widths.begin(), widths.end()) - widths.begin();
+      if (widths[w] >= 2) {
+        const int half = widths[w] / 2;
+        widths[w] -= half;
+        widths.push_back(half);
+      }
+    }
+    TamArchitecture arch;
+    arch.widths = widths;
+    ev.prepare({arch});
+    const OptimizationResult warm = ev.evaluate_warm(arch);
+    const OptimizationResult cold = opt.evaluate(arch, o);
+    expect_identical(warm, cold, "step " + std::to_string(step));
+    warm_before = ev.counters().warm_schedule_starts;
+  }
+  // The walk is dominated by wire moves, so the fast path must have fired.
+  EXPECT_GT(warm_before, 0u);
 }
 
 TEST(CostTableOverload, MatchesCostFnOverload) {

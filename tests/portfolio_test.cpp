@@ -19,6 +19,7 @@
 #include "opt/soc_optimizer.hpp"
 #include "portfolio/checkpoint.hpp"
 #include "portfolio/counter_rng.hpp"
+#include "portfolio/ladder_policy.hpp"
 #include "portfolio/portfolio.hpp"
 #include "runtime/thread_pool.hpp"
 #include "socgen/cube_synth.hpp"
@@ -215,6 +216,83 @@ TEST(PortfolioCheckpoint, ResumeReproducesUninterruptedRun) {
   PortfolioOptions rest = full;  // budget restored to the full 5 sweeps
   const PortfolioResult resumed = resume_portfolio(opt, o, rest, path);
   expect_same_portfolio(resumed, uninterrupted, "resumed vs uninterrupted");
+  std::remove(path.c_str());
+}
+
+// Adaptive temperature-ladder retuning (--adaptive-ladder): deterministic
+// counters drive the retune, so results stay bit-identical across runtime
+// lanes, and a checkpoint taken mid retune-window (sweeps_completed not a
+// multiple of kRetuneEverySweeps) must restore the window counters so the
+// next retune sees the identical acceptance history.
+TEST(PortfolioAdaptive, RetuneIsDeterministicAcrossJobs) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  PortfolioOptions p = small_portfolio(21);
+  p.replicas = 4;
+  p.sweeps = 2 * portfolio::kRetuneEverySweeps + 1;
+  p.proposals_per_sweep = 10;
+  p.adaptive_ladder = true;
+  const std::string path = testing::TempDir() + "soctest_adaptive_det.bin";
+  p.checkpoint_path = path;
+
+  runtime::ThreadPool pool1(1);
+  runtime::ThreadPool pool4(4);
+  PortfolioResult r1, r4;
+  {
+    runtime::PoolScope scope(&pool1);
+    r1 = optimize_portfolio(opt, o, p);
+  }
+  const portfolio::PortfolioCheckpoint adaptive_ck =
+      portfolio::read_checkpoint_file(path);
+  {
+    runtime::PoolScope scope(&pool4);
+    r4 = optimize_portfolio(opt, o, p);
+  }
+  expect_same_portfolio(r1, r4, "adaptive ladder, 1 vs 4 lanes");
+
+  // The retune must actually reshape the ladder on this run, or the flag
+  // (and this test) would be vacuous: compare the final temperature bits
+  // against the same run with the adaptive ladder off.
+  PortfolioOptions off = p;
+  off.adaptive_ladder = false;
+  runtime::PoolScope scope(&pool1);
+  optimize_portfolio(opt, o, off);
+  const portfolio::PortfolioCheckpoint fixed_ck =
+      portfolio::read_checkpoint_file(path);
+  ASSERT_EQ(adaptive_ck.replicas.size(), fixed_ck.replicas.size());
+  bool ladder_changed = false;
+  for (std::size_t r = 0; r < adaptive_ck.replicas.size(); ++r)
+    ladder_changed |= adaptive_ck.replicas[r].temperature_bits !=
+                      fixed_ck.replicas[r].temperature_bits;
+  EXPECT_TRUE(ladder_changed);
+  // And the adaptive checkpoint carries the (mid-)window counters.
+  EXPECT_FALSE(adaptive_ck.retune_window_attempted.empty());
+  EXPECT_TRUE(fixed_ck.retune_window_attempted.empty());
+  std::remove(path.c_str());
+}
+
+TEST(PortfolioAdaptive, MidWindowCheckpointResumesIdentically) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const std::string path = testing::TempDir() + "soctest_adaptive_ck.bin";
+
+  PortfolioOptions full = small_portfolio(23);
+  full.replicas = 4;
+  full.sweeps = 2 * portfolio::kRetuneEverySweeps;
+  full.proposals_per_sweep = 10;
+  full.adaptive_ladder = true;
+  const PortfolioResult uninterrupted = optimize_portfolio(opt, o, full);
+
+  // Interrupt past the first retune barrier with a partly-filled second
+  // window: the checkpoint must carry the mid-window counters.
+  PortfolioOptions partial = full;
+  partial.sweeps = portfolio::kRetuneEverySweeps + 3;
+  partial.checkpoint_path = path;
+  optimize_portfolio(opt, o, partial);
+
+  const PortfolioResult resumed = resume_portfolio(opt, o, full, path);
+  expect_same_portfolio(resumed, uninterrupted,
+                        "adaptive resumed vs uninterrupted");
   std::remove(path.c_str());
 }
 

@@ -6,8 +6,10 @@
 // scheduling cost — the thing the incremental engine amortizes — is real.
 #include <gtest/gtest.h>
 
+#include "dist/coordinator.hpp"
 #include "opt/annealing.hpp"
 #include "opt/soc_optimizer.hpp"
+#include "portfolio/portfolio.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "socgen/synthetic.hpp"
@@ -100,6 +102,61 @@ TEST(ScaleSearch, AnnealingIdenticalOnHundredCores) {
   EXPECT_EQ(rf.schedule.bus_finish, ri.schedule.bus_finish);
   EXPECT_EQ(sf.anneal_proposals, si.anneal_proposals);
   EXPECT_LT(si.candidates_scheduled, sf.candidates_scheduled);
+}
+
+// Distributed portfolio at scale: on a 120-core synthetic SOC every
+// (workers x worker-jobs) sharding of the replica ladder must reproduce
+// the single-process portfolio member-for-member. The small per-core
+// geometry keeps each worker's explore-table rebuild cheap; the ladder and
+// sweep budget stay small because the point is the split algebra, not the
+// search depth (dist_test.cpp covers crash/resume on d695).
+TEST(ScaleSearch, DistributedPortfolioMatrixOnSynth120) {
+  const SocSpec soc = scale_soc(120, 808);
+  ExploreOptions e;
+  e.max_width = 10;
+  e.max_chains = 32;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions o;
+  o.width = 24;
+  o.mode = ArchMode::PerCore;
+
+  PortfolioOptions p;
+  p.replicas = 4;
+  p.sweeps = 3;
+  p.proposals_per_sweep = 10;
+  p.seed = 120;
+
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+
+  for (const int workers : {1, 2, 4}) {
+    for (const int jobs : {1, 4}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " jobs=" + std::to_string(jobs));
+      dist::DistOptions d;
+      d.workers = workers;
+      d.worker_jobs = jobs;
+      d.worker_cmd = SOCTEST_CLI_BINARY;
+      d.explore_max_width = 10;
+      d.explore_max_chains = 32;
+      const PortfolioResult r =
+          dist::optimize_portfolio_distributed(opt, o, p, d);
+      EXPECT_EQ(r.best.arch.widths, base.best.arch.widths);
+      EXPECT_EQ(r.best.test_time, base.best.test_time);
+      EXPECT_EQ(r.best.data_volume_bits, base.best.data_volume_bits);
+      ASSERT_EQ(r.replica_best.size(), base.replica_best.size());
+      for (std::size_t i = 0; i < r.replica_best.size(); ++i) {
+        EXPECT_EQ(r.replica_best[i].arch.widths,
+                  base.replica_best[i].arch.widths) << i;
+        EXPECT_EQ(r.replica_best[i].test_time,
+                  base.replica_best[i].test_time) << i;
+      }
+      EXPECT_EQ(r.stats.best_by_sweep, base.stats.best_by_sweep);
+      EXPECT_EQ(r.stats.swaps_attempted, base.stats.swaps_attempted);
+      EXPECT_EQ(r.stats.swaps_accepted, base.stats.swaps_accepted);
+      EXPECT_EQ(r.stats.proposals_total, base.stats.proposals_total);
+    }
+  }
 }
 
 }  // namespace

@@ -179,6 +179,47 @@ TEST(ServerCoreTest, HousekeepingOps) {
   EXPECT_EQ(col.event("error").find("code")->as_string(), "bad_request");
 }
 
+// The history op replays recent result lines from a bounded ring: oldest
+// first, byte-for-byte as emitted, oldest dropped past the bound, and
+// history = 0 disables recording entirely.
+TEST(ServerCoreTest, HistoryReplaysBoundedRecentResults) {
+  ServerOptions so;
+  so.history = 2;
+  ServerCore core(so);
+  Collector col;
+  const SocSpec soc = mini_soc();
+  run(core, optimize_request("h1", soc, 8), col);
+  run(core, optimize_request("h2", soc, 10), col);
+  run(core, optimize_request("h3", soc, 12), col);
+
+  Collector replay;
+  run(core, "{\"op\": \"history\", \"id\": \"q\"}", replay);
+  const std::vector<std::string> lines = replay.lines();
+  ASSERT_EQ(lines.size(), 3u);  // two entries + history_end
+  // h1 fell off the ring; h2 then h3 replay verbatim, oldest first.
+  EXPECT_NE(lines[0].find("\"id\": \"h2\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\": \"h3\""), std::string::npos);
+  EXPECT_EQ(replay.event("history_end", "q").find("count")->as_int64(), 2);
+  const std::vector<std::string> ring = core.history_snapshot();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_NE(lines[0].find(ring[0]), std::string::npos);
+  EXPECT_NE(lines[1].find(ring[1]), std::string::npos);
+
+  // A failed request leaves no history entry.
+  run(core, "{\"op\": \"cancel\", \"id\": \"nope\"}", col);
+  EXPECT_EQ(core.history_snapshot().size(), 2u);
+
+  ServerOptions off;
+  off.history = 0;
+  ServerCore muted(off);
+  Collector mcol;
+  run(muted, optimize_request("m1", soc, 8), mcol);
+  Collector mreplay;
+  run(muted, "{\"op\": \"history\", \"id\": \"mq\"}", mreplay);
+  EXPECT_EQ(mreplay.lines().size(), 1u);  // just history_end
+  EXPECT_EQ(mreplay.event("history_end", "mq").find("count")->as_int64(), 0);
+}
+
 TEST(ServerCoreTest, WarmResubmitIsBitIdenticalWithCacheHits) {
   ServerCore core;
   Collector col;

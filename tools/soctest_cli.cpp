@@ -19,6 +19,8 @@
 //   soctest --serve <sock>   [--sessions N] [--max-active N]
 //   soctest --batch <dir>    [--sessions N] [--max-active N]
 //   soctest --connect <sock>                 (client: stdin -> responses)
+//   soctest --worker  <sock>                 (distributed-portfolio worker;
+//                                             spawned by optimize --workers)
 //
 // Every command also accepts --jobs N (parallel lanes for the runtime
 // pool; default: SOCTEST_JOBS env var, else all hardware threads).
@@ -32,11 +34,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ate/ate_memory.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "explore/technique_select.hpp"
 #include "io/design_loader.hpp"
 #include "io/soc_text.hpp"
@@ -45,6 +51,7 @@
 #include "opt/result.hpp"
 #include "portfolio/portfolio.hpp"
 #include "report/csv.hpp"
+#include "report/json.hpp"
 #include "report/svg.hpp"
 #include "report/table.hpp"
 #include "runtime/stats.hpp"
@@ -282,6 +289,7 @@ int cmd_optimize(const Args& a) {
     p.sweeps = a.get_int("sweeps", 20);
     p.proposals_per_sweep = a.get_int("sweep-proposals", 100);
     p.seed = a.get_u64("seed", 1);
+    p.adaptive_ladder = a.has("adaptive-ladder");
     p.checkpoint_path = a.get("checkpoint");
     p.checkpoint_every = a.get_int("checkpoint-every", 0);
     if (p.sweeps < 0 || p.proposals_per_sweep < 1) {
@@ -289,9 +297,43 @@ int cmd_optimize(const Args& a) {
                    "--sweeps must be >= 0 and --sweep-proposals >= 1\n");
       return 2;
     }
-    const PortfolioResult pr =
-        a.has("resume") ? resume_portfolio(opt, o, p, a.require("resume"))
-                        : optimize_portfolio(opt, o, p);
+    PortfolioResult pr;
+    if (a.has("workers") || a.has("attach")) {
+      dist::DistOptions d;
+      d.workers = a.get_int("workers", 2);
+      if (d.workers < 1) {
+        std::fprintf(stderr, "--workers must be >= 1\n");
+        return 2;
+      }
+      // --attach takes comma-separated daemon socket paths, one worker
+      // each; it overrides --workers.
+      if (a.has("attach")) {
+        std::string rest = a.require("attach");
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          const std::string part = rest.substr(0, comma);
+          if (!part.empty()) d.attach.push_back(part);
+          if (comma == std::string::npos) break;
+          rest.erase(0, comma + 1);
+        }
+        if (d.attach.empty()) {
+          std::fprintf(stderr, "--attach needs at least one socket path\n");
+          return 2;
+        }
+      }
+      d.select = a.has("select");
+      d.explore_max_width = eopts.max_width;
+      d.explore_max_chains = eopts.max_chains;
+      d.worker_jobs = a.get_int("jobs", 0);
+      pr = a.has("resume")
+               ? dist::resume_portfolio_distributed(opt, o, p, d,
+                                                    a.require("resume"))
+               : dist::optimize_portfolio_distributed(opt, o, p, d);
+    } else {
+      pr = a.has("resume")
+               ? resume_portfolio(opt, o, p, a.require("resume"))
+               : optimize_portfolio(opt, o, p);
+    }
     r = pr.best;
     pstats = pr.stats;
     if (!p.checkpoint_path.empty() && pstats->checkpoint_error.empty())
@@ -350,6 +392,11 @@ int cmd_optimize(const Args& a) {
                 static_cast<unsigned long long>(pstats->swaps_attempted),
                 pstats->hill_climb_raced ? " raced-hill-climb" : "",
                 pstats->hill_climb_won ? " (hill climb won)" : "");
+    if (pstats->dist_workers > 0)
+      std::printf("[portfolio] distributed: workers=%d respawns=%d "
+                  "setup=%.3fs sweeps=%.3fs\n",
+                  pstats->dist_workers, pstats->dist_respawns,
+                  pstats->dist_setup_seconds, pstats->dist_sweep_seconds);
     for (std::size_t i = 0; i < pstats->replica.size(); ++i) {
       const PortfolioReplicaReport& rep = pstats->replica[i];
       std::printf("[portfolio]   replica %zu: T0=%.4f proposals=%llu "
@@ -376,6 +423,20 @@ int cmd_optimize(const Args& a) {
                   to_string(o.mode) + ")";
     write_svg_file(a.get("svg"), gantt_svg(r.schedule, r.arch, names, sopts));
     std::printf("wrote %s\n", a.get("svg").c_str());
+  }
+  if (a.has("json")) {
+    // Timing-free full report on one line — the artifact determinism
+    // tests byte-compare across --jobs counts and (workers x jobs) splits.
+    OptimizationResult stable = r;
+    stable.cpu_seconds = 0.0;
+    const std::string path = a.require("json");
+    std::ofstream jf(path, std::ios::binary | std::ios::trunc);
+    jf << compact_json(result_to_json(stable, soc)) << "\n";
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
   }
   // A checkpoint-write failure never aborts the run (the result above is
   // real and fully reported) but must not exit 0 either: scripted sweeps
@@ -430,9 +491,12 @@ void print_grammar(std::FILE* out) {
       "           [--csv out.csv]\n"
       "  optimize --design <d> --width W [--mode percore|pertam|notdc|fixedw4]\n"
       "           [--constraint tam|ate] [--power MW] [--select] [--svg f]\n"
+      "           [--json f]\n"
       "           [--anneal N [--seed S]]\n"
       "           [--portfolio K [--sweeps N] [--sweep-proposals P] [--seed S]\n"
-      "            [--checkpoint f [--checkpoint-every N]] [--resume f]]\n"
+      "            [--adaptive-ladder]\n"
+      "            [--checkpoint f [--checkpoint-every N]] [--resume f]\n"
+      "            [--workers N | --attach sock[,sock...]]]\n"
       "  compare  --design <d> --width W\n"
       "  convert  --design <d> --out file.soc\n"
       "  help\n"
@@ -448,6 +512,8 @@ void print_grammar(std::FILE* out) {
       "                      files with existing output are skipped (resume)\n"
       "  --connect <sock>    client: forward stdin lines to a --serve daemon\n"
       "                      and print its responses\n"
+      "  --worker <sock>     distributed-portfolio worker (spawned by\n"
+      "                      optimize --workers; not for interactive use)\n"
       "  --sessions N        warm SOC sessions kept (LRU; default 8)\n"
       "  --max-active N      concurrently computing requests (default 0 =\n"
       "                      unbounded; queued requests stay cancellable)\n"
@@ -470,7 +536,18 @@ void print_grammar(std::FILE* out) {
       "                      --checkpoint-every sweeps when > 0)\n"
       "  --resume f          resume a portfolio checkpoint (same design,\n"
       "                      width, mode and portfolio config; --sweeps may\n"
-      "                      be raised to extend the search)\n"
+      "                      be raised to extend the search; checkpoints are\n"
+      "                      interchangeable between --workers counts)\n"
+      "  --adaptive-ladder   retune the temperature ladder every few sweeps\n"
+      "                      from observed swap acceptance (deterministic;\n"
+      "                      changes the trajectory, so it is fingerprinted)\n"
+      "  --workers N         shard the ladder across N spawned worker\n"
+      "                      processes; the report is byte-identical to the\n"
+      "                      single-process run for any (workers, jobs)\n"
+      "  --attach socks      use running --serve daemons as workers instead\n"
+      "                      of spawning (comma-separated socket paths)\n"
+      "  --json f            also write the full report as one-line JSON with\n"
+      "                      timing zeroed (the byte-compare artifact)\n"
       "\n"
       "global flags: --jobs N (parallel lanes; default $SOCTEST_JOBS or all\n"
       "hardware threads). Results are bit-identical for any --jobs value.\n"
@@ -507,7 +584,8 @@ int run_daemon_mode(const Args& a) {
       "select", "svg",        "anneal",         "portfolio",  "sweeps",
       "sweep-proposals",      "seed",           "checkpoint",
       "checkpoint-every",     "resume",         "core",       "max-width",
-      "max-chains",           "csv",            "out"};
+      "max-chains",           "csv",            "out",        "workers",
+      "attach", "adaptive-ladder",              "json"};
   for (const char* flag : kOneShot) {
     if (a.has(flag)) {
       std::fprintf(stderr,
@@ -559,6 +637,21 @@ int main(int argc, char** argv) {
   if (a.command == "help" || a.has("help")) {
     print_grammar(stdout);
     return 0;
+  }
+  if (a.has("worker")) {
+    // Distributed-portfolio worker: spawned by a coordinator, never by
+    // hand. Takes the coordinator's socket and nothing else.
+    if (!a.command.empty() || a.has("serve") || a.has("batch") ||
+        a.has("connect")) {
+      std::fprintf(stderr, "--worker takes no command and no other mode\n");
+      return 2;
+    }
+    try {
+      return dist::run_worker(a.require("worker"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   if (a.has("serve") || a.has("batch") || a.has("connect")) {
     try {
