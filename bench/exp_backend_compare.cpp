@@ -1,0 +1,200 @@
+// Backend comparison gate: does the rectangle-packing TAM backend
+// (opt/rect_backend + sched/rect_packer) actually compete with the
+// fixed-bus partition search it races against? For every width of the
+// Table-2 d695 sweep we run both backends on the CLI's explore universe
+// and record the makespans side by side.
+//
+// Gates (from the issue):
+//   1. rect must match or beat the fixed-bus makespan on at least half of
+//      the d695 width sweep {16, 24, 32, 40, 48, 56, 64};
+//   2. --backend race must be byte-identical between a single-process
+//      portfolio and the distributed coordinator (any worker split) —
+//      checked here at 2 workers against the in-process run.
+//
+// Results are spliced into the "backend" section of BENCH_search.json by
+// brace matching (only this bench's own section is replaced), so the
+// search benches can be rerun in any order without eating each other's
+// output.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "opt/backend.hpp"
+#include "opt/rect_backend.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "portfolio/portfolio.hpp"
+#include "report/table.hpp"
+#include "socgen/d695.hpp"
+
+using namespace soctest;
+
+namespace {
+
+/// Removes the top-level "backend" key (and the comma that precedes it)
+/// from an existing BENCH_search.json body, leaving every other section
+/// intact. Brace/bracket-matched, safe because no string in the file
+/// contains braces.
+std::string drop_backend_section(std::string existing) {
+  const std::size_t marker = existing.find("\n  \"backend\":");
+  if (marker == std::string::npos)
+    return existing;
+  std::size_t start = marker;
+  if (start > 0 && existing[start - 1] == ',')
+    --start;
+  std::size_t p = existing.find_first_of("[{", marker);
+  if (p == std::string::npos)
+    return existing.substr(0, start);  // malformed tail: drop it
+  int depth = 0;
+  std::size_t q = p;
+  for (; q < existing.size(); ++q) {
+    const char c = existing[q];
+    if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (--depth == 0) {
+        ++q;
+        break;
+      }
+    }
+  }
+  return existing.substr(0, start) + existing.substr(q);
+}
+
+void splice_backend_section(const std::string& section) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_search.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  if (const std::size_t close = drop_backend_section(existing).rfind('}');
+      close != std::string::npos) {
+    out = drop_backend_section(existing).substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+      out.pop_back();
+  }
+  if (out.empty())
+    out = "{\n  \"experiment\": \"backend\"";
+  out += ",\n  \"backend\": {\n" + section + "  }\n}\n";
+  std::ofstream f("BENCH_search.json");
+  f << out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fixed-bus vs rectangle-packing backend on d695 ===\n\n");
+
+  const SocSpec soc = make_d695();
+  const std::vector<int> widths = {16, 24, 32, 40, 48, 56, 64};
+
+  Table t({"width", "fixed-bus", "rect", "delta", "winner"});
+  int rect_wins = 0;
+  std::string sweep_json;
+
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const int w = widths[i];
+    // The CLI's explore recipe: widths past 32 need the wider universe.
+    ExploreOptions e;
+    e.max_width = std::max(w, 32);
+    e.max_chains = 255;
+    const SocOptimizer opt(soc, e);
+    OptimizerOptions o;
+    o.width = w;
+
+    const OptimizationResult fixed = opt.optimize(o);
+    OptimizerOptions ro = o;
+    ro.backend = BackendKind::Rect;
+    const OptimizationResult rect = optimize_rect(opt, ro);
+
+    const bool win = rect.test_time <= fixed.test_time;
+    rect_wins += win ? 1 : 0;
+    t.add_row({Table::num(w), Table::num(fixed.test_time),
+               Table::num(rect.test_time),
+               Table::num(rect.test_time - fixed.test_time),
+               win ? "rect" : "fixed"});
+
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "      {\"width\": %d, \"fixed_test_time\": %lld, "
+                  "\"rect_test_time\": %lld, \"rect_wins\": %s}%s\n",
+                  w, static_cast<long long>(fixed.test_time),
+                  static_cast<long long>(rect.test_time),
+                  win ? "true" : "false",
+                  i + 1 < widths.size() ? "," : "");
+    sweep_json += buf;
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  const int need = static_cast<int>(widths.size() + 1) / 2;
+  const bool sweep_pass = rect_wins >= need;
+  std::printf("rect wins %d/%zu widths (gate: >= %d): %s\n\n", rect_wins,
+              widths.size(), need, sweep_pass ? "PASS" : "FAIL");
+
+  // Gate 2: --backend race merges identically in-process and distributed.
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 16;
+  o.backend = BackendKind::Race;
+  PortfolioOptions po;
+  po.replicas = 4;
+  po.sweeps = 5;
+  po.proposals_per_sweep = 20;
+  po.seed = 2026;
+  const PortfolioResult single = optimize_portfolio(opt, o, po);
+  dist::DistOptions d;
+  d.workers = 2;
+  d.worker_cmd = SOCTEST_CLI_BINARY;
+  d.explore_max_width = 16;
+  d.explore_max_chains = 64;
+  const PortfolioResult dist =
+      dist::optimize_portfolio_distributed(opt, o, po, d);
+  const bool race_pass =
+      single.best.test_time == dist.best.test_time &&
+      single.best.backend == dist.best.backend &&
+      single.best.arch.widths == dist.best.arch.widths &&
+      single.stats.rect_won == dist.stats.rect_won &&
+      single.best.schedule.entries.size() == dist.best.schedule.entries.size();
+  std::printf("race single-process vs 2 workers: %s (time %lld vs %lld, "
+              "winner %s)\n",
+              race_pass ? "PASS" : "FAIL",
+              static_cast<long long>(single.best.test_time),
+              static_cast<long long>(dist.best.test_time),
+              to_string(single.best.backend).c_str());
+
+  std::string json = "    \"d695_width_sweep\": [\n" + sweep_json +
+                     "    ],\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "    \"rect_wins\": %d,\n"
+                "    \"sweep_gate_pass\": %s,\n"
+                "    \"race_single_test_time\": %lld,\n"
+                "    \"race_dist_test_time\": %lld,\n"
+                "    \"race_identical\": %s\n",
+                rect_wins, sweep_pass ? "true" : "false",
+                static_cast<long long>(single.best.test_time),
+                static_cast<long long>(dist.best.test_time),
+                race_pass ? "true" : "false");
+  json += buf;
+  splice_backend_section(json);
+  std::printf("spliced \"backend\" section into BENCH_search.json\n");
+
+  if (!sweep_pass || !race_pass) {
+    std::fprintf(stderr, "FAIL: %s%s\n",
+                 sweep_pass ? "" : "rect lost the width-sweep gate; ",
+                 race_pass ? "" : "race merge diverged across processes");
+    return 1;
+  }
+  return 0;
+}

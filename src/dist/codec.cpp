@@ -48,7 +48,7 @@ std::string field_str(const JsonValue& doc, const char* key) {
 
 // SearchStats <-> fixed-order u64 array. Order is part of the wire
 // format; extend at the END when SearchStats grows.
-constexpr int kCounterCount = 13;
+constexpr int kCounterCount = 15;
 
 void counters_to(std::uint64_t (&a)[kCounterCount],
                  const runtime::SearchStats& s) {
@@ -65,6 +65,8 @@ void counters_to(std::uint64_t (&a)[kCounterCount],
   a[10] = s.portfolio_proposals;
   a[11] = s.portfolio_swaps_attempted;
   a[12] = s.portfolio_swaps_accepted;
+  a[13] = s.rect_packs;
+  a[14] = s.rect_memo_hits;
 }
 
 runtime::SearchStats counters_from(const std::vector<std::uint64_t>& a) {
@@ -83,6 +85,8 @@ runtime::SearchStats counters_from(const std::vector<std::uint64_t>& a) {
   s.portfolio_proposals = a[10];
   s.portfolio_swaps_attempted = a[11];
   s.portfolio_swaps_accepted = a[12];
+  s.rect_packs = a[13];
+  s.rect_memo_hits = a[14];
   return s;
 }
 
@@ -127,6 +131,7 @@ std::string init_line(const WorkerInit& w) {
      << ", \"incremental\": " << (w.opts.incremental ? "true" : "false")
      << ", \"capacity_bound\": "
      << (w.opts.capacity_bound ? "true" : "false")
+     << ", \"backend\": " << static_cast<int>(w.opts.backend)
      << ", \"portfolio\": " << w.opts.portfolio
      << ", \"replicas\": " << w.popts.replicas
      << ", \"sweeps\": " << w.popts.sweeps
@@ -255,6 +260,13 @@ CoordCmd parse_coord_cmd(const std::string& line) {
         portfolio::bits_double(field_u64(doc, "power_bits"));
     w.opts.incremental = field_bool(doc, "incremental");
     w.opts.capacity_bound = field_bool(doc, "capacity_bound");
+    {
+      const int backend = field_int(doc, "backend");
+      if (backend < static_cast<int>(BackendKind::FixedBus) ||
+          backend > static_cast<int>(BackendKind::Race))
+        bad("bad backend tag " + std::to_string(backend));
+      w.opts.backend = static_cast<BackendKind>(backend);
+    }
     w.opts.portfolio = field_int(doc, "portfolio");
     w.popts.replicas = field_int(doc, "replicas");
     w.popts.sweeps = field_int(doc, "sweeps");

@@ -17,6 +17,7 @@
 
 #include "dist/codec.hpp"
 #include "io/soc_text.hpp"
+#include "opt/backend.hpp"
 #include "portfolio/checkpoint.hpp"
 #include "portfolio/ladder_policy.hpp"
 #include "portfolio/shard.hpp"
@@ -433,6 +434,7 @@ PortfolioResult Coordinator::run(const PortfolioCheckpoint* restore) {
     if (!checkpointing) return;
     PortfolioCheckpoint ck;
     ck.fingerprint = fp_;
+    ck.backend = opts_.backend;
     ck.sweeps_completed = stats_.sweeps_completed;
     ck.swaps_attempted = stats_.swaps_attempted;
     ck.swaps_accepted = stats_.swaps_accepted;
@@ -617,6 +619,17 @@ PortfolioResult Coordinator::run(const PortfolioCheckpoint* restore) {
     stats_.hill_climb_won = true;
   }
 
+  // backend == Race: same end-merge as the single-process portfolio. The
+  // rect climb runs in the coordinator process and depends only on
+  // (optimizer, opts), so the merged report stays byte-identical for every
+  // (workers x jobs) split.
+  if (opts_.backend == BackendKind::Race) {
+    stats_.rect_raced = true;
+    bool rect_won = false;
+    out.best = race_merge_rect(opt_, opts_, std::move(out.best), &rect_won);
+    stats_.rect_won = rect_won;
+  }
+
   if (!popts_.checkpoint_path.empty())
     write_checkpoint(racer_done ? RacerState::Done : RacerState::None);
 
@@ -639,6 +652,10 @@ PortfolioResult optimize_portfolio_distributed(const SocOptimizer& optimizer,
                                                const OptimizerOptions& opts,
                                                const PortfolioOptions& popts,
                                                const DistOptions& dopts) {
+  if (opts.backend == BackendKind::Rect)
+    throw std::invalid_argument(
+        "portfolio: the rect backend has no tempering ladder — use "
+        "backend=race to race it beside the fixed-bus portfolio");
   Coordinator c(optimizer, opts, popts, dopts);
   return c.run(nullptr);
 }
@@ -647,8 +664,17 @@ PortfolioResult resume_portfolio_distributed(
     const SocOptimizer& optimizer, const OptimizerOptions& opts,
     const PortfolioOptions& popts, const DistOptions& dopts,
     const std::string& checkpoint_path) {
+  if (opts.backend == BackendKind::Rect)
+    throw std::invalid_argument(
+        "portfolio: the rect backend has no tempering ladder — use "
+        "backend=race to race it beside the fixed-bus portfolio");
   const PortfolioCheckpoint ck =
       portfolio::read_checkpoint_file(checkpoint_path);
+  if (ck.backend != opts.backend)
+    throw std::runtime_error("portfolio: checkpoint backend '" +
+                             to_string(ck.backend) +
+                             "' does not match requested backend '" +
+                             to_string(opts.backend) + "'");
   if (ck.fingerprint != portfolio_fingerprint(optimizer, opts, popts))
     throw std::runtime_error(
         "portfolio: checkpoint fingerprint mismatch — it was written for a "

@@ -1,0 +1,90 @@
+#include "opt/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "opt/fixed_bus_backend.hpp"
+#include "opt/rect_backend.hpp"
+
+namespace soctest {
+
+bool better_result(const OptimizationResult& a, const OptimizationResult& b) {
+  if (a.test_time != b.test_time) return a.test_time < b.test_time;
+  return a.data_volume_bits < b.data_volume_bits;
+}
+
+BackendColumns::BackendColumns(const SocOptimizer& opt,
+                               const OptimizerOptions& opts)
+    : opt_(&opt), opts_(&opts) {}
+
+std::shared_ptr<const CostColumn> BackendColumns::column(int width) const {
+  if (width < 1)
+    throw std::invalid_argument("BackendColumns: width must be >= 1");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<std::size_t>(width) < columns_.size() &&
+        columns_[static_cast<std::size_t>(width)])
+      return columns_[static_cast<std::size_t>(width)];
+  }
+  auto col = std::make_shared<CostColumn>();
+  col->bus = opt_->realize_bus(width, *opts_);
+  const int n = opt_->soc().num_cores();
+  col->cost.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    col->cost.push_back(opt_->bus_access_cost(i, col->bus, *opts_));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<std::size_t>(width) >= columns_.size())
+    columns_.resize(static_cast<std::size_t>(width) + 1);
+  auto& slot = columns_[static_cast<std::size_t>(width)];
+  if (!slot) slot = std::move(col);  // racing builders: first insert wins
+  return slot;
+}
+
+std::unique_ptr<ArchitectureBackend> make_backend(
+    BackendKind kind, const SocOptimizer& optimizer,
+    const OptimizerOptions& opts) {
+  switch (kind) {
+    case BackendKind::FixedBus:
+      return std::make_unique<FixedBusBackend>(optimizer, opts);
+    case BackendKind::Rect:
+      return std::make_unique<RectBackend>(optimizer, opts);
+    case BackendKind::Race:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_backend: race is a driver policy, not an architecture model — "
+      "construct the fixed and rect backends separately");
+}
+
+OptimizationResult optimize_backend(const SocOptimizer& optimizer,
+                                    const OptimizerOptions& opts) {
+  switch (opts.backend) {
+    case BackendKind::FixedBus:
+      return optimizer.optimize(opts);
+    case BackendKind::Rect:
+      return optimize_rect(optimizer, opts);
+    case BackendKind::Race: {
+      OptimizationResult fixed = optimizer.optimize(opts);
+      return race_merge_rect(optimizer, opts, std::move(fixed));
+    }
+  }
+  throw std::invalid_argument("optimize_backend: unknown backend");
+}
+
+OptimizationResult race_merge_rect(const SocOptimizer& optimizer,
+                                   const OptimizerOptions& opts,
+                                   OptimizationResult fixed_result,
+                                   bool* rect_won) {
+  if (rect_won) *rect_won = false;
+  if (opts.backend != BackendKind::Race) return fixed_result;
+  OptimizerOptions ropts = opts;
+  ropts.backend = BackendKind::Rect;
+  OptimizationResult rect = optimize_rect(optimizer, ropts);
+  if (better_result(rect, fixed_result)) {
+    if (rect_won) *rect_won = true;
+    return rect;
+  }
+  return fixed_result;
+}
+
+}  // namespace soctest

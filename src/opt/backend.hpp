@@ -1,0 +1,121 @@
+// ArchitectureBackend: the architecture model behind the step-3 search as
+// an interface, so the search drivers (hill climb, annealing, portfolio,
+// distributed coordinator) and the invariant test battery are generic over
+// HOW a width budget becomes an architecture. A backend defines a genome —
+// a vector<int> whose meaning is backend-private:
+//
+//   FixedBusBackend   genome = the bus width vector (TamArchitecture
+//                     widths); evaluation is SocOptimizer::evaluate, the
+//                     paper's step-4 greedy + refine scheduler. Its starts
+//                     and neighbourhood are the SAME functions the
+//                     pre-backend optimize() used (tam/hill_climb_starts,
+//                     wire_move_neighbours), so the fixed-bus search stays
+//                     byte-identical to the pre-refactor code.
+//   RectBackend       genome = one width per core, each drawn from that
+//                     core's Pareto-optimal wrapper points; evaluation
+//                     packs the (width x time) rectangles into the W-wide
+//                     strip (sched/rect_packer) and materializes the
+//                     packing through the same result path as fixed-bus.
+//
+// Every backend obeys the contract pinned by tests/backend_contract_test:
+// starts() and neighbours() emit only valid() genomes, neighbours() never
+// repeats or includes its input, evaluate() is a deterministic pure
+// function of the genome whose schedule passes Schedule::validate with
+// every core exactly once, and lower_bound() never exceeds the evaluated
+// makespan.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "opt/delta_evaluator.hpp"
+#include "opt/soc_optimizer.hpp"
+
+namespace soctest {
+
+/// The search's total order on results: test_time, then data volume as the
+/// tie-break. `true` iff a beats b — shared by every driver (hill climb,
+/// annealing reductions, race merge) so "better" means one thing.
+bool better_result(const OptimizationResult& a, const OptimizationResult& b);
+
+class ArchitectureBackend {
+ public:
+  virtual ~ArchitectureBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Deterministic multi-start seed genomes (non-empty, all valid()).
+  virtual std::vector<std::vector<int>> starts() const = 0;
+
+  /// One-move neighbourhood of `genome`: all valid, no duplicates, the
+  /// input itself excluded. Every move must be reversible — each
+  /// neighbour's own neighbourhood contains `genome` again (the contract
+  /// suite's proposal/undo round-trip).
+  virtual std::vector<std::vector<int>> neighbours(
+      const std::vector<int>& genome) const = 0;
+
+  /// Is `genome` a well-formed member of this backend's search space?
+  virtual bool valid(const std::vector<int>& genome) const = 0;
+
+  /// Admissible makespan lower bound: no evaluation of `genome` (or of any
+  /// schedule of the architecture it denotes) beats it. Thread-safe.
+  virtual std::int64_t lower_bound(const std::vector<int>& genome) const = 0;
+
+  /// Full evaluation: a deterministic pure function of the genome,
+  /// memoized internally. Thread-safe for concurrent distinct genomes.
+  virtual OptimizationResult evaluate(const std::vector<int>& genome) const = 0;
+};
+
+/// Per-width cost columns for backends. The realization of a width-v bus
+/// (or wire lane) and every core's access cost on it depend only on
+/// (mode, constraint, v) — the same property DeltaEvaluator's ColumnCache
+/// rests on — so one store serves any backend of one (optimizer, opts)
+/// universe. Thread-safe; columns are built on demand and immutable after.
+class BackendColumns {
+ public:
+  BackendColumns(const SocOptimizer& opt, const OptimizerOptions& opts);
+
+  /// The column for `width` (>= 1). Never null.
+  std::shared_ptr<const CostColumn> column(int width) const;
+
+ private:
+  const SocOptimizer* opt_;
+  const OptimizerOptions* opts_;
+  mutable std::mutex mu_;
+  mutable std::vector<std::shared_ptr<const CostColumn>> columns_;
+};
+
+/// Constructs the backend for `kind`. Race is a driver policy, not an
+/// architecture model — asking for it throws std::invalid_argument (make
+/// the fixed and rect backends separately and merge with race_merge_rect).
+/// `optimizer` and `opts` must outlive the backend.
+std::unique_ptr<ArchitectureBackend> make_backend(BackendKind kind,
+                                                  const SocOptimizer& optimizer,
+                                                  const OptimizerOptions& opts);
+
+/// The plain (non-anneal, non-portfolio) optimize entry point, dispatched
+/// on opts.backend: FixedBus runs optimizer.optimize(opts) untouched, Rect
+/// runs the deterministic rect hill climb (optimize_rect), Race runs the
+/// fixed-bus search and merges the rect result over it.
+OptimizationResult optimize_backend(const SocOptimizer& optimizer,
+                                    const OptimizerOptions& opts);
+
+/// Race-merge helper shared by the CLI, run_portfolio and the distributed
+/// coordinator: when opts.backend == Race, runs the rectangle backend's
+/// deterministic hill climb and returns the better of it and
+/// `fixed_result` (ties keep fixed — the conservative, pre-backend
+/// answer); any other backend returns `fixed_result` untouched. The rect
+/// side depends only on (optimizer, opts) — never on jobs, workers or the
+/// fixed trajectory — which is what keeps raced runs bit-identical across
+/// every (workers x jobs) split. `rect_won` (optional) reports whether the
+/// rect result displaced the fixed one.
+OptimizationResult race_merge_rect(const SocOptimizer& optimizer,
+                                   const OptimizerOptions& opts,
+                                   OptimizationResult fixed_result,
+                                   bool* rect_won = nullptr);
+
+}  // namespace soctest

@@ -1,0 +1,80 @@
+#include "opt/fixed_bus_backend.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "sched/greedy_scheduler.hpp"
+#include "tam/partition.hpp"
+
+namespace soctest {
+
+FixedBusBackend::FixedBusBackend(const SocOptimizer& optimizer,
+                                 const OptimizerOptions& opts)
+    : opt_(&optimizer), opts_(&opts), columns_(optimizer, opts) {
+  if (opts.width < 1)
+    throw std::invalid_argument("FixedBusBackend: width must be >= 1");
+  if (opts.mode == ArchMode::FixedWidth4)
+    throw std::invalid_argument(
+        "FixedBusBackend: FixedWidth4 prescribes its architecture — nothing "
+        "to search");
+}
+
+std::vector<std::vector<int>> FixedBusBackend::starts() const {
+  std::vector<std::vector<int>> out;
+  for (TamArchitecture& a : hill_climb_starts(opts_->width, opts_->max_buses,
+                                              opt_->soc().num_cores()))
+    out.push_back(std::move(a.widths));
+  return out;
+}
+
+std::vector<std::vector<int>> FixedBusBackend::neighbours(
+    const std::vector<int>& genome) const {
+  std::vector<std::vector<int>> out;
+  for (TamArchitecture& a : wire_move_neighbours(TamArchitecture{genome}))
+    out.push_back(std::move(a.widths));
+  return out;
+}
+
+bool FixedBusBackend::valid(const std::vector<int>& genome) const {
+  if (genome.empty()) return false;
+  long long sum = 0;
+  for (int w : genome) {
+    if (w < 1) return false;
+    sum += w;
+  }
+  return sum == opts_->width;
+}
+
+std::int64_t FixedBusBackend::lower_bound(const std::vector<int>& genome) const {
+  const int n = opt_->soc().num_cores();
+  const int k = static_cast<int>(genome.size());
+  std::vector<std::int64_t> time(static_cast<std::size_t>(n) *
+                                 static_cast<std::size_t>(k));
+  for (int b = 0; b < k; ++b) {
+    const auto col = columns_.column(genome[static_cast<std::size_t>(b)]);
+    for (int i = 0; i < n; ++i)
+      time[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+           static_cast<std::size_t>(b)] =
+          col->cost[static_cast<std::size_t>(i)].time;
+  }
+  return makespan_lower_bound(n, k, time, opts_->capacity_bound);
+}
+
+OptimizationResult FixedBusBackend::evaluate(
+    const std::vector<int>& genome) const {
+  {
+    std::lock_guard<std::mutex> lock(memo_.mu);
+    auto it = memo_.results.find(genome);
+    if (it != memo_.results.end()) {
+      memo_.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    memo_.misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  OptimizationResult r = opt_->evaluate(TamArchitecture{genome}, *opts_);
+  std::lock_guard<std::mutex> lock(memo_.mu);
+  memo_.results.emplace(genome, r);  // racing computes are identical
+  return r;
+}
+
+}  // namespace soctest

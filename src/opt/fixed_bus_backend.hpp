@@ -1,0 +1,43 @@
+// The paper's fixed-width-bus architecture model behind the
+// ArchitectureBackend interface. The genome IS the bus width vector; the
+// start set and neighbourhood are the exact functions the pre-backend
+// optimize() used (tam/hill_climb_starts, tam/wire_move_neighbours), and
+// evaluation delegates to SocOptimizer::evaluate — so a hill climb driven
+// through this interface walks the identical search space, and the plain
+// optimize() path needs no adapter at all (it stays byte-identical by
+// simply not changing).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/backend.hpp"
+
+namespace soctest {
+
+class FixedBusBackend : public ArchitectureBackend {
+ public:
+  /// `optimizer`/`opts` must outlive the backend. Requires opts.width >= 1
+  /// and a non-FixedWidth4 mode (FixedWidth4 prescribes its architecture —
+  /// there is nothing to search).
+  FixedBusBackend(const SocOptimizer& optimizer, const OptimizerOptions& opts);
+
+  BackendKind kind() const override { return BackendKind::FixedBus; }
+  std::string name() const override { return "fixed-bus"; }
+  std::vector<std::vector<int>> starts() const override;
+  std::vector<std::vector<int>> neighbours(
+      const std::vector<int>& genome) const override;
+  bool valid(const std::vector<int>& genome) const override;
+  std::int64_t lower_bound(const std::vector<int>& genome) const override;
+  OptimizationResult evaluate(const std::vector<int>& genome) const override;
+
+ private:
+  const SocOptimizer* opt_;
+  const OptimizerOptions* opts_;
+  BackendColumns columns_;
+  mutable ScheduleMemo memo_;  // keyed by bus width vectors — never shared
+                               // with another backend's genome space
+};
+
+}  // namespace soctest

@@ -62,34 +62,11 @@ OptimizationResult SocOptimizer::optimize_shared(
   if (opts.mode == ArchMode::FixedWidth4) {
     best = evaluate(fixed_w4_architecture(opts.width), opts);
   } else {
-    // Multi-start hill climbing: the makespan landscape over partitions
-    // has plateaus (many cores are width-insensitive past their sweet
-    // spot), so a single start can stall in a poor basin.
-    std::vector<TamArchitecture> starts;
-    const int kmax = std::min({opts.max_buses, soc_->num_cores(), opts.width});
-    for (int k = 1; k <= kmax; ++k) {
-      starts.push_back(balanced_partition(opts.width, k));
-      if (k >= 2) {
-        // One dominant bus, the rest minimal: good when one long core
-        // should monopolize most of the budget.
-        TamArchitecture skew;
-        skew.widths.assign(static_cast<std::size_t>(k), 1);
-        skew.widths[0] = opts.width - (k - 1);
-        if (skew.widths[0] >= 1) starts.push_back(skew);
-        // Geometric taper: wide, half, half of that, ...
-        TamArchitecture taper;
-        int left = opts.width;
-        for (int b = 0; b < k - 1; ++b) {
-          const int wdt = std::max(1, (left - (k - 1 - b)) / 2 + 1);
-          taper.widths.push_back(wdt);
-          left -= wdt;
-        }
-        if (left >= 1) {
-          taper.widths.push_back(left);
-          starts.push_back(taper);
-        }
-      }
-    }
+    // Start set shared with the fixed-bus ArchitectureBackend
+    // (tam/hill_climb_starts): balanced, skewed and tapered partitions for
+    // each bus count.
+    const std::vector<TamArchitecture> starts =
+        hill_climb_starts(opts.width, opts.max_buses, soc_->num_cores());
 
     // Incremental climb: prune on the step-start incumbent. The incumbent
     // only improves during a step's reduction, so a candidate whose bound

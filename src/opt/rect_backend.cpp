@@ -1,0 +1,385 @@
+#include "opt/rect_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/stats.hpp"
+#include "sched/rect_packer.hpp"
+
+namespace soctest {
+
+bool rect_supported(const OptimizerOptions& opts, std::string* why) {
+  const auto fail = [&](const char* reason) {
+    if (why) *why = reason;
+    return false;
+  };
+  if (opts.mode != ArchMode::PerCore && opts.mode != ArchMode::NoTdc)
+    return fail(
+        "only percore and notdc modes are supported (per-bus decompressors "
+        "have no per-core rectangle)");
+  if (opts.constraint != ConstraintMode::TamWidth)
+    return fail("only the TAM-width constraint is supported");
+  if (opts.power_budget_mw > 0.0)
+    return fail("power-aware packing is not supported");
+  return true;
+}
+
+RectBackend::RectBackend(const SocOptimizer& optimizer,
+                         const OptimizerOptions& opts)
+    : opt_(&optimizer), opts_(&opts), columns_(optimizer, opts) {
+  std::string why;
+  if (!rect_supported(opts, &why))
+    throw std::invalid_argument("RectBackend: " + why);
+  if (opts.width < 1)
+    throw std::invalid_argument("RectBackend: width must be >= 1");
+  const int n = optimizer.soc().num_cores();
+  pareto_.resize(static_cast<std::size_t>(n));
+  // A width is Pareto-optimal for a core when its test time strictly beats
+  // every narrower width's. Width 1 is always in (it is the minimal
+  // feasible rectangle); wider-but-no-faster widths only waste strip area.
+  for (int w = 1; w <= opts.width; ++w) {
+    const auto col = columns_.column(w);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int>& p = pareto_[static_cast<std::size_t>(i)];
+      if (p.empty() ||
+          col->cost[static_cast<std::size_t>(i)].time <
+              columns_.column(p.back())->cost[static_cast<std::size_t>(i)].time)
+        p.push_back(w);
+    }
+  }
+}
+
+std::vector<std::vector<int>> RectBackend::starts() const {
+  const int n = static_cast<int>(pareto_.size());
+  std::vector<std::vector<int>> out;
+  // Start density scales down with core count — every climb costs
+  // O(n * frontier) per pass, so big SOCs get a coarser (still
+  // deterministic: a function of n alone) portfolio of basins.
+  const bool big = n > kBigSocCores;
+  const double all_fractions[] = {0.0, 0.125, 0.25, 0.375, 0.5,
+                                  0.625, 0.75, 0.875, 1.0};
+  const double big_fractions[] = {0.0, 0.5, 1.0};
+  const auto fractions = big ? std::vector<double>(std::begin(big_fractions),
+                                                   std::end(big_fractions))
+                             : std::vector<double>(std::begin(all_fractions),
+                                                   std::end(all_fractions));
+  for (double f : fractions) {
+    std::vector<int> g(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::vector<int>& p = pareto_[static_cast<std::size_t>(i)];
+      const auto idx = static_cast<std::size_t>(
+          f * static_cast<double>(p.size() - 1) + 0.5);
+      g[static_cast<std::size_t>(i)] = p[idx];
+    }
+    if (std::find(out.begin(), out.end(), g) == out.end())
+      out.push_back(std::move(g));
+  }
+  // Width-targeted starts: every core snaps to its largest Pareto width
+  // <= a common target W/k — the width a balanced k-bus partition would
+  // hand it. The index-fraction starts above spread cores over their own
+  // frontiers; these align cores on comparable rectangle widths, the shape
+  // narrow-strip optima tend to have.
+  for (int k = 1; k <= std::min(big ? 8 : n, opts_->width); ++k) {
+    const int target = opts_->width / k;
+    std::vector<int> g(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::vector<int>& p = pareto_[static_cast<std::size_t>(i)];
+      const auto it = std::upper_bound(p.begin(), p.end(), target);
+      g[static_cast<std::size_t>(i)] = it == p.begin() ? p.front() : *(it - 1);
+    }
+    if (std::find(out.begin(), out.end(), g) == out.end())
+      out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> RectBackend::neighbours(
+    const std::vector<int>& genome) const {
+  std::vector<std::vector<int>> out;
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    const std::vector<int>& p = pareto_[i];
+    const auto it = std::lower_bound(p.begin(), p.end(), genome[i]);
+    if (it == p.end() || *it != genome[i]) continue;  // off-frontier genome
+    const auto idx = static_cast<std::size_t>(it - p.begin());
+    // One and two Pareto steps each way: symmetric offsets keep the move
+    // set reversible (a property the contract test pins), and the 2-step
+    // moves let the climb cross single-point ridges the +-1 set stalls on.
+    for (int d : {-2, -1, 1, 2}) {
+      const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(idx) + d;
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(p.size())) continue;
+      std::vector<int> g = genome;
+      g[i] = p[static_cast<std::size_t>(j)];
+      out.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+bool RectBackend::valid(const std::vector<int>& genome) const {
+  if (genome.size() != pareto_.size()) return false;
+  for (std::size_t i = 0; i < genome.size(); ++i)
+    if (!std::binary_search(pareto_[i].begin(), pareto_[i].end(), genome[i]))
+      return false;
+  return true;
+}
+
+namespace {
+
+std::vector<RectItem> genome_items(const BackendColumns& columns,
+                                   const std::vector<int>& genome) {
+  std::vector<RectItem> items;
+  items.reserve(genome.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    const auto col = columns.column(genome[i]);
+    items.push_back(RectItem{static_cast<int>(i), genome[i],
+                             col->cost[i].time});
+  }
+  return items;
+}
+
+}  // namespace
+
+std::int64_t RectBackend::lower_bound(const std::vector<int>& genome) const {
+  return rect_area_bound(opts_->width, genome_items(columns_, genome));
+}
+
+RectPacking RectBackend::pack(const std::vector<int>& genome) const {
+  if (genome.size() != pareto_.size())
+    throw std::invalid_argument("RectBackend::pack: genome size != cores");
+  RectPacking p = pack_rectangles(opts_->width, genome_items(columns_, genome));
+  packs_.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+std::pair<std::int64_t, std::int64_t> RectBackend::score(
+    const std::vector<int>& genome) const {
+  if (genome.size() != pareto_.size())
+    throw std::invalid_argument("RectBackend::score: genome size != cores");
+  {
+    std::lock_guard<std::mutex> lock(score_mu_);
+    auto it = score_memo_.find(genome);
+    if (it != score_memo_.end()) {
+      score_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const RectPacking packing =
+      pack_rectangles(opts_->width, genome_items(columns_, genome));
+  packs_.fetch_add(1, std::memory_order_relaxed);
+  std::int64_t volume = 0;
+  for (std::size_t i = 0; i < genome.size(); ++i)
+    volume += columns_.column(genome[i])->cost[i].volume_bits;
+  const std::pair<std::int64_t, std::int64_t> sc{packing.makespan(), volume};
+  std::lock_guard<std::mutex> lock(score_mu_);
+  score_memo_.emplace(genome, sc);  // racing computes are identical
+  return sc;
+}
+
+OptimizationResult RectBackend::evaluate(const std::vector<int>& genome) const {
+  if (genome.size() != pareto_.size())
+    throw std::invalid_argument("RectBackend::evaluate: genome size != cores");
+  {
+    std::lock_guard<std::mutex> lock(memo_.mu);
+    auto it = memo_.results.find(genome);
+    if (it != memo_.results.end()) {
+      memo_.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    memo_.misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const int W = opts_->width;
+  const RectPacking packing = pack_rectangles(W, genome_items(columns_, genome));
+  packs_.fetch_add(1, std::memory_order_relaxed);
+
+  // Materialize the packing as W one-wire buses: entry.bus = the starting
+  // wire, so every index in the result (ate_memory, gantt, validate) stays
+  // in range. Entries are in placement order — later rectangles touching a
+  // wire start at or after earlier ones' ends, which is exactly the
+  // gap-allowed cursor invariant Schedule::validate checks.
+  Schedule schedule;
+  schedule.bus_finish.assign(static_cast<std::size_t>(W), 0);
+  std::vector<BusAccessCost> resolved(genome.size());
+  for (const PlacedRect& r : packing.rects) {
+    const auto core = static_cast<std::size_t>(r.id);
+    resolved[core] = columns_.column(genome[core])->cost[core];
+    ScheduleEntry e;
+    e.core = r.id;
+    e.bus = r.x;
+    e.start = r.start;
+    e.end = r.start + r.time;
+    e.choice = resolved[core].choice;
+    schedule.bus_finish[static_cast<std::size_t>(r.x)] = e.end;
+    schedule.total_volume_bits += resolved[core].volume_bits;
+    schedule.entries.push_back(std::move(e));
+  }
+
+  TamArchitecture arch;
+  arch.widths.assign(static_cast<std::size_t>(W), 1);
+  std::vector<BusRealization> buses(static_cast<std::size_t>(W),
+                                    opt_->realize_bus(1, *opts_));
+  const CostFn cost = [&resolved](int core, int /*bus*/) {
+    return resolved[static_cast<std::size_t>(core)];
+  };
+  OptimizationResult r =
+      opt_->materialize(arch, *opts_, std::move(buses), cost,
+                        std::move(schedule));
+  r.backend = BackendKind::Rect;
+
+  std::lock_guard<std::mutex> lock(memo_.mu);
+  memo_.results.emplace(genome, r);  // racing computes are identical
+  return r;
+}
+
+OptimizationResult optimize_rect(const SocOptimizer& optimizer,
+                                 const OptimizerOptions& opts) {
+  std::string why;
+  if (!rect_supported(opts, &why))
+    throw std::invalid_argument("optimize_rect: " + why);
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::PhaseTimer timer("search");
+
+  RectBackend backend(optimizer, opts);
+  const std::vector<std::vector<int>> starts = backend.starts();
+  runtime::ParallelOptions par;
+  par.cancel = opts.cancel;
+
+  std::atomic<std::uint64_t> generated{0};
+  std::atomic<std::uint64_t> pruned{0};
+  using Score = std::pair<std::int64_t, std::int64_t>;  // (time, volume)
+  // The climb runs entirely on score() — packing makespan + genome volume,
+  // no wiring/decompressor materialization — and returns its final genome;
+  // only those (one per start) are evaluated in full below. score() and
+  // evaluate() rank genomes identically, so the trajectory is the same.
+  const auto climb = [&](const std::vector<int>& start) {
+    std::vector<int> g = start;
+    Score cur = backend.score(g);
+
+    // Pick the best improving candidate from a batch (index-order
+    // reduction, so ties are deterministic). Returns true when cur/g moved.
+    const auto take_best = [&](const std::vector<std::vector<int>>& cand) {
+      generated.fetch_add(cand.size(), std::memory_order_relaxed);
+      std::vector<std::size_t> survivors;
+      for (std::size_t j = 0; j < cand.size(); ++j) {
+        if (backend.lower_bound(cand[j]) > cur.first)
+          pruned.fetch_add(1, std::memory_order_relaxed);
+        else
+          survivors.push_back(j);
+      }
+      std::vector<Score> results = runtime::parallel_map(
+          survivors, [&](std::size_t j) { return backend.score(cand[j]); },
+          par);
+      bool improved = false;
+      for (std::size_t j = 0; j < survivors.size(); ++j) {
+        if (results[j] < cur) {
+          cur = results[j];
+          g = cand[survivors[j]];
+          improved = true;
+        }
+      }
+      return improved;
+    };
+
+    const std::vector<std::vector<int>>& pareto = backend.pareto_widths();
+    const bool big =
+        static_cast<int>(pareto.size()) > RectBackend::kBigSocCores;
+
+    // Steepest descent over the +-1/+-2 neighbourhood. Skipped above
+    // kBigSocCores: a step pays n * 4 packings to move ONE core, while a
+    // coordinate-descent pass below moves up to n cores for n * window
+    // packings — on big SOCs the polish alone converges far cheaper.
+    if (!big) {
+      for (int step = 0; step < opts.max_search_steps; ++step) {
+        if (opts.cancel) opts.cancel->check();
+        if (!take_best(backend.neighbours(g))) break;
+      }
+    }
+    const auto pareto_index = [&](std::size_t core) {
+      const std::vector<int>& p = pareto[core];
+      return static_cast<std::size_t>(
+          std::lower_bound(p.begin(), p.end(), g[core]) - p.begin());
+    };
+
+    for (int round = 0; round < opts.max_search_steps; ++round) {
+      // Coordinate-descent polish: each core in id order tries its Pareto
+      // frontier holding the rest fixed (the FULL frontier on small SOCs,
+      // a +-4-step window above kBigSocCores), until a whole pass finds
+      // nothing. Crosses ridges the fixed-offset neighbourhood cannot, and
+      // stays deterministic (core order and the reduction fix every tie).
+      for (int pass = 0; pass < opts.max_search_steps; ++pass) {
+        if (opts.cancel) opts.cancel->check();
+        bool improved = false;
+        for (std::size_t i = 0; i < g.size(); ++i) {
+          const std::size_t gi = pareto_index(i);
+          std::vector<std::vector<int>> cand;
+          for (std::size_t wi = 0; wi < pareto[i].size(); ++wi) {
+            const int w = pareto[i][wi];
+            if (w == g[i]) continue;
+            if (big && (wi + 4 < gi || wi > gi + 4)) continue;
+            std::vector<int> c = g;
+            c[i] = w;
+            cand.push_back(std::move(c));
+          }
+          if (take_best(cand)) improved = true;
+        }
+        if (!improved) break;
+      }
+      // Critical-pair kick: give wires to a core that finishes at the
+      // makespan (one Pareto step up) while taking them from another (one
+      // step down) — the joint move single-coordinate descent cannot see.
+      // One improving kick re-enters the polish; no kick ends the climb.
+      // The critical set comes from the packing score() already memoized.
+      const RectPacking packing = backend.pack(g);
+      std::vector<std::vector<int>> kicks;
+      int critical_seen = 0;
+      for (const PlacedRect& r : packing.rects) {
+        if (r.start + r.time != cur.first) continue;
+        if (big && ++critical_seen > 4) break;
+        const auto c = static_cast<std::size_t>(r.id);
+        const std::size_t ci = pareto_index(c);
+        if (ci + 1 >= pareto[c].size()) continue;
+        for (std::size_t o = 0; o < g.size(); ++o) {
+          if (o == c) continue;
+          const std::size_t oi = pareto_index(o);
+          if (oi == 0) continue;
+          std::vector<int> k = g;
+          k[c] = pareto[c][ci + 1];
+          k[o] = pareto[o][oi - 1];
+          kicks.push_back(std::move(k));
+        }
+      }
+      if (!take_best(kicks)) break;
+    }
+    return g;
+  };
+
+  const std::vector<std::vector<int>> finals =
+      runtime::parallel_map(starts, climb, par);
+  const std::vector<OptimizationResult> climbed = runtime::parallel_map(
+      finals, [&](const std::vector<int>& g) { return backend.evaluate(g); },
+      par);
+  OptimizationResult best;
+  bool have_best = false;
+  for (const OptimizationResult& r : climbed) {
+    if (!have_best || better_result(r, best)) {
+      best = r;
+      have_best = true;
+    }
+  }
+
+  runtime::SearchStats st;
+  st.candidates_generated = generated.load(std::memory_order_relaxed);
+  st.candidates_pruned = pruned.load(std::memory_order_relaxed);
+  st.candidates_scheduled = backend.packs();
+  st.rect_packs = backend.packs();
+  st.rect_memo_hits = backend.memo_hits();
+  runtime::add_search_counters(st);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  best.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return best;
+}
+
+}  // namespace soctest

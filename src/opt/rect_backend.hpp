@@ -1,0 +1,112 @@
+// Rectangle-packing architecture backend (PAPERS.md's rectangle-bin-
+// packing line, arXiv:1008.4448 / 1008.3320, under TDC). Each core picks a
+// width from its PARETO-OPTIMAL wrapper points — the widths where its test
+// time strictly improves over every narrower width, read off the same cost
+// columns the fixed-bus search uses — and becomes a (width x time)
+// rectangle; sched/rect_packer packs the rectangles into the W-wide TAM
+// strip with the deterministic best-fit-decreasing skyline construction.
+// The genome is the per-core width vector; a move steps one core to an
+// adjacent Pareto point.
+//
+// The packed result is materialized through SocOptimizer::materialize as W
+// one-wire buses: entry.bus is the rectangle's starting wire, so the
+// existing reporting/validation machinery (Schedule::validate, gantt, ATE
+// memory) reads a packing like any schedule. The search (optimize_rect) is
+// a multi-start hill climb over the Pareto genomes, bit-identical for any
+// --jobs and independent of the fixed-bus trajectory — which is what makes
+// `--backend race` reproducible across (workers x jobs) splits.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "opt/backend.hpp"
+#include "sched/rect_packer.hpp"
+
+namespace soctest {
+
+/// True iff `opts` lie in the rectangle backend's supported slice: PerCore
+/// or NoTdc mode, TamWidth constraint, no power budget. `why` (optional)
+/// receives the reason when not.
+bool rect_supported(const OptimizerOptions& opts, std::string* why = nullptr);
+
+class RectBackend : public ArchitectureBackend {
+ public:
+  /// Above this core count the search trims its start portfolio and
+  /// polish windows (deterministically — a function of the core count
+  /// alone); below it every frontier is explored in full.
+  static constexpr int kBigSocCores = 48;
+
+  /// Builds the per-core Pareto width sets (all cost columns 1..W).
+  /// Throws std::invalid_argument when !rect_supported(opts) or width < 1.
+  /// `optimizer`/`opts` must outlive the backend.
+  RectBackend(const SocOptimizer& optimizer, const OptimizerOptions& opts);
+
+  BackendKind kind() const override { return BackendKind::Rect; }
+  std::string name() const override { return "rect"; }
+  std::vector<std::vector<int>> starts() const override;
+  std::vector<std::vector<int>> neighbours(
+      const std::vector<int>& genome) const override;
+  bool valid(const std::vector<int>& genome) const override;
+  /// rect_area_bound over the genome's rectangles — admissible for ANY
+  /// packing, not just the best-fit one evaluate() constructs.
+  std::int64_t lower_bound(const std::vector<int>& genome) const override;
+  OptimizationResult evaluate(const std::vector<int>& genome) const override;
+
+  /// Ascending Pareto-optimal widths per core (first entry is always 1).
+  const std::vector<std::vector<int>>& pareto_widths() const {
+    return pareto_;
+  }
+
+  /// The genome's skyline packing (the same construction evaluate()
+  /// materializes). Exposed for the climb's critical-set probe and the
+  /// fuzz tests.
+  RectPacking pack(const std::vector<int>& genome) const;
+
+  /// The climb's fast path: (makespan, data volume) of the genome's
+  /// packing, without materializing the full OptimizationResult — the
+  /// packing is rebuilt, the wiring/decompressor models are not. Memoized;
+  /// agrees exactly with evaluate()'s (test_time, data_volume_bits).
+  std::pair<std::int64_t, std::int64_t> score(
+      const std::vector<int>& genome) const;
+
+  /// Observability: packings built / genome-memo hits so far.
+  std::uint64_t packs() const {
+    return packs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memo_hits() const {
+    return memo_.hits.load(std::memory_order_relaxed) +
+           score_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const SocOptimizer* opt_;
+  const OptimizerOptions* opts_;
+  BackendColumns columns_;
+  std::vector<std::vector<int>> pareto_;  // per core, ascending widths
+  mutable ScheduleMemo memo_;  // keyed by per-core width vectors — never
+                               // shared with another backend's genome space
+  mutable std::mutex score_mu_;
+  mutable std::unordered_map<std::vector<int>,
+                             std::pair<std::int64_t, std::int64_t>,
+                             WidthVectorHash>
+      score_memo_;
+  mutable std::atomic<std::uint64_t> score_hits_{0};
+  mutable std::atomic<std::uint64_t> packs_{0};
+};
+
+/// Deterministic multi-start hill climb over the rect backend's Pareto
+/// genomes: starts at five Pareto-index fractions, batches each
+/// neighbourhood through runtime::parallel_map with area-bound pruning,
+/// reduces in index order — bit-identical for any --jobs. Flushes
+/// rect_packs/rect_memo_hits into runtime::collect_stats(). Throws
+/// std::invalid_argument when !rect_supported(opts).
+OptimizationResult optimize_rect(const SocOptimizer& optimizer,
+                                 const OptimizerOptions& opts);
+
+}  // namespace soctest

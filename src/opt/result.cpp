@@ -8,8 +8,10 @@ namespace soctest {
 
 std::string summarize(const OptimizationResult& r, const SocSpec& soc) {
   std::ostringstream os;
-  os << "mode=" << to_string(r.mode) << " constraint=" << to_string(r.constraint)
-     << " W=" << r.arch.total_width() << " buses=" << r.arch.to_string()
+  os << "mode=" << to_string(r.mode) << " constraint=" << to_string(r.constraint);
+  if (r.backend != BackendKind::FixedBus)
+    os << " backend=" << to_string(r.backend);
+  os << " W=" << r.arch.total_width() << " buses=" << r.arch.to_string()
      << "\n";
   os << "test time = " << r.test_time << " cycles, data volume = "
      << r.data_volume_bits << " bits, planning CPU = " << r.cpu_seconds
@@ -39,6 +41,8 @@ std::string one_line(const OptimizationResult& r) {
   os << to_string(r.mode) << " W=" << r.arch.total_width() << " ("
      << r.arch.to_string() << ") tau=" << r.test_time
      << " V=" << r.data_volume_bits;
+  if (r.backend != BackendKind::FixedBus)
+    os << " backend=" << to_string(r.backend);
   return os.str();
 }
 

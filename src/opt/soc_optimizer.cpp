@@ -26,6 +26,15 @@ std::string to_string(ConstraintMode c) {
   return c == ConstraintMode::TamWidth ? "TAM-width" : "ATE-channels";
 }
 
+std::string to_string(BackendKind b) {
+  switch (b) {
+    case BackendKind::FixedBus: return "fixed";
+    case BackendKind::Rect: return "rect";
+    case BackendKind::Race: return "race";
+  }
+  return "?";
+}
+
 SocOptimizer::SocOptimizer(const SocSpec& soc, ExploreOptions explore)
     : soc_(&soc), explore_(explore) {
   soc.validate();

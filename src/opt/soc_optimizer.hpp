@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dft/soc_spec.hpp"
@@ -41,8 +42,22 @@ struct ColumnCache;    // opt/delta_evaluator.hpp
 enum class ArchMode { NoTdc, PerTam, PerCore, FixedWidth4 };
 enum class ConstraintMode { TamWidth, AteChannels };
 
+/// Which architecture model the step-3 search runs over (opt/backend.hpp).
+///   FixedBus  the paper's fixed-width buses (every driver; the default).
+///   Rect      flexible-width rectangle packing (opt/rect_backend) — each
+///             core picks a width from its Pareto-optimal wrapper points
+///             and the cores are packed into the W-wire strip.
+///   Race      run the fixed-bus search unchanged, then race the
+///             deterministic rect search beside it and keep the better
+///             result. Valid in OptimizerOptions only; OptimizationResult
+///             records the backend that actually produced the winner.
+/// Numeric values are wire-format: checkpoint v3 and the dist init frame
+/// carry them, so they must never be renumbered.
+enum class BackendKind { FixedBus = 0, Rect = 1, Race = 2 };
+
 std::string to_string(ArchMode m);
 std::string to_string(ConstraintMode c);
+std::string to_string(BackendKind b);
 
 struct OptimizerOptions {
   int width = 32;  // W_TAM or W_ATE depending on `constraint`
@@ -76,6 +91,12 @@ struct OptimizerOptions {
   /// CLI and benches dispatch to optimize_portfolio() when it is set, so
   /// the opt layer stays free of a portfolio dependency.
   int portfolio = 0;
+  /// Architecture backend the search runs over. optimize()/optimize_shared()
+  /// ignore the field (they ARE the fixed-bus backend); the drivers above
+  /// them — optimize_backend(), the CLI, run_portfolio, the distributed
+  /// coordinator — dispatch on it, keeping the fixed-bus hot path
+  /// byte-identical to before the backend split.
+  BackendKind backend = BackendKind::FixedBus;
   /// Optional cooperative cancellation for the step-3 search (the server's
   /// per-request deadline/cancel token). Polled between hill-climb steps,
   /// between annealing proposals, and inside the batched parallel loops; a
@@ -105,6 +126,10 @@ struct OptimizationResult {
   double cpu_seconds = 0.0;          // planning time (tables excluded,
                                      // like the paper's CPU column)
   double peak_power_mw = 0.0;        // peak concurrent test power
+  /// Backend that produced this result (FixedBus or Rect — never Race;
+  /// a race records its winner). Reports only surface it when != FixedBus
+  /// so pre-backend fixed-bus output stays byte-identical.
+  BackendKind backend = BackendKind::FixedBus;
 };
 
 class SocOptimizer {
@@ -143,6 +168,33 @@ class SocOptimizer {
   /// search, by tests, and to reproduce Figure 4's fixed examples.
   OptimizationResult evaluate(const TamArchitecture& arch,
                               const OptimizerOptions& opts) const;
+
+  /// Public face of realize_one for the architecture backends: how a bus
+  /// (or a wire lane) of width `v` is physically realized. Depends only on
+  /// (mode, constraint, v).
+  BusRealization realize_bus(int v, const OptimizerOptions& opts) const {
+    return realize_one(v, opts);
+  }
+
+  /// Public face of access_cost: what testing `core` over `bus` costs.
+  /// Depends only on (core, mode, constraint, bus width) — the property
+  /// that lets backends share per-width cost columns.
+  BusAccessCost bus_access_cost(int core, const BusRealization& bus,
+                                const OptimizerOptions& opts) const {
+    return access_cost(core, bus, opts);
+  }
+
+  /// Public face of evaluate_scheduled for backends that construct their
+  /// own schedule (the rect backend packs rather than runs the greedy
+  /// scheduler): materializes metrics + wiring from a finished schedule,
+  /// through the exact same code path the fixed-bus evaluations use.
+  OptimizationResult materialize(const TamArchitecture& arch,
+                                 const OptimizerOptions& opts,
+                                 std::vector<BusRealization> buses,
+                                 const CostFn& cost, Schedule schedule) const {
+    return evaluate_scheduled(arch, opts, std::move(buses), cost,
+                              std::move(schedule));
+  }
 
  private:
   friend class DeltaEvaluator;

@@ -1,5 +1,6 @@
 #include "portfolio/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -9,7 +10,9 @@ namespace soctest::portfolio {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'O', 'C', 'P', 'F', 'C', 'K', '1'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
+// Still accepted: identical to v3 minus the backend tag (always fixed-bus).
+constexpr std::uint32_t kVersionNoBackend = 2;
 constexpr char kShardMagic[8] = {'S', 'O', 'C', 'P', 'F', 'S', 'H', '1'};
 constexpr std::uint32_t kShardVersion = 1;
 
@@ -78,6 +81,7 @@ std::vector<unsigned char> encode_checkpoint(const PortfolioCheckpoint& ck) {
   for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
   w.u32(kVersion);
   w.u64(ck.fingerprint);
+  w.u8(static_cast<std::uint8_t>(ck.backend));
   w.u32(static_cast<std::uint32_t>(ck.replicas.size()));
   w.u32(static_cast<std::uint32_t>(ck.sweeps_completed));
   w.u64(ck.swaps_attempted);
@@ -110,11 +114,27 @@ PortfolioCheckpoint decode_checkpoint(
   if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
     throw std::runtime_error("portfolio checkpoint: bad magic");
   const std::uint32_t version = r.u32();
-  if (version != kVersion)
+  if (version != kVersion && version != kVersionNoBackend)
     throw std::runtime_error("portfolio checkpoint: unsupported version " +
                              std::to_string(version));
   PortfolioCheckpoint ck;
   ck.fingerprint = r.u64();
+  if (version >= kVersion) {
+    const std::uint8_t backend = r.u8();
+    if (backend > static_cast<std::uint8_t>(BackendKind::Race))
+      throw std::runtime_error("portfolio checkpoint: bad backend tag " +
+                               std::to_string(backend));
+    ck.backend = static_cast<BackendKind>(backend);
+  } else {
+    // Pre-v3 blob: no backend tag existed, and every pre-backend run was
+    // the fixed-bus search. Note it — the blob is being reinterpreted, not
+    // read verbatim.
+    std::fprintf(stderr,
+                 "note: portfolio checkpoint has no backend tag (version %u); "
+                 "assuming fixed-bus\n",
+                 version);
+    ck.backend = BackendKind::FixedBus;
+  }
   const std::uint32_t replicas = r.u32();
   ck.sweeps_completed = static_cast<int>(r.u32());
   ck.swaps_attempted = r.u64();

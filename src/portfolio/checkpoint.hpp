@@ -9,10 +9,11 @@
 // problem; decode errors and mismatches throw, they never silently
 // mis-resume.
 //
-// Format (version 2, little-endian on every supported target):
+// Format (version 3, little-endian on every supported target):
 //   byte[8]  magic "SOCPFCK1"
 //   u32      version
 //   u64      fingerprint
+//   u8       backend tag (BackendKind numeric value; version 3+ only)
 //   u32      replica count K
 //   u32      sweeps_completed
 //   u64      swaps_attempted, swaps_accepted, proposals_total
@@ -26,7 +27,11 @@
 // where widths = u32 count + i32 values. Version 2 added the adaptive
 // ladder's per-pair retune window counters (empty unless --adaptive-ladder
 // ran); version 1 blobs are rejected — the fingerprint recipe changed with
-// them, so no version-1 blob could resume correctly anyway.
+// them, so no version-1 blob could resume correctly anyway. Version 3
+// added the backend tag right after the fingerprint; version 2 blobs are
+// still accepted (the tag defaults to fixed-bus with a stderr note — every
+// pre-backend run WAS fixed-bus, and the fingerprint recipe only hashes a
+// non-default backend, so v2 fingerprints stay comparable).
 #pragma once
 
 #include <cstdint>
@@ -53,6 +58,11 @@ enum class RacerState : std::uint8_t { None = 0, Pending = 1, Done = 2 };
 
 struct PortfolioCheckpoint {
   std::uint64_t fingerprint = 0;
+  /// Backend the checkpointed run searched with. Pre-v3 blobs carry no tag
+  /// and decode as FixedBus (what every pre-backend run was); resuming
+  /// under a different backend is rejected before the fingerprint check so
+  /// the error names the actual mismatch.
+  BackendKind backend = BackendKind::FixedBus;
   int sweeps_completed = 0;
   std::uint64_t swaps_attempted = 0;
   std::uint64_t swaps_accepted = 0;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "opt/anneal_walk.hpp"
+#include "opt/backend.hpp"
 #include "opt/delta_evaluator.hpp"
 #include "portfolio/checkpoint.hpp"
 #include "portfolio/counter_rng.hpp"
@@ -36,6 +37,10 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
                               const PortfolioCheckpoint* restore) {
   const int K = portfolio::resolved_ladder_size(opts, popts);
   if (K < 1) throw std::invalid_argument("portfolio: replicas must be >= 1");
+  if (opts.backend == BackendKind::Rect)
+    throw std::invalid_argument(
+        "portfolio: the rect backend has no tempering ladder — use "
+        "backend=race to race it beside the fixed-bus portfolio");
   if (popts.proposals_per_sweep < 1)
     throw std::invalid_argument("portfolio: proposals_per_sweep must be >= 1");
   if (popts.sweeps < 0)
@@ -132,6 +137,7 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
     if (!checkpointing) return;
     PortfolioCheckpoint ck;
     ck.fingerprint = portfolio_fingerprint(optimizer, opts, popts);
+    ck.backend = opts.backend;
     ck.sweeps_completed = stats.sweeps_completed;
     ck.swaps_attempted = stats.swaps_attempted;
     ck.swaps_accepted = stats.swaps_accepted;
@@ -258,6 +264,17 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
     stats.hill_climb_won = true;
   }
 
+  // backend == Race: the rectangle backend runs as one more deterministic
+  // portfolio member, merged last so the fixed-bus trajectories (and the
+  // checkpointed ladder state) are exactly what they were without it. It
+  // depends only on (optimizer, opts) — never on jobs or worker count.
+  if (opts.backend == BackendKind::Race) {
+    stats.rect_raced = true;
+    bool rect_won = false;
+    out.best = race_merge_rect(optimizer, opts, std::move(out.best), &rect_won);
+    stats.rect_won = rect_won;
+  }
+
   if (!popts.checkpoint_path.empty())
     write_checkpoint(racer_done ? RacerState::Done : RacerState::None);
 
@@ -296,6 +313,10 @@ std::uint64_t portfolio_fingerprint(const SocOptimizer& optimizer,
   h.u64(portfolio::double_bits(opts.power_budget_mw));
   h.boolean(opts.incremental);
   h.boolean(opts.capacity_bound);
+  // Hashed only when non-default so pre-backend (v2) checkpoints, which
+  // could only have been fixed-bus runs, keep their fingerprints.
+  if (opts.backend != BackendKind::FixedBus)
+    h.i32(static_cast<std::int32_t>(opts.backend));
   h.i32(portfolio::resolved_ladder_size(opts, popts));
   h.i32(popts.proposals_per_sweep);
   h.u64(portfolio::double_bits(popts.initial_temperature));
@@ -320,6 +341,11 @@ PortfolioResult resume_portfolio(const SocOptimizer& optimizer,
                                  const std::string& checkpoint_path) {
   const PortfolioCheckpoint ck =
       portfolio::read_checkpoint_file(checkpoint_path);
+  if (ck.backend != opts.backend)
+    throw std::runtime_error("portfolio: checkpoint backend '" +
+                             to_string(ck.backend) +
+                             "' does not match requested backend '" +
+                             to_string(opts.backend) + "'");
   const std::uint64_t expect =
       portfolio_fingerprint(optimizer, opts, popts);
   if (ck.fingerprint != expect)

@@ -130,6 +130,11 @@ struct PortfolioStats {
   bool hill_climb_raced = false;
   /// True when the racer's result beat every tempering replica.
   bool hill_climb_won = false;
+  /// --backend race: the rectangle backend's deterministic hill climb ran
+  /// beside the (fixed-bus) ladder, merged after the racer so the fixed
+  /// trajectories are untouched; rect_won is true when it beat them all.
+  bool rect_raced = false;
+  bool rect_won = false;
   /// First checkpoint-write failure, empty when every write succeeded.
   /// The run itself completed — callers decide how loudly to fail (the
   /// CLI exits 3, the server sends a "checkpoint_io" protocol error).

@@ -64,6 +64,10 @@ std::string result_to_json(const OptimizationResult& r, const SocSpec& soc,
   os << "  \"mode\": \"" << json_escape(to_string(r.mode)) << "\",\n";
   os << "  \"constraint\": \"" << json_escape(to_string(r.constraint))
      << "\",\n";
+  // Emitted only for non-default backends so pre-backend fixed-bus reports
+  // (and the differential goldens pinning them) stay byte-identical.
+  if (r.backend != BackendKind::FixedBus)
+    os << "  \"backend\": \"" << json_escape(to_string(r.backend)) << "\",\n";
   os << "  \"test_time\": " << r.test_time << ",\n";
   os << "  \"data_volume_bits\": " << r.data_volume_bits << ",\n";
   os << "  \"peak_power_mw\": " << r.peak_power_mw << ",\n";

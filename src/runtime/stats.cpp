@@ -26,6 +26,8 @@ std::atomic<std::uint64_t> g_warm_schedule_starts{0};
 std::atomic<std::uint64_t> g_portfolio_proposals{0};
 std::atomic<std::uint64_t> g_portfolio_swaps_attempted{0};
 std::atomic<std::uint64_t> g_portfolio_swaps_accepted{0};
+std::atomic<std::uint64_t> g_rect_packs{0};
+std::atomic<std::uint64_t> g_rect_memo_hits{0};
 
 }  // namespace
 
@@ -72,6 +74,8 @@ void add_search_counters(const SearchStats& s) {
                                         std::memory_order_relaxed);
   g_portfolio_swaps_accepted.fetch_add(s.portfolio_swaps_accepted,
                                        std::memory_order_relaxed);
+  g_rect_packs.fetch_add(s.rect_packs, std::memory_order_relaxed);
+  g_rect_memo_hits.fetch_add(s.rect_memo_hits, std::memory_order_relaxed);
 }
 
 void reset_search_counters() {
@@ -88,6 +92,8 @@ void reset_search_counters() {
   g_portfolio_proposals.store(0, std::memory_order_relaxed);
   g_portfolio_swaps_attempted.store(0, std::memory_order_relaxed);
   g_portfolio_swaps_accepted.store(0, std::memory_order_relaxed);
+  g_rect_packs.store(0, std::memory_order_relaxed);
+  g_rect_memo_hits.store(0, std::memory_order_relaxed);
 }
 
 void register_cache_stats_provider(std::function<CacheStats()> provider) {
@@ -121,6 +127,8 @@ RuntimeStats collect_stats() {
       g_portfolio_swaps_attempted.load(std::memory_order_relaxed);
   s.search.portfolio_swaps_accepted =
       g_portfolio_swaps_accepted.load(std::memory_order_relaxed);
+  s.search.rect_packs = g_rect_packs.load(std::memory_order_relaxed);
+  s.search.rect_memo_hits = g_rect_memo_hits.load(std::memory_order_relaxed);
   std::function<CacheStats()> provider;
   {
     std::lock_guard<std::mutex> lk(g_m);
@@ -161,6 +169,8 @@ std::string stats_to_json(const RuntimeStats& s) {
      << ", \"portfolio_swaps_attempted\": "
      << s.search.portfolio_swaps_attempted
      << ", \"portfolio_swaps_accepted\": " << s.search.portfolio_swaps_accepted
+     << ", \"rect_packs\": " << s.search.rect_packs
+     << ", \"rect_memo_hits\": " << s.search.rect_memo_hits
      << "}, \"phases\": {";
   for (std::size_t i = 0; i < s.phases.size(); ++i) {
     os << (i ? ", " : "") << "\"" << s.phases[i].phase

@@ -73,6 +73,10 @@ struct SearchStats {
   std::uint64_t portfolio_proposals = 0;
   std::uint64_t portfolio_swaps_attempted = 0;
   std::uint64_t portfolio_swaps_accepted = 0;
+  /// Rectangle backend (opt/rect_backend): strip packings constructed and
+  /// genome-memo hits. Zero unless --backend rect or race ran.
+  std::uint64_t rect_packs = 0;
+  std::uint64_t rect_memo_hits = 0;
 };
 
 struct RuntimeStats {

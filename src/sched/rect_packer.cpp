@@ -1,0 +1,185 @@
+#include "sched/rect_packer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+
+std::int64_t RectPacking::makespan() const {
+  std::int64_t span = 0;
+  for (const PlacedRect& r : rects) span = std::max(span, r.start + r.time);
+  return span;
+}
+
+namespace {
+
+void check_items(int strip_width, const std::vector<RectItem>& items) {
+  if (strip_width < 1)
+    throw std::invalid_argument("pack_rectangles: strip_width must be >= 1");
+  for (const RectItem& it : items) {
+    if (it.width < 1 || it.width > strip_width)
+      throw std::invalid_argument("pack_rectangles: item " +
+                                  std::to_string(it.id) +
+                                  " width outside [1, strip_width]");
+    if (it.time < 0)
+      throw std::invalid_argument("pack_rectangles: item " +
+                                  std::to_string(it.id) + " has negative time");
+  }
+}
+
+// Insertion orders for the skyline construction. Each is a TOTAL order on
+// the item tuples (id breaks every tie), which makes each construction —
+// and the best-of selection below — a pure function of the item multiset;
+// the repack-fixed-point invariant depends on this.
+bool longest_first(const RectItem& a, const RectItem& b) {
+  if (a.time != b.time) return a.time > b.time;
+  if (a.width != b.width) return a.width > b.width;
+  return a.id < b.id;
+}
+
+bool widest_first(const RectItem& a, const RectItem& b) {
+  if (a.width != b.width) return a.width > b.width;
+  if (a.time != b.time) return a.time > b.time;
+  return a.id < b.id;
+}
+
+bool largest_area_first(const RectItem& a, const RectItem& b) {
+  const std::int64_t aa = static_cast<std::int64_t>(a.width) * a.time;
+  const std::int64_t bb = static_cast<std::int64_t>(b.width) * b.time;
+  if (aa != bb) return aa > bb;
+  if (a.time != b.time) return a.time > b.time;
+  return a.id < b.id;
+}
+
+RectPacking pack_in_order(int strip_width, std::vector<RectItem> order,
+                          bool (*before)(const RectItem&, const RectItem&)) {
+  std::sort(order.begin(), order.end(), before);
+
+  RectPacking packing;
+  packing.strip_width = strip_width;
+  packing.rects.reserve(order.size());
+
+  // skyline[x] = first free cycle on wire x.
+  std::vector<std::int64_t> skyline(static_cast<std::size_t>(strip_width), 0);
+  // Deque for the O(strip_width) sliding-window maximum over the skyline
+  // (indices with non-increasing skyline values), reused across items.
+  std::vector<int> win;
+  win.reserve(static_cast<std::size_t>(strip_width));
+  for (const RectItem& it : order) {
+    // Window maxima via monotonic deque: the candidate start at x is
+    // max(skyline[x .. x+w-1]); scan x left to right keeping the smallest.
+    win.clear();
+    std::size_t head = 0;
+    int best_x = 0;
+    std::int64_t best_start = std::numeric_limits<std::int64_t>::max();
+    for (int e = 0; e < strip_width; ++e) {
+      while (win.size() > head &&
+             skyline[static_cast<std::size_t>(win.back())] <=
+                 skyline[static_cast<std::size_t>(e)])
+        win.pop_back();
+      win.push_back(e);
+      const int x = e - it.width + 1;
+      if (x < 0) continue;
+      if (win[head] < x) ++head;
+      const std::int64_t start = skyline[static_cast<std::size_t>(win[head])];
+      if (start < best_start) {
+        best_start = start;
+        best_x = x;
+      }
+    }
+    for (int k = 0; k < it.width; ++k)
+      skyline[static_cast<std::size_t>(best_x + k)] = best_start + it.time;
+    packing.rects.push_back(
+        PlacedRect{it.id, it.width, it.time, best_x, best_start});
+  }
+  return packing;
+}
+
+}  // namespace
+
+RectPacking pack_rectangles(int strip_width,
+                            const std::vector<RectItem>& items) {
+  check_items(strip_width, items);
+  // Run the skyline construction under three insertion orders and keep the
+  // shortest strip; ties keep the earliest order, so the choice is as
+  // deterministic as each construction. Every skyline placement is maximal
+  // (a rect lands exactly on the highest prior end in its span), so the
+  // winner is too.
+  static bool (*const kOrders[])(const RectItem&, const RectItem&) = {
+      longest_first, widest_first, largest_area_first};
+  RectPacking best;
+  std::int64_t best_span = std::numeric_limits<std::int64_t>::max();
+  for (auto* before : kOrders) {
+    RectPacking p = pack_in_order(strip_width, items, before);
+    const std::int64_t span = p.makespan();
+    if (span < best_span) {
+      best_span = span;
+      best = std::move(p);
+    }
+  }
+  return best;
+}
+
+std::int64_t rect_area_bound(int strip_width,
+                             const std::vector<RectItem>& items) {
+  check_items(strip_width, items);
+  std::int64_t area = 0;
+  std::int64_t longest = 0;
+  for (const RectItem& it : items) {
+    area += static_cast<std::int64_t>(it.width) * it.time;
+    longest = std::max(longest, it.time);
+  }
+  const std::int64_t by_area = (area + strip_width - 1) / strip_width;
+  return std::max(by_area, longest);
+}
+
+void validate_packing(const RectPacking& p) {
+  if (p.strip_width < 1)
+    throw std::logic_error("rect packing: strip_width must be >= 1");
+  for (const PlacedRect& r : p.rects) {
+    if (r.width < 1 || r.x < 0 || r.x + r.width > p.strip_width)
+      throw std::logic_error("rect packing: rect " + std::to_string(r.id) +
+                             " outside the strip");
+    if (r.time < 0 || r.start < 0)
+      throw std::logic_error("rect packing: rect " + std::to_string(r.id) +
+                             " has a negative time span");
+  }
+  for (std::size_t i = 0; i < p.rects.size(); ++i) {
+    const PlacedRect& a = p.rects[i];
+    for (std::size_t j = i + 1; j < p.rects.size(); ++j) {
+      const PlacedRect& b = p.rects[j];
+      const bool wires_disjoint =
+          a.x + a.width <= b.x || b.x + b.width <= a.x;
+      const bool times_disjoint =
+          a.start + a.time <= b.start || b.start + b.time <= a.start;
+      if (!wires_disjoint && !times_disjoint)
+        throw std::logic_error("rect packing: rects " + std::to_string(a.id) +
+                               " and " + std::to_string(b.id) + " overlap");
+    }
+  }
+}
+
+bool packing_is_maximal(const RectPacking& p) {
+  for (const PlacedRect& r : p.rects) {
+    if (r.start == 0) continue;
+    // In a valid packing every rect q sharing a wire with r has either
+    // q.end <= r.start or q.start >= r.end, so the tightest obstruction
+    // below r is max{q.end : q shares a wire, q.end <= r.start}. r is
+    // immovable iff that obstruction equals r.start exactly.
+    std::int64_t obstruction = 0;
+    for (const PlacedRect& q : p.rects) {
+      if (&q == &r) continue;
+      const bool shares_wire =
+          !(q.x + q.width <= r.x || r.x + r.width <= q.x);
+      if (!shares_wire) continue;
+      const std::int64_t q_end = q.start + q.time;
+      if (q_end <= r.start) obstruction = std::max(obstruction, q_end);
+    }
+    if (obstruction != r.start) return false;
+  }
+  return true;
+}
+
+}  // namespace soctest

@@ -1,0 +1,71 @@
+// Deterministic skyline strip packing for the rectangle-packing TAM
+// backend (opt/rect_backend). Cores become (width x time) rectangles and
+// the W-wire TAM budget becomes a strip of W wire lanes running forward in
+// time; a packing assigns every rectangle a wire span [x, x + width) and a
+// start time so that no two rectangles overlap. The SOC test time is the
+// latest rectangle end — exactly the makespan objective of the fixed-bus
+// model, but over a strictly larger architecture space (a fixed-bus
+// schedule IS a packing whose rectangles tile fixed wire spans).
+//
+// The construction is best-fit-decreasing: rectangles sorted by time
+// (desc), width (desc), id (asc) are placed one by one at the wire span
+// whose skyline admits the earliest start (ties: smallest x). Placement is
+// a pure function of the rectangle multiset — no RNG, no iteration-order
+// dependence — so re-packing a packed solution's rectangles reproduces it
+// exactly (the fuzz suite's fixed-point invariant), and every placement is
+// maximal: a rectangle either starts at 0 or rests on a rectangle that
+// ends exactly at its start (no rectangle can shift to an earlier start).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soctest {
+
+/// One core's rectangle: `width` TAM wires held for `time` cycles.
+struct RectItem {
+  int id = 0;  // caller's identity (core index); ties broken on it
+  int width = 0;
+  std::int64_t time = 0;
+};
+
+struct PlacedRect {
+  int id = 0;
+  int width = 0;
+  std::int64_t time = 0;
+  int x = 0;               // wire span [x, x + width)
+  std::int64_t start = 0;  // time span [start, start + time)
+};
+
+struct RectPacking {
+  int strip_width = 0;
+  std::vector<PlacedRect> rects;  // placement (best-fit-decreasing) order
+
+  std::int64_t makespan() const;
+};
+
+/// Best-fit-decreasing skyline construction. Throws std::invalid_argument
+/// when strip_width < 1 or any item has width outside [1, strip_width] or
+/// a negative time. Deterministic: a pure function of the item multiset.
+RectPacking pack_rectangles(int strip_width,
+                            const std::vector<RectItem>& items);
+
+/// Admissible makespan lower bound over ANY packing of `items` into a
+/// strip_width-wide strip: max(ceil(sum w_i * t_i / W), max t_i). The
+/// first term is area conservation, the second says the longest rectangle
+/// runs somewhere in full.
+std::int64_t rect_area_bound(int strip_width,
+                             const std::vector<RectItem>& items);
+
+/// Structural invariants: every rectangle inside the strip with a
+/// non-negative start, and no two rectangles overlap (wire spans disjoint
+/// or time spans disjoint). Throws std::logic_error on violation.
+void validate_packing(const RectPacking& p);
+
+/// True iff no rectangle can shift to an earlier start on its wire span:
+/// each rectangle starts at 0 or some wire in its span carries another
+/// rectangle ending exactly at its start. The best-fit construction
+/// guarantees this; the fuzz suite asserts it on random instances.
+bool packing_is_maximal(const RectPacking& p);
+
+}  // namespace soctest

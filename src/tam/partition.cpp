@@ -56,6 +56,39 @@ void enumerate_rec(int remaining, int buses_left, int max_part, int min_width,
 }
 }  // namespace
 
+std::vector<TamArchitecture> hill_climb_starts(int total_width, int max_buses,
+                                               int num_cores) {
+  // Multi-start hill climbing: the makespan landscape over partitions
+  // has plateaus (many cores are width-insensitive past their sweet
+  // spot), so a single start can stall in a poor basin.
+  std::vector<TamArchitecture> starts;
+  const int kmax = std::min({max_buses, num_cores, total_width});
+  for (int k = 1; k <= kmax; ++k) {
+    starts.push_back(balanced_partition(total_width, k));
+    if (k >= 2) {
+      // One dominant bus, the rest minimal: good when one long core
+      // should monopolize most of the budget.
+      TamArchitecture skew;
+      skew.widths.assign(static_cast<std::size_t>(k), 1);
+      skew.widths[0] = total_width - (k - 1);
+      if (skew.widths[0] >= 1) starts.push_back(skew);
+      // Geometric taper: wide, half, half of that, ...
+      TamArchitecture taper;
+      int left = total_width;
+      for (int b = 0; b < k - 1; ++b) {
+        const int wdt = std::max(1, (left - (k - 1 - b)) / 2 + 1);
+        taper.widths.push_back(wdt);
+        left -= wdt;
+      }
+      if (left >= 1) {
+        taper.widths.push_back(left);
+        starts.push_back(taper);
+      }
+    }
+  }
+  return starts;
+}
+
 std::vector<TamArchitecture> enumerate_partitions(int total_width, int k,
                                                   int min_width) {
   if (k < 1 || total_width < k * min_width) return {};

@@ -23,4 +23,13 @@ std::vector<TamArchitecture> wire_move_neighbours(const TamArchitecture& arch,
 std::vector<TamArchitecture> enumerate_partitions(int total_width, int k,
                                                   int min_width = 1);
 
+/// The multi-start hill-climb start set: for each bus count
+/// k = 1..min(max_buses, num_cores, total_width) the balanced partition,
+/// plus (k >= 2) the one-dominant-bus skew and the geometric taper. Shared
+/// by SocOptimizer::optimize and the fixed-bus ArchitectureBackend so both
+/// climb from the identical candidate set — the fixed-bus byte-identity
+/// differential rests on this being one function, not two copies.
+std::vector<TamArchitecture> hill_climb_starts(int total_width, int max_buses,
+                                               int num_cores);
+
 }  // namespace soctest

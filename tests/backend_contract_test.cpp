@@ -1,0 +1,217 @@
+// ArchitectureBackend conformance (opt/backend): every backend — the
+// fixed-bus partition search and the rectangle packer — must honour the
+// same contract over its genome space, pinned here parameterized over
+// (backend kind x SOC):
+//   - starts() are non-empty and valid();
+//   - evaluate() yields a schedule that validates against the result's
+//     architecture (no bus/strip overlap), visits every core exactly once,
+//     and never beats the backend's admissible lower_bound();
+//   - neighbours() are valid, exclude the input, contain no duplicates,
+//     and are reversible (the input is a neighbour of each neighbour) —
+//     the property annealing walks rely on for proposal/undo symmetry;
+//   - evaluate() is a deterministic pure function of the genome.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "opt/backend.hpp"
+#include "opt/fixed_bus_backend.hpp"
+#include "opt/rect_backend.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "socgen/cube_synth.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+SocSpec fuzzed_soc(std::uint64_t seed) {
+  Rng rng(seed);
+  SocSpec soc;
+  soc.name = "fuzz-" + std::to_string(seed);
+  const int cores = static_cast<int>(rng.next_range(3, 7));
+  for (int i = 0; i < cores; ++i) {
+    CoreUnderTest c;
+    c.spec.name = "c" + std::to_string(i);
+    c.spec.num_inputs = static_cast<int>(rng.next_range(1, 24));
+    c.spec.num_outputs = static_cast<int>(rng.next_range(1, 24));
+    const int chains = static_cast<int>(rng.next_range(1, 10));
+    for (int j = 0; j < chains; ++j)
+      c.spec.scan_chain_lengths.push_back(
+          static_cast<int>(rng.next_range(1, 100)));
+    c.spec.num_patterns = static_cast<int>(rng.next_range(4, 24));
+    CubeSynthParams p;
+    p.num_cells = c.spec.stimulus_bits_per_pattern();
+    p.num_patterns = c.spec.num_patterns;
+    p.care_density = 0.01 + 0.4 * rng.next_double();
+    c.cubes = synthesize_cubes(p, rng.next_u64());
+    c.validate();
+    soc.cores.push_back(std::move(c));
+  }
+  return soc;
+}
+
+struct ContractCase {
+  std::string name;
+  BackendKind kind;
+  std::uint64_t fuzz_seed;  // 0 = d695
+  int width;
+};
+
+std::string case_name(const testing::TestParamInfo<ContractCase>& info) {
+  return info.param.name;
+}
+
+class BackendContract : public testing::TestWithParam<ContractCase> {
+ protected:
+  void SetUp() override {
+    const ContractCase& c = GetParam();
+    soc_ = c.fuzz_seed == 0 ? make_d695() : fuzzed_soc(c.fuzz_seed);
+    ExploreOptions e;
+    e.max_width = std::max(c.width, 16);
+    e.max_chains = 64;
+    opt_ = std::make_unique<SocOptimizer>(soc_, e);
+    opts_.width = c.width;
+    opts_.mode = ArchMode::PerCore;
+    backend_ = make_backend(c.kind, *opt_, opts_);
+  }
+
+  SocSpec soc_;
+  std::unique_ptr<SocOptimizer> opt_;
+  OptimizerOptions opts_;
+  std::unique_ptr<ArchitectureBackend> backend_;
+};
+
+TEST_P(BackendContract, StartsAreNonEmptyAndValid) {
+  const std::vector<std::vector<int>> starts = backend_->starts();
+  ASSERT_FALSE(starts.empty());
+  for (std::size_t i = 0; i < starts.size(); ++i)
+    EXPECT_TRUE(backend_->valid(starts[i])) << "start " << i;
+}
+
+TEST_P(BackendContract, EvaluateSchedulesEveryCoreOnceWithoutOverlap) {
+  const int n = static_cast<int>(soc_.cores.size());
+  for (const std::vector<int>& g : backend_->starts()) {
+    const OptimizationResult r = backend_->evaluate(g);
+    // validate() checks entry/bus ranges and per-bus overlap; gaps are
+    // legal (rect packings and power-limited schedules both leave them).
+    ASSERT_NO_THROW(r.schedule.validate(n, /*allow_gaps=*/true));
+    std::set<int> seen;
+    for (const ScheduleEntry& e : r.schedule.entries) {
+      EXPECT_TRUE(seen.insert(e.core).second)
+          << "core " << e.core << " scheduled twice";
+      EXPECT_GE(e.bus, 0);
+      EXPECT_LT(e.bus, static_cast<int>(r.arch.widths.size()));
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), n);
+    EXPECT_EQ(r.arch.total_width(), opts_.width);
+  }
+}
+
+TEST_P(BackendContract, LowerBoundIsAdmissible) {
+  for (const std::vector<int>& g : backend_->starts()) {
+    const OptimizationResult r = backend_->evaluate(g);
+    EXPECT_LE(backend_->lower_bound(g), r.test_time)
+        << backend_->name() << " bound over-estimates";
+  }
+}
+
+TEST_P(BackendContract, NeighboursAreValidDeduplicatedAndReversible) {
+  // Rect genomes are per-core (position matters), so the reverse move must
+  // restore the exact genome. Fixed-bus genomes are bus-width partitions
+  // whose neighbourhood dedups by width multiset — there reversibility
+  // holds up to bus permutation.
+  const bool exact = GetParam().kind == BackendKind::Rect;
+  const auto canon = [&](std::vector<int> g) {
+    if (!exact) std::sort(g.begin(), g.end());
+    return g;
+  };
+  for (const std::vector<int>& g : backend_->starts()) {
+    const std::vector<std::vector<int>> neigh = backend_->neighbours(g);
+    std::set<std::vector<int>> unique;
+    for (const std::vector<int>& m : neigh) {
+      EXPECT_TRUE(backend_->valid(m));
+      EXPECT_NE(m, g) << "neighbourhood includes the input genome";
+      EXPECT_TRUE(unique.insert(m).second) << "duplicate neighbour";
+      bool reversible = false;
+      for (const std::vector<int>& back : backend_->neighbours(m))
+        if (canon(back) == canon(g)) {
+          reversible = true;
+          break;
+        }
+      EXPECT_TRUE(reversible) << "move is not reversible";
+    }
+  }
+}
+
+TEST_P(BackendContract, EvaluateIsDeterministic) {
+  const std::vector<std::vector<int>> starts = backend_->starts();
+  const OptimizationResult a = backend_->evaluate(starts.front());
+  const OptimizationResult b = backend_->evaluate(starts.front());
+  EXPECT_EQ(a.test_time, b.test_time);
+  EXPECT_EQ(a.data_volume_bits, b.data_volume_bits);
+  ASSERT_EQ(a.schedule.entries.size(), b.schedule.entries.size());
+  for (std::size_t i = 0; i < a.schedule.entries.size(); ++i) {
+    EXPECT_EQ(a.schedule.entries[i].core, b.schedule.entries[i].core);
+    EXPECT_EQ(a.schedule.entries[i].bus, b.schedule.entries[i].bus);
+    EXPECT_EQ(a.schedule.entries[i].start, b.schedule.entries[i].start);
+    EXPECT_EQ(a.schedule.entries[i].end, b.schedule.entries[i].end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendContract,
+    testing::Values(
+        ContractCase{"fixed_d695_w16", BackendKind::FixedBus, 0, 16},
+        ContractCase{"rect_d695_w16", BackendKind::Rect, 0, 16},
+        ContractCase{"fixed_d695_w32", BackendKind::FixedBus, 0, 32},
+        ContractCase{"rect_d695_w32", BackendKind::Rect, 0, 32},
+        ContractCase{"fixed_fuzz1_w12", BackendKind::FixedBus, 101, 12},
+        ContractCase{"rect_fuzz1_w12", BackendKind::Rect, 101, 12},
+        ContractCase{"fixed_fuzz2_w8", BackendKind::FixedBus, 202, 8},
+        ContractCase{"rect_fuzz2_w8", BackendKind::Rect, 202, 8},
+        ContractCase{"fixed_fuzz3_w20", BackendKind::FixedBus, 303, 20},
+        ContractCase{"rect_fuzz3_w20", BackendKind::Rect, 303, 20}),
+    case_name);
+
+TEST(BackendFactory, RaceIsNotAConstructibleBackend) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 16;
+  EXPECT_THROW(make_backend(BackendKind::Race, opt, o),
+               std::invalid_argument);
+}
+
+TEST(BackendFactory, RectRejectsUnsupportedOptionSlices) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 16;
+  e.max_chains = 64;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 16;
+
+  OptimizerOptions bad_mode = o;
+  bad_mode.mode = ArchMode::PerTam;
+  std::string why;
+  EXPECT_FALSE(rect_supported(bad_mode, &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_THROW(make_backend(BackendKind::Rect, opt, bad_mode),
+               std::invalid_argument);
+
+  OptimizerOptions bad_power = o;
+  bad_power.power_budget_mw = 100.0;
+  EXPECT_FALSE(rect_supported(bad_power));
+  EXPECT_THROW(optimize_rect(opt, bad_power), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,197 @@
+// Cross-backend differential harness. The fixed-bus search was refactored
+// behind the ArchitectureBackend interface; these tests pin that the
+// refactor changed NOTHING observable:
+//   - the full one-line JSON report (the --json artifact, cpu_seconds
+//     zeroed) is byte-identical to goldens captured from the pre-refactor
+//     tree (tests/data/golden/*.json) on d695 and System1..4, at 1, 4 and
+//     8 runtime lanes;
+//   - a fixed-bus OptimizationResult never carries a backend tag (the JSON
+//     key is emitted only for non-default backends — that is what keeps
+//     the artifact byte-stable);
+//   - the rect backend's climb is bit-identical across lane counts, and
+//     race == better(fixed, rect) deterministically.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opt/backend.hpp"
+#include "opt/rect_backend.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "report/json.hpp"
+#include "runtime/thread_pool.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/systems.hpp"
+
+#ifndef SOCTEST_GOLDEN_DIR
+#error "backend_differential_test needs SOCTEST_GOLDEN_DIR"
+#endif
+
+namespace soctest {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << "missing golden " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// The CLI's --json artifact, byte for byte: explore at
+/// max_width = max(width, 32), max_chains = 255, no selection, then the
+/// default hill climb and a compact single-line report with cpu zeroed.
+std::string artifact(const SocSpec& soc, int width) {
+  ExploreOptions e;
+  e.max_width = std::max(width, 32);
+  e.max_chains = 255;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = width;
+  OptimizationResult stable = opt.optimize(o);
+  stable.cpu_seconds = 0.0;
+  return compact_json(result_to_json(stable, soc)) + "\n";
+}
+
+void expect_matches_golden(const SocSpec& soc, int width,
+                           const std::string& golden_name) {
+  const std::string golden =
+      read_file(std::string(SOCTEST_GOLDEN_DIR) + "/" + golden_name);
+  ASSERT_FALSE(golden.empty());
+  for (int jobs : {1, 4, 8}) {
+    SCOPED_TRACE(golden_name + " jobs=" + std::to_string(jobs));
+    runtime::ThreadPool pool(jobs);
+    runtime::PoolScope scope(&pool);
+    EXPECT_EQ(artifact(soc, width), golden);
+  }
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenD695W16) {
+  expect_matches_golden(make_d695(), 16, "d695_w16.json");
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenD695W32) {
+  expect_matches_golden(make_d695(), 32, "d695_w32.json");
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenD695W48) {
+  expect_matches_golden(make_d695(), 48, "d695_w48.json");
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenSystem1) {
+  expect_matches_golden(make_system(1), 24, "System1_w24.json");
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenSystem2) {
+  expect_matches_golden(make_system(2), 32, "System2_w32.json");
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenSystem3) {
+  expect_matches_golden(make_system(3), 16, "System3_w16.json");
+}
+
+TEST(BackendDifferential, FixedBusMatchesPreRefactorGoldenSystem4) {
+  expect_matches_golden(make_system(4), 40, "System4_w40.json");
+}
+
+TEST(BackendDifferential, FixedBusResultCarriesNoBackendKey) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 32;
+  e.max_chains = 255;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 16;
+  const OptimizationResult r = opt.optimize(o);
+  EXPECT_EQ(r.backend, BackendKind::FixedBus);
+  EXPECT_EQ(result_to_json(r, soc).find("\"backend\""), std::string::npos);
+
+  // And the rect backend's report names itself — the two artifact spaces
+  // cannot be confused.
+  OptimizerOptions ro = o;
+  ro.backend = BackendKind::Rect;
+  const OptimizationResult rr = optimize_backend(opt, ro);
+  EXPECT_EQ(rr.backend, BackendKind::Rect);
+  EXPECT_NE(result_to_json(rr, soc).find("\"backend\": \"rect\""),
+            std::string::npos);
+}
+
+void expect_identical(const OptimizationResult& a,
+                      const OptimizationResult& b) {
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.arch.widths, b.arch.widths);
+  EXPECT_EQ(a.test_time, b.test_time);
+  EXPECT_EQ(a.data_volume_bits, b.data_volume_bits);
+  ASSERT_EQ(a.schedule.entries.size(), b.schedule.entries.size());
+  for (std::size_t i = 0; i < a.schedule.entries.size(); ++i) {
+    EXPECT_EQ(a.schedule.entries[i].core, b.schedule.entries[i].core) << i;
+    EXPECT_EQ(a.schedule.entries[i].bus, b.schedule.entries[i].bus) << i;
+    EXPECT_EQ(a.schedule.entries[i].start, b.schedule.entries[i].start) << i;
+    EXPECT_EQ(a.schedule.entries[i].end, b.schedule.entries[i].end) << i;
+  }
+}
+
+TEST(BackendDifferential, RectClimbIsBitIdenticalAcrossJobs) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 32;
+  e.max_chains = 255;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 24;
+  o.backend = BackendKind::Rect;
+
+  runtime::ThreadPool pool1(1), pool4(4), pool8(8);
+  OptimizationResult r1, r4, r8;
+  {
+    runtime::PoolScope scope(&pool1);
+    r1 = optimize_rect(opt, o);
+  }
+  {
+    runtime::PoolScope scope(&pool4);
+    r4 = optimize_rect(opt, o);
+  }
+  {
+    runtime::PoolScope scope(&pool8);
+    r8 = optimize_rect(opt, o);
+  }
+  expect_identical(r1, r4);
+  expect_identical(r1, r8);
+}
+
+TEST(BackendDifferential, RaceKeepsTheBetterSideDeterministically) {
+  const SocSpec soc = make_d695();
+  ExploreOptions e;
+  e.max_width = 32;
+  e.max_chains = 255;
+  const SocOptimizer opt(soc, e);
+
+  for (int width : {16, 48}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    OptimizerOptions fo;
+    fo.width = width;
+    const OptimizationResult fixed = opt.optimize(fo);
+
+    OptimizerOptions ro = fo;
+    ro.backend = BackendKind::Rect;
+    const OptimizationResult rect = optimize_rect(opt, ro);
+
+    OptimizerOptions race = fo;
+    race.backend = BackendKind::Race;
+    const OptimizationResult merged = optimize_backend(opt, race);
+
+    const bool rect_wins = better_result(rect, fixed);
+    EXPECT_EQ(merged.backend,
+              rect_wins ? BackendKind::Rect : BackendKind::FixedBus);
+    EXPECT_EQ(merged.test_time,
+              rect_wins ? rect.test_time : fixed.test_time);
+    // Ties keep fixed: the merged result never regresses either side.
+    EXPECT_LE(merged.test_time, fixed.test_time);
+    EXPECT_LE(merged.test_time, rect.test_time);
+  }
+}
+
+}  // namespace
+}  // namespace soctest

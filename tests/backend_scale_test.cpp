@@ -1,0 +1,89 @@
+// Scale differentials for the backend refactor (CTest label: scale —
+// Release CI only): on the 120-core synthetic SOC the refactored fixed-bus
+// path must still produce the pre-refactor golden artifact byte for byte,
+// and the rect backend's trimmed big-SOC climb must stay bit-identical
+// across runtime lane counts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/design_loader.hpp"
+#include "opt/rect_backend.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "report/json.hpp"
+#include "runtime/thread_pool.hpp"
+
+#ifndef SOCTEST_GOLDEN_DIR
+#error "backend_scale_test needs SOCTEST_GOLDEN_DIR"
+#endif
+
+namespace soctest {
+namespace {
+
+TEST(BackendScale, FixedBusMatchesPreRefactorGoldenSynth120) {
+  const std::string path =
+      std::string(SOCTEST_GOLDEN_DIR) + "/synth_120_w32.json";
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << "missing golden " << path;
+  std::ostringstream golden;
+  golden << f.rdbuf();
+
+  const SocSpec soc = load_design("synth:120");
+  ExploreOptions e;
+  e.max_width = 32;
+  e.max_chains = 255;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 32;
+
+  for (int jobs : {1, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    runtime::ThreadPool pool(jobs);
+    runtime::PoolScope scope(&pool);
+    OptimizationResult stable = opt.optimize(o);
+    stable.cpu_seconds = 0.0;
+    EXPECT_EQ(compact_json(result_to_json(stable, soc)) + "\n", golden.str());
+  }
+}
+
+TEST(BackendScale, RectClimbIsBitIdenticalAcrossJobsOnSynth120) {
+  const SocSpec soc = load_design("synth:120");
+  ExploreOptions e;
+  e.max_width = 32;
+  e.max_chains = 255;
+  const SocOptimizer opt(soc, e);
+  OptimizerOptions o;
+  o.width = 32;
+  o.backend = BackendKind::Rect;
+  ASSERT_GT(soc.num_cores(), RectBackend::kBigSocCores)
+      << "test must exercise the trimmed big-SOC search path";
+
+  runtime::ThreadPool pool1(1), pool4(4);
+  OptimizationResult r1, r4;
+  {
+    runtime::PoolScope scope(&pool1);
+    r1 = optimize_rect(opt, o);
+  }
+  {
+    runtime::PoolScope scope(&pool4);
+    r4 = optimize_rect(opt, o);
+  }
+  EXPECT_EQ(r1.backend, BackendKind::Rect);
+  EXPECT_EQ(r1.test_time, r4.test_time);
+  EXPECT_EQ(r1.data_volume_bits, r4.data_volume_bits);
+  ASSERT_EQ(r1.schedule.entries.size(), r4.schedule.entries.size());
+  for (std::size_t i = 0; i < r1.schedule.entries.size(); ++i) {
+    EXPECT_EQ(r1.schedule.entries[i].core, r4.schedule.entries[i].core) << i;
+    EXPECT_EQ(r1.schedule.entries[i].bus, r4.schedule.entries[i].bus) << i;
+    EXPECT_EQ(r1.schedule.entries[i].start, r4.schedule.entries[i].start)
+        << i;
+    EXPECT_EQ(r1.schedule.entries[i].end, r4.schedule.entries[i].end) << i;
+  }
+  // A rect schedule is a valid gap-allowed schedule over W one-wire buses.
+  ASSERT_NO_THROW(r1.schedule.validate(soc.num_cores(), /*allow_gaps=*/true));
+}
+
+}  // namespace
+}  // namespace soctest

@@ -169,6 +169,7 @@ TEST(DistCodec, InitLineRoundTripsEveryTrajectoryField) {
   in.opts.incremental = false;
   in.opts.capacity_bound = false;
   in.opts.portfolio = 6;
+  in.opts.backend = BackendKind::Race;
   in.popts.replicas = 6;
   in.popts.sweeps = 11;
   in.popts.proposals_per_sweep = 13;
@@ -204,6 +205,7 @@ TEST(DistCodec, InitLineRoundTripsEveryTrajectoryField) {
   EXPECT_EQ(out.opts.incremental, in.opts.incremental);
   EXPECT_EQ(out.opts.capacity_bound, in.opts.capacity_bound);
   EXPECT_EQ(out.opts.portfolio, in.opts.portfolio);
+  EXPECT_EQ(out.opts.backend, in.opts.backend);
   EXPECT_EQ(out.popts.replicas, in.popts.replicas);
   EXPECT_EQ(out.popts.sweeps, in.popts.sweeps);
   EXPECT_EQ(out.popts.proposals_per_sweep, in.popts.proposals_per_sweep);
@@ -224,6 +226,18 @@ TEST(DistCodec, InitLineRoundTripsEveryTrajectoryField) {
   EXPECT_EQ(out.start_sweep, in.start_sweep);
   EXPECT_EQ(out.fingerprint, in.fingerprint);
   EXPECT_EQ(out.restore_frame_hex, in.restore_frame_hex);
+}
+
+TEST(DistCodec, InitLineRejectsAnUnknownBackendTag) {
+  dist::WorkerInit in;
+  in.soc_text = "soc tiny\n";
+  in.opts.backend = BackendKind::Race;
+  std::string line = dist::init_line(in);
+  const std::string good = "\"backend\": 2";
+  const std::size_t at = line.find(good);
+  ASSERT_NE(at, std::string::npos) << line;
+  line.replace(at, good.size(), "\"backend\": 9");
+  EXPECT_THROW(dist::parse_coord_cmd(line), std::runtime_error);
 }
 
 TEST(DistCodec, BarrierAndEventsRoundTrip) {
@@ -339,6 +353,32 @@ TEST(DistDeterminism, WorkerJobMatrixIsByteIdentical) {
       expect_same_portfolio(r, base,
                             "workers=" + std::to_string(workers) +
                                 " jobs=" + std::to_string(jobs));
+    }
+  }
+}
+
+TEST(DistDeterminism, RaceBackendMergesIdenticallyAcrossSplits) {
+  // --backend race on the distributed portfolio: the coordinator runs the
+  // fixed-bus ladder unchanged and merges the rect climb at the end, so
+  // every (workers x jobs) split must equal the single-process race run —
+  // including which side won the merge.
+  const SocOptimizer& opt = d695_optimizer();
+  OptimizerOptions o = d695_options();
+  o.backend = BackendKind::Race;
+  const PortfolioOptions p = small_portfolio(3);
+  const PortfolioResult base = optimize_portfolio(opt, o, p);
+  EXPECT_TRUE(base.stats.rect_raced);
+
+  for (const int workers : {1, 2}) {
+    for (const int jobs : {1, 4}) {
+      const PortfolioResult r = dist::optimize_portfolio_distributed(
+          opt, o, p, d695_dist(workers, jobs));
+      expect_same_portfolio(r, base,
+                            "race workers=" + std::to_string(workers) +
+                                " jobs=" + std::to_string(jobs));
+      EXPECT_TRUE(r.stats.rect_raced);
+      EXPECT_EQ(r.stats.rect_won, base.stats.rect_won);
+      EXPECT_EQ(r.best.backend, base.best.backend);
     }
   }
 }

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "opt/annealing.hpp"
+#include "opt/backend.hpp"
+#include "opt/rect_backend.hpp"
 #include "opt/soc_optimizer.hpp"
 #include "portfolio/checkpoint.hpp"
 #include "portfolio/counter_rng.hpp"
@@ -424,6 +426,128 @@ TEST(PortfolioBudget, ProposalBudgetStopsAtWholeSweeps) {
   ASSERT_GE(full.stats.best_by_sweep.size(), pr.stats.best_by_sweep.size());
   for (std::size_t i = 0; i < pr.stats.best_by_sweep.size(); ++i)
     EXPECT_EQ(pr.stats.best_by_sweep[i], full.stats.best_by_sweep[i]) << i;
+}
+
+
+TEST(PortfolioCheckpointBackend, BackendTagRoundTrips) {
+  portfolio::PortfolioCheckpoint ck;
+  ck.fingerprint = 42;
+  ck.backend = BackendKind::Race;
+  ck.sweeps_completed = 1;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+  const portfolio::PortfolioCheckpoint back =
+      portfolio::decode_checkpoint(portfolio::encode_checkpoint(ck));
+  EXPECT_EQ(back.backend, BackendKind::Race);
+  EXPECT_EQ(back.fingerprint, ck.fingerprint);
+  EXPECT_EQ(back.sweeps_completed, ck.sweeps_completed);
+}
+
+// Blob layout through the backend tag: 8 magic + 4 version + 8 fingerprint,
+// then the v3 backend byte at offset 20.
+constexpr std::size_t kVersionOffset = 8;
+constexpr std::size_t kBackendOffset = 20;
+
+TEST(PortfolioCheckpointBackend, AcceptsVersion2BlobAsFixedBus) {
+  portfolio::PortfolioCheckpoint ck;
+  ck.fingerprint = 0xFEEDFACE;
+  ck.sweeps_completed = 2;
+  ck.proposals_total = 60;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+
+  // Regress the v3 blob to v2 by hand: drop the backend byte and patch the
+  // version field — exactly what a pre-backend writer produced.
+  std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
+  ASSERT_EQ(bytes[kBackendOffset],
+            static_cast<unsigned char>(BackendKind::FixedBus));
+  bytes.erase(bytes.begin() + kBackendOffset);
+  bytes[kVersionOffset] = 2;
+
+  const portfolio::PortfolioCheckpoint back =
+      portfolio::decode_checkpoint(bytes);
+  EXPECT_EQ(back.backend, BackendKind::FixedBus);
+  EXPECT_EQ(back.fingerprint, ck.fingerprint);
+  EXPECT_EQ(back.sweeps_completed, ck.sweeps_completed);
+  EXPECT_EQ(back.proposals_total, ck.proposals_total);
+  ASSERT_EQ(back.replicas.size(), 1u);
+  EXPECT_EQ(back.replicas[0].best_widths, st.best_widths);
+}
+
+TEST(PortfolioCheckpointBackend, RejectsCorruptBackendTag) {
+  portfolio::PortfolioCheckpoint ck;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+  std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
+  bytes[kBackendOffset] = 9;  // no such BackendKind
+  EXPECT_THROW(portfolio::decode_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(PortfolioCheckpointBackend, ResumeRejectsBackendMismatch) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const std::string path =
+      testing::TempDir() + "soctest_backend_mismatch.bin";
+  PortfolioOptions p = small_portfolio(11);
+  p.checkpoint_path = path;
+  optimize_portfolio(opt, o, p);
+
+  OptimizerOptions race = o;
+  race.backend = BackendKind::Race;
+  try {
+    resume_portfolio(opt, race, p, path);
+    FAIL() << "resume accepted a backend mismatch";
+  } catch (const std::runtime_error& e) {
+    // The error names the backend mismatch, not a bare fingerprint delta.
+    EXPECT_NE(std::string(e.what()).find("backend"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PortfolioBackend, RejectsRectBackendOutright) {
+  const SocOptimizer& opt = d695_optimizer();
+  OptimizerOptions o = d695_options();
+  o.backend = BackendKind::Rect;
+  EXPECT_THROW(optimize_portfolio(opt, o, small_portfolio()),
+               std::invalid_argument);
+}
+
+TEST(PortfolioBackend, RaceMergesRectAgainstTheLadderDeterministically) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const PortfolioOptions p = small_portfolio(17);
+
+  const PortfolioResult fixed = optimize_portfolio(opt, o, p);
+  EXPECT_FALSE(fixed.stats.rect_raced);
+
+  OptimizerOptions race = o;
+  race.backend = BackendKind::Race;
+  const PortfolioResult merged = optimize_portfolio(opt, race, p);
+  EXPECT_TRUE(merged.stats.rect_raced);
+
+  OptimizerOptions ro = o;
+  ro.backend = BackendKind::Rect;
+  const OptimizationResult rect = optimize_rect(opt, ro);
+
+  const bool rect_wins = better_result(rect, fixed.best);
+  EXPECT_EQ(merged.stats.rect_won, rect_wins);
+  EXPECT_EQ(merged.best.backend,
+            rect_wins ? BackendKind::Rect : BackendKind::FixedBus);
+  EXPECT_EQ(merged.best.test_time,
+            rect_wins ? rect.test_time : fixed.best.test_time);
+  // The fixed-bus ladder trajectories are untouched by the rect racer.
+  ASSERT_EQ(merged.replica_best.size(), fixed.replica_best.size());
+  for (std::size_t r = 0; r < merged.replica_best.size(); ++r)
+    EXPECT_EQ(merged.replica_best[r].test_time,
+              fixed.replica_best[r].test_time)
+        << "replica " << r;
 }
 
 TEST(PortfolioSwapRng, CounterDrawsAreStableAndSeedKeyed) {

@@ -1,0 +1,143 @@
+// Rectangle strip packer (sched/rect_packer) pins:
+//   - every packing is valid (in-strip, overlap-free) and MAXIMAL: no
+//     rectangle can slide to an earlier start on its wires — the
+//     left-justified property the rect backend's schedules inherit;
+//   - the construction is a pure function of the item multiset: identical
+//     inputs pack identically regardless of input order, and repacking a
+//     packing's own rectangles is a fixed point;
+//   - the area/longest-item bound never exceeds the constructed makespan
+//     (admissibility of the backend's lower_bound);
+//   - malformed items (non-positive strip, width off the strip, negative
+//     time) are rejected with std::invalid_argument.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/rect_packer.hpp"
+#include "socgen/rng.hpp"
+
+namespace soctest {
+namespace {
+
+std::vector<RectItem> items_of(const RectPacking& p) {
+  std::vector<RectItem> items;
+  for (const PlacedRect& r : p.rects)
+    items.push_back(RectItem{r.id, r.width, r.time});
+  return items;
+}
+
+std::vector<PlacedRect> by_id(RectPacking p) {
+  std::sort(p.rects.begin(), p.rects.end(),
+            [](const PlacedRect& a, const PlacedRect& b) {
+              return a.id < b.id;
+            });
+  return p.rects;
+}
+
+void expect_same_packing(const RectPacking& a, const RectPacking& b) {
+  ASSERT_EQ(a.strip_width, b.strip_width);
+  const std::vector<PlacedRect> pa = by_id(a);
+  const std::vector<PlacedRect> pb = by_id(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].id, pb[i].id) << i;
+    EXPECT_EQ(pa[i].x, pb[i].x) << i;
+    EXPECT_EQ(pa[i].start, pb[i].start) << i;
+  }
+}
+
+std::vector<RectItem> fuzz_items(Rng& rng, int strip_width) {
+  const int n = static_cast<int>(rng.next_range(1, 24));
+  std::vector<RectItem> items;
+  for (int i = 0; i < n; ++i)
+    items.push_back(RectItem{
+        i, static_cast<int>(rng.next_range(1,
+                                           static_cast<std::uint64_t>(
+                                               strip_width))),
+        static_cast<int>(rng.next_range(0, 5000))});
+  return items;
+}
+
+TEST(RectPacker, EmptyAndSingleItem) {
+  const RectPacking empty = pack_rectangles(8, {});
+  EXPECT_EQ(empty.makespan(), 0);
+  EXPECT_TRUE(empty.rects.empty());
+  validate_packing(empty);
+
+  const RectPacking one = pack_rectangles(8, {RectItem{0, 8, 100}});
+  ASSERT_EQ(one.rects.size(), 1u);
+  EXPECT_EQ(one.rects[0].x, 0);
+  EXPECT_EQ(one.rects[0].start, 0);
+  EXPECT_EQ(one.makespan(), 100);
+  EXPECT_TRUE(packing_is_maximal(one));
+}
+
+TEST(RectPacker, TwoSideBySideBeatStacking) {
+  // Two width-4 rects fit side by side on an 8-wide strip.
+  const RectPacking p = pack_rectangles(
+      8, {RectItem{0, 4, 100}, RectItem{1, 4, 100}});
+  validate_packing(p);
+  EXPECT_EQ(p.makespan(), 100);
+}
+
+TEST(RectPacker, RejectsMalformedItems) {
+  EXPECT_THROW(pack_rectangles(0, {}), std::invalid_argument);
+  EXPECT_THROW(pack_rectangles(4, {RectItem{0, 0, 10}}),
+               std::invalid_argument);
+  EXPECT_THROW(pack_rectangles(4, {RectItem{0, 5, 10}}),
+               std::invalid_argument);
+  EXPECT_THROW(pack_rectangles(4, {RectItem{0, 2, -1}}),
+               std::invalid_argument);
+}
+
+TEST(RectPacker, FuzzedPackingsAreValidMaximalAndBounded) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int strip = static_cast<int>(rng.next_range(1, 48));
+    const std::vector<RectItem> items = fuzz_items(rng, strip);
+    const RectPacking p = pack_rectangles(strip, items);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " strip " +
+                 std::to_string(strip));
+    ASSERT_EQ(p.rects.size(), items.size());
+    ASSERT_NO_THROW(validate_packing(p));
+    EXPECT_TRUE(packing_is_maximal(p));
+    EXPECT_GE(p.makespan(), rect_area_bound(strip, items));
+  }
+}
+
+TEST(RectPacker, PureFunctionOfItemMultiset) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int strip = static_cast<int>(rng.next_range(2, 32));
+    std::vector<RectItem> items = fuzz_items(rng, strip);
+    const RectPacking a = pack_rectangles(strip, items);
+    // Same multiset, reversed presentation order: identical placements.
+    std::reverse(items.begin(), items.end());
+    const RectPacking b = pack_rectangles(strip, items);
+    expect_same_packing(a, b);
+  }
+}
+
+TEST(RectPacker, RepackIsAFixedPoint) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int strip = static_cast<int>(rng.next_range(1, 40));
+    const RectPacking p = pack_rectangles(strip, fuzz_items(rng, strip));
+    const RectPacking again = pack_rectangles(strip, items_of(p));
+    expect_same_packing(p, again);
+  }
+}
+
+TEST(RectPacker, MaximalityCheckerCatchesAFloatedRect) {
+  RectPacking p;
+  p.strip_width = 4;
+  // A rect floated above an empty strip: nothing obstructs it at start 50.
+  p.rects.push_back(PlacedRect{0, 4, 10, 0, 50});
+  ASSERT_NO_THROW(validate_packing(p));
+  EXPECT_FALSE(packing_is_maximal(p));
+}
+
+}  // namespace
+}  // namespace soctest

@@ -47,7 +47,9 @@
 #include "io/design_loader.hpp"
 #include "io/soc_text.hpp"
 #include "opt/annealing.hpp"
+#include "opt/backend.hpp"
 #include "opt/baselines.hpp"
+#include "opt/rect_backend.hpp"
 #include "opt/result.hpp"
 #include "portfolio/portfolio.hpp"
 #include "report/csv.hpp"
@@ -271,6 +273,36 @@ int cmd_optimize(const Args& a) {
     std::fprintf(stderr, "--width must be >= 1\n");
     return 2;
   }
+  const std::string bk = a.get("backend", "fixed");
+  if (bk == "fixed") {
+    o.backend = BackendKind::FixedBus;
+  } else if (bk == "rect") {
+    o.backend = BackendKind::Rect;
+  } else if (bk == "race") {
+    o.backend = BackendKind::Race;
+  } else {
+    std::fprintf(stderr, "bad --backend (fixed|rect|race)\n");
+    return 2;
+  }
+  if (o.backend != BackendKind::FixedBus) {
+    std::string why;
+    if (!rect_supported(o, &why)) {
+      std::fprintf(stderr, "--backend %s: %s\n", bk.c_str(), why.c_str());
+      return 2;
+    }
+  }
+  // The rectangle backend is a deterministic hill climb with no tempering
+  // ladder; it has nothing for annealing or the portfolio to drive. Race it
+  // beside them instead.
+  if (o.backend == BackendKind::Rect &&
+      (a.has("anneal") || a.has("portfolio") || a.has("resume") ||
+       a.has("workers") || a.has("attach"))) {
+    std::fprintf(stderr,
+                 "--backend rect cannot drive --anneal/--portfolio/--resume/"
+                 "--workers/--attach; use --backend race to run the rect "
+                 "climb beside the fixed-bus search\n");
+    return 2;
+  }
 
   OptimizationResult r;
   std::optional<PortfolioStats> pstats;
@@ -347,8 +379,9 @@ int cmd_optimize(const Args& a) {
       return 2;
     }
     r = optimize_annealing(opt, o, an);
+    r = race_merge_rect(opt, o, std::move(r));
   } else {
-    r = opt.optimize(o);
+    r = optimize_backend(opt, o);
   }
   std::printf("%s", summarize(r, soc).c_str());
   const runtime::RuntimeStats rs = runtime::collect_stats();
@@ -382,6 +415,12 @@ int cmd_optimize(const Args& a) {
                 static_cast<unsigned long long>(rs.search.anneal_memo_hits),
                 static_cast<unsigned long long>(
                     rs.search.anneal_bound_pruned));
+  if (o.backend != BackendKind::FixedBus)
+    std::printf("[backend] %s packs=%llu memo-hits=%llu winner=%s\n",
+                to_string(o.backend).c_str(),
+                static_cast<unsigned long long>(rs.search.rect_packs),
+                static_cast<unsigned long long>(rs.search.rect_memo_hits),
+                to_string(r.backend).c_str());
   if (pstats) {
     std::printf("[portfolio] replicas=%d sweeps=%d proposals=%llu "
                 "swap-acceptance=%.1f%% (%llu/%llu)%s%s\n",
@@ -392,6 +431,9 @@ int cmd_optimize(const Args& a) {
                 static_cast<unsigned long long>(pstats->swaps_attempted),
                 pstats->hill_climb_raced ? " raced-hill-climb" : "",
                 pstats->hill_climb_won ? " (hill climb won)" : "");
+    if (pstats->rect_raced)
+      std::printf("[portfolio] raced-rect%s\n",
+                  pstats->rect_won ? " (rect won)" : "");
     if (pstats->dist_workers > 0)
       std::printf("[portfolio] distributed: workers=%d respawns=%d "
                   "setup=%.3fs sweeps=%.3fs\n",
@@ -491,7 +533,7 @@ void print_grammar(std::FILE* out) {
       "           [--csv out.csv]\n"
       "  optimize --design <d> --width W [--mode percore|pertam|notdc|fixedw4]\n"
       "           [--constraint tam|ate] [--power MW] [--select] [--svg f]\n"
-      "           [--json f]\n"
+      "           [--json f] [--backend fixed|rect|race]\n"
       "           [--anneal N [--seed S]]\n"
       "           [--portfolio K [--sweeps N] [--sweep-proposals P] [--seed S]\n"
       "            [--adaptive-ladder]\n"
@@ -527,6 +569,13 @@ void print_grammar(std::FILE* out) {
       "\n"
       "search selection (optimize):\n"
       "  default             multi-start hill climb over bus counts\n"
+      "  --backend B         architecture backend: fixed (bus partition,\n"
+      "                      default), rect (rectangle packing: per-core\n"
+      "                      Pareto widths, best-fit-decreasing skyline into\n"
+      "                      the W-wide strip; percore/notdc + tam only), or\n"
+      "                      race (fixed-bus search plus an independent rect\n"
+      "                      climb, best result wins; composes with --anneal,\n"
+      "                      --portfolio and --workers)\n"
       "  --anneal N          simulated annealing, N iterations, RNG --seed S\n"
       "  --portfolio K       replica-exchange portfolio: K annealing walks on\n"
       "                      a geometric temperature ladder, deterministic\n"
@@ -585,7 +634,7 @@ int run_daemon_mode(const Args& a) {
       "sweep-proposals",      "seed",           "checkpoint",
       "checkpoint-every",     "resume",         "core",       "max-width",
       "max-chains",           "csv",            "out",        "workers",
-      "attach", "adaptive-ladder",              "json"};
+      "attach", "adaptive-ladder",              "json",       "backend"};
   for (const char* flag : kOneShot) {
     if (a.has(flag)) {
       std::fprintf(stderr,
