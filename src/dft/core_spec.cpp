@@ -47,6 +47,8 @@ void CoreSpec::validate() const {
   }
   if (stimulus_bits_per_pattern() == 0 && num_patterns > 0)
     throw std::invalid_argument("CoreSpec: patterns but no stimulus cells");
+  if (!(power_scale > 0.0))
+    throw std::invalid_argument("CoreSpec: power scale must be positive");
 }
 
 }  // namespace soctest

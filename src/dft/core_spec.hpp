@@ -28,6 +28,12 @@ struct CoreSpec {
 
   int num_patterns = 0;
 
+  /// Per-core multiplier on the test-power model (power/power_model.hpp):
+  /// 1.0 = the model's nominal core. Synthetic power profiles and .soc
+  /// files use it to make cores' power draw heterogeneous beyond what
+  /// scan-cell count alone implies. Serialized only when != 1.0.
+  double power_scale = 1.0;
+
   std::int64_t total_scan_cells() const;
 
   /// Stimulus bits per pattern = wrapper input cells + scan cells. Test

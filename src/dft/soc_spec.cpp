@@ -1,6 +1,7 @@
 #include "dft/soc_spec.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace soctest {
 
@@ -24,6 +25,19 @@ void SocSpec::validate() const {
   if (name.empty()) throw std::invalid_argument("SocSpec: empty name");
   if (cores.empty()) throw std::invalid_argument("SocSpec: no cores");
   for (const auto& c : cores) c.validate();
+  if (!hierarchy_parent.empty()) {
+    // Structural checks only; cycle detection lives in HierarchySpec
+    // (hier/), which every hierarchical consumer validates through.
+    if (hierarchy_parent.size() != cores.size())
+      throw std::invalid_argument("SocSpec: hierarchy size mismatch");
+    for (std::size_t i = 0; i < hierarchy_parent.size(); ++i) {
+      const int p = hierarchy_parent[i];
+      if (p < -1 || p >= static_cast<int>(cores.size()) ||
+          p == static_cast<int>(i))
+        throw std::invalid_argument("SocSpec: bad hierarchy parent at core " +
+                                    std::to_string(i));
+    }
+  }
 }
 
 }  // namespace soctest

@@ -23,6 +23,14 @@ struct SocSpec {
   std::string name;
   std::vector<CoreUnderTest> cores;
 
+  /// Optional core hierarchy: hierarchy_parent[i] = index of core i's
+  /// enclosing core, or -1 for top level. Empty = flat (every core top
+  /// level). Hierarchical scheduling scenarios (src/scenario) forbid a
+  /// core from testing concurrently with any ancestor/descendant; the
+  /// default scenario ignores the field entirely. Serialized by io/soc_text
+  /// only when non-empty, so flat SOCs round-trip byte-identically.
+  std::vector<int> hierarchy_parent;
+
   int num_cores() const { return static_cast<int>(cores.size()); }
 
   /// Sum of the cores' uncompressed stimulus volumes, in bits. This is the

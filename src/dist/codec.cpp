@@ -131,6 +131,8 @@ std::string init_line(const WorkerInit& w) {
      << ", \"incremental\": " << (w.opts.incremental ? "true" : "false")
      << ", \"capacity_bound\": "
      << (w.opts.capacity_bound ? "true" : "false")
+     << ", \"preempt\": " << (w.opts.preemptive ? "true" : "false")
+     << ", \"hier\": " << (w.opts.hierarchical ? "true" : "false")
      << ", \"backend\": " << static_cast<int>(w.opts.backend)
      << ", \"portfolio\": " << w.opts.portfolio
      << ", \"replicas\": " << w.popts.replicas
@@ -260,6 +262,8 @@ CoordCmd parse_coord_cmd(const std::string& line) {
         portfolio::bits_double(field_u64(doc, "power_bits"));
     w.opts.incremental = field_bool(doc, "incremental");
     w.opts.capacity_bound = field_bool(doc, "capacity_bound");
+    w.opts.preemptive = field_bool(doc, "preempt");
+    w.opts.hierarchical = field_bool(doc, "hier");
     {
       const int backend = field_int(doc, "backend");
       if (backend < static_cast<int>(BackendKind::FixedBus) ||

@@ -435,6 +435,7 @@ PortfolioResult Coordinator::run(const PortfolioCheckpoint* restore) {
     PortfolioCheckpoint ck;
     ck.fingerprint = fp_;
     ck.backend = opts_.backend;
+    ck.scenario = scenario_of(opts_);
     ck.sweeps_completed = stats_.sweeps_completed;
     ck.swaps_attempted = stats_.swaps_attempted;
     ck.swaps_accepted = stats_.swaps_accepted;
@@ -675,6 +676,7 @@ PortfolioResult resume_portfolio_distributed(
                              to_string(ck.backend) +
                              "' does not match requested backend '" +
                              to_string(opts.backend) + "'");
+  portfolio::check_checkpoint_scenario(ck, scenario_of(opts));
   if (ck.fingerprint != portfolio_fingerprint(optimizer, opts, popts))
     throw std::runtime_error(
         "portfolio: checkpoint fingerprint mismatch — it was written for a "

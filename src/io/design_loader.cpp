@@ -17,14 +17,20 @@ SocSpec load_design(const std::string& name) {
   if (name == "fig4") return make_fig4_soc();
   for (int i = 1; i <= 4; ++i)
     if (name == "System" + std::to_string(i)) return make_system(i);
-  if (name.rfind("synth:", 0) == 0) {
-    const auto bad = [&name]() {
+  // synth:<cores>[:<seed>] — the plain scale-study generator;
+  // synthx:<cores>[:<seed>] — the same cores decorated with a seeded
+  // per-core power profile and a deterministic hierarchy (the
+  // constraint-rich scenario workloads). Same strict grammar.
+  const bool plain_synth = name.rfind("synth:", 0) == 0;
+  const bool extended_synth = name.rfind("synthx:", 0) == 0;
+  if (plain_synth || extended_synth) {
+    const char* kind = extended_synth ? "synthx" : "synth";
+    const auto bad = [&name, kind]() {
       throw std::invalid_argument(
-          "bad design '" + name +
-          "': expected synth:<cores>[:<seed>] with <cores> >= 1 and <seed> "
-          "unsigned decimal");
+          "bad design '" + name + "': expected " + kind +
+          ":<cores>[:<seed>] with <cores> >= 1 and <seed> unsigned decimal");
     };
-    const char* s = name.c_str() + 6;
+    const char* s = name.c_str() + (extended_synth ? 7 : 6);
     char* end = nullptr;
     const long cores = std::strtol(s, &end, 10);
     if (*s < '0' || *s > '9' || end == s || cores < 1) bad();
@@ -37,6 +43,10 @@ SocSpec load_design(const std::string& name) {
     if (*end != '\0') bad();
     SyntheticSocParams p;
     p.num_cores = static_cast<int>(cores);
+    if (extended_synth) {
+      p.power_profile = true;
+      p.hierarchy = true;
+    }
     return make_synthetic_soc(p, seed);
   }
   // Otherwise treat as a file path.

@@ -104,6 +104,23 @@ SocSpec read_soc_text(std::istream& in) {
       soc.approx_gate_count = tok.require_int("gate count");
     } else if (kw == "latches") {
       soc.approx_latch_count = tok.require_int("latch count");
+    } else if (kw == "hierarchy") {
+      // One parent index per core, -1 = top level; count checked against
+      // the core list by SocSpec::validate() once the file is read.
+      if (!soc.hierarchy_parent.empty()) fail(line, "duplicate hierarchy");
+      std::string t;
+      while (tok.next(t)) {
+        try {
+          std::size_t pos = 0;
+          const int p = std::stoi(t, &pos);
+          if (pos != t.size()) throw std::invalid_argument("");
+          soc.hierarchy_parent.push_back(p);
+        } catch (...) {
+          fail(line, "bad hierarchy parent '" + t + "'");
+        }
+      }
+      if (soc.hierarchy_parent.empty())
+        fail(line, "hierarchy needs one parent per core");
     } else if (kw == "core") {
       if (in_core) fail(line, "nested core (missing 'end'?)");
       in_core = true;
@@ -134,6 +151,10 @@ SocSpec read_soc_text(std::istream& in) {
       core.spec.flexible_scan_cells = tok.require_int("cell count");
     } else if (kw == "patterns") {
       core.spec.num_patterns = static_cast<int>(tok.require_int("patterns"));
+    } else if (kw == "power") {
+      core.spec.power_scale = tok.require_double("power scale");
+      if (!(core.spec.power_scale > 0.0))
+        fail(line, "power scale must be positive");
     } else if (kw == "cube") {
       const std::string s = tok.require("ternary string");
       std::vector<CareBit> bits;
@@ -207,6 +228,11 @@ void write_soc_text(std::ostream& out, const SocSpec& soc) {
   if (soc.approx_gate_count) out << "gates " << soc.approx_gate_count << "\n";
   if (soc.approx_latch_count)
     out << "latches " << soc.approx_latch_count << "\n";
+  if (!soc.hierarchy_parent.empty()) {
+    out << "hierarchy";
+    for (int p : soc.hierarchy_parent) out << " " << p;
+    out << "\n";
+  }
   for (const CoreUnderTest& c : soc.cores) {
     out << "core " << c.spec.name << "\n";
     out << "  inputs " << c.spec.num_inputs << "\n";
@@ -217,6 +243,15 @@ void write_soc_text(std::ostream& out, const SocSpec& soc) {
       out << "  scanchains";
       for (int len : c.spec.scan_chain_lengths) out << " " << len;
       out << "\n";
+    }
+    if (c.spec.power_scale != 1.0) {
+      // Shortest round-trip form: the distributed workers rebuild the SOC
+      // from this text, and the power profile feeds scheduling decisions,
+      // so the serialized scale must recover the exact double.
+      char buf[64];
+      const auto res =
+          std::to_chars(buf, buf + sizeof(buf), c.spec.power_scale);
+      out << "  power " << std::string(buf, res.ptr) << "\n";
     }
     out << "  patterns " << c.spec.num_patterns << "\n";
     for (int p = 0; p < c.cubes.num_patterns(); ++p) {

@@ -12,6 +12,7 @@ DeltaEvaluator::DeltaEvaluator(const SocOptimizer& opt,
                                ScheduleMemo* memo, ColumnCache* columns)
     : opt_(&opt),
       opts_(&opts),
+      sched_(make_scheduler_backend(scenario_of(opts), opt.hierarchy())),
       memo_(memo ? memo : &own_memo_),
       shared_columns_(columns ? columns : &own_columns_) {}
 
@@ -88,8 +89,8 @@ bool DeltaEvaluator::bound_exceeds(const TamArchitecture& arch,
               ->cost[static_cast<std::size_t>(i)]
               .time;
   }
-  return makespan_bound_exceeds(n, k, bound_scratch_, threshold,
-                                opts_->capacity_bound);
+  return sched_->bound_exceeds(n, k, bound_scratch_, threshold,
+                               opts_->capacity_bound);
 }
 
 OptimizationResult DeltaEvaluator::compute_cold(
@@ -140,9 +141,11 @@ OptimizationResult DeltaEvaluator::evaluate_warm(const TamArchitecture& arch) {
   }
 
   OptimizationResult r;
-  if (opts_->power_budget_mw > 0.0) {
-    // The power scheduler has no prepared entry point; warm starts would
-    // buy nothing — cold path, identical results.
+  if (!sched_->supports_prepared()) {
+    // Constrained scenarios (power / preemptive / hierarchical) have no
+    // prepared entry point — their event order depends on power and
+    // lineage state, so a cached sort buys nothing. Cold path, identical
+    // results; the memo and columns above still do the heavy lifting.
     r = compute_cold(arch);
   } else {
     arch.validate();
@@ -224,8 +227,8 @@ OptimizationResult DeltaEvaluator::evaluate_warm(const TamArchitecture& arch) {
       return column(arch.widths[static_cast<std::size_t>(bus)])
           .cost[static_cast<std::size_t>(core)];
     };
-    Schedule s = greedy_schedule_prepared(n, k, anchor_time_, *oit->second,
-                                          cost, GreedyOptions{});
+    Schedule s =
+        sched_->construct_prepared(n, k, anchor_time_, *oit->second, cost);
     scheduled_.fetch_add(1, std::memory_order_relaxed);
     r = opt_->evaluate_scheduled(arch, *opts_, std::move(buses), cost,
                                  std::move(s));

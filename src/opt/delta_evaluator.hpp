@@ -42,6 +42,7 @@
 #include "opt/soc_optimizer.hpp"
 #include "runtime/fnv.hpp"
 #include "runtime/stats.hpp"
+#include "scenario/scheduler_backend.hpp"
 
 namespace soctest {
 
@@ -141,8 +142,10 @@ class DeltaEvaluator {
   /// greedy_schedule_prepared on equal inputs (pinned by tests). NOT
   /// thread-safe: the anchor is per-evaluator scratch; only a
   /// single-threaded owner (an AnnealWalk driving its own evaluator) may
-  /// call it. Power-constrained runs fall back to the cold path (the power
-  /// scheduler has no prepared entry point).
+  /// call it. Scenarios whose SchedulerBackend has no prepared entry
+  /// point (power / preemptive / hierarchical) fall back to the cold path
+  /// — still memoized and column-cached, so the incremental engine's
+  /// reuse wins carry over to every scenario.
   OptimizationResult evaluate_warm(const TamArchitecture& arch);
 
   // Counter hooks for the search driver (single-threaded phases).
@@ -162,6 +165,11 @@ class DeltaEvaluator {
 
   const SocOptimizer* opt_;
   const OptimizerOptions* opts_;
+  /// The scenario's schedule constructor (src/scenario), fixed at
+  /// construction from scenario_of(*opts_). bound_exceeds and the warm
+  /// path dispatch through it; the cold path reaches it via
+  /// SocOptimizer::evaluate_with.
+  std::unique_ptr<SchedulerBackend> sched_;
   // Warm-start anchor: the width vector and row-major time matrix of the
   // last warm evaluation, plus construction orders keyed by the widest
   // bus's width VALUE (the reference column depends on nothing else).

@@ -23,6 +23,10 @@ bool rect_supported(const OptimizerOptions& opts, std::string* why) {
     return fail("only the TAM-width constraint is supported");
   if (opts.power_budget_mw > 0.0)
     return fail("power-aware packing is not supported");
+  if (opts.preemptive || opts.hierarchical)
+    return fail(
+        "constrained scenarios (preemptive/hierarchical) are not supported — "
+        "the packer places rectangles, it does not run a scenario scheduler");
   return true;
 }
 

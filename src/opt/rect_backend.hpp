@@ -31,8 +31,9 @@
 namespace soctest {
 
 /// True iff `opts` lie in the rectangle backend's supported slice: PerCore
-/// or NoTdc mode, TamWidth constraint, no power budget. `why` (optional)
-/// receives the reason when not.
+/// or NoTdc mode, TamWidth constraint, default scheduling scenario (no
+/// power budget, no preemption, no hierarchy). `why` (optional) receives
+/// the reason when not.
 bool rect_supported(const OptimizerOptions& opts, std::string* why = nullptr);
 
 class RectBackend : public ArchitectureBackend {

@@ -7,6 +7,7 @@
 #include "bitvec/bit_util.hpp"
 #include "decomp/area_model.hpp"
 #include "power/power_model.hpp"
+#include "scenario/scheduler_backend.hpp"
 #include "sched/greedy_scheduler.hpp"
 #include "sched/power_scheduler.hpp"
 
@@ -35,10 +36,28 @@ std::string to_string(BackendKind b) {
   return "?";
 }
 
+ScenarioSpec scenario_of(const OptimizerOptions& opts) {
+  ScenarioSpec s;
+  s.power_cap_mw = opts.power_budget_mw;
+  s.preemptive = opts.preemptive;
+  s.hierarchical = opts.hierarchical;
+  return s;
+}
+
+void apply_scenario(const ScenarioSpec& s, OptimizerOptions& opts) {
+  opts.power_budget_mw = s.power_cap_mw;
+  opts.preemptive = s.preemptive;
+  opts.hierarchical = s.hierarchical;
+  if (s.width > 0) opts.width = s.width;
+}
+
 SocOptimizer::SocOptimizer(const SocSpec& soc, ExploreOptions explore)
     : soc_(&soc), explore_(explore) {
   soc.validate();
   tables_ = explore_soc(soc, explore_);
+  hierarchy_ = soc.hierarchy_parent.empty()
+                   ? HierarchySpec::flat(soc.num_cores())
+                   : HierarchySpec{soc.hierarchy_parent};
 }
 
 SocOptimizer::SocOptimizer(const SocSpec& soc, std::vector<CoreTable> tables,
@@ -51,6 +70,9 @@ SocOptimizer::SocOptimizer(const SocSpec& soc, std::vector<CoreTable> tables,
     if (tables_[i].core_name() != soc.cores[i].spec.name)
       throw std::invalid_argument("SocOptimizer: table order mismatch at " +
                                   soc.cores[i].spec.name);
+  hierarchy_ = soc.hierarchy_parent.empty()
+                   ? HierarchySpec::flat(soc.num_cores())
+                   : HierarchySpec{soc.hierarchy_parent};
 }
 
 int SocOptimizer::choose_per_tam_fanout(int ate_width) const {
@@ -239,23 +261,21 @@ OptimizationResult SocOptimizer::evaluate_with(
   for (int i = 0; i < n; ++i)
     ref[static_cast<std::size_t>(i)] = table.at(i, widest).time;
 
-  Schedule schedule;
-  if (opts.power_budget_mw > 0.0) {
-    const PowerFn power = [&](int core, int bus) {
-      return core_test_power(
-          soc_->cores[static_cast<std::size_t>(core)].spec,
-          table.at(core, bus).choice);
-    };
-    PowerScheduleOptions popts;
-    popts.power_budget = opts.power_budget_mw;
-    const CostFn table_cost = [&](int core, int bus) {
-      return table.at(core, bus);
-    };
-    schedule =
-        power_schedule(n, arch.num_buses(), table_cost, power, ref, popts);
-  } else {
-    schedule = greedy_schedule(table, ref);
-  }
+  // Scenario dispatch: every evaluation funnels through the scenario's
+  // SchedulerBackend (src/scenario). The default scenario resolves to the
+  // greedy backend, whose construct() routes through the exact
+  // greedy_schedule path used before the extraction — byte-identical
+  // output, pinned by the golden-report tests.
+  const auto sched = make_scheduler_backend(scenario_of(opts), hierarchy_);
+  const CostFn table_cost = [&](int core, int bus) {
+    return table.at(core, bus);
+  };
+  const PowerFn power = [&](int core, int bus) {
+    return core_test_power(soc_->cores[static_cast<std::size_t>(core)].spec,
+                           table.at(core, bus).choice);
+  };
+  Schedule schedule =
+      sched->construct(n, arch.num_buses(), table_cost, power, ref);
   // Hand the resolved table (not the raw cost source) to the tail: the
   // peak-power pass re-reads per-entry choices and must stay O(1) a cell.
   const CostFn resolved = [&table](int core, int bus) {
@@ -272,6 +292,12 @@ OptimizationResult SocOptimizer::evaluate_scheduled(
   OptimizationResult r;
   r.mode = opts.mode;
   r.constraint = opts.constraint;
+  r.scenario = scenario_of(opts);
+  // Record the EFFECTIVE scenario: preempt without a cap runs the plain
+  // scheduler (make_scheduler_backend normalizes it away), so the report —
+  // and its byte-identity to the unconstrained one — must not claim
+  // otherwise.
+  if (r.scenario.power_cap_mw == 0.0) r.scenario.preemptive = false;
   r.arch = arch;
   r.buses = std::move(buses);
   r.schedule = std::move(schedule);
@@ -297,7 +323,14 @@ OptimizationResult SocOptimizer::evaluate_scheduled(
     }
   }
   if (opts.mode == ArchMode::PerCore || opts.mode == ArchMode::FixedWidth4) {
+    // One decompressor per CORE, not per entry: preemptive scenarios list
+    // a core once per segment, all segments sharing the core's single
+    // decompressor. Non-segmented schedules list each core exactly once,
+    // so the dedup is invisible there.
+    std::vector<bool> seen(static_cast<std::size_t>(soc_->num_cores()), false);
     for (const ScheduleEntry& e : r.schedule.entries) {
+      if (seen[static_cast<std::size_t>(e.core)]) continue;
+      seen[static_cast<std::size_t>(e.core)] = true;
       if (e.choice.mode == AccessMode::Compressed && e.choice.m >= 2) {
         ++r.wiring.decompressors;
         const DecompressorArea a =

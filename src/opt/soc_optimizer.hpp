@@ -29,7 +29,9 @@
 
 #include "dft/soc_spec.hpp"
 #include "explore/core_explorer.hpp"
+#include "hier/hierarchy.hpp"
 #include "runtime/cancellation.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/schedule.hpp"
 #include "tam/tam_architecture.hpp"
 #include "tam/wiring_cost.hpp"
@@ -69,6 +71,19 @@ struct OptimizerOptions {
   /// Peak concurrent test power budget in model milliwatts; 0 disables the
   /// constraint (extension beyond the paper — see src/power).
   double power_budget_mw = 0.0;
+  /// Allow a core's test to split into segments under the power budget,
+  /// resuming on the same bus (sched/preemptive_scheduler). Meaningless
+  /// without a power budget — the scenario engine normalizes
+  /// preempt-without-cap to the plain scheduler. Together with
+  /// `hierarchical` and `power_budget_mw` this selects the scenario's
+  /// SchedulerBackend (src/scenario); the default picks the step-4 greedy
+  /// scheduler, byte-identical to pre-scenario builds.
+  bool preemptive = false;
+  /// Enforce ancestor/descendant mutual exclusion from the SOC's core
+  /// hierarchy (SocSpec::hierarchy_parent; a SOC without one is flat, so
+  /// no pair conflicts but the hier scheduler's earliest-fit placement
+  /// still differs from the greedy packing).
+  bool hierarchical = false;
   /// Step-3 candidate evaluation strategy. true (default): the incremental
   /// engine — per-width cost columns cached across single-wire moves, a
   /// makespan lower bound prunes hopeless candidates before scheduling, and
@@ -130,7 +145,23 @@ struct OptimizationResult {
   /// a race records its winner). Reports only surface it when != FixedBus
   /// so pre-backend fixed-bus output stays byte-identical.
   BackendKind backend = BackendKind::FixedBus;
+  /// Scheduling scenario the schedule was EFFECTIVELY constructed under
+  /// (scenario_of(opts) at evaluation time, width always 0, preempt
+  /// dropped when there is no cap to preempt for). Reports only
+  /// surface it when non-default so pre-scenario output stays
+  /// byte-identical. Preemptive scenarios list one schedule entry per
+  /// SEGMENT — a core may appear several times, all on its bound bus.
+  ScenarioSpec scenario;
 };
+
+/// The scheduling scenario encoded in `opts`. The spec's width is always 0
+/// (scenario identity never includes the driver's width — fingerprints and
+/// session keys hash the width itself).
+ScenarioSpec scenario_of(const OptimizerOptions& opts);
+
+/// Applies a scenario cell onto `opts` (the sweep driver's per-cell setup);
+/// `s.width` overrides opts.width only when positive.
+void apply_scenario(const ScenarioSpec& s, OptimizerOptions& opts);
 
 class SocOptimizer {
  public:
@@ -146,6 +177,9 @@ class SocOptimizer {
 
   const SocSpec& soc() const { return *soc_; }
   const std::vector<CoreTable>& tables() const { return tables_; }
+  /// The SOC's core hierarchy (SocSpec::hierarchy_parent, or flat when the
+  /// SOC declares none) — what hierarchical scenarios schedule under.
+  const HierarchySpec& hierarchy() const { return hierarchy_; }
   /// The exploration options the lookup tables were built with — the
   /// distributed coordinator ships these so workers rebuild identical
   /// tables from the serialized SOC.
@@ -233,6 +267,7 @@ class SocOptimizer {
   const SocSpec* soc_;
   ExploreOptions explore_;
   std::vector<CoreTable> tables_;
+  HierarchySpec hierarchy_;
 };
 
 /// The FixedWidth4 baseline's prescribed architecture: 4-wire buses plus

@@ -6,13 +6,19 @@
 #include <limits>
 #include <stdexcept>
 
+#include "portfolio/ladder_policy.hpp"
+
 namespace soctest::portfolio {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'O', 'C', 'P', 'F', 'C', 'K', '1'};
-constexpr std::uint32_t kVersion = 3;
-// Still accepted: identical to v3 minus the backend tag (always fixed-bus).
+constexpr std::uint32_t kVersion = 4;
+// Still accepted: identical to v4 minus the scenario tag (always default).
+constexpr std::uint32_t kVersionNoScenario = 3;
+// Still accepted: v3 minus the backend tag too (always fixed-bus).
 constexpr std::uint32_t kVersionNoBackend = 2;
+constexpr std::uint8_t kScenarioPreemptive = 0x01;
+constexpr std::uint8_t kScenarioHierarchical = 0x02;
 constexpr char kShardMagic[8] = {'S', 'O', 'C', 'P', 'F', 'S', 'H', '1'};
 constexpr std::uint32_t kShardVersion = 1;
 
@@ -82,6 +88,10 @@ std::vector<unsigned char> encode_checkpoint(const PortfolioCheckpoint& ck) {
   w.u32(kVersion);
   w.u64(ck.fingerprint);
   w.u8(static_cast<std::uint8_t>(ck.backend));
+  w.u64(double_bits(ck.scenario.power_cap_mw));
+  w.u8(static_cast<std::uint8_t>(
+      (ck.scenario.preemptive ? kScenarioPreemptive : 0) |
+      (ck.scenario.hierarchical ? kScenarioHierarchical : 0)));
   w.u32(static_cast<std::uint32_t>(ck.replicas.size()));
   w.u32(static_cast<std::uint32_t>(ck.sweeps_completed));
   w.u64(ck.swaps_attempted);
@@ -114,12 +124,13 @@ PortfolioCheckpoint decode_checkpoint(
   if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
     throw std::runtime_error("portfolio checkpoint: bad magic");
   const std::uint32_t version = r.u32();
-  if (version != kVersion && version != kVersionNoBackend)
+  if (version != kVersion && version != kVersionNoScenario &&
+      version != kVersionNoBackend)
     throw std::runtime_error("portfolio checkpoint: unsupported version " +
                              std::to_string(version));
   PortfolioCheckpoint ck;
   ck.fingerprint = r.u64();
-  if (version >= kVersion) {
+  if (version >= kVersionNoScenario) {
     const std::uint8_t backend = r.u8();
     if (backend > static_cast<std::uint8_t>(BackendKind::Race))
       throw std::runtime_error("portfolio checkpoint: bad backend tag " +
@@ -134,6 +145,28 @@ PortfolioCheckpoint decode_checkpoint(
                  "assuming fixed-bus\n",
                  version);
     ck.backend = BackendKind::FixedBus;
+  }
+  if (version >= kVersion) {
+    ck.scenario.power_cap_mw = bits_double(r.u64());
+    if (!(ck.scenario.power_cap_mw >= 0.0))  // rejects NaN and negatives
+      throw std::runtime_error("portfolio checkpoint: bad scenario power cap");
+    const std::uint8_t flags = r.u8();
+    if (flags > (kScenarioPreemptive | kScenarioHierarchical))
+      throw std::runtime_error("portfolio checkpoint: bad scenario flags " +
+                               std::to_string(flags));
+    ck.scenario.preemptive = (flags & kScenarioPreemptive) != 0;
+    ck.scenario.hierarchical = (flags & kScenarioHierarchical) != 0;
+  } else {
+    // Pre-v4 blob: no scenario tag existed, and every pre-scenario run
+    // searched the default scenario (a power budget, when set, lives in
+    // the fingerprint — pre-v4 blobs with one simply fail the fingerprint
+    // check against a non-matching request, as they always did).
+    std::fprintf(stderr,
+                 "note: portfolio checkpoint has no scenario tag "
+                 "(version %u); assuming default scenario\n",
+                 version);
+    ck.scenario = ScenarioSpec{};
+    ck.has_scenario_tag = false;
   }
   const std::uint32_t replicas = r.u32();
   ck.sweeps_completed = static_cast<int>(r.u32());
@@ -281,6 +314,17 @@ void write_checkpoint_file(const std::string& path,
   if (!f)
     throw CheckpointIoError("portfolio checkpoint: short write to '" + path +
                             "' (disk full?)");
+}
+
+void check_checkpoint_scenario(const PortfolioCheckpoint& ck,
+                               const ScenarioSpec& want) {
+  ScenarioSpec got = ck.scenario;
+  if (!ck.has_scenario_tag) got.power_cap_mw = want.power_cap_mw;
+  if (got != want)
+    throw std::runtime_error("portfolio: checkpoint scenario '" +
+                             got.to_string() +
+                             "' does not match requested scenario '" +
+                             want.to_string() + "'");
 }
 
 PortfolioCheckpoint read_checkpoint_file(const std::string& path) {

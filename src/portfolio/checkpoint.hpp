@@ -9,11 +9,14 @@
 // problem; decode errors and mismatches throw, they never silently
 // mis-resume.
 //
-// Format (version 3, little-endian on every supported target):
+// Format (version 4, little-endian on every supported target):
 //   byte[8]  magic "SOCPFCK1"
 //   u32      version
 //   u64      fingerprint
 //   u8       backend tag (BackendKind numeric value; version 3+ only)
+//   u64      scenario power-cap IEEE-754 bits (version 4+ only)
+//   u8       scenario flags: bit0 preemptive, bit1 hierarchical; any
+//            other bit set is corruption (version 4+ only)
 //   u32      replica count K
 //   u32      sweeps_completed
 //   u64      swaps_attempted, swaps_accepted, proposals_total
@@ -31,7 +34,13 @@
 // added the backend tag right after the fingerprint; version 2 blobs are
 // still accepted (the tag defaults to fixed-bus with a stderr note — every
 // pre-backend run WAS fixed-bus, and the fingerprint recipe only hashes a
-// non-default backend, so v2 fingerprints stay comparable).
+// non-default backend, so v2 fingerprints stay comparable). Version 4
+// added the scheduling-scenario tag (power cap bits + preempt/hier flags)
+// right after the backend byte; v2/v3 blobs decode as the default scenario
+// with a stderr note — pre-scenario runs could not have been anything
+// else, and the fingerprint only hashes non-default scenario flags, so
+// their fingerprints stay comparable too (the power budget was already
+// hashed unconditionally before scenarios existed).
 #pragma once
 
 #include <cstdint>
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "opt/anneal_walk.hpp"
+#include "scenario/scenario.hpp"
 
 namespace soctest::portfolio {
 
@@ -63,6 +73,20 @@ struct PortfolioCheckpoint {
   /// under a different backend is rejected before the fingerprint check so
   /// the error names the actual mismatch.
   BackendKind backend = BackendKind::FixedBus;
+  /// Scheduling scenario the checkpointed run searched under (width is
+  /// never part of scenario identity and stays 0 here — it is hashed into
+  /// the fingerprint as opts.width). Pre-v4 blobs carry no tag and decode
+  /// as the default scenario with a stderr note; resuming under a
+  /// different scenario is rejected before the fingerprint check so the
+  /// error names the actual mismatch.
+  ScenarioSpec scenario;
+  /// False iff the blob predates version 4. A pre-v4 blob's power cap is
+  /// unknowable from the blob itself (it was only ever hashed into the
+  /// fingerprint), so resume skips the cap half of the scenario check for
+  /// them — the unconditional fingerprint hash of the power budget already
+  /// guards it, exactly as it did before scenarios existed. The
+  /// preempt/hier half still applies: no pre-scenario run was either.
+  bool has_scenario_tag = true;
   int sweeps_completed = 0;
   std::uint64_t swaps_attempted = 0;
   std::uint64_t swaps_accepted = 0;
@@ -92,6 +116,16 @@ PortfolioCheckpoint decode_checkpoint(const std::vector<unsigned char>& bytes);
 
 /// Throws std::runtime_error when the file is unreadable or malformed.
 PortfolioCheckpoint read_checkpoint_file(const std::string& path);
+
+/// Rejects a resume whose scheduling scenario differs from the one the
+/// checkpoint was written under — called by both the single-process and
+/// distributed resume paths BEFORE the fingerprint check, so the error
+/// names the actual mismatch instead of a generic fingerprint failure.
+/// For pre-v4 blobs (no scenario tag) only the preempt/hier half is
+/// compared; the cap half is guarded by the fingerprint's unconditional
+/// power-budget hash, exactly as it was before scenarios existed.
+void check_checkpoint_scenario(const PortfolioCheckpoint& ck,
+                               const ScenarioSpec& want);
 
 /// One ladder slot's state as exchanged between the distributed
 /// coordinator and a worker at a sweep barrier: the full AnnealWalkState

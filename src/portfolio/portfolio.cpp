@@ -138,6 +138,7 @@ PortfolioResult run_portfolio(const SocOptimizer& optimizer,
     PortfolioCheckpoint ck;
     ck.fingerprint = portfolio_fingerprint(optimizer, opts, popts);
     ck.backend = opts.backend;
+    ck.scenario = scenario_of(opts);
     ck.sweeps_completed = stats.sweeps_completed;
     ck.swaps_attempted = stats.swaps_attempted;
     ck.swaps_accepted = stats.swaps_accepted;
@@ -317,6 +318,13 @@ std::uint64_t portfolio_fingerprint(const SocOptimizer& optimizer,
   // could only have been fixed-bus runs, keep their fingerprints.
   if (opts.backend != BackendKind::FixedBus)
     h.i32(static_cast<std::int32_t>(opts.backend));
+  // Same reasoning for the scenario flags: pre-scenario (v3) checkpoints
+  // could only have been flat non-preemptive runs, and the power cap is
+  // already in the unconditional power_budget_mw hash above.
+  if (opts.preemptive || opts.hierarchical) {
+    h.boolean(opts.preemptive);
+    h.boolean(opts.hierarchical);
+  }
   h.i32(portfolio::resolved_ladder_size(opts, popts));
   h.i32(popts.proposals_per_sweep);
   h.u64(portfolio::double_bits(popts.initial_temperature));
@@ -346,6 +354,7 @@ PortfolioResult resume_portfolio(const SocOptimizer& optimizer,
                              to_string(ck.backend) +
                              "' does not match requested backend '" +
                              to_string(opts.backend) + "'");
+  portfolio::check_checkpoint_scenario(ck, scenario_of(opts));
   const std::uint64_t expect =
       portfolio_fingerprint(optimizer, opts, popts);
   if (ck.fingerprint != expect)

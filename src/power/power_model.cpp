@@ -9,17 +9,21 @@ double core_test_power(const CoreSpec& core, const CoreChoice& choice,
   const double activity = choice.mode == AccessMode::Compressed
                               ? params.compressed_activity
                               : params.direct_activity;
-  return params.base_mw +
-         params.kappa_mw_per_cell *
-             static_cast<double>(core.total_scan_cells()) * activity;
+  // power_scale defaults to 1.0, and x * 1.0 == x exactly in IEEE-754, so
+  // SOCs without a power profile keep their pre-profile power bytes.
+  return (params.base_mw +
+          params.kappa_mw_per_cell *
+              static_cast<double>(core.total_scan_cells()) * activity) *
+         core.power_scale;
 }
 
 double core_peak_power(const CoreSpec& core, const PowerModelParams& params) {
   const double act =
       std::max(params.direct_activity, params.compressed_activity);
-  return params.base_mw + params.kappa_mw_per_cell *
-                              static_cast<double>(core.total_scan_cells()) *
-                              act;
+  return (params.base_mw + params.kappa_mw_per_cell *
+                               static_cast<double>(core.total_scan_cells()) *
+                               act) *
+         core.power_scale;
 }
 
 }  // namespace soctest

@@ -6,9 +6,11 @@
 // factor regardless of how many wrapper chains carry the data (all chains
 // shift simultaneously), so
 //
-//   P_core = P_BASE + KAPPA * scan_cells * activity
+//   P_core = (P_BASE + KAPPA * scan_cells * activity) * power_scale
 //
-// in abstract milliwatt units. Compressed access lowers the activity: the
+// in abstract milliwatt units, where power_scale is the core's optional
+// per-core multiplier (CoreSpec::power_scale, 1.0 by default — synthetic
+// power profiles and .soc files set it to heterogenize power draw). Compressed access lowers the activity: the
 // selective-encoding decompressor drives every don't-care to the slice's
 // fill value, so long X runs stop toggling (constant-fill power benefit),
 // whereas uncompressed patterns arrive with tester-side random fill.

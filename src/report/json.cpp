@@ -68,6 +68,12 @@ std::string result_to_json(const OptimizationResult& r, const SocSpec& soc,
   // (and the differential goldens pinning them) stay byte-identical.
   if (r.backend != BackendKind::FixedBus)
     os << "  \"backend\": \"" << json_escape(to_string(r.backend)) << "\",\n";
+  // Same rule for the scheduling scenario: the default scenario emits
+  // nothing, so every pre-scenario report (golden-pinned included) keeps
+  // its exact bytes. The canonical string round-trips via parse_scenario.
+  if (!r.scenario.is_default())
+    os << "  \"scenario\": \"" << json_escape(r.scenario.to_string())
+       << "\",\n";
   os << "  \"test_time\": " << r.test_time << ",\n";
   os << "  \"data_volume_bits\": " << r.data_volume_bits << ",\n";
   os << "  \"peak_power_mw\": " << r.peak_power_mw << ",\n";

@@ -17,6 +17,11 @@ void hash_core(FnvHasher& h, const CoreUnderTest& core) {
   h.boolean(s.flexible_scan);
   h.i64(s.flexible_scan_cells);
   h.i32(s.num_patterns);
+  // Hashed only when non-default so every pre-profile key is unchanged;
+  // power feeds scheduling (the memoized results), so a changed scale must
+  // change the session key.
+  if (s.power_scale != 1.0)
+    h.bytes(&s.power_scale, sizeof s.power_scale);
 
   const TestCubeSet& cubes = core.cubes;
   h.i64(cubes.num_cells());
@@ -71,6 +76,10 @@ CacheKey key_of_soc(const SocSpec& soc, const ExploreOptions& opts) {
   h.i64(soc.approx_latch_count);
   h.i32(soc.num_cores());
   for (const CoreUnderTest& c : soc.cores) hash_core(h, c);
+  // Same only-when-present rule for the core hierarchy: a hierarchical
+  // session's memo holds exclusion-constrained schedules that another
+  // parent vector must never reuse.
+  if (!soc.hierarchy_parent.empty()) h.ints(soc.hierarchy_parent);
   hash_opts(h, opts);
   return finish(h);
 }

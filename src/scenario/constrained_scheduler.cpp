@@ -1,0 +1,257 @@
+#include "scenario/constrained_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+namespace {
+
+void check_sizes(const char* who, int num_cores, int num_buses,
+                 const std::vector<std::int64_t>& ref_time,
+                 const PowerScheduleOptions& opts,
+                 const HierarchySpec& hierarchy) {
+  if (num_cores < 0 || num_buses < 1)
+    throw std::invalid_argument(std::string(who) + ": bad sizes");
+  if (static_cast<int>(ref_time.size()) != num_cores ||
+      hierarchy.num_cores() != num_cores)
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  if (opts.power_budget <= 0.0)
+    throw std::invalid_argument(std::string(who) + ": budget must be positive");
+  hierarchy.validate();
+}
+
+void check_feasible(const char* who, int num_cores, int num_buses,
+                    const PowerFn& power, const PowerScheduleOptions& opts) {
+  for (int i = 0; i < num_cores; ++i) {
+    double min_p = std::numeric_limits<double>::max();
+    for (int b = 0; b < num_buses; ++b) min_p = std::min(min_p, power(i, b));
+    if (min_p > opts.power_budget)
+      throw std::runtime_error(std::string(who) + ": core " +
+                               std::to_string(i) +
+                               " alone exceeds the power budget");
+  }
+}
+
+std::vector<int> longest_first(int num_cores,
+                               const std::vector<std::int64_t>& ref_time) {
+  std::vector<int> order(static_cast<std::size_t>(num_cores));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return ref_time[static_cast<std::size_t>(a)] >
+           ref_time[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+Schedule constrained_schedule(int num_cores, int num_buses, const CostFn& cost,
+                              const PowerFn& power,
+                              const std::vector<std::int64_t>& ref_time,
+                              const PowerScheduleOptions& opts,
+                              const HierarchySpec& hierarchy) {
+  check_sizes("constrained_schedule", num_cores, num_buses, ref_time, opts,
+              hierarchy);
+  check_feasible("constrained_schedule", num_cores, num_buses, power, opts);
+
+  const std::vector<int> order = longest_first(num_cores, ref_time);
+
+  Schedule s;
+  s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
+  std::vector<bool> scheduled(static_cast<std::size_t>(num_cores), false);
+  std::vector<double> bus_power(static_cast<std::size_t>(num_buses), 0.0);
+  std::vector<int> bus_core(static_cast<std::size_t>(num_buses), -1);
+  std::vector<std::int64_t> bus_busy_until(static_cast<std::size_t>(num_buses),
+                                           0);
+  int remaining = num_cores;
+  std::int64_t now = 0;
+
+  const auto lineage_busy = [&](int core) {
+    for (int b = 0; b < num_buses; ++b) {
+      if (bus_busy_until[static_cast<std::size_t>(b)] <= now) continue;
+      const int other = bus_core[static_cast<std::size_t>(b)];
+      if (other >= 0 && hierarchy.conflicts(core, other)) return true;
+    }
+    return false;
+  };
+
+  while (remaining > 0) {
+    double active_power = 0.0;
+    for (int b = 0; b < num_buses; ++b)
+      if (bus_busy_until[static_cast<std::size_t>(b)] > now)
+        active_power += bus_power[static_cast<std::size_t>(b)];
+
+    // Idle buses greedily pick the longest core that fits the headroom AND
+    // whose lineage is clear. The check re-runs per placement: a core
+    // placed at `now` immediately blocks its ancestors/descendants.
+    bool placed_any = false;
+    for (int b = 0; b < num_buses; ++b) {
+      if (bus_busy_until[static_cast<std::size_t>(b)] > now) continue;
+      for (int core : order) {
+        if (scheduled[static_cast<std::size_t>(core)]) continue;
+        const double p = power(core, b);
+        if (active_power + p > opts.power_budget) continue;
+        if (lineage_busy(core)) continue;
+        const BusAccessCost c = cost(core, b);
+        ScheduleEntry e;
+        e.core = core;
+        e.bus = b;
+        e.start = now;
+        e.end = now + c.time;
+        e.choice = c.choice;
+        s.entries.push_back(e);
+        s.total_volume_bits += c.volume_bits;
+        s.bus_finish[static_cast<std::size_t>(b)] = e.end;
+        bus_busy_until[static_cast<std::size_t>(b)] = e.end;
+        bus_power[static_cast<std::size_t>(b)] = p;
+        bus_core[static_cast<std::size_t>(b)] = core;
+        active_power += p;
+        scheduled[static_cast<std::size_t>(core)] = true;
+        --remaining;
+        placed_any = true;
+        break;
+      }
+    }
+    if (remaining == 0) break;
+
+    std::int64_t next = std::numeric_limits<std::int64_t>::max();
+    for (int b = 0; b < num_buses; ++b) {
+      const std::int64_t until = bus_busy_until[static_cast<std::size_t>(b)];
+      if (until > now) next = std::min(next, until);
+    }
+    if (next == std::numeric_limits<std::int64_t>::max()) {
+      if (!placed_any)
+        throw std::logic_error("constrained_schedule: deadlock at idle");
+      continue;
+    }
+    now = next;
+  }
+  return s;
+}
+
+SegmentedSchedule preemptive_constrained_schedule(
+    int num_cores, int num_buses, const CostFn& cost, const PowerFn& power,
+    const std::vector<std::int64_t>& ref_time,
+    const PowerScheduleOptions& opts, const HierarchySpec& hierarchy) {
+  check_sizes("preemptive_constrained_schedule", num_cores, num_buses,
+              ref_time, opts, hierarchy);
+  check_feasible("preemptive_constrained_schedule", num_cores, num_buses,
+                 power, opts);
+
+  std::vector<int> bound(static_cast<std::size_t>(num_cores), -1);
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(num_cores), -1);
+  std::vector<BusAccessCost> bound_cost(static_cast<std::size_t>(num_cores));
+  const std::vector<int> order = longest_first(num_cores, ref_time);
+
+  SegmentedSchedule s;
+  s.bus_finish.assign(static_cast<std::size_t>(num_buses), 0);
+  int unfinished = num_cores;
+  std::int64_t now = 0;
+
+  while (unfinished > 0) {
+    // Select the active set exactly like preemptive_power_schedule, with
+    // one extra admission rule: no two conflicting cores may be active at
+    // once (a paused relative does NOT block — pausing is the point).
+    std::vector<int> pick_order = order;
+    std::stable_sort(pick_order.begin(), pick_order.end(), [&](int a, int b) {
+      const std::int64_t ra = remaining[static_cast<std::size_t>(a)] >= 0
+                                  ? remaining[static_cast<std::size_t>(a)]
+                                  : ref_time[static_cast<std::size_t>(a)];
+      const std::int64_t rb = remaining[static_cast<std::size_t>(b)] >= 0
+                                  ? remaining[static_cast<std::size_t>(b)]
+                                  : ref_time[static_cast<std::size_t>(b)];
+      return ra > rb;
+    });
+
+    std::vector<bool> bus_taken(static_cast<std::size_t>(num_buses), false);
+    std::vector<int> active;
+    double used = 0.0;
+    const auto conflicts_active = [&](int core) {
+      for (int other : active)
+        if (hierarchy.conflicts(core, other)) return true;
+      return false;
+    };
+    for (int core : pick_order) {
+      if (remaining[static_cast<std::size_t>(core)] == 0) continue;
+      if (conflicts_active(core)) continue;
+      int b = bound[static_cast<std::size_t>(core)];
+      if (b >= 0) {
+        if (bus_taken[static_cast<std::size_t>(b)]) continue;
+        if (used + power(core, b) > opts.power_budget) continue;
+      } else {
+        // First activation: lowest free bus fitting the budget, preferring
+        // buses without a paused bound core (same rule as the preemptive
+        // power scheduler — resumptions keep their slot).
+        std::vector<int> busy_bound(static_cast<std::size_t>(num_buses), 0);
+        for (int other = 0; other < num_cores; ++other)
+          if (bound[static_cast<std::size_t>(other)] >= 0 &&
+              remaining[static_cast<std::size_t>(other)] != 0)
+            ++busy_bound[static_cast<std::size_t>(
+                bound[static_cast<std::size_t>(other)])];
+        b = -1;
+        for (int pass = 0; pass < 2 && b < 0; ++pass) {
+          for (int cand = 0; cand < num_buses; ++cand) {
+            if (bus_taken[static_cast<std::size_t>(cand)]) continue;
+            if (pass == 0 && busy_bound[static_cast<std::size_t>(cand)] > 0)
+              continue;
+            if (used + power(core, cand) > opts.power_budget) continue;
+            b = cand;
+            break;
+          }
+        }
+        if (b < 0) continue;
+        bound[static_cast<std::size_t>(core)] = b;
+        bound_cost[static_cast<std::size_t>(core)] = cost(core, b);
+        remaining[static_cast<std::size_t>(core)] =
+            bound_cost[static_cast<std::size_t>(core)].time;
+        s.total_volume_bits +=
+            bound_cost[static_cast<std::size_t>(core)].volume_bits;
+        if (remaining[static_cast<std::size_t>(core)] == 0) {
+          --unfinished;
+          continue;
+        }
+      }
+      bus_taken[static_cast<std::size_t>(b)] = true;
+      used += power(core, b);
+      active.push_back(core);
+    }
+    if (active.empty())
+      throw std::logic_error("preemptive_constrained_schedule: deadlock");
+
+    std::int64_t step = std::numeric_limits<std::int64_t>::max();
+    for (int core : active)
+      step = std::min(step, remaining[static_cast<std::size_t>(core)]);
+
+    for (int core : active) {
+      const int b = bound[static_cast<std::size_t>(core)];
+      ScheduleEntry e;
+      e.core = core;
+      e.bus = b;
+      e.start = now;
+      e.end = now + step;
+      e.choice = bound_cost[static_cast<std::size_t>(core)].choice;
+      s.segments.push_back(e);
+      s.bus_finish[static_cast<std::size_t>(b)] = e.end;
+      remaining[static_cast<std::size_t>(core)] -= step;
+      if (remaining[static_cast<std::size_t>(core)] == 0) --unfinished;
+    }
+    now += step;
+  }
+
+  std::vector<ScheduleEntry> merged;
+  for (const ScheduleEntry& e : s.segments) {
+    if (!merged.empty() && merged.back().core == e.core &&
+        merged.back().bus == e.bus && merged.back().end == e.start) {
+      merged.back().end = e.end;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  s.segments = std::move(merged);
+  return s;
+}
+
+}  // namespace soctest

@@ -1,0 +1,38 @@
+// Combined-constraint scheduling: power cap AND hierarchy exclusion in one
+// event-driven scheduler, for the scenario matrix cells no single seed
+// scheduler covers. Both variants follow sched/power_scheduler's model —
+// at every completion event idle buses pick the longest remaining core —
+// extended with the hier/ rule that a core may not run while any
+// ancestor/descendant is active. Deadlock-free: whenever nothing is
+// active, the first unscheduled core always fits (per-core power
+// feasibility is checked up front, and no conflict can be active).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+#include "sched/power_scheduler.hpp"
+#include "sched/preemptive_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace soctest {
+
+/// Non-preemptive: like power_schedule, but an idle bus additionally skips
+/// cores whose lineage is busy. Validates with allow_gaps = true and
+/// passes validate_hierarchy_exclusion. Throws std::runtime_error when a
+/// core alone exceeds the budget.
+Schedule constrained_schedule(int num_cores, int num_buses, const CostFn& cost,
+                              const PowerFn& power,
+                              const std::vector<std::int64_t>& ref_time,
+                              const PowerScheduleOptions& opts,
+                              const HierarchySpec& hierarchy);
+
+/// Preemptive: like preemptive_power_schedule (segments, same-bus
+/// resumption), but the active set never contains two conflicting cores.
+SegmentedSchedule preemptive_constrained_schedule(
+    int num_cores, int num_buses, const CostFn& cost, const PowerFn& power,
+    const std::vector<std::int64_t>& ref_time,
+    const PowerScheduleOptions& opts, const HierarchySpec& hierarchy);
+
+}  // namespace soctest

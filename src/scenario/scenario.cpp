@@ -1,0 +1,187 @@
+#include "scenario/scenario.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace soctest {
+namespace {
+
+/// Shortest round-trip decimal form of a double (std::to_chars).
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+double parse_cap(const std::string& spec, const std::string& text) {
+  double v = 0.0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto res = std::from_chars(first, last, v);
+  if (res.ec != std::errc{} || res.ptr != last)
+    throw std::invalid_argument("scenario '" + spec + "': bad power cap '" +
+                                text + "'");
+  if (!(v >= 0.0))
+    throw std::invalid_argument("scenario '" + spec +
+                                "': power cap must be >= 0");
+  return v;
+}
+
+int parse_width(const std::string& spec, const std::string& text) {
+  int v = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto res = std::from_chars(first, last, v);
+  if (res.ec != std::errc{} || res.ptr != last)
+    throw std::invalid_argument("scenario '" + spec + "': bad width '" + text +
+                                "'");
+  if (v < 1)
+    throw std::invalid_argument("scenario '" + spec + "': width must be >= 1");
+  return v;
+}
+
+bool parse_bool01(const std::string& spec, const std::string& text) {
+  if (text == "0") return false;
+  if (text == "1") return true;
+  throw std::invalid_argument("scenario sweep '" + spec + "': bad flag '" +
+                              text + "' (want 0 or 1)");
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+
+std::string ScenarioSpec::to_string() const {
+  if (is_default()) return "default";
+  std::string out;
+  const auto append = [&](const std::string& tok) {
+    if (!out.empty()) out += ',';
+    out += tok;
+  };
+  if (power_cap_mw > 0.0) append("cap=" + format_double(power_cap_mw));
+  if (preemptive) append("preempt");
+  if (hierarchical) append("hier");
+  if (width > 0) append("w=" + std::to_string(width));
+  return out;
+}
+
+ScenarioSpec parse_scenario(const std::string& spec) {
+  if (spec.empty())
+    throw std::invalid_argument("scenario: empty spec");
+  ScenarioSpec s;
+  if (spec == "default") return s;
+  bool have_cap = false, have_preempt = false, have_hier = false,
+       have_width = false;
+  for (const std::string& tok : split(spec, ',')) {
+    if (tok.rfind("cap=", 0) == 0) {
+      if (have_cap)
+        throw std::invalid_argument("scenario '" + spec + "': duplicate cap");
+      have_cap = true;
+      s.power_cap_mw = parse_cap(spec, tok.substr(4));
+    } else if (tok == "preempt") {
+      if (have_preempt)
+        throw std::invalid_argument("scenario '" + spec +
+                                    "': duplicate preempt");
+      have_preempt = true;
+      s.preemptive = true;
+    } else if (tok == "hier") {
+      if (have_hier)
+        throw std::invalid_argument("scenario '" + spec + "': duplicate hier");
+      have_hier = true;
+      s.hierarchical = true;
+    } else if (tok.rfind("w=", 0) == 0) {
+      if (have_width)
+        throw std::invalid_argument("scenario '" + spec + "': duplicate w");
+      have_width = true;
+      s.width = parse_width(spec, tok.substr(2));
+    } else {
+      throw std::invalid_argument("scenario '" + spec + "': unknown token '" +
+                                  tok + "'");
+    }
+  }
+  return s;
+}
+
+std::vector<ScenarioSpec> parse_scenario_sweep(const std::string& spec) {
+  if (spec.empty())
+    throw std::invalid_argument("scenario sweep: empty spec");
+  std::vector<double> caps = {0.0};
+  std::vector<bool> preempts = {false};
+  std::vector<bool> hiers = {false};
+  std::vector<int> widths = {0};
+  bool have_cap = false, have_preempt = false, have_hier = false,
+       have_width = false;
+  for (const std::string& axis : split(spec, ';')) {
+    const std::size_t eq = axis.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("scenario sweep '" + spec +
+                                  "': axis without '=' in '" + axis + "'");
+    const std::string name = axis.substr(0, eq);
+    const std::vector<std::string> vals = split(axis.substr(eq + 1), ',');
+    if (vals.size() == 1 && vals[0].empty())
+      throw std::invalid_argument("scenario sweep '" + spec +
+                                  "': empty value list for '" + name + "'");
+    if (name == "cap") {
+      if (have_cap)
+        throw std::invalid_argument("scenario sweep '" + spec +
+                                    "': duplicate cap axis");
+      have_cap = true;
+      caps.clear();
+      for (const std::string& v : vals) caps.push_back(parse_cap(spec, v));
+    } else if (name == "preempt") {
+      if (have_preempt)
+        throw std::invalid_argument("scenario sweep '" + spec +
+                                    "': duplicate preempt axis");
+      have_preempt = true;
+      preempts.clear();
+      for (const std::string& v : vals)
+        preempts.push_back(parse_bool01(spec, v));
+    } else if (name == "hier") {
+      if (have_hier)
+        throw std::invalid_argument("scenario sweep '" + spec +
+                                    "': duplicate hier axis");
+      have_hier = true;
+      hiers.clear();
+      for (const std::string& v : vals) hiers.push_back(parse_bool01(spec, v));
+    } else if (name == "w") {
+      if (have_width)
+        throw std::invalid_argument("scenario sweep '" + spec +
+                                    "': duplicate w axis");
+      have_width = true;
+      widths.clear();
+      for (const std::string& v : vals)
+        widths.push_back(parse_width(spec, v));
+    } else {
+      throw std::invalid_argument("scenario sweep '" + spec +
+                                  "': unknown axis '" + name + "'");
+    }
+  }
+  std::vector<ScenarioSpec> cells;
+  cells.reserve(caps.size() * preempts.size() * hiers.size() * widths.size());
+  for (double cap : caps)
+    for (bool p : preempts)
+      for (bool h : hiers)
+        for (int w : widths) {
+          ScenarioSpec s;
+          s.power_cap_mw = cap;
+          s.preemptive = p;
+          s.hierarchical = h;
+          s.width = w;
+          cells.push_back(s);
+        }
+  return cells;
+}
+
+}  // namespace soctest

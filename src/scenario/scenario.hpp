@@ -1,0 +1,73 @@
+// ScenarioSpec: one cell of the constraint-rich scheduling matrix — power
+// cap x preemption x hierarchy x TAM width. The default-constructed spec is
+// the paper's unconstrained greedy schedule; every layer that fingerprints,
+// serializes or reports a scenario only does so when it is non-default, so
+// pre-scenario artifacts (goldens, checkpoints, session keys, JSON reports)
+// stay byte-identical.
+//
+// Grammar (strict; parse errors throw std::invalid_argument):
+//   scenario  := "default" | token ("," token)*
+//   token     := "cap=" DOUBLE | "preempt" | "hier" | "w=" INT
+// Duplicate tokens, unknown tokens, trailing garbage and non-positive
+// values are rejected. `preempt` without a power cap is accepted but
+// schedules exactly like the non-preemptive scenario (there is nothing to
+// preempt for); the differential tests pin that equivalence.
+//
+// Sweep grammar (axis lists crossed into a deterministic matrix):
+//   sweep := axis (";" axis)*
+//   axis  := "cap=" DOUBLE ("," DOUBLE)* | "preempt=" BOOL ("," BOOL)*
+//          | "hier=" BOOL ("," BOOL)*    | "w=" INT ("," INT)*
+// Cells enumerate with cap outermost, then preempt, then hier, then w —
+// independent of the order axes appear in the spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+struct ScenarioSpec {
+  /// Peak concurrent test power cap in model milliwatts; 0 = unlimited.
+  double power_cap_mw = 0.0;
+  /// Allow a core's test to be split into segments (resuming on the same
+  /// bus) when the power budget is needed elsewhere. Meaningless without a
+  /// power cap — the schedulers treat preempt-without-cap as non-preemptive.
+  bool preemptive = false;
+  /// Enforce ancestor/descendant mutual exclusion from the SOC's core
+  /// hierarchy (hier/hierarchy.hpp).
+  bool hierarchical = false;
+  /// TAM width override for sweep cells; 0 = inherit the driver's width.
+  /// Never part of scenario identity (fingerprints key the width itself).
+  int width = 0;
+
+  bool is_default() const {
+    return power_cap_mw == 0.0 && !preemptive && !hierarchical && width == 0;
+  }
+
+  /// True when the schedule this scenario produces can differ from the
+  /// plain greedy one (the warm-start/byte-identity gate).
+  bool constrains_schedule() const {
+    return power_cap_mw > 0.0 || hierarchical;
+  }
+
+  /// Canonical form: "default", or the defining tokens joined with commas
+  /// ("cap=20,preempt", "hier,w=24", ...). parse_scenario round-trips it.
+  std::string to_string() const;
+
+  friend bool operator==(const ScenarioSpec& a, const ScenarioSpec& b) {
+    return a.power_cap_mw == b.power_cap_mw && a.preemptive == b.preemptive &&
+           a.hierarchical == b.hierarchical && a.width == b.width;
+  }
+  friend bool operator!=(const ScenarioSpec& a, const ScenarioSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// Strict parse of the scenario grammar above.
+ScenarioSpec parse_scenario(const std::string& spec);
+
+/// Strict parse of the sweep grammar; returns the cross product in the
+/// documented deterministic order. Never empty on success.
+std::vector<ScenarioSpec> parse_scenario_sweep(const std::string& spec);
+
+}  // namespace soctest

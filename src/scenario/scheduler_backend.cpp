@@ -1,0 +1,168 @@
+#include "scenario/scheduler_backend.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "hier/hier_scheduler.hpp"
+#include "scenario/constrained_scheduler.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/preemptive_scheduler.hpp"
+
+namespace soctest {
+namespace {
+
+Schedule from_segments(SegmentedSchedule seg) {
+  Schedule s;
+  s.entries = std::move(seg.segments);
+  s.bus_finish = std::move(seg.bus_finish);
+  s.total_volume_bits = seg.total_volume_bits;
+  return s;
+}
+
+PowerScheduleOptions power_options(double cap) {
+  PowerScheduleOptions popts;
+  popts.power_budget = cap;
+  return popts;
+}
+
+class GreedyBackend final : public SchedulerBackend {
+ public:
+  const char* name() const override { return "greedy"; }
+  bool allows_gaps() const override { return false; }
+  Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                     const PowerFn&,
+                     const std::vector<std::int64_t>& ref_time) const override {
+    return greedy_schedule(num_cores, num_buses, cost, ref_time);
+  }
+  bool supports_prepared() const override { return true; }
+  Schedule construct_prepared(
+      int num_cores, int num_buses, const std::vector<std::int64_t>& time,
+      const std::vector<int>& order, const CostFn& cost) const override {
+    return greedy_schedule_prepared(num_cores, num_buses, time, order, cost,
+                                    GreedyOptions{});
+  }
+};
+
+class PowerBackend final : public SchedulerBackend {
+ public:
+  explicit PowerBackend(double cap) : cap_(cap) {}
+  const char* name() const override { return "power"; }
+  bool needs_power() const override { return true; }
+  Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                     const PowerFn& power,
+                     const std::vector<std::int64_t>& ref_time) const override {
+    return power_schedule(num_cores, num_buses, cost, power, ref_time,
+                          power_options(cap_));
+  }
+
+ private:
+  double cap_;
+};
+
+class PreemptiveBackend final : public SchedulerBackend {
+ public:
+  explicit PreemptiveBackend(double cap) : cap_(cap) {}
+  const char* name() const override { return "preemptive"; }
+  bool needs_power() const override { return true; }
+  Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                     const PowerFn& power,
+                     const std::vector<std::int64_t>& ref_time) const override {
+    return from_segments(preemptive_power_schedule(
+        num_cores, num_buses, cost, power, ref_time, power_options(cap_)));
+  }
+
+ private:
+  double cap_;
+};
+
+class HierBackend final : public SchedulerBackend {
+ public:
+  explicit HierBackend(HierarchySpec hierarchy)
+      : hierarchy_(std::move(hierarchy)) {}
+  const char* name() const override { return "hier"; }
+  Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                     const PowerFn&,
+                     const std::vector<std::int64_t>& ref_time) const override {
+    return hierarchical_schedule(num_cores, num_buses, cost, ref_time,
+                                 hierarchy_);
+  }
+
+ private:
+  HierarchySpec hierarchy_;
+};
+
+class HierPowerBackend final : public SchedulerBackend {
+ public:
+  HierPowerBackend(double cap, HierarchySpec hierarchy)
+      : cap_(cap), hierarchy_(std::move(hierarchy)) {}
+  const char* name() const override { return "hier-power"; }
+  bool needs_power() const override { return true; }
+  Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                     const PowerFn& power,
+                     const std::vector<std::int64_t>& ref_time) const override {
+    return constrained_schedule(num_cores, num_buses, cost, power, ref_time,
+                                power_options(cap_), hierarchy_);
+  }
+
+ private:
+  double cap_;
+  HierarchySpec hierarchy_;
+};
+
+class HierPreemptiveBackend final : public SchedulerBackend {
+ public:
+  HierPreemptiveBackend(double cap, HierarchySpec hierarchy)
+      : cap_(cap), hierarchy_(std::move(hierarchy)) {}
+  const char* name() const override { return "hier-preemptive"; }
+  bool needs_power() const override { return true; }
+  Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                     const PowerFn& power,
+                     const std::vector<std::int64_t>& ref_time) const override {
+    return from_segments(preemptive_constrained_schedule(
+        num_cores, num_buses, cost, power, ref_time, power_options(cap_),
+        hierarchy_));
+  }
+
+ private:
+  double cap_;
+  HierarchySpec hierarchy_;
+};
+
+}  // namespace
+
+Schedule SchedulerBackend::construct_prepared(
+    int, int, const std::vector<std::int64_t>&, const std::vector<int>&,
+    const CostFn&) const {
+  throw std::logic_error(std::string("SchedulerBackend '") + name() +
+                         "' has no prepared entry point");
+}
+
+bool SchedulerBackend::bound_exceeds(int num_cores, int num_buses,
+                                     const std::vector<std::int64_t>& time,
+                                     std::int64_t threshold,
+                                     bool capacity_bound) const {
+  return makespan_bound_exceeds(num_cores, num_buses, time, threshold,
+                                capacity_bound);
+}
+
+std::unique_ptr<SchedulerBackend> make_scheduler_backend(
+    const ScenarioSpec& scenario, const HierarchySpec& hierarchy) {
+  const double cap = scenario.power_cap_mw;
+  if (scenario.hierarchical) {
+    hierarchy.validate();
+    if (cap > 0.0) {
+      if (scenario.preemptive)
+        return std::make_unique<HierPreemptiveBackend>(cap, hierarchy);
+      return std::make_unique<HierPowerBackend>(cap, hierarchy);
+    }
+    return std::make_unique<HierBackend>(hierarchy);
+  }
+  if (cap > 0.0) {
+    if (scenario.preemptive) return std::make_unique<PreemptiveBackend>(cap);
+    return std::make_unique<PowerBackend>(cap);
+  }
+  return std::make_unique<GreedyBackend>();
+}
+
+}  // namespace soctest

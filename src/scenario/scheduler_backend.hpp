@@ -1,0 +1,88 @@
+// SchedulerBackend: the step-4 schedule construction extracted behind an
+// interface so the whole search stack (SocOptimizer::evaluate_with, the
+// DeltaEvaluator's warm/cold paths, annealing, the portfolio and the
+// distributed coordinator) is scheduler-generic. One backend per scenario:
+//
+//   scenario                       backend          scheduler
+//   default                        greedy           sched/greedy_scheduler
+//   cap>0                          power            sched/power_scheduler
+//   cap>0, preempt                 preemptive       sched/preemptive_scheduler
+//   hier                           hier             hier/hier_scheduler
+//   hier, cap>0                    hier-power       scenario/constrained_*
+//   hier, cap>0, preempt           hier-preemptive  scenario/constrained_*
+//
+// `preempt` without a power cap normalizes to the scenario without it
+// (there is nothing to preempt for), so the factory returns the same
+// backend — the differential tests pin that equivalence.
+//
+// Segmented scenarios (preemptive) return their segments as ordinary
+// Schedule entries: one core may appear several times, each segment on the
+// core's single bound bus. Downstream consumers that count per-core
+// hardware must deduplicate by core index, not by entry
+// (SocOptimizer::evaluate_scheduled does).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+#include "scenario/scenario.hpp"
+#include "sched/power_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace soctest {
+
+class SchedulerBackend {
+ public:
+  virtual ~SchedulerBackend() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Does construct() consult the power model? (Callers may skip building
+  /// a PowerFn when false.)
+  virtual bool needs_power() const { return false; }
+
+  /// May the returned schedule contain idle gaps / repeated cores? The
+  /// plain greedy backend is the only gap-free, one-entry-per-core one.
+  virtual bool allows_gaps() const { return true; }
+
+  /// Builds the schedule. `power` is only consulted when needs_power().
+  /// `ref_time[i]` orders the cores (longest first), exactly the reference
+  /// column the seed schedulers take.
+  virtual Schedule construct(int num_cores, int num_buses, const CostFn& cost,
+                             const PowerFn& power,
+                             const std::vector<std::int64_t>& ref_time) const
+      = 0;
+
+  /// Warm-start hook: construct from a precomputed row-major time matrix
+  /// and construction order (the DeltaEvaluator's patched anchor). Only
+  /// the greedy backend supports it — constrained schedulers derive their
+  /// event order from power/hierarchy state, so a cached sort buys
+  /// nothing; callers fall back to construct() when false.
+  virtual bool supports_prepared() const { return false; }
+  virtual Schedule construct_prepared(int num_cores, int num_buses,
+                                      const std::vector<std::int64_t>& time,
+                                      const std::vector<int>& order,
+                                      const CostFn& cost) const;
+
+  /// True iff the admissible makespan lower bound over `time` (row-major
+  /// [core*num_buses + bus]) exceeds `threshold`. Every scenario shares
+  /// the unconstrained bound (sched/makespan_bound_exceeds): power stalls,
+  /// hierarchy exclusion and preemption only ever ADD time over the
+  /// unconstrained packing, so a bound no unconstrained schedule beats is
+  /// admissible for every constrained one too — pruning on it stays
+  /// exact. Virtual so a future scenario-specific tighter bound can slot
+  /// in without touching the search.
+  virtual bool bound_exceeds(int num_cores, int num_buses,
+                             const std::vector<std::int64_t>& time,
+                             std::int64_t threshold, bool capacity_bound) const;
+};
+
+/// Backend for one scenario cell. `hierarchy` is copied into hierarchical
+/// backends (and ignored otherwise); it must already be validated or
+/// validatable — construction validates hierarchical scenarios eagerly.
+std::unique_ptr<SchedulerBackend> make_scheduler_backend(
+    const ScenarioSpec& scenario, const HierarchySpec& hierarchy);
+
+}  // namespace soctest

@@ -56,6 +56,10 @@ void parse_optimize_field(OptimizeRequest& r, const std::string& key,
     } else if (key == "power") {
       r.power = v.as_double();
       if (r.power < 0) bad("'power' must be >= 0");
+    } else if (key == "preemptive") {
+      r.preemptive = v.as_bool();
+    } else if (key == "hierarchical") {
+      r.hierarchical = v.as_bool();
     } else if (key == "select") {
       r.select = v.as_bool();
     } else if (key == "max_chains") {

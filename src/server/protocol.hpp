@@ -19,6 +19,10 @@
 //   mode             "percore"|"pertam"|"notdc"|"fixedw4"  (default percore)
 //   constraint       "tam"|"ate"                           (default tam)
 //   power            peak-power budget mW (default 0 = off)
+//   preemptive       bool: power-preemptive segmented scheduling (default
+//                    false; schedules like non-preemptive when power is 0)
+//   hierarchical     bool: enforce the SOC's ancestor/descendant test
+//                    exclusion                              (default false)
 //   select           bool: per-core technique selection     (default false)
 //   max_chains       wrapper-chain cap (default 255)
 //   anneal           > 0: simulated annealing, that many iterations
@@ -81,6 +85,8 @@ struct OptimizeRequest {
   ArchMode mode = ArchMode::PerCore;
   ConstraintMode constraint = ConstraintMode::TamWidth;
   double power = 0.0;
+  bool preemptive = false;
+  bool hierarchical = false;
   bool select = false;
   int max_chains = 255;
   int anneal = 0;

@@ -219,6 +219,8 @@ void ServerCore::run_job(const std::shared_ptr<Job>& job, OptimizeRequest req,
     cfg.mode = req.mode;
     cfg.constraint = req.constraint;
     cfg.power_budget_mw = req.power;
+    cfg.preemptive = req.preemptive;
+    cfg.hierarchical = req.hierarchical;
     bool warm = false;
     std::shared_ptr<Session> session =
         sessions_.get_or_build(soc, cfg, &job->token, &warm);
@@ -230,6 +232,8 @@ void ServerCore::run_job(const std::shared_ptr<Job>& job, OptimizeRequest req,
     o.mode = req.mode;
     o.constraint = req.constraint;
     o.power_budget_mw = req.power;
+    o.preemptive = req.preemptive;
+    o.hierarchical = req.hierarchical;
 
     OptimizationResult r;
     std::string checkpoint_error;

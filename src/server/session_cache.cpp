@@ -41,6 +41,10 @@ runtime::CacheKey SessionCache::key_for(const SocSpec& soc,
   h.i32(static_cast<int>(cfg.mode));
   h.i32(static_cast<int>(cfg.constraint));
   h.bytes(&cfg.power_budget_mw, sizeof cfg.power_budget_mw);
+  if (cfg.preemptive || cfg.hierarchical) {
+    h.boolean(cfg.preemptive);
+    h.boolean(cfg.hierarchical);
+  }
   return {h.digest_a(), h.digest_b(), h.length()};
 }
 

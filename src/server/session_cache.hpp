@@ -45,6 +45,11 @@ struct SessionConfig {
   ArchMode mode = ArchMode::PerCore;
   ConstraintMode constraint = ConstraintMode::TamWidth;
   double power_budget_mw = 0.0;
+  // Scenario flags: a preemptive or hierarchical request fills its memo
+  // with schedules no other scenario may reuse, so they split the key —
+  // but only when set, so pre-scenario session ids stay stable.
+  bool preemptive = false;
+  bool hierarchical = false;
 };
 
 /// One SOC's warm state. The SocSpec is owned here (at a stable address —

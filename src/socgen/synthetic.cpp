@@ -24,6 +24,12 @@ void SyntheticSocParams::validate() const {
     throw std::invalid_argument("SyntheticSocParams: bad one_fraction");
   if (giant_fraction < 0.0 || giant_fraction > 1.0 || giant_scale < 1)
     throw std::invalid_argument("SyntheticSocParams: bad giant parameters");
+  if (power_profile &&
+      (min_power_scale <= 0.0 || max_power_scale < min_power_scale))
+    throw std::invalid_argument("SyntheticSocParams: bad power scale range");
+  if (hierarchy && (child_fraction < 0.0 || child_fraction > 1.0 ||
+                    max_hierarchy_depth < 1))
+    throw std::invalid_argument("SyntheticSocParams: bad hierarchy parameters");
 }
 
 SocSpec make_synthetic_soc(const SyntheticSocParams& params,
@@ -31,9 +37,10 @@ SocSpec make_synthetic_soc(const SyntheticSocParams& params,
   params.validate();
   Rng rng(seed);
 
+  const bool extended = params.power_profile || params.hierarchy;
   SocSpec soc;
-  soc.name = "synth" + std::to_string(params.num_cores) + "c-s" +
-             std::to_string(seed);
+  soc.name = (extended ? "synthx" : "synth") +
+             std::to_string(params.num_cores) + "c-s" + std::to_string(seed);
   soc.cores.reserve(static_cast<std::size_t>(params.num_cores));
   for (int i = 0; i < params.num_cores; ++i) {
     CoreUnderTest core;
@@ -71,6 +78,36 @@ SocSpec make_synthetic_soc(const SyntheticSocParams& params,
     soc.approx_gate_count += 40 * core.spec.total_scan_cells();
     soc.approx_latch_count += core.spec.total_scan_cells();
     soc.cores.push_back(std::move(core));
+  }
+
+  if (extended) {
+    // Separate derived stream (golden-constant offset): the main `rng`
+    // stream above is position-pinned by the existing `synth:` goldens, so
+    // the decorations must not consume from it — and must not depend on
+    // which of the two extensions is enabled, so power draws come first
+    // and hierarchy draws second, unconditionally ordered.
+    Rng xrng(seed ^ 0x9E3779B97F4A7C15ULL);
+    for (auto& core : soc.cores) {
+      const double scale =
+          params.min_power_scale +
+          (params.max_power_scale - params.min_power_scale) *
+              xrng.next_double();
+      if (params.power_profile) core.spec.power_scale = scale;
+    }
+    if (params.hierarchy) {
+      soc.hierarchy_parent.assign(static_cast<std::size_t>(params.num_cores),
+                                  -1);
+      std::vector<int> depth(static_cast<std::size_t>(params.num_cores), 0);
+      for (int i = 1; i < params.num_cores; ++i) {
+        if (!xrng.next_bool(params.child_fraction)) continue;
+        const int p = static_cast<int>(xrng.next_range(0, i - 1));
+        if (depth[static_cast<std::size_t>(p)] >= params.max_hierarchy_depth)
+          continue;
+        soc.hierarchy_parent[static_cast<std::size_t>(i)] = p;
+        depth[static_cast<std::size_t>(i)] =
+            depth[static_cast<std::size_t>(p)] + 1;
+      }
+    }
   }
   soc.validate();
   return soc;

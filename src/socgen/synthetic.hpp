@@ -37,6 +37,22 @@ struct SyntheticSocParams {
   double giant_fraction = 0.05;
   int giant_scale = 6;
 
+  /// Constraint-rich extensions (the `synthx:` design grammar), both OFF
+  /// by default so plain `synth:` SOCs — and the goldens pinned on them —
+  /// keep their exact bytes. The extra draws come from a separate stream
+  /// derived from the seed and run AFTER the core loop, so enabling them
+  /// changes nothing about the cores themselves, only decorates them.
+  /// Seeded per-core power profile: CoreSpec::power_scale uniform in
+  /// [min_power_scale, max_power_scale].
+  bool power_profile = false;
+  double min_power_scale = 0.5, max_power_scale = 2.0;
+  /// Deterministic core hierarchy: each core past the first nests under a
+  /// uniformly drawn earlier core with probability `child_fraction`,
+  /// depth-capped at `max_hierarchy_depth`.
+  bool hierarchy = false;
+  double child_fraction = 0.4;
+  int max_hierarchy_depth = 3;
+
   /// Throws std::invalid_argument on empty/inverted ranges.
   void validate() const;
 };

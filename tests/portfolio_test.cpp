@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -445,10 +447,14 @@ TEST(PortfolioCheckpointBackend, BackendTagRoundTrips) {
   EXPECT_EQ(back.sweeps_completed, ck.sweeps_completed);
 }
 
-// Blob layout through the backend tag: 8 magic + 4 version + 8 fingerprint,
-// then the v3 backend byte at offset 20.
+// Blob layout through the scenario tag: 8 magic + 4 version + 8 fingerprint,
+// then the v3 backend byte at offset 20 and the v4 scenario tag at
+// [21, 30): 8 power-cap IEEE bits followed by one preempt/hier flags byte.
 constexpr std::size_t kVersionOffset = 8;
 constexpr std::size_t kBackendOffset = 20;
+constexpr std::size_t kScenarioCapOffset = 21;
+constexpr std::size_t kScenarioFlagsOffset = 29;
+constexpr std::size_t kScenarioEndOffset = 30;
 
 TEST(PortfolioCheckpointBackend, AcceptsVersion2BlobAsFixedBus) {
   portfolio::PortfolioCheckpoint ck;
@@ -460,17 +466,21 @@ TEST(PortfolioCheckpointBackend, AcceptsVersion2BlobAsFixedBus) {
   st.best_widths = {10, 6};
   ck.replicas.push_back(st);
 
-  // Regress the v3 blob to v2 by hand: drop the backend byte and patch the
-  // version field — exactly what a pre-backend writer produced.
+  // Regress the v4 blob to v2 by hand: drop the backend byte and the
+  // scenario tag, and patch the version field — exactly what a pre-backend
+  // writer produced.
   std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
   ASSERT_EQ(bytes[kBackendOffset],
             static_cast<unsigned char>(BackendKind::FixedBus));
-  bytes.erase(bytes.begin() + kBackendOffset);
+  bytes.erase(bytes.begin() + kBackendOffset,
+              bytes.begin() + kScenarioEndOffset);
   bytes[kVersionOffset] = 2;
 
   const portfolio::PortfolioCheckpoint back =
       portfolio::decode_checkpoint(bytes);
   EXPECT_EQ(back.backend, BackendKind::FixedBus);
+  EXPECT_TRUE(back.scenario.is_default());
+  EXPECT_FALSE(back.has_scenario_tag);
   EXPECT_EQ(back.fingerprint, ck.fingerprint);
   EXPECT_EQ(back.sweeps_completed, ck.sweeps_completed);
   EXPECT_EQ(back.proposals_total, ck.proposals_total);
@@ -508,6 +518,137 @@ TEST(PortfolioCheckpointBackend, ResumeRejectsBackendMismatch) {
     EXPECT_NE(std::string(e.what()).find("backend"), std::string::npos)
         << e.what();
   }
+  std::remove(path.c_str());
+}
+
+TEST(PortfolioCheckpointScenario, ScenarioTagRoundTrips) {
+  portfolio::PortfolioCheckpoint ck;
+  ck.fingerprint = 77;
+  ck.scenario.power_cap_mw = 1250.5;
+  ck.scenario.preemptive = true;
+  ck.scenario.hierarchical = true;
+  ck.sweeps_completed = 1;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+  const portfolio::PortfolioCheckpoint back =
+      portfolio::decode_checkpoint(portfolio::encode_checkpoint(ck));
+  EXPECT_TRUE(back.has_scenario_tag);
+  EXPECT_EQ(back.scenario, ck.scenario);
+  EXPECT_EQ(back.fingerprint, ck.fingerprint);
+}
+
+TEST(PortfolioCheckpointScenario, AcceptsVersion3BlobAsDefaultScenario) {
+  portfolio::PortfolioCheckpoint ck;
+  ck.fingerprint = 0xC0FFEE;
+  ck.backend = BackendKind::Race;
+  ck.sweeps_completed = 4;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+
+  // Regress to v3: drop only the scenario tag, keep the backend byte.
+  std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
+  bytes.erase(bytes.begin() + kScenarioCapOffset,
+              bytes.begin() + kScenarioEndOffset);
+  bytes[kVersionOffset] = 3;
+
+  const portfolio::PortfolioCheckpoint back =
+      portfolio::decode_checkpoint(bytes);
+  EXPECT_EQ(back.backend, BackendKind::Race);  // v3 tag survives
+  EXPECT_TRUE(back.scenario.is_default());
+  EXPECT_FALSE(back.has_scenario_tag);
+  EXPECT_EQ(back.fingerprint, ck.fingerprint);
+  EXPECT_EQ(back.sweeps_completed, ck.sweeps_completed);
+}
+
+TEST(PortfolioCheckpointScenario, RejectsCorruptScenarioFlags) {
+  portfolio::PortfolioCheckpoint ck;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+  std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
+  bytes[kScenarioFlagsOffset] = 7;  // bit2 is no scenario flag
+  EXPECT_THROW(portfolio::decode_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(PortfolioCheckpointScenario, RejectsCorruptScenarioCap) {
+  portfolio::PortfolioCheckpoint ck;
+  AnnealWalkState st;
+  st.current_widths = {8, 8};
+  st.best_widths = {10, 6};
+  ck.replicas.push_back(st);
+  std::vector<unsigned char> bytes = portfolio::encode_checkpoint(ck);
+  // All-ones IEEE-754 bits are a NaN regardless of byte order; a NaN (or
+  // negative) cap can only be corruption — no writer produces one.
+  for (std::size_t i = kScenarioCapOffset; i < kScenarioFlagsOffset; ++i)
+    bytes[i] = 0xFF;
+  EXPECT_THROW(portfolio::decode_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(PortfolioCheckpointScenario, ResumeRejectsScenarioMismatch) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const std::string path =
+      testing::TempDir() + "soctest_scenario_mismatch.bin";
+  PortfolioOptions p = small_portfolio(17);
+  p.sweeps = 1;
+  p.checkpoint_path = path;
+  optimize_portfolio(opt, o, p);
+  p.checkpoint_path.clear();
+
+  OptimizerOptions hier = o;
+  hier.hierarchical = true;
+  try {
+    resume_portfolio(opt, hier, p, path);
+    FAIL() << "resume accepted a scenario mismatch";
+  } catch (const std::runtime_error& e) {
+    // The error names the scenario mismatch, not a bare fingerprint delta.
+    EXPECT_NE(std::string(e.what()).find("scenario"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PortfolioCheckpointScenario, ResumeAcceptsPreV4DefaultBlob) {
+  const SocOptimizer& opt = d695_optimizer();
+  const OptimizerOptions o = d695_options();
+  const std::string path = testing::TempDir() + "soctest_prev4_resume.bin";
+
+  PortfolioOptions full = small_portfolio(19);
+  const PortfolioResult uninterrupted = optimize_portfolio(opt, o, full);
+
+  PortfolioOptions partial = full;
+  partial.sweeps = 2;
+  partial.checkpoint_path = path;
+  optimize_portfolio(opt, o, partial);
+
+  // Regress the on-disk v4 blob to v3 (pre-scenario writer): the resume
+  // must accept it as the default scenario and reproduce the uninterrupted
+  // run exactly.
+  std::vector<unsigned char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes.erase(bytes.begin() + kScenarioCapOffset,
+              bytes.begin() + kScenarioEndOffset);
+  bytes[kVersionOffset] = 3;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  PortfolioOptions rest = full;
+  const PortfolioResult resumed = resume_portfolio(opt, o, rest, path);
+  expect_same_portfolio(resumed, uninterrupted, "pre-v4 resumed vs full");
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,634 @@
+// Scenario engine (src/scenario) pins:
+//   - the strict ScenarioSpec grammar: canonical round-trips, rejected
+//     malformed specs, and the sweep cross-product's deterministic order
+//     (cap outermost, then preempt, then hier, then w);
+//   - the SchedulerBackend contract: factory dispatch per scenario cell
+//     (preempt-without-cap normalizes away), gap/prepared capabilities,
+//     power caps respected at every instant, hierarchy exclusion honoured,
+//     preemptive segments summing to the full test time on one bus, and
+//     the shared makespan lower bound staying admissible for every
+//     constrained scenario;
+//   - the differential equivalences the byte-identity discipline rests on:
+//     preempt-without-cap == default and an explicit zero cap == default,
+//     bit-identical JSON artifacts at 1/4/8 runtime lanes;
+//   - incremental == from-scratch search under every constrained scenario;
+//   - seeded synthx decorations: deterministic across runs and lane
+//     counts, hierarchy stream independent of the power-profile flag,
+//     decorations never perturbing the underlying cores, and exact
+//     round-trips through the soc_text format;
+//   - the report rule: default scenario emits no JSON key.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hier/hier_scheduler.hpp"
+#include "hier/hierarchy.hpp"
+#include "io/soc_text.hpp"
+#include "opt/soc_optimizer.hpp"
+#include "power/power_model.hpp"
+#include "report/json.hpp"
+#include "runtime/thread_pool.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scheduler_backend.hpp"
+#include "sched/greedy_scheduler.hpp"
+#include "sched/power_scheduler.hpp"
+#include "socgen/cube_synth.hpp"
+#include "socgen/d695.hpp"
+#include "socgen/rng.hpp"
+#include "socgen/synthetic.hpp"
+
+namespace soctest {
+namespace {
+
+// ---------------------------------------------------------------- grammar
+
+TEST(ScenarioParse, CanonicalFormsRoundTrip) {
+  for (const char* spec :
+       {"default", "cap=20", "cap=1250.5", "preempt", "hier", "w=24",
+        "cap=20,preempt", "cap=20,hier", "cap=20,preempt,hier",
+        "cap=1500.25,preempt,hier,w=16", "preempt,hier", "hier,w=8"}) {
+    SCOPED_TRACE(spec);
+    const ScenarioSpec s = parse_scenario(spec);
+    EXPECT_EQ(s.to_string(), spec);
+    EXPECT_EQ(parse_scenario(s.to_string()), s);
+  }
+}
+
+TEST(ScenarioParse, FieldsAndPredicates) {
+  const ScenarioSpec d = parse_scenario("default");
+  EXPECT_TRUE(d.is_default());
+  EXPECT_FALSE(d.constrains_schedule());
+
+  const ScenarioSpec s = parse_scenario("cap=20,preempt,w=24");
+  EXPECT_EQ(s.power_cap_mw, 20.0);
+  EXPECT_TRUE(s.preemptive);
+  EXPECT_FALSE(s.hierarchical);
+  EXPECT_EQ(s.width, 24);
+  EXPECT_FALSE(s.is_default());
+  EXPECT_TRUE(s.constrains_schedule());
+
+  // preempt alone never changes the schedule (nothing to preempt for),
+  // hier alone does (earliest-fit placement).
+  EXPECT_FALSE(parse_scenario("preempt").constrains_schedule());
+  EXPECT_TRUE(parse_scenario("hier").constrains_schedule());
+}
+
+TEST(ScenarioParse, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"", "bogus", "cap=", "cap=20x", "cap=-1", "cap=nope", "w=0", "w=-4",
+        "w=8.5", "cap=1,cap=2", "preempt,preempt", "hier,hier", "w=8,w=9",
+        "cap=20,", "Default", "preempt "}) {
+    SCOPED_TRACE(std::string("'") + spec + "'");
+    EXPECT_THROW(parse_scenario(spec), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioSweep, CrossProductOrderIsDeterministic) {
+  // Axis order in the spec must not matter: cells always enumerate cap
+  // outermost, then preempt, then hier, then w.
+  const std::vector<ScenarioSpec> cells =
+      parse_scenario_sweep("hier=0,1;cap=0,1000;w=8");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].to_string(), "w=8");
+  EXPECT_EQ(cells[1].to_string(), "hier,w=8");
+  EXPECT_EQ(cells[2].to_string(), "cap=1000,w=8");
+  EXPECT_EQ(cells[3].to_string(), "cap=1000,hier,w=8");
+
+  const std::vector<ScenarioSpec> full =
+      parse_scenario_sweep("cap=0,500;preempt=0,1;hier=0,1;w=8,16");
+  ASSERT_EQ(full.size(), 16u);
+  // First cap block entirely before the second; w innermost.
+  EXPECT_EQ(full[0].to_string(), "w=8");
+  EXPECT_EQ(full[1].to_string(), "w=16");
+  EXPECT_EQ(full[7].to_string(), "preempt,hier,w=16");
+  EXPECT_EQ(full[8].to_string(), "cap=500,w=8");
+  EXPECT_EQ(full[15].to_string(), "cap=500,preempt,hier,w=16");
+}
+
+TEST(ScenarioSweep, RejectsMalformedSpecs) {
+  for (const char* spec :
+       {"", "cap", "cap=", "preempt=2", "hier=yes", "w=", "nope=1",
+        "cap=1;cap=2", "preempt=0,1;preempt=1", "w=8,", "cap=1,-2"}) {
+    SCOPED_TRACE(std::string("'") + spec + "'");
+    EXPECT_THROW(parse_scenario_sweep(spec), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioOptions, ScenarioOfAndApplyRoundTrip) {
+  OptimizerOptions o;
+  o.power_budget_mw = 20.0;
+  o.preemptive = true;
+  const ScenarioSpec s = scenario_of(o);
+  EXPECT_EQ(s.to_string(), "cap=20,preempt");
+  EXPECT_EQ(s.width, 0);  // width is never scenario identity
+
+  OptimizerOptions t;
+  t.width = 16;
+  apply_scenario(parse_scenario("cap=5,hier,w=24"), t);
+  EXPECT_EQ(t.power_budget_mw, 5.0);
+  EXPECT_FALSE(t.preemptive);
+  EXPECT_TRUE(t.hierarchical);
+  EXPECT_EQ(t.width, 24);  // positive cell width overrides
+
+  apply_scenario(parse_scenario("preempt"), t);
+  EXPECT_EQ(t.power_budget_mw, 0.0);
+  EXPECT_TRUE(t.preemptive);
+  EXPECT_FALSE(t.hierarchical);
+  EXPECT_EQ(t.width, 24);  // zero cell width inherits the driver's
+}
+
+// ----------------------------------------------------- backend contract
+
+constexpr int kCores = 5;
+constexpr int kBuses = 2;
+constexpr std::int64_t kTime[kCores] = {40, 30, 20, 10, 8};
+constexpr double kPower[kCores] = {6.0, 5.0, 4.0, 3.0, 2.0};
+
+CostFn tiny_cost() {
+  return [](int core, int) {
+    BusAccessCost c;
+    c.time = kTime[core];
+    c.volume_bits = 2 * kTime[core];
+    return c;
+  };
+}
+
+PowerFn tiny_power() {
+  return [](int core, int) { return kPower[core]; };
+}
+
+std::vector<std::int64_t> tiny_ref() {
+  return {kTime, kTime + kCores};
+}
+
+/// Row-major [core * kBuses + bus] time matrix matching tiny_cost().
+std::vector<std::int64_t> tiny_matrix() {
+  std::vector<std::int64_t> m;
+  for (int c = 0; c < kCores; ++c)
+    for (int b = 0; b < kBuses; ++b) m.push_back(kTime[c]);
+  return m;
+}
+
+HierarchySpec tiny_hierarchy() {
+  HierarchySpec h;
+  h.parent = {-1, 0, 1, -1, 3};  // two chains: 0<-1<-2 and 3<-4
+  return h;
+}
+
+ScenarioSpec scenario(const std::string& spec) {
+  return parse_scenario(spec);
+}
+
+TEST(SchedulerBackendFactory, DispatchesPerScenarioCell) {
+  const HierarchySpec flat = HierarchySpec::flat(kCores);
+  const std::map<std::string, std::string> want = {
+      {"default", "greedy"},
+      {"preempt", "greedy"},  // nothing to preempt for
+      {"cap=9", "power"},
+      {"cap=9,preempt", "preemptive"},
+      {"hier", "hier"},
+      {"preempt,hier", "hier"},
+      {"cap=9,hier", "hier-power"},
+      {"cap=9,preempt,hier", "hier-preemptive"},
+  };
+  for (const auto& [spec, name] : want) {
+    SCOPED_TRACE(spec);
+    const auto backend = make_scheduler_backend(scenario(spec), flat);
+    EXPECT_EQ(std::string(backend->name()), name);
+    // Only power-consuming backends ask for the power model.
+    EXPECT_EQ(backend->needs_power(), spec.find("cap=") != std::string::npos);
+  }
+}
+
+TEST(SchedulerBackendFactory, OnlyGreedySupportsPreparedConstruction) {
+  const HierarchySpec flat = HierarchySpec::flat(kCores);
+  for (const char* spec :
+       {"default", "cap=9", "cap=9,preempt", "hier", "cap=9,hier",
+        "cap=9,preempt,hier"}) {
+    SCOPED_TRACE(spec);
+    const auto backend = make_scheduler_backend(scenario(spec), flat);
+    const bool is_greedy = std::string(backend->name()) == "greedy";
+    EXPECT_EQ(backend->supports_prepared(), is_greedy);
+    EXPECT_EQ(backend->allows_gaps(), !is_greedy);
+    if (!is_greedy) {
+      std::vector<int> order(kCores);
+      for (int i = 0; i < kCores; ++i) order[static_cast<std::size_t>(i)] = i;
+      EXPECT_THROW(backend->construct_prepared(kCores, kBuses, tiny_matrix(),
+                                               order, tiny_cost()),
+                   std::logic_error);
+    }
+  }
+}
+
+TEST(SchedulerBackendContract, GreedyBackendMatchesGreedySchedule) {
+  const auto backend =
+      make_scheduler_backend(ScenarioSpec{}, HierarchySpec::flat(kCores));
+  const Schedule got = backend->construct(kCores, kBuses, tiny_cost(),
+                                          tiny_power(), tiny_ref());
+  got.validate(kCores);  // gap-free, one entry per core
+  const Schedule ref = greedy_schedule(kCores, kBuses, tiny_cost(), tiny_ref());
+  ASSERT_EQ(got.entries.size(), ref.entries.size());
+  for (std::size_t i = 0; i < got.entries.size(); ++i) {
+    EXPECT_EQ(got.entries[i].core, ref.entries[i].core) << i;
+    EXPECT_EQ(got.entries[i].bus, ref.entries[i].bus) << i;
+    EXPECT_EQ(got.entries[i].start, ref.entries[i].start) << i;
+    EXPECT_EQ(got.entries[i].end, ref.entries[i].end) << i;
+  }
+  EXPECT_EQ(got.bus_finish, ref.bus_finish);
+}
+
+TEST(SchedulerBackendContract, PowerBackendsRespectCapAtEveryInstant) {
+  const double cap = 9.0;  // cores 0 (6 mW) and 1 (5 mW) cannot overlap
+  const HierarchySpec hier = tiny_hierarchy();
+  for (const char* spec :
+       {"cap=9", "cap=9,preempt", "cap=9,hier", "cap=9,preempt,hier"}) {
+    SCOPED_TRACE(spec);
+    const auto backend = make_scheduler_backend(scenario(spec), hier);
+    const Schedule s = backend->construct(kCores, kBuses, tiny_cost(),
+                                          tiny_power(), tiny_ref());
+    EXPECT_LE(schedule_peak_power(s, tiny_power()), cap + 1e-9);
+    EXPECT_GE(s.makespan(), kTime[0] + kTime[1]);  // 0 and 1 serialized
+  }
+}
+
+TEST(SchedulerBackendContract, PowerBackendsRejectInfeasibleCap) {
+  // Core 0 alone draws 6 mW; a 5 mW budget can never run it.
+  const HierarchySpec hier = tiny_hierarchy();
+  for (const char* spec :
+       {"cap=5", "cap=5,preempt", "cap=5,hier", "cap=5,preempt,hier"}) {
+    SCOPED_TRACE(spec);
+    const auto backend = make_scheduler_backend(scenario(spec), hier);
+    EXPECT_THROW(backend->construct(kCores, kBuses, tiny_cost(), tiny_power(),
+                                    tiny_ref()),
+                 std::runtime_error);
+  }
+}
+
+TEST(SchedulerBackendContract, HierBackendsRespectAncestorExclusion) {
+  const HierarchySpec hier = tiny_hierarchy();
+  for (const char* spec : {"hier", "cap=9,hier", "cap=9,preempt,hier"}) {
+    SCOPED_TRACE(spec);
+    const auto backend = make_scheduler_backend(scenario(spec), hier);
+    const Schedule s = backend->construct(kCores, kBuses, tiny_cost(),
+                                          tiny_power(), tiny_ref());
+    EXPECT_NO_THROW(validate_hierarchy_exclusion(s, hier));
+  }
+}
+
+TEST(SchedulerBackendContract, PreemptiveSegmentsSumToFullTestOnOneBus) {
+  for (const char* spec : {"cap=9,preempt", "cap=9,preempt,hier"}) {
+    SCOPED_TRACE(spec);
+    const auto backend =
+        make_scheduler_backend(scenario(spec), tiny_hierarchy());
+    const Schedule s = backend->construct(kCores, kBuses, tiny_cost(),
+                                          tiny_power(), tiny_ref());
+    std::vector<std::int64_t> run(kCores, 0);
+    std::vector<int> bus(kCores, -1);
+    for (const ScheduleEntry& e : s.entries) {
+      ASSERT_GE(e.core, 0);
+      ASSERT_LT(e.core, kCores);
+      EXPECT_LT(e.start, e.end);
+      run[static_cast<std::size_t>(e.core)] += e.end - e.start;
+      if (bus[static_cast<std::size_t>(e.core)] < 0)
+        bus[static_cast<std::size_t>(e.core)] = e.bus;
+      // Segments resume on the bus the core was bound to at activation.
+      EXPECT_EQ(e.bus, bus[static_cast<std::size_t>(e.core)]) << e.core;
+    }
+    for (int c = 0; c < kCores; ++c) {
+      EXPECT_EQ(run[static_cast<std::size_t>(c)], kTime[c]) << c;
+      EXPECT_GE(bus[static_cast<std::size_t>(c)], 0) << c;
+    }
+    // No two segments overlap on one bus.
+    for (std::size_t i = 0; i < s.entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.entries.size(); ++j) {
+        if (s.entries[i].bus == s.entries[j].bus) {
+          EXPECT_TRUE(s.entries[i].end <= s.entries[j].start ||
+                      s.entries[j].end <= s.entries[i].start)
+              << i << " vs " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerBackendContract, SharedBoundStaysAdmissibleForEveryScenario) {
+  // Constraints only ever ADD time over the unconstrained packing, so the
+  // shared lower bound may never exceed a constructed schedule's makespan —
+  // otherwise the incremental pruner would discard the optimum.
+  const HierarchySpec hier = tiny_hierarchy();
+  for (const char* spec :
+       {"default", "cap=9", "cap=9,preempt", "hier", "cap=9,hier",
+        "cap=9,preempt,hier"}) {
+    SCOPED_TRACE(spec);
+    const auto backend = make_scheduler_backend(scenario(spec), hier);
+    const Schedule s = backend->construct(kCores, kBuses, tiny_cost(),
+                                          tiny_power(), tiny_ref());
+    for (const bool capacity : {false, true}) {
+      EXPECT_FALSE(backend->bound_exceeds(kCores, kBuses, tiny_matrix(),
+                                          s.makespan(), capacity))
+          << "capacity_bound=" << capacity;
+    }
+  }
+}
+
+// ------------------------------------------------------- differentials
+
+SocSpec fuzzed_soc(std::uint64_t seed) {
+  Rng rng(seed);
+  SocSpec soc;
+  soc.name = "fuzz-" + std::to_string(seed);
+  const int cores = static_cast<int>(rng.next_range(3, 6));
+  for (int i = 0; i < cores; ++i) {
+    CoreUnderTest c;
+    c.spec.name = "c" + std::to_string(i);
+    c.spec.num_inputs = static_cast<int>(rng.next_range(1, 30));
+    c.spec.num_outputs = static_cast<int>(rng.next_range(1, 30));
+    const int chains = static_cast<int>(rng.next_range(1, 12));
+    for (int j = 0; j < chains; ++j)
+      c.spec.scan_chain_lengths.push_back(
+          static_cast<int>(rng.next_range(1, 120)));
+    c.spec.num_patterns = static_cast<int>(rng.next_range(4, 30));
+    CubeSynthParams p;
+    p.num_cells = c.spec.stimulus_bits_per_pattern();
+    p.num_patterns = c.spec.num_patterns;
+    p.care_density = 0.01 + 0.4 * rng.next_double();
+    c.cubes = synthesize_cubes(p, rng.next_u64());
+    c.validate();
+    soc.cores.push_back(std::move(c));
+  }
+  return soc;
+}
+
+/// Shared d695 optimizer (same trick as portfolio_test: the SocSpec is
+/// static so the optimizer's pointer stays valid, tables build once).
+const SocOptimizer& d695_optimizer() {
+  static const SocSpec soc = make_d695();
+  static const SocOptimizer opt(soc, [] {
+    ExploreOptions e;
+    e.max_width = 16;
+    e.max_chains = 64;
+    return e;
+  }());
+  return opt;
+}
+
+/// The full one-line JSON report with cpu zeroed — what --json emits and
+/// what the goldens pin; any schedule, scenario-key or metric drift shows.
+std::string report_bytes(const SocOptimizer& opt, const OptimizerOptions& o) {
+  OptimizationResult r = opt.optimize(o);
+  r.cpu_seconds = 0.0;
+  return compact_json(result_to_json(r, opt.soc())) + "\n";
+}
+
+TEST(ScenarioDifferential, NoOpScenariosAreBitIdenticalToDefault) {
+  std::vector<const SocOptimizer*> opts;
+  std::vector<std::unique_ptr<SocSpec>> fuzz_socs;
+  std::vector<std::unique_ptr<SocOptimizer>> fuzz_opts;
+  opts.push_back(&d695_optimizer());
+  for (const std::uint64_t seed : {0x5CE7A410ULL, 0x5CE7A411ULL}) {
+    fuzz_socs.push_back(std::make_unique<SocSpec>(fuzzed_soc(seed)));
+    ExploreOptions e;
+    e.max_width = 16;
+    e.max_chains = 64;
+    fuzz_opts.push_back(
+        std::make_unique<SocOptimizer>(*fuzz_socs.back(), e));
+    opts.push_back(fuzz_opts.back().get());
+  }
+
+  for (const SocOptimizer* opt : opts) {
+    OptimizerOptions base;
+    base.width = 16;
+    base.mode = ArchMode::PerCore;
+
+    for (const int jobs : {1, 4, 8}) {
+      SCOPED_TRACE(opt->soc().name + " jobs=" + std::to_string(jobs));
+      runtime::ThreadPool pool(jobs);
+      runtime::PoolScope scope(&pool);
+      const std::string golden = report_bytes(*opt, base);
+      // No "scenario" key in the default report — the byte-identity rule.
+      EXPECT_EQ(golden.find("\"scenario\""), std::string::npos);
+
+      // preempt without a cap: nothing to preempt for.
+      OptimizerOptions preempt = base;
+      preempt.preemptive = true;
+      EXPECT_EQ(report_bytes(*opt, preempt), golden);
+
+      // An explicit zero cap is the unlimited default.
+      OptimizerOptions zero_cap = base;
+      zero_cap.power_budget_mw = 0.0;
+      EXPECT_EQ(report_bytes(*opt, zero_cap), golden);
+    }
+  }
+}
+
+TEST(ScenarioIncremental, MatchesFromScratchUnderConstrainedScenarios) {
+  const SocOptimizer& opt = d695_optimizer();
+
+  // A binding but feasible cap, derived like power_test does: below the
+  // free run's peak, above the largest single core.
+  OptimizerOptions base;
+  base.width = 16;
+  base.mode = ArchMode::PerCore;
+  const OptimizationResult free_run = opt.optimize(base);
+  double floor_mw = 0.0;
+  for (const auto& c : opt.soc().cores)
+    floor_mw = std::max(floor_mw, core_peak_power(c.spec));
+  const double cap = std::max(free_run.peak_power_mw * 0.7, floor_mw + 0.1);
+
+  for (const char* spec :
+       {"cap", "cap+preempt", "hier", "cap+hier", "cap+preempt+hier"}) {
+    SCOPED_TRACE(spec);
+    OptimizerOptions full = base;
+    const std::string sp(spec);
+    if (sp.find("cap") != std::string::npos) full.power_budget_mw = cap;
+    if (sp.find("preempt") != std::string::npos) full.preemptive = true;
+    if (sp.find("hier") != std::string::npos) full.hierarchical = true;
+    full.incremental = false;
+    OptimizerOptions inc = full;
+    inc.incremental = true;
+
+    for (const int jobs : {1, 4}) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      runtime::ThreadPool pool(jobs);
+      runtime::PoolScope scope(&pool);
+      OptimizationResult rf = opt.optimize(full);
+      OptimizationResult ri = opt.optimize(inc);
+      rf.cpu_seconds = ri.cpu_seconds = 0.0;
+      EXPECT_EQ(result_to_json(ri, opt.soc()), result_to_json(rf, opt.soc()));
+    }
+  }
+}
+
+TEST(ScenarioIncremental, MatchesFromScratchOnHierarchicalSynthSoc) {
+  SyntheticSocParams p;
+  p.num_cores = 16;
+  p.max_inputs = 12;
+  p.max_outputs = 12;
+  p.max_chains = 6;
+  p.max_chain_length = 32;
+  p.max_patterns = 10;
+  p.power_profile = true;
+  p.hierarchy = true;
+  const SocSpec soc = make_synthetic_soc(p, 0x5CE7A412ULL);
+  ASSERT_FALSE(soc.hierarchy_parent.empty());
+  ExploreOptions e;
+  e.max_width = 12;
+  e.max_chains = 32;
+  const SocOptimizer opt(soc, e);
+
+  OptimizerOptions full;
+  full.width = 16;
+  full.mode = ArchMode::PerCore;
+  full.hierarchical = true;
+  full.incremental = false;
+  OptimizerOptions inc = full;
+  inc.incremental = true;
+
+  runtime::ThreadPool pool(4);
+  runtime::PoolScope scope(&pool);
+  OptimizationResult rf = opt.optimize(full);
+  OptimizationResult ri = opt.optimize(inc);
+  rf.cpu_seconds = ri.cpu_seconds = 0.0;
+  EXPECT_EQ(result_to_json(ri, soc), result_to_json(rf, soc));
+  EXPECT_NO_THROW(validate_hierarchy_exclusion(
+      ri.schedule, HierarchySpec{soc.hierarchy_parent}));
+}
+
+TEST(ScenarioReport, NonDefaultScenarioNamesItselfInJson) {
+  const SocOptimizer& opt = d695_optimizer();
+  OptimizerOptions o;
+  o.width = 16;
+  o.mode = ArchMode::PerCore;
+  double floor_mw = 0.0;
+  for (const auto& c : opt.soc().cores)
+    floor_mw = std::max(floor_mw, core_peak_power(c.spec));
+  o.power_budget_mw = floor_mw + 1.0;
+  const OptimizationResult r = opt.optimize(o);
+  EXPECT_EQ(r.scenario, scenario_of(o));
+  const std::string json = result_to_json(r, opt.soc());
+  EXPECT_NE(json.find("\"scenario\": \"" + r.scenario.to_string() + "\""),
+            std::string::npos)
+      << json;
+}
+
+// --------------------------------------------------- synthx determinism
+
+SyntheticSocParams synthx_params(int cores = 24) {
+  SyntheticSocParams p;
+  p.num_cores = cores;
+  p.max_inputs = 12;
+  p.max_outputs = 12;
+  p.max_chains = 6;
+  p.max_chain_length = 32;
+  p.max_patterns = 10;
+  p.power_profile = true;
+  p.hierarchy = true;
+  return p;
+}
+
+std::string soc_text(const SocSpec& soc) {
+  std::ostringstream os;
+  write_soc_text(os, soc);
+  return os.str();
+}
+
+TEST(ScenarioSynth, DecorationsAreDeterministicAcrossRunsAndLanes) {
+  const SyntheticSocParams p = synthx_params();
+  std::string first;
+  for (const int jobs : {1, 4, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    runtime::ThreadPool pool(jobs);
+    runtime::PoolScope scope(&pool);
+    const std::string a = soc_text(make_synthetic_soc(p, 0xD00D));
+    const std::string b = soc_text(make_synthetic_soc(p, 0xD00D));
+    EXPECT_EQ(a, b);  // same run, byte-identical
+    if (first.empty())
+      first = a;
+    else
+      EXPECT_EQ(a, first);  // and across lane counts
+  }
+  // A different seed moves the decorations.
+  EXPECT_NE(soc_text(make_synthetic_soc(p, 0xD00E)), first);
+}
+
+TEST(ScenarioSynth, HierarchyStreamIndependentOfPowerFlag) {
+  SyntheticSocParams with_power = synthx_params();
+  SyntheticSocParams without = with_power;
+  without.power_profile = false;
+  const SocSpec a = make_synthetic_soc(with_power, 0xBEEF);
+  const SocSpec b = make_synthetic_soc(without, 0xBEEF);
+  ASSERT_FALSE(a.hierarchy_parent.empty());
+  EXPECT_EQ(a.hierarchy_parent, b.hierarchy_parent);
+  for (const auto& c : b.cores) EXPECT_EQ(c.spec.power_scale, 1.0);
+}
+
+TEST(ScenarioSynth, DecorationsNeverPerturbTheCores) {
+  // Stripping the power/hierarchy lines from a decorated SOC's text form
+  // must leave exactly the plain SOC's text: the extension draws come from
+  // a separate stream AFTER the core loop.
+  // (The "soc" header is normalized away too: extended SOCs name
+  // themselves synthx-... instead of synth-....)
+  const auto undecorated = [](const std::string& text) {
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("soc ", 0) == 0 || line.rfind("hierarchy", 0) == 0 ||
+          line.rfind("  power ", 0) == 0)
+        continue;
+      out << line << "\n";
+    }
+    return out.str();
+  };
+  SyntheticSocParams plain = synthx_params();
+  plain.power_profile = false;
+  plain.hierarchy = false;
+  EXPECT_EQ(
+      undecorated(soc_text(make_synthetic_soc(synthx_params(), 0xABBA))),
+      undecorated(soc_text(make_synthetic_soc(plain, 0xABBA))));
+}
+
+TEST(ScenarioSynth, HierarchyIsValidDepthCappedAndBackwardNesting) {
+  const SyntheticSocParams p = synthx_params(48);
+  const SocSpec soc = make_synthetic_soc(p, 0xCAFE);
+  ASSERT_EQ(static_cast<int>(soc.hierarchy_parent.size()), p.num_cores);
+  HierarchySpec h;
+  h.parent = soc.hierarchy_parent;
+  EXPECT_NO_THROW(h.validate());
+  bool any_nested = false;
+  for (int i = 0; i < h.num_cores(); ++i) {
+    if (h.parent[static_cast<std::size_t>(i)] >= 0) {
+      any_nested = true;
+      EXPECT_LT(h.parent[static_cast<std::size_t>(i)], i);  // earlier core
+    }
+    EXPECT_LE(h.depth(i), p.max_hierarchy_depth);
+  }
+  EXPECT_TRUE(any_nested);  // 48 cores at 0.4 child fraction must nest some
+}
+
+TEST(ScenarioSynth, DecoratedSocRoundTripsThroughText) {
+  const SocSpec soc = make_synthetic_soc(synthx_params(), 0xF00D);
+  std::istringstream in(soc_text(soc));
+  const SocSpec back = read_soc_text(in);
+  EXPECT_EQ(back.hierarchy_parent, soc.hierarchy_parent);
+  ASSERT_EQ(back.num_cores(), soc.num_cores());
+  bool any_scaled = false;
+  for (int i = 0; i < soc.num_cores(); ++i) {
+    const double want = soc.cores[static_cast<std::size_t>(i)].spec.power_scale;
+    EXPECT_EQ(back.cores[static_cast<std::size_t>(i)].spec.power_scale, want)
+        << i;  // to_chars shortest form round-trips the exact bits
+    any_scaled |= want != 1.0;
+  }
+  EXPECT_TRUE(any_scaled);
+  EXPECT_EQ(soc_text(back), soc_text(soc));
+}
+
+}  // namespace
+}  // namespace soctest

@@ -6,6 +6,8 @@
 //                    [--max-chains N] [--csv out.csv]
 //   soctest optimize --design <d> --width W [--mode percore|pertam|notdc|
 //                    fixedw4] [--constraint tam|ate] [--power MW]
+//                    [--power-cap MW] [--scenario spec]
+//                    [--sweep-scenarios spec]      (constraint scenarios)
 //                    [--select] [--svg out.svg]
 //                    [--anneal N [--seed S]]    (simulated annealing search)
 //                    [--portfolio K [--sweeps N] [--sweep-proposals P]
@@ -26,11 +28,14 @@
 // pool; default: SOCTEST_JOBS env var, else all hardware threads).
 //
 // <d> is a built-in design (d695, d2758, System1..System4, fig4),
-// synth:<cores>[:<seed>] for the seeded synthetic generator, or a path to a
-// .soc file in the src/io text format.
+// synth:<cores>[:<seed>] for the seeded synthetic generator,
+// synthx:<cores>[:<seed>] for the same cores with a seeded power profile
+// and deterministic hierarchy, or a path to a .soc file in the src/io text
+// format.
 //
 // Exit codes: 0 success, 1 runtime/optimizer failure, 2 usage error,
 // 3 the run succeeded but a checkpoint write failed.
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +63,7 @@
 #include "report/table.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scenario/scenario.hpp"
 #include "server/server.hpp"
 #include "server/socket.hpp"
 
@@ -97,6 +103,22 @@ struct Args {
     if (end == it->second.c_str() || *end != '\0') {
       std::fprintf(stderr, "--%s: '%s' is not a number\n", k.c_str(),
                    it->second.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
+  /// Strictest double flag (--power-cap): std::from_chars over the WHOLE
+  /// token — unlike strtod, no leading whitespace and no inf/nan/hex
+  /// forms; any trailing garbage is a usage error (exit 2).
+  double get_double_chars(const std::string& k, double def) const {
+    auto it = flags.find(k);
+    if (it == flags.end()) return def;
+    const std::string& s = it->second;
+    double v = 0.0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || p != s.data() + s.size()) {
+      std::fprintf(stderr, "--%s: '%s' is not a decimal number\n", k.c_str(),
+                   s.c_str());
       std::exit(2);
     }
     return v;
@@ -169,6 +191,8 @@ int cmd_list_designs() {
   std::printf("  System1..System4  industrial-core example systems\n");
   std::printf("  fig4      the paper's Figure 4 four-core design\n");
   std::printf("  synth:<cores>[:<seed>]  seeded synthetic scale-study SOC\n");
+  std::printf("  synthx:<cores>[:<seed>] synth plus a seeded per-core power\n");
+  std::printf("                          profile and deterministic hierarchy\n");
   std::printf("any other name is read as a .soc file (src/io format)\n");
   return 0;
 }
@@ -242,8 +266,55 @@ std::optional<ArchMode> parse_mode(const std::string& s) {
 
 int cmd_optimize(const Args& a) {
   const SocSpec soc = load_design_or_exit(a.require("design"));
+
+  // Scheduling-scenario flags — parsed before the optimizer so a sweep's
+  // widest cell can size the explore band. The cap channels are exclusive:
+  // a run's power cap has exactly one source of truth.
+  if (a.has("power") && a.has("power-cap")) {
+    std::fprintf(stderr,
+                 "--power and --power-cap are exclusive (same knob; "
+                 "--power-cap parses strictly)\n");
+    return 2;
+  }
+  if (a.has("scenario") && (a.has("power") || a.has("power-cap"))) {
+    std::fprintf(stderr,
+                 "--scenario carries its own power cap; it is exclusive "
+                 "with --power/--power-cap\n");
+    return 2;
+  }
+  if (a.has("sweep-scenarios") &&
+      (a.has("scenario") || a.has("power") || a.has("power-cap") ||
+       a.has("anneal") || a.has("portfolio") || a.has("resume") ||
+       a.has("workers") || a.has("attach") || a.has("json") ||
+       a.has("svg") || a.has("backend"))) {
+    std::fprintf(stderr,
+                 "--sweep-scenarios drives plain hill-climb cells; it is "
+                 "exclusive with --scenario/--power/--power-cap/--anneal/"
+                 "--portfolio/--resume/--workers/--attach/--json/--svg/"
+                 "--backend\n");
+    return 2;
+  }
+  ScenarioSpec scenario;
+  std::vector<ScenarioSpec> sweep;
+  try {
+    if (a.has("scenario")) scenario = parse_scenario(a.require("scenario"));
+    if (a.has("sweep-scenarios"))
+      sweep = parse_scenario_sweep(a.require("sweep-scenarios"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const double power_cap = a.get_double_chars("power-cap", 0.0);
+  if (power_cap < 0.0) {
+    std::fprintf(stderr, "--power-cap must be >= 0\n");
+    return 2;
+  }
+
   ExploreOptions eopts;
   eopts.max_width = std::max(a.get_int("width", 32), 32);
+  eopts.max_width = std::max(eopts.max_width, scenario.width);
+  for (const ScenarioSpec& cell : sweep)
+    eopts.max_width = std::max(eopts.max_width, cell.width);
   eopts.max_chains = a.get_int("max-chains", 255);
 
   const SocOptimizer opt =
@@ -269,6 +340,10 @@ int cmd_optimize(const Args& a) {
     return 2;
   }
   o.power_budget_mw = a.get_double("power", 0.0);
+  if (a.has("power-cap")) o.power_budget_mw = power_cap;
+  // apply_scenario also overrides --width when the scenario pins one
+  // (parse_scenario enforces w >= 1 and cap >= 0, so no recheck needed).
+  if (a.has("scenario")) apply_scenario(scenario, o);
   if (o.width < 1) {
     std::fprintf(stderr, "--width must be >= 1\n");
     return 2;
@@ -302,6 +377,26 @@ int cmd_optimize(const Args& a) {
                  "--workers/--attach; use --backend race to run the rect "
                  "climb beside the fixed-bus search\n");
     return 2;
+  }
+
+  if (!sweep.empty()) {
+    // One optimizer, every cell: the explore tables are built once above
+    // (the band already covers the widest cell) and each cell runs the
+    // plain hill climb under its own scenario. Deterministic cell order —
+    // cap outermost, then preempt, hier, w (scenario/scenario.hpp).
+    Table t({"scenario", "W", "test time", "volume (bits)", "peak mW"});
+    for (const ScenarioSpec& cell : sweep) {
+      OptimizerOptions oc = o;
+      apply_scenario(cell, oc);
+      const OptimizationResult rc = optimize_backend(opt, oc);
+      t.add_row({cell.to_string(), Table::num(oc.width),
+                 Table::num(rc.test_time), Table::num(rc.data_volume_bits),
+                 Table::fixed(rc.peak_power_mw, 1)});
+    }
+    std::printf("%s scenario matrix (%zu cells)\n", soc.name.c_str(),
+                sweep.size());
+    std::printf("%s", t.to_string().c_str());
+    return 0;
   }
 
   OptimizationResult r;
@@ -534,6 +629,7 @@ void print_grammar(std::FILE* out) {
       "  optimize --design <d> --width W [--mode percore|pertam|notdc|fixedw4]\n"
       "           [--constraint tam|ate] [--power MW] [--select] [--svg f]\n"
       "           [--json f] [--backend fixed|rect|race]\n"
+      "           [--power-cap MW | --scenario spec | --sweep-scenarios spec]\n"
       "           [--anneal N [--seed S]]\n"
       "           [--portfolio K [--sweeps N] [--sweep-proposals P] [--seed S]\n"
       "            [--adaptive-ladder]\n"
@@ -565,7 +661,32 @@ void print_grammar(std::FILE* out) {
       "  synth:<cores>[:<seed>]                     seeded synthetic SOC;\n"
       "      <cores> decimal >= 1, <seed> unsigned decimal (default 1);\n"
       "      no trailing characters (synth:120:7x is rejected)\n"
+      "  synthx:<cores>[:<seed>]                    the same cores with a\n"
+      "      seeded per-core power profile and a deterministic hierarchy\n"
+      "      (the constraint-scenario workloads); same strict grammar\n"
       "  anything else                              path to a .soc text file\n"
+      "\n"
+      "scheduling scenarios (optimize):\n"
+      "  --power-cap MW      strict peak-power cap: the whole token must be\n"
+      "                      a plain decimal (from_chars; '20x', 'inf' and\n"
+      "                      leading blanks exit 2). Exclusive with --power,\n"
+      "                      which it supersedes\n"
+      "  --scenario spec     one scenario cell; spec is comma-joined tokens\n"
+      "                      cap=MW | preempt | hier | w=W (e.g.\n"
+      "                      'cap=20,preempt' or 'hier,w=24'; 'default' =\n"
+      "                      unconstrained). preempt allows power-preemptive\n"
+      "                      segmented schedules (schedules like\n"
+      "                      non-preemptive without a cap); hier enforces\n"
+      "                      the SOC's ancestor/descendant exclusion; w\n"
+      "                      overrides --width. Exclusive with --power/\n"
+      "                      --power-cap; composes with --anneal,\n"
+      "                      --portfolio, --workers and --json\n"
+      "  --sweep-scenarios s sweep the cross product of axis lists\n"
+      "                      'cap=0,20;preempt=0,1;hier=0,1;w=16,32'\n"
+      "                      (semicolon-separated axes; cells enumerate cap\n"
+      "                      outermost, then preempt, hier, w) through ONE\n"
+      "                      warm optimizer and print a table; exclusive\n"
+      "                      with the search/artifact flags listed above\n"
       "\n"
       "search selection (optimize):\n"
       "  default             multi-start hill climb over bus counts\n"
@@ -634,7 +755,8 @@ int run_daemon_mode(const Args& a) {
       "sweep-proposals",      "seed",           "checkpoint",
       "checkpoint-every",     "resume",         "core",       "max-width",
       "max-chains",           "csv",            "out",        "workers",
-      "attach", "adaptive-ladder",              "json",       "backend"};
+      "attach", "adaptive-ladder",              "json",       "backend",
+      "power-cap",            "scenario",       "sweep-scenarios"};
   for (const char* flag : kOneShot) {
     if (a.has(flag)) {
       std::fprintf(stderr,
